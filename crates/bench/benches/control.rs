@@ -1,0 +1,85 @@
+//! Criterion benchmarks for the control layer: closed-loop simulation
+//! throughput (the cost of attaching the controller to the simulator) and
+//! the offline worst-case threshold solver.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use voltctl_bench::{pdn_at, power_model, solve_for};
+use voltctl_core::prelude::*;
+use voltctl_workloads::spec;
+
+const CYCLES: u64 = 20_000;
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let wl = spec::by_name("gcc").expect("suite kernel");
+    let power = power_model();
+    let pdn = pdn_at(2.0);
+    let thresholds = solve_for(ActuationScope::FuDl1, 2, 2.0).expect("stable");
+
+    let mut g = c.benchmark_group("control/closed_loop");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("uncontrolled", |b| {
+        b.iter_batched(
+            || {
+                ControlLoop::builder(wl.program.clone())
+                    .power(power.clone())
+                    .pdn(pdn.clone())
+                    .build()
+                    .expect("loop builds")
+            },
+            |mut sim| {
+                sim.run(CYCLES);
+                black_box(sim.report().committed)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("controlled", |b| {
+        b.iter_batched(
+            || {
+                ControlLoop::builder(wl.program.clone())
+                    .power(power.clone())
+                    .pdn(pdn.clone())
+                    .thresholds(thresholds)
+                    .scope(ActuationScope::FuDl1)
+                    .sensor(SensorConfig {
+                        delay_cycles: 2,
+                        noise_mv: 10.0,
+                        seed: 3,
+                    })
+                    .build()
+                    .expect("loop builds")
+            },
+            |mut sim| {
+                sim.run(CYCLES);
+                black_box(sim.report().committed)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let power = power_model();
+    let pdn = pdn_at(2.0);
+    let mut g = c.benchmark_group("control/solver");
+    g.sample_size(10);
+    for delay in [0u32, 4] {
+        g.bench_function(format!("solve_thresholds_delay{delay}"), |b| {
+            let setup = SolveSetup::new(
+                &pdn,
+                power.min_current(),
+                power.achievable_peak_current(),
+                ActuationScope::FuDl1Il1.leverage(&power),
+                delay,
+            );
+            b.iter(|| black_box(solve_thresholds(&setup).expect("stable")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_closed_loop, bench_solver);
+criterion_main!(benches);

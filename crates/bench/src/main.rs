@@ -1,0 +1,21 @@
+use voltctl_workloads::{stressmark, trace};
+use voltctl_cpu::CpuConfig;
+use voltctl_power::{PowerModel, PowerParams};
+
+fn main() {
+    let wl = stressmark::build(&stressmark::StressmarkParams::default());
+    let config = CpuConfig::table1();
+    let power = PowerModel::new(PowerParams::paper_3ghz());
+    let t = trace::record_current(&wl, &config, &power, 600);
+    for (i, chunk) in t.chunks(10).enumerate() {
+        let avg: f64 = chunk.iter().sum::<f64>() / chunk.len() as f64;
+        print!("{:5.1} ", avg);
+        if i % 10 == 9 { println!(); }
+    }
+    println!();
+    let t2 = trace::record_current(&wl, &config, &power, 4096);
+    println!("period: {:?}", stressmark::measured_period(&t2));
+    let min = t2.iter().cloned().fold(f64::MAX, f64::min);
+    let max = t2.iter().cloned().fold(f64::MIN, f64::max);
+    println!("min {min:.1} max {max:.1}");
+}

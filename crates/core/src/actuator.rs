@@ -1,0 +1,382 @@
+//! Actuation scopes (§5.1) and their current leverage.
+//!
+//! The paper evaluates three granularities of microarchitectural
+//! actuation, each a superset of the last:
+//!
+//! * **FU** — clock-gate / phantom-fire all functional units;
+//! * **FU/DL1** — additionally the level-one data cache (with the memory
+//!   ports and LSQ);
+//! * **FU/DL1/IL1** — additionally the level-one instruction cache (with
+//!   fetch and the predictor).
+//!
+//! An **Ideal** scope (used for the sensor studies of §4.4–4.5) actuates
+//! everything instantaneously.
+//!
+//! Beyond driving the CPU's [`GatingState`], each scope exposes its
+//! *current leverage* — the current envelope the actuator can force the
+//! machine toward — which the worst-case threshold solver consumes. The
+//! leverage model also captures *indirect* stalling: units outside the
+//! scope quiet down once the pipeline backs up behind the gated ones, with
+//! a scope-specific settling time (the out-of-order window drains slowly
+//! behind gated FUs, but fetch stops almost immediately once IL1 is
+//! gated).
+
+use voltctl_cpu::{Domain, GatingState};
+use voltctl_power::{PowerModel, Unit};
+use crate::controller::ControlAction;
+
+/// Which pipeline slice the actuator controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActuationScope {
+    /// Instantaneous, full-machine actuation (sensor-study baseline).
+    Ideal,
+    /// Functional units only.
+    Fu,
+    /// Functional units + L1 data cache.
+    FuDl1,
+    /// Functional units + both L1 caches.
+    FuDl1Il1,
+}
+
+impl ActuationScope {
+    /// All scopes, coarsest last.
+    pub fn all() -> [ActuationScope; 4] {
+        [
+            ActuationScope::Ideal,
+            ActuationScope::Fu,
+            ActuationScope::FuDl1,
+            ActuationScope::FuDl1Il1,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActuationScope::Ideal => "ideal",
+            ActuationScope::Fu => "FU",
+            ActuationScope::FuDl1 => "FU/DL1",
+            ActuationScope::FuDl1Il1 => "FU/DL1/IL1",
+        }
+    }
+
+    /// The gating domains directly driven by this scope.
+    pub fn domains(self) -> &'static [Domain] {
+        match self {
+            ActuationScope::Fu => &[Domain::Fu],
+            ActuationScope::FuDl1 => &[Domain::Fu, Domain::Dl1],
+            ActuationScope::Ideal | ActuationScope::FuDl1Il1 => {
+                &[Domain::Fu, Domain::Dl1, Domain::Il1]
+            }
+        }
+    }
+
+    /// Applies a controller command to the CPU's gating state.
+    pub fn apply(self, action: ControlAction, gating: &mut GatingState) {
+        match action {
+            ControlAction::None => gating.release_all(),
+            ControlAction::ReduceCurrent => {
+                gating.release_all();
+                for &d in self.domains() {
+                    gating.set_gated(d, true);
+                }
+            }
+            ControlAction::IncreaseCurrent => {
+                gating.release_all();
+                for &d in self.domains() {
+                    gating.set_phantom(d, true);
+                }
+            }
+        }
+    }
+
+    /// The power-model units directly inside this scope's gate.
+    pub fn direct_units(self) -> &'static [Unit] {
+        match self {
+            ActuationScope::Fu => &[Unit::IntAlu, Unit::IntMult, Unit::FpAlu, Unit::FpMult],
+            ActuationScope::FuDl1 => &[
+                Unit::IntAlu,
+                Unit::IntMult,
+                Unit::FpAlu,
+                Unit::FpMult,
+                Unit::Dl1,
+                Unit::Lsq,
+            ],
+            ActuationScope::Ideal | ActuationScope::FuDl1Il1 => &[
+                Unit::IntAlu,
+                Unit::IntMult,
+                Unit::FpAlu,
+                Unit::FpMult,
+                Unit::Dl1,
+                Unit::Lsq,
+                Unit::Il1,
+                Unit::Fetch,
+                Unit::Bpred,
+            ],
+        }
+    }
+
+    /// Current leverage for the worst-case solver.
+    pub fn leverage(self, power: &PowerModel) -> Leverage {
+        let params = power.params();
+        let vdd = params.vdd;
+        let floor = params.gating_floor;
+        let direct = self.direct_units();
+
+        // Sustained worst-case current while Reduce holds: direct units at
+        // the gating floor, everything else (conservatively) at peak.
+        let mut reduce_floor_w = 0.0;
+        let mut increase_ceiling_w = 0.0;
+        for unit in Unit::all() {
+            let peak = params.peak(unit);
+            let in_scope = direct.contains(&unit) || unit == Unit::Clock;
+            if unit == Unit::Clock {
+                reduce_floor_w += peak;
+                increase_ceiling_w += peak;
+                continue;
+            }
+            if in_scope {
+                reduce_floor_w += peak * floor;
+                increase_ceiling_w += peak;
+            } else {
+                // Out-of-scope units settle toward the floor as the
+                // pipeline backs up (see `settle_cycles`) — except under
+                // FU-only control, where loads, stores, and fetch need no
+                // functional unit and can *sustain* partial activity
+                // indefinitely (memory-bound code keeps running with the
+                // ALUs gated). That sustained residual is the second
+                // reason FU-only control lacks grip.
+                reduce_floor_w += peak * floor + self.sustained_residual() * peak * (1.0 - floor);
+                // Phantom firing adds nothing outside the scope.
+                increase_ceiling_w += peak * floor;
+            }
+        }
+
+        Leverage {
+            reduce_floor_amps: reduce_floor_w / vdd,
+            increase_ceiling_amps: increase_ceiling_w / vdd,
+            settle_cycles: self.settle_cycles(),
+        }
+    }
+
+    /// How long the machine takes to quiesce after Reduce engages:
+    /// out-of-scope structures keep drawing near-peak current until the
+    /// pipeline backs up behind the gated units.
+    ///
+    /// * Ideal — instantaneous by definition.
+    /// * FU/DL1/IL1 — fetch gates directly; one or two cycles of residue.
+    /// * FU/DL1 — fetch and dispatch continue until the fetch queue backs
+    ///   up (a handful of cycles at 8-wide with a 32-entry queue).
+    /// * FU — loads, stores, and fetch all continue until the window
+    ///   fills behind the gated execution units: the slowest, weakest
+    ///   grip — the reason the paper finds FU-only control unstable for
+    ///   sensor delays of three cycles or more.
+    pub fn settle_cycles(self) -> u64 {
+        match self {
+            ActuationScope::Ideal => 0,
+            ActuationScope::FuDl1Il1 => 2,
+            ActuationScope::FuDl1 => 6,
+            ActuationScope::Fu => 10,
+        }
+    }
+
+    /// Fraction of an out-of-scope unit's dynamic range that stays active
+    /// indefinitely while this scope's Reduce holds (see
+    /// [`leverage`](Self::leverage)).
+    fn sustained_residual(self) -> f64 {
+        match self {
+            ActuationScope::Fu => 0.17,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The current envelope an actuation scope can force.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Leverage {
+    /// Sustained current (amps) once Reduce has fully settled.
+    pub reduce_floor_amps: f64,
+    /// Sustained current (amps) once Increase (phantom fire) has settled.
+    pub increase_ceiling_amps: f64,
+    /// Cycles for out-of-scope activity to quiesce after Reduce engages.
+    pub settle_cycles: u64,
+}
+
+/// Asymmetric actuation (the paper's §6 future-work idea): use one scope
+/// for undershoot gating and a different one for overshoot phantom
+/// firing.
+///
+/// The asymmetry exploits that the two responses have different
+/// implementation costs: clock-gating a cache is easy (freeze the clock),
+/// but phantom-firing it burns real array energy — so a designer might
+/// gate FU/DL1/IL1 on voltage-low events while firing only the functional
+/// units on the (rarer) voltage-high events.
+///
+/// # Example
+///
+/// ```
+/// use voltctl_core::actuator::{ActuationScope, AsymmetricActuator};
+/// use voltctl_core::controller::ControlAction;
+/// use voltctl_cpu::GatingState;
+///
+/// let act = AsymmetricActuator {
+///     reduce: ActuationScope::FuDl1Il1,
+///     increase: ActuationScope::Fu,
+/// };
+/// let mut g = GatingState::default();
+/// act.apply(ControlAction::IncreaseCurrent, &mut g);
+/// assert!(g.phantom_fu && !g.phantom_dl1); // fires only the FUs
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsymmetricActuator {
+    /// Scope gated on voltage-low events.
+    pub reduce: ActuationScope,
+    /// Scope phantom-fired on voltage-high events.
+    pub increase: ActuationScope,
+}
+
+impl AsymmetricActuator {
+    /// A symmetric actuator (both responses use the same scope).
+    pub fn symmetric(scope: ActuationScope) -> AsymmetricActuator {
+        AsymmetricActuator {
+            reduce: scope,
+            increase: scope,
+        }
+    }
+
+    /// Applies a controller command, routing it to the proper scope.
+    pub fn apply(&self, action: ControlAction, gating: &mut GatingState) {
+        match action {
+            ControlAction::ReduceCurrent => self.reduce.apply(action, gating),
+            ControlAction::IncreaseCurrent => self.increase.apply(action, gating),
+            ControlAction::None => gating.release_all(),
+        }
+    }
+
+    /// Composite leverage for the worst-case threshold solver: the reduce
+    /// side's floor and settle time with the increase side's ceiling.
+    pub fn leverage(&self, power: &PowerModel) -> Leverage {
+        Leverage {
+            increase_ceiling_amps: self.increase.leverage(power).increase_ceiling_amps,
+            ..self.reduce.leverage(power)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltctl_power::PowerParams;
+
+    fn power() -> PowerModel {
+        PowerModel::new(PowerParams::paper_3ghz())
+    }
+
+    #[test]
+    fn reduce_gates_only_scope_domains() {
+        let mut g = GatingState::default();
+        ActuationScope::Fu.apply(ControlAction::ReduceCurrent, &mut g);
+        assert!(g.gate_fu && !g.gate_dl1 && !g.gate_il1);
+
+        ActuationScope::FuDl1.apply(ControlAction::ReduceCurrent, &mut g);
+        assert!(g.gate_fu && g.gate_dl1 && !g.gate_il1);
+
+        ActuationScope::FuDl1Il1.apply(ControlAction::ReduceCurrent, &mut g);
+        assert!(g.gate_fu && g.gate_dl1 && g.gate_il1);
+    }
+
+    #[test]
+    fn increase_fires_instead_of_gating() {
+        let mut g = GatingState::default();
+        ActuationScope::FuDl1.apply(ControlAction::IncreaseCurrent, &mut g);
+        assert!(g.phantom_fu && g.phantom_dl1);
+        assert!(!g.gate_fu && !g.gate_dl1);
+    }
+
+    #[test]
+    fn none_releases_everything() {
+        let mut g = GatingState::default();
+        ActuationScope::Ideal.apply(ControlAction::ReduceCurrent, &mut g);
+        assert!(g.any_active());
+        ActuationScope::Ideal.apply(ControlAction::None, &mut g);
+        assert!(!g.any_active());
+    }
+
+    #[test]
+    fn coarser_scopes_have_more_leverage() {
+        let p = power();
+        let fu = ActuationScope::Fu.leverage(&p);
+        let fu_dl1 = ActuationScope::FuDl1.leverage(&p);
+        let full = ActuationScope::FuDl1Il1.leverage(&p);
+        // Phantom-firing a bigger slice reaches higher current.
+        assert!(full.increase_ceiling_amps > fu_dl1.increase_ceiling_amps);
+        assert!(fu_dl1.increase_ceiling_amps > fu.increase_ceiling_amps);
+        // And quiesces faster.
+        assert!(full.settle_cycles < fu_dl1.settle_cycles);
+        assert!(fu_dl1.settle_cycles < fu.settle_cycles);
+    }
+
+    #[test]
+    fn full_scope_reaches_machine_extremes() {
+        let p = power();
+        let full = ActuationScope::FuDl1Il1.leverage(&p);
+        assert!((full.reduce_floor_amps - p.min_current()).abs() < 1.0);
+        // Phantom firing everything except always-idle structures gets
+        // close to (but not beyond) the machine peak.
+        assert!(full.increase_ceiling_amps <= p.peak_current() + 1e-9);
+        assert!(full.increase_ceiling_amps > 0.7 * p.peak_current());
+    }
+
+    #[test]
+    fn ideal_is_instant() {
+        assert_eq!(ActuationScope::Ideal.settle_cycles(), 0);
+        assert_eq!(
+            ActuationScope::Ideal.domains(),
+            ActuationScope::FuDl1Il1.domains()
+        );
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> =
+            ActuationScope::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn asymmetric_routes_by_action() {
+        let act = AsymmetricActuator {
+            reduce: ActuationScope::FuDl1Il1,
+            increase: ActuationScope::Fu,
+        };
+        let mut g = GatingState::default();
+        act.apply(ControlAction::ReduceCurrent, &mut g);
+        assert!(g.gate_fu && g.gate_dl1 && g.gate_il1);
+        act.apply(ControlAction::IncreaseCurrent, &mut g);
+        assert!(g.phantom_fu && !g.phantom_dl1 && !g.phantom_il1);
+        assert!(!g.gate_fu);
+        act.apply(ControlAction::None, &mut g);
+        assert!(!g.any_active());
+    }
+
+    #[test]
+    fn symmetric_constructor_matches_plain_scope() {
+        let p = power();
+        let sym = AsymmetricActuator::symmetric(ActuationScope::FuDl1);
+        assert_eq!(sym.leverage(&p), ActuationScope::FuDl1.leverage(&p));
+    }
+
+    #[test]
+    fn asymmetric_leverage_composes_sides() {
+        let p = power();
+        let act = AsymmetricActuator {
+            reduce: ActuationScope::FuDl1Il1,
+            increase: ActuationScope::Fu,
+        };
+        let lev = act.leverage(&p);
+        let full = ActuationScope::FuDl1Il1.leverage(&p);
+        let fu = ActuationScope::Fu.leverage(&p);
+        assert_eq!(lev.reduce_floor_amps, full.reduce_floor_amps);
+        assert_eq!(lev.settle_cycles, full.settle_cycles);
+        assert_eq!(lev.increase_ceiling_amps, fu.increase_ceiling_amps);
+    }
+}

@@ -1,0 +1,190 @@
+//! Controlled-vs-baseline evaluation (§4.4–§5.3).
+//!
+//! The paper's controller results are always reported *relative to an
+//! uncontrolled run*: performance degradation, energy increase, and the
+//! emergencies eliminated. [`Evaluation`] packages one such comparison;
+//! [`evaluate_program`] runs both loops over the same cycle budget with
+//! identical inputs.
+
+use crate::actuator::ActuationScope;
+use crate::loopsim::{ControlLoop, LoopReport};
+use crate::sensor::SensorConfig;
+use crate::thresholds::{ControlError, Thresholds};
+use voltctl_cpu::CpuConfig;
+use voltctl_isa::Program;
+use voltctl_pdn::PdnModel;
+use voltctl_power::PowerModel;
+
+/// A controlled run compared against its uncontrolled baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The uncontrolled run.
+    pub baseline: LoopReport,
+    /// The controlled run.
+    pub controlled: LoopReport,
+}
+
+impl Evaluation {
+    /// Fractional performance loss: `1 - IPC_controlled / IPC_baseline`.
+    /// Near zero (or slightly negative, from measurement noise) when the
+    /// controller rarely intervenes.
+    pub fn perf_loss(&self) -> f64 {
+        if self.baseline.ipc <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.controlled.ipc / self.baseline.ipc
+    }
+
+    /// Fractional energy increase **per committed instruction** (total
+    /// energy is not comparable across equal-cycle runs that commit
+    /// different instruction counts).
+    pub fn energy_increase(&self) -> f64 {
+        let base = self.baseline.energy_joules / self.baseline.committed.max(1) as f64;
+        let ctrl = self.controlled.energy_joules / self.controlled.committed.max(1) as f64;
+        if base <= 0.0 {
+            return 0.0;
+        }
+        ctrl / base - 1.0
+    }
+
+    /// Emergencies eliminated by control (cycle count).
+    pub fn emergencies_eliminated(&self) -> i64 {
+        self.baseline.emergencies.emergency_cycles as i64
+            - self.controlled.emergencies.emergency_cycles as i64
+    }
+}
+
+/// Everything needed to evaluate one configuration.
+#[derive(Debug, Clone)]
+pub struct EvalSetup {
+    /// Machine configuration.
+    pub cpu_config: CpuConfig,
+    /// Power model.
+    pub power: PowerModel,
+    /// Supply network.
+    pub pdn: PdnModel,
+    /// Solved thresholds for the controlled run.
+    pub thresholds: Thresholds,
+    /// Sensor non-idealities.
+    pub sensor: SensorConfig,
+    /// Actuation scope.
+    pub scope: ActuationScope,
+}
+
+/// Runs `program` for `warmup + cycles` cycles twice — controlled and
+/// uncontrolled — and reports the comparison. Warm-up cycles are included
+/// in both runs identically; reports cover the whole run (the transient
+/// affects both sides equally).
+///
+/// # Errors
+///
+/// Propagates loop-construction errors.
+pub fn evaluate_program(
+    program: &Program,
+    setup: &EvalSetup,
+    warmup: u64,
+    cycles: u64,
+) -> Result<Evaluation, ControlError> {
+    let mut baseline = ControlLoop::builder(program.clone())
+        .cpu_config(setup.cpu_config.clone())
+        .power(setup.power.clone())
+        .pdn(setup.pdn.clone())
+        .build()?;
+    baseline.run(warmup + cycles);
+
+    let mut controlled = ControlLoop::builder(program.clone())
+        .cpu_config(setup.cpu_config.clone())
+        .power(setup.power.clone())
+        .pdn(setup.pdn.clone())
+        .thresholds(setup.thresholds)
+        .sensor(setup.sensor)
+        .scope(setup.scope)
+        .build()?;
+    controlled.run(warmup + cycles);
+
+    Ok(Evaluation {
+        baseline: baseline.report(),
+        controlled: controlled.report(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrated_pdn;
+    use voltctl_isa::builder::ProgramBuilder;
+    use voltctl_isa::reg::IntReg;
+    use voltctl_power::PowerParams;
+
+    fn setup(percent: f64, thresholds: Thresholds) -> EvalSetup {
+        let power = PowerModel::new(PowerParams::paper_3ghz());
+        let pdn = calibrated_pdn(&PdnModel::paper_default().unwrap(), &power, percent).unwrap();
+        EvalSetup {
+            cpu_config: CpuConfig::table1(),
+            power,
+            pdn,
+            thresholds,
+            sensor: SensorConfig::default(),
+            scope: ActuationScope::FuDl1,
+        }
+    }
+
+    fn spin() -> Program {
+        let mut b = ProgramBuilder::new("spin");
+        b.label("top");
+        b.addq_imm(IntReg::R1, IntReg::R1, 1);
+        b.br("top");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn quiet_program_sees_no_degradation() {
+        let s = setup(
+            2.0,
+            Thresholds {
+                v_low: 0.955,
+                v_high: 1.045,
+            },
+        );
+        let e = evaluate_program(&spin(), &s, 1_000, 10_000).unwrap();
+        assert!(e.perf_loss().abs() < 0.01, "loss {}", e.perf_loss());
+        assert!(e.energy_increase().abs() < 0.01);
+        assert_eq!(e.controlled.interventions, 0);
+    }
+
+    #[test]
+    fn aggressive_thresholds_cost_performance() {
+        let s = setup(
+            2.0,
+            Thresholds {
+                v_low: 0.9995,
+                v_high: 1.0005,
+            },
+        );
+        let e = evaluate_program(&spin(), &s, 1_000, 10_000).unwrap();
+        assert!(e.controlled.interventions > 0);
+        assert!(e.perf_loss() > 0.02, "loss {}", e.perf_loss());
+    }
+
+    #[test]
+    fn metrics_handle_degenerate_reports() {
+        let zeroed = LoopReport {
+            cycles: 0,
+            committed: 0,
+            ipc: 0.0,
+            emergencies: voltctl_pdn::VoltageMonitor::new(1.0, 0.05).report(),
+            energy_joules: 0.0,
+            avg_power: 0.0,
+            reduce_cycles: 0,
+            increase_cycles: 0,
+            interventions: 0,
+        };
+        let e = Evaluation {
+            baseline: zeroed.clone(),
+            controlled: zeroed,
+        };
+        assert_eq!(e.perf_loss(), 0.0);
+        assert_eq!(e.energy_increase(), 0.0);
+        assert_eq!(e.emergencies_eliminated(), 0);
+    }
+}

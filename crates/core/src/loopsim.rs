@@ -1,0 +1,488 @@
+//! The closed-loop integrated simulator (Figures 7 and 12).
+//!
+//! One [`ControlLoop`] couples every layer of the paper's methodology:
+//! the cycle-level CPU produces per-cycle activity; the structural power
+//! model turns it into current; the discretized PDN turns current into
+//! supply voltage; the threshold sensor/controller/actuator close the loop
+//! back onto the CPU's clock-gating state. Running without thresholds
+//! gives the uncontrolled baseline the evaluations compare against.
+//!
+//! Actuation commands decided at the end of cycle *t* take effect in cycle
+//! *t+1* — a one-cycle actuator latency inherent to any real
+//! implementation, on top of the configurable sensor delay.
+
+use crate::actuator::{ActuationScope, AsymmetricActuator};
+use crate::controller::ThresholdController;
+use crate::sensor::{SensorConfig, ThresholdSensor};
+use crate::thresholds::{ControlError, Thresholds};
+use voltctl_cpu::{Cpu, CpuConfig};
+use voltctl_isa::Program;
+use voltctl_pdn::{EmergencyReport, PdnModel, PdnState, VoltageHistogram, VoltageMonitor};
+use voltctl_power::{EnergyAccumulator, PowerModel};
+
+/// One cycle's observables (optionally recorded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopSample {
+    /// Current drawn this cycle (amps).
+    pub current: f64,
+    /// Supply voltage at end of cycle (volts).
+    pub voltage: f64,
+    /// Whether the actuator was reducing current this cycle.
+    pub reducing: bool,
+    /// Whether the actuator was phantom-firing this cycle.
+    pub increasing: bool,
+}
+
+/// Builder for [`ControlLoop`].
+#[derive(Debug)]
+pub struct ControlLoopBuilder {
+    program: Program,
+    cpu_config: CpuConfig,
+    power: Option<PowerModel>,
+    pdn: Option<PdnModel>,
+    thresholds: Option<Thresholds>,
+    sensor: SensorConfig,
+    actuator: AsymmetricActuator,
+    record_trace: bool,
+}
+
+impl ControlLoopBuilder {
+    /// Selects the machine configuration (default: Table 1).
+    pub fn cpu_config(mut self, config: CpuConfig) -> Self {
+        self.cpu_config = config;
+        self
+    }
+
+    /// Sets the power model (required).
+    pub fn power(mut self, power: PowerModel) -> Self {
+        self.power = Some(power);
+        self
+    }
+
+    /// Sets the supply-network model (required).
+    pub fn pdn(mut self, pdn: PdnModel) -> Self {
+        self.pdn = Some(pdn);
+        self
+    }
+
+    /// Enables control with these thresholds (omit for the uncontrolled
+    /// baseline). Sensor error compensation is applied automatically:
+    /// the deployed thresholds are tightened by the configured noise
+    /// bound.
+    pub fn thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = Some(thresholds);
+        self
+    }
+
+    /// Configures the sensor (delay, noise, seed).
+    pub fn sensor(mut self, sensor: SensorConfig) -> Self {
+        self.sensor = sensor;
+        self
+    }
+
+    /// Selects the actuation scope for both responses (default: FU/DL1).
+    pub fn scope(mut self, scope: ActuationScope) -> Self {
+        self.actuator = AsymmetricActuator::symmetric(scope);
+        self
+    }
+
+    /// Selects an asymmetric actuator (§6 extension): one scope gated on
+    /// undershoot, another phantom-fired on overshoot.
+    pub fn actuator(mut self, actuator: AsymmetricActuator) -> Self {
+        self.actuator = actuator;
+        self
+    }
+
+    /// Records per-cycle samples (memory-heavy; for trace figures).
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Builds the loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Infeasible`] when required parts are missing, the
+    /// CPU configuration fails validation, or error compensation consumes
+    /// the threshold window.
+    pub fn build(self) -> Result<ControlLoop, ControlError> {
+        let power = self
+            .power
+            .ok_or_else(|| ControlError::Infeasible("power model is required".into()))?;
+        let pdn = self
+            .pdn
+            .ok_or_else(|| ControlError::Infeasible("PDN model is required".into()))?;
+        let cpu = Cpu::new(self.cpu_config, &self.program)
+            .map_err(ControlError::Infeasible)?;
+
+        let sensor = match self.thresholds {
+            Some(t) => {
+                let deployed = t.tightened(self.sensor.noise_mv)?;
+                Some(ThresholdSensor::new(
+                    deployed.v_low,
+                    deployed.v_high,
+                    pdn.v_nominal(),
+                    self.sensor,
+                ))
+            }
+            None => None,
+        };
+
+        let mut pdn_state = pdn.discretize();
+        pdn_state.set_reference_current(power.min_current());
+        let monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
+        let energy = EnergyAccumulator::new(pdn.clock_hz());
+
+        Ok(ControlLoop {
+            cpu,
+            power,
+            pdn_state,
+            v_nominal: pdn.v_nominal(),
+            sensor,
+            controller: ThresholdController::new(),
+            actuator: self.actuator,
+            monitor,
+            histogram: VoltageHistogram::for_nominal_1v(),
+            energy,
+            trace: if self.record_trace { Some(Vec::new()) } else { None },
+        })
+    }
+}
+
+/// The closed-loop simulator.
+#[derive(Debug)]
+pub struct ControlLoop {
+    cpu: Cpu,
+    power: PowerModel,
+    pdn_state: PdnState,
+    v_nominal: f64,
+    sensor: Option<ThresholdSensor>,
+    controller: ThresholdController,
+    actuator: AsymmetricActuator,
+    monitor: VoltageMonitor,
+    histogram: VoltageHistogram,
+    energy: EnergyAccumulator,
+    trace: Option<Vec<LoopSample>>,
+}
+
+/// Run-level results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopReport {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Voltage-emergency statistics.
+    pub emergencies: EmergencyReport,
+    /// Total energy in joules.
+    pub energy_joules: f64,
+    /// Average power in watts.
+    pub avg_power: f64,
+    /// Cycles the actuator spent gating.
+    pub reduce_cycles: u64,
+    /// Cycles the actuator spent phantom-firing.
+    pub increase_cycles: u64,
+    /// Distinct controller interventions.
+    pub interventions: u64,
+}
+
+impl ControlLoop {
+    /// Starts building a loop around `program`.
+    pub fn builder(program: Program) -> ControlLoopBuilder {
+        ControlLoopBuilder {
+            program,
+            cpu_config: CpuConfig::table1(),
+            power: None,
+            pdn: None,
+            thresholds: None,
+            sensor: SensorConfig::default(),
+            actuator: AsymmetricActuator::symmetric(ActuationScope::FuDl1),
+            record_trace: false,
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) -> LoopSample {
+        let gating = self.cpu.gating();
+        let act = self.cpu.step();
+        let watts = self.power.cycle_power(&act, &gating).total();
+        let amps = watts / self.power.params().vdd;
+        let volts = self.pdn_state.step(amps);
+        self.monitor.observe(volts);
+        self.histogram.record(volts);
+        self.energy.add_cycle(watts);
+
+        if let Some(sensor) = &mut self.sensor {
+            let reading = sensor.observe(volts);
+            let action = self.controller.decide(reading);
+            self.actuator.apply(action, self.cpu.gating_mut());
+        }
+
+        let sample = LoopSample {
+            current: amps,
+            voltage: volts,
+            reducing: gating.gate_fu || gating.gate_dl1 || gating.gate_il1,
+            increasing: gating.phantom_fu || gating.phantom_dl1 || gating.phantom_il1,
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.push(sample);
+        }
+        sample
+    }
+
+    /// Runs `cycles` cycles (stops early if the program finishes).
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            if self.cpu.done() {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Whether the program has finished and drained.
+    pub fn done(&self) -> bool {
+        self.cpu.done()
+    }
+
+    /// The underlying CPU (stats, architectural state).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// The voltage histogram accumulated so far (Figure 10).
+    pub fn histogram(&self) -> &VoltageHistogram {
+        &self.histogram
+    }
+
+    /// Takes the recorded per-cycle trace (empty unless
+    /// [`ControlLoopBuilder::record_trace`] was enabled).
+    pub fn take_trace(&mut self) -> Vec<LoopSample> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Produces the run report.
+    pub fn report(&self) -> LoopReport {
+        let stats = self.cpu.stats();
+        LoopReport {
+            cycles: stats.cycles,
+            committed: stats.committed,
+            ipc: stats.ipc(),
+            emergencies: self.monitor.report(),
+            energy_joules: self.energy.joules(),
+            avg_power: self.energy.average_power(),
+            reduce_cycles: self.controller.reduce_cycles(),
+            increase_cycles: self.controller.increase_cycles(),
+            interventions: self.controller.reduce_events() + self.controller.increase_events(),
+        }
+    }
+
+    /// Digest of the CPU's architectural state, to verify control does not
+    /// perturb program results.
+    pub fn arch_digest(&self) -> u64 {
+        self.cpu.arch_digest()
+    }
+
+    /// The nominal supply voltage.
+    pub fn v_nominal(&self) -> f64 {
+        self.v_nominal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrated_pdn;
+    use voltctl_isa::builder::ProgramBuilder;
+    use voltctl_isa::reg::IntReg;
+    use voltctl_power::PowerParams;
+
+    fn spin_program() -> Program {
+        let mut b = ProgramBuilder::new("spin");
+        b.label("top");
+        b.addq_imm(IntReg::R1, IntReg::R1, 1);
+        b.br("top");
+        b.build().unwrap()
+    }
+
+    fn harness(percent: f64) -> (PowerModel, PdnModel) {
+        let power = PowerModel::new(PowerParams::paper_3ghz());
+        let pdn = calibrated_pdn(&PdnModel::paper_default().unwrap(), &power, percent).unwrap();
+        (power, pdn)
+    }
+
+    #[test]
+    fn uncontrolled_loop_runs_and_reports() {
+        let (power, pdn) = harness(2.0);
+        let mut sim = ControlLoop::builder(spin_program())
+            .power(power)
+            .pdn(pdn)
+            .build()
+            .unwrap();
+        sim.run(5_000);
+        let r = sim.report();
+        assert_eq!(r.cycles, 5_000);
+        assert!(r.committed > 0);
+        assert!(r.energy_joules > 0.0);
+        assert_eq!(r.interventions, 0, "no thresholds ⇒ no control");
+    }
+
+    #[test]
+    fn missing_parts_are_rejected() {
+        let e = ControlLoop::builder(spin_program()).build().unwrap_err();
+        assert!(matches!(e, ControlError::Infeasible(_)));
+    }
+
+    #[test]
+    fn controlled_loop_intervenes_on_stressmark_class_swings() {
+        // Build a small divide/burst oscillator inline (stressmark-like).
+        let mut b = ProgramBuilder::new("osc");
+        b.data_f64(0x40000, &[1.0, 1.0]);
+        b.lda(IntReg::R4, IntReg::R31, 0x40000);
+        b.ldt(voltctl_isa::FpReg::F2, 8, IntReg::R4);
+        b.lda(IntReg::R1, IntReg::R31, 1);
+        b.label("top");
+        b.ldt(voltctl_isa::FpReg::F1, 0, IntReg::R4);
+        b.divt(voltctl_isa::FpReg::F3, voltctl_isa::FpReg::F1, voltctl_isa::FpReg::F2);
+        b.stt(voltctl_isa::FpReg::F3, 16, IntReg::R4);
+        b.ldq(IntReg::R7, 16, IntReg::R4);
+        b.cmoveq(IntReg::R3, IntReg::R31, IntReg::R7);
+        for k in 0..180 {
+            match k % 3 {
+                0 => {
+                    b.xor(IntReg::R8, IntReg::R3, IntReg::R3);
+                }
+                1 => {
+                    b.addq(IntReg::new(9), IntReg::R3, IntReg::R3);
+                }
+                _ => {
+                    b.stq(IntReg::R3, 64 + ((k as i64 * 8) % 56), IntReg::R4);
+                }
+            }
+        }
+        b.xor(IntReg::R3, IntReg::R3, IntReg::R8);
+        b.stq(IntReg::R3, 0, IntReg::R4);
+        b.bne(IntReg::R1, "top");
+        let program = b.build().unwrap();
+
+        // High impedance so the oscillation actually threatens the spec.
+        let (power, pdn) = harness(4.0);
+        let thresholds = Thresholds {
+            v_low: 0.97,
+            v_high: 1.03,
+        };
+
+        let mut controlled = ControlLoop::builder(program.clone())
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .thresholds(thresholds)
+            .scope(ActuationScope::FuDl1Il1)
+            .build()
+            .unwrap();
+        controlled.run(60_000);
+        let rc = controlled.report();
+
+        let mut baseline = ControlLoop::builder(program)
+            .power(power)
+            .pdn(pdn)
+            .build()
+            .unwrap();
+        baseline.run(60_000);
+        let rb = baseline.report();
+
+        assert!(rc.interventions > 0, "controller must engage");
+        assert!(
+            rc.emergencies.emergency_cycles < rb.emergencies.emergency_cycles,
+            "control must reduce emergencies: {} vs {}",
+            rc.emergencies.emergency_cycles,
+            rb.emergencies.emergency_cycles
+        );
+    }
+
+    #[test]
+    fn control_preserves_program_results() {
+        // Finite program: digests must match with and without control.
+        let mut b = ProgramBuilder::new("finite");
+        b.lda(IntReg::R4, IntReg::R31, 0x9000);
+        b.lda(IntReg::R1, IntReg::R31, 300);
+        b.label("top");
+        b.mulq(IntReg::R2, IntReg::R1, IntReg::R1);
+        b.stq(IntReg::R2, 0, IntReg::R4);
+        b.ldq(IntReg::R3, 0, IntReg::R4);
+        b.addq(IntReg::R5, IntReg::R5, IntReg::R3);
+        b.addq_imm(IntReg::R4, IntReg::R4, 8);
+        b.subq_imm(IntReg::R1, IntReg::R1, 1);
+        b.bne(IntReg::R1, "top");
+        b.halt();
+        let program = b.build().unwrap();
+
+        let (power, pdn) = harness(2.0);
+        let mut base = ControlLoop::builder(program.clone())
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .build()
+            .unwrap();
+        base.run(1_000_000);
+        assert!(base.done());
+
+        // Aggressive thresholds force frequent actuation.
+        let mut controlled = ControlLoop::builder(program)
+            .power(power)
+            .pdn(pdn)
+            .thresholds(Thresholds {
+                v_low: 0.999,
+                v_high: 1.001,
+            })
+            .scope(ActuationScope::FuDl1Il1)
+            .build()
+            .unwrap();
+        controlled.run(5_000_000);
+        assert!(controlled.done());
+        assert!(controlled.report().interventions > 0);
+        assert_eq!(base.arch_digest(), controlled.arch_digest());
+        assert!(
+            controlled.report().cycles > base.report().cycles,
+            "actuation must cost cycles"
+        );
+    }
+
+    #[test]
+    fn trace_recording_captures_samples() {
+        let (power, pdn) = harness(2.0);
+        let mut sim = ControlLoop::builder(spin_program())
+            .power(power)
+            .pdn(pdn)
+            .record_trace(true)
+            .build()
+            .unwrap();
+        sim.run(100);
+        let trace = sim.take_trace();
+        assert_eq!(trace.len(), 100);
+        assert!(trace.iter().all(|s| s.voltage > 0.5 && s.current > 0.0));
+    }
+
+    #[test]
+    fn noise_compensation_tightens_deployed_thresholds() {
+        let (power, pdn) = harness(2.0);
+        let sim = ControlLoop::builder(spin_program())
+            .power(power)
+            .pdn(pdn)
+            .thresholds(Thresholds {
+                v_low: 0.96,
+                v_high: 1.04,
+            })
+            .sensor(SensorConfig {
+                delay_cycles: 0,
+                noise_mv: 10.0,
+                seed: 7,
+            })
+            .build()
+            .unwrap();
+        let sensor = sim.sensor.as_ref().unwrap();
+        assert!((sensor.v_low() - 0.97).abs() < 1e-12);
+        assert!((sensor.v_high() - 1.03).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! The PID alternative the paper considered and rejected (§6).
+//!
+//! A textbook discrete PID controller needs (a) a *magnitude* voltage
+//! reading rather than a three-level comparison, and (b) a multiply-
+//! accumulate pipeline to evaluate the control law — both of which add
+//! latency precisely where the dI/dt problem affords almost none. This
+//! module implements that controller so the repository's ablation bench
+//! (`ablation_pid`) can quantify the paper's argument: with its extra
+//! compute latency, PID control underperforms the threshold scheme it was
+//! meant to refine.
+//!
+//! The PID output is ultimately quantized to the same three actuation
+//! commands — gate, none, phantom-fire — because that is all the
+//! microarchitectural actuator can do.
+
+use crate::controller::ControlAction;
+use std::collections::VecDeque;
+
+/// Discrete PID controller over the supply-voltage error.
+#[derive(Debug, Clone)]
+pub struct PidController {
+    /// Proportional gain (per volt).
+    pub kp: f64,
+    /// Integral gain (per volt-cycle).
+    pub ki: f64,
+    /// Derivative gain (volt-cycles).
+    pub kd: f64,
+    /// Actuation dead-band: |u| below this commands nothing.
+    pub dead_band: f64,
+    v_nominal: f64,
+    integral: f64,
+    prev_error: f64,
+    /// Compute latency of the MAC pipeline, in cycles (≥ 1 realistically;
+    /// the paper argues this is the scheme's downfall).
+    compute_delay: VecDeque<f64>,
+    integral_clamp: f64,
+}
+
+impl PidController {
+    /// Creates a PID controller around `v_nominal` with `compute_delay`
+    /// extra cycles of control-law latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gain is negative or non-finite.
+    pub fn new(
+        kp: f64,
+        ki: f64,
+        kd: f64,
+        v_nominal: f64,
+        compute_delay: u32,
+    ) -> PidController {
+        for (name, g) in [("kp", kp), ("ki", ki), ("kd", kd)] {
+            assert!(g.is_finite() && g >= 0.0, "{name} must be non-negative");
+        }
+        PidController {
+            kp,
+            ki,
+            kd,
+            dead_band: 0.5,
+            v_nominal,
+            integral: 0.0,
+            prev_error: 0.0,
+            compute_delay: std::iter::repeat_n(0.0, compute_delay as usize).collect(),
+            integral_clamp: 1.0,
+        }
+    }
+
+    /// Reasonable default tuning for the paper's package: engages around
+    /// a ~25 mV sag with derivative anticipation (a starting point; the
+    /// ablation sweeps around it).
+    pub fn default_tuning(v_nominal: f64, compute_delay: u32) -> PidController {
+        PidController::new(20.0, 0.5, 150.0, v_nominal, compute_delay)
+    }
+
+    /// Consumes this cycle's measured voltage, returns the (delayed)
+    /// actuation command.
+    pub fn decide(&mut self, volts: f64) -> ControlAction {
+        // Error is positive when the supply sags.
+        let error = self.v_nominal - volts;
+        self.integral = (self.integral + error).clamp(-self.integral_clamp, self.integral_clamp);
+        let derivative = error - self.prev_error;
+        self.prev_error = error;
+        let u = self.kp * error + self.ki * self.integral + self.kd * derivative;
+
+        // The MAC pipeline delays the control signal.
+        self.compute_delay.push_back(u);
+        let u = self.compute_delay.pop_front().unwrap_or(u);
+
+        if u > self.dead_band {
+            ControlAction::ReduceCurrent
+        } else if u < -self.dead_band {
+            ControlAction::IncreaseCurrent
+        } else {
+            ControlAction::None
+        }
+    }
+
+    /// Clears the controller's dynamic state.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = 0.0;
+        for slot in &mut self.compute_delay {
+            *slot = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sag_commands_reduction() {
+        let mut pid = PidController::default_tuning(1.0, 0);
+        // A sharp 30 mV sag.
+        let a = pid.decide(0.97);
+        assert_eq!(a, ControlAction::ReduceCurrent);
+    }
+
+    #[test]
+    fn overshoot_commands_firing() {
+        let mut pid = PidController::default_tuning(1.0, 0);
+        assert_eq!(pid.decide(1.03), ControlAction::IncreaseCurrent);
+    }
+
+    #[test]
+    fn nominal_commands_nothing() {
+        let mut pid = PidController::default_tuning(1.0, 0);
+        assert_eq!(pid.decide(1.0), ControlAction::None);
+    }
+
+    #[test]
+    fn compute_delay_postpones_response() {
+        let mut pid = PidController::default_tuning(1.0, 3);
+        assert_eq!(pid.decide(0.95), ControlAction::None); // pipeline filling
+        assert_eq!(pid.decide(0.95), ControlAction::None);
+        assert_eq!(pid.decide(0.95), ControlAction::None);
+        assert_eq!(pid.decide(0.95), ControlAction::ReduceCurrent);
+    }
+
+    #[test]
+    fn integral_accumulates_on_persistent_error() {
+        let mut pid = PidController::new(0.0, 5.0, 0.0, 1.0, 0);
+        // Pure-integral controller: small sustained error eventually trips.
+        let mut tripped = false;
+        for _ in 0..100 {
+            if pid.decide(0.999) == ControlAction::ReduceCurrent {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
+    }
+
+    #[test]
+    fn integral_is_clamped() {
+        let mut pid = PidController::new(0.0, 5.0, 0.0, 1.0, 0);
+        for _ in 0..10_000 {
+            pid.decide(0.90);
+        }
+        // After returning to nominal, the wound-up integral must unwind in
+        // bounded time thanks to the clamp.
+        let mut recovered = false;
+        for _ in 0..50 {
+            if pid.decide(1.05) != ControlAction::ReduceCurrent {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "anti-windup clamp must bound recovery time");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = PidController::default_tuning(1.0, 2);
+        pid.decide(0.90);
+        pid.decide(0.90);
+        pid.reset();
+        assert_eq!(pid.decide(1.0), ControlAction::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_gain_rejected() {
+        let _ = PidController::new(-1.0, 0.0, 0.0, 1.0, 0);
+    }
+}

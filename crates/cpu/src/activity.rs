@@ -1,0 +1,196 @@
+//! Per-cycle activity vectors and cumulative run statistics.
+//!
+//! [`CycleActivity`] is the structural activity sample the power model
+//! converts into watts each cycle — the same role Wattch's per-cycle
+//! access counts play in the paper's methodology. [`Stats`] accumulates
+//! whole-run counters (IPC, miss rates, misprediction rates).
+
+use crate::fu::FuKind;
+
+/// Structural activity during a single cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleActivity {
+    /// Instructions fetched.
+    pub fetched: u32,
+    /// Instructions dispatched into the window.
+    pub dispatched: u32,
+    /// Instructions issued to functional units.
+    pub issued: u32,
+    /// Results written back this cycle.
+    pub completed: u32,
+    /// Instructions committed.
+    pub committed: u32,
+    /// Issues per functional-unit kind (indexed by [`FuKind::index`]).
+    pub issued_per_fu: [u32; FuKind::COUNT],
+    /// Units of each kind with an operation in flight (multi-cycle
+    /// spreading; indexed by [`FuKind::index`]).
+    pub executing_per_fu: [u32; FuKind::COUNT],
+    /// L1 I-cache accesses.
+    pub il1_accesses: u32,
+    /// L1 I-cache misses.
+    pub il1_misses: u32,
+    /// L1 D-cache accesses.
+    pub dl1_accesses: u32,
+    /// L1 D-cache misses.
+    pub dl1_misses: u32,
+    /// L2 accesses.
+    pub l2_accesses: u32,
+    /// L2 misses (memory accesses).
+    pub l2_misses: u32,
+    /// Branch-predictor lookups.
+    pub bpred_lookups: u32,
+    /// Architectural register-file reads (operand fetch at issue).
+    pub regfile_reads: u32,
+    /// Register-file writes (writeback).
+    pub regfile_writes: u32,
+    /// Store-to-load forwards served by the LSQ.
+    pub lsq_forwards: u32,
+    /// Valid RUU entries at end of cycle.
+    pub ruu_occupancy: u32,
+    /// Valid LSQ entries at end of cycle.
+    pub lsq_occupancy: u32,
+}
+
+impl CycleActivity {
+    /// Total functional-unit issues this cycle.
+    pub fn total_fu_issues(&self) -> u32 {
+        self.issued_per_fu.iter().sum()
+    }
+
+    /// Whether the cycle did no work at all (fully stalled).
+    pub fn is_idle(&self) -> bool {
+        self.fetched == 0
+            && self.dispatched == 0
+            && self.issued == 0
+            && self.completed == 0
+            && self.committed == 0
+            && self.executing_per_fu.iter().all(|&x| x == 0)
+    }
+}
+
+/// Cumulative statistics over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Committed (retired) instructions.
+    pub committed: u64,
+    /// Fetched instructions.
+    pub fetched: u64,
+    /// Conditional + unconditional branches fetched.
+    pub branches: u64,
+    /// Mispredicted branches (direction or target).
+    pub mispredicts: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Loads served by store-to-load forwarding.
+    pub lsq_forwards: u64,
+    /// L1 I-cache accesses / misses.
+    pub il1: (u64, u64),
+    /// L1 D-cache accesses / misses.
+    pub dl1: (u64, u64),
+    /// L2 accesses / misses.
+    pub l2: (u64, u64),
+    /// Cycles with fetch gated by the actuator (IL1 domain).
+    pub gated_fetch_cycles: u64,
+    /// Cycles with issue gated by the actuator (FU domain).
+    pub gated_issue_cycles: u64,
+    /// Cycles with memory issue gated by the actuator (DL1 domain).
+    pub gated_mem_cycles: u64,
+}
+
+impl Stats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate (0 when no branches).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// D-cache miss rate (0 when never accessed).
+    pub fn dl1_miss_rate(&self) -> f64 {
+        if self.dl1.0 == 0 {
+            0.0
+        } else {
+            self.dl1.1 as f64 / self.dl1.0 as f64
+        }
+    }
+
+    /// Accumulates one cycle's activity into the run totals. The caller is
+    /// responsible for not double-counting quantities it also tracks
+    /// directly.
+    pub fn absorb(&mut self, act: &CycleActivity) {
+        self.cycles += 1;
+        self.committed += u64::from(act.committed);
+        self.fetched += u64::from(act.fetched);
+        self.lsq_forwards += u64::from(act.lsq_forwards);
+        self.il1.0 += u64::from(act.il1_accesses);
+        self.il1.1 += u64::from(act.il1_misses);
+        self.dl1.0 += u64::from(act.dl1_accesses);
+        self.dl1.1 += u64::from(act.dl1_misses);
+        self.l2.0 += u64::from(act.l2_accesses);
+        self.l2.1 += u64::from(act.l2_misses);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_detection() {
+        let act = CycleActivity::default();
+        assert!(act.is_idle());
+        let mut busy = act;
+        busy.executing_per_fu[0] = 1;
+        assert!(!busy.is_idle());
+    }
+
+    #[test]
+    fn total_fu_issues_sums() {
+        let mut act = CycleActivity::default();
+        act.issued_per_fu = [1, 2, 3, 4, 5];
+        assert_eq!(act.total_fu_issues(), 15);
+    }
+
+    #[test]
+    fn ipc_and_rates() {
+        let mut s = Stats::default();
+        assert_eq!(s.ipc(), 0.0);
+        s.cycles = 100;
+        s.committed = 250;
+        s.branches = 10;
+        s.mispredicts = 2;
+        s.dl1 = (50, 5);
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.2).abs() < 1e-12);
+        assert!((s.dl1_miss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut s = Stats::default();
+        let mut act = CycleActivity::default();
+        act.committed = 3;
+        act.dl1_accesses = 2;
+        act.dl1_misses = 1;
+        s.absorb(&act);
+        s.absorb(&act);
+        assert_eq!(s.cycles, 2);
+        assert_eq!(s.committed, 6);
+        assert_eq!(s.dl1, (4, 2));
+    }
+}

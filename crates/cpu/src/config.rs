@@ -1,0 +1,298 @@
+//! Processor configuration (the paper's Table 1).
+//!
+//! Defaults reproduce the evaluated machine: a 3 GHz, 8-wide out-of-order
+//! core with a 256-entry RUU, 128-entry LSQ, the listed functional-unit
+//! mix, a combined branch predictor (64 Kbit chooser, bimodal, and gshare),
+//! 64 KB 2-way L1 caches, a 2 MB 4-way L2 with 16-cycle latency, and
+//! 300-cycle main memory. A 10-cycle branch-misprediction penalty models
+//! the super-pipelined front end the authors added to Wattch.
+
+/// Cache geometry and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Access latency in cycles on a hit.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two sets,
+    /// zero sizes).
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes > 0 && self.ways > 0 && self.size_bytes > 0);
+        let sets = self.size_bytes / (self.ways * self.line_bytes);
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        sets
+    }
+}
+
+/// Functional-unit latencies and counts (Table 1 mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Number of simple integer ALUs (also execute branches).
+    pub int_alu: usize,
+    /// Number of integer multiply/divide units.
+    pub int_mult: usize,
+    /// Number of FP adders.
+    pub fp_alu: usize,
+    /// Number of FP multiply/divide units.
+    pub fp_mult: usize,
+    /// Number of memory ports.
+    pub mem_ports: usize,
+    /// Integer multiply latency (pipelined).
+    pub mulq_latency: u64,
+    /// Integer divide latency (unpipelined: occupies the unit).
+    pub divq_latency: u64,
+    /// FP add/convert latency (pipelined).
+    pub fp_add_latency: u64,
+    /// FP multiply latency (pipelined).
+    pub fp_mult_latency: u64,
+    /// FP divide latency (unpipelined).
+    pub fp_div_latency: u64,
+    /// FP square-root latency (unpipelined).
+    pub fp_sqrt_latency: u64,
+}
+
+/// Branch-predictor sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpredConfig {
+    /// Bimodal table entries (2-bit counters). 32768 = 64 Kbit.
+    pub bimodal_entries: usize,
+    /// Gshare table entries (2-bit counters). 32768 = 64 Kbit.
+    pub gshare_entries: usize,
+    /// Chooser table entries (2-bit counters). 32768 = 64 Kbit.
+    pub chooser_entries: usize,
+    /// Global history bits used by gshare.
+    pub history_bits: u32,
+    /// Branch target buffer entries (direct-mapped, tagged).
+    pub btb_entries: usize,
+    /// Return-address-stack depth.
+    pub ras_entries: usize,
+}
+
+/// Complete machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Core clock in hertz (3 GHz in the paper).
+    pub clock_hz: f64,
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions dispatched (decoded/renamed) per cycle.
+    pub decode_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Fetch-queue depth (decoupling buffer between fetch and dispatch).
+    pub fetch_queue: usize,
+    /// Register update unit (instruction window / reorder buffer) entries.
+    pub ruu_size: usize,
+    /// Load/store queue entries.
+    pub lsq_size: usize,
+    /// Branch misprediction penalty in cycles (pipeline refill).
+    pub branch_penalty: u64,
+    /// Functional-unit mix.
+    pub fu: FuConfig,
+    /// Branch predictor sizing.
+    pub bpred: BpredConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::table1()
+    }
+}
+
+impl CpuConfig {
+    /// The paper's Table 1 configuration.
+    pub fn table1() -> CpuConfig {
+        CpuConfig {
+            clock_hz: 3.0e9,
+            fetch_width: 8,
+            decode_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            fetch_queue: 32,
+            ruu_size: 256,
+            lsq_size: 128,
+            branch_penalty: 10,
+            fu: FuConfig {
+                int_alu: 8,
+                int_mult: 2,
+                fp_alu: 4,
+                fp_mult: 2,
+                mem_ports: 4,
+                mulq_latency: 7,
+                divq_latency: 20,
+                fp_add_latency: 4,
+                fp_mult_latency: 4,
+                fp_div_latency: 18,
+                fp_sqrt_latency: 24,
+            },
+            bpred: BpredConfig {
+                bimodal_entries: 32 * 1024,
+                gshare_entries: 32 * 1024,
+                chooser_entries: 32 * 1024,
+                history_bits: 15,
+                btb_entries: 1024,
+                ras_entries: 64,
+            },
+            l1i: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                hit_latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                hit_latency: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                hit_latency: 16,
+            },
+            memory_latency: 300,
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests (narrower machine,
+    /// tiny caches). Not used by the experiments.
+    pub fn small() -> CpuConfig {
+        let mut c = CpuConfig::table1();
+        c.fetch_width = 4;
+        c.decode_width = 4;
+        c.issue_width = 4;
+        c.commit_width = 4;
+        c.fetch_queue = 8;
+        c.ruu_size = 32;
+        c.lsq_size = 16;
+        c.l1i = CacheConfig {
+            size_bytes: 4 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        c.l1d = c.l1i;
+        c.l2 = CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency: 16,
+        };
+        c
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.decode_width == 0 || self.issue_width == 0 {
+            return Err("pipeline widths must be positive".into());
+        }
+        if self.ruu_size == 0 || self.lsq_size == 0 {
+            return Err("window sizes must be positive".into());
+        }
+        if self.lsq_size > self.ruu_size {
+            return Err("LSQ cannot exceed the RUU".into());
+        }
+        if self.fu.int_alu == 0 || self.fu.mem_ports == 0 {
+            return Err("need at least one ALU and one memory port".into());
+        }
+        for (name, cache) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            let sets = cache.size_bytes / (cache.ways.max(1) * cache.line_bytes.max(1));
+            if sets == 0 || !sets.is_power_of_two() {
+                return Err(format!("{name}: set count must be a power of two"));
+            }
+        }
+        if !(self.clock_hz.is_finite() && self.clock_hz > 0.0) {
+            return Err("clock must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let c = CpuConfig::table1();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.ruu_size, 256);
+        assert_eq!(c.lsq_size, 128);
+        assert_eq!(c.branch_penalty, 10);
+        assert_eq!(c.fu.int_alu, 8);
+        assert_eq!(c.fu.int_mult, 2);
+        assert_eq!(c.fu.fp_alu, 4);
+        assert_eq!(c.fu.fp_mult, 2);
+        assert_eq!(c.fu.mem_ports, 4);
+        assert_eq!(c.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.l1d.ways, 2);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2.hit_latency, 16);
+        assert_eq!(c.memory_latency, 300);
+        assert_eq!(c.bpred.btb_entries, 1024);
+        assert_eq!(c.bpred.ras_entries, 64);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bpred_tables_are_64_kbit() {
+        let c = CpuConfig::table1();
+        // 2-bit counters: 32K entries = 64 Kbit.
+        assert_eq!(c.bpred.bimodal_entries * 2, 64 * 1024);
+        assert_eq!(c.bpred.gshare_entries * 2, 64 * 1024);
+        assert_eq!(c.bpred.chooser_entries * 2, 64 * 1024);
+    }
+
+    #[test]
+    fn cache_sets_computed() {
+        let c = CpuConfig::table1();
+        assert_eq!(c.l1d.sets(), 512); // 64K / (2 * 64)
+        assert_eq!(c.l2.sets(), 8192); // 2M / (4 * 64)
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert!(CpuConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut c = CpuConfig::table1();
+        c.lsq_size = c.ruu_size + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = CpuConfig::table1();
+        c.fetch_width = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CpuConfig::table1();
+        c.l1d.size_bytes = 3000; // non-power-of-two sets
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Actuator-facing clock-gating and phantom-firing controls.
+//!
+//! The dI/dt controller's actuator manipulates three gating **domains**
+//! (Section 5.1 of the paper):
+//!
+//! * **FU** — all functional units (integer and FP pipelines),
+//! * **DL1** — the level-one data cache (and with it the memory ports),
+//! * **IL1** — the level-one instruction cache (and with it fetch).
+//!
+//! Each domain can be *gated* (forcibly idled: current drops to the
+//! clock-gating floor, pipeline activity in that domain stalls) or
+//! *phantom-fired* (driven at full activity to burn current and pull an
+//! overshooting supply back down; architecturally a no-op). Gating
+//! preserves all state — cache contents are untouched, stalled
+//! instructions are not dropped — so program results are unchanged, which
+//! the integration tests verify.
+
+/// Gating domains controllable by the actuator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// All functional units.
+    Fu,
+    /// Level-one data cache + memory ports.
+    Dl1,
+    /// Level-one instruction cache + fetch.
+    Il1,
+}
+
+/// The current actuation state, read by the pipeline every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GatingState {
+    /// Functional-unit issue is blocked.
+    pub gate_fu: bool,
+    /// Load/store issue is blocked.
+    pub gate_dl1: bool,
+    /// Fetch is blocked.
+    pub gate_il1: bool,
+    /// Functional units burn full power doing no work.
+    pub phantom_fu: bool,
+    /// The D-cache burns full power doing no work.
+    pub phantom_dl1: bool,
+    /// The I-cache/fetch path burns full power doing no work.
+    pub phantom_il1: bool,
+}
+
+impl GatingState {
+    /// A state with nothing gated and nothing phantom-fired.
+    pub fn new() -> GatingState {
+        GatingState::default()
+    }
+
+    /// Whether any actuation is active.
+    pub fn any_active(&self) -> bool {
+        self.gate_fu
+            || self.gate_dl1
+            || self.gate_il1
+            || self.phantom_fu
+            || self.phantom_dl1
+            || self.phantom_il1
+    }
+
+    /// Gates or ungates a domain. Gating a domain cancels any phantom
+    /// firing on it (the two are mutually exclusive by construction).
+    pub fn set_gated(&mut self, domain: Domain, gated: bool) {
+        match domain {
+            Domain::Fu => {
+                self.gate_fu = gated;
+                if gated {
+                    self.phantom_fu = false;
+                }
+            }
+            Domain::Dl1 => {
+                self.gate_dl1 = gated;
+                if gated {
+                    self.phantom_dl1 = false;
+                }
+            }
+            Domain::Il1 => {
+                self.gate_il1 = gated;
+                if gated {
+                    self.phantom_il1 = false;
+                }
+            }
+        }
+    }
+
+    /// Phantom-fires (or stops firing) a domain. Firing cancels gating.
+    pub fn set_phantom(&mut self, domain: Domain, firing: bool) {
+        match domain {
+            Domain::Fu => {
+                self.phantom_fu = firing;
+                if firing {
+                    self.gate_fu = false;
+                }
+            }
+            Domain::Dl1 => {
+                self.phantom_dl1 = firing;
+                if firing {
+                    self.gate_dl1 = false;
+                }
+            }
+            Domain::Il1 => {
+                self.phantom_il1 = firing;
+                if firing {
+                    self.gate_il1 = false;
+                }
+            }
+        }
+    }
+
+    /// Whether a domain is gated.
+    pub fn is_gated(&self, domain: Domain) -> bool {
+        match domain {
+            Domain::Fu => self.gate_fu,
+            Domain::Dl1 => self.gate_dl1,
+            Domain::Il1 => self.gate_il1,
+        }
+    }
+
+    /// Whether a domain is phantom-firing.
+    pub fn is_phantom(&self, domain: Domain) -> bool {
+        match domain {
+            Domain::Fu => self.phantom_fu,
+            Domain::Dl1 => self.phantom_dl1,
+            Domain::Il1 => self.phantom_il1,
+        }
+    }
+
+    /// Clears all gating and phantom firing.
+    pub fn release_all(&mut self) {
+        *self = GatingState::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inactive() {
+        assert!(!GatingState::new().any_active());
+    }
+
+    #[test]
+    fn gate_and_release() {
+        let mut g = GatingState::new();
+        g.set_gated(Domain::Fu, true);
+        assert!(g.gate_fu);
+        assert!(g.any_active());
+        assert!(g.is_gated(Domain::Fu));
+        g.set_gated(Domain::Fu, false);
+        assert!(!g.any_active());
+    }
+
+    #[test]
+    fn gating_cancels_phantom() {
+        let mut g = GatingState::new();
+        g.set_phantom(Domain::Dl1, true);
+        assert!(g.phantom_dl1);
+        g.set_gated(Domain::Dl1, true);
+        assert!(g.gate_dl1);
+        assert!(!g.phantom_dl1);
+    }
+
+    #[test]
+    fn phantom_cancels_gating() {
+        let mut g = GatingState::new();
+        g.set_gated(Domain::Il1, true);
+        g.set_phantom(Domain::Il1, true);
+        assert!(g.phantom_il1);
+        assert!(!g.gate_il1);
+        assert!(g.is_phantom(Domain::Il1));
+    }
+
+    #[test]
+    fn release_all_clears_everything() {
+        let mut g = GatingState::new();
+        g.set_gated(Domain::Fu, true);
+        g.set_phantom(Domain::Dl1, true);
+        g.release_all();
+        assert_eq!(g, GatingState::default());
+    }
+}

@@ -1,0 +1,109 @@
+//! Model-based testing of the set-associative cache against a trivially
+//! correct reference implementation (per-set recency list).
+
+use proptest::prelude::*;
+use voltctl_cpu::cache::Cache;
+use voltctl_cpu::CacheConfig;
+
+/// The obviously-correct reference: each set is a vector of (tag, dirty)
+/// ordered most-recent-first, truncated to the associativity.
+struct RefCache {
+    sets: Vec<Vec<(u64, bool)>>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(config: &CacheConfig) -> RefCache {
+        RefCache {
+            sets: vec![Vec::new(); config.sets()],
+            ways: config.ways,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (config.sets() - 1) as u64,
+        }
+    }
+
+    /// Returns (hit, writeback).
+    fn access(&mut self, addr: u64, write: bool) -> (bool, bool) {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = entries.remove(pos);
+            entries.insert(0, (t, d || write));
+            return (true, false);
+        }
+        entries.insert(0, (tag, write));
+        let mut writeback = false;
+        if entries.len() > self.ways {
+            let (_, dirty) = entries.pop().expect("just exceeded capacity");
+            writeback = dirty;
+        }
+        (false, writeback)
+    }
+}
+
+fn small_config() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 8 * 64, // 4 sets x 2 ways
+        ways: 2,
+        line_bytes: 64,
+        hit_latency: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every access sequence produces identical hit/writeback behavior in
+    /// the real cache and the reference model.
+    #[test]
+    fn cache_matches_reference_model(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..400),
+    ) {
+        let config = small_config();
+        let mut cache = Cache::new(&config);
+        let mut reference = RefCache::new(&config);
+        let mut hits = 0u64;
+        let mut writebacks = 0u64;
+        for &(line_idx, write) in &accesses {
+            let addr = line_idx * 64 + (line_idx % 64); // arbitrary offset
+            let got = cache.access(addr, write);
+            let (want_hit, want_wb) = reference.access(addr, write);
+            prop_assert_eq!(got.hit, want_hit, "addr {:#x} write {}", addr, write);
+            prop_assert_eq!(got.writeback, want_wb, "addr {:#x} write {}", addr, write);
+            if got.hit {
+                hits += 1;
+            }
+            if got.writeback {
+                writebacks += 1;
+            }
+        }
+        prop_assert_eq!(cache.accesses(), accesses.len() as u64);
+        prop_assert_eq!(cache.misses(), accesses.len() as u64 - hits);
+        prop_assert_eq!(cache.writebacks(), writebacks);
+    }
+
+    /// Probing never changes state: interleaving probes is invisible.
+    #[test]
+    fn probe_is_side_effect_free(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..200),
+    ) {
+        let config = small_config();
+        let mut plain = Cache::new(&config);
+        let mut probed = Cache::new(&config);
+        for &(line_idx, write) in &accesses {
+            let addr = line_idx * 64;
+            // Probe a few unrelated addresses first.
+            for p in 0..3u64 {
+                let _ = probed.probe(p * 4096 + addr);
+            }
+            let a = plain.access(addr, write);
+            let b = probed.access(addr, write);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(plain.misses(), probed.misses());
+    }
+}

@@ -1,0 +1,119 @@
+//! Subroutine call/return behavior: functional correctness and
+//! return-address-stack prediction.
+
+use voltctl_cpu::{Cpu, CpuConfig};
+use voltctl_isa::builder::ProgramBuilder;
+use voltctl_isa::reg::IntReg;
+
+fn link() -> IntReg {
+    IntReg::new(26)
+}
+
+fn run(program: &voltctl_isa::Program) -> Cpu {
+    let mut cpu = Cpu::new(CpuConfig::table1(), program).unwrap();
+    cpu.run(5_000_000);
+    assert!(cpu.done(), "program must finish");
+    cpu
+}
+
+/// A simple call: the subroutine runs exactly once per call and control
+/// returns to the instruction after the `jsr`.
+#[test]
+fn call_and_return_are_functionally_correct() {
+    let mut b = ProgramBuilder::new("t");
+    b.lda(IntReg::R1, IntReg::R31, 100);
+    b.label("top");
+    b.jsr(link(), "double");
+    b.subq_imm(IntReg::R1, IntReg::R1, 1);
+    b.bne(IntReg::R1, "top");
+    b.halt();
+    // Subroutine: r2 += 2.
+    b.label("double");
+    b.addq_imm(IntReg::R2, IntReg::R2, 2);
+    b.ret(link());
+    let cpu = run(&b.build().unwrap());
+    assert_eq!(cpu.reg(IntReg::R2.into()), 200);
+}
+
+/// Nested calls: the RAS depth handles caller-of-caller correctly.
+#[test]
+fn nested_calls_return_in_order() {
+    let mut b = ProgramBuilder::new("t");
+    let link2 = IntReg::new(27);
+    b.lda(IntReg::R1, IntReg::R31, 50);
+    b.label("top");
+    b.jsr(link(), "outer");
+    b.subq_imm(IntReg::R1, IntReg::R1, 1);
+    b.bne(IntReg::R1, "top");
+    b.halt();
+    b.label("outer");
+    b.addq_imm(IntReg::R2, IntReg::R2, 1);
+    b.jsr(link2, "inner");
+    b.addq_imm(IntReg::R3, IntReg::R3, 1);
+    b.ret(link());
+    b.label("inner");
+    b.addq_imm(IntReg::R5, IntReg::R5, 1);
+    b.ret(link2);
+    let cpu = run(&b.build().unwrap());
+    assert_eq!(cpu.reg(IntReg::R2.into()), 50);
+    assert_eq!(cpu.reg(IntReg::R3.into()), 50);
+    assert_eq!(cpu.reg(IntReg::R5.into()), 50);
+}
+
+/// The RAS predicts returns: a call-heavy loop sustains a near-zero
+/// misprediction rate once warm.
+#[test]
+fn ras_predicts_returns() {
+    let mut b = ProgramBuilder::new("t");
+    b.lda(IntReg::R1, IntReg::R31, 3000);
+    b.label("top");
+    b.jsr(link(), "work");
+    b.subq_imm(IntReg::R1, IntReg::R1, 1);
+    b.bne(IntReg::R1, "top");
+    b.halt();
+    b.label("work");
+    b.addq_imm(IntReg::R2, IntReg::R2, 1);
+    b.xor(IntReg::R3, IntReg::R2, IntReg::R2);
+    b.ret(link());
+    let cpu = run(&b.build().unwrap());
+    assert!(
+        cpu.stats().mispredict_rate() < 0.01,
+        "calls/returns must predict: rate {}",
+        cpu.stats().mispredict_rate()
+    );
+    // 3 branch-class instructions per iteration (jsr, ret, bne).
+    assert!(cpu.stats().branches >= 9000);
+}
+
+/// A return through a *clobbered* link register goes where the register
+/// says (functional correctness over prediction).
+#[test]
+fn ret_follows_the_register_not_the_stack() {
+    let mut b = ProgramBuilder::new("t");
+    b.jsr(link(), "sub");
+    // jsr returns here (index 1): this `br end` is skipped by the hack below.
+    b.br("end");
+    b.label("after"); // index 2
+    b.addq_imm(IntReg::R2, IntReg::R2, 7);
+    b.label("end");
+    b.halt();
+    b.label("sub");
+    // Overwrite the link register to point at `after` instead.
+    b.lda(link(), IntReg::R31, 2);
+    b.ret(link());
+    let cpu = run(&b.build().unwrap());
+    assert_eq!(cpu.reg(IntReg::R2.into()), 7, "must land on `after`");
+    assert!(cpu.stats().mispredicts >= 1, "the RAS must mispredict this");
+}
+
+/// Assembler round-trip for call instructions.
+#[test]
+fn jsr_ret_roundtrip_through_asm() {
+    let src = "top:\n    jsr r26, fnc\n    halt\nfnc:\n    addq r2, r2, #1\n    ret r26\n";
+    let p = voltctl_isa::asm::assemble("t", src).unwrap();
+    let text = voltctl_isa::asm::disassemble(&p);
+    let p2 = voltctl_isa::asm::assemble("t", &text).unwrap();
+    assert_eq!(p.insts(), p2.insts());
+    let cpu = run(&p);
+    assert_eq!(cpu.reg(IntReg::new(2).into()), 1);
+}

@@ -1,0 +1,414 @@
+//! A small text assembler and disassembler.
+//!
+//! The syntax mirrors the paper's Figure 8 listing style:
+//!
+//! ```text
+//! ; dI/dt stressmark inner loop
+//! top:
+//!     ldt   f1, 0(r4)
+//!     divt  f3, f1, f2
+//!     stt   f3, 8(r4)
+//!     ldq   r7, 8(r4)
+//!     cmovne r3, r31, r7
+//!     stq   r3, 0(r4)
+//!     bne   r1, top
+//!     halt
+//! ```
+//!
+//! * `;` starts a comment,
+//! * `name:` defines a label,
+//! * `#n` is an immediate operand, `n(rB)` a memory operand,
+//! * branches take a label.
+//!
+//! [`disassemble`] emits text that re-assembles to the identical program
+//! (round-trip property-tested in the crate's tests).
+
+use crate::builder::{BuildError, ProgramBuilder};
+use crate::inst::Inst;
+use crate::opcode::{OpClass, Opcode};
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number (0 for build-stage errors with no single line).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_int_reg(tok: &str, line: usize) -> Result<IntReg, AsmError> {
+    let n: u8 = tok
+        .strip_prefix('r')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected integer register, got `{tok}`")))?;
+    if n > 31 {
+        return Err(err(line, format!("register number out of range: `{tok}`")));
+    }
+    Ok(IntReg::new(n))
+}
+
+fn parse_fp_reg(tok: &str, line: usize) -> Result<FpReg, AsmError> {
+    let n: u8 = tok
+        .strip_prefix('f')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected fp register, got `{tok}`")))?;
+    if n > 31 {
+        return Err(err(line, format!("register number out of range: `{tok}`")));
+    }
+    Ok(FpReg::new(n))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let body = tok
+        .strip_prefix('#')
+        .ok_or_else(|| err(line, format!("expected immediate (#n), got `{tok}`")))?;
+    parse_i64(body, line)
+}
+
+fn parse_i64(body: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, digits) = match body.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, body),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        digits.parse()
+    }
+    .map_err(|_| err(line, format!("bad integer literal `{body}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Parses `disp(base)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, IntReg), AsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected disp(base), got `{tok}`")))?;
+    if !tok.ends_with(')') {
+        return Err(err(line, format!("expected disp(base), got `{tok}`")));
+    }
+    let disp_str = &tok[..open];
+    let disp = if disp_str.is_empty() {
+        0
+    } else {
+        parse_i64(disp_str, line)?
+    };
+    let base = parse_int_reg(&tok[open + 1..tok.len() - 1], line)?;
+    Ok((disp, base))
+}
+
+/// Assembles source text into a program named `name`.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number, or a label
+/// resolution error from the underlying builder.
+pub fn assemble(name: &str, text: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new(name);
+    for (line_idx, raw_line) in text.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let line = match raw_line.find(';') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(line_no, format!("bad label `{label}`")));
+            }
+            b.label(label);
+            continue;
+        }
+
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(pos) => (&line[..pos], line[pos..].trim()),
+            None => (line, ""),
+        };
+        let op = Opcode::from_mnemonic(mnemonic)
+            .ok_or_else(|| err(line_no, format!("unknown mnemonic `{mnemonic}`")))?;
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+
+        let expect = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+
+        match op.class() {
+            OpClass::IntAlu | OpClass::IntMult => match op {
+                Opcode::Cmovne | Opcode::Cmoveq => {
+                    expect(3)?;
+                    let rd = parse_int_reg(ops[0], line_no)?;
+                    let ra = parse_int_reg(ops[1], line_no)?;
+                    let rb = parse_int_reg(ops[2], line_no)?;
+                    b.raw(Inst::cmov(op, rd, ra, rb));
+                }
+                _ => {
+                    expect(3)?;
+                    let rd = parse_int_reg(ops[0], line_no)?;
+                    let ra = parse_int_reg(ops[1], line_no)?;
+                    if ops[2].starts_with('#') {
+                        b.raw(Inst::alu_imm(op, rd, ra, parse_imm(ops[2], line_no)?));
+                    } else {
+                        b.raw(Inst::alu(op, rd, ra, parse_int_reg(ops[2], line_no)?));
+                    }
+                }
+            },
+            OpClass::FpAdd | OpClass::FpMult | OpClass::FpDiv => match op {
+                Opcode::Sqrtt | Opcode::Cpys => {
+                    expect(2)?;
+                    let fd = parse_fp_reg(ops[0], line_no)?;
+                    let fa = parse_fp_reg(ops[1], line_no)?;
+                    b.raw(Inst::fp(op, fd, fa, FpReg::F31));
+                }
+                Opcode::Cvtqt | Opcode::Cvttq => {
+                    expect(2)?;
+                    let fd = parse_fp_reg(ops[0], line_no)?;
+                    let fa = parse_fp_reg(ops[1], line_no)?;
+                    b.raw(Inst::fp(op, fd, fa, FpReg::F31));
+                }
+                _ => {
+                    expect(3)?;
+                    let fd = parse_fp_reg(ops[0], line_no)?;
+                    let fa = parse_fp_reg(ops[1], line_no)?;
+                    let fb = parse_fp_reg(ops[2], line_no)?;
+                    b.raw(Inst::fp(op, fd, fa, fb));
+                }
+            },
+            OpClass::Load => {
+                expect(2)?;
+                let (disp, base) = parse_mem(ops[1], line_no)?;
+                match op {
+                    Opcode::Ldt => {
+                        b.raw(Inst::load_fp(parse_fp_reg(ops[0], line_no)?, base, disp));
+                    }
+                    _ => {
+                        b.raw(Inst::load(op, parse_int_reg(ops[0], line_no)?, base, disp));
+                    }
+                }
+            }
+            OpClass::Store => {
+                expect(2)?;
+                let (disp, base) = parse_mem(ops[1], line_no)?;
+                match op {
+                    Opcode::Stt => {
+                        b.raw(Inst::store_fp(parse_fp_reg(ops[0], line_no)?, base, disp));
+                    }
+                    _ => {
+                        b.raw(Inst::store(op, parse_int_reg(ops[0], line_no)?, base, disp));
+                    }
+                }
+            }
+            OpClass::Branch => match op {
+                Opcode::Br => {
+                    expect(1)?;
+                    b.br(ops[0]);
+                }
+                Opcode::Jsr => {
+                    expect(2)?;
+                    let link = parse_int_reg(ops[0], line_no)?;
+                    b.jsr(link, ops[1]);
+                }
+                Opcode::Ret => {
+                    expect(1)?;
+                    let link = parse_int_reg(ops[0], line_no)?;
+                    b.ret(link);
+                }
+                _ => {
+                    expect(2)?;
+                    let ra = parse_int_reg(ops[0], line_no)?;
+                    let label = ops[1];
+                    match op {
+                        Opcode::Beq => b.beq(ra, label),
+                        Opcode::Bne => b.bne(ra, label),
+                        Opcode::Blt => b.blt(ra, label),
+                        Opcode::Bge => b.bge(ra, label),
+                        _ => unreachable!(),
+                    };
+                }
+            },
+            OpClass::Nop => {
+                expect(0)?;
+                b.raw(if op == Opcode::Halt {
+                    Inst::halt()
+                } else {
+                    Inst::nop()
+                });
+            }
+        }
+    }
+    b.build().map_err(|e| match e {
+        BuildError::UnresolvedLabel(l) => err(0, format!("unresolved label `{l}`")),
+        BuildError::DuplicateLabel(l) => err(0, format!("duplicate label `{l}`")),
+        BuildError::EmptyProgram => err(0, "empty program"),
+    })
+}
+
+/// Disassembles a program into re-assemblable text (labels synthesized as
+/// `L<index>` at branch targets).
+pub fn disassemble(program: &Program) -> String {
+    let targets: BTreeSet<u32> = program
+        .insts()
+        .iter()
+        .filter_map(|i| i.target)
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!("; {}\n", program.name()));
+    for (idx, inst) in program.insts().iter().enumerate() {
+        if targets.contains(&(idx as u32)) {
+            out.push_str(&format!("L{idx}:\n"));
+        }
+        let text = match inst.op.class() {
+            OpClass::Branch if inst.op == Opcode::Ret => {
+                format!("{} {}", inst.op, inst.ra.expect("ret has a link register"))
+            }
+            OpClass::Branch if inst.op == Opcode::Jsr => {
+                let t = inst.target.expect("built programs have resolved targets");
+                format!("{} {}, L{t}", inst.op, inst.rd.expect("jsr has a link register"))
+            }
+            OpClass::Branch => {
+                let t = inst.target.expect("built programs have resolved targets");
+                match inst.ra {
+                    Some(ra) => format!("{} {}, L{t}", inst.op, ra),
+                    None => format!("{} L{t}", inst.op),
+                }
+            }
+            OpClass::FpAdd | OpClass::FpDiv if matches!(
+                inst.op,
+                Opcode::Sqrtt | Opcode::Cpys | Opcode::Cvtqt | Opcode::Cvttq
+            ) =>
+            {
+                format!(
+                    "{} {}, {}",
+                    inst.op,
+                    inst.rd.expect("fp unary has dest"),
+                    inst.ra.expect("fp unary has src")
+                )
+            }
+            _ => inst.to_string(),
+        };
+        out.push_str(&format!("    {text}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRESSMARK_STYLE: &str = r#"
+; figure-8 style loop
+top:
+    ldt  f1, 0(r4)
+    divt f3, f1, f2
+    divt f3, f3, f2
+    stt  f3, 8(r4)
+    ldq  r7, 8(r4)
+    cmovne r3, r31, r7
+    stq  r3, 0(r4)
+    subq r1, r1, #1
+    bne  r1, top
+    halt
+"#;
+
+    #[test]
+    fn assembles_figure8_style_loop() {
+        let p = assemble("stress", STRESSMARK_STYLE).unwrap();
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.insts()[8].target, Some(0));
+        assert_eq!(p.insts()[0].op, Opcode::Ldt);
+        assert_eq!(p.insts()[5].op, Opcode::Cmovne);
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let p = assemble("stress", STRESSMARK_STYLE).unwrap();
+        let text = disassemble(&p);
+        let p2 = assemble("stress", &text).unwrap();
+        assert_eq!(p.insts(), p2.insts());
+    }
+
+    #[test]
+    fn immediates_and_hex() {
+        let p = assemble("t", "lda r1, r31, #0x100\nsubq r2, r1, #-5\nhalt\n").unwrap();
+        assert_eq!(p.insts()[0].imm, 0x100);
+        assert_eq!(p.insts()[1].imm, -5);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("t", "nop\nbogus r1, r2, r3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn wrong_operand_count_reports_error() {
+        let e = assemble("t", "addq r1, r2\n").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn bad_register_reports_error() {
+        let e = assemble("t", "addq r1, r99, r2\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn unresolved_label_reported() {
+        let e = assemble("t", "br nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn memory_operand_without_disp() {
+        let p = assemble("t", "ldq r1, (r4)\nhalt\n").unwrap();
+        assert_eq!(p.insts()[0].imm, 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("t", "\n; header\n  nop ; trailing\n\nhalt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unary_fp_ops_roundtrip() {
+        let src = "sqrtt f1, f2\ncpys f3, f1\ncvtqt f4, f3\nhalt\n";
+        let p = assemble("t", src).unwrap();
+        let p2 = assemble("t", &disassemble(&p)).unwrap();
+        assert_eq!(p.insts(), p2.insts());
+    }
+}

@@ -1,0 +1,454 @@
+//! Ergonomic program construction with labels.
+//!
+//! [`ProgramBuilder`] appends instructions in order, resolves symbolic
+//! branch labels at [`build`](ProgramBuilder::build) time, and collects
+//! initial-data segments. Workload generators in `voltctl-workloads` are
+//! written against this interface.
+
+use crate::inst::Inst;
+use crate::opcode::Opcode;
+use crate::program::{DataSegment, Program};
+use crate::reg::{FpReg, IntReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors reported by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch referenced a label that was never defined.
+    UnresolvedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// No instructions were added.
+    EmptyProgram,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnresolvedLabel(l) => write!(f, "unresolved label `{l}`"),
+            BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            BuildError::EmptyProgram => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental builder for [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use voltctl_isa::builder::ProgramBuilder;
+/// use voltctl_isa::reg::IntReg;
+///
+/// let mut b = ProgramBuilder::new("count");
+/// b.lda(IntReg::R1, IntReg::R31, 10);
+/// b.label("top");
+/// b.subq_imm(IntReg::R1, IntReg::R1, 1);
+/// b.bne(IntReg::R1, "top");
+/// b.halt();
+/// let p = b.build().unwrap();
+/// assert_eq!(p.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: HashMap<String, u32>,
+    fixups: Vec<(usize, String)>,
+    data: Vec<DataSegment>,
+    duplicate: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program named `name`.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            data: Vec::new(),
+            duplicate: None,
+        }
+    }
+
+    /// Number of instructions appended so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
+        let label = label.into();
+        if self
+            .labels
+            .insert(label.clone(), self.insts.len() as u32)
+            .is_some()
+        {
+            self.duplicate.get_or_insert(label);
+        }
+        self
+    }
+
+    /// Appends a raw instruction.
+    pub fn raw(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    // --- integer ALU -----------------------------------------------------
+
+    /// `rd = ra + imm` (load address / constant).
+    pub fn lda(&mut self, rd: IntReg, ra: IntReg, imm: i64) -> &mut Self {
+        self.raw(Inst::alu_imm(Opcode::Lda, rd, ra, imm))
+    }
+
+    /// `rd = ra + rb`.
+    pub fn addq(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::alu(Opcode::Addq, rd, ra, rb))
+    }
+
+    /// `rd = ra + imm`.
+    pub fn addq_imm(&mut self, rd: IntReg, ra: IntReg, imm: i64) -> &mut Self {
+        self.raw(Inst::alu_imm(Opcode::Addq, rd, ra, imm))
+    }
+
+    /// `rd = ra - rb`.
+    pub fn subq(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::alu(Opcode::Subq, rd, ra, rb))
+    }
+
+    /// `rd = ra - imm`.
+    pub fn subq_imm(&mut self, rd: IntReg, ra: IntReg, imm: i64) -> &mut Self {
+        self.raw(Inst::alu_imm(Opcode::Subq, rd, ra, imm))
+    }
+
+    /// `rd = ra & rb`.
+    pub fn and(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::alu(Opcode::And, rd, ra, rb))
+    }
+
+    /// `rd = ra & imm`.
+    pub fn and_imm(&mut self, rd: IntReg, ra: IntReg, imm: i64) -> &mut Self {
+        self.raw(Inst::alu_imm(Opcode::And, rd, ra, imm))
+    }
+
+    /// `rd = ra | rb`.
+    pub fn or(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::alu(Opcode::Or, rd, ra, rb))
+    }
+
+    /// `rd = ra ^ rb`.
+    pub fn xor(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::alu(Opcode::Xor, rd, ra, rb))
+    }
+
+    /// `rd = ra ^ imm`.
+    pub fn xor_imm(&mut self, rd: IntReg, ra: IntReg, imm: i64) -> &mut Self {
+        self.raw(Inst::alu_imm(Opcode::Xor, rd, ra, imm))
+    }
+
+    /// `rd = ra << imm`.
+    pub fn sll_imm(&mut self, rd: IntReg, ra: IntReg, imm: i64) -> &mut Self {
+        self.raw(Inst::alu_imm(Opcode::Sll, rd, ra, imm))
+    }
+
+    /// `rd = ra >> imm` (logical).
+    pub fn srl_imm(&mut self, rd: IntReg, ra: IntReg, imm: i64) -> &mut Self {
+        self.raw(Inst::alu_imm(Opcode::Srl, rd, ra, imm))
+    }
+
+    /// `rd = (ra == rb) ? 1 : 0`.
+    pub fn cmpeq(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::alu(Opcode::Cmpeq, rd, ra, rb))
+    }
+
+    /// `rd = (ra < rb) ? 1 : 0` (signed).
+    pub fn cmplt(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::alu(Opcode::Cmplt, rd, ra, rb))
+    }
+
+    /// `rd = (ra < imm) ? 1 : 0` (signed).
+    pub fn cmplt_imm(&mut self, rd: IntReg, ra: IntReg, imm: i64) -> &mut Self {
+        self.raw(Inst::alu_imm(Opcode::Cmplt, rd, ra, imm))
+    }
+
+    /// `rd = (ra != 0) ? rb : rd`.
+    pub fn cmovne(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::cmov(Opcode::Cmovne, rd, ra, rb))
+    }
+
+    /// `rd = (ra == 0) ? rb : rd`.
+    pub fn cmoveq(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::cmov(Opcode::Cmoveq, rd, ra, rb))
+    }
+
+    /// `rd = ra * rb`.
+    pub fn mulq(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::alu(Opcode::Mulq, rd, ra, rb))
+    }
+
+    /// `rd = ra * imm`.
+    pub fn mulq_imm(&mut self, rd: IntReg, ra: IntReg, imm: i64) -> &mut Self {
+        self.raw(Inst::alu_imm(Opcode::Mulq, rd, ra, imm))
+    }
+
+    /// `rd = ra / rb` (signed, total).
+    pub fn divq(&mut self, rd: IntReg, ra: IntReg, rb: IntReg) -> &mut Self {
+        self.raw(Inst::alu(Opcode::Divq, rd, ra, rb))
+    }
+
+    // --- floating point --------------------------------------------------
+
+    /// `fd = fa + fb`.
+    pub fn addt(&mut self, fd: FpReg, fa: FpReg, fb: FpReg) -> &mut Self {
+        self.raw(Inst::fp(Opcode::Addt, fd, fa, fb))
+    }
+
+    /// `fd = fa - fb`.
+    pub fn subt(&mut self, fd: FpReg, fa: FpReg, fb: FpReg) -> &mut Self {
+        self.raw(Inst::fp(Opcode::Subt, fd, fa, fb))
+    }
+
+    /// `fd = fa * fb`.
+    pub fn mult(&mut self, fd: FpReg, fa: FpReg, fb: FpReg) -> &mut Self {
+        self.raw(Inst::fp(Opcode::Mult, fd, fa, fb))
+    }
+
+    /// `fd = fa / fb`.
+    pub fn divt(&mut self, fd: FpReg, fa: FpReg, fb: FpReg) -> &mut Self {
+        self.raw(Inst::fp(Opcode::Divt, fd, fa, fb))
+    }
+
+    /// `fd = sqrt(fa)`.
+    pub fn sqrtt(&mut self, fd: FpReg, fa: FpReg) -> &mut Self {
+        self.raw(Inst::fp(Opcode::Sqrtt, fd, fa, FpReg::F31))
+    }
+
+    /// `fd = fa` (FP move).
+    pub fn cpys(&mut self, fd: FpReg, fa: FpReg) -> &mut Self {
+        self.raw(Inst::fp(Opcode::Cpys, fd, fa, FpReg::F31))
+    }
+
+    // --- memory ------------------------------------------------------------
+
+    /// `rd = mem64[ra + disp]`.
+    pub fn ldq(&mut self, rd: IntReg, disp: i64, base: IntReg) -> &mut Self {
+        self.raw(Inst::load(Opcode::Ldq, rd, base, disp))
+    }
+
+    /// `mem64[base + disp] = data`.
+    pub fn stq(&mut self, data: IntReg, disp: i64, base: IntReg) -> &mut Self {
+        self.raw(Inst::store(Opcode::Stq, data, base, disp))
+    }
+
+    /// `rd = mem32[ra + disp]` (zero-extended).
+    pub fn ldl(&mut self, rd: IntReg, disp: i64, base: IntReg) -> &mut Self {
+        self.raw(Inst::load(Opcode::Ldl, rd, base, disp))
+    }
+
+    /// `mem32[base + disp] = data`.
+    pub fn stl(&mut self, data: IntReg, disp: i64, base: IntReg) -> &mut Self {
+        self.raw(Inst::store(Opcode::Stl, data, base, disp))
+    }
+
+    /// `fd = mem_f64[base + disp]`.
+    pub fn ldt(&mut self, fd: FpReg, disp: i64, base: IntReg) -> &mut Self {
+        self.raw(Inst::load_fp(fd, base, disp))
+    }
+
+    /// `mem_f64[base + disp] = fdata`.
+    pub fn stt(&mut self, fdata: FpReg, disp: i64, base: IntReg) -> &mut Self {
+        self.raw(Inst::store_fp(fdata, base, disp))
+    }
+
+    // --- control -----------------------------------------------------------
+
+    fn branch_to(&mut self, op: Opcode, ra: Option<IntReg>, label: &str) -> &mut Self {
+        let idx = self.insts.len();
+        let inst = match ra {
+            Some(ra) => Inst::branch(op, ra, u32::MAX),
+            None => Inst::br(u32::MAX),
+        };
+        self.insts.push(inst);
+        self.fixups.push((idx, label.to_string()));
+        self
+    }
+
+    /// Branch to `label` if `ra == 0`.
+    pub fn beq(&mut self, ra: IntReg, label: &str) -> &mut Self {
+        self.branch_to(Opcode::Beq, Some(ra), label)
+    }
+
+    /// Branch to `label` if `ra != 0`.
+    pub fn bne(&mut self, ra: IntReg, label: &str) -> &mut Self {
+        self.branch_to(Opcode::Bne, Some(ra), label)
+    }
+
+    /// Branch to `label` if `ra < 0` (signed).
+    pub fn blt(&mut self, ra: IntReg, label: &str) -> &mut Self {
+        self.branch_to(Opcode::Blt, Some(ra), label)
+    }
+
+    /// Branch to `label` if `ra >= 0` (signed).
+    pub fn bge(&mut self, ra: IntReg, label: &str) -> &mut Self {
+        self.branch_to(Opcode::Bge, Some(ra), label)
+    }
+
+    /// Unconditional branch to `label`.
+    pub fn br(&mut self, label: &str) -> &mut Self {
+        self.branch_to(Opcode::Br, None, label)
+    }
+
+    /// Jump to subroutine at `label`, linking through `link`.
+    pub fn jsr(&mut self, link: IntReg, label: &str) -> &mut Self {
+        let idx = self.insts.len();
+        self.insts.push(Inst::jsr(link, u32::MAX));
+        self.fixups.push((idx, label.to_string()));
+        self
+    }
+
+    /// Return through `link`.
+    pub fn ret(&mut self, link: IntReg) -> &mut Self {
+        self.raw(Inst::ret(link))
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.raw(Inst::nop())
+    }
+
+    /// Program terminator.
+    pub fn halt(&mut self) -> &mut Self {
+        self.raw(Inst::halt())
+    }
+
+    // --- data --------------------------------------------------------------
+
+    /// Adds a raw byte segment at `addr`.
+    pub fn data_bytes(&mut self, addr: u64, bytes: Vec<u8>) -> &mut Self {
+        self.data.push(DataSegment { addr, bytes });
+        self
+    }
+
+    /// Adds consecutive little-endian `u64` words at `addr`.
+    pub fn data_u64(&mut self, addr: u64, words: &[u64]) -> &mut Self {
+        let bytes = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.data_bytes(addr, bytes)
+    }
+
+    /// Adds consecutive IEEE doubles at `addr`.
+    pub fn data_f64(&mut self, addr: u64, vals: &[f64]) -> &mut Self {
+        let bytes = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        self.data_bytes(addr, bytes)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::EmptyProgram`] with no instructions,
+    /// [`BuildError::DuplicateLabel`] if any label was defined twice, and
+    /// [`BuildError::UnresolvedLabel`] for branches to undefined labels.
+    pub fn build(&mut self) -> Result<Program, BuildError> {
+        if self.insts.is_empty() {
+            return Err(BuildError::EmptyProgram);
+        }
+        if let Some(dup) = &self.duplicate {
+            return Err(BuildError::DuplicateLabel(dup.clone()));
+        }
+        for (idx, label) in &self.fixups {
+            let target = self
+                .labels
+                .get(label)
+                .ok_or_else(|| BuildError::UnresolvedLabel(label.clone()))?;
+            self.insts[*idx].target = Some(*target);
+        }
+        Ok(Program::new(
+            self.name.clone(),
+            self.insts.clone(),
+            self.data.clone(),
+            0,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("top");
+        b.addq_imm(IntReg::R1, IntReg::R1, 1);
+        b.beq(IntReg::R1, "end"); // forward
+        b.bne(IntReg::R1, "top"); // backward
+        b.label("end");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.insts()[1].target, Some(3));
+        assert_eq!(p.insts()[2].target, Some(0));
+    }
+
+    #[test]
+    fn unresolved_label_is_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.br("nowhere");
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UnresolvedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("x");
+        b.nop();
+        b.label("x");
+        b.halt();
+        assert_eq!(b.build().unwrap_err(), BuildError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn empty_program_is_error() {
+        assert_eq!(
+            ProgramBuilder::new("t").build().unwrap_err(),
+            BuildError::EmptyProgram
+        );
+    }
+
+    #[test]
+    fn data_helpers_encode_little_endian() {
+        let mut b = ProgramBuilder::new("t");
+        b.nop();
+        b.data_u64(0x100, &[0x0102030405060708]);
+        b.data_f64(0x200, &[1.0]);
+        let p = b.build().unwrap();
+        assert_eq!(p.data()[0].bytes[0], 0x08);
+        assert_eq!(p.data()[1].bytes, 1.0f64.to_bits().to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = BuildError::UnresolvedLabel("loop".into());
+        assert!(e.to_string().contains("loop"));
+    }
+
+    #[test]
+    fn builder_len_tracks_instructions() {
+        let mut b = ProgramBuilder::new("t");
+        assert!(b.is_empty());
+        b.nop().nop();
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Pure functional semantics.
+//!
+//! All architectural state is `u64`; floating-point registers hold IEEE-754
+//! double bit patterns. Every operation is total and deterministic: integer
+//! arithmetic wraps, integer division by zero yields zero, NaN-to-integer
+//! conversion yields zero. No traps or exceptions are modeled — the paper's
+//! controller never relies on them, and totality keeps the simulator's
+//! state machine simple.
+
+use crate::opcode::Opcode;
+
+/// Evaluates a register- or immediate-form computational op.
+/// `a` is the `ra` value; `b` is the `rb` value or the sign-extended
+/// immediate. FP operands/results are double bit patterns.
+///
+/// # Panics
+///
+/// Panics (debug builds) when called with a non-computational opcode;
+/// in release builds non-computational opcodes return zero.
+pub fn eval_alu(op: Opcode, a: u64, b: u64) -> u64 {
+    use Opcode::*;
+    match op {
+        Lda => a.wrapping_add(b),
+        Addq => a.wrapping_add(b),
+        Subq => a.wrapping_sub(b),
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Sll => a.wrapping_shl((b & 63) as u32),
+        Srl => a.wrapping_shr((b & 63) as u32),
+        Cmpeq => u64::from(a == b),
+        Cmplt => u64::from((a as i64) < (b as i64)),
+        Mulq => a.wrapping_mul(b),
+        Divq => {
+            let d = b as i64;
+            if d == 0 {
+                0
+            } else {
+                ((a as i64).wrapping_div(d)) as u64
+            }
+        }
+        Addt => f64::to_bits(f64::from_bits(a) + f64::from_bits(b)),
+        Subt => f64::to_bits(f64::from_bits(a) - f64::from_bits(b)),
+        Mult => f64::to_bits(f64::from_bits(a) * f64::from_bits(b)),
+        Divt => {
+            let q = f64::from_bits(a) / f64::from_bits(b);
+            f64::to_bits(q)
+        }
+        Sqrtt => f64::to_bits(f64::from_bits(a).sqrt()),
+        Cpys => a,
+        Cvtqt => f64::to_bits(a as i64 as f64),
+        Cvttq => {
+            let x = f64::from_bits(a);
+            if x.is_nan() {
+                0
+            } else {
+                (x as i64) as u64
+            }
+        }
+        other => {
+            debug_assert!(false, "eval_alu called with {other:?}");
+            0
+        }
+    }
+}
+
+/// Evaluates a conditional move: returns the new destination value given
+/// the condition register value `cond`, the move source `val`, and the old
+/// destination `old`.
+///
+/// # Panics
+///
+/// Panics (debug builds) for non-cmov opcodes.
+pub fn eval_cmov(op: Opcode, cond: u64, val: u64, old: u64) -> u64 {
+    match op {
+        Opcode::Cmovne => {
+            if cond != 0 {
+                val
+            } else {
+                old
+            }
+        }
+        Opcode::Cmoveq => {
+            if cond == 0 {
+                val
+            } else {
+                old
+            }
+        }
+        other => {
+            debug_assert!(false, "eval_cmov called with {other:?}");
+            old
+        }
+    }
+}
+
+/// Whether a branch is taken given the condition register value.
+/// Unconditional `Br` is always taken.
+///
+/// # Panics
+///
+/// Panics (debug builds) for non-branch opcodes.
+pub fn branch_taken(op: Opcode, a: u64) -> bool {
+    use Opcode::*;
+    match op {
+        Beq => a == 0,
+        Bne => a != 0,
+        Blt => (a as i64) < 0,
+        Bge => (a as i64) >= 0,
+        Br | Jsr | Ret => true,
+        other => {
+            debug_assert!(false, "branch_taken called with {other:?}");
+            false
+        }
+    }
+}
+
+/// Computes a memory effective address `base + disp` with wrapping.
+pub fn effective_address(base: u64, disp: i64) -> u64 {
+    base.wrapping_add(disp as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode::*;
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(eval_alu(Addq, 3, 4), 7);
+        assert_eq!(eval_alu(Subq, 3, 4), u64::MAX); // wraps
+        assert_eq!(eval_alu(Mulq, 6, 7), 42);
+        assert_eq!(eval_alu(And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(eval_alu(Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(eval_alu(Xor, 0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn shifts_mask_the_amount() {
+        assert_eq!(eval_alu(Sll, 1, 4), 16);
+        assert_eq!(eval_alu(Sll, 1, 64), 1); // 64 & 63 == 0
+        assert_eq!(eval_alu(Srl, 16, 4), 1);
+    }
+
+    #[test]
+    fn compares_are_zero_one() {
+        assert_eq!(eval_alu(Cmpeq, 5, 5), 1);
+        assert_eq!(eval_alu(Cmpeq, 5, 6), 0);
+        assert_eq!(eval_alu(Cmplt, (-1i64) as u64, 0), 1); // signed
+        assert_eq!(eval_alu(Cmplt, 1, 0), 0);
+    }
+
+    #[test]
+    fn divide_by_zero_is_total() {
+        assert_eq!(eval_alu(Divq, 42, 0), 0);
+        assert_eq!(eval_alu(Divq, 42, 7), 6);
+        assert_eq!(eval_alu(Divq, (-42i64) as u64, 7), (-6i64) as u64);
+    }
+
+    #[test]
+    fn fp_arithmetic_roundtrips_bits() {
+        let a = f64::to_bits(1.5);
+        let b = f64::to_bits(2.0);
+        assert_eq!(f64::from_bits(eval_alu(Addt, a, b)), 3.5);
+        assert_eq!(f64::from_bits(eval_alu(Mult, a, b)), 3.0);
+        assert_eq!(f64::from_bits(eval_alu(Divt, a, b)), 0.75);
+        assert_eq!(f64::from_bits(eval_alu(Sqrtt, f64::to_bits(9.0), 0)), 3.0);
+    }
+
+    #[test]
+    fn fp_divide_by_zero_is_inf() {
+        let inf = eval_alu(Divt, f64::to_bits(1.0), f64::to_bits(0.0));
+        assert!(f64::from_bits(inf).is_infinite());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f64::from_bits(eval_alu(Cvtqt, (-3i64) as u64, 0)), -3.0);
+        assert_eq!(eval_alu(Cvttq, f64::to_bits(3.9), 0), 3);
+        assert_eq!(eval_alu(Cvttq, f64::to_bits(f64::NAN), 0), 0);
+    }
+
+    #[test]
+    fn cmov_semantics() {
+        assert_eq!(eval_cmov(Cmovne, 1, 10, 20), 10);
+        assert_eq!(eval_cmov(Cmovne, 0, 10, 20), 20);
+        assert_eq!(eval_cmov(Cmoveq, 0, 10, 20), 10);
+        assert_eq!(eval_cmov(Cmoveq, 1, 10, 20), 20);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(Beq, 0));
+        assert!(!branch_taken(Beq, 1));
+        assert!(branch_taken(Bne, 7));
+        assert!(branch_taken(Blt, (-5i64) as u64));
+        assert!(!branch_taken(Blt, 5));
+        assert!(branch_taken(Bge, 0));
+        assert!(branch_taken(Br, 12345));
+    }
+
+    #[test]
+    fn effective_address_wraps() {
+        assert_eq!(effective_address(100, 8), 108);
+        assert_eq!(effective_address(8, -16), (-8i64) as u64);
+    }
+}

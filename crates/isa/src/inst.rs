@@ -1,0 +1,339 @@
+//! The instruction record.
+//!
+//! [`Inst`] is a decoded, word-sized instruction: an opcode, up to three
+//! source registers, an optional destination, a signed immediate
+//! (displacement for memory operations, literal operand for immediate ALU
+//! forms), and a branch target expressed as an instruction index.
+//!
+//! Operand roles by opcode family:
+//!
+//! | family | `rd` | `ra` | `rb` | `rc` | `imm` |
+//! |---|---|---|---|---|---|
+//! | ALU (reg form) | dest | src1 | src2 | — | — |
+//! | ALU (imm form) | dest | src1 | — | — | literal |
+//! | `cmov*` | dest | condition | value | old dest | — |
+//! | load | dest | base | — | — | displacement |
+//! | store | — | base | data | — | displacement |
+//! | branch | — | condition | — | — | — (`target`) |
+
+use crate::opcode::{OpClass, Opcode};
+use crate::reg::{FpReg, IntReg, Reg};
+use std::fmt;
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register, if the instruction writes one.
+    pub rd: Option<Reg>,
+    /// First source (condition for cmov/branches, base for memory ops).
+    pub ra: Option<Reg>,
+    /// Second source (data register for stores, value for cmov).
+    pub rb: Option<Reg>,
+    /// Third source (old destination for cmov).
+    pub rc: Option<Reg>,
+    /// Immediate: displacement for memory ops, literal for imm-ALU forms.
+    pub imm: i64,
+    /// Branch target as an instruction index.
+    pub target: Option<u32>,
+}
+
+impl Inst {
+    fn base(op: Opcode) -> Inst {
+        Inst {
+            op,
+            rd: None,
+            ra: None,
+            rb: None,
+            rc: None,
+            imm: 0,
+            target: None,
+        }
+    }
+
+    /// Register-form integer ALU or multiply/divide op: `rd = ra <op> rb`.
+    pub fn alu(op: Opcode, rd: IntReg, ra: IntReg, rb: IntReg) -> Inst {
+        debug_assert!(matches!(op.class(), OpClass::IntAlu | OpClass::IntMult));
+        Inst {
+            rd: Some(rd.into()),
+            ra: Some(ra.into()),
+            rb: Some(rb.into()),
+            ..Inst::base(op)
+        }
+    }
+
+    /// Immediate-form integer op: `rd = ra <op> imm`.
+    pub fn alu_imm(op: Opcode, rd: IntReg, ra: IntReg, imm: i64) -> Inst {
+        debug_assert!(matches!(op.class(), OpClass::IntAlu | OpClass::IntMult));
+        Inst {
+            rd: Some(rd.into()),
+            ra: Some(ra.into()),
+            imm,
+            ..Inst::base(op)
+        }
+    }
+
+    /// Conditional move: `rd = cond(ra) ? rb : rd_old`.
+    pub fn cmov(op: Opcode, rd: IntReg, ra: IntReg, rb: IntReg) -> Inst {
+        debug_assert!(matches!(op, Opcode::Cmovne | Opcode::Cmoveq));
+        Inst {
+            rd: Some(rd.into()),
+            ra: Some(ra.into()),
+            rb: Some(rb.into()),
+            rc: Some(rd.into()),
+            ..Inst::base(op)
+        }
+    }
+
+    /// Floating-point arithmetic: `fd = fa <op> fb`.
+    pub fn fp(op: Opcode, fd: FpReg, fa: FpReg, fb: FpReg) -> Inst {
+        debug_assert!(matches!(
+            op.class(),
+            OpClass::FpAdd | OpClass::FpMult | OpClass::FpDiv
+        ));
+        Inst {
+            rd: Some(fd.into()),
+            ra: Some(fa.into()),
+            rb: Some(fb.into()),
+            ..Inst::base(op)
+        }
+    }
+
+    /// Integer load: `rd = mem[ra + disp]`.
+    pub fn load(op: Opcode, rd: IntReg, base: IntReg, disp: i64) -> Inst {
+        debug_assert!(matches!(op, Opcode::Ldq | Opcode::Ldl));
+        Inst {
+            rd: Some(rd.into()),
+            ra: Some(base.into()),
+            imm: disp,
+            ..Inst::base(op)
+        }
+    }
+
+    /// FP load: `fd = mem[ra + disp]`.
+    pub fn load_fp(rd: FpReg, base: IntReg, disp: i64) -> Inst {
+        Inst {
+            rd: Some(rd.into()),
+            ra: Some(base.into()),
+            imm: disp,
+            ..Inst::base(Opcode::Ldt)
+        }
+    }
+
+    /// Integer store: `mem[ra + disp] = rb`.
+    pub fn store(op: Opcode, data: IntReg, base: IntReg, disp: i64) -> Inst {
+        debug_assert!(matches!(op, Opcode::Stq | Opcode::Stl));
+        Inst {
+            ra: Some(base.into()),
+            rb: Some(data.into()),
+            imm: disp,
+            ..Inst::base(op)
+        }
+    }
+
+    /// FP store: `mem[ra + disp] = fb`.
+    pub fn store_fp(data: FpReg, base: IntReg, disp: i64) -> Inst {
+        Inst {
+            ra: Some(base.into()),
+            rb: Some(data.into()),
+            imm: disp,
+            ..Inst::base(Opcode::Stt)
+        }
+    }
+
+    /// Conditional branch on `ra`, to instruction index `target`.
+    pub fn branch(op: Opcode, ra: IntReg, target: u32) -> Inst {
+        debug_assert!(op.is_conditional_branch());
+        Inst {
+            ra: Some(ra.into()),
+            target: Some(target),
+            ..Inst::base(op)
+        }
+    }
+
+    /// Unconditional branch to instruction index `target`.
+    pub fn br(target: u32) -> Inst {
+        Inst {
+            target: Some(target),
+            ..Inst::base(Opcode::Br)
+        }
+    }
+
+    /// Jump to subroutine at `target`, writing the return address into
+    /// `link`.
+    pub fn jsr(link: IntReg, target: u32) -> Inst {
+        Inst {
+            rd: Some(link.into()),
+            target: Some(target),
+            ..Inst::base(Opcode::Jsr)
+        }
+    }
+
+    /// Return through the address held in `link` (dynamic target).
+    pub fn ret(link: IntReg) -> Inst {
+        Inst {
+            ra: Some(link.into()),
+            ..Inst::base(Opcode::Ret)
+        }
+    }
+
+    /// No-operation.
+    pub fn nop() -> Inst {
+        Inst::base(Opcode::Nop)
+    }
+
+    /// Program terminator.
+    pub fn halt() -> Inst {
+        Inst::base(Opcode::Halt)
+    }
+
+    /// The destination register, with writes to hardwired-zero registers
+    /// filtered out (they architecturally do nothing).
+    pub fn effective_dest(&self) -> Option<Reg> {
+        self.rd.filter(|r| !r.is_zero())
+    }
+
+    /// Source registers, with hardwired-zero registers filtered out (they
+    /// are always ready and carry no dependence).
+    pub fn effective_sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        [self.ra, self.rb, self.rc]
+            .into_iter()
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// Whether this instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        self.op.class() == OpClass::Load
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        self.op.class() == OpClass::Store
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use OpClass::*;
+        match self.op.class() {
+            Load => write!(
+                f,
+                "{} {}, {}({})",
+                self.op,
+                self.rd.expect("load has dest"),
+                self.imm,
+                self.ra.expect("load has base")
+            ),
+            Store => write!(
+                f,
+                "{} {}, {}({})",
+                self.op,
+                self.rb.expect("store has data"),
+                self.imm,
+                self.ra.expect("store has base")
+            ),
+            Branch => match self.op {
+                Opcode::Jsr => match (self.rd, self.target) {
+                    (Some(rd), Some(t)) => write!(f, "{} {}, @{t}", self.op, rd),
+                    _ => write!(f, "{} <unresolved>", self.op),
+                },
+                Opcode::Ret => write!(
+                    f,
+                    "{} {}",
+                    self.op,
+                    self.ra.expect("ret has a link register")
+                ),
+                _ => match (self.ra, self.target) {
+                    (Some(ra), Some(t)) => write!(f, "{} {}, @{t}", self.op, ra),
+                    (None, Some(t)) => write!(f, "{} @{t}", self.op),
+                    _ => write!(f, "{} <unresolved>", self.op),
+                },
+            },
+            Nop => write!(f, "{}", self.op),
+            _ => {
+                // ALU / FP forms.
+                let rd = self.rd.expect("alu has dest");
+                let ra = self.ra.expect("alu has src1");
+                match self.rb {
+                    Some(rb) => write!(f, "{} {}, {}, {}", self.op, rd, ra, rb),
+                    None => write!(f, "{} {}, {}, #{}", self.op, rd, ra, self.imm),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FpReg, IntReg};
+
+    #[test]
+    fn effective_dest_filters_zero_reg() {
+        let i = Inst::alu(Opcode::Addq, IntReg::R31, IntReg::R1, IntReg::R2);
+        assert_eq!(i.effective_dest(), None);
+        let j = Inst::alu(Opcode::Addq, IntReg::R1, IntReg::R2, IntReg::R3);
+        assert_eq!(j.effective_dest(), Some(IntReg::R1.into()));
+    }
+
+    #[test]
+    fn effective_sources_filter_zero_reg() {
+        let i = Inst::alu(Opcode::Addq, IntReg::R1, IntReg::R31, IntReg::R2);
+        let sources: Vec<_> = i.effective_sources().collect();
+        assert_eq!(sources, vec![Reg::Int(IntReg::R2)]);
+    }
+
+    #[test]
+    fn cmov_reads_old_dest() {
+        let i = Inst::cmov(Opcode::Cmovne, IntReg::R3, IntReg::R31, IntReg::R7);
+        let sources: Vec<_> = i.effective_sources().collect();
+        // r31 filtered; reads r7 (value) and r3 (old dest).
+        assert_eq!(
+            sources,
+            vec![Reg::Int(IntReg::R7), Reg::Int(IntReg::R3)]
+        );
+    }
+
+    #[test]
+    fn store_has_no_dest() {
+        let i = Inst::store(Opcode::Stq, IntReg::R3, IntReg::R4, 8);
+        assert_eq!(i.effective_dest(), None);
+        assert!(i.is_store());
+        assert!(!i.is_load());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Inst::alu(Opcode::Addq, IntReg::R1, IntReg::R2, IntReg::R3).to_string(),
+            "addq r1, r2, r3"
+        );
+        assert_eq!(
+            Inst::alu_imm(Opcode::Subq, IntReg::R1, IntReg::R1, 4).to_string(),
+            "subq r1, r1, #4"
+        );
+        assert_eq!(
+            Inst::load_fp(FpReg::F1, IntReg::R4, 0).to_string(),
+            "ldt f1, 0(r4)"
+        );
+        assert_eq!(
+            Inst::store_fp(FpReg::F3, IntReg::R4, 8).to_string(),
+            "stt f3, 8(r4)"
+        );
+        assert_eq!(
+            Inst::branch(Opcode::Bne, IntReg::R1, 5).to_string(),
+            "bne r1, @5"
+        );
+        assert_eq!(Inst::br(0).to_string(), "br @0");
+        assert_eq!(Inst::nop().to_string(), "nop");
+    }
+
+    #[test]
+    fn branch_carries_target() {
+        let i = Inst::branch(Opcode::Beq, IntReg::R2, 42);
+        assert_eq!(i.target, Some(42));
+        assert!(i.op.is_conditional_branch());
+    }
+}

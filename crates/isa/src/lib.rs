@@ -1,0 +1,61 @@
+//! A compact Alpha-flavored RISC instruction set for execution-driven
+//! microarchitecture simulation.
+//!
+//! The HPCA 2003 dI/dt paper runs Alpha binaries on SimpleScalar; this crate
+//! provides the equivalent substrate for `voltctl`: a small load/store ISA
+//! with 32 integer and 32 floating-point registers, the operation classes
+//! that matter for power modeling (integer ALU, integer multiply/divide, FP
+//! add, FP multiply, FP divide/sqrt, loads, stores, branches), and
+//! deterministic functional semantics so the cycle-level simulator in
+//! `voltctl-cpu` is *execution-driven* — register values, memory addresses,
+//! and branch outcomes are computed, not traced.
+//!
+//! Modules:
+//!
+//! * [`reg`] — typed register names ([`reg::Reg`]), with hardwired zero
+//!   registers `r31`/`f31`.
+//! * [`opcode`] — the instruction menagerie and its [`opcode::OpClass`]
+//!   classification.
+//! * [`inst`] — the [`inst::Inst`] record: operands, immediates, branch
+//!   targets.
+//! * [`exec`] — pure functional semantics (`u64` register file, IEEE-754
+//!   doubles bit-cast into integer registers).
+//! * [`program`] — an executable [`program::Program`]: instruction memory
+//!   plus entry point and initial data image.
+//! * [`builder`] — ergonomic construction with labels and automatic branch
+//!   patching.
+//! * [`asm`] — a text assembler/disassembler for Fig. 8-style listings.
+//!
+//! # Example
+//!
+//! ```
+//! use voltctl_isa::builder::ProgramBuilder;
+//! use voltctl_isa::reg::{IntReg, FpReg};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! b.lda(IntReg::R1, IntReg::R31, 5);     // r1 = 5
+//! b.label("loop");
+//! b.addq_imm(IntReg::R2, IntReg::R2, 3); // r2 += 3
+//! b.subq_imm(IntReg::R1, IntReg::R1, 1); // r1 -= 1
+//! b.bne(IntReg::R1, "loop");
+//! b.halt();
+//! let program = b.build().expect("all labels resolved");
+//! assert_eq!(program.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+pub mod builder;
+pub mod exec;
+pub mod inst;
+pub mod opcode;
+pub mod program;
+pub mod reg;
+
+pub use builder::ProgramBuilder;
+pub use inst::Inst;
+pub use opcode::{OpClass, Opcode};
+pub use program::Program;
+pub use reg::{FpReg, IntReg, Reg};

@@ -1,0 +1,322 @@
+//! Opcodes and their microarchitectural classification.
+//!
+//! Mnemonics follow the Alpha AXP flavor used in the paper's Figure 8
+//! stressmark listing (`ldt`, `divt`, `stt`, `ldq`, `cmovne`, `stq`, …).
+//! [`OpClass`] groups opcodes by the functional-unit / power class the
+//! simulator cares about.
+
+use std::fmt;
+
+/// The instruction opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    // --- integer ALU ---
+    /// Load address / immediate: `rd = ra + imm`.
+    Lda,
+    Addq,
+    Subq,
+    And,
+    Or,
+    Xor,
+    /// Shift left logical by immediate.
+    Sll,
+    /// Shift right logical by immediate.
+    Srl,
+    /// Set-if-equal: `rd = (ra == rb_or_imm) ? 1 : 0`.
+    Cmpeq,
+    /// Set-if-signed-less-than.
+    Cmplt,
+    /// Conditional move: `rd = (ra != 0) ? rb : rd_old` (reads `rc = rd_old`).
+    Cmovne,
+    /// Conditional move: `rd = (ra == 0) ? rb : rd_old` (reads `rc = rd_old`).
+    Cmoveq,
+
+    // --- integer multiply/divide ---
+    Mulq,
+    /// Signed 64-bit divide (traps-to-zero on divide by zero, like a
+    /// quietly-defined machine; no exceptions are modeled).
+    Divq,
+
+    // --- floating point ---
+    Addt,
+    Subt,
+    /// FP multiply.
+    Mult,
+    /// FP divide: the long-latency stall generator of the stressmark.
+    Divt,
+    Sqrtt,
+    /// FP register move (copy sign of whole value).
+    Cpys,
+    /// Convert integer (bits in FP reg) to double.
+    Cvtqt,
+    /// Convert double to integer (truncating), result in FP reg.
+    Cvttq,
+
+    // --- memory ---
+    /// Load quadword (8 bytes) into an integer register.
+    Ldq,
+    /// Store quadword from an integer register.
+    Stq,
+    /// Load longword (4 bytes, zero-extended).
+    Ldl,
+    /// Store longword.
+    Stl,
+    /// Load IEEE double into an FP register.
+    Ldt,
+    /// Store IEEE double from an FP register.
+    Stt,
+
+    // --- control ---
+    /// Branch if `ra == 0`.
+    Beq,
+    /// Branch if `ra != 0`.
+    Bne,
+    /// Branch if `ra < 0` (signed).
+    Blt,
+    /// Branch if `ra >= 0` (signed).
+    Bge,
+    /// Unconditional branch.
+    Br,
+    /// Jump to subroutine: writes the return address (next instruction
+    /// index) into `rd`, then branches to `target`.
+    Jsr,
+    /// Return: branches to the instruction index held in `ra` (predicted
+    /// by the return-address stack).
+    Ret,
+
+    // --- other ---
+    Nop,
+    /// Stops the program (simulator drains and finishes).
+    Halt,
+}
+
+/// Functional-unit / power classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Simple integer operations (single-cycle ALU).
+    IntAlu,
+    /// Integer multiply/divide (long latency, partially pipelined).
+    IntMult,
+    /// FP add/subtract/convert.
+    FpAdd,
+    /// FP multiply.
+    FpMult,
+    /// FP divide / square root (long latency, unpipelined).
+    FpDiv,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Control transfer.
+    Branch,
+    /// No work (also `Halt`).
+    Nop,
+}
+
+impl Opcode {
+    /// The opcode's functional-unit class.
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            Lda | Addq | Subq | And | Or | Xor | Sll | Srl | Cmpeq | Cmplt | Cmovne | Cmoveq => {
+                OpClass::IntAlu
+            }
+            Mulq | Divq => OpClass::IntMult,
+            Addt | Subt | Cpys | Cvtqt | Cvttq => OpClass::FpAdd,
+            Mult => OpClass::FpMult,
+            Divt | Sqrtt => OpClass::FpDiv,
+            Ldq | Ldl | Ldt => OpClass::Load,
+            Stq | Stl | Stt => OpClass::Store,
+            Beq | Bne | Blt | Bge | Br | Jsr | Ret => OpClass::Branch,
+            Nop | Halt => OpClass::Nop,
+        }
+    }
+
+    /// Whether the opcode writes a floating-point destination.
+    pub fn writes_fp(self) -> bool {
+        use Opcode::*;
+        matches!(self, Addt | Subt | Mult | Divt | Sqrtt | Cpys | Cvtqt | Cvttq | Ldt)
+    }
+
+    /// Whether this is a conditional branch (not `Br`).
+    pub fn is_conditional_branch(self) -> bool {
+        matches!(self, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+    }
+
+    /// Whether this is any control transfer.
+    pub fn is_branch(self) -> bool {
+        self.class() == OpClass::Branch
+    }
+
+    /// Whether this accesses memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self.class(), OpClass::Load | OpClass::Store)
+    }
+
+    /// Memory access size in bytes for loads/stores (0 otherwise).
+    pub fn mem_bytes(self) -> usize {
+        use Opcode::*;
+        match self {
+            Ldq | Stq | Ldt | Stt => 8,
+            Ldl | Stl => 4,
+            _ => 0,
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Lda => "lda",
+            Addq => "addq",
+            Subq => "subq",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Cmpeq => "cmpeq",
+            Cmplt => "cmplt",
+            Cmovne => "cmovne",
+            Cmoveq => "cmoveq",
+            Mulq => "mulq",
+            Divq => "divq",
+            Addt => "addt",
+            Subt => "subt",
+            Mult => "mult",
+            Divt => "divt",
+            Sqrtt => "sqrtt",
+            Cpys => "cpys",
+            Cvtqt => "cvtqt",
+            Cvttq => "cvttq",
+            Ldq => "ldq",
+            Stq => "stq",
+            Ldl => "ldl",
+            Stl => "stl",
+            Ldt => "ldt",
+            Stt => "stt",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Br => "br",
+            Jsr => "jsr",
+            Ret => "ret",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+
+    /// Parses a mnemonic back to an opcode.
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match s {
+            "lda" => Lda,
+            "addq" => Addq,
+            "subq" => Subq,
+            "and" => And,
+            "or" => Or,
+            "xor" => Xor,
+            "sll" => Sll,
+            "srl" => Srl,
+            "cmpeq" => Cmpeq,
+            "cmplt" => Cmplt,
+            "cmovne" => Cmovne,
+            "cmoveq" => Cmoveq,
+            "mulq" => Mulq,
+            "divq" => Divq,
+            "addt" => Addt,
+            "subt" => Subt,
+            "mult" => Mult,
+            "divt" => Divt,
+            "sqrtt" => Sqrtt,
+            "cpys" => Cpys,
+            "cvtqt" => Cvtqt,
+            "cvttq" => Cvttq,
+            "ldq" => Ldq,
+            "stq" => Stq,
+            "ldl" => Ldl,
+            "stl" => Stl,
+            "ldt" => Ldt,
+            "stt" => Stt,
+            "beq" => Beq,
+            "bne" => Bne,
+            "blt" => Blt,
+            "bge" => Bge,
+            "br" => Br,
+            "jsr" => Jsr,
+            "ret" => Ret,
+            "nop" => Nop,
+            "halt" => Halt,
+            _ => return None,
+        })
+    }
+
+    /// Every opcode, for exhaustive testing.
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            Lda, Addq, Subq, And, Or, Xor, Sll, Srl, Cmpeq, Cmplt, Cmovne, Cmoveq, Mulq, Divq,
+            Addt, Subt, Mult, Divt, Sqrtt, Cpys, Cvtqt, Cvttq, Ldq, Stq, Ldl, Stl, Ldt, Stt, Beq,
+            Bne, Blt, Bge, Br, Jsr, Ret, Nop, Halt,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_roundtrip_for_all_opcodes() {
+        for &op in Opcode::all() {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_none() {
+        assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+    }
+
+    #[test]
+    fn classes_are_consistent() {
+        assert_eq!(Opcode::Divt.class(), OpClass::FpDiv);
+        assert_eq!(Opcode::Ldt.class(), OpClass::Load);
+        assert_eq!(Opcode::Stq.class(), OpClass::Store);
+        assert_eq!(Opcode::Bne.class(), OpClass::Branch);
+        assert_eq!(Opcode::Mulq.class(), OpClass::IntMult);
+        assert_eq!(Opcode::Halt.class(), OpClass::Nop);
+    }
+
+    #[test]
+    fn fp_writers_flagged() {
+        assert!(Opcode::Divt.writes_fp());
+        assert!(Opcode::Ldt.writes_fp());
+        assert!(!Opcode::Ldq.writes_fp());
+        assert!(!Opcode::Stt.writes_fp()); // stores write no register
+    }
+
+    #[test]
+    fn branch_predicates() {
+        assert!(Opcode::Beq.is_conditional_branch());
+        assert!(!Opcode::Br.is_conditional_branch());
+        assert!(Opcode::Br.is_branch());
+        assert!(!Opcode::Addq.is_branch());
+    }
+
+    #[test]
+    fn mem_bytes() {
+        assert_eq!(Opcode::Ldq.mem_bytes(), 8);
+        assert_eq!(Opcode::Stl.mem_bytes(), 4);
+        assert_eq!(Opcode::Addq.mem_bytes(), 0);
+        assert!(Opcode::Ldl.is_mem());
+    }
+}

@@ -1,0 +1,173 @@
+//! Executable programs: instruction memory plus an initial data image.
+//!
+//! Program counters are *instruction indices* (the fetch unit synthesizes
+//! byte addresses as `index * 4` where byte addresses are needed, e.g. for
+//! BTB indexing). The data image is a list of `(address, bytes)` segments
+//! loaded into simulated memory before execution.
+
+use crate::inst::Inst;
+use std::fmt;
+
+/// An immutable, executable program.
+///
+/// Built with [`crate::builder::ProgramBuilder`] or assembled from text by
+/// [`crate::asm::assemble`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    data: Vec<DataSegment>,
+    entry: u32,
+}
+
+/// An initial-memory segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSegment {
+    /// Base byte address.
+    pub addr: u64,
+    /// Raw bytes (little-endian for multi-byte values).
+    pub bytes: Vec<u8>,
+}
+
+impl Program {
+    /// Creates a program from parts. Prefer the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `insts` is empty or `entry` is out of range.
+    pub fn new(
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+        data: Vec<DataSegment>,
+        entry: u32,
+    ) -> Program {
+        assert!(!insts.is_empty(), "program must contain instructions");
+        assert!(
+            (entry as usize) < insts.len(),
+            "entry point {entry} out of range"
+        );
+        Program {
+            name: name.into(),
+            insts,
+            data,
+            entry,
+        }
+    }
+
+    /// The program's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Always false: construction rejects empty programs.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The instruction at index `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: u32) -> Option<&Inst> {
+        self.insts.get(pc as usize)
+    }
+
+    /// All instructions.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Initial-memory segments.
+    pub fn data(&self) -> &[DataSegment] {
+        &self.data
+    }
+
+    /// The entry-point instruction index.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Synthetic byte address of an instruction (for BTB/i-cache indexing).
+    pub fn inst_addr(pc: u32) -> u64 {
+        0x1_0000 + (pc as u64) * 4
+    }
+}
+
+impl fmt::Display for Program {
+    /// Renders a disassembly listing with instruction indices.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program: {} ({} insts)", self.name, self.insts.len())?;
+        for (idx, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{idx:4}:  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::opcode::Opcode;
+    use crate::reg::IntReg;
+
+    fn demo() -> Program {
+        Program::new(
+            "demo",
+            vec![
+                Inst::alu_imm(Opcode::Addq, IntReg::R1, IntReg::R31, 1),
+                Inst::halt(),
+            ],
+            vec![DataSegment {
+                addr: 0x1000,
+                bytes: vec![1, 2, 3],
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = demo();
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(1).is_some());
+        assert!(p.fetch(2).is_none());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain instructions")]
+    fn empty_program_rejected() {
+        let _ = Program::new("empty", vec![], vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_entry_rejected() {
+        let _ = Program::new("bad", vec![Inst::nop()], vec![], 5);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let text = demo().to_string();
+        assert!(text.contains("; program: demo"));
+        assert!(text.contains("addq r1, r31, #1"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn inst_addresses_are_word_spaced() {
+        assert_eq!(Program::inst_addr(0) + 4, Program::inst_addr(1));
+        assert_ne!(Program::inst_addr(0), 0); // text doesn't start at null
+    }
+
+    #[test]
+    fn data_segments_preserved() {
+        let p = demo();
+        assert_eq!(p.data().len(), 1);
+        assert_eq!(p.data()[0].addr, 0x1000);
+        assert_eq!(p.data()[0].bytes, vec![1, 2, 3]);
+    }
+}

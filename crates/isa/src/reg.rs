@@ -1,0 +1,217 @@
+//! Architectural register names.
+//!
+//! The machine has 32 integer registers (`r0`–`r31`) and 32 floating-point
+//! registers (`f0`–`f31`). Following the Alpha convention, `r31` and `f31`
+//! read as zero and writes to them are discarded. A unified flat index
+//! (0–63) is provided for dependence tracking in the simulator.
+
+use std::fmt;
+
+/// An integer register `r0`–`r31`. `R31` is hardwired to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+/// A floating-point register `f0`–`f31`. `F31` is hardwired to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+/// Either register file, as carried by an instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg {
+    /// Integer register.
+    Int(IntReg),
+    /// Floating-point register.
+    Fp(FpReg),
+}
+
+impl IntReg {
+    /// The hardwired zero register.
+    pub const R31: IntReg = IntReg(31);
+    /// General registers commonly used by the workloads.
+    pub const R0: IntReg = IntReg(0);
+    #[allow(missing_docs)]
+    pub const R1: IntReg = IntReg(1);
+    #[allow(missing_docs)]
+    pub const R2: IntReg = IntReg(2);
+    #[allow(missing_docs)]
+    pub const R3: IntReg = IntReg(3);
+    #[allow(missing_docs)]
+    pub const R4: IntReg = IntReg(4);
+    #[allow(missing_docs)]
+    pub const R5: IntReg = IntReg(5);
+    #[allow(missing_docs)]
+    pub const R6: IntReg = IntReg(6);
+    #[allow(missing_docs)]
+    pub const R7: IntReg = IntReg(7);
+    #[allow(missing_docs)]
+    pub const R8: IntReg = IntReg(8);
+
+    /// Creates a register by number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31`.
+    pub fn new(n: u8) -> IntReg {
+        assert!(n < 32, "integer register number must be < 32, got {n}");
+        IntReg(n)
+    }
+
+    /// The register number, 0–31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl FpReg {
+    /// The hardwired zero register.
+    pub const F31: FpReg = FpReg(31);
+    #[allow(missing_docs)]
+    pub const F0: FpReg = FpReg(0);
+    #[allow(missing_docs)]
+    pub const F1: FpReg = FpReg(1);
+    #[allow(missing_docs)]
+    pub const F2: FpReg = FpReg(2);
+    #[allow(missing_docs)]
+    pub const F3: FpReg = FpReg(3);
+    #[allow(missing_docs)]
+    pub const F4: FpReg = FpReg(4);
+    #[allow(missing_docs)]
+    pub const F5: FpReg = FpReg(5);
+    #[allow(missing_docs)]
+    pub const F6: FpReg = FpReg(6);
+
+    /// Creates a register by number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31`.
+    pub fn new(n: u8) -> FpReg {
+        assert!(n < 32, "fp register number must be < 32, got {n}");
+        FpReg(n)
+    }
+
+    /// The register number, 0–31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl Reg {
+    /// Flat index across both files: integer registers map to 0–31, FP
+    /// registers to 32–63. Used for unified dependence tracking.
+    pub fn index(self) -> usize {
+        match self {
+            Reg::Int(r) => r.number() as usize,
+            Reg::Fp(r) => 32 + r.number() as usize,
+        }
+    }
+
+    /// Builds a register back from its flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 63`.
+    pub fn from_index(idx: usize) -> Reg {
+        assert!(idx < 64, "flat register index must be < 64, got {idx}");
+        if idx < 32 {
+            Reg::Int(IntReg(idx as u8))
+        } else {
+            Reg::Fp(FpReg((idx - 32) as u8))
+        }
+    }
+
+    /// Whether the register reads as constant zero.
+    pub fn is_zero(self) -> bool {
+        match self {
+            Reg::Int(r) => r.is_zero(),
+            Reg::Fp(r) => r.is_zero(),
+        }
+    }
+
+    /// Whether this is a floating-point register.
+    pub fn is_fp(self) -> bool {
+        matches!(self, Reg::Fp(_))
+    }
+}
+
+impl From<IntReg> for Reg {
+    fn from(r: IntReg) -> Reg {
+        Reg::Int(r)
+    }
+}
+
+impl From<FpReg> for Reg {
+    fn from(r: FpReg) -> Reg {
+        Reg::Fp(r)
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Int(r) => r.fmt(f),
+            Reg::Fp(r) => r.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_roundtrip() {
+        for idx in 0..64 {
+            assert_eq!(Reg::from_index(idx).index(), idx);
+        }
+    }
+
+    #[test]
+    fn zero_registers() {
+        assert!(IntReg::R31.is_zero());
+        assert!(FpReg::F31.is_zero());
+        assert!(!IntReg::R0.is_zero());
+        assert!(Reg::Int(IntReg::R31).is_zero());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IntReg::new(7).to_string(), "r7");
+        assert_eq!(FpReg::new(31).to_string(), "f31");
+        assert_eq!(Reg::Fp(FpReg::F2).to_string(), "f2");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < 32")]
+    fn out_of_range_rejected() {
+        let _ = IntReg::new(32);
+    }
+
+    #[test]
+    fn fp_classification() {
+        assert!(Reg::Fp(FpReg::F0).is_fp());
+        assert!(!Reg::Int(IntReg::R0).is_fp());
+    }
+}

@@ -1,0 +1,236 @@
+//! Convolution-based voltage computation (the paper's reference method).
+//!
+//! The paper (following Grochowski et al.) computes the supply voltage by
+//! convolving the per-cycle current trace with the network's impulse
+//! response. This module provides that reference path:
+//!
+//! * [`convolve_full`] — batch convolution of a whole trace,
+//! * [`Convolver`] — a streaming ring-buffer convolver for cycle-by-cycle
+//!   use,
+//! * [`kernel_for`] — extraction of a truncated convolution kernel from a
+//!   [`PdnModel`].
+//!
+//! Because the kernel is the model's exact zero-order-hold pulse response,
+//! the convolution output matches [`crate::state_space::PdnState`] to within
+//! truncation error — a property-tested invariant. The state-space stepper
+//! is O(1) per cycle and is the recommended fast path; convolution is kept
+//! as an independent cross-check and for experimenting with measured
+//! (non-analytic) kernels.
+
+use crate::second_order::PdnModel;
+use crate::state_space::pulse_response;
+
+/// Extracts a truncated convolution kernel (volts per amp per cycle) from
+/// `model`, long enough that the discarded tail is below `rel_tol` of the
+/// kernel's peak magnitude. A `rel_tol` of `1e-6` is a good default.
+///
+/// # Panics
+///
+/// Panics if `rel_tol` is not a positive finite number.
+pub fn kernel_for(model: &PdnModel, rel_tol: f64) -> Vec<f64> {
+    assert!(
+        rel_tol.is_finite() && rel_tol > 0.0,
+        "rel_tol must be positive and finite"
+    );
+    // Grow in blocks of one resonant period until the tail is negligible.
+    let period = model.resonant_period_cycles().max(2);
+    let mut n = period * 8;
+    loop {
+        let h = pulse_response(model, n);
+        let peak = h.iter().map(|x| x.abs()).fold(0.0, f64::max);
+        let tail = h[n - period..].iter().map(|x| x.abs()).fold(0.0, f64::max);
+        if tail <= rel_tol * peak || n > period * 4096 {
+            return h;
+        }
+        n *= 2;
+    }
+}
+
+/// Batch convolution: `v[n] = v_nominal + sum_k h[k] * i[n-k]`.
+///
+/// Returns one voltage sample per current sample (the "same-length" leading
+/// part of the full convolution, matching what a streaming simulator sees).
+pub fn convolve_full(kernel: &[f64], currents: &[f64], v_nominal: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(currents.len());
+    for n in 0..currents.len() {
+        let mut acc = 0.0;
+        let kmax = kernel.len().min(n + 1);
+        for k in 0..kmax {
+            acc += kernel[k] * currents[n - k];
+        }
+        out.push(v_nominal + acc);
+    }
+    out
+}
+
+/// Streaming convolver with a ring buffer of past current samples.
+///
+/// Functionally identical to [`convolve_full`] but usable one cycle at a
+/// time inside a closed simulation loop.
+///
+/// # Example
+///
+/// ```
+/// use voltctl_pdn::{PdnModel, convolve::{kernel_for, Convolver}};
+///
+/// # fn main() -> Result<(), voltctl_pdn::PdnError> {
+/// let model = PdnModel::paper_default()?;
+/// let mut conv = Convolver::new(kernel_for(&model, 1e-6), model.v_nominal());
+/// let v = conv.step(25.0);
+/// assert!(v < model.v_nominal()); // current draw dips the supply
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Convolver {
+    kernel: Vec<f64>,
+    history: Vec<f64>,
+    head: usize,
+    v_nominal: f64,
+}
+
+impl Convolver {
+    /// Creates a convolver from a kernel (volts/amp) and nominal voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is empty.
+    pub fn new(kernel: Vec<f64>, v_nominal: f64) -> Self {
+        assert!(!kernel.is_empty(), "convolution kernel must be non-empty");
+        let len = kernel.len();
+        Convolver {
+            kernel,
+            history: vec![0.0; len],
+            head: 0,
+            v_nominal,
+        }
+    }
+
+    /// Number of taps in the kernel.
+    pub fn len(&self) -> usize {
+        self.kernel.len()
+    }
+
+    /// Always false: the constructor rejects empty kernels.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Pushes this cycle's current sample (amps) and returns the voltage.
+    pub fn step(&mut self, i_load: f64) -> f64 {
+        self.history[self.head] = i_load;
+        let n = self.kernel.len();
+        let mut acc = 0.0;
+        // history[head] is i[n], history[head-1] is i[n-1], ...
+        let mut idx = self.head;
+        for &h in &self.kernel {
+            acc += h * self.history[idx];
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.head = (self.head + 1) % n;
+        self.v_nominal + acc
+    }
+
+    /// The nominal supply voltage added to the convolution output.
+    pub fn voltage_nominal(&self) -> f64 {
+        self.v_nominal
+    }
+
+    /// Clears the current history.
+    pub fn reset(&mut self) {
+        self.history.fill(0.0);
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::second_order::PdnModel;
+
+    fn model() -> PdnModel {
+        PdnModel::paper_default().unwrap()
+    }
+
+    #[test]
+    fn kernel_tail_is_negligible() {
+        let m = model();
+        let h = kernel_for(&m, 1e-6);
+        let peak = h.iter().map(|x| x.abs()).fold(0.0, f64::max);
+        let tail = h[h.len() - 10..].iter().map(|x| x.abs()).fold(0.0, f64::max);
+        assert!(tail <= 1e-5 * peak);
+    }
+
+    #[test]
+    fn batch_matches_streaming() {
+        let m = model();
+        let kernel = kernel_for(&m, 1e-9);
+        let trace: Vec<f64> = (0..500)
+            .map(|k| if (k / 30) % 2 == 0 { 40.0 } else { 5.0 })
+            .collect();
+        let batch = convolve_full(&kernel, &trace, m.v_nominal());
+        let mut conv = Convolver::new(kernel, m.v_nominal());
+        let streaming: Vec<f64> = trace.iter().map(|&i| conv.step(i)).collect();
+        for (a, b) in batch.iter().zip(&streaming) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convolution_matches_state_space() {
+        let m = model();
+        let kernel = kernel_for(&m, 1e-10);
+        let trace: Vec<f64> = (0..2000)
+            .map(|k| match k % 97 {
+                0..=20 => 45.0,
+                21..=50 => 10.0,
+                _ => 25.0,
+            })
+            .collect();
+        let conv = convolve_full(&kernel, &trace, m.v_nominal());
+        let mut ss = m.discretize();
+        for (n, &i) in trace.iter().enumerate() {
+            let v_ss = ss.step(i);
+            assert!(
+                (conv[n] - v_ss).abs() < 1e-7,
+                "cycle {n}: convolution {} vs state-space {v_ss}",
+                conv[n]
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let m = model();
+        let kernel = kernel_for(&m, 1e-6);
+        let mut conv = Convolver::new(kernel, m.v_nominal());
+        for _ in 0..100 {
+            conv.step(40.0);
+        }
+        conv.reset();
+        let v = conv.step(0.0);
+        assert!((v - m.v_nominal()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_kernel_panics() {
+        let _ = Convolver::new(Vec::new(), 1.0);
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // LTI sanity: conv(a + b) == conv(a) + conv(b) - v_nominal.
+        let m = model();
+        let kernel = kernel_for(&m, 1e-8);
+        let a: Vec<f64> = (0..300).map(|k| (k % 13) as f64).collect();
+        let b: Vec<f64> = (0..300).map(|k| ((k * 7) % 11) as f64).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let va = convolve_full(&kernel, &a, 0.0);
+        let vb = convolve_full(&kernel, &b, 0.0);
+        let vs = convolve_full(&kernel, &sum, 0.0);
+        for n in 0..300 {
+            assert!((vs[n] - (va[n] + vb[n])).abs() < 1e-12);
+        }
+    }
+}

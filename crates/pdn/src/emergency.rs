@@ -1,0 +1,388 @@
+//! Voltage-emergency detection, counting, and distribution histograms.
+//!
+//! The paper defines a **voltage emergency** as any excursion of the supply
+//! beyond +/-5% of nominal (Section 3.3). [`VoltageMonitor`] consumes a
+//! per-cycle voltage stream and tallies emergencies both as discrete
+//! *events* (each entry into the forbidden band counts once) and as
+//! *cycle counts* (how long the supply stays out of specification), which is
+//! what Table 2's "emergency frequency" reports. [`VoltageHistogram`] builds
+//! the voltage-distribution curves of Figure 10.
+
+/// Classification of a single voltage sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VoltageBand {
+    /// Below `v_nominal * (1 - tolerance)` — an undervoltage emergency.
+    UnderEmergency,
+    /// Within specification.
+    Safe,
+    /// Above `v_nominal * (1 + tolerance)` — an overvoltage emergency.
+    OverEmergency,
+}
+
+/// Streaming detector/counter for voltage emergencies.
+///
+/// # Example
+///
+/// ```
+/// use voltctl_pdn::VoltageMonitor;
+///
+/// let mut mon = VoltageMonitor::new(1.0, 0.05);
+/// for &v in &[1.0, 0.97, 0.94, 0.94, 0.98, 1.06] {
+///     mon.observe(v);
+/// }
+/// let report = mon.report();
+/// assert_eq!(report.under_events, 1);
+/// assert_eq!(report.over_events, 1);
+/// assert_eq!(report.emergency_cycles, 3);
+/// assert_eq!(report.total_cycles, 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VoltageMonitor {
+    v_nominal: f64,
+    tolerance: f64,
+    total_cycles: u64,
+    under_cycles: u64,
+    over_cycles: u64,
+    under_events: u64,
+    over_events: u64,
+    min_v: f64,
+    max_v: f64,
+    last_band: VoltageBand,
+}
+
+impl VoltageMonitor {
+    /// Creates a monitor for `v_nominal` volts with relative `tolerance`
+    /// (0.05 = +/-5%).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_nominal > 0` and `0 < tolerance < 1`.
+    pub fn new(v_nominal: f64, tolerance: f64) -> Self {
+        assert!(v_nominal > 0.0, "v_nominal must be positive");
+        assert!(
+            tolerance > 0.0 && tolerance < 1.0,
+            "tolerance must be in (0, 1)"
+        );
+        VoltageMonitor {
+            v_nominal,
+            tolerance,
+            total_cycles: 0,
+            under_cycles: 0,
+            over_cycles: 0,
+            under_events: 0,
+            over_events: 0,
+            min_v: f64::MAX,
+            max_v: f64::MIN,
+            last_band: VoltageBand::Safe,
+        }
+    }
+
+    /// The lower emergency threshold in volts.
+    pub fn v_low(&self) -> f64 {
+        self.v_nominal * (1.0 - self.tolerance)
+    }
+
+    /// The upper emergency threshold in volts.
+    pub fn v_high(&self) -> f64 {
+        self.v_nominal * (1.0 + self.tolerance)
+    }
+
+    /// Classifies a voltage without recording it.
+    pub fn classify(&self, volts: f64) -> VoltageBand {
+        if volts < self.v_low() {
+            VoltageBand::UnderEmergency
+        } else if volts > self.v_high() {
+            VoltageBand::OverEmergency
+        } else {
+            VoltageBand::Safe
+        }
+    }
+
+    /// Records one per-cycle voltage sample and returns its band.
+    pub fn observe(&mut self, volts: f64) -> VoltageBand {
+        let band = self.classify(volts);
+        self.total_cycles += 1;
+        self.min_v = self.min_v.min(volts);
+        self.max_v = self.max_v.max(volts);
+        match band {
+            VoltageBand::UnderEmergency => {
+                self.under_cycles += 1;
+                if self.last_band != VoltageBand::UnderEmergency {
+                    self.under_events += 1;
+                }
+            }
+            VoltageBand::OverEmergency => {
+                self.over_cycles += 1;
+                if self.last_band != VoltageBand::OverEmergency {
+                    self.over_events += 1;
+                }
+            }
+            VoltageBand::Safe => {}
+        }
+        self.last_band = band;
+        band
+    }
+
+    /// Records an entire voltage trace.
+    pub fn observe_all(&mut self, volts: &[f64]) {
+        for &v in volts {
+            self.observe(v);
+        }
+    }
+
+    /// Produces the accumulated report.
+    pub fn report(&self) -> EmergencyReport {
+        EmergencyReport {
+            total_cycles: self.total_cycles,
+            emergency_cycles: self.under_cycles + self.over_cycles,
+            under_cycles: self.under_cycles,
+            over_cycles: self.over_cycles,
+            under_events: self.under_events,
+            over_events: self.over_events,
+            min_v: if self.total_cycles == 0 { f64::NAN } else { self.min_v },
+            max_v: if self.total_cycles == 0 { f64::NAN } else { self.max_v },
+        }
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        *self = VoltageMonitor::new(self.v_nominal, self.tolerance);
+    }
+}
+
+/// Accumulated emergency statistics for a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmergencyReport {
+    /// Number of observed cycles.
+    pub total_cycles: u64,
+    /// Cycles spent outside specification (under + over).
+    pub emergency_cycles: u64,
+    /// Cycles under the low threshold.
+    pub under_cycles: u64,
+    /// Cycles over the high threshold.
+    pub over_cycles: u64,
+    /// Discrete undervoltage events (entries into the low band).
+    pub under_events: u64,
+    /// Discrete overvoltage events (entries into the high band).
+    pub over_events: u64,
+    /// Minimum voltage seen (NaN when no samples).
+    pub min_v: f64,
+    /// Maximum voltage seen (NaN when no samples).
+    pub max_v: f64,
+}
+
+impl EmergencyReport {
+    /// Total discrete emergency events.
+    pub fn events(&self) -> u64 {
+        self.under_events + self.over_events
+    }
+
+    /// Whether any emergency occurred.
+    pub fn any(&self) -> bool {
+        self.emergency_cycles > 0
+    }
+
+    /// Fraction of cycles out of specification — Table 2's "emergency
+    /// frequency". Zero when no cycles were observed.
+    pub fn frequency(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.emergency_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// A fixed-bin histogram of supply-voltage samples (Figure 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageHistogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+    total: u64,
+}
+
+impl VoltageHistogram {
+    /// Creates a histogram spanning `[lo, hi)` volts with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins > 0, "need at least one bin");
+        VoltageHistogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+            total: 0,
+        }
+    }
+
+    /// A convenient default for 1.0 V nominal: [0.90, 1.10) V, 100 bins
+    /// (2 mV resolution).
+    pub fn for_nominal_1v() -> Self {
+        VoltageHistogram::new(0.90, 1.10, 100)
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, volts: f64) {
+        self.total += 1;
+        if volts < self.lo {
+            self.below += 1;
+        } else if volts >= self.hi {
+            self.above += 1;
+        } else {
+            let frac = (volts - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Records every sample of a trace.
+    pub fn record_all(&mut self, volts: &[f64]) {
+        for &v in volts {
+            self.record(v);
+        }
+    }
+
+    /// Raw bin counts (ascending voltage).
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin_center_volts, fraction_of_samples)` pairs.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let total = self.total.max(1) as f64;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c as f64 / total))
+            .collect()
+    }
+
+    /// Total recorded samples (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below/above the histogram range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// The standard deviation of the recorded in-range samples,
+    /// approximated from bin centers. A measure of how "wide" a benchmark's
+    /// voltage distribution is (ammp narrow, galgel wide in Fig. 10).
+    pub fn spread(&self) -> f64 {
+        let pts = self.normalized();
+        let mean: f64 = pts.iter().map(|(v, p)| v * p).sum();
+        let var: f64 = pts.iter().map(|(v, p)| (v - mean).powi(2) * p).sum();
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_bands() {
+        let mon = VoltageMonitor::new(1.0, 0.05);
+        assert_eq!(mon.classify(1.0), VoltageBand::Safe);
+        assert_eq!(mon.classify(0.951), VoltageBand::Safe);
+        assert_eq!(mon.classify(0.949), VoltageBand::UnderEmergency);
+        assert_eq!(mon.classify(1.049), VoltageBand::Safe);
+        assert_eq!(mon.classify(1.051), VoltageBand::OverEmergency);
+    }
+
+    #[test]
+    fn events_count_entries_not_cycles() {
+        let mut mon = VoltageMonitor::new(1.0, 0.05);
+        mon.observe_all(&[0.94, 0.94, 0.94, 1.0, 0.94, 1.0]);
+        let r = mon.report();
+        assert_eq!(r.under_events, 2);
+        assert_eq!(r.under_cycles, 4);
+        assert_eq!(r.over_events, 0);
+    }
+
+    #[test]
+    fn transition_under_to_over_counts_both() {
+        let mut mon = VoltageMonitor::new(1.0, 0.05);
+        mon.observe_all(&[0.90, 1.10]);
+        let r = mon.report();
+        assert_eq!(r.under_events, 1);
+        assert_eq!(r.over_events, 1);
+        assert_eq!(r.events(), 2);
+    }
+
+    #[test]
+    fn frequency_is_fraction_of_cycles() {
+        let mut mon = VoltageMonitor::new(1.0, 0.05);
+        mon.observe_all(&[1.0, 1.0, 0.90, 1.0]);
+        assert!((mon.report().frequency() - 0.25).abs() < 1e-12);
+        assert!(mon.report().any());
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let mon = VoltageMonitor::new(1.0, 0.05);
+        let r = mon.report();
+        assert_eq!(r.frequency(), 0.0);
+        assert!(!r.any());
+        assert!(r.min_v.is_nan() && r.max_v.is_nan());
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut mon = VoltageMonitor::new(1.0, 0.05);
+        mon.observe(0.9);
+        mon.reset();
+        assert_eq!(mon.report().total_cycles, 0);
+        assert_eq!(mon.report().events(), 0);
+    }
+
+    #[test]
+    fn min_max_tracked() {
+        let mut mon = VoltageMonitor::new(1.0, 0.05);
+        mon.observe_all(&[0.98, 1.03, 0.96]);
+        let r = mon.report();
+        assert_eq!(r.min_v, 0.96);
+        assert_eq!(r.max_v, 1.03);
+    }
+
+    #[test]
+    fn histogram_bins_and_normalization() {
+        let mut h = VoltageHistogram::new(0.9, 1.1, 20);
+        h.record_all(&[0.95, 0.95, 1.05, 0.85, 1.15]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.out_of_range(), (1, 1));
+        let sum: f64 = h.normalized().iter().map(|(_, p)| p).sum();
+        assert!((sum - 3.0 / 5.0).abs() < 1e-12); // 3 in-range of 5
+    }
+
+    #[test]
+    fn histogram_spread_orders_stable_vs_variable() {
+        let mut narrow = VoltageHistogram::for_nominal_1v();
+        let mut wide = VoltageHistogram::for_nominal_1v();
+        for k in 0..1000 {
+            narrow.record(1.0 + 0.001 * ((k % 3) as f64 - 1.0));
+            wide.record(1.0 + 0.03 * (((k % 7) as f64 - 3.0) / 3.0));
+        }
+        assert!(wide.spread() > 3.0 * narrow.spread());
+    }
+
+    #[test]
+    fn histogram_edge_sample_goes_to_last_bin() {
+        let mut h = VoltageHistogram::new(0.0, 1.0, 10);
+        h.record(0.999_999_9);
+        assert_eq!(h.counts()[9], 1);
+        h.record(1.0);
+        assert_eq!(h.out_of_range().1, 1);
+    }
+}

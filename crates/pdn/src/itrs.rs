@@ -1,0 +1,154 @@
+//! ITRS-2001 power-supply impedance trend data (the paper's Figure 1).
+//!
+//! The 2001 International Technology Roadmap for Semiconductors projects
+//! supply voltage and maximum device current per technology generation; the
+//! implied **target impedance** `Z = (tolerance * Vdd) / Imax` falls roughly
+//! 2x every 3-5 years. The paper plots this relative to the 2001 value for
+//! the cost-performance and high-performance market segments, observing
+//! both the rapid decline and the narrowing gap between segments.
+//!
+//! The tables below encode the roadmap's projected `Vdd` and `Imax` per
+//! year; relative impedances are derived, not hard-coded, so the derivation
+//! is testable.
+
+/// ITRS market segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// Cost-performance (desktop-class) systems.
+    CostPerformance,
+    /// High-performance (server-class) systems.
+    HighPerformance,
+}
+
+/// One roadmap generation: projected supply and maximum current.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Generation {
+    /// Roadmap year.
+    pub year: u32,
+    /// Projected supply voltage (volts).
+    pub vdd: f64,
+    /// Projected maximum device current (amps).
+    pub i_max: f64,
+}
+
+/// ITRS-2001 projections for the cost-performance segment.
+pub const COST_PERFORMANCE: &[Generation] = &[
+    Generation { year: 2001, vdd: 1.1, i_max: 61.0 },
+    Generation { year: 2002, vdd: 1.0, i_max: 71.0 },
+    Generation { year: 2003, vdd: 1.0, i_max: 81.0 },
+    Generation { year: 2004, vdd: 1.0, i_max: 92.0 },
+    Generation { year: 2005, vdd: 0.9, i_max: 103.0 },
+    Generation { year: 2006, vdd: 0.9, i_max: 112.0 },
+    Generation { year: 2007, vdd: 0.7, i_max: 132.0 },
+    Generation { year: 2010, vdd: 0.6, i_max: 160.0 },
+    Generation { year: 2013, vdd: 0.5, i_max: 186.0 },
+    Generation { year: 2016, vdd: 0.4, i_max: 214.0 },
+];
+
+/// ITRS-2001 projections for the high-performance segment.
+pub const HIGH_PERFORMANCE: &[Generation] = &[
+    Generation { year: 2001, vdd: 1.1, i_max: 118.0 },
+    Generation { year: 2002, vdd: 1.0, i_max: 139.0 },
+    Generation { year: 2003, vdd: 1.0, i_max: 149.0 },
+    Generation { year: 2004, vdd: 1.0, i_max: 158.0 },
+    Generation { year: 2005, vdd: 0.9, i_max: 170.0 },
+    Generation { year: 2006, vdd: 0.9, i_max: 180.0 },
+    Generation { year: 2007, vdd: 0.7, i_max: 218.0 },
+    Generation { year: 2010, vdd: 0.6, i_max: 251.0 },
+    Generation { year: 2013, vdd: 0.5, i_max: 288.0 },
+    Generation { year: 2016, vdd: 0.4, i_max: 310.0 },
+];
+
+/// The generations table for a segment.
+pub fn generations(segment: Segment) -> &'static [Generation] {
+    match segment {
+        Segment::CostPerformance => COST_PERFORMANCE,
+        Segment::HighPerformance => HIGH_PERFORMANCE,
+    }
+}
+
+/// Absolute target impedance `(tolerance * vdd) / i_max` in ohms for one
+/// generation, at the paper's +/-5% tolerance.
+pub fn target_impedance(g: &Generation) -> f64 {
+    0.05 * g.vdd / g.i_max
+}
+
+/// The Figure 1 series: `(year, impedance relative to the segment's 2001
+/// value)`, descending toward zero as the roadmap progresses.
+pub fn relative_impedance(segment: Segment) -> Vec<(u32, f64)> {
+    let gens = generations(segment);
+    let base = target_impedance(&gens[0]);
+    gens.iter()
+        .map(|g| (g.year, target_impedance(g) / base))
+        .collect()
+}
+
+/// Ratio of cost-performance to high-performance target impedance per year:
+/// the paper's observation that the two curves converge (ratio shrinks
+/// toward 1) over the roadmap.
+pub fn segment_gap() -> Vec<(u32, f64)> {
+    COST_PERFORMANCE
+        .iter()
+        .zip(HIGH_PERFORMANCE)
+        .map(|(cp, hp)| {
+            debug_assert_eq!(cp.year, hp.year);
+            (cp.year, target_impedance(cp) / target_impedance(hp))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_parallel_and_chronological() {
+        assert_eq!(COST_PERFORMANCE.len(), HIGH_PERFORMANCE.len());
+        for pair in COST_PERFORMANCE.windows(2) {
+            assert!(pair[0].year < pair[1].year);
+        }
+        for (cp, hp) in COST_PERFORMANCE.iter().zip(HIGH_PERFORMANCE) {
+            assert_eq!(cp.year, hp.year);
+        }
+    }
+
+    #[test]
+    fn relative_impedance_starts_at_one_and_falls() {
+        for seg in [Segment::CostPerformance, Segment::HighPerformance] {
+            let series = relative_impedance(seg);
+            assert!((series[0].1 - 1.0).abs() < 1e-12);
+            for pair in series.windows(2) {
+                assert!(
+                    pair[1].1 < pair[0].1,
+                    "{seg:?}: impedance must fall monotonically"
+                );
+            }
+            assert!(series.last().unwrap().1 < 0.25, "2x every 3-5 years");
+        }
+    }
+
+    #[test]
+    fn high_performance_is_stricter() {
+        for (cp, hp) in COST_PERFORMANCE.iter().zip(HIGH_PERFORMANCE) {
+            assert!(target_impedance(hp) < target_impedance(cp));
+        }
+    }
+
+    #[test]
+    fn segment_gap_narrows() {
+        let gap = segment_gap();
+        assert!(gap.first().unwrap().1 > gap.last().unwrap().1);
+        for (_, ratio) in gap {
+            assert!(ratio > 1.0, "cost-performance is always the looser target");
+        }
+    }
+
+    #[test]
+    fn halving_cadence_is_three_to_five_years() {
+        // Find when relative impedance first drops below 0.5: should be
+        // within 3-5 years of 2001.
+        let series = relative_impedance(Segment::HighPerformance);
+        let half_year = series.iter().find(|(_, z)| *z < 0.5).map(|(y, _)| *y).unwrap();
+        assert!((2004..=2007).contains(&half_year), "halved by {half_year}");
+    }
+}

@@ -1,0 +1,390 @@
+//! Multi-stage RLC ladder model of the full power-delivery path.
+//!
+//! The paper's §6 notes that its second-order model "is somewhat more
+//! abstract than the more detailed circuit models that packaging engineers
+//! typically rely on" and calls cross-level validation important. This
+//! module provides that next level of detail: an N-stage ladder —
+//! regulator → board (bulk capacitors) → package → die — where each stage
+//! contributes a series R-L path and a shunt capacitance, and the load is
+//! drawn at the die node.
+//!
+//! [`LadderModel::fit_second_order`] extracts the equivalent [`PdnModel`]
+//! (same DC resistance, die-level resonant frequency, and peak impedance),
+//! and the `ablation_ladder` experiment compares the two across the
+//! paper's characteristic inputs — quantifying how much the second-order
+//! abstraction gives up (at mid frequencies: very little, which is the
+//! paper's justification for using it).
+
+use crate::matn::MatN;
+use crate::second_order::{PdnError, PdnModel};
+
+/// One ladder stage: a series R-L path into a shunt capacitance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderStage {
+    /// Series resistance (ohms) — includes the capacitor bank's ESR.
+    pub r: f64,
+    /// Series inductance (henries).
+    pub l: f64,
+    /// Shunt capacitance at the stage's output node (farads).
+    pub c: f64,
+}
+
+/// The N-stage ladder network.
+#[derive(Debug, Clone)]
+pub struct LadderModel {
+    stages: Vec<LadderStage>,
+    clock_hz: f64,
+    v_nominal: f64,
+}
+
+/// Streaming per-cycle simulator for a [`LadderModel`] (exact ZOH
+/// discretization, like [`crate::PdnState`]).
+#[derive(Debug, Clone)]
+pub struct LadderState {
+    ad: MatN,
+    bd: Vec<f64>,
+    x: Vec<f64>,
+    v_nominal: f64,
+    i_ref: f64,
+    die_index: usize,
+}
+
+impl LadderModel {
+    /// Builds a ladder from stages ordered regulator → die.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty ladders and non-positive element values.
+    pub fn new(
+        stages: Vec<LadderStage>,
+        clock_hz: f64,
+        v_nominal: f64,
+    ) -> Result<LadderModel, PdnError> {
+        if stages.is_empty() {
+            return Err(PdnError::InvalidParameter("stages"));
+        }
+        for s in &stages {
+            if !(s.r.is_finite() && s.r > 0.0) {
+                return Err(PdnError::InvalidParameter("stage r"));
+            }
+            if !(s.l.is_finite() && s.l > 0.0) {
+                return Err(PdnError::InvalidParameter("stage l"));
+            }
+            if !(s.c.is_finite() && s.c > 0.0) {
+                return Err(PdnError::InvalidParameter("stage c"));
+            }
+        }
+        if !(clock_hz.is_finite() && clock_hz > 0.0) {
+            return Err(PdnError::InvalidParameter("clock_hz"));
+        }
+        if !(v_nominal.is_finite() && v_nominal > 0.0) {
+            return Err(PdnError::InvalidParameter("v_nominal"));
+        }
+        Ok(LadderModel {
+            stages,
+            clock_hz,
+            v_nominal,
+        })
+    }
+
+    /// A representative three-stage path (board bulk capacitance, package,
+    /// die) whose die-level resonance sits at the paper's 50 MHz with a
+    /// comparable quality factor. ESRs are folded into the stage
+    /// resistances.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (the constants are valid).
+    pub fn typical_three_stage() -> LadderModel {
+        LadderModel::new(
+            vec![
+                // VRM → board: bulk electrolytics.
+                LadderStage {
+                    r: 0.25e-3,
+                    l: 20.0e-9,
+                    c: 500.0e-6,
+                },
+                // Board → package: ceramic banks.
+                LadderStage {
+                    r: 0.15e-3,
+                    l: 60.0e-12,
+                    c: 30.0e-6,
+                },
+                // Package → die: on-die decap with its ESR.
+                LadderStage {
+                    r: 0.45e-3,
+                    l: 5.1e-12,
+                    c: 2.0e-6,
+                },
+            ],
+            3.0e9,
+            1.0,
+        )
+        .expect("constants are valid")
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total DC (series) resistance, ohms.
+    pub fn r_dc(&self) -> f64 {
+        self.stages.iter().map(|s| s.r).sum()
+    }
+
+    /// Nominal voltage, volts.
+    pub fn v_nominal(&self) -> f64 {
+        self.v_nominal
+    }
+
+    /// CPU clock, hertz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// The continuous-time state matrices. State layout:
+    /// `[v_1..v_N, i_1..i_N]`; input = die load current; output = `v_N`.
+    fn system(&self) -> (MatN, Vec<f64>) {
+        let n = self.stages.len();
+        let dim = 2 * n;
+        let mut a = MatN::zeros(dim);
+        // C_k dv_k/dt = i_k - i_{k+1} - u*[k == N]
+        for k in 0..n {
+            let c = self.stages[k].c;
+            a.add_to(k, n + k, 1.0 / c);
+            if k + 1 < n {
+                a.add_to(k, n + k + 1, -1.0 / c);
+            }
+        }
+        // L_k di_k/dt = v_{k-1} - v_k - R_k i_k   (v_0 = regulator = 0 dev)
+        for k in 0..n {
+            let s = self.stages[k];
+            if k > 0 {
+                a.add_to(n + k, k - 1, 1.0 / s.l);
+            }
+            a.add_to(n + k, k, -1.0 / s.l);
+            a.add_to(n + k, n + k, -s.r / s.l);
+        }
+        let mut b = vec![0.0; dim];
+        b[n - 1] = -1.0 / self.stages[n - 1].c;
+        (a, b)
+    }
+
+    /// Exact zero-order-hold discretization at one CPU cycle per step.
+    pub fn discretize(&self) -> LadderState {
+        let (a, b) = self.system();
+        let dt = 1.0 / self.clock_hz;
+        let ad = a.scale(dt).expm();
+        // Bd = A^-1 (Ad - I) B.
+        let identity = MatN::identity(a.n());
+        let rhs_mat = ad.add(&identity.scale(-1.0));
+        let a_inv_rhs = a
+            .solve(&rhs_mat)
+            .expect("ladder state matrix is invertible");
+        let bd = a_inv_rhs.mul_vec(&b);
+        LadderState {
+            ad,
+            bd,
+            x: vec![0.0; b.len()],
+            v_nominal: self.v_nominal,
+            i_ref: 0.0,
+            die_index: self.stages.len() - 1,
+        }
+    }
+
+    /// `|Z|` at the die node for frequency `f_hz`, measured in the time
+    /// domain: drive a unit sinusoid and read the steady amplitude.
+    pub fn impedance_at(&self, f_hz: f64) -> f64 {
+        assert!(f_hz > 0.0 && f_hz < self.clock_hz / 2.0, "frequency out of range");
+        let mut state = self.discretize();
+        let period_cycles = (self.clock_hz / f_hz).max(2.0);
+        let warm = (30.0 * period_cycles) as usize;
+        let measure = (10.0 * period_cycles) as usize;
+        let w = 2.0 * std::f64::consts::PI * f_hz / self.clock_hz;
+        let mut amp = 0.0f64;
+        for t in 0..(warm + measure) {
+            let i = (w * t as f64).sin();
+            let v = state.step(i);
+            if t >= warm {
+                amp = amp.max((v - self.v_nominal).abs());
+            }
+        }
+        amp
+    }
+
+    /// Numerically locates the die-level (mid-frequency) impedance peak in
+    /// `[f_lo, f_hi]` hertz, returning `(f_peak, z_peak)`.
+    pub fn mid_frequency_peak(&self, f_lo: f64, f_hi: f64) -> (f64, f64) {
+        assert!(f_lo > 0.0 && f_hi > f_lo);
+        let n = 40;
+        let log_lo = f_lo.ln();
+        let step = (f_hi.ln() - log_lo) / n as f64;
+        let mut best = (f_lo, 0.0f64);
+        for k in 0..=n {
+            let f = (log_lo + step * k as f64).exp();
+            let z = self.impedance_at(f);
+            if z > best.1 {
+                best = (f, z);
+            }
+        }
+        best
+    }
+
+    /// Fits the equivalent second-order [`PdnModel`]: same DC resistance
+    /// and the ladder's measured mid-frequency resonance and peak.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit errors (e.g. the measured peak not exceeding the DC
+    /// resistance).
+    pub fn fit_second_order(&self, f_lo: f64, f_hi: f64) -> Result<PdnModel, PdnError> {
+        let (f0, z_pk) = self.mid_frequency_peak(f_lo, f_hi);
+        PdnModel::builder()
+            .r_dc(self.r_dc())
+            .resonant_freq_hz(f0)
+            .peak_impedance(z_pk)
+            .clock_hz(self.clock_hz)
+            .v_nominal(self.v_nominal)
+            .build()
+    }
+}
+
+impl LadderState {
+    /// Sets the regulation-point current (amps) and resets transients.
+    pub fn set_reference_current(&mut self, amps: f64) {
+        self.i_ref = amps;
+        self.reset();
+    }
+
+    /// Clears transient state.
+    pub fn reset(&mut self) {
+        self.x.fill(0.0);
+    }
+
+    /// Advances one cycle with die load `i_load` (amps); returns the die
+    /// voltage (volts).
+    pub fn step(&mut self, i_load: f64) -> f64 {
+        let u = i_load - self.i_ref;
+        let mut next = self.ad.mul_vec(&self.x);
+        for (n, b) in next.iter_mut().zip(&self.bd) {
+            *n += b * u;
+        }
+        self.x = next;
+        self.v_nominal + self.x[self.die_index]
+    }
+
+    /// The die voltage right now.
+    pub fn voltage(&self) -> f64 {
+        self.v_nominal + self.x[self.die_index]
+    }
+
+    /// The nominal supply voltage this stepper regulates around.
+    pub fn voltage_nominal(&self) -> f64 {
+        self.v_nominal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> LadderModel {
+        LadderModel::typical_three_stage()
+    }
+
+    #[test]
+    fn dc_behavior_is_total_ir_drop() {
+        let m = ladder();
+        let mut s = m.discretize();
+        let mut v = 0.0;
+        // Drive well past the die/package transients; the board pole is
+        // slow, so allow a generous settle.
+        for _ in 0..3_000_000 {
+            v = s.step(20.0);
+        }
+        let expected = m.v_nominal() - 20.0 * m.r_dc();
+        assert!(
+            (v - expected).abs() < 1.0e-3,
+            "v={v} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn die_resonance_sits_near_50mhz() {
+        let m = ladder();
+        let (f0, z_pk) = m.mid_frequency_peak(10.0e6, 300.0e6);
+        assert!(
+            (30.0e6..90.0e6).contains(&f0),
+            "die resonance at {f0}"
+        );
+        assert!(z_pk > m.r_dc(), "peak {z_pk} must exceed DC {}", m.r_dc());
+    }
+
+    #[test]
+    fn fit_matches_ladder_at_the_peak() {
+        let m = ladder();
+        let fit = m.fit_second_order(10.0e6, 300.0e6).unwrap();
+        let (f0, z_pk) = m.mid_frequency_peak(10.0e6, 300.0e6);
+        assert!((fit.resonant_freq_hz() - f0).abs() / f0 < 0.05);
+        assert!((fit.peak_impedance() - z_pk).abs() / z_pk < 0.05);
+        assert!((fit.r_dc() - m.r_dc()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_order_abstraction_tracks_resonant_train() {
+        // The paper's justification: at mid frequencies the 2nd-order model
+        // is an adequate stand-in for the detailed network.
+        let m = ladder();
+        let fit = m.fit_second_order(10.0e6, 300.0e6).unwrap();
+        let period = fit.resonant_period_cycles();
+        let mut ls = m.discretize();
+        let mut fs = fit.discretize();
+        let mut worst_ladder = 0.0f64;
+        let mut worst_fit = 0.0f64;
+        for t in 0..20 * period {
+            let i = if t % period < period / 2 { 40.0 } else { 0.0 };
+            worst_ladder = worst_ladder.max((ls.step(i) - 1.0).abs());
+            worst_fit = worst_fit.max((fs.step(i) - 1.0).abs());
+        }
+        let rel = (worst_ladder - worst_fit).abs() / worst_ladder;
+        assert!(
+            rel < 0.30,
+            "2nd-order fit should track the ladder at resonance: ladder {worst_ladder:.4} vs fit {worst_fit:.4}"
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(LadderModel::new(vec![], 3e9, 1.0).is_err());
+        let bad = LadderStage {
+            r: 0.0,
+            l: 1e-9,
+            c: 1e-6,
+        };
+        assert!(LadderModel::new(vec![bad], 3e9, 1.0).is_err());
+    }
+
+    #[test]
+    fn reference_current_centers_voltage() {
+        let m = ladder();
+        let mut s = m.discretize();
+        s.set_reference_current(15.0);
+        let mut v = 0.0;
+        for _ in 0..3_000_000 {
+            v = s.step(15.0);
+        }
+        assert!((v - m.v_nominal()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quiet_input_stays_nominal() {
+        let m = ladder();
+        let mut s = m.discretize();
+        for _ in 0..1000 {
+            let v = s.step(0.0);
+            assert!((v - m.v_nominal()).abs() < 1e-12);
+        }
+        assert_eq!(s.voltage(), m.v_nominal());
+    }
+}

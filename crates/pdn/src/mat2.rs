@@ -1,0 +1,237 @@
+//! Minimal 2x2 matrix arithmetic used by the exact zero-order-hold
+//! discretization of the second-order PDN model.
+//!
+//! The module is internal: the public API exposes only the discretized
+//! stepper, never raw matrices.
+
+/// A dense 2x2 matrix of `f64`, stored row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Mat2 {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+}
+
+/// A 2-element column vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Mat2 {
+    pub const IDENTITY: Mat2 = Mat2 {
+        a: 1.0,
+        b: 0.0,
+        c: 0.0,
+        d: 1.0,
+    };
+
+    #[cfg(test)]
+    pub const ZERO: Mat2 = Mat2 {
+        a: 0.0,
+        b: 0.0,
+        c: 0.0,
+        d: 0.0,
+    };
+
+    pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Mat2 { a, b, c, d }
+    }
+
+    pub fn mul(&self, o: &Mat2) -> Mat2 {
+        Mat2 {
+            a: self.a * o.a + self.b * o.c,
+            b: self.a * o.b + self.b * o.d,
+            c: self.c * o.a + self.d * o.c,
+            d: self.c * o.b + self.d * o.d,
+        }
+    }
+
+    pub fn add(&self, o: &Mat2) -> Mat2 {
+        Mat2 {
+            a: self.a + o.a,
+            b: self.b + o.b,
+            c: self.c + o.c,
+            d: self.d + o.d,
+        }
+    }
+
+    pub fn scale(&self, s: f64) -> Mat2 {
+        Mat2 {
+            a: self.a * s,
+            b: self.b * s,
+            c: self.c * s,
+            d: self.d * s,
+        }
+    }
+
+    pub fn mul_vec(&self, v: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.a * v.x + self.b * v.y,
+            y: self.c * v.x + self.d * v.y,
+        }
+    }
+
+    pub fn det(&self) -> f64 {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Matrix inverse. Returns `None` when the matrix is singular.
+    pub fn inverse(&self) -> Option<Mat2> {
+        let det = self.det();
+        if det == 0.0 || !det.is_finite() {
+            return None;
+        }
+        let inv = 1.0 / det;
+        Some(Mat2 {
+            a: self.d * inv,
+            b: -self.b * inv,
+            c: -self.c * inv,
+            d: self.a * inv,
+        })
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        let r0 = self.a.abs() + self.b.abs();
+        let r1 = self.c.abs() + self.d.abs();
+        r0.max(r1)
+    }
+
+    /// Matrix exponential `e^M` via scaling-and-squaring with a Taylor
+    /// series. Accurate to near machine precision for the well-conditioned
+    /// matrices produced by `A * dt` with sub-cycle time steps.
+    pub fn expm(&self) -> Mat2 {
+        // Scale so the norm is small, exponentiate a Taylor series, then
+        // square back up.
+        let norm = self.norm_inf();
+        let squarings = if norm > 0.5 {
+            (norm / 0.5).log2().ceil().max(0.0) as u32
+        } else {
+            0
+        };
+        let scaled = self.scale(1.0 / f64::from(1u32 << squarings.min(31)));
+
+        let mut term = Mat2::IDENTITY;
+        let mut sum = Mat2::IDENTITY;
+        // 18 terms of the Taylor series: far below f64 epsilon for norm <= 0.5.
+        for k in 1..=18 {
+            term = term.mul(&scaled).scale(1.0 / k as f64);
+            sum = sum.add(&term);
+        }
+        let mut result = sum;
+        for _ in 0..squarings.min(31) {
+            result = result.mul(&result);
+        }
+        result
+    }
+}
+
+impl Vec2 {
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    pub fn add(self, o: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x + o.x,
+            y: self.y + o.y,
+        }
+    }
+
+    pub fn scale(self, s: f64) -> Vec2 {
+        Vec2 {
+            x: self.x * s,
+            y: self.y * s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let m = Mat2::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m.mul(&Mat2::IDENTITY), m);
+        assert_eq!(Mat2::IDENTITY.mul(&m), m);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Mat2::new(4.0, 7.0, 2.0, 6.0);
+        let inv = m.inverse().expect("invertible");
+        let prod = m.mul(&inv);
+        assert!(approx(prod.a, 1.0, 1e-12));
+        assert!(approx(prod.b, 0.0, 1e-12));
+        assert!(approx(prod.c, 0.0, 1e-12));
+        assert!(approx(prod.d, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = Mat2::new(1.0, 2.0, 2.0, 4.0);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        assert_eq!(Mat2::ZERO.expm(), Mat2::IDENTITY);
+    }
+
+    #[test]
+    fn expm_diagonal_matches_scalar_exponential() {
+        let m = Mat2::new(0.3, 0.0, 0.0, -1.2);
+        let e = m.expm();
+        assert!(approx(e.a, 0.3f64.exp(), 1e-12));
+        assert!(approx(e.d, (-1.2f64).exp(), 1e-12));
+        assert!(e.b.abs() < 1e-14 && e.c.abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_rotation_matches_trig() {
+        // A = [[0, -w], [w, 0]] has e^A = rotation by w.
+        let w = 0.7;
+        let m = Mat2::new(0.0, -w, w, 0.0);
+        let e = m.expm();
+        assert!(approx(e.a, w.cos(), 1e-12));
+        assert!(approx(e.b, -w.sin(), 1e-12));
+        assert!(approx(e.c, w.sin(), 1e-12));
+        assert!(approx(e.d, w.cos(), 1e-12));
+    }
+
+    #[test]
+    fn expm_large_norm_uses_squaring() {
+        // e^(A) for A = diag(5, -5): well outside the raw Taylor radius.
+        let m = Mat2::new(5.0, 0.0, 0.0, -5.0);
+        let e = m.expm();
+        assert!(approx(e.a, 5.0f64.exp(), 1e-10));
+        assert!(approx(e.d, (-5.0f64).exp(), 1e-10));
+    }
+
+    #[test]
+    fn expm_semigroup_property() {
+        // e^(A) * e^(A) == e^(2A) for commuting (same) matrices.
+        let m = Mat2::new(0.1, 0.4, -0.2, 0.05);
+        let double = m.scale(2.0).expm();
+        let squared = m.expm().mul(&m.expm());
+        assert!(approx(double.a, squared.a, 1e-11));
+        assert!(approx(double.b, squared.b, 1e-11));
+        assert!(approx(double.c, squared.c, 1e-11));
+        assert!(approx(double.d, squared.d, 1e-11));
+    }
+
+    #[test]
+    fn mul_vec_applies_linear_map() {
+        let m = Mat2::new(2.0, 0.0, 0.0, 3.0);
+        let v = m.mul_vec(Vec2::new(1.0, 1.0));
+        assert_eq!(v, Vec2::new(2.0, 3.0));
+    }
+}

@@ -1,0 +1,274 @@
+//! Small dense matrix arithmetic for the multi-stage ladder model.
+//!
+//! The second-order model needs only 2x2 algebra ([`crate::mat2`]); the
+//! N-stage ladder network of [`crate::ladder`] needs general small dense
+//! matrices (a 4-stage ladder is 8x8). Sizes stay in the tens, so simple
+//! O(n^3) routines with partial pivoting are exact enough and fast enough.
+
+/// A small dense square matrix, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MatN {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl MatN {
+    pub fn zeros(n: usize) -> MatN {
+        MatN {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    pub fn identity(n: usize) -> MatN {
+        let mut m = MatN::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] = v;
+    }
+
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += v;
+    }
+
+    pub fn mul(&self, o: &MatN) -> MatN {
+        assert_eq!(self.n, o.n);
+        let n = self.n;
+        let mut out = MatN::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += a * o.data[k * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    pub fn add(&self, o: &MatN) -> MatN {
+        assert_eq!(self.n, o.n);
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&o.data) {
+            *a += b;
+        }
+        out
+    }
+
+    pub fn scale(&self, s: f64) -> MatN {
+        let mut out = self.clone();
+        for a in &mut out.data {
+            *a *= s;
+        }
+        out
+    }
+
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n);
+        let n = self.n;
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += self.data[i * n + j] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    pub fn norm_inf(&self) -> f64 {
+        let n = self.n;
+        (0..n)
+            .map(|i| (0..n).map(|j| self.get(i, j).abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Solves `self * X = B` via Gaussian elimination with partial
+    /// pivoting. Returns `None` for (numerically) singular matrices.
+    pub fn solve(&self, b: &MatN) -> Option<MatN> {
+        assert_eq!(self.n, b.n);
+        let n = self.n;
+        let mut a = self.clone();
+        let mut x = b.clone();
+        for col in 0..n {
+            // Pivot.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, a.get(r, col).abs()))
+                .max_by(|p, q| p.1.partial_cmp(&q.1).expect("no NaNs in PDN matrices"))?;
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let t = a.get(col, j);
+                    a.set(col, j, a.get(pivot_row, j));
+                    a.set(pivot_row, j, t);
+                    let t = x.get(col, j);
+                    x.set(col, j, x.get(pivot_row, j));
+                    x.set(pivot_row, j, t);
+                }
+            }
+            let inv = 1.0 / a.get(col, col);
+            for j in 0..n {
+                a.set(col, j, a.get(col, j) * inv);
+                x.set(col, j, x.get(col, j) * inv);
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a.get(r, col);
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a.add_to(r, j, -f * a.get(col, j));
+                    x.add_to(r, j, -f * x.get(col, j));
+                }
+            }
+        }
+        Some(x)
+    }
+
+    /// Matrix exponential via scaling-and-squaring with a Taylor series —
+    /// the same scheme as the 2x2 case, adequate for the well-conditioned
+    /// `A * dt` matrices the ladder produces.
+    pub fn expm(&self) -> MatN {
+        let norm = self.norm_inf();
+        let squarings = if norm > 0.5 {
+            (norm / 0.5).log2().ceil().max(0.0) as u32
+        } else {
+            0
+        };
+        let squarings = squarings.min(40);
+        let scaled = if squarings > 0 {
+            self.scale(1.0 / 2f64.powi(squarings as i32))
+        } else {
+            self.clone()
+        };
+
+        let mut term = MatN::identity(self.n);
+        let mut sum = MatN::identity(self.n);
+        for k in 1..=20 {
+            term = term.mul(&scaled).scale(1.0 / k as f64);
+            sum = sum.add(&term);
+        }
+        let mut result = sum;
+        for _ in 0..squarings {
+            result = result.mul(&result);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn identity_and_mul() {
+        let i = MatN::identity(4);
+        let mut m = MatN::zeros(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                m.set(r, c, (r * 4 + c) as f64);
+            }
+        }
+        assert_eq!(m.mul(&i), m);
+        assert_eq!(i.mul(&m), m);
+    }
+
+    #[test]
+    fn solve_recovers_inverse() {
+        let mut m = MatN::zeros(3);
+        let vals = [[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]];
+        for r in 0..3 {
+            for c in 0..3 {
+                m.set(r, c, vals[r][c]);
+            }
+        }
+        let inv = m.solve(&MatN::identity(3)).expect("invertible");
+        let prod = m.mul(&inv);
+        for r in 0..3 {
+            for c in 0..3 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!(approx(prod.get(r, c), want, 1e-12), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_solve_is_none() {
+        let mut m = MatN::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        assert!(m.solve(&MatN::identity(2)).is_none());
+    }
+
+    #[test]
+    fn expm_matches_2x2_rotation() {
+        let w = 0.45;
+        let mut m = MatN::zeros(2);
+        m.set(0, 1, -w);
+        m.set(1, 0, w);
+        let e = m.expm();
+        assert!(approx(e.get(0, 0), w.cos(), 1e-12));
+        assert!(approx(e.get(0, 1), -w.sin(), 1e-12));
+        assert!(approx(e.get(1, 0), w.sin(), 1e-12));
+        assert!(approx(e.get(1, 1), w.cos(), 1e-12));
+    }
+
+    #[test]
+    fn expm_diagonal_large_norm() {
+        let mut m = MatN::zeros(3);
+        for (i, v) in [4.0, -3.0, 0.5].iter().enumerate() {
+            m.set(i, i, *v);
+        }
+        let e = m.expm();
+        for (i, v) in [4.0f64, -3.0, 0.5].iter().enumerate() {
+            assert!(approx(e.get(i, i), v.exp(), 1e-9), "diag {i}");
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let mut m = MatN::zeros(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                m.set(r, c, ((r + 1) * (c + 2)) as f64);
+            }
+        }
+        let v = vec![1.0, -2.0, 3.0];
+        let got = m.mul_vec(&v);
+        for r in 0..3 {
+            let want: f64 = (0..3).map(|c| m.get(r, c) * v[c]).sum();
+            assert_eq!(got[r], want);
+        }
+    }
+}

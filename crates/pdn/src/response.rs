@@ -1,0 +1,235 @@
+//! Frequency and transient response characterization (the paper's Figure 2).
+//!
+//! [`FrequencyResponse`] sweeps `|Z(jw)|` over a log-spaced frequency grid;
+//! [`StepResponse`] simulates the voltage reaction to a step increase in
+//! load current and summarizes it with the classic second-order metrics
+//! (peak deviation, overshoot ratio, settling time, ringing period).
+
+use crate::second_order::PdnModel;
+
+/// A swept magnitude-vs-frequency curve for a PDN model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyResponse {
+    points: Vec<(f64, f64)>,
+}
+
+impl FrequencyResponse {
+    /// Sweeps `n` log-spaced points of `|Z|` between `f_lo` and `f_hi` hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not positive with `f_lo < f_hi`, or `n < 2`.
+    pub fn sweep(model: &PdnModel, f_lo: f64, f_hi: f64, n: usize) -> Self {
+        assert!(f_lo > 0.0 && f_hi > f_lo, "need 0 < f_lo < f_hi");
+        assert!(n >= 2, "need at least two sweep points");
+        let log_lo = f_lo.ln();
+        let step = (f_hi.ln() - log_lo) / (n - 1) as f64;
+        let points = (0..n)
+            .map(|i| {
+                let f = (log_lo + step * i as f64).exp();
+                (f, model.impedance_at(f))
+            })
+            .collect();
+        FrequencyResponse { points }
+    }
+
+    /// `(frequency_hz, |Z| ohms)` samples in ascending frequency order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The sampled maximum `(frequency_hz, |Z|)`.
+    pub fn peak(&self) -> (f64, f64) {
+        self.points
+            .iter()
+            .copied()
+            .fold((0.0, f64::MIN), |best, p| if p.1 > best.1 { p } else { best })
+    }
+}
+
+/// Summary metrics of a second-order transient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseMetrics {
+    /// Largest absolute deviation from nominal, in volts.
+    pub peak_deviation: f64,
+    /// Cycle index at which the peak deviation occurs.
+    pub peak_cycle: usize,
+    /// Ratio of the peak deviation to the final (steady-state) deviation.
+    /// Greater than 1 for an underdamped system.
+    pub overshoot_ratio: f64,
+    /// First cycle after which the response stays within 2% of its final
+    /// value, or `None` when it never settles inside the simulated window.
+    pub settling_cycle: Option<usize>,
+    /// Measured ringing period in cycles (distance between successive
+    /// deviation minima), or `None` when fewer than two minima exist.
+    pub ringing_period: Option<usize>,
+}
+
+/// The simulated step response of a PDN model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResponse {
+    volts: Vec<f64>,
+    v_nominal: f64,
+    step_amps: f64,
+    r_dc: f64,
+}
+
+impl StepResponse {
+    /// Simulates `cycles` cycles of the response to a current step of
+    /// `step_amps` amps applied at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero or `step_amps` is not finite.
+    pub fn simulate(model: &PdnModel, step_amps: f64, cycles: usize) -> Self {
+        assert!(cycles > 0, "need at least one cycle");
+        assert!(step_amps.is_finite(), "step_amps must be finite");
+        let mut state = model.discretize();
+        let volts = (0..cycles).map(|_| state.step(step_amps)).collect();
+        StepResponse {
+            volts,
+            v_nominal: model.v_nominal(),
+            step_amps,
+            r_dc: model.r_dc(),
+        }
+    }
+
+    /// Per-cycle voltage samples in volts.
+    pub fn volts(&self) -> &[f64] {
+        &self.volts
+    }
+
+    /// The theoretical steady-state voltage (`v_nominal - R * I`).
+    pub fn final_value(&self) -> f64 {
+        self.v_nominal - self.r_dc * self.step_amps
+    }
+
+    /// Computes the summary metrics of this response.
+    pub fn metrics(&self) -> ResponseMetrics {
+        let final_dev = self.final_value() - self.v_nominal;
+        let mut peak_deviation = 0.0f64;
+        let mut peak_cycle = 0usize;
+        for (k, &v) in self.volts.iter().enumerate() {
+            let dev = (v - self.v_nominal).abs();
+            if dev > peak_deviation {
+                peak_deviation = dev;
+                peak_cycle = k;
+            }
+        }
+        let overshoot_ratio = if final_dev.abs() > 0.0 {
+            peak_deviation / final_dev.abs()
+        } else {
+            f64::INFINITY
+        };
+
+        // 2% settling band around the final value.
+        let band = 0.02 * final_dev.abs().max(1e-12);
+        let final_v = self.final_value();
+        let mut settling_cycle = None;
+        for k in (0..self.volts.len()).rev() {
+            if (self.volts[k] - final_v).abs() > band {
+                if k + 1 < self.volts.len() {
+                    settling_cycle = Some(k + 1);
+                }
+                break;
+            }
+            if k == 0 {
+                settling_cycle = Some(0);
+            }
+        }
+
+        // Ringing period from successive voltage minima.
+        let mut minima = Vec::new();
+        for k in 1..self.volts.len().saturating_sub(1) {
+            if self.volts[k] < self.volts[k - 1] && self.volts[k] < self.volts[k + 1] {
+                minima.push(k);
+            }
+        }
+        let ringing_period = if minima.len() >= 2 {
+            Some(minima[1] - minima[0])
+        } else {
+            None
+        };
+
+        ResponseMetrics {
+            peak_deviation,
+            peak_cycle,
+            overshoot_ratio,
+            settling_cycle,
+            ringing_period,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::second_order::PdnModel;
+
+    fn model() -> PdnModel {
+        PdnModel::paper_default().unwrap()
+    }
+
+    #[test]
+    fn sweep_peak_is_near_resonance() {
+        let m = model();
+        let fr = FrequencyResponse::sweep(&m, 1.0e6, 1.0e9, 600);
+        let (f_pk, z_pk) = fr.peak();
+        assert!(
+            (f_pk - m.resonant_freq_hz()).abs() / m.resonant_freq_hz() < 0.15,
+            "peak at {f_pk}"
+        );
+        assert!((z_pk - m.peak_impedance()).abs() / m.peak_impedance() < 0.01);
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_sized() {
+        let m = model();
+        let fr = FrequencyResponse::sweep(&m, 1.0e6, 1.0e9, 64);
+        assert_eq!(fr.points().len(), 64);
+        assert!(fr.points().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "f_lo < f_hi")]
+    fn sweep_rejects_bad_bounds() {
+        let m = model();
+        let _ = FrequencyResponse::sweep(&m, 1.0e9, 1.0e6, 10);
+    }
+
+    #[test]
+    fn step_response_overshoots_and_settles() {
+        let m = model();
+        let sr = StepResponse::simulate(&m, 40.0, 4000);
+        let metrics = sr.metrics();
+        assert!(metrics.overshoot_ratio > 1.0, "underdamped ⇒ overshoot");
+        assert!(metrics.settling_cycle.is_some());
+        assert!(metrics.settling_cycle.unwrap() < 3000);
+        let period = metrics.ringing_period.expect("ringing expected");
+        let expected = m.resonant_period_cycles();
+        assert!((period as i64 - expected as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn peak_deviation_scales_with_step() {
+        let m = model();
+        let m1 = StepResponse::simulate(&m, 10.0, 2000).metrics();
+        let m2 = StepResponse::simulate(&m, 20.0, 2000).metrics();
+        assert!((m2.peak_deviation - 2.0 * m1.peak_deviation).abs() / m1.peak_deviation < 1e-9);
+    }
+
+    #[test]
+    fn final_value_is_ir_drop() {
+        let m = model();
+        let sr = StepResponse::simulate(&m, 25.0, 10);
+        assert!((sr.final_value() - (m.v_nominal() - 25.0 * m.r_dc())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn never_settling_window_reports_none() {
+        let m = model();
+        // 5 cycles is far too short for a 60-cycle ringing period to settle.
+        let sr = StepResponse::simulate(&m, 40.0, 5);
+        assert_eq!(sr.metrics().settling_cycle, None);
+    }
+}

@@ -1,0 +1,225 @@
+//! Builders for the characteristic current waveforms of Section 2.3.
+//!
+//! These generate the per-cycle current traces behind the paper's intuition
+//! figures: the narrow spike that the network tolerates (Fig. 3), the wide
+//! spike that causes an emergency (Fig. 4), the notched spike that models a
+//! controller backing off (Fig. 5), and the resonant pulse train that is the
+//! analytic worst case (Fig. 6).
+
+/// A constant current trace of `len` cycles at `amps`.
+pub fn constant(amps: f64, len: usize) -> Vec<f64> {
+    vec![amps; len]
+}
+
+/// A single rectangular current spike.
+///
+/// Base current `base` amps everywhere; `base + amplitude` for
+/// `width` cycles starting at cycle `start`. Total length `len` cycles.
+///
+/// # Panics
+///
+/// Panics if the spike does not fit inside `len` cycles.
+pub fn spike(base: f64, amplitude: f64, start: usize, width: usize, len: usize) -> Vec<f64> {
+    assert!(
+        start + width <= len,
+        "spike [{start}, {}) must fit in {len} cycles",
+        start + width
+    );
+    let mut trace = vec![base; len];
+    for sample in &mut trace[start..start + width] {
+        *sample += amplitude;
+    }
+    trace
+}
+
+/// A wide spike with a notch cut out of its middle: current rises at
+/// `start`, dips back to `base` for `notch_width` cycles beginning
+/// `notch_offset` cycles into the spike, then resumes until `width` cycles
+/// have elapsed. Models a controller that briefly throttles a sustained
+/// burst (Fig. 5).
+///
+/// # Panics
+///
+/// Panics if the notch does not fit inside the spike, or the spike inside
+/// the trace.
+pub fn notched_spike(
+    base: f64,
+    amplitude: f64,
+    start: usize,
+    width: usize,
+    notch_offset: usize,
+    notch_width: usize,
+    len: usize,
+) -> Vec<f64> {
+    assert!(
+        notch_offset + notch_width <= width,
+        "notch [{notch_offset}, {}) must fit in spike width {width}",
+        notch_offset + notch_width
+    );
+    let mut trace = spike(base, amplitude, start, width, len);
+    for sample in &mut trace[start + notch_offset..start + notch_offset + notch_width] {
+        *sample -= amplitude;
+    }
+    trace
+}
+
+/// A train of rectangular pulses: `n_pulses` pulses of `pulse_width` cycles
+/// at `base + amplitude`, repeating every `period` cycles, starting at
+/// `start`. The trace is padded to `len` cycles at `base`.
+///
+/// With `period` equal to the package resonant period this is the paper's
+/// worst-case "dI/dt stressmark" input (Fig. 6).
+///
+/// # Panics
+///
+/// Panics if the pulse is wider than the period or the train overruns `len`.
+pub fn pulse_train(
+    base: f64,
+    amplitude: f64,
+    start: usize,
+    pulse_width: usize,
+    period: usize,
+    n_pulses: usize,
+    len: usize,
+) -> Vec<f64> {
+    assert!(pulse_width <= period, "pulse wider than its period");
+    assert!(
+        start + n_pulses.saturating_sub(1) * period + pulse_width <= len || n_pulses == 0,
+        "pulse train overruns the trace"
+    );
+    let mut trace = vec![base; len];
+    for p in 0..n_pulses {
+        let s = start + p * period;
+        for sample in &mut trace[s..s + pulse_width] {
+            *sample += amplitude;
+        }
+    }
+    trace
+}
+
+/// A square wave alternating between `low` and `high` amps with 50% duty at
+/// the given `period`, for `len` cycles (starting in the high phase).
+pub fn square_wave(low: f64, high: f64, period: usize, len: usize) -> Vec<f64> {
+    assert!(period >= 2, "period must be at least 2 cycles");
+    let half = period / 2;
+    (0..len)
+        .map(|k| if k % period < half { high } else { low })
+        .collect()
+}
+
+/// Summary statistics of a current trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Minimum sample (amps).
+    pub min: f64,
+    /// Maximum sample (amps).
+    pub max: f64,
+    /// Arithmetic mean (amps).
+    pub mean: f64,
+    /// Largest single-cycle change `|i[n] - i[n-1]|` (amps/cycle) — the
+    /// literal "dI/dt" of the trace.
+    pub max_step: f64,
+}
+
+/// Computes [`TraceStats`] for a current trace. Returns `None` for an empty
+/// trace.
+pub fn stats(trace: &[f64]) -> Option<TraceStats> {
+    if trace.is_empty() {
+        return None;
+    }
+    let mut min = f64::MAX;
+    let mut max = f64::MIN;
+    let mut sum = 0.0;
+    let mut max_step = 0.0f64;
+    let mut prev = trace[0];
+    for &x in trace {
+        min = min.min(x);
+        max = max.max(x);
+        sum += x;
+        max_step = max_step.max((x - prev).abs());
+        prev = x;
+    }
+    Some(TraceStats {
+        min,
+        max,
+        mean: sum / trace.len() as f64,
+        max_step,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spike_shape() {
+        let t = spike(5.0, 40.0, 9, 5, 30);
+        assert_eq!(t.len(), 30);
+        assert_eq!(t[8], 5.0);
+        assert_eq!(t[9], 45.0);
+        assert_eq!(t[13], 45.0);
+        assert_eq!(t[14], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn spike_bounds_checked() {
+        let _ = spike(0.0, 1.0, 28, 5, 30);
+    }
+
+    #[test]
+    fn notched_spike_shape() {
+        let t = notched_spike(0.0, 10.0, 5, 20, 8, 4, 40);
+        assert_eq!(t[5], 10.0);
+        assert_eq!(t[12], 10.0);
+        assert_eq!(t[13], 0.0); // notch begins
+        assert_eq!(t[16], 0.0); // notch ends
+        assert_eq!(t[17], 10.0);
+        assert_eq!(t[24], 10.0);
+        assert_eq!(t[25], 0.0);
+    }
+
+    #[test]
+    fn pulse_train_period() {
+        let t = pulse_train(0.0, 1.0, 0, 30, 60, 3, 200);
+        assert_eq!(t[0], 1.0);
+        assert_eq!(t[29], 1.0);
+        assert_eq!(t[30], 0.0);
+        assert_eq!(t[60], 1.0);
+        assert_eq!(t[120], 1.0);
+        assert_eq!(t[150], 0.0);
+        assert_eq!(t[199], 0.0);
+    }
+
+    #[test]
+    fn square_wave_duty_cycle() {
+        let t = square_wave(1.0, 3.0, 60, 600);
+        let highs = t.iter().filter(|&&x| x == 3.0).count();
+        assert_eq!(highs, 300);
+        assert_eq!(t[0], 3.0);
+        assert_eq!(t[30], 1.0);
+        assert_eq!(t[60], 3.0);
+    }
+
+    #[test]
+    fn stats_computes_extremes_and_didt() {
+        let t = vec![1.0, 5.0, 5.0, 2.0];
+        let s = stats(&t).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.25);
+        assert_eq!(s.max_step, 4.0);
+    }
+
+    #[test]
+    fn stats_of_empty_is_none() {
+        assert!(stats(&[]).is_none());
+    }
+
+    #[test]
+    fn constant_is_flat() {
+        let t = constant(7.5, 10);
+        assert!(t.iter().all(|&x| x == 7.5));
+        assert_eq!(stats(&t).unwrap().max_step, 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the PDN model's analytic guarantees.
+
+use proptest::prelude::*;
+use voltctl_pdn::{waveform, PdnModel, VoltageHistogram, VoltageMonitor};
+
+/// Valid design-parameter triples: R in [0.1, 2] mΩ, f0 in [20, 200] MHz,
+/// Z_pk a multiple (1.2x–12x) of R.
+fn spec_strategy() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.1e-3..2.0e-3, 20.0e6..200.0e6, 1.2..12.0)
+        .prop_map(|(r, f0, ratio)| (r, f0, r * ratio))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fit is faithful: a model built from (R, f0, Z_pk) measures back
+    /// those same quantities.
+    #[test]
+    fn fit_roundtrip((r, f0, z_pk) in spec_strategy()) {
+        let m = PdnModel::builder()
+            .r_dc(r)
+            .resonant_freq_hz(f0)
+            .peak_impedance(z_pk)
+            .clock_hz(3.0e9)
+            .build()
+            .expect("valid spec fits");
+        prop_assert!((m.r_dc() - r).abs() / r < 1e-12);
+        prop_assert!((m.resonant_freq_hz() - f0).abs() / f0 < 1e-9);
+        prop_assert!((m.peak_impedance() - z_pk).abs() / z_pk < 1e-4);
+        // DC impedance equals R and every |Z| is at most the peak.
+        prop_assert!((m.impedance_at(1.0) - r).abs() / r < 1e-6);
+        for mult in [0.3, 0.7, 1.0, 1.5, 4.0] {
+            prop_assert!(m.impedance_at(f0 * mult) <= z_pk * (1.0 + 1e-6));
+        }
+    }
+
+    /// Stability: any bounded current trace produces a bounded voltage —
+    /// the deviation never exceeds what a worst-case resonant train of the
+    /// same amplitude achieves (plus slack for transient alignment).
+    #[test]
+    fn bounded_input_bounded_output(
+        (r, f0, z_pk) in spec_strategy(),
+        trace in prop::collection::vec(0.0f64..50.0, 50..400),
+    ) {
+        let m = PdnModel::builder()
+            .r_dc(r)
+            .resonant_freq_hz(f0)
+            .peak_impedance(z_pk)
+            .clock_hz(3.0e9)
+            .build()
+            .expect("valid spec fits");
+        let bound = m.worst_case_deviation(50.0) * 1.05;
+        let mut state = m.discretize();
+        for &i in &trace {
+            let v = state.step(i);
+            prop_assert!((v - m.v_nominal()).abs() <= bound,
+                "deviation {} exceeded worst-case bound {}", (v - m.v_nominal()).abs(), bound);
+        }
+    }
+
+    /// Time-invariance: delaying the input delays the output identically.
+    #[test]
+    fn time_invariance(
+        trace in prop::collection::vec(0.0f64..40.0, 10..120),
+        delay in 1usize..50,
+    ) {
+        let m = PdnModel::paper_default().unwrap();
+        let mut s1 = m.discretize();
+        let direct: Vec<f64> = trace.iter().map(|&i| s1.step(i)).collect();
+
+        let mut s2 = m.discretize();
+        for _ in 0..delay {
+            s2.step(0.0);
+        }
+        let delayed: Vec<f64> = trace.iter().map(|&i| s2.step(i)).collect();
+        for (a, b) in direct.iter().zip(&delayed) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Monitor counters are consistent: cycles partition into bands,
+    /// events never exceed cycles, min/max bracket every sample.
+    #[test]
+    fn monitor_invariants(volts in prop::collection::vec(0.85f64..1.15, 1..300)) {
+        let mut mon = VoltageMonitor::new(1.0, 0.05);
+        mon.observe_all(&volts);
+        let r = mon.report();
+        prop_assert_eq!(r.total_cycles, volts.len() as u64);
+        prop_assert_eq!(r.emergency_cycles, r.under_cycles + r.over_cycles);
+        prop_assert!(r.under_events <= r.under_cycles);
+        prop_assert!(r.over_events <= r.over_cycles);
+        let min = volts.iter().cloned().fold(f64::MAX, f64::min);
+        let max = volts.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(r.min_v, min);
+        prop_assert_eq!(r.max_v, max);
+        prop_assert!(r.frequency() <= 1.0);
+    }
+
+    /// Histogram conservation: every sample lands in exactly one place.
+    #[test]
+    fn histogram_conserves_samples(volts in prop::collection::vec(0.80f64..1.20, 1..500)) {
+        let mut h = VoltageHistogram::for_nominal_1v();
+        h.record_all(&volts);
+        let binned: u64 = h.counts().iter().sum();
+        let (below, above) = h.out_of_range();
+        prop_assert_eq!(binned + below + above, volts.len() as u64);
+        prop_assert_eq!(h.total(), volts.len() as u64);
+    }
+
+    /// Waveform stats are exact for pulse trains built by the library.
+    #[test]
+    fn pulse_train_stats(
+        base in 0.0f64..20.0,
+        amp in 1.0f64..50.0,
+        width in 1usize..30,
+        pulses in 1usize..6,
+    ) {
+        let period = width * 2;
+        let len = 10 + pulses * period + 10;
+        let t = waveform::pulse_train(base, amp, 10, width, period, pulses, len);
+        let s = waveform::stats(&t).unwrap();
+        prop_assert_eq!(s.min, base);
+        prop_assert_eq!(s.max, base + amp);
+        // (base + amp) - base need not equal amp exactly in floating point.
+        prop_assert!((s.max_step - amp).abs() < 1e-9);
+        let high = t.iter().filter(|&&x| x > base).count();
+        prop_assert_eq!(high, width * pulses);
+    }
+}

@@ -1,0 +1,99 @@
+//! Current conversion and energy accounting.
+//!
+//! The paper translates per-cycle power directly into current at the
+//! nominal supply (`I = P / V`), then feeds the current trace to the PDN
+//! model. [`EnergyAccumulator`] integrates power over cycles to report the
+//! total-energy overhead of control policies (Figures 15, 16, 18).
+
+/// Converts watts to amps at the given supply voltage.
+///
+/// # Panics
+///
+/// Panics if `vdd` is not a positive finite number.
+pub fn current_amps(power_watts: f64, vdd: f64) -> f64 {
+    assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
+    power_watts / vdd
+}
+
+/// Integrates per-cycle power into total energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyAccumulator {
+    cycle_seconds: f64,
+    joules: f64,
+    cycles: u64,
+}
+
+impl EnergyAccumulator {
+    /// Creates an accumulator for a machine clocked at `clock_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not positive and finite.
+    pub fn new(clock_hz: f64) -> EnergyAccumulator {
+        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock must be positive");
+        EnergyAccumulator {
+            cycle_seconds: 1.0 / clock_hz,
+            joules: 0.0,
+            cycles: 0,
+        }
+    }
+
+    /// Adds one cycle at `power_watts`.
+    pub fn add_cycle(&mut self, power_watts: f64) {
+        self.joules += power_watts * self.cycle_seconds;
+        self.cycles += 1;
+    }
+
+    /// Total accumulated energy in joules.
+    pub fn joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// Number of accumulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Average power in watts (0 with no cycles).
+    pub fn average_power(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.joules / (self.cycles as f64 * self.cycle_seconds)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_conversion() {
+        assert_eq!(current_amps(60.0, 1.0), 60.0);
+        assert_eq!(current_amps(60.0, 1.2), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_vdd_rejected() {
+        let _ = current_amps(1.0, 0.0);
+    }
+
+    #[test]
+    fn energy_integration() {
+        let mut e = EnergyAccumulator::new(1.0e9); // 1 ns cycles
+        e.add_cycle(50.0);
+        e.add_cycle(30.0);
+        assert_eq!(e.cycles(), 2);
+        assert!((e.joules() - 80.0e-9).abs() < 1e-18);
+        assert!((e.average_power() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let e = EnergyAccumulator::new(3.0e9);
+        assert_eq!(e.joules(), 0.0);
+        assert_eq!(e.average_power(), 0.0);
+    }
+}

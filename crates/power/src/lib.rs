@@ -1,0 +1,41 @@
+//! Structural, activity-based power and current modeling (Wattch-style).
+//!
+//! The paper's methodology converts per-cycle microarchitectural activity
+//! into per-cycle processor power with Wattch, then directly into current
+//! at the nominal supply voltage. This crate reproduces that layer:
+//!
+//! * [`params`] — per-structure peak power budget for the paper's 3 GHz /
+//!   1.0 V machine, with the conditional-clock-gating floor ("cc3" style:
+//!   idle gated units still draw a fraction of peak).
+//! * [`model`] — [`model::PowerModel`]: maps a
+//!   [`voltctl_cpu::CycleActivity`] plus the actuator's
+//!   [`voltctl_cpu::GatingState`] to watts, spreading multi-cycle
+//!   operation energy over their execution (the paper's fix against
+//!   overestimating current swings), and charging phantom-fired domains at
+//!   full activity.
+//! * [`current`] — watts → amps at the supply voltage, plus energy
+//!   accounting over a run.
+//!
+//! # Example
+//!
+//! ```
+//! use voltctl_power::{PowerModel, PowerParams};
+//! use voltctl_cpu::{CycleActivity, GatingState};
+//!
+//! let model = PowerModel::new(PowerParams::paper_3ghz());
+//! let idle = model.cycle_power(&CycleActivity::default(), &GatingState::default());
+//! // An idle, clock-gated machine sits near the floor, far below peak.
+//! assert!(idle.total() < 0.35 * model.peak_power());
+//! assert!((idle.total() - model.min_power()).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod current;
+pub mod model;
+pub mod params;
+
+pub use current::{current_amps, EnergyAccumulator};
+pub use model::{PowerBreakdown, PowerModel};
+pub use params::{PowerParams, Unit};

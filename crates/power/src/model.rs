@@ -1,0 +1,396 @@
+//! The per-cycle activity → power mapping.
+//!
+//! Each structure's power interpolates linearly between the clock-gating
+//! floor (idle) and its peak (fully busy), driven by the activity fractions
+//! in a [`CycleActivity`]. Three paper-specific behaviors:
+//!
+//! * **Multi-cycle spreading** — functional-unit power follows the number
+//!   of units with an operation *in flight* (`executing_per_fu`), not the
+//!   number of issues, so a 18-cycle FP divide draws power for 18 cycles
+//!   instead of dumping all its energy into one (the authors' Wattch fix).
+//! * **Gating** — a domain gated by the actuator drops to the floor even
+//!   when the pipeline had wanted to use it.
+//! * **Phantom firing** — a phantom-fired domain is charged at full peak
+//!   regardless of architectural activity.
+
+use crate::params::{PowerParams, Unit};
+use voltctl_cpu::{CpuConfig, CycleActivity, FuKind, GatingState};
+
+/// Per-unit power for one cycle, in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    watts: [f64; Unit::COUNT],
+}
+
+impl PowerBreakdown {
+    /// Watts drawn by one unit.
+    pub fn unit(&self, unit: Unit) -> f64 {
+        self.watts[unit.index()]
+    }
+
+    /// Total watts this cycle.
+    pub fn total(&self) -> f64 {
+        self.watts.iter().sum()
+    }
+
+    /// `(unit, watts)` pairs for reporting.
+    pub fn iter(&self) -> impl Iterator<Item = (Unit, f64)> + '_ {
+        Unit::all().into_iter().map(|u| (u, self.watts[u.index()]))
+    }
+}
+
+/// The activity → watts model.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    params: PowerParams,
+    fetch_width: f64,
+    decode_width: f64,
+    issue_width: f64,
+    mem_ports: f64,
+    fu_counts: [f64; FuKind::COUNT],
+}
+
+impl PowerModel {
+    /// Builds the model for the paper's Table 1 machine widths.
+    pub fn new(params: PowerParams) -> PowerModel {
+        PowerModel::for_config(params, &CpuConfig::table1())
+    }
+
+    /// Builds the model for an arbitrary machine configuration.
+    pub fn for_config(params: PowerParams, config: &CpuConfig) -> PowerModel {
+        PowerModel {
+            params,
+            fetch_width: config.fetch_width as f64,
+            decode_width: config.decode_width as f64,
+            issue_width: config.issue_width as f64,
+            mem_ports: config.fu.mem_ports as f64,
+            fu_counts: [
+                config.fu.int_alu as f64,
+                config.fu.int_mult as f64,
+                config.fu.fp_alu as f64,
+                config.fu.fp_mult as f64,
+                config.fu.mem_ports as f64,
+            ],
+        }
+    }
+
+    /// The underlying budget.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Maximum possible per-cycle power (everything busy), watts.
+    pub fn peak_power(&self) -> f64 {
+        self.params.total_peak()
+    }
+
+    /// Minimum possible per-cycle power (everything idle/gated), watts.
+    pub fn min_power(&self) -> f64 {
+        self.params.total_floor()
+    }
+
+    /// Maximum possible current at the nominal supply, amps.
+    pub fn peak_current(&self) -> f64 {
+        self.peak_power() / self.params.vdd
+    }
+
+    /// Minimum possible current at the nominal supply, amps.
+    pub fn min_current(&self) -> f64 {
+        self.min_power() / self.params.vdd
+    }
+
+    /// The most power-hungry *sustainable* cycle: the structural peak
+    /// ([`peak_power`](Self::peak_power)) assumes every unit busy at once,
+    /// which no instruction mix can achieve through an 8-wide issue stage.
+    /// This activity vector is the highest-power mix the pipeline can
+    /// actually sustain — full front end, saturated issue split across the
+    /// memory ports and both FP pipes (whose multi-cycle latencies keep
+    /// all their units in flight), and the remaining slots on the integer
+    /// ALUs. Workload current envelopes (and therefore target-impedance
+    /// calibration, §3.3) should use this, not the structural sum.
+    pub fn saturated_activity(&self) -> CycleActivity {
+        let issue = self.issue_width as u32;
+        let mem = (self.mem_ports as u32).min(issue);
+        // One FP-multiply and one FP-add issue per cycle keep every FP
+        // unit executing (4-cycle pipelined latency); the rest go to the
+        // integer ALUs.
+        let fp = 2u32.min(issue.saturating_sub(mem));
+        let int = issue.saturating_sub(mem + fp);
+        CycleActivity {
+            fetched: self.fetch_width as u32,
+            dispatched: self.decode_width as u32,
+            issued: issue,
+            completed: issue,
+            committed: issue,
+            bpred_lookups: 1,
+            il1_accesses: 1,
+            dl1_accesses: mem,
+            regfile_reads: 2 * issue,
+            regfile_writes: issue,
+            issued_per_fu: [int, 0, 1.min(fp), 1.min(fp), mem],
+            executing_per_fu: [
+                int,
+                self.fu_counts[FuKind::IntMult.index()] as u32,
+                self.fu_counts[FuKind::FpAlu.index()] as u32,
+                self.fu_counts[FuKind::FpMult.index()] as u32,
+                mem,
+            ],
+            ruu_occupancy: 256,
+            lsq_occupancy: 128,
+            ..CycleActivity::default()
+        }
+    }
+
+    /// Power of the saturated cycle, watts.
+    pub fn achievable_peak_power(&self) -> f64 {
+        self.cycle_power(&self.saturated_activity(), &GatingState::default())
+            .total()
+    }
+
+    /// Current of the saturated cycle at the nominal supply, amps.
+    pub fn achievable_peak_current(&self) -> f64 {
+        self.achievable_peak_power() / self.params.vdd
+    }
+
+    fn scaled(&self, unit: Unit, fraction: f64) -> f64 {
+        let peak = self.params.peak(unit);
+        let floor = peak * self.params.gating_floor;
+        floor + (peak - floor) * fraction.clamp(0.0, 1.0)
+    }
+
+    fn domain(&self, unit: Unit, fraction: f64, gated: bool, phantom: bool) -> f64 {
+        if phantom {
+            self.params.peak(unit)
+        } else if gated {
+            self.params.peak(unit) * self.params.gating_floor
+        } else {
+            self.scaled(unit, fraction)
+        }
+    }
+
+    /// Computes the power drawn during one cycle.
+    pub fn cycle_power(&self, act: &CycleActivity, gating: &GatingState) -> PowerBreakdown {
+        let mut w = [0.0; Unit::COUNT];
+        let p = &self.params;
+
+        // --- IL1 domain: fetch logic, predictor, I-cache -----------------
+        let fetch_frac = f64::from(act.fetched) / self.fetch_width;
+        let il1_frac = f64::from(act.il1_accesses).min(1.0);
+        let bpred_frac = f64::from(act.bpred_lookups) / self.fetch_width;
+        w[Unit::Fetch.index()] =
+            self.domain(Unit::Fetch, fetch_frac, gating.gate_il1, gating.phantom_il1);
+        w[Unit::Bpred.index()] =
+            self.domain(Unit::Bpred, bpred_frac, gating.gate_il1, gating.phantom_il1);
+        w[Unit::Il1.index()] =
+            self.domain(Unit::Il1, il1_frac, gating.gate_il1, gating.phantom_il1);
+
+        // --- Window / rename / regfile: follow pipeline activity ---------
+        w[Unit::Dispatch.index()] =
+            self.scaled(Unit::Dispatch, f64::from(act.dispatched) / self.decode_width);
+        let window_frac =
+            f64::from(act.dispatched + act.issued + act.completed) / (3.0 * self.issue_width);
+        w[Unit::Window.index()] = self.scaled(Unit::Window, window_frac);
+        let lsq_frac = (f64::from(
+            act.issued_per_fu[FuKind::MemPort.index()] + act.lsq_forwards,
+        )) / self.mem_ports;
+        w[Unit::Lsq.index()] =
+            self.domain(Unit::Lsq, lsq_frac, gating.gate_dl1, gating.phantom_dl1);
+        let regfile_frac = f64::from(act.regfile_reads + act.regfile_writes)
+            / (3.0 * self.issue_width);
+        w[Unit::Regfile.index()] = self.scaled(Unit::Regfile, regfile_frac);
+
+        // --- FU domain: spread multi-cycle work over busy units ----------
+        let fu_units = [
+            (FuKind::IntAlu, Unit::IntAlu),
+            (FuKind::IntMult, Unit::IntMult),
+            (FuKind::FpAlu, Unit::FpAlu),
+            (FuKind::FpMult, Unit::FpMult),
+        ];
+        for (kind, unit) in fu_units {
+            let busy = f64::from(act.executing_per_fu[kind.index()]);
+            let frac = busy / self.fu_counts[kind.index()].max(1.0);
+            w[unit.index()] = self.domain(unit, frac, gating.gate_fu, gating.phantom_fu);
+        }
+
+        // --- DL1 domain and L2 --------------------------------------------
+        let dl1_frac = f64::from(act.dl1_accesses) / self.mem_ports;
+        w[Unit::Dl1.index()] =
+            self.domain(Unit::Dl1, dl1_frac, gating.gate_dl1, gating.phantom_dl1);
+        let l2_frac = f64::from(act.l2_accesses).min(1.0);
+        w[Unit::L2.index()] = self.scaled(Unit::L2, l2_frac);
+
+        // --- Result bus and clock ------------------------------------------
+        let bus_frac = f64::from(act.completed) / self.issue_width;
+        w[Unit::ResultBus.index()] = self.scaled(Unit::ResultBus, bus_frac);
+        w[Unit::Clock.index()] = p.peak(Unit::Clock);
+
+        PowerBreakdown { watts: w }
+    }
+
+    /// Convenience: the cycle's current draw at the nominal supply, amps.
+    pub fn cycle_current(&self, act: &CycleActivity, gating: &GatingState) -> f64 {
+        self.cycle_power(act, gating).total() / self.params.vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::new(PowerParams::paper_3ghz())
+    }
+
+    fn busy_activity() -> CycleActivity {
+        let mut act = CycleActivity::default();
+        act.fetched = 8;
+        act.dispatched = 8;
+        act.issued = 8;
+        act.completed = 8;
+        act.committed = 8;
+        act.bpred_lookups = 2;
+        act.il1_accesses = 1;
+        act.dl1_accesses = 4;
+        act.l2_accesses = 1;
+        act.regfile_reads = 16;
+        act.regfile_writes = 8;
+        act.executing_per_fu = [8, 2, 4, 2, 4];
+        act.issued_per_fu = [4, 0, 0, 0, 4];
+        act
+    }
+
+    #[test]
+    fn idle_is_near_floor_and_busy_near_peak() {
+        let m = model();
+        let idle = m.cycle_power(&CycleActivity::default(), &GatingState::default());
+        let busy = m.cycle_power(&busy_activity(), &GatingState::default());
+        assert!(idle.total() >= m.min_power() - 1e-9);
+        assert!(idle.total() < 0.35 * m.peak_power());
+        assert!(busy.total() > 0.8 * m.peak_power());
+        assert!(busy.total() <= m.peak_power() + 1e-9);
+    }
+
+    #[test]
+    fn power_is_monotone_in_activity() {
+        let m = model();
+        let mut some = CycleActivity::default();
+        some.executing_per_fu[FuKind::IntAlu.index()] = 4;
+        let more = {
+            let mut a = some;
+            a.executing_per_fu[FuKind::IntAlu.index()] = 8;
+            a
+        };
+        let g = GatingState::default();
+        assert!(m.cycle_power(&more, &g).total() > m.cycle_power(&some, &g).total());
+    }
+
+    #[test]
+    fn gated_fu_domain_drops_to_floor_despite_activity() {
+        let m = model();
+        let act = busy_activity();
+        let mut g = GatingState::default();
+        g.gate_fu = true;
+        let gated = m.cycle_power(&act, &g);
+        let free = m.cycle_power(&act, &GatingState::default());
+        let floor = m.params().peak(Unit::IntAlu) * m.params().gating_floor;
+        assert!((gated.unit(Unit::IntAlu) - floor).abs() < 1e-12);
+        assert!(gated.total() < free.total());
+        // Non-FU domains unaffected.
+        assert_eq!(gated.unit(Unit::Dl1), free.unit(Unit::Dl1));
+    }
+
+    #[test]
+    fn phantom_fire_charges_full_peak_when_idle() {
+        let m = model();
+        let idle = CycleActivity::default();
+        let mut g = GatingState::default();
+        g.phantom_fu = true;
+        g.phantom_dl1 = true;
+        let fired = m.cycle_power(&idle, &g);
+        assert_eq!(fired.unit(Unit::IntAlu), m.params().peak(Unit::IntAlu));
+        assert_eq!(fired.unit(Unit::FpMult), m.params().peak(Unit::FpMult));
+        assert_eq!(fired.unit(Unit::Dl1), m.params().peak(Unit::Dl1));
+        let plain = m.cycle_power(&idle, &GatingState::default());
+        assert!(fired.total() > plain.total() + 15.0);
+    }
+
+    #[test]
+    fn il1_gating_covers_front_end() {
+        let m = model();
+        let act = busy_activity();
+        let mut g = GatingState::default();
+        g.gate_il1 = true;
+        let p = m.cycle_power(&act, &g);
+        let floor = m.params().gating_floor;
+        assert!((p.unit(Unit::Il1) - m.params().peak(Unit::Il1) * floor).abs() < 1e-12);
+        assert!((p.unit(Unit::Fetch) - m.params().peak(Unit::Fetch) * floor).abs() < 1e-12);
+        assert!((p.unit(Unit::Bpred) - m.params().peak(Unit::Bpred) * floor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multicycle_spreading_keeps_divider_power_up() {
+        // An in-flight divide (executing, no new issues) must hold FpMult
+        // above its floor.
+        let m = model();
+        let mut act = CycleActivity::default();
+        act.executing_per_fu[FuKind::FpMult.index()] = 1;
+        let p = m.cycle_power(&act, &GatingState::default());
+        let floor = m.params().peak(Unit::FpMult) * m.params().gating_floor;
+        assert!(p.unit(Unit::FpMult) > floor + 1.0);
+    }
+
+    #[test]
+    fn clock_is_never_gated() {
+        let m = model();
+        let mut g = GatingState::default();
+        g.gate_fu = true;
+        g.gate_dl1 = true;
+        g.gate_il1 = true;
+        let p = m.cycle_power(&CycleActivity::default(), &g);
+        assert_eq!(p.unit(Unit::Clock), m.params().peak(Unit::Clock));
+        // Fully gated machine sits at the analytic floor.
+        assert!((p.total() - m.min_power()).abs() < 0.7);
+    }
+
+    #[test]
+    fn current_is_power_over_vdd() {
+        let m = model();
+        let act = busy_activity();
+        let g = GatingState::default();
+        let p = m.cycle_power(&act, &g).total();
+        assert!((m.cycle_current(&act, &g) - p / 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_iter_sums_to_total() {
+        let m = model();
+        let p = m.cycle_power(&busy_activity(), &GatingState::default());
+        let sum: f64 = p.iter().map(|(_, w)| w).sum();
+        assert!((sum - p.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn achievable_peak_is_between_busy_and_structural() {
+        let m = model();
+        let achievable = m.achievable_peak_power();
+        assert!(achievable < m.peak_power(), "issue width limits the mix");
+        assert!(
+            achievable > 0.6 * m.peak_power(),
+            "but a saturated machine is still hot: {achievable} vs {}",
+            m.peak_power()
+        );
+        assert!(m.achievable_peak_current() > m.min_current() + 30.0);
+    }
+
+    #[test]
+    fn activity_fractions_clamp() {
+        // Absurd over-unity activity must not exceed peak.
+        let m = model();
+        let mut act = busy_activity();
+        act.fetched = 100;
+        act.dl1_accesses = 100;
+        act.regfile_reads = 1000;
+        let p = m.cycle_power(&act, &GatingState::default());
+        assert!(p.total() <= m.peak_power() + 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-structure peak-power budget.
+//!
+//! Values are a Wattch-class structural budget for an 8-wide, 3 GHz,
+//! 1.0 V processor (the paper's Table 1 machine scaled with the ITRS-2001
+//! factors the authors applied). Absolute watts are our calibration — the
+//! paper's controller only depends on the *range* (minimum to maximum
+//! current) and on which structures move when activity changes, both of
+//! which this budget preserves:
+//!
+//! * peak (everything busy) ≈ 67 W → ≈ 67 A at 1.0 V,
+//! * floor (everything idle and clock-gated, cc3 style) ≈ 12 W,
+//!
+//! giving the tens-of-amps swing at mid-frequency time constants that
+//! drives the paper's voltage emergencies.
+
+/// The modeled power structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// Fetch/decode logic (excluding the I-cache array).
+    Fetch,
+    /// Branch predictor tables and BTB.
+    Bpred,
+    /// L1 instruction cache array.
+    Il1,
+    /// Rename/dispatch logic.
+    Dispatch,
+    /// RUU: wakeup/select and window storage.
+    Window,
+    /// Load/store queue.
+    Lsq,
+    /// Architectural register files.
+    Regfile,
+    /// Integer ALUs (all of them).
+    IntAlu,
+    /// Integer multiply/divide units.
+    IntMult,
+    /// FP adders.
+    FpAlu,
+    /// FP multiply/divide units.
+    FpMult,
+    /// L1 data cache array.
+    Dl1,
+    /// Unified L2 array.
+    L2,
+    /// Result/writeback buses.
+    ResultBus,
+    /// Global clock tree (never gated).
+    Clock,
+}
+
+impl Unit {
+    /// Number of units.
+    pub const COUNT: usize = 15;
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        use Unit::*;
+        match self {
+            Fetch => 0,
+            Bpred => 1,
+            Il1 => 2,
+            Dispatch => 3,
+            Window => 4,
+            Lsq => 5,
+            Regfile => 6,
+            IntAlu => 7,
+            IntMult => 8,
+            FpAlu => 9,
+            FpMult => 10,
+            Dl1 => 11,
+            L2 => 12,
+            ResultBus => 13,
+            Clock => 14,
+        }
+    }
+
+    /// All units in index order.
+    pub fn all() -> [Unit; Unit::COUNT] {
+        use Unit::*;
+        [
+            Fetch, Bpred, Il1, Dispatch, Window, Lsq, Regfile, IntAlu, IntMult, FpAlu, FpMult,
+            Dl1, L2, ResultBus, Clock,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        use Unit::*;
+        match self {
+            Fetch => "fetch",
+            Bpred => "bpred",
+            Il1 => "il1",
+            Dispatch => "dispatch",
+            Window => "window",
+            Lsq => "lsq",
+            Regfile => "regfile",
+            IntAlu => "int_alu",
+            IntMult => "int_mult",
+            FpAlu => "fp_alu",
+            FpMult => "fp_mult",
+            Dl1 => "dl1",
+            L2 => "l2",
+            ResultBus => "resultbus",
+            Clock => "clock",
+        }
+    }
+}
+
+/// The power budget: per-unit peak watts plus gating behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerParams {
+    peak: [f64; Unit::COUNT],
+    /// Fraction of peak drawn by an idle, clock-gated unit (Wattch "cc3").
+    pub gating_floor: f64,
+    /// Nominal supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl PowerParams {
+    /// The calibrated budget for the paper's 3 GHz / 1.0 V machine.
+    pub fn paper_3ghz() -> PowerParams {
+        let mut peak = [0.0; Unit::COUNT];
+        peak[Unit::Fetch.index()] = 3.0;
+        peak[Unit::Bpred.index()] = 1.5;
+        peak[Unit::Il1.index()] = 5.0;
+        peak[Unit::Dispatch.index()] = 2.5;
+        peak[Unit::Window.index()] = 6.0;
+        peak[Unit::Lsq.index()] = 2.5;
+        peak[Unit::Regfile.index()] = 4.0;
+        peak[Unit::IntAlu.index()] = 8.0; // 8 x 1.0 W
+        peak[Unit::IntMult.index()] = 3.0; // 2 x 1.5 W
+        peak[Unit::FpAlu.index()] = 8.0; // 4 x 2.0 W
+        peak[Unit::FpMult.index()] = 5.0; // 2 x 2.5 W
+        peak[Unit::Dl1.index()] = 6.0;
+        peak[Unit::L2.index()] = 4.0;
+        peak[Unit::ResultBus.index()] = 2.5;
+        peak[Unit::Clock.index()] = 6.0;
+        PowerParams {
+            peak,
+            gating_floor: 0.10,
+            vdd: 1.0,
+        }
+    }
+
+    /// Peak watts for one unit.
+    pub fn peak(&self, unit: Unit) -> f64 {
+        self.peak[unit.index()]
+    }
+
+    /// Overrides one unit's peak (for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or not finite.
+    pub fn set_peak(&mut self, unit: Unit, watts: f64) {
+        assert!(watts.is_finite() && watts >= 0.0, "peak power must be non-negative");
+        self.peak[unit.index()] = watts;
+    }
+
+    /// Total peak watts across all units.
+    pub fn total_peak(&self) -> f64 {
+        self.peak.iter().sum()
+    }
+
+    /// Total floor watts: every gateable unit at the gating floor, the
+    /// clock at full power.
+    pub fn total_floor(&self) -> f64 {
+        let clock = self.peak[Unit::Clock.index()];
+        (self.total_peak() - clock) * self.gating_floor + clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; Unit::COUNT];
+        for u in Unit::all() {
+            assert!(!seen[u.index()], "duplicate index for {u:?}");
+            seen[u.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn paper_budget_magnitudes() {
+        let p = PowerParams::paper_3ghz();
+        let peak = p.total_peak();
+        let floor = p.total_floor();
+        assert!((60.0..80.0).contains(&peak), "peak {peak}");
+        assert!((8.0..20.0).contains(&floor), "floor {floor}");
+        assert!(floor < 0.3 * peak, "dynamic range must be wide");
+    }
+
+    #[test]
+    fn floor_includes_full_clock() {
+        let p = PowerParams::paper_3ghz();
+        assert!(p.total_floor() > p.peak(Unit::Clock));
+    }
+
+    #[test]
+    fn set_peak_overrides() {
+        let mut p = PowerParams::paper_3ghz();
+        let before = p.total_peak();
+        p.set_peak(Unit::L2, 10.0);
+        assert!((p.total_peak() - (before - 4.0 + 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_peak_rejected() {
+        PowerParams::paper_3ghz().set_peak(Unit::L2, -1.0);
+    }
+
+    #[test]
+    fn names_are_nonempty_and_unique() {
+        let mut names: Vec<&str> = Unit::all().iter().map(|u| u.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Unit::COUNT);
+    }
+}

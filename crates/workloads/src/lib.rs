@@ -1,0 +1,82 @@
+//! Workloads for dI/dt research: the paper's stressmark and a synthetic
+//! SPEC2000-class suite.
+//!
+//! The HPCA 2003 paper evaluates its voltage controller on two software
+//! populations:
+//!
+//! 1. a hand-crafted **dI/dt stressmark** (Figure 8) whose current draw
+//!    oscillates at the package resonant frequency — the near-worst case;
+//! 2. the **SPEC2000** benchmarks — real programs whose current variation
+//!    is far milder (Table 2, Figure 10).
+//!
+//! SPEC binaries cannot ship with an open-source reproduction, so this
+//! crate provides *synthetic* kernels — one per SPEC2000 benchmark name —
+//! each engineered to exercise the same simulator mechanisms (cache-miss
+//! stalls, FP bursts, branch mispredictions, divide serialization) that
+//! give the real benchmark its published activity profile. What matters to
+//! the controller is the per-cycle current waveform class, not the program
+//! semantics; see `DESIGN.md` for the substitution argument.
+//!
+//! * [`stressmark`] — parameterized Figure 8-style resonant loop plus a
+//!   spectrum-guided auto-tuner ([`stressmark::tune`]).
+//! * [`spec`] — the 26-kernel suite, including the high-variation
+//!   eight-benchmark subset used in the paper's controller studies.
+//! * [`trace`] — harness to record per-cycle current traces from any
+//!   workload (used by the tuner, the characterization experiments, and
+//!   the benches).
+//!
+//! # Example
+//!
+//! ```
+//! use voltctl_workloads::{spec, trace};
+//! use voltctl_cpu::CpuConfig;
+//! use voltctl_power::{PowerModel, PowerParams};
+//!
+//! let wl = spec::by_name("ammp").expect("ammp exists");
+//! let model = PowerModel::new(PowerParams::paper_3ghz());
+//! let trace = trace::record_current(&wl, &CpuConfig::table1(), &model, 2_000);
+//! assert_eq!(trace.len(), 2_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod spec;
+pub mod stressmark;
+pub mod trace;
+
+use voltctl_isa::Program;
+
+/// A runnable workload: a program plus measurement metadata.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name (e.g. `"swim"`, `"stressmark"`).
+    pub name: String,
+    /// The program. Suite programs loop forever; run them for a fixed
+    /// cycle budget.
+    pub program: Program,
+    /// Cycles to execute before measuring (cache/predictor warm-up).
+    pub warmup_cycles: u64,
+    /// The behavior class this workload was generated from.
+    pub class: Class,
+}
+
+/// Behavior classes the synthetic kernels are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Dependent-load pointer chasing: low IPC, very stable current
+    /// (`ammp`, `mcf`, `art`).
+    PointerChase,
+    /// Phase-alternating FP streaming: the widest benign current swings
+    /// (`swim`, `galgel`, `mgrid`, …).
+    StreamingFp,
+    /// Branchy integer code: moderate IPC, mispredict bubbles
+    /// (`gcc`, `crafty`, …).
+    BranchyInt,
+    /// Dense FP compute: steady high current (`mesa`, `wupwise`, …).
+    FpCompute,
+    /// Mixed stall/burst phases (`facerec`, `sixtrack`, `eon`).
+    MixedPhase,
+    /// The dI/dt stressmark.
+    Stressmark,
+}

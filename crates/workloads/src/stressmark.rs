@@ -1,0 +1,313 @@
+//! The dI/dt stressmark (the paper's Figure 8, generated and auto-tuned).
+//!
+//! The stressmark is a loop whose current draw approximates a square wave
+//! at the package resonant frequency:
+//!
+//! * a **low phase** — a chain of dependent FP divides serializes the
+//!   machine (nothing else can issue because everything downstream depends
+//!   on the chain through memory);
+//! * a **high phase** — a burst of independent integer, FP, and store
+//!   operations, all released at once when the divide result lands,
+//!   saturating the issue width;
+//! * **loop-carried serialization through memory** — the burst's final
+//!   store writes the location the next iteration's first load reads
+//!   (exactly the dotted-arrow dependence in the paper's listing), so the
+//!   out-of-order window cannot overlap iterations and flatten the square
+//!   wave.
+//!
+//! Loop timing is hardware-dependent, so [`tune`] searches the generator's
+//! two knobs (divide-chain length, burst size) for the candidate whose
+//! measured current spectrum has the most energy at the target resonant
+//! frequency — automating the paper's "crafted with significant knowledge
+//! of the processor" step.
+
+use crate::{trace, Class, Workload};
+use voltctl_cpu::CpuConfig;
+use voltctl_isa::builder::ProgramBuilder;
+use voltctl_isa::reg::{FpReg, IntReg};
+use voltctl_pdn::spectrum;
+use voltctl_power::PowerModel;
+
+/// Buffer base address used by the stressmark loop.
+const BUF: i64 = 0x20_0000;
+
+/// Generator knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressmarkParams {
+    /// Number of dependent FP divides in the low phase.
+    pub divide_chain: usize,
+    /// Number of operations in the high-activity burst.
+    pub burst_ops: usize,
+    /// Loop iterations; `None` loops forever.
+    pub iterations: Option<u64>,
+}
+
+impl Default for StressmarkParams {
+    fn default() -> Self {
+        StressmarkParams {
+            divide_chain: 1,
+            burst_ops: 220,
+            iterations: None,
+        }
+    }
+}
+
+/// Builds the stressmark program from explicit parameters.
+///
+/// # Panics
+///
+/// Panics if `divide_chain` is zero or `burst_ops` is zero.
+pub fn build(params: &StressmarkParams) -> Workload {
+    assert!(params.divide_chain > 0, "need at least one divide");
+    assert!(params.burst_ops > 0, "need a non-empty burst");
+    let mut b = ProgramBuilder::new("stressmark");
+
+    // Data: f1 seed at BUF+0, divisor 1.0 at BUF+16 (keeps values stable
+    // across unbounded iterations; FP timing is data-independent).
+    b.data_f64(BUF as u64, &[std::f64::consts::PI]);
+    b.data_f64(BUF as u64 + 16, &[1.0]);
+
+    b.lda(IntReg::R4, IntReg::R31, BUF);
+    b.ldt(FpReg::F2, 16, IntReg::R4);
+    match params.iterations {
+        Some(n) => {
+            b.lda(IntReg::R1, IntReg::R31, n as i64);
+        }
+        None => {
+            b.lda(IntReg::R1, IntReg::R31, 1);
+        }
+    }
+
+    b.label("loop");
+    // Low phase: load feeds a dependent divide chain.
+    b.ldt(FpReg::F1, 0, IntReg::R4);
+    b.divt(FpReg::F3, FpReg::F1, FpReg::F2);
+    for _ in 1..params.divide_chain {
+        b.divt(FpReg::F3, FpReg::F3, FpReg::F2);
+    }
+    // Hand the FP result to the integer side through memory (stt → ldq →
+    // cmov), as in the paper's listing.
+    b.stt(FpReg::F3, 8, IntReg::R4);
+    b.ldq(IntReg::R7, 8, IntReg::R4);
+    b.cmoveq(IntReg::R3, IntReg::R31, IntReg::R7);
+
+    // High phase: a burst of mutually independent ops, all gated on r3/f3.
+    // Pattern per 8 ops: 4 integer ALU, 2 FP, 2 stores — respects the
+    // 4-port memory limit while saturating the 8-wide issue.
+    let int_dests = [
+        IntReg::R8,
+        IntReg::new(9),
+        IntReg::new(10),
+        IntReg::new(11),
+        IntReg::new(12),
+        IntReg::new(13),
+    ];
+    let fp_dests = [FpReg::F4, FpReg::F5, FpReg::F6];
+    let mut store_off = 64i64;
+    let store = |b: &mut ProgramBuilder, off: &mut i64| {
+        b.stq(IntReg::R3, *off, IntReg::R4);
+        *off = 64 + (*off - 64 + 8) % 64; // stay in one warm line
+    };
+    // Per 8 ops: 3 integer ALU, 2 FP, 3 stores — saturates the 8-wide
+    // issue while keeping 3 of the 4 memory ports and both FP pipes hot,
+    // maximizing the high-phase power.
+    for k in 0..params.burst_ops.saturating_sub(1) {
+        match k % 8 {
+            0 => {
+                b.xor(int_dests[k % 6], IntReg::R3, IntReg::R3);
+            }
+            1 => {
+                b.addq(int_dests[(k + 1) % 6], IntReg::R3, IntReg::R3);
+            }
+            2 => {
+                b.mult(fp_dests[k % 3], FpReg::F3, FpReg::F3);
+            }
+            3 => store(&mut b, &mut store_off),
+            4 => {
+                b.or(int_dests[(k + 2) % 6], IntReg::R3, IntReg::R3);
+            }
+            5 => {
+                b.addt(fp_dests[(k + 1) % 3], FpReg::F3, FpReg::F3);
+            }
+            6 => store(&mut b, &mut store_off),
+            _ => store(&mut b, &mut store_off),
+        }
+    }
+    // Fold the burst's integer results back into r3 so the loop-closing
+    // store — and through it the next iteration's divide chain — waits for
+    // the whole burst. Without this the window overlaps the next low phase
+    // with this high phase and the square wave flattens out.
+    for dest in int_dests {
+        b.xor(IntReg::R3, IntReg::R3, dest);
+    }
+    // Final burst op: close the loop-carried memory dependence.
+    b.stq(IntReg::R3, 0, IntReg::R4);
+
+    if params.iterations.is_some() {
+        b.subq_imm(IntReg::R1, IntReg::R1, 1);
+        b.bne(IntReg::R1, "loop");
+        b.halt();
+    } else {
+        b.bne(IntReg::R1, "loop"); // r1 == 1 forever: always taken
+    }
+
+    Workload {
+        name: "stressmark".into(),
+        program: b.build().expect("stressmark labels resolve"),
+        warmup_cycles: 12_000,
+        class: Class::Stressmark,
+    }
+}
+
+/// Spectral score: energy of the workload's current trace in a narrow band
+/// around the target period (loop-timing jitter spreads the fundamental
+/// across neighboring bins), measured on the real simulator.
+fn score(workload: &Workload, config: &CpuConfig, power: &PowerModel, period: usize) -> f64 {
+    let trace = trace::record_current(workload, config, power, 8192);
+    let center = 1.0 / period as f64;
+    [-0.06, -0.03, 0.0, 0.03, 0.06]
+        .iter()
+        .map(|off| spectrum::goertzel(&trace, center * (1.0 + off)))
+        .sum()
+}
+
+/// Searches the generator knobs for the loop with the most current energy
+/// at `target_period` cycles, returning the winning parameters and
+/// workload.
+///
+/// # Panics
+///
+/// Panics if `target_period < 8` (no feasible loop that short).
+pub fn tune(
+    target_period: usize,
+    config: &CpuConfig,
+    power: &PowerModel,
+) -> (StressmarkParams, Workload) {
+    assert!(target_period >= 8, "target period too short for any loop");
+    let mut best: Option<(f64, StressmarkParams, Workload)> = None;
+    for divide_chain in 1..=3 {
+        // Rough sizing: the burst must fill the remainder of the period at
+        // ~8 ops/cycle; search around that estimate.
+        let low_cycles = 4 + divide_chain * config.fu.fp_div_latency as usize;
+        if low_cycles + 4 > target_period {
+            continue;
+        }
+        let est = (target_period - low_cycles) * 8;
+        for mult in [40usize, 55, 70, 85, 100, 115, 130, 150] {
+            let burst_ops = (est * mult / 100).max(8);
+            let params = StressmarkParams {
+                divide_chain,
+                burst_ops,
+                iterations: None,
+            };
+            let wl = build(&params);
+            let s = score(&wl, config, power, target_period);
+            if best.as_ref().is_none_or(|(b, _, _)| s > *b) {
+                best = Some((s, params, wl));
+            }
+        }
+    }
+    let (_, params, wl) = best.expect("at least one candidate is feasible");
+    (params, wl)
+}
+
+/// The measured dominant period (cycles) of a current trace, if any.
+pub fn measured_period(trace: &[f64]) -> Option<f64> {
+    spectrum::dominant_frequency(trace).map(|f| 1.0 / f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltctl_power::PowerParams;
+
+    fn harness() -> (CpuConfig, PowerModel) {
+        (
+            CpuConfig::table1(),
+            PowerModel::new(PowerParams::paper_3ghz()),
+        )
+    }
+
+    #[test]
+    fn default_stressmark_oscillates() {
+        let (config, power) = harness();
+        let wl = build(&StressmarkParams::default());
+        let t = trace::record_current(&wl, &config, &power, 4096);
+        let period = measured_period(&t).expect("oscillation expected");
+        assert!(
+            (20.0..400.0).contains(&period),
+            "period {period} out of plausible range"
+        );
+        // Swing must be tens of amps.
+        let max = t.iter().cloned().fold(f64::MIN, f64::max);
+        let min = t.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 20.0, "swing {} too small", max - min);
+    }
+
+    #[test]
+    fn finite_stressmark_terminates() {
+        let params = StressmarkParams {
+            divide_chain: 1,
+            burst_ops: 64,
+            iterations: Some(10),
+        };
+        let wl = build(&params);
+        let cpu = trace::run_for(&wl, &CpuConfig::table1(), 0);
+        // run_for only ran warmup; run to completion manually.
+        let mut cpu = cpu;
+        cpu.run(1_000_000);
+        assert!(cpu.done());
+    }
+
+    #[test]
+    fn longer_burst_means_longer_period() {
+        let (config, power) = harness();
+        let short = build(&StressmarkParams {
+            burst_ops: 60,
+            ..Default::default()
+        });
+        let long = build(&StressmarkParams {
+            burst_ops: 600,
+            ..Default::default()
+        });
+        let ps = measured_period(&trace::record_current(&short, &config, &power, 4096)).unwrap();
+        let pl = measured_period(&trace::record_current(&long, &config, &power, 4096)).unwrap();
+        assert!(pl > ps * 1.3, "short {ps} vs long {pl}");
+    }
+
+    #[test]
+    fn tuner_hits_the_resonant_period() {
+        let (config, power) = harness();
+        let target = 60;
+        let (params, wl) = tune(target, &config, &power);
+        let t = trace::record_current(&wl, &config, &power, 8192);
+        let period = measured_period(&t).expect("tuned loop oscillates");
+        assert!(
+            (period - target as f64).abs() <= 12.0,
+            "tuned period {period} vs target {target} (params {params:?})"
+        );
+        // And the tuned loop concentrates real energy at the target bin.
+        let energy = spectrum::goertzel(&t, 1.0 / target as f64);
+        assert!(energy > 0.0);
+    }
+
+    #[test]
+    fn listing_matches_figure8_flavor() {
+        let wl = build(&StressmarkParams::default());
+        let text = voltctl_isa::asm::disassemble(&wl.program);
+        assert!(text.contains("divt"));
+        assert!(text.contains("stt"));
+        assert!(text.contains("cmoveq"));
+        assert!(text.contains("stq"));
+        assert!(text.contains("ldt"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one divide")]
+    fn zero_divide_chain_rejected() {
+        let _ = build(&StressmarkParams {
+            divide_chain: 0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,122 @@
+//! Current-trace recording harness.
+//!
+//! Runs a [`Workload`] on the cycle-level simulator with the structural
+//! power model attached and records the per-cycle current draw — the input
+//! the PDN model convolves into a voltage trace. This is the uncontrolled
+//! (open-loop) measurement path used by the characterization experiments
+//! (Table 2, Figures 9 and 10) and by the stressmark tuner; the closed
+//! control loop lives in `voltctl-core`.
+
+use crate::Workload;
+use voltctl_cpu::{Cpu, CpuConfig};
+use voltctl_power::PowerModel;
+
+/// Records `cycles` cycles of current (amps) after the workload's warm-up,
+/// running uncontrolled (no gating).
+///
+/// # Panics
+///
+/// Panics if the workload's program fails configuration validation
+/// (programmer error in the generator), or finishes before warm-up plus
+/// measurement complete (suite programs are infinite loops; finite
+/// programs must be long enough).
+pub fn record_current(
+    workload: &Workload,
+    config: &CpuConfig,
+    power: &PowerModel,
+    cycles: usize,
+) -> Vec<f64> {
+    let mut cpu = Cpu::new(config.clone(), &workload.program)
+        .expect("workload configuration must validate");
+    for _ in 0..workload.warmup_cycles {
+        if cpu.done() {
+            panic!(
+                "workload `{}` finished during warm-up ({} cycles)",
+                workload.name,
+                workload.warmup_cycles
+            );
+        }
+        cpu.step();
+    }
+    let gating = cpu.gating();
+    let mut out = Vec::with_capacity(cycles);
+    for _ in 0..cycles {
+        if cpu.done() {
+            panic!(
+                "workload `{}` finished during measurement",
+                workload.name
+            );
+        }
+        let act = cpu.step();
+        out.push(power.cycle_current(&act, &gating));
+    }
+    out
+}
+
+/// Runs the workload for `cycles` cycles (after warm-up) and returns the
+/// final simulator, for callers that need statistics rather than traces.
+pub fn run_for(workload: &Workload, config: &CpuConfig, cycles: u64) -> Cpu {
+    let mut cpu = Cpu::new(config.clone(), &workload.program)
+        .expect("workload configuration must validate");
+    cpu.run(workload.warmup_cycles + cycles);
+    cpu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltctl_isa::builder::ProgramBuilder;
+    use voltctl_isa::reg::IntReg;
+    use voltctl_power::{PowerModel, PowerParams};
+    use crate::Class;
+
+    fn looping_workload() -> Workload {
+        let mut b = ProgramBuilder::new("loop");
+        b.label("top");
+        b.addq_imm(IntReg::R1, IntReg::R1, 1);
+        b.br("top");
+        Workload {
+            name: "loop".into(),
+            program: b.build().unwrap(),
+            warmup_cycles: 100,
+            class: Class::BranchyInt,
+        }
+    }
+
+    #[test]
+    fn records_requested_length() {
+        let wl = looping_workload();
+        let model = PowerModel::new(PowerParams::paper_3ghz());
+        let t = record_current(&wl, &CpuConfig::table1(), &model, 500);
+        assert_eq!(t.len(), 500);
+        // All samples within the physical range.
+        for &i in &t {
+            assert!(i >= model.min_current() - 1e-9);
+            assert!(i <= model.peak_current() + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finished during")]
+    fn finite_program_too_short_panics() {
+        let mut b = ProgramBuilder::new("tiny");
+        b.nop();
+        b.halt();
+        let wl = Workload {
+            name: "tiny".into(),
+            program: b.build().unwrap(),
+            warmup_cycles: 1000,
+            class: Class::BranchyInt,
+        };
+        let model = PowerModel::new(PowerParams::paper_3ghz());
+        let _ = record_current(&wl, &CpuConfig::table1(), &model, 10);
+    }
+
+    #[test]
+    fn run_for_returns_simulator_with_stats() {
+        let wl = looping_workload();
+        let cpu = run_for(&wl, &CpuConfig::table1(), 1000);
+        assert!(cpu.stats().committed > 0);
+        assert!(!cpu.done());
+    }
+}

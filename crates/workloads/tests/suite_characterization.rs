@@ -1,0 +1,87 @@
+//! Characterization tests over the synthetic SPEC2000 suite: each behavior
+//! class must actually exhibit the microarchitectural signature it was
+//! generated for (the properties Table 2 and Figure 10 depend on).
+
+use voltctl_cpu::CpuConfig;
+use voltctl_power::{PowerModel, PowerParams};
+use voltctl_workloads::{spec, trace, Class};
+
+fn power() -> PowerModel {
+    PowerModel::new(PowerParams::paper_3ghz())
+}
+
+#[test]
+fn suite_is_complete_and_classified() {
+    let suite = spec::all();
+    assert_eq!(suite.len(), 26);
+    use std::collections::HashMap;
+    let mut by_class: HashMap<_, usize> = HashMap::new();
+    for wl in &suite {
+        *by_class.entry(wl.class).or_default() += 1;
+    }
+    assert_eq!(by_class[&Class::PointerChase], 3, "mcf, art, ammp");
+    assert!(by_class[&Class::BranchyInt] >= 10);
+    assert!(by_class[&Class::StreamingFp] >= 6);
+    assert!(by_class[&Class::FpCompute] >= 3);
+    assert!(by_class[&Class::MixedPhase] >= 3);
+}
+
+#[test]
+fn class_signatures_hold() {
+    let config = CpuConfig::table1();
+    // One representative per class, kept small for test time.
+    let chase = trace::run_for(&spec::by_name("art").unwrap(), &config, 40_000);
+    assert!(chase.stats().ipc() < 0.3, "art ipc {}", chase.stats().ipc());
+
+    let fp = trace::run_for(&spec::by_name("fma3d").unwrap(), &config, 40_000);
+    assert!(fp.stats().ipc() > 1.5, "fma3d ipc {}", fp.stats().ipc());
+
+    let branchy = trace::run_for(&spec::by_name("twolf").unwrap(), &config, 40_000);
+    assert!(
+        branchy.stats().mispredict_rate() > 0.05,
+        "twolf mispredicts {}",
+        branchy.stats().mispredict_rate()
+    );
+
+    // Call-structured kernels execute real call/return pairs.
+    let crafty = trace::run_for(&spec::by_name("crafty").unwrap(), &config, 40_000);
+    assert!(
+        crafty.stats().branches > 3 * branchy.stats().cycles / 100,
+        "crafty must be branch/call dense"
+    );
+}
+
+#[test]
+fn current_spread_ordering_matches_figure_10() {
+    let config = CpuConfig::table1();
+    let p = power();
+    let spread = |name: &str| {
+        let wl = spec::by_name(name).unwrap();
+        let t = trace::record_current(&wl, &config, &p, 20_000);
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        (t.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / t.len() as f64).sqrt()
+    };
+    let ammp = spread("ammp");
+    let wupwise = spread("wupwise");
+    let galgel = spread("galgel");
+    let sixtrack = spread("sixtrack");
+    // Stable kernels sit far below the variable ones.
+    assert!(galgel > 3.0 * ammp, "galgel {galgel} vs ammp {ammp}");
+    assert!(sixtrack > 3.0 * wupwise, "sixtrack {sixtrack} vs wupwise {wupwise}");
+}
+
+#[test]
+fn every_kernel_runs_deterministically() {
+    let config = CpuConfig::table1();
+    for name in ["gzip", "swim", "galgel", "crafty", "mcf"] {
+        let wl = spec::by_name(name).unwrap();
+        let a = trace::run_for(&wl, &config, 15_000);
+        let b = trace::run_for(&wl, &config, 15_000);
+        assert_eq!(
+            a.stats().committed,
+            b.stats().committed,
+            "{name} must be deterministic"
+        );
+        assert_eq!(a.arch_digest(), b.arch_digest(), "{name} state must match");
+    }
+}

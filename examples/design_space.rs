@@ -1,0 +1,54 @@
+//! Design-space exploration: which (impedance, actuator, sensor-delay)
+//! points admit a guaranteed-safe controller, and how wide their operating
+//! windows are.
+//!
+//! This is the methodology the paper advocates: instead of buying ever
+//! lower package impedance, pick a cheaper network and check — by
+//! worst-case analysis, not trial and error — whether a microarchitectural
+//! controller can close the gap.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use voltctl::control::prelude::*;
+use voltctl::pdn::PdnModel;
+use voltctl::power::{PowerModel, PowerParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let power = PowerModel::new(PowerParams::paper_3ghz());
+    let base = PdnModel::paper_default()?;
+
+    println!("guaranteed-safe operating window (mV) by design point");
+    println!("(.... = no safe thresholds exist: scope cannot arrest the worst case)\n");
+    println!("{:>10} {:>6}  {}", "impedance", "scope", "sensor delay 0..6");
+
+    for percent in [1.5, 2.0, 3.0, 4.0] {
+        let pdn = calibrated_pdn(&base, &power, percent)?;
+        for scope in [
+            ActuationScope::Fu,
+            ActuationScope::FuDl1,
+            ActuationScope::FuDl1Il1,
+        ] {
+            print!("{:>9}% {:>10}  ", (percent * 100.0) as u32, scope.name());
+            for delay in 0..=6u32 {
+                let setup = SolveSetup::new(
+                    &pdn,
+                    power.min_current(),
+                    power.achievable_peak_current(),
+                    scope.leverage(&power),
+                    delay,
+                );
+                match solve_thresholds(&setup) {
+                    Ok(t) => print!("{:>6.0}", t.window_mv()),
+                    Err(ControlError::Unstable { .. }) => print!("{:>6}", "...."),
+                    Err(e) => print!("{:>6}", format!("{e:.4}")),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+
+    println!("reading: wider windows = cheaper sensors suffice; dotted cells need");
+    println!("a coarser actuator or a faster sensor (or a better package).");
+    Ok(())
+}

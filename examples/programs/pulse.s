@@ -1,0 +1,25 @@
+; A small dI/dt-style pulse loop: a dependent FP divide (low phase)
+; followed by a burst of independent work (high phase), closed through
+; memory so iterations cannot overlap. Assemble and run with:
+;
+;   cargo run --release --example run_asm -- examples/programs/pulse.s
+;
+top:
+    ldt  f1, 0(r4)
+    divt f3, f1, f2
+    stt  f3, 8(r4)
+    ldq  r7, 8(r4)
+    cmoveq r3, r31, r7
+    xor  r8, r3, r3
+    addq r9, r3, r3
+    stq  r3, 64(r4)
+    or   r10, r3, r3
+    xor  r11, r3, r3
+    addq r12, r3, r3
+    stq  r3, 72(r4)
+    xor  r13, r3, r3
+    addq r14, r3, r3
+    stq  r3, 80(r4)
+    xor  r3, r3, r8
+    stq  r3, 0(r4)
+    bne  r1, top

@@ -1,0 +1,61 @@
+//! A tour of the dI/dt stressmark generator.
+//!
+//! Shows how the generator's two knobs shape the current waveform, how the
+//! spectrum-guided tuner locks the loop onto the package resonance, and
+//! what the resulting assembly looks like (the paper's Figure 8).
+//!
+//! Run with: `cargo run --release --example stressmark_tour`
+
+use voltctl::cpu::CpuConfig;
+use voltctl::isa::asm;
+use voltctl::pdn::{spectrum, PdnModel};
+use voltctl::power::{PowerModel, PowerParams};
+use voltctl::workloads::{stressmark, trace};
+
+fn describe(label: &str, t: &[f64]) {
+    let min = t.iter().cloned().fold(f64::MAX, f64::min);
+    let max = t.iter().cloned().fold(f64::MIN, f64::max);
+    let period = stressmark::measured_period(t)
+        .map_or("n/a".to_string(), |p| format!("{p:.0}"));
+    println!("{label:<28} swing {min:5.1}..{max:5.1} A   period {period:>4} cycles");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CpuConfig::table1();
+    let power = PowerModel::new(PowerParams::paper_3ghz());
+    let pdn = PdnModel::paper_default()?;
+    let target = pdn.resonant_period_cycles();
+    println!("package resonant period: {target} cycles\n");
+
+    // Knob exploration: burst size stretches the loop period.
+    for burst_ops in [60, 150, 300, 600] {
+        let wl = stressmark::build(&stressmark::StressmarkParams {
+            divide_chain: 1,
+            burst_ops,
+            iterations: None,
+        });
+        let t = trace::record_current(&wl, &config, &power, 8192);
+        describe(&format!("divide 1, burst {burst_ops}:"), &t);
+    }
+
+    // The tuner picks the knobs that put the most energy on the resonance.
+    println!("\ntuning to {target} cycles...");
+    let (params, wl) = stressmark::tune(target, &config, &power);
+    let t = trace::record_current(&wl, &config, &power, 8192);
+    describe(
+        &format!(
+            "tuned (divide {}, burst {}):",
+            params.divide_chain, params.burst_ops
+        ),
+        &t,
+    );
+    let energy = spectrum::goertzel(&t, 1.0 / target as f64);
+    println!("current energy at the resonant bin: {energy:.0}\n");
+
+    // The Figure 8 listing.
+    println!("loop head (compare the paper's Figure 8):");
+    for line in asm::disassemble(&wl.program).lines().take(12) {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # voltctl — microarchitectural control of voltage emergencies
+//!
+//! A full reproduction of Joseph, Brooks & Martonosi, *"Control Techniques
+//! to Eliminate Voltage Emergencies in High Performance Processors"*
+//! (HPCA 2003), as a Rust workspace. This facade crate re-exports the
+//! public API of every subsystem:
+//!
+//! * [`pdn`] — second-order power-delivery-network model, voltage
+//!   simulation, emergency detection.
+//! * [`isa`] — the Alpha-flavored RISC instruction set and assembler.
+//! * [`cpu`] — the cycle-level out-of-order processor simulator.
+//! * [`power`] — the Wattch-style structural power/current model.
+//! * [`control`] — **the paper's contribution**: threshold sensor,
+//!   controller, actuators, threshold solver, and the closed-loop
+//!   simulator.
+//! * [`workloads`] — the dI/dt stressmark generator and the synthetic
+//!   SPEC2000-like benchmark suite.
+//!
+//! See the repository README for a walkthrough, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use voltctl::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A package model at 200% of target impedance.
+//! let pdn = PdnModel::paper_default()?;
+//!
+//! // 2. Simulate a current spike through it.
+//! let mut state = pdn.discretize();
+//! let v = state.step(40.0);
+//! assert!(v < pdn.v_nominal());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use voltctl_cpu as cpu;
+pub use voltctl_core as control;
+pub use voltctl_isa as isa;
+pub use voltctl_pdn as pdn;
+pub use voltctl_power as power;
+pub use voltctl_workloads as workloads;
+
+/// Commonly used types, importable with `use voltctl::prelude::*`.
+pub mod prelude {
+    pub use voltctl_pdn::{PdnModel, PdnState, VoltageMonitor};
+}

@@ -1,0 +1,171 @@
+//! Property-based integration tests across the crates.
+
+use proptest::prelude::*;
+use voltctl::cpu::{Cpu, CpuConfig, Domain};
+use voltctl::isa::{FpReg, IntReg, ProgramBuilder};
+use voltctl::pdn::{convolve, PdnModel};
+
+/// A recipe for one straight-line instruction, generatable by proptest.
+#[derive(Debug, Clone)]
+enum OpRecipe {
+    AddImm { rd: u8, ra: u8, imm: i32 },
+    Mul { rd: u8, ra: u8, rb: u8 },
+    Xor { rd: u8, ra: u8, rb: u8 },
+    Store { src: u8, slot: u8 },
+    Load { rd: u8, slot: u8 },
+    FpMul { fd: u8, fa: u8 },
+    Div { rd: u8, ra: u8, rb: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = OpRecipe> {
+    // Registers restricted to r1..r8 / f1..f4; memory to 32 slots.
+    let reg = 1u8..9;
+    let freg = 1u8..5;
+    let slot = 0u8..32;
+    prop_oneof![
+        (reg.clone(), reg.clone(), -1000i32..1000)
+            .prop_map(|(rd, ra, imm)| OpRecipe::AddImm { rd, ra, imm }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, ra, rb)| OpRecipe::Mul { rd, ra, rb }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, ra, rb)| OpRecipe::Xor { rd, ra, rb }),
+        (reg.clone(), slot.clone()).prop_map(|(src, slot)| OpRecipe::Store { src, slot }),
+        (reg.clone(), slot).prop_map(|(rd, slot)| OpRecipe::Load { rd, slot }),
+        (freg.clone(), freg).prop_map(|(fd, fa)| OpRecipe::FpMul { fd, fa }),
+        (reg.clone(), reg.clone(), reg).prop_map(|(rd, ra, rb)| OpRecipe::Div { rd, ra, rb }),
+    ]
+}
+
+fn build_program(ops: &[OpRecipe]) -> voltctl::isa::Program {
+    let mut b = ProgramBuilder::new("prop");
+    b.data_f64(0x7000, &[1.5, 2.5, 3.5, 4.5]);
+    b.lda(IntReg::R4, IntReg::R31, 0x7000);
+    // Seed the integer registers with distinct values.
+    for r in 1..9 {
+        b.lda(IntReg::new(r), IntReg::R31, (r as i64) * 77 + 5);
+    }
+    for f in 1..5 {
+        b.ldt(FpReg::new(f), ((f as i64) % 4) * 8, IntReg::R4);
+    }
+    for op in ops {
+        match *op {
+            OpRecipe::AddImm { rd, ra, imm } => {
+                b.addq_imm(IntReg::new(rd), IntReg::new(ra), imm as i64);
+            }
+            OpRecipe::Mul { rd, ra, rb } => {
+                b.mulq(IntReg::new(rd), IntReg::new(ra), IntReg::new(rb));
+            }
+            OpRecipe::Xor { rd, ra, rb } => {
+                b.xor(IntReg::new(rd), IntReg::new(ra), IntReg::new(rb));
+            }
+            OpRecipe::Store { src, slot } => {
+                b.stq(IntReg::new(src), 256 + (slot as i64) * 8, IntReg::R4);
+            }
+            OpRecipe::Load { rd, slot } => {
+                b.ldq(IntReg::new(rd), 256 + (slot as i64) * 8, IntReg::R4);
+            }
+            OpRecipe::FpMul { fd, fa } => {
+                b.mult(FpReg::new(fd), FpReg::new(fa), FpReg::new(fa));
+            }
+            OpRecipe::Div { rd, ra, rb } => {
+                b.divq(IntReg::new(rd), IntReg::new(ra), IntReg::new(rb));
+            }
+        }
+    }
+    b.halt();
+    b.build().expect("generated programs are label-free")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Architectural results are a function of the program alone:
+    /// microarchitecture (window sizes, widths, caches) must not change
+    /// them — the foundation for "control does not alter correctness".
+    #[test]
+    fn results_independent_of_microarchitecture(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let program = build_program(&ops);
+        let mut big = Cpu::new(CpuConfig::table1(), &program).unwrap();
+        big.run(1_000_000);
+        prop_assert!(big.done());
+        let mut small = Cpu::new(CpuConfig::small(), &program).unwrap();
+        small.run(2_000_000);
+        prop_assert!(small.done());
+        prop_assert_eq!(big.arch_digest(), small.arch_digest());
+        prop_assert_eq!(big.stats().committed, small.stats().committed);
+    }
+
+    /// Random gating schedules stall execution but never change results.
+    #[test]
+    fn gating_schedules_never_change_results(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        schedule in prop::collection::vec((0u8..3, 1u8..16, any::<bool>()), 0..40),
+    ) {
+        let program = build_program(&ops);
+        let mut free = Cpu::new(CpuConfig::table1(), &program).unwrap();
+        free.run(1_000_000);
+        prop_assert!(free.done());
+
+        let mut gated = Cpu::new(CpuConfig::table1(), &program).unwrap();
+        let mut step = 0usize;
+        'outer: for &(domain, cycles, phantom) in &schedule {
+            let d = match domain {
+                0 => Domain::Fu,
+                1 => Domain::Dl1,
+                _ => Domain::Il1,
+            };
+            if phantom {
+                gated.gating_mut().set_phantom(d, true);
+            } else {
+                gated.gating_mut().set_gated(d, true);
+            }
+            for _ in 0..cycles {
+                if gated.done() {
+                    break 'outer;
+                }
+                gated.step();
+                step += 1;
+            }
+            gated.gating_mut().release_all();
+        }
+        let _ = step;
+        gated.gating_mut().release_all();
+        gated.run(1_000_000);
+        prop_assert!(gated.done());
+        prop_assert_eq!(free.arch_digest(), gated.arch_digest());
+    }
+
+    /// The PDN is linear time-invariant: scaling the current trace scales
+    /// the deviation, and the state-space path agrees with convolution.
+    #[test]
+    fn pdn_linearity_and_equivalence(
+        trace in prop::collection::vec(0.0f64..60.0, 16..300),
+        scale in 0.1f64..4.0,
+    ) {
+        let model = PdnModel::paper_default().unwrap();
+
+        let mut s1 = model.discretize();
+        let v1: Vec<f64> = trace.iter().map(|&i| s1.step(i) - model.v_nominal()).collect();
+
+        let scaled: Vec<f64> = trace.iter().map(|&i| i * scale).collect();
+        let mut s2 = model.discretize();
+        let v2: Vec<f64> = scaled.iter().map(|&i| s2.step(i) - model.v_nominal()).collect();
+        for (a, b) in v1.iter().zip(&v2) {
+            prop_assert!((a * scale - b).abs() < 1e-9);
+        }
+
+        let kernel = convolve::kernel_for(&model, 1e-9);
+        let conv = convolve::convolve_full(&kernel, &trace, 0.0);
+        for (a, b) in v1.iter().zip(&conv) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    /// Assembler round-trip: disassembling any generated program and
+    /// re-assembling it yields the identical instruction stream.
+    #[test]
+    fn assembler_roundtrip(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let program = build_program(&ops);
+        let text = voltctl::isa::asm::disassemble(&program);
+        let back = voltctl::isa::asm::assemble("prop", &text).expect("disassembly re-assembles");
+        prop_assert_eq!(program.insts(), back.insts());
+    }
+}

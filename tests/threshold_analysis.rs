@@ -1,0 +1,133 @@
+//! Integration tests of the control-theoretic design flow (Table 3 and
+//! the §5.2 stability findings), exercised through the public facade.
+
+use voltctl::control::prelude::*;
+use voltctl::pdn::PdnModel;
+use voltctl::power::{PowerModel, PowerParams};
+
+fn setup(percent: f64) -> (PowerModel, PdnModel) {
+    let power = PowerModel::new(PowerParams::paper_3ghz());
+    let pdn = calibrated_pdn(&PdnModel::paper_default().unwrap(), &power, percent).unwrap();
+    (power, pdn)
+}
+
+fn solve(
+    power: &PowerModel,
+    pdn: &PdnModel,
+    scope: ActuationScope,
+    delay: u32,
+) -> Result<Thresholds, ControlError> {
+    solve_thresholds(&SolveSetup::new(
+        pdn,
+        power.min_current(),
+        power.achievable_peak_current(),
+        scope.leverage(power),
+        delay,
+    ))
+}
+
+/// Table 3's invariant: the safe window shrinks monotonically with sensor
+/// delay, driven by a rising low threshold, and stays within the ±5% band.
+#[test]
+fn table3_window_shape() {
+    let (power, pdn) = setup(2.0);
+    let mut prev_window = f64::INFINITY;
+    let mut prev_low = 0.0;
+    for delay in 0..=6 {
+        let t = solve(&power, &pdn, ActuationScope::Ideal, delay).unwrap();
+        assert!(t.v_low >= 0.95 && t.v_high <= 1.05);
+        assert!(t.v_low < 1.0 && t.v_high > 1.0);
+        assert!(t.window_mv() <= prev_window + 1e-9, "delay {delay}");
+        assert!(t.v_low >= prev_low - 1e-9, "delay {delay}");
+        prev_window = t.window_mv();
+        prev_low = t.v_low;
+    }
+    // Delay-0 anchor matches the paper's 94 mV-class window.
+    let t0 = solve(&power, &pdn, ActuationScope::Ideal, 0).unwrap();
+    assert!(
+        (80.0..=100.0).contains(&t0.window_mv()),
+        "delay-0 window {} mV",
+        t0.window_mv()
+    );
+}
+
+/// §5.2: FU-only actuation is usable at small delays but becomes unstable
+/// at delay 3; the coarser scopes remain stable through the whole range.
+#[test]
+fn fu_only_stability_boundary() {
+    let (power, pdn) = setup(2.0);
+    for delay in 0..=2 {
+        assert!(
+            solve(&power, &pdn, ActuationScope::Fu, delay).is_ok(),
+            "FU must be usable at delay {delay}"
+        );
+    }
+    for delay in 3..=6 {
+        assert!(
+            matches!(
+                solve(&power, &pdn, ActuationScope::Fu, delay),
+                Err(ControlError::Unstable { .. })
+            ),
+            "FU must be unstable at delay {delay}"
+        );
+    }
+    for scope in [ActuationScope::FuDl1, ActuationScope::FuDl1Il1] {
+        for delay in 0..=6 {
+            assert!(
+                solve(&power, &pdn, scope, delay).is_ok(),
+                "{} must be stable at delay {delay}",
+                scope.name()
+            );
+        }
+    }
+}
+
+/// Coarser actuation buys a wider guaranteed window at equal delay.
+#[test]
+fn coarser_scopes_give_wider_windows() {
+    let (power, pdn) = setup(2.0);
+    for delay in 0..=4 {
+        let fu_dl1 = solve(&power, &pdn, ActuationScope::FuDl1, delay).unwrap();
+        let full = solve(&power, &pdn, ActuationScope::FuDl1Il1, delay).unwrap();
+        assert!(
+            full.window_mv() >= fu_dl1.window_mv() - 1e-9,
+            "delay {delay}: {} vs {}",
+            full.window_mv(),
+            fu_dl1.window_mv()
+        );
+    }
+}
+
+/// Cheaper (higher-impedance) networks leave less room: windows shrink as
+/// the impedance multiple grows, and eventually even good actuators fail.
+#[test]
+fn impedance_pressure_narrows_windows() {
+    let power = PowerModel::new(PowerParams::paper_3ghz());
+    let mut prev = f64::INFINITY;
+    for percent in [1.5, 2.0, 3.0, 4.0] {
+        let (_, pdn) = setup(percent);
+        let t = solve(&power, &pdn, ActuationScope::FuDl1Il1, 2);
+        match t {
+            Ok(t) => {
+                assert!(t.window_mv() <= prev + 1e-9, "at {percent}");
+                prev = t.window_mv();
+            }
+            Err(_) => {
+                // Acceptable at the high end; once infeasible, stays so.
+                prev = 0.0;
+            }
+        }
+    }
+}
+
+/// Error compensation composes with solving: tightened thresholds still
+/// fit in the band for the paper's error range at moderate delay.
+#[test]
+fn error_compensation_fits_paper_range() {
+    let (power, pdn) = setup(2.0);
+    let t = solve(&power, &pdn, ActuationScope::Ideal, 2).unwrap();
+    for error_mv in [10.0, 15.0, 20.0, 25.0] {
+        let tt = t.tightened(error_mv).unwrap();
+        assert!(tt.v_low < tt.v_high);
+    }
+}
