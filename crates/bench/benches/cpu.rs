@@ -1,93 +1,69 @@
-//! Criterion benchmarks for the cycle-level simulator: simulation
-//! throughput per workload class (cycles/second is the figure of merit
-//! for every experiment's wall time), plus the hot microarchitectural
-//! structures in isolation.
+//! Micro-benchmarks for the cycle-level simulator: simulation throughput
+//! per workload class (cycles/second is the figure of merit for every
+//! experiment's wall time), plus the hot microarchitectural structures in
+//! isolation.
+//!
+//! Runs on the in-tree harness (`voltctl_telemetry::stopwatch::bench`);
+//! invoke with `cargo bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 use voltctl_cpu::{bpred::BranchPredictor, cache::Cache, Cpu, CpuConfig};
+use voltctl_telemetry::stopwatch::bench;
 use voltctl_workloads::spec;
 
 const CYCLES: u64 = 20_000;
 
-fn bench_simulation_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cpu/simulate");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(CYCLES));
+fn bench_simulation_throughput() {
     for name in ["gcc", "swim", "mcf", "wupwise"] {
         let wl = spec::by_name(name).expect("suite kernel");
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || Cpu::new(CpuConfig::table1(), &wl.program).expect("valid config"),
-                |mut cpu| {
-                    cpu.run(CYCLES);
-                    black_box(cpu.stats().committed)
-                },
-                BatchSize::LargeInput,
-            )
+        bench(&format!("cpu/simulate/{name}_20k_cycles"), 10, 1, || {
+            let mut cpu = Cpu::new(CpuConfig::table1(), &wl.program).expect("valid config");
+            cpu.run(CYCLES);
+            black_box(cpu.stats().committed)
         });
     }
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let config = CpuConfig::table1();
-    let mut g = c.benchmark_group("cpu/cache");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("l1d_hits_10k", |b| {
-        b.iter_batched(
-            || Cache::new(&config.l1d),
-            |mut cache| {
-                let mut hits = 0u32;
-                for k in 0..10_000u64 {
-                    if cache.access((k % 64) * 64, false).hit {
-                        hits += 1;
-                    }
-                }
-                black_box(hits)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("cpu/cache/l1d_hits_10k", 20, 3, || {
+        let mut cache = Cache::new(&config.l1d);
+        let mut hits = 0u32;
+        for k in 0..10_000u64 {
+            if cache.access((k % 64) * 64, false).hit {
+                hits += 1;
+            }
+        }
+        black_box(hits)
     });
-    g.bench_function("l1d_streaming_misses_10k", |b| {
-        b.iter_batched(
-            || Cache::new(&config.l1d),
-            |mut cache| {
-                let mut misses = 0u32;
-                for k in 0..10_000u64 {
-                    if !cache.access(k * 64, false).hit {
-                        misses += 1;
-                    }
-                }
-                black_box(misses)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("cpu/cache/l1d_streaming_misses_10k", 20, 3, || {
+        let mut cache = Cache::new(&config.l1d);
+        let mut misses = 0u32;
+        for k in 0..10_000u64 {
+            if !cache.access(k * 64, false).hit {
+                misses += 1;
+            }
+        }
+        black_box(misses)
     });
-    g.finish();
 }
 
-fn bench_bpred(c: &mut Criterion) {
+fn bench_bpred() {
     let config = CpuConfig::table1();
-    let mut g = c.benchmark_group("cpu/bpred");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("predict_update_10k", |b| {
-        b.iter_batched(
-            || BranchPredictor::new(&config.bpred),
-            |mut bp| {
-                for k in 0..10_000u64 {
-                    let pc = (k % 97) * 4;
-                    let taken = (k * 2654435761) % 3 != 0;
-                    let pred = bp.predict(pc);
-                    bp.update(pc, taken, (k % 31) as u32, &pred);
-                }
-                black_box(bp.mispredicts())
-            },
-            BatchSize::SmallInput,
-        )
+    bench("cpu/bpred/predict_update_10k", 20, 3, || {
+        let mut bp = BranchPredictor::new(&config.bpred);
+        for k in 0..10_000u64 {
+            let pc = (k % 97) * 4;
+            let taken = (k * 2654435761) % 3 != 0;
+            let pred = bp.predict(pc);
+            bp.update(pc, taken, (k % 31) as u32, &pred);
+        }
+        black_box(bp.mispredicts())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_simulation_throughput, bench_cache, bench_bpred);
-criterion_main!(benches);
+fn main() {
+    bench_simulation_throughput();
+    bench_cache();
+    bench_bpred();
+}

@@ -1,90 +1,70 @@
-//! Criterion benchmarks for the PDN substrate: the per-cycle voltage
+//! Micro-benchmarks for the PDN substrate: the per-cycle voltage
 //! stepping cost dominates every experiment, so its throughput is tracked
 //! here alongside the reference convolution path and the offline solvers.
+//!
+//! Runs on the in-tree harness (`voltctl_telemetry::stopwatch::bench`);
+//! invoke with `cargo bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 use voltctl_pdn::{convolve, waveform, PdnModel};
+use voltctl_telemetry::stopwatch::bench;
 
 fn model() -> PdnModel {
     PdnModel::paper_default().unwrap()
 }
 
-fn bench_state_space(c: &mut Criterion) {
+fn bench_state_space() {
     let m = model();
     let trace = waveform::square_wave(12.0, 55.0, 60, 10_000);
-    let mut g = c.benchmark_group("pdn/state_space");
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("step_10k_cycles", |b| {
-        b.iter_batched(
-            || m.discretize(),
-            |mut state| {
-                let mut acc = 0.0;
-                for &i in &trace {
-                    acc += state.step(i);
-                }
-                black_box(acc)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("pdn/state_space/step_10k_cycles", 20, 5, || {
+        let mut state = m.discretize();
+        let mut acc = 0.0;
+        for &i in &trace {
+            acc += state.step(i);
+        }
+        black_box(acc)
     });
-    g.finish();
 }
 
-fn bench_convolution(c: &mut Criterion) {
+fn bench_convolution() {
     let m = model();
     let trace = waveform::square_wave(12.0, 55.0, 60, 2_000);
-    let mut g = c.benchmark_group("pdn/convolution");
     for tol in [1e-3, 1e-6] {
         let kernel = convolve::kernel_for(&m, tol);
-        g.throughput(Throughput::Elements(trace.len() as u64));
-        g.bench_function(format!("kernel_{}_taps", kernel.len()), |b| {
-            b.iter(|| black_box(convolve::convolve_full(&kernel, &trace, 1.0)))
+        let name = format!("pdn/convolution/kernel_{}_taps", kernel.len());
+        bench(&name, 20, 5, || {
+            black_box(convolve::convolve_full(&kernel, &trace, 1.0))
         });
     }
-    g.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis() {
     let m = model();
-    let mut g = c.benchmark_group("pdn/analysis");
-    g.sample_size(20);
-    g.bench_function("worst_case_deviation", |b| {
-        b.iter(|| black_box(m.worst_case_deviation(45.0)))
+    bench("pdn/analysis/worst_case_deviation", 20, 10, || {
+        black_box(m.worst_case_deviation(45.0))
     });
-    g.bench_function("calibrated_target", |b| {
-        b.iter(|| black_box(m.calibrated_target(45.0).unwrap()))
+    // calibrated_target runs a full solver pass (~0.5 s); keep it light.
+    bench("pdn/analysis/calibrated_target", 5, 1, || {
+        black_box(m.calibrated_target(45.0).unwrap())
     });
-    g.bench_function("fit_from_spec", |b| {
-        b.iter(|| {
-            black_box(
-                PdnModel::builder()
-                    .peak_impedance(2.5e-3)
-                    .build()
-                    .unwrap(),
-            )
-        })
+    bench("pdn/analysis/fit_from_spec", 20, 10, || {
+        black_box(PdnModel::builder().peak_impedance(2.5e-3).build().unwrap())
     });
-    g.finish();
 }
 
-fn bench_spectrum(c: &mut Criterion) {
+fn bench_spectrum() {
     let trace = waveform::square_wave(12.0, 55.0, 60, 4096);
-    let mut g = c.benchmark_group("pdn/spectrum");
-    g.bench_function("power_spectrum_4096", |b| {
-        b.iter(|| black_box(voltctl_pdn::spectrum::power_spectrum(&trace)))
+    bench("pdn/spectrum/power_spectrum_4096", 20, 5, || {
+        black_box(voltctl_pdn::spectrum::power_spectrum(&trace))
     });
-    g.bench_function("goertzel_4096", |b| {
-        b.iter(|| black_box(voltctl_pdn::spectrum::goertzel(&trace, 1.0 / 60.0)))
+    bench("pdn/spectrum/goertzel_4096", 20, 20, || {
+        black_box(voltctl_pdn::spectrum::goertzel(&trace, 1.0 / 60.0))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_state_space,
-    bench_convolution,
-    bench_analysis,
-    bench_spectrum
-);
-criterion_main!(benches);
+fn main() {
+    bench_state_space();
+    bench_convolution();
+    bench_analysis();
+    bench_spectrum();
+}

@@ -9,10 +9,15 @@
 //! at elevated impedance, where gating rebounds cross the high
 //! threshold).
 
-use voltctl_bench::{budget, pct, pdn_at, power_model, tuned_stressmark, TextTable};
+use voltctl_bench::{budget, pct, pdn_at, power_model, telemetry, tuned_stressmark, TextTable};
 use voltctl_core::prelude::*;
+use voltctl_telemetry::MemoryRecorder;
 
-fn run(actuator: AsymmetricActuator, thresholds: Thresholds, cycles: u64) -> (LoopReport, LoopReport) {
+fn run(
+    actuator: AsymmetricActuator,
+    thresholds: Thresholds,
+    cycles: u64,
+) -> (LoopReport, LoopReport) {
     let stress = tuned_stressmark();
     let power = power_model();
     let pdn = pdn_at(3.0);
@@ -40,6 +45,7 @@ fn run(actuator: AsymmetricActuator, thresholds: Thresholds, cycles: u64) -> (Lo
 }
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("ablation_asymmetric");
     let cycles = budget(120_000);
     println!("== Ablation: asymmetric actuation (stressmark, 300% impedance) ==\n");
 
@@ -83,7 +89,13 @@ fn main() {
             1,
         );
         let Ok(solved) = solve_thresholds(&setup) else {
-            t.row([label.into(), "UNSTABLE".to_string(), "-".into(), "-".into(), "-".into()]);
+            t.row([
+                label.into(),
+                "UNSTABLE".to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         // The solved high threshold is unconstrained (1.05 V) in this
@@ -95,6 +107,11 @@ fn main() {
             v_high: 2.0 - solved.v_low,
         };
         let (base, ctrl) = run(actuator, thresholds, cycles);
+        if telemetry::enabled() {
+            let mut rec = MemoryRecorder::new();
+            ctrl.emergencies.record_telemetry(&mut rec);
+            telemetry::record(&rec);
+        }
         let perf = 1.0 - ctrl.ipc / base.ipc;
         let energy = (ctrl.energy_joules / ctrl.committed.max(1) as f64)
             / (base.energy_joules / base.committed.max(1) as f64)

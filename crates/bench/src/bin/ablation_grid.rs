@@ -11,6 +11,7 @@ use voltctl_pdn::grid::GridPdn;
 use voltctl_pdn::waveform;
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("ablation_grid");
     let pdn = pdn_at(2.0);
     let period = pdn.resonant_period_cycles();
     let swing = delta_i();
@@ -26,18 +27,18 @@ fn main() {
         global_min = global_min.min(global.step(i));
     }
 
-    let mut t = TextTable::new([
-        "scenario",
-        "worst local droop (mV)",
-        "vs global (mV)",
-    ]);
+    let mut t = TextTable::new(["scenario", "worst local droop (mV)", "vs global (mV)"]);
     t.row([
         "global lumped model".to_string(),
         format!("{:.1}", (pdn.v_nominal() - global_min) * 1e3),
         "-".to_string(),
     ]);
 
-    for (label, share) in [("uniform across quadrants", 0.25), ("60% in one quadrant", 0.6), ("90% in one quadrant", 0.9)] {
+    for (label, share) in [
+        ("uniform across quadrants", 0.25),
+        ("60% in one quadrant", 0.6),
+        ("90% in one quadrant", 0.9),
+    ] {
         let mut grid = GridPdn::new(&pdn, 2.0e-3);
         let mut min_v = f64::MAX;
         for &i in &train {

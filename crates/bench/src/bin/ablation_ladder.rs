@@ -16,6 +16,7 @@ use voltctl_pdn::waveform;
 use voltctl_power::{PowerModel, PowerParams};
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("ablation_ladder");
     let ladder = LadderModel::typical_three_stage();
     let fit = ladder
         .fit_second_order(10.0e6, 300.0e6)
@@ -113,7 +114,11 @@ fn main() {
             println!(
                 "  min die voltage {:.4} V — {} the 0.95 V specification ({} clamped cycles)",
                 out.min_v,
-                if out.min_v >= 0.95 { "WITHIN" } else { "VIOLATES" },
+                if out.min_v >= 0.95 {
+                    "WITHIN"
+                } else {
+                    "VIOLATES"
+                },
                 out.reduce_cycles
             );
         }

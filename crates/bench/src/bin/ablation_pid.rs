@@ -7,13 +7,13 @@
 //! and reports emergencies and performance as the PID's compute latency
 //! grows.
 
+use std::collections::VecDeque;
 use voltctl_bench::{budget, pct, pdn_at, power_model, solve_for, tuned_stressmark, TextTable};
 use voltctl_core::pid::PidController;
 use voltctl_core::prelude::*;
 use voltctl_cpu::Cpu;
 use voltctl_pdn::VoltageMonitor;
 use voltctl_power::EnergyAccumulator;
-use std::collections::VecDeque;
 
 /// A hand-rolled PID closed loop (the threshold loop lives in
 /// `voltctl_core::loopsim`; PID needs magnitude readings, so it gets its
@@ -49,6 +49,7 @@ fn run_pid(compute_delay: u32, cycles: u64) -> (f64, u64, f64) {
 }
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("ablation_pid");
     let cycles = budget(120_000);
     println!("== Ablation: PID vs threshold control (stressmark, 200% impedance) ==\n");
 
@@ -59,13 +60,21 @@ fn main() {
         &stress,
         ActuationScope::FuDl1Il1,
         thresholds,
-        SensorConfig { delay_cycles: 1, noise_mv: 0.0, seed: 1 },
+        SensorConfig {
+            delay_cycles: 1,
+            noise_mv: 0.0,
+            seed: 1,
+        },
         2.0,
         cycles,
     )
     .expect("threshold eval runs");
 
-    let mut t = TextTable::new(["controller", "emergency cycles", "perf loss vs uncontrolled"]);
+    let mut t = TextTable::new([
+        "controller",
+        "emergency cycles",
+        "perf loss vs uncontrolled",
+    ]);
     t.row([
         "threshold (delay 1)".to_string(),
         eval.controlled.emergencies.emergency_cycles.to_string(),

@@ -8,6 +8,7 @@ use voltctl_bench::TextTable;
 use voltctl_pdn::itrs::{self, Segment};
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig01_itrs");
     println!("== Figure 1: relative impedance trends (ITRS 2001) ==\n");
     let cp = itrs::relative_impedance(Segment::CostPerformance);
     let hp = itrs::relative_impedance(Segment::HighPerformance);

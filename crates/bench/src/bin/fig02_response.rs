@@ -8,6 +8,7 @@ use voltctl_bench::{ascii_chart, delta_i, pdn_at, TextTable};
 use voltctl_pdn::{FrequencyResponse, StepResponse};
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig02_response");
     let pdn = pdn_at(2.0);
     println!("== Figure 2: second-order model responses (200% of target impedance) ==\n");
     println!(
@@ -26,15 +27,25 @@ fn main() {
     println!("{}", ascii_chart(&mags, 10, 72));
     println!("           (log-frequency 1 MHz .. 1 GHz; y in mOhm)\n");
     let (f_pk, z_pk) = sweep.peak();
-    println!("sampled peak: {:.3} mOhm at {:.1} MHz\n", z_pk * 1e3, f_pk / 1e6);
+    println!(
+        "sampled peak: {:.3} mOhm at {:.1} MHz\n",
+        z_pk * 1e3,
+        f_pk / 1e6
+    );
 
     let mut t = TextTable::new(["f (MHz)", "|Z| (mOhm)"]);
     for &f in &[1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 200.0, 500.0] {
-        t.row([format!("{f:.0}"), format!("{:.4}", pdn.impedance_at(f * 1e6) * 1e3)]);
+        t.row([
+            format!("{f:.0}"),
+            format!("{:.4}", pdn.impedance_at(f * 1e6) * 1e3),
+        ]);
     }
     println!("{}", t.render());
 
-    println!("-- step response (current step = full machine swing {:.1} A) --", delta_i());
+    println!(
+        "-- step response (current step = full machine swing {:.1} A) --",
+        delta_i()
+    );
     let sr = StepResponse::simulate(&pdn, delta_i(), 400);
     println!("{}", ascii_chart(sr.volts(), 10, 72));
     let m = sr.metrics();

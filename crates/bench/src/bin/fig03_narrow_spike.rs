@@ -8,6 +8,7 @@ use voltctl_bench::{ascii_chart, delta_i, pdn_at};
 use voltctl_pdn::{waveform, VoltageMonitor};
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig03_narrow_spike");
     let pdn = pdn_at(3.0);
     let trace = waveform::spike(0.0, delta_i(), 20, 5, 360);
     let mut state = pdn.discretize();
@@ -16,7 +17,10 @@ fn main() {
     monitor.observe_all(&volts);
     let r = monitor.report();
 
-    println!("== Figure 3: response to a narrow (5-cycle, {:.1} A) current spike ==", delta_i());
+    println!(
+        "== Figure 3: response to a narrow (5-cycle, {:.1} A) current spike ==",
+        delta_i()
+    );
     println!("   (300% of target impedance)\n");
     println!("{}", ascii_chart(&volts, 10, 72));
     println!(

@@ -5,6 +5,7 @@ use voltctl_bench::{ascii_chart, delta_i, pdn_at};
 use voltctl_pdn::{waveform, VoltageMonitor};
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig04_wide_spike");
     let pdn = pdn_at(3.0);
     let trace = waveform::spike(0.0, delta_i(), 20, 10, 360);
     let mut state = pdn.discretize();
@@ -13,7 +14,10 @@ fn main() {
     monitor.observe_all(&volts);
     let r = monitor.report();
 
-    println!("== Figure 4: response to a wide (10-cycle, {:.1} A) current spike ==", delta_i());
+    println!(
+        "== Figure 4: response to a wide (10-cycle, {:.1} A) current spike ==",
+        delta_i()
+    );
     println!("   (300% of target impedance)\n");
     println!("{}", ascii_chart(&volts, 10, 72));
     println!(
@@ -21,5 +25,8 @@ fn main() {
         (pdn.v_nominal() - r.min_v) * 1e3,
         r.emergency_cycles
     );
-    assert!(r.any(), "narrative check: wide spike must cross the 5% band");
+    assert!(
+        r.any(),
+        "narrative check: wide spike must cross the 5% band"
+    );
 }

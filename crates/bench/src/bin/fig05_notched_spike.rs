@@ -6,6 +6,7 @@ use voltctl_bench::{ascii_chart, delta_i, pdn_at};
 use voltctl_pdn::{waveform, VoltageMonitor};
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig05_notched_spike");
     let pdn = pdn_at(3.0);
     let wide = waveform::spike(0.0, delta_i(), 20, 20, 360);
     let notched = waveform::notched_spike(0.0, delta_i(), 20, 20, 7, 7, 360);
@@ -33,6 +34,9 @@ fn main() {
         (pdn.v_nominal() - notched_report.min_v) * 1e3,
         notched_report.emergency_cycles
     );
-    assert!(wide_report.any(), "narrative check: unnotched spike crosses spec");
+    assert!(
+        wide_report.any(),
+        "narrative check: unnotched spike crosses spec"
+    );
     assert!(!notched_report.any(), "narrative check: the notch saves it");
 }

@@ -6,6 +6,7 @@ use voltctl_bench::{ascii_chart, delta_i, pdn_at};
 use voltctl_pdn::{waveform, VoltageMonitor};
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig06_resonant_train");
     let pdn = pdn_at(3.0);
     let period = pdn.resonant_period_cycles();
     let trace = waveform::pulse_train(0.0, delta_i(), 10, period / 2, period, 6, 600);
@@ -36,8 +37,17 @@ fn main() {
         );
     }
     println!("emergency cycles: {}", r.emergency_cycles);
-    let first = volts[10..10 + period].iter().cloned().fold(f64::MAX, f64::min);
-    let second = volts[10 + period..10 + 2 * period].iter().cloned().fold(f64::MAX, f64::min);
-    assert!(second < first, "narrative check: the second pulse digs deeper");
+    let first = volts[10..10 + period]
+        .iter()
+        .cloned()
+        .fold(f64::MAX, f64::min);
+    let second = volts[10 + period..10 + 2 * period]
+        .iter()
+        .cloned()
+        .fold(f64::MAX, f64::min);
+    assert!(
+        second < first,
+        "narrative check: the second pulse digs deeper"
+    );
     assert!(r.any(), "narrative check: resonance causes emergencies");
 }

@@ -9,6 +9,7 @@ use voltctl_bench::{cpu_config, pdn_at, power_model};
 use voltctl_workloads::stressmark;
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig08_stressmark");
     let config = cpu_config();
     let power = power_model();
     let period = pdn_at(2.0).resonant_period_cycles();
@@ -30,7 +31,10 @@ fn main() {
     for line in lines.iter().take(14) {
         println!("{line}");
     }
-    println!("    ; ... {} burst instructions elided ...", params.burst_ops.saturating_sub(12));
+    println!(
+        "    ; ... {} burst instructions elided ...",
+        params.burst_ops.saturating_sub(12)
+    );
     for line in lines.iter().rev().take(4).collect::<Vec<_>>().iter().rev() {
         println!("{line}");
     }

@@ -9,6 +9,7 @@ use voltctl_bench::{budget, current_trace, delta_i, pdn_at, tuned_stressmark};
 use voltctl_pdn::waveform;
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig09_stressmark_vs_worst");
     let pdn = pdn_at(2.0);
     let period = pdn.resonant_period_cycles();
     let cycles = budget(60_000) as usize;
@@ -52,7 +53,10 @@ fn main() {
         "\nstressmark achieves {:.0}% of the theoretical worst-case swing",
         100.0 * stress_dev / ideal_dev
     );
-    assert!(stress_dev < ideal_dev, "software cannot beat the analytic bound");
+    assert!(
+        stress_dev < ideal_dev,
+        "software cannot beat the analytic bound"
+    );
     assert!(
         stress_dev > 0.4 * ideal_dev,
         "but it must be severe enough to stress the controller"
@@ -61,6 +65,10 @@ fn main() {
     println!(
         "emergency threshold is {:.0} mV: stressmark {} it at this impedance",
         tol * 1e3,
-        if stress_dev > tol { "CROSSES" } else { "stays within" }
+        if stress_dev > tol {
+            "CROSSES"
+        } else {
+            "stays within"
+        }
     );
 }

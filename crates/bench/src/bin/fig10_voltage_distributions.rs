@@ -5,8 +5,11 @@
 //! leftmost column), but the *width* of each distribution varies wildly:
 //! ammp is famously stable, galgel and swim spread across the band.
 
-use voltctl_bench::{budget, current_trace, pdn_at, spec_suite, tuned_stressmark, TextTable};
+use voltctl_bench::{
+    budget, current_trace, pdn_at, spec_suite, telemetry, tuned_stressmark, TextTable,
+};
 use voltctl_pdn::{VoltageHistogram, VoltageMonitor};
+use voltctl_telemetry::MemoryRecorder;
 
 fn sparkline(hist: &VoltageHistogram) -> String {
     // Collapse the 100 bins into 25 buckets rendered by density.
@@ -25,6 +28,8 @@ fn sparkline(hist: &VoltageHistogram) -> String {
 }
 
 fn main() {
+    let _telemetry = telemetry::init("fig10_voltage_distributions");
+    let mut rec = MemoryRecorder::new();
     let pdn = pdn_at(1.0);
     let cycles = budget(200_000) as usize;
     println!("== Figure 10: voltage distributions at 100% of target impedance ==");
@@ -53,6 +58,11 @@ fn main() {
             monitor.observe(v);
         }
         let r = monitor.report();
+        if telemetry::enabled() {
+            // Suite-wide aggregate: histograms merge bin-wise, reports sum.
+            r.record_telemetry(&mut rec);
+            hist.record_telemetry(&mut rec, "pdn.voltage_hist");
+        }
         t.row([
             wl.name.clone(),
             format!("{:.4}", r.min_v),
@@ -61,6 +71,9 @@ fn main() {
             r.emergency_cycles.to_string(),
             format!("[{}]", sparkline(&hist)),
         ]);
+    }
+    if telemetry::enabled() {
+        telemetry::record(&rec);
     }
     println!("{}", t.render());
     println!("(spread = standard deviation of the distribution; paper highlights");

@@ -5,10 +5,14 @@
 //! interventions: the supply dives toward the low threshold, the actuator
 //! gates, the network recovers, execution resumes.
 
-use voltctl_bench::{ascii_chart, budget, pdn_at, power_model, solve_for, tuned_stressmark};
+use voltctl_bench::{
+    ascii_chart, budget, pdn_at, power_model, solve_for, telemetry, tuned_stressmark,
+};
 use voltctl_core::prelude::*;
+use voltctl_telemetry::{export, MemoryRecorder};
 
 fn main() {
+    let _telemetry = telemetry::init("fig11_controller_trace");
     let scope = ActuationScope::FuDl1Il1;
     let delay = 2;
     let thresholds = solve_for(scope, delay, 2.0).expect("stable configuration");
@@ -25,11 +29,36 @@ fn main() {
             seed: 1,
         })
         .record_trace(true)
+        .recorder(MemoryRecorder::new())
         .build()
         .expect("loop builds");
     sim.run(stress.warmup_cycles + budget(6_000));
+    sim.finish_telemetry();
     let trace = sim.take_trace();
     let report = sim.report();
+    if telemetry::enabled() {
+        telemetry::record(sim.recorder());
+        // This figure is about the per-cycle trace, so export it whole.
+        let rows = trace.iter().enumerate().map(|(k, s)| {
+            vec![
+                k as f64,
+                s.voltage,
+                s.current,
+                if s.reducing { 1.0 } else { 0.0 },
+                if s.increasing { 1.0 } else { 0.0 },
+            ]
+        });
+        match export::write_trace_csv(
+            &telemetry::out_dir(),
+            "fig11_controller_trace",
+            "trace",
+            &["cycle", "voltage_v", "current_a", "reducing", "increasing"],
+            rows,
+        ) {
+            Ok(path) => eprintln!("telemetry trace: {}", path.display()),
+            Err(e) => eprintln!("voltctl[warn] telemetry.export: trace write failed: {e}"),
+        }
+    }
 
     println!("== Figure 11: threshold controller in action ==");
     println!(
@@ -55,14 +84,27 @@ fn main() {
     let gate_marks: String = window
         .iter()
         .step_by(4)
-        .map(|s| if s.reducing { 'G' } else if s.increasing { 'F' } else { '.' })
+        .map(|s| {
+            if s.reducing {
+                'G'
+            } else if s.increasing {
+                'F'
+            } else {
+                '.'
+            }
+        })
         .collect();
     println!("actuation (per 4 cycles, G=gated F=fired): {gate_marks}\n");
 
     println!(
         "run summary: {} interventions, {} gated cycles, {} fired cycles, {} emergency cycles",
-        report.interventions, report.reduce_cycles, report.increase_cycles,
+        report.interventions,
+        report.reduce_cycles,
+        report.increase_cycles,
         report.emergencies.emergency_cycles
     );
-    assert!(report.interventions > 0, "controller must act on the stressmark");
+    assert!(
+        report.interventions > 0,
+        "controller must act on the stressmark"
+    );
 }

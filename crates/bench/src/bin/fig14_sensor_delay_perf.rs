@@ -8,6 +8,7 @@ use voltctl_bench::{budget, pct, sweep_point, tuned_stressmark, variable_eight, 
 use voltctl_core::prelude::ActuationScope;
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig14_sensor_delay_perf");
     let cycles = budget(100_000);
     let workloads = variable_eight();
     let stress = tuned_stressmark();
@@ -16,9 +17,23 @@ fn main() {
 
     let mut t = TextTable::new(["delay", "SPEC-8 perf loss", "stressmark perf loss"]);
     for delay in 0..=6u32 {
-        let rows = sweep_point(&workloads, &stress, ActuationScope::Ideal, delay, 0.0, 2.0, cycles);
-        let spec = rows.iter().find(|r| r.label == "SPEC mean").expect("aggregate present");
-        let sm = rows.iter().find(|r| r.label == "stressmark").expect("stressmark present");
+        let rows = sweep_point(
+            &workloads,
+            &stress,
+            ActuationScope::Ideal,
+            delay,
+            0.0,
+            2.0,
+            cycles,
+        );
+        let spec = rows
+            .iter()
+            .find(|r| r.label == "SPEC mean")
+            .expect("aggregate present");
+        let sm = rows
+            .iter()
+            .find(|r| r.label == "stressmark")
+            .expect("stressmark present");
         t.row([delay.to_string(), pct(spec.perf_loss), pct(sm.perf_loss)]);
     }
     println!("{}", t.render());

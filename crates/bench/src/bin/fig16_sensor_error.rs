@@ -8,6 +8,7 @@ use voltctl_bench::{budget, pct, sweep_point, tuned_stressmark, variable_eight, 
 use voltctl_core::prelude::ActuationScope;
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig16_sensor_error");
     let cycles = budget(100_000);
     let delay = 1u32;
     let workloads = variable_eight();
@@ -32,8 +33,14 @@ fn main() {
             2.0,
             cycles,
         );
-        let spec = rows.iter().find(|r| r.label == "SPEC mean").expect("aggregate");
-        let sm = rows.iter().find(|r| r.label == "stressmark").expect("stressmark");
+        let spec = rows
+            .iter()
+            .find(|r| r.label == "SPEC mean")
+            .expect("aggregate");
+        let sm = rows
+            .iter()
+            .find(|r| r.label == "stressmark")
+            .expect("stressmark");
         t.row([
             format!("{error_mv:.0}"),
             pct(spec.perf_loss),

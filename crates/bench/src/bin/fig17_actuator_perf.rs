@@ -9,20 +9,41 @@ use voltctl_bench::{budget, pct, sweep_point, tuned_stressmark, variable_eight, 
 use voltctl_core::prelude::ActuationScope;
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("fig17_actuator_perf");
     let cycles = budget(100_000);
     let workloads = variable_eight();
     let stress = tuned_stressmark();
     println!("== Figure 17: actuator granularity vs performance (200% impedance) ==\n");
 
-    for scope in [ActuationScope::Fu, ActuationScope::FuDl1, ActuationScope::FuDl1Il1] {
+    for scope in [
+        ActuationScope::Fu,
+        ActuationScope::FuDl1,
+        ActuationScope::FuDl1Il1,
+    ] {
         println!("-- actuator: {} --", scope.name());
-        let mut t = TextTable::new(["delay", "SPEC-8 perf loss", "stressmark perf loss", "emergencies left (stressmark)"]);
+        let mut t = TextTable::new([
+            "delay",
+            "SPEC-8 perf loss",
+            "stressmark perf loss",
+            "emergencies left (stressmark)",
+        ]);
         for delay in 0..=5u32 {
             let rows = sweep_point(&workloads, &stress, scope, delay, 0.0, 2.0, cycles);
-            let spec = rows.iter().find(|r| r.label == "SPEC mean").expect("aggregate");
-            let sm = rows.iter().find(|r| r.label == "stressmark").expect("stressmark");
+            let spec = rows
+                .iter()
+                .find(|r| r.label == "SPEC mean")
+                .expect("aggregate");
+            let sm = rows
+                .iter()
+                .find(|r| r.label == "stressmark")
+                .expect("stressmark");
             if spec.unstable {
-                t.row([delay.to_string(), "UNSTABLE".into(), "UNSTABLE".into(), "-".into()]);
+                t.row([
+                    delay.to_string(),
+                    "UNSTABLE".into(),
+                    "UNSTABLE".into(),
+                    "-".into(),
+                ]);
             } else {
                 t.row([
                     delay.to_string(),

@@ -8,10 +8,17 @@
 //! benchmark count at 300%; many benchmarks with rare emergencies at 400%.
 //! The stressmark, by contrast, crosses already at 200%.
 
-use voltctl_bench::{budget, current_trace, pdn_at, spec_suite, tuned_stressmark, TextTable};
+use voltctl_bench::{
+    budget, current_trace, pdn_at, spec_suite, telemetry, tuned_stressmark, TextTable,
+};
 use voltctl_pdn::VoltageMonitor;
+use voltctl_telemetry::MemoryRecorder;
 
 fn main() {
+    let _telemetry = telemetry::init("table2_emergencies");
+    // Aggregate emergency statistics across every (benchmark, impedance)
+    // replay for the structured export.
+    let mut rec = MemoryRecorder::new();
     let percents = [1.0, 2.0, 3.0, 4.0];
     let cycles = budget(300_000) as usize;
     println!("== Table 2: voltage emergencies on SPEC2000 ==");
@@ -24,9 +31,7 @@ fn main() {
     let mut with_emergencies = [0usize; 4];
     let mut freq_sum = [0.0f64; 4];
     let mut freq_max = [0.0f64; 4];
-    let mut per_bench = TextTable::new([
-        "benchmark", "100%", "200%", "300%", "400%",
-    ]);
+    let mut per_bench = TextTable::new(["benchmark", "100%", "200%", "300%", "400%"]);
 
     for wl in &suite {
         let trace = current_trace(wl, cycles);
@@ -40,6 +45,9 @@ fn main() {
                 monitor.observe(state.step(i));
             }
             let r = monitor.report();
+            if telemetry::enabled() {
+                r.record_telemetry(&mut rec);
+            }
             if r.any() {
                 with_emergencies[k] += 1;
             }
@@ -56,8 +64,11 @@ fn main() {
             .chain(with_emergencies.iter().map(|c| c.to_string())),
     );
     t.row(
-        std::iter::once("emergency freq (average)".to_string())
-            .chain(freq_sum.iter().map(|s| format!("{:.5}%", s / suite.len() as f64 * 100.0))),
+        std::iter::once("emergency freq (average)".to_string()).chain(
+            freq_sum
+                .iter()
+                .map(|s| format!("{:.5}%", s / suite.len() as f64 * 100.0)),
+        ),
     );
     t.row(
         std::iter::once("emergency freq (maximum)".to_string())
@@ -77,7 +88,18 @@ fn main() {
         for &i in &trace {
             monitor.observe(state.step(i));
         }
-        print!("  {}%: {:.3}%", (percents[k] * 100.0) as u32, monitor.report().frequency() * 100.0);
+        let r = monitor.report();
+        if telemetry::enabled() {
+            r.record_telemetry(&mut rec);
+        }
+        print!(
+            "  {}%: {:.3}%",
+            (percents[k] * 100.0) as u32,
+            r.frequency() * 100.0
+        );
+    }
+    if telemetry::enabled() {
+        telemetry::record(&rec);
     }
     println!("\n\nper-benchmark emergency frequencies:");
     println!("{}", per_bench.render());

@@ -9,6 +9,7 @@ use voltctl_bench::{solve_for, TextTable};
 use voltctl_core::prelude::ActuationScope;
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("table3_thresholds");
     println!("== Table 3: voltage thresholds under sensor delay (200% impedance) ==\n");
     let mut t = TextTable::new([
         "delay (cycles)",

@@ -16,12 +16,168 @@
 //! (default 1.0; e.g. `VOLTCTL_SCALE=0.2` for a quick pass,
 //! `VOLTCTL_SCALE=10` for long runs).
 
-use voltctl_core::analysis::{evaluate_program, EvalSetup, Evaluation};
+use voltctl_core::analysis::{evaluate_program_recorded, EvalSetup, Evaluation};
 use voltctl_core::prelude::*;
 use voltctl_cpu::CpuConfig;
 use voltctl_pdn::PdnModel;
 use voltctl_power::{PowerModel, PowerParams};
+use voltctl_telemetry::MemoryRecorder;
 use voltctl_workloads::{spec, stressmark, trace, Workload};
+
+/// Process-wide telemetry for the experiment binaries.
+///
+/// Every `fig*`/`table*` binary opens a [`Run`] guard first thing in
+/// `main`; from then on each [`evaluate`] call streams its controlled
+/// run's counters, timers, and histograms into a process-wide
+/// [`MemoryRecorder`]. When the guard drops, the aggregate is exported
+/// according to the `VOLTCTL_TELEMETRY` environment variable:
+///
+/// * unset / empty / `off` — telemetry is disabled; the control loop
+///   runs with the zero-cost [`voltctl_telemetry::NullRecorder`].
+/// * `summary` — a human-readable digest on stderr.
+/// * `jsonl` — `<run>.counters.jsonl` under the output directory (one
+///   self-describing JSON object per line), plus the stderr digest.
+/// * `csv` — `<run>.counters.csv` (flat `kind,name,...` rows), plus the
+///   stderr digest.
+///
+/// The output directory defaults to `results/telemetry/` and can be
+/// overridden with a `--telemetry-out <dir>` (or `--telemetry-out=<dir>`)
+/// command-line argument.
+pub mod telemetry {
+    use std::path::PathBuf;
+    use std::sync::{Mutex, OnceLock};
+    use voltctl_telemetry::{export, MemoryRecorder};
+
+    /// Export format selected by `VOLTCTL_TELEMETRY`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Mode {
+        /// Telemetry disabled (the default).
+        Off,
+        /// Human-readable digest on stderr only.
+        Summary,
+        /// JSONL snapshot file + stderr digest.
+        Jsonl,
+        /// CSV snapshot file + stderr digest.
+        Csv,
+    }
+
+    /// Parses a `VOLTCTL_TELEMETRY` value. Unknown values warn and
+    /// disable telemetry rather than abort an expensive run.
+    pub fn parse_mode(raw: &str) -> Mode {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "off" | "0" | "none" => Mode::Off,
+            "summary" => Mode::Summary,
+            "jsonl" | "json" => Mode::Jsonl,
+            "csv" => Mode::Csv,
+            other => {
+                voltctl_telemetry::warn(
+                    "telemetry.mode",
+                    &format!(
+                        "unknown VOLTCTL_TELEMETRY value {other:?} \
+                         (expected off|summary|jsonl|csv); telemetry disabled"
+                    ),
+                );
+                Mode::Off
+            }
+        }
+    }
+
+    /// The process-wide mode, read from `VOLTCTL_TELEMETRY` once.
+    pub fn mode() -> Mode {
+        static MODE: OnceLock<Mode> = OnceLock::new();
+        *MODE.get_or_init(|| {
+            std::env::var("VOLTCTL_TELEMETRY")
+                .map(|raw| parse_mode(&raw))
+                .unwrap_or(Mode::Off)
+        })
+    }
+
+    /// Whether any telemetry collection is active.
+    pub fn enabled() -> bool {
+        mode() != Mode::Off
+    }
+
+    /// Extracts `--telemetry-out <dir>` / `--telemetry-out=<dir>` from an
+    /// argument list; falls back to [`export::DEFAULT_OUT_DIR`].
+    pub fn out_dir_from_args<I, S>(args: I) -> PathBuf
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let arg = arg.as_ref();
+            if let Some(dir) = arg.strip_prefix("--telemetry-out=") {
+                return PathBuf::from(dir);
+            }
+            if arg == "--telemetry-out" {
+                if let Some(dir) = args.next() {
+                    return PathBuf::from(dir.as_ref());
+                }
+            }
+        }
+        PathBuf::from(export::DEFAULT_OUT_DIR)
+    }
+
+    fn collector() -> &'static Mutex<MemoryRecorder> {
+        static COLLECTOR: OnceLock<Mutex<MemoryRecorder>> = OnceLock::new();
+        COLLECTOR.get_or_init(|| Mutex::new(MemoryRecorder::new()))
+    }
+
+    /// Folds a finished run's recorder into the process-wide aggregate.
+    pub fn record(rec: &MemoryRecorder) {
+        collector()
+            .lock()
+            .expect("telemetry collector poisoned")
+            .merge(rec);
+    }
+
+    /// The export destination: `--telemetry-out` from this process's
+    /// arguments, or `results/telemetry/`.
+    pub fn out_dir() -> PathBuf {
+        out_dir_from_args(std::env::args().skip(1))
+    }
+
+    /// RAII guard for one experiment binary: collect while alive, export
+    /// on drop. Create it first thing in `main` and keep it in scope.
+    #[derive(Debug)]
+    pub struct Run {
+        name: &'static str,
+    }
+
+    impl Drop for Run {
+        fn drop(&mut self) {
+            export_now(self.name);
+        }
+    }
+
+    /// Opens the collection scope for a named run (use the binary's name,
+    /// e.g. `"fig08_stressmark"`).
+    pub fn init(name: &'static str) -> Run {
+        Run { name }
+    }
+
+    fn export_now(run: &str) {
+        let mode = mode();
+        if mode == Mode::Off {
+            return;
+        }
+        let snap = collector()
+            .lock()
+            .expect("telemetry collector poisoned")
+            .snapshot();
+        eprint!("{}", export::to_summary(run, &snap));
+        let csv = match mode {
+            Mode::Summary | Mode::Off => return,
+            Mode::Jsonl => false,
+            Mode::Csv => true,
+        };
+        match export::write_snapshot(&out_dir(), run, &snap, csv) {
+            Ok(path) => eprintln!("telemetry snapshot: {}", path.display()),
+            Err(e) => voltctl_telemetry::warn("telemetry.export", &format!("write failed: {e}")),
+        }
+    }
+}
 
 /// The standard power model (paper's 3 GHz / 1.0 V budget).
 pub fn power_model() -> PowerModel {
@@ -56,11 +212,32 @@ pub fn pdn_at(percent: f64) -> PdnModel {
 }
 
 /// Scales a default cycle budget by `VOLTCTL_SCALE`.
+///
+/// An unset variable means scale 1.0. A value that is set but does not
+/// parse as a positive finite number also falls back to 1.0 — but warns
+/// on stderr instead of silently ignoring the typo (`VOLTCTL_SCALE=O.2`
+/// used to run the full-length experiment without a word).
 pub fn budget(default_cycles: u64) -> u64 {
-    let scale: f64 = std::env::var("VOLTCTL_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
+    let scale = match std::env::var("VOLTCTL_SCALE") {
+        Err(std::env::VarError::NotPresent) => 1.0,
+        Err(e) => {
+            voltctl_telemetry::warn(
+                "bench.budget",
+                &format!("VOLTCTL_SCALE unreadable ({e}); using scale 1.0"),
+            );
+            1.0
+        }
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(s) if s.is_finite() && s > 0.0 => s,
+            _ => {
+                voltctl_telemetry::warn(
+                    "bench.budget",
+                    &format!("VOLTCTL_SCALE={raw:?} is not a positive number; using scale 1.0"),
+                );
+                1.0
+            }
+        },
+    };
     ((default_cycles as f64) * scale).max(1_000.0) as u64
 }
 
@@ -107,6 +284,11 @@ pub fn solve_for(
 
 /// Evaluates one workload under control vs. baseline.
 ///
+/// When telemetry is on ([`telemetry::enabled`]), the controlled run's
+/// counters/timers/histograms stream into the process-wide collector for
+/// export at the end of the binary; otherwise the loop runs with the
+/// zero-cost [`voltctl_telemetry::NullRecorder`].
+///
 /// # Errors
 ///
 /// Propagates construction/solver errors.
@@ -126,7 +308,27 @@ pub fn evaluate(
         sensor,
         scope,
     };
-    evaluate_program(&workload.program, &setup, workload.warmup_cycles, cycles)
+    if telemetry::enabled() {
+        let rec = MemoryRecorder::new().echo_warnings(true);
+        let (evaluation, rec) = evaluate_program_recorded(
+            &workload.program,
+            &setup,
+            workload.warmup_cycles,
+            cycles,
+            rec,
+        )?;
+        telemetry::record(&rec);
+        Ok(evaluation)
+    } else {
+        let (evaluation, _) = evaluate_program_recorded(
+            &workload.program,
+            &setup,
+            workload.warmup_cycles,
+            cycles,
+            voltctl_telemetry::NullRecorder,
+        )?;
+        Ok(evaluation)
+    }
 }
 
 /// Records a workload's uncontrolled current trace at the standard
@@ -173,17 +375,18 @@ pub fn sweep_point(
     percent: f64,
     cycles: u64,
 ) -> Vec<SweepRow> {
-    let make_row = |label: &str, perf: f64, energy: f64, ce: u64, be: u64, unstable: bool| SweepRow {
-        label: label.to_string(),
-        scope,
-        delay,
-        error_mv,
-        perf_loss: perf,
-        energy_increase: energy,
-        controlled_emergencies: ce,
-        baseline_emergencies: be,
-        unstable,
-    };
+    let make_row =
+        |label: &str, perf: f64, energy: f64, ce: u64, be: u64, unstable: bool| SweepRow {
+            label: label.to_string(),
+            scope,
+            delay,
+            error_mv,
+            perf_loss: perf,
+            energy_increase: energy,
+            controlled_emergencies: ce,
+            baseline_emergencies: be,
+            unstable,
+        };
 
     // Per the paper's methodology, the deployed thresholds come from the
     // Table 3 analysis (ideal actuation); the scope-specific solve is used
@@ -318,7 +521,9 @@ pub fn ascii_chart(values: &[f64], height: usize, width: usize) -> String {
     let cols: Vec<f64> = (0..width)
         .map(|c| {
             let lo = c * values.len() / width;
-            let hi = (((c + 1) * values.len()) / width).max(lo + 1).min(values.len());
+            let hi = (((c + 1) * values.len()) / width)
+                .max(lo + 1)
+                .min(values.len());
             values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
         .collect();
@@ -379,8 +584,56 @@ mod tests {
 
     #[test]
     fn budget_scales() {
+        // All VOLTCTL_SCALE mutation stays in this one test: env vars are
+        // process-global and the test harness runs tests in parallel.
         std::env::remove_var("VOLTCTL_SCALE");
         assert_eq!(budget(100_000), 100_000);
+        std::env::set_var("VOLTCTL_SCALE", "0.5");
+        assert_eq!(budget(100_000), 50_000);
+        for bad in ["O.2", "", "-3", "nan", "inf"] {
+            std::env::set_var("VOLTCTL_SCALE", bad);
+            assert_eq!(
+                budget(100_000),
+                100_000,
+                "bad value {bad:?} falls back to 1.0"
+            );
+        }
+        std::env::set_var("VOLTCTL_SCALE", "2");
+        assert_eq!(budget(100), 1_000, "floor of 1000 cycles");
+        std::env::remove_var("VOLTCTL_SCALE");
+    }
+
+    #[test]
+    fn telemetry_mode_parses() {
+        use telemetry::{parse_mode, Mode};
+        assert_eq!(parse_mode(""), Mode::Off);
+        assert_eq!(parse_mode("off"), Mode::Off);
+        assert_eq!(parse_mode("SUMMARY"), Mode::Summary);
+        assert_eq!(parse_mode(" jsonl "), Mode::Jsonl);
+        assert_eq!(parse_mode("csv"), Mode::Csv);
+        assert_eq!(parse_mode("bogus"), Mode::Off, "unknown values disable");
+    }
+
+    #[test]
+    fn telemetry_out_dir_parses_args() {
+        use std::path::PathBuf;
+        use telemetry::out_dir_from_args;
+        use voltctl_telemetry::export::DEFAULT_OUT_DIR;
+        let none: [&str; 0] = [];
+        assert_eq!(out_dir_from_args(none), PathBuf::from(DEFAULT_OUT_DIR));
+        assert_eq!(
+            out_dir_from_args(["--telemetry-out", "/tmp/t"]),
+            PathBuf::from("/tmp/t")
+        );
+        assert_eq!(
+            out_dir_from_args(["x", "--telemetry-out=/tmp/u", "y"]),
+            PathBuf::from("/tmp/u")
+        );
+        assert_eq!(
+            out_dir_from_args(["--telemetry-out"]),
+            PathBuf::from(DEFAULT_OUT_DIR),
+            "dangling flag falls back"
+        );
     }
 
     #[test]

@@ -1,8 +1,9 @@
-use voltctl_workloads::{stressmark, trace};
 use voltctl_cpu::CpuConfig;
 use voltctl_power::{PowerModel, PowerParams};
+use voltctl_workloads::{stressmark, trace};
 
 fn main() {
+    let _telemetry = voltctl_bench::telemetry::init("voltctl_bench");
     let wl = stressmark::build(&stressmark::StressmarkParams::default());
     let config = CpuConfig::table1();
     let power = PowerModel::new(PowerParams::paper_3ghz());
@@ -10,7 +11,9 @@ fn main() {
     for (i, chunk) in t.chunks(10).enumerate() {
         let avg: f64 = chunk.iter().sum::<f64>() / chunk.len() as f64;
         print!("{:5.1} ", avg);
-        if i % 10 == 9 { println!(); }
+        if i % 10 == 9 {
+            println!();
+        }
     }
     println!();
     let t2 = trace::record_current(&wl, &config, &power, 4096);

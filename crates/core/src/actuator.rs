@@ -21,9 +21,9 @@
 //! behind gated FUs, but fetch stops almost immediately once IL1 is
 //! gated).
 
+use crate::controller::ControlAction;
 use voltctl_cpu::{Domain, GatingState};
 use voltctl_power::{PowerModel, Unit};
-use crate::controller::ControlAction;
 
 /// Which pipeline slice the actuator controls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

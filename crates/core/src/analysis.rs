@@ -85,6 +85,30 @@ pub fn evaluate_program(
     warmup: u64,
     cycles: u64,
 ) -> Result<Evaluation, ControlError> {
+    let (evaluation, _) = evaluate_program_recorded(
+        program,
+        setup,
+        warmup,
+        cycles,
+        voltctl_telemetry::NullRecorder,
+    )?;
+    Ok(evaluation)
+}
+
+/// Like [`evaluate_program`], but streams the **controlled** run's
+/// telemetry (per-cycle samples, sub-step timers, run-level aggregates)
+/// into `recorder` and hands it back alongside the comparison.
+///
+/// # Errors
+///
+/// Propagates loop-construction errors.
+pub fn evaluate_program_recorded<R: voltctl_telemetry::Recorder>(
+    program: &Program,
+    setup: &EvalSetup,
+    warmup: u64,
+    cycles: u64,
+    recorder: R,
+) -> Result<(Evaluation, R), ControlError> {
     let mut baseline = ControlLoop::builder(program.clone())
         .cpu_config(setup.cpu_config.clone())
         .power(setup.power.clone())
@@ -99,13 +123,18 @@ pub fn evaluate_program(
         .thresholds(setup.thresholds)
         .sensor(setup.sensor)
         .scope(setup.scope)
+        .recorder(recorder)
         .build()?;
     controlled.run(warmup + cycles);
+    controlled.finish_telemetry();
 
-    Ok(Evaluation {
-        baseline: baseline.report(),
-        controlled: controlled.report(),
-    })
+    Ok((
+        Evaluation {
+            baseline: baseline.report(),
+            controlled: controlled.report(),
+        },
+        controlled.into_recorder(),
+    ))
 }
 
 #[cfg(test)]
@@ -178,6 +207,9 @@ mod tests {
             reduce_cycles: 0,
             increase_cycles: 0,
             interventions: 0,
+            cycles_in_low: 0,
+            cycles_in_normal: 0,
+            cycles_in_high: 0,
         };
         let e = Evaluation {
             baseline: zeroed.clone(),

@@ -99,7 +99,10 @@ mod tests {
         let mut c = ThresholdController::new();
         assert_eq!(c.decide(SensorReading::Normal), ControlAction::None);
         assert_eq!(c.decide(SensorReading::Low), ControlAction::ReduceCurrent);
-        assert_eq!(c.decide(SensorReading::High), ControlAction::IncreaseCurrent);
+        assert_eq!(
+            c.decide(SensorReading::High),
+            ControlAction::IncreaseCurrent
+        );
     }
 
     #[test]

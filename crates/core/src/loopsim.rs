@@ -10,15 +10,27 @@
 //! Actuation commands decided at the end of cycle *t* take effect in cycle
 //! *t+1* — a one-cycle actuator latency inherent to any real
 //! implementation, on top of the configurable sensor delay.
+//!
+//! # Observability
+//!
+//! The loop is generic over a [`Recorder`] (default [`NullRecorder`]):
+//! per-cycle voltage/current samples, controller-state cycle counters, and
+//! wall-clock timers around the CPU/power/PDN/control sub-steps stream
+//! into it. With the default recorder, `R::ENABLED` is false and every
+//! instrumentation site monomorphizes away — the disabled loop is the
+//! uninstrumented loop. Attach a real recorder with
+//! [`ControlLoopBuilder::recorder`] and flush run-level aggregates with
+//! [`ControlLoop::finish_telemetry`].
 
 use crate::actuator::{ActuationScope, AsymmetricActuator};
 use crate::controller::ThresholdController;
-use crate::sensor::{SensorConfig, ThresholdSensor};
+use crate::sensor::{SensorConfig, SensorReading, ThresholdSensor};
 use crate::thresholds::{ControlError, Thresholds};
 use voltctl_cpu::{Cpu, CpuConfig};
 use voltctl_isa::Program;
 use voltctl_pdn::{EmergencyReport, PdnModel, PdnState, VoltageHistogram, VoltageMonitor};
 use voltctl_power::{EnergyAccumulator, PowerModel};
+use voltctl_telemetry::{NullRecorder, Recorder, Stopwatch};
 
 /// One cycle's observables (optionally recorded).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +47,7 @@ pub struct LoopSample {
 
 /// Builder for [`ControlLoop`].
 #[derive(Debug)]
-pub struct ControlLoopBuilder {
+pub struct ControlLoopBuilder<R: Recorder = NullRecorder> {
     program: Program,
     cpu_config: CpuConfig,
     power: Option<PowerModel>,
@@ -44,9 +56,10 @@ pub struct ControlLoopBuilder {
     sensor: SensorConfig,
     actuator: AsymmetricActuator,
     record_trace: bool,
+    recorder: R,
 }
 
-impl ControlLoopBuilder {
+impl<R: Recorder> ControlLoopBuilder<R> {
     /// Selects the machine configuration (default: Table 1).
     pub fn cpu_config(mut self, config: CpuConfig) -> Self {
         self.cpu_config = config;
@@ -99,6 +112,22 @@ impl ControlLoopBuilder {
         self
     }
 
+    /// Attaches a telemetry recorder; the built loop streams per-cycle
+    /// samples and sub-step timings into it.
+    pub fn recorder<R2: Recorder>(self, recorder: R2) -> ControlLoopBuilder<R2> {
+        ControlLoopBuilder {
+            program: self.program,
+            cpu_config: self.cpu_config,
+            power: self.power,
+            pdn: self.pdn,
+            thresholds: self.thresholds,
+            sensor: self.sensor,
+            actuator: self.actuator,
+            record_trace: self.record_trace,
+            recorder,
+        }
+    }
+
     /// Builds the loop.
     ///
     /// # Errors
@@ -106,15 +135,14 @@ impl ControlLoopBuilder {
     /// [`ControlError::Infeasible`] when required parts are missing, the
     /// CPU configuration fails validation, or error compensation consumes
     /// the threshold window.
-    pub fn build(self) -> Result<ControlLoop, ControlError> {
+    pub fn build(self) -> Result<ControlLoop<R>, ControlError> {
         let power = self
             .power
             .ok_or_else(|| ControlError::Infeasible("power model is required".into()))?;
         let pdn = self
             .pdn
             .ok_or_else(|| ControlError::Infeasible("PDN model is required".into()))?;
-        let cpu = Cpu::new(self.cpu_config, &self.program)
-            .map_err(ControlError::Infeasible)?;
+        let cpu = Cpu::new(self.cpu_config, &self.program).map_err(ControlError::Infeasible)?;
 
         let sensor = match self.thresholds {
             Some(t) => {
@@ -145,14 +173,22 @@ impl ControlLoopBuilder {
             monitor,
             histogram: VoltageHistogram::for_nominal_1v(),
             energy,
-            trace: if self.record_trace { Some(Vec::new()) } else { None },
+            trace: if self.record_trace {
+                Some(Vec::new())
+            } else {
+                None
+            },
+            recorder: self.recorder,
+            cycles_in_low: 0,
+            cycles_in_normal: 0,
+            cycles_in_high: 0,
         })
     }
 }
 
 /// The closed-loop simulator.
 #[derive(Debug)]
-pub struct ControlLoop {
+pub struct ControlLoop<R: Recorder = NullRecorder> {
     cpu: Cpu,
     power: PowerModel,
     pdn_state: PdnState,
@@ -164,6 +200,10 @@ pub struct ControlLoop {
     histogram: VoltageHistogram,
     energy: EnergyAccumulator,
     trace: Option<Vec<LoopSample>>,
+    recorder: R,
+    cycles_in_low: u64,
+    cycles_in_normal: u64,
+    cycles_in_high: u64,
 }
 
 /// Run-level results.
@@ -187,6 +227,25 @@ pub struct LoopReport {
     pub increase_cycles: u64,
     /// Distinct controller interventions.
     pub interventions: u64,
+    /// Cycles the sensed supply was in the Low band.
+    pub cycles_in_low: u64,
+    /// Cycles the sensed supply was in the Normal band (all cycles when
+    /// running uncontrolled).
+    pub cycles_in_normal: u64,
+    /// Cycles the sensed supply was in the High band.
+    pub cycles_in_high: u64,
+}
+
+impl LoopReport {
+    /// Fraction of cycles the actuator spent gating (the gating duty
+    /// cycle; 0 with no cycles).
+    pub fn gating_duty(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.reduce_cycles as f64 / self.cycles as f64
+        }
+    }
 }
 
 impl ControlLoop {
@@ -201,24 +260,51 @@ impl ControlLoop {
             sensor: SensorConfig::default(),
             actuator: AsymmetricActuator::symmetric(ActuationScope::FuDl1),
             record_trace: false,
+            recorder: NullRecorder,
         }
     }
+}
 
+impl<R: Recorder> ControlLoop<R> {
     /// Advances one cycle.
     pub fn step(&mut self) -> LoopSample {
         let gating = self.cpu.gating();
+
+        let sw = Stopwatch::start_for::<R>();
         let act = self.cpu.step();
+        sw.stop(&mut self.recorder, "loop.step.cpu_ns");
+
+        let sw = Stopwatch::start_for::<R>();
         let watts = self.power.cycle_power(&act, &gating).total();
         let amps = watts / self.power.params().vdd;
+        sw.stop(&mut self.recorder, "loop.step.power_ns");
+
+        let sw = Stopwatch::start_for::<R>();
         let volts = self.pdn_state.step(amps);
+        sw.stop(&mut self.recorder, "loop.step.pdn_ns");
+
         self.monitor.observe(volts);
         self.histogram.record(volts);
         self.energy.add_cycle(watts);
 
+        let sw = Stopwatch::start_for::<R>();
+        let mut reading = SensorReading::Normal;
         if let Some(sensor) = &mut self.sensor {
-            let reading = sensor.observe(volts);
+            reading = sensor.observe(volts);
             let action = self.controller.decide(reading);
             self.actuator.apply(action, self.cpu.gating_mut());
+        }
+        sw.stop(&mut self.recorder, "loop.step.control_ns");
+
+        match reading {
+            SensorReading::Low => self.cycles_in_low += 1,
+            SensorReading::Normal => self.cycles_in_normal += 1,
+            SensorReading::High => self.cycles_in_high += 1,
+        }
+
+        if R::ENABLED {
+            self.recorder.value("loop.voltage_v", volts);
+            self.recorder.value("loop.current_a", amps);
         }
 
         let sample = LoopSample {
@@ -258,6 +344,22 @@ impl ControlLoop {
         &self.histogram
     }
 
+    /// The attached telemetry recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// The attached telemetry recorder, mutably (e.g. to register
+    /// histogram buckets before running).
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
+    }
+
+    /// Consumes the loop, returning its recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
     /// Takes the recorded per-cycle trace (empty unless
     /// [`ControlLoopBuilder::record_trace`] was enabled).
     pub fn take_trace(&mut self) -> Vec<LoopSample> {
@@ -277,7 +379,38 @@ impl ControlLoop {
             reduce_cycles: self.controller.reduce_cycles(),
             increase_cycles: self.controller.increase_cycles(),
             interventions: self.controller.reduce_events() + self.controller.increase_events(),
+            cycles_in_low: self.cycles_in_low,
+            cycles_in_normal: self.cycles_in_normal,
+            cycles_in_high: self.cycles_in_high,
         }
+    }
+
+    /// Flushes run-level aggregates into the recorder: controller-state
+    /// cycle totals, intervention/gating counters, the gating duty cycle,
+    /// emergency statistics, the voltage histogram, per-unit CPU activity,
+    /// and accumulated energy. Call once after the run; per-cycle streams
+    /// (sub-step timers, voltage/current samples) are recorded as the loop
+    /// executes and need no flush.
+    pub fn finish_telemetry(&mut self) {
+        if !R::ENABLED {
+            return;
+        }
+        let report = self.report();
+        let rec = &mut self.recorder;
+        rec.counter("loop.cycles", report.cycles);
+        rec.counter("loop.committed", report.committed);
+        rec.counter("loop.cycles_in_low", report.cycles_in_low);
+        rec.counter("loop.cycles_in_normal", report.cycles_in_normal);
+        rec.counter("loop.cycles_in_high", report.cycles_in_high);
+        rec.counter("loop.reduce_cycles", report.reduce_cycles);
+        rec.counter("loop.increase_cycles", report.increase_cycles);
+        rec.counter("loop.interventions", report.interventions);
+        rec.value("loop.gating_duty", report.gating_duty());
+        rec.value("loop.ipc", report.ipc);
+        report.emergencies.record_telemetry(rec);
+        self.histogram.record_telemetry(rec, "loop.voltage_hist");
+        self.cpu.stats().record_telemetry(rec);
+        self.energy.record_telemetry(rec);
     }
 
     /// Digest of the CPU's architectural state, to verify control does not
@@ -299,6 +432,7 @@ mod tests {
     use voltctl_isa::builder::ProgramBuilder;
     use voltctl_isa::reg::IntReg;
     use voltctl_power::PowerParams;
+    use voltctl_telemetry::MemoryRecorder;
 
     fn spin_program() -> Program {
         let mut b = ProgramBuilder::new("spin");
@@ -328,6 +462,8 @@ mod tests {
         assert!(r.committed > 0);
         assert!(r.energy_joules > 0.0);
         assert_eq!(r.interventions, 0, "no thresholds ⇒ no control");
+        assert_eq!(r.cycles_in_normal, 5_000, "no sensor ⇒ all cycles Normal");
+        assert_eq!(r.gating_duty(), 0.0);
     }
 
     #[test]
@@ -346,7 +482,11 @@ mod tests {
         b.lda(IntReg::R1, IntReg::R31, 1);
         b.label("top");
         b.ldt(voltctl_isa::FpReg::F1, 0, IntReg::R4);
-        b.divt(voltctl_isa::FpReg::F3, voltctl_isa::FpReg::F1, voltctl_isa::FpReg::F2);
+        b.divt(
+            voltctl_isa::FpReg::F3,
+            voltctl_isa::FpReg::F1,
+            voltctl_isa::FpReg::F2,
+        );
         b.stt(voltctl_isa::FpReg::F3, 16, IntReg::R4);
         b.ldq(IntReg::R7, 16, IntReg::R4);
         b.cmoveq(IntReg::R3, IntReg::R31, IntReg::R7);
@@ -400,6 +540,8 @@ mod tests {
             rc.emergencies.emergency_cycles,
             rb.emergencies.emergency_cycles
         );
+        assert!(rc.cycles_in_low > 0, "interventions imply Low cycles");
+        assert!(rc.gating_duty() > 0.0);
     }
 
     #[test]
@@ -484,5 +626,57 @@ mod tests {
         let sensor = sim.sensor.as_ref().unwrap();
         assert!((sensor.v_low() - 0.97).abs() < 1e-12);
         assert!((sensor.v_high() - 1.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_streams_per_cycle_and_run_level_telemetry() {
+        let (power, pdn) = harness(2.0);
+        let mut sim = ControlLoop::builder(spin_program())
+            .power(power)
+            .pdn(pdn)
+            .recorder(MemoryRecorder::new())
+            .build()
+            .unwrap();
+        sim.run(500);
+        sim.finish_telemetry();
+        let snap = sim.recorder().snapshot();
+        assert_eq!(snap.counter("loop.cycles"), Some(500));
+        assert_eq!(snap.value("loop.voltage_v").unwrap().count, 500);
+        assert_eq!(snap.value("loop.current_a").unwrap().count, 500);
+        for timer in [
+            "loop.step.cpu_ns",
+            "loop.step.power_ns",
+            "loop.step.pdn_ns",
+            "loop.step.control_ns",
+        ] {
+            assert_eq!(snap.timer(timer).unwrap().count, 500, "{timer}");
+        }
+        assert_eq!(snap.histogram("loop.voltage_hist").unwrap().total(), 500);
+        assert_eq!(snap.counter("cpu.cycles"), Some(500));
+        let low = snap.counter("loop.cycles_in_low").unwrap();
+        let normal = snap.counter("loop.cycles_in_normal").unwrap();
+        let high = snap.counter("loop.cycles_in_high").unwrap();
+        assert_eq!(low + normal + high, 500);
+    }
+
+    #[test]
+    fn null_recorder_loop_matches_recorded_loop_exactly() {
+        let (power, pdn) = harness(2.0);
+        let mut plain = ControlLoop::builder(spin_program())
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .build()
+            .unwrap();
+        let mut recorded = ControlLoop::builder(spin_program())
+            .power(power)
+            .pdn(pdn)
+            .recorder(MemoryRecorder::new())
+            .build()
+            .unwrap();
+        plain.run(2_000);
+        recorded.run(2_000);
+        // Telemetry must be a pure observer: identical simulation results.
+        assert_eq!(plain.report(), recorded.report());
+        assert_eq!(plain.arch_digest(), recorded.arch_digest());
     }
 }

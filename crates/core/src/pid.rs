@@ -43,13 +43,7 @@ impl PidController {
     /// # Panics
     ///
     /// Panics if any gain is negative or non-finite.
-    pub fn new(
-        kp: f64,
-        ki: f64,
-        kd: f64,
-        v_nominal: f64,
-        compute_delay: u32,
-    ) -> PidController {
+    pub fn new(kp: f64, ki: f64, kd: f64, v_nominal: f64, compute_delay: u32) -> PidController {
         for (name, g) in [("kp", kp), ("ki", ki), ("kd", kd)] {
             assert!(g.is_finite() && g >= 0.0, "{name} must be non-negative");
         }

@@ -206,11 +206,7 @@ mod tests {
         );
         let mut supply = pdn.discretize();
         supply.set_reference_current(power.min_current());
-        let out = replay(
-            &mut supply,
-            demand,
-            &config(&power, Some(thresholds)),
-        );
+        let out = replay(&mut supply, demand, &config(&power, Some(thresholds)));
         assert!(out.reduce_cycles > 0, "the clamp must engage");
         assert!(
             out.min_v >= 0.95,
@@ -239,7 +235,10 @@ mod tests {
         let mut supply = pdn.discretize();
         supply.set_reference_current(power.min_current());
         let soft = replay(&mut supply, demand(), &cfg);
-        assert!(soft.min_v > hard.min_v, "slew limiting must reduce the swing");
+        assert!(
+            soft.min_v > hard.min_v,
+            "slew limiting must reduce the swing"
+        );
     }
 
     #[test]

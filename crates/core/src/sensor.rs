@@ -13,9 +13,8 @@
 //!   thresholds by the noise bound (see
 //!   [`Thresholds::tightened`](crate::thresholds::Thresholds::tightened)).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use voltctl_telemetry::Rng;
 
 /// One quantized sensor output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,7 +66,7 @@ pub struct ThresholdSensor {
     v_high: f64,
     pipeline: VecDeque<f64>,
     noise_v: f64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl ThresholdSensor {
@@ -94,7 +93,7 @@ impl ThresholdSensor {
             v_high,
             pipeline,
             noise_v: config.noise_mv / 1000.0,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::new(config.seed),
         }
     }
 
@@ -112,9 +111,12 @@ impl ThresholdSensor {
     /// noisy) quantized reading.
     pub fn observe(&mut self, volts: f64) -> SensorReading {
         self.pipeline.push_back(volts);
-        let seen = self.pipeline.pop_front().expect("pipeline is never empty here");
+        let seen = self
+            .pipeline
+            .pop_front()
+            .expect("pipeline is never empty here");
         let noisy = if self.noise_v > 0.0 {
-            seen + self.rng.gen_range(-self.noise_v..=self.noise_v)
+            seen + self.rng.range_f64(-self.noise_v, self.noise_v)
         } else {
             seen
         };
@@ -188,7 +190,10 @@ mod tests {
                 flipped += 1;
             }
         }
-        assert!(flipped > 0, "5 mV margin under 20 mV noise must flip sometimes");
+        assert!(
+            flipped > 0,
+            "5 mV margin under 20 mV noise must flip sometimes"
+        );
         assert!(flipped < 1000);
     }
 

@@ -162,8 +162,13 @@ impl<'a> WorstCase<'a> {
         supply.set_reference_current(s.i_min);
         let half = self.period / 2;
         let period = self.period;
-        let demand = (0..s.sim_cycles)
-            .map(move |t| if (t as usize) % period < half { s.i_max } else { s.i_min });
+        let demand = (0..s.sim_cycles).map(move |t| {
+            if (t as usize) % period < half {
+                s.i_max
+            } else {
+                s.i_min
+            }
+        });
         let out = replay(
             &mut supply,
             demand,
@@ -305,8 +310,8 @@ mod tests {
         let (pdn, power) = harness(2.0);
         let mut prev = f64::INFINITY;
         for delay in 0..=6 {
-            let t = solve_thresholds(&setup_for(&pdn, &power, ActuationScope::Ideal, delay))
-                .unwrap();
+            let t =
+                solve_thresholds(&setup_for(&pdn, &power, ActuationScope::Ideal, delay)).unwrap();
             assert!(
                 t.window_mv() <= prev + 1e-6,
                 "window must shrink: delay {delay} window {} prev {prev}",

@@ -129,6 +129,30 @@ impl Stats {
         }
     }
 
+    /// Dumps the run totals into a telemetry recorder under `cpu.*`
+    /// names: one counter per pipeline-stage/structure total, so exported
+    /// snapshots carry the per-unit activity behind the power trace.
+    pub fn record_telemetry(&self, rec: &mut impl voltctl_telemetry::Recorder) {
+        rec.counter("cpu.cycles", self.cycles);
+        rec.counter("cpu.committed", self.committed);
+        rec.counter("cpu.fetched", self.fetched);
+        rec.counter("cpu.branches", self.branches);
+        rec.counter("cpu.mispredicts", self.mispredicts);
+        rec.counter("cpu.loads", self.loads);
+        rec.counter("cpu.stores", self.stores);
+        rec.counter("cpu.lsq_forwards", self.lsq_forwards);
+        rec.counter("cpu.il1.accesses", self.il1.0);
+        rec.counter("cpu.il1.misses", self.il1.1);
+        rec.counter("cpu.dl1.accesses", self.dl1.0);
+        rec.counter("cpu.dl1.misses", self.dl1.1);
+        rec.counter("cpu.l2.accesses", self.l2.0);
+        rec.counter("cpu.l2.misses", self.l2.1);
+        rec.counter("cpu.gated_fetch_cycles", self.gated_fetch_cycles);
+        rec.counter("cpu.gated_issue_cycles", self.gated_issue_cycles);
+        rec.counter("cpu.gated_mem_cycles", self.gated_mem_cycles);
+        rec.value("cpu.ipc", self.ipc());
+    }
+
     /// Accumulates one cycle's activity into the run totals. The caller is
     /// responsible for not double-counting quantities it also tracks
     /// directly.
@@ -161,8 +185,10 @@ mod tests {
 
     #[test]
     fn total_fu_issues_sums() {
-        let mut act = CycleActivity::default();
-        act.issued_per_fu = [1, 2, 3, 4, 5];
+        let act = CycleActivity {
+            issued_per_fu: [1, 2, 3, 4, 5],
+            ..Default::default()
+        };
         assert_eq!(act.total_fu_issues(), 15);
     }
 
@@ -183,10 +209,12 @@ mod tests {
     #[test]
     fn absorb_accumulates() {
         let mut s = Stats::default();
-        let mut act = CycleActivity::default();
-        act.committed = 3;
-        act.dl1_accesses = 2;
-        act.dl1_misses = 1;
+        let act = CycleActivity {
+            committed: 3,
+            dl1_accesses: 2,
+            dl1_misses: 1,
+            ..Default::default()
+        };
         s.absorb(&act);
         s.absorb(&act);
         assert_eq!(s.cycles, 2);

@@ -160,8 +160,7 @@ impl BranchPredictor {
             self.btb_targets[idx] = target;
         }
 
-        let mispredicted =
-            predicted.taken != taken || (taken && predicted.target != Some(target));
+        let mispredicted = predicted.taken != taken || (taken && predicted.target != Some(target));
         if mispredicted {
             self.mispredicts += 1;
         }

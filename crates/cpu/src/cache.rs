@@ -44,7 +44,10 @@ impl Cache {
     /// [`CacheConfig::sets`]).
     pub fn new(config: &CacheConfig) -> Cache {
         let sets = config.sets();
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             sets,
             ways: config.ways,
@@ -61,7 +64,10 @@ impl Cache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line as usize) & (self.sets - 1), line >> self.sets.trailing_zeros())
+        (
+            (line as usize) & (self.sets - 1),
+            line >> self.sets.trailing_zeros(),
+        )
     }
 
     /// Accesses the line containing `addr`; allocates on miss, evicting the
@@ -257,7 +263,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut c = small_cache(); // 2 sets x 2 ways
-        // Three lines mapping to set 0 (line addresses 0, 2, 4 in units of 64 B).
+                                   // Three lines mapping to set 0 (line addresses 0, 2, 4 in units of 64 B).
         let a = 0x000;
         let b = 0x080;
         let d = 0x100;

@@ -30,7 +30,10 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         assert!(self.line_bytes > 0 && self.ways > 0 && self.size_bytes > 0);
         let sets = self.size_bytes / (self.ways * self.line_bytes);
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         sets
     }
 }

@@ -415,7 +415,10 @@ impl Cpu {
     }
 
     fn schedule_completion(&mut self, slot: usize, latency: u64) {
-        debug_assert!((latency as usize) < EVENT_RING, "latency exceeds event ring");
+        debug_assert!(
+            (latency as usize) < EVENT_RING,
+            "latency exceeds event ring"
+        );
         let when = ((self.cycle + latency.max(1)) as usize) % EVENT_RING;
         self.completions[when].push(slot);
     }
@@ -442,8 +445,7 @@ impl Cpu {
             }
             let s_addr = e.fetched.mem_addr.expect("store has address");
             let s_bytes = e.fetched.mem_bytes;
-            let overlap =
-                s_addr < l_addr + l_bytes as u64 && l_addr < s_addr + s_bytes as u64;
+            let overlap = s_addr < l_addr + l_bytes as u64 && l_addr < s_addr + s_bytes as u64;
             if overlap {
                 youngest = Some(e);
             }
@@ -613,7 +615,10 @@ impl Cpu {
         self.last_branch_taken = false;
 
         match inst.op.class() {
-            OpClass::IntAlu | OpClass::IntMult | OpClass::FpAdd | OpClass::FpMult
+            OpClass::IntAlu
+            | OpClass::IntMult
+            | OpClass::FpAdd
+            | OpClass::FpMult
             | OpClass::FpDiv => {
                 let a = read(&self.regs, inst.ra);
                 let result = match inst.op {
@@ -944,7 +949,7 @@ mod tests {
         let mut gated = Cpu::new(CpuConfig::table1(), &program).unwrap();
         // Gate the FUs every other 20-cycle window.
         while !gated.done() && gated.cycle() < 1_000_000 {
-            let on = (gated.cycle() / 20) % 2 == 0;
+            let on = (gated.cycle() / 20).is_multiple_of(2);
             gated.gating_mut().gate_fu = on;
             gated.step();
         }
@@ -1024,7 +1029,10 @@ mod tests {
         }
         assert!(cpu.done());
         assert!(max_occ <= 256);
-        assert!(max_occ >= 250, "window should fill behind the miss, got {max_occ}");
+        assert!(
+            max_occ >= 250,
+            "window should fill behind the miss, got {max_occ}"
+        );
     }
 
     #[test]

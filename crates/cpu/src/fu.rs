@@ -122,7 +122,13 @@ impl FuPool {
     /// Attempts to claim a unit of `kind` at `cycle` for an operation that
     /// holds it for `occupancy` cycles and executes for `exec_cycles`.
     /// Returns false when every unit is busy.
-    pub fn try_issue(&mut self, kind: FuKind, cycle: u64, occupancy: u64, exec_cycles: u64) -> bool {
+    pub fn try_issue(
+        &mut self,
+        kind: FuKind,
+        cycle: u64,
+        occupancy: u64,
+        exec_cycles: u64,
+    ) -> bool {
         let k = kind.index();
         for unit in 0..self.busy_until[k].len() {
             if self.busy_until[k][unit] <= cycle {

@@ -1,9 +1,11 @@
 //! Model-based testing of the set-associative cache against a trivially
-//! correct reference implementation (per-set recency list).
+//! correct reference implementation (per-set recency list), driven by the
+//! workspace's deterministic RNG (seeded generation replaces proptest —
+//! the build environment has no registry access).
 
-use proptest::prelude::*;
 use voltctl_cpu::cache::Cache;
 use voltctl_cpu::CacheConfig;
+use voltctl_telemetry::Rng;
 
 /// The obviously-correct reference: each set is a vector of (tag, dirty)
 /// ordered most-recent-first, truncated to the associativity.
@@ -54,15 +56,18 @@ fn small_config() -> CacheConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_accesses(rng: &mut Rng, min: usize, max: usize) -> Vec<(u64, bool)> {
+    let n = rng.range_i64(min as i64, max as i64) as usize;
+    (0..n).map(|_| (rng.below(64), rng.next_bool())).collect()
+}
 
-    /// Every access sequence produces identical hit/writeback behavior in
-    /// the real cache and the reference model.
-    #[test]
-    fn cache_matches_reference_model(
-        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..400),
-    ) {
+/// Every access sequence produces identical hit/writeback behavior in
+/// the real cache and the reference model.
+#[test]
+fn cache_matches_reference_model() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0xCAC4E + seed);
+        let accesses = random_accesses(&mut rng, 1, 400);
         let config = small_config();
         let mut cache = Cache::new(&config);
         let mut reference = RefCache::new(&config);
@@ -72,8 +77,14 @@ proptest! {
             let addr = line_idx * 64 + (line_idx % 64); // arbitrary offset
             let got = cache.access(addr, write);
             let (want_hit, want_wb) = reference.access(addr, write);
-            prop_assert_eq!(got.hit, want_hit, "addr {:#x} write {}", addr, write);
-            prop_assert_eq!(got.writeback, want_wb, "addr {:#x} write {}", addr, write);
+            assert_eq!(
+                got.hit, want_hit,
+                "seed {seed} addr {addr:#x} write {write}"
+            );
+            assert_eq!(
+                got.writeback, want_wb,
+                "seed {seed} addr {addr:#x} write {write}"
+            );
             if got.hit {
                 hits += 1;
             }
@@ -81,16 +92,18 @@ proptest! {
                 writebacks += 1;
             }
         }
-        prop_assert_eq!(cache.accesses(), accesses.len() as u64);
-        prop_assert_eq!(cache.misses(), accesses.len() as u64 - hits);
-        prop_assert_eq!(cache.writebacks(), writebacks);
+        assert_eq!(cache.accesses(), accesses.len() as u64, "seed {seed}");
+        assert_eq!(cache.misses(), accesses.len() as u64 - hits, "seed {seed}");
+        assert_eq!(cache.writebacks(), writebacks, "seed {seed}");
     }
+}
 
-    /// Probing never changes state: interleaving probes is invisible.
-    #[test]
-    fn probe_is_side_effect_free(
-        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..200),
-    ) {
+/// Probing never changes state: interleaving probes is invisible.
+#[test]
+fn probe_is_side_effect_free() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0x9206E + seed);
+        let accesses = random_accesses(&mut rng, 1, 200);
         let config = small_config();
         let mut plain = Cache::new(&config);
         let mut probed = Cache::new(&config);
@@ -102,8 +115,8 @@ proptest! {
             }
             let a = plain.access(addr, write);
             let b = probed.access(addr, write);
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "seed {seed}");
         }
-        prop_assert_eq!(plain.misses(), probed.misses());
+        assert_eq!(plain.misses(), probed.misses(), "seed {seed}");
     }
 }

@@ -43,7 +43,8 @@ fn mispredict_penalty_is_visible_in_cycle_counts() {
     };
     let predictable = run(&build(false));
     let random = run(&build(true));
-    let extra_mispredicts = random.stats().mispredicts as i64 - predictable.stats().mispredicts as i64;
+    let extra_mispredicts =
+        random.stats().mispredicts as i64 - predictable.stats().mispredicts as i64;
     assert!(
         extra_mispredicts > 1000,
         "the random branch must mispredict heavily: {extra_mispredicts}"

@@ -279,11 +279,7 @@ pub fn assemble(name: &str, text: &str) -> Result<Program, AsmError> {
 /// Disassembles a program into re-assemblable text (labels synthesized as
 /// `L<index>` at branch targets).
 pub fn disassemble(program: &Program) -> String {
-    let targets: BTreeSet<u32> = program
-        .insts()
-        .iter()
-        .filter_map(|i| i.target)
-        .collect();
+    let targets: BTreeSet<u32> = program.insts().iter().filter_map(|i| i.target).collect();
     let mut out = String::new();
     out.push_str(&format!("; {}\n", program.name()));
     for (idx, inst) in program.insts().iter().enumerate() {
@@ -296,7 +292,11 @@ pub fn disassemble(program: &Program) -> String {
             }
             OpClass::Branch if inst.op == Opcode::Jsr => {
                 let t = inst.target.expect("built programs have resolved targets");
-                format!("{} {}, L{t}", inst.op, inst.rd.expect("jsr has a link register"))
+                format!(
+                    "{} {}, L{t}",
+                    inst.op,
+                    inst.rd.expect("jsr has a link register")
+                )
             }
             OpClass::Branch => {
                 let t = inst.target.expect("built programs have resolved targets");
@@ -305,10 +305,11 @@ pub fn disassemble(program: &Program) -> String {
                     None => format!("{} L{t}", inst.op),
                 }
             }
-            OpClass::FpAdd | OpClass::FpDiv if matches!(
-                inst.op,
-                Opcode::Sqrtt | Opcode::Cpys | Opcode::Cvtqt | Opcode::Cvttq
-            ) =>
+            OpClass::FpAdd | OpClass::FpDiv
+                if matches!(
+                    inst.op,
+                    Opcode::Sqrtt | Opcode::Cpys | Opcode::Cvtqt | Opcode::Cvttq
+                ) =>
             {
                 format!(
                     "{} {}, {}",

@@ -347,7 +347,10 @@ impl ProgramBuilder {
 
     /// Adds consecutive IEEE doubles at `addr`.
     pub fn data_f64(&mut self, addr: u64, vals: &[f64]) -> &mut Self {
-        let bytes = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bytes = vals
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         self.data_bytes(addr, bytes)
     }
 
@@ -416,7 +419,10 @@ mod tests {
         b.nop();
         b.label("x");
         b.halt();
-        assert_eq!(b.build().unwrap_err(), BuildError::DuplicateLabel("x".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

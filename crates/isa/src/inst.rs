@@ -290,10 +290,7 @@ mod tests {
         let i = Inst::cmov(Opcode::Cmovne, IntReg::R3, IntReg::R31, IntReg::R7);
         let sources: Vec<_> = i.effective_sources().collect();
         // r31 filtered; reads r7 (value) and r3 (old dest).
-        assert_eq!(
-            sources,
-            vec![Reg::Int(IntReg::R7), Reg::Int(IntReg::R3)]
-        );
+        assert_eq!(sources, vec![Reg::Int(IntReg::R7), Reg::Int(IntReg::R3)]);
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl Opcode {
     /// Whether the opcode writes a floating-point destination.
     pub fn writes_fp(self) -> bool {
         use Opcode::*;
-        matches!(self, Addt | Subt | Mult | Divt | Sqrtt | Cpys | Cvtqt | Cvttq | Ldt)
+        matches!(
+            self,
+            Addt | Subt | Mult | Divt | Sqrtt | Cpys | Cvtqt | Cvttq | Ldt
+        )
     }
 
     /// Whether this is a conditional branch (not `Br`).

@@ -157,7 +157,10 @@ mod tests {
         let m = model();
         let h = kernel_for(&m, 1e-6);
         let peak = h.iter().map(|x| x.abs()).fold(0.0, f64::max);
-        let tail = h[h.len() - 10..].iter().map(|x| x.abs()).fold(0.0, f64::max);
+        let tail = h[h.len() - 10..]
+            .iter()
+            .map(|x| x.abs())
+            .fold(0.0, f64::max);
         assert!(tail <= 1e-5 * peak);
     }
 

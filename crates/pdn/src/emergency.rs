@@ -139,8 +139,16 @@ impl VoltageMonitor {
             over_cycles: self.over_cycles,
             under_events: self.under_events,
             over_events: self.over_events,
-            min_v: if self.total_cycles == 0 { f64::NAN } else { self.min_v },
-            max_v: if self.total_cycles == 0 { f64::NAN } else { self.max_v },
+            min_v: if self.total_cycles == 0 {
+                f64::NAN
+            } else {
+                self.min_v
+            },
+            max_v: if self.total_cycles == 0 {
+                f64::NAN
+            } else {
+                self.max_v
+            },
         }
     }
 
@@ -189,6 +197,22 @@ impl EmergencyReport {
             0.0
         } else {
             self.emergency_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Dumps the report into a telemetry recorder under `pdn.*` names.
+    pub fn record_telemetry(&self, rec: &mut impl voltctl_telemetry::Recorder) {
+        rec.counter("pdn.observed_cycles", self.total_cycles);
+        rec.counter("pdn.emergency_cycles", self.emergency_cycles);
+        rec.counter("pdn.under_cycles", self.under_cycles);
+        rec.counter("pdn.over_cycles", self.over_cycles);
+        rec.counter("pdn.under_events", self.under_events);
+        rec.counter("pdn.over_events", self.over_events);
+        if self.min_v.is_finite() {
+            rec.value("pdn.min_v", self.min_v);
+        }
+        if self.max_v.is_finite() {
+            rec.value("pdn.max_v", self.max_v);
         }
     }
 }
@@ -253,6 +277,27 @@ impl VoltageHistogram {
     /// Raw bin counts (ascending voltage).
     pub fn counts(&self) -> &[u64] {
         &self.bins
+    }
+
+    /// The `[lo, hi)` voltage range the bins span.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Converts into the telemetry crate's plain-data histogram form.
+    pub fn to_histogram_data(&self) -> voltctl_telemetry::HistogramData {
+        voltctl_telemetry::HistogramData {
+            lo: self.lo,
+            hi: self.hi,
+            counts: self.bins.clone(),
+            under: self.below,
+            over: self.above,
+        }
+    }
+
+    /// Stores the histogram into a telemetry recorder under `name`.
+    pub fn record_telemetry(&self, rec: &mut impl voltctl_telemetry::Recorder, name: &'static str) {
+        rec.histogram(name, self.to_histogram_data());
     }
 
     /// `(bin_center_volts, fraction_of_samples)` pairs.

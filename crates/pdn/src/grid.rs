@@ -117,8 +117,12 @@ impl GridPdn {
         self.voltages()
     }
 
-    fn derivatives(&self, v: &[f64; QUADRANTS], il: &[f64; QUADRANTS], u: &[f64; QUADRANTS])
-        -> ([f64; QUADRANTS], [f64; QUADRANTS]) {
+    fn derivatives(
+        &self,
+        v: &[f64; QUADRANTS],
+        il: &[f64; QUADRANTS],
+        u: &[f64; QUADRANTS],
+    ) -> ([f64; QUADRANTS], [f64; QUADRANTS]) {
         let mut dv = [0.0; QUADRANTS];
         let mut dil = [0.0; QUADRANTS];
         for q in 0..QUADRANTS {
@@ -198,11 +202,10 @@ mod tests {
             let per_quadrant = i_total / 4.0;
             let gv = grid.step([per_quadrant; 4]);
             let sv = global.step(i_total);
-            for q in 0..4 {
+            for (q, &g) in gv.iter().enumerate() {
                 assert!(
-                    (gv[q] - sv).abs() < 2e-4,
-                    "cycle {k} quadrant {q}: grid {} vs global {sv}",
-                    gv[q]
+                    (g - sv).abs() < 2e-4,
+                    "cycle {k} quadrant {q}: grid {g} vs global {sv}"
                 );
             }
         }
@@ -266,8 +269,8 @@ mod tests {
         for _ in 0..30_000 {
             v = grid.step([5.0; 4]);
         }
-        for q in 0..4 {
-            assert!((v[q] - m.v_nominal()).abs() < 1e-9);
+        for &vq in &v {
+            assert!((vq - m.v_nominal()).abs() < 1e-9);
         }
     }
 

@@ -33,30 +33,110 @@ pub struct Generation {
 
 /// ITRS-2001 projections for the cost-performance segment.
 pub const COST_PERFORMANCE: &[Generation] = &[
-    Generation { year: 2001, vdd: 1.1, i_max: 61.0 },
-    Generation { year: 2002, vdd: 1.0, i_max: 71.0 },
-    Generation { year: 2003, vdd: 1.0, i_max: 81.0 },
-    Generation { year: 2004, vdd: 1.0, i_max: 92.0 },
-    Generation { year: 2005, vdd: 0.9, i_max: 103.0 },
-    Generation { year: 2006, vdd: 0.9, i_max: 112.0 },
-    Generation { year: 2007, vdd: 0.7, i_max: 132.0 },
-    Generation { year: 2010, vdd: 0.6, i_max: 160.0 },
-    Generation { year: 2013, vdd: 0.5, i_max: 186.0 },
-    Generation { year: 2016, vdd: 0.4, i_max: 214.0 },
+    Generation {
+        year: 2001,
+        vdd: 1.1,
+        i_max: 61.0,
+    },
+    Generation {
+        year: 2002,
+        vdd: 1.0,
+        i_max: 71.0,
+    },
+    Generation {
+        year: 2003,
+        vdd: 1.0,
+        i_max: 81.0,
+    },
+    Generation {
+        year: 2004,
+        vdd: 1.0,
+        i_max: 92.0,
+    },
+    Generation {
+        year: 2005,
+        vdd: 0.9,
+        i_max: 103.0,
+    },
+    Generation {
+        year: 2006,
+        vdd: 0.9,
+        i_max: 112.0,
+    },
+    Generation {
+        year: 2007,
+        vdd: 0.7,
+        i_max: 132.0,
+    },
+    Generation {
+        year: 2010,
+        vdd: 0.6,
+        i_max: 160.0,
+    },
+    Generation {
+        year: 2013,
+        vdd: 0.5,
+        i_max: 186.0,
+    },
+    Generation {
+        year: 2016,
+        vdd: 0.4,
+        i_max: 214.0,
+    },
 ];
 
 /// ITRS-2001 projections for the high-performance segment.
 pub const HIGH_PERFORMANCE: &[Generation] = &[
-    Generation { year: 2001, vdd: 1.1, i_max: 118.0 },
-    Generation { year: 2002, vdd: 1.0, i_max: 139.0 },
-    Generation { year: 2003, vdd: 1.0, i_max: 149.0 },
-    Generation { year: 2004, vdd: 1.0, i_max: 158.0 },
-    Generation { year: 2005, vdd: 0.9, i_max: 170.0 },
-    Generation { year: 2006, vdd: 0.9, i_max: 180.0 },
-    Generation { year: 2007, vdd: 0.7, i_max: 218.0 },
-    Generation { year: 2010, vdd: 0.6, i_max: 251.0 },
-    Generation { year: 2013, vdd: 0.5, i_max: 288.0 },
-    Generation { year: 2016, vdd: 0.4, i_max: 310.0 },
+    Generation {
+        year: 2001,
+        vdd: 1.1,
+        i_max: 118.0,
+    },
+    Generation {
+        year: 2002,
+        vdd: 1.0,
+        i_max: 139.0,
+    },
+    Generation {
+        year: 2003,
+        vdd: 1.0,
+        i_max: 149.0,
+    },
+    Generation {
+        year: 2004,
+        vdd: 1.0,
+        i_max: 158.0,
+    },
+    Generation {
+        year: 2005,
+        vdd: 0.9,
+        i_max: 170.0,
+    },
+    Generation {
+        year: 2006,
+        vdd: 0.9,
+        i_max: 180.0,
+    },
+    Generation {
+        year: 2007,
+        vdd: 0.7,
+        i_max: 218.0,
+    },
+    Generation {
+        year: 2010,
+        vdd: 0.6,
+        i_max: 251.0,
+    },
+    Generation {
+        year: 2013,
+        vdd: 0.5,
+        i_max: 288.0,
+    },
+    Generation {
+        year: 2016,
+        vdd: 0.4,
+        i_max: 310.0,
+    },
 ];
 
 /// The generations table for a segment.
@@ -148,7 +228,11 @@ mod tests {
         // Find when relative impedance first drops below 0.5: should be
         // within 3-5 years of 2001.
         let series = relative_impedance(Segment::HighPerformance);
-        let half_year = series.iter().find(|(_, z)| *z < 0.5).map(|(y, _)| *y).unwrap();
+        let half_year = series
+            .iter()
+            .find(|(_, z)| *z < 0.5)
+            .map(|(y, _)| *y)
+            .unwrap();
         assert!((2004..=2007).contains(&half_year), "halved by {half_year}");
     }
 }

@@ -196,7 +196,10 @@ impl LadderModel {
     /// `|Z|` at the die node for frequency `f_hz`, measured in the time
     /// domain: drive a unit sinusoid and read the steady amplitude.
     pub fn impedance_at(&self, f_hz: f64) -> f64 {
-        assert!(f_hz > 0.0 && f_hz < self.clock_hz / 2.0, "frequency out of range");
+        assert!(
+            f_hz > 0.0 && f_hz < self.clock_hz / 2.0,
+            "frequency out of range"
+        );
         let mut state = self.discretize();
         let period_cycles = (self.clock_hz / f_hz).max(2.0);
         let warm = (30.0 * period_cycles) as usize;
@@ -304,20 +307,14 @@ mod tests {
             v = s.step(20.0);
         }
         let expected = m.v_nominal() - 20.0 * m.r_dc();
-        assert!(
-            (v - expected).abs() < 1.0e-3,
-            "v={v} expected≈{expected}"
-        );
+        assert!((v - expected).abs() < 1.0e-3, "v={v} expected≈{expected}");
     }
 
     #[test]
     fn die_resonance_sits_near_50mhz() {
         let m = ladder();
         let (f0, z_pk) = m.mid_frequency_peak(10.0e6, 300.0e6);
-        assert!(
-            (30.0e6..90.0e6).contains(&f0),
-            "die resonance at {f0}"
-        );
+        assert!((30.0e6..90.0e6).contains(&f0), "die resonance at {f0}");
         assert!(z_pk > m.r_dc(), "peak {z_pk} must exceed DC {}", m.r_dc());
     }
 

@@ -86,12 +86,12 @@ impl MatN {
         assert_eq!(v.len(), self.n);
         let n = self.n;
         let mut out = vec![0.0; n];
-        for i in 0..n {
+        for (i, slot) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for j in 0..n {
-                acc += self.data[i * n + j] * v[j];
+            for (j, &vj) in v.iter().enumerate() {
+                acc += self.data[i * n + j] * vj;
             }
-            out[i] = acc;
+            *slot = acc;
         }
         out
     }
@@ -206,9 +206,9 @@ mod tests {
     fn solve_recovers_inverse() {
         let mut m = MatN::zeros(3);
         let vals = [[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]];
-        for r in 0..3 {
-            for c in 0..3 {
-                m.set(r, c, vals[r][c]);
+        for (r, row) in vals.iter().enumerate() {
+            for (c, &x) in row.iter().enumerate() {
+                m.set(r, c, x);
             }
         }
         let inv = m.solve(&MatN::identity(3)).expect("invertible");
@@ -265,10 +265,9 @@ mod tests {
             }
         }
         let v = vec![1.0, -2.0, 3.0];
-        let got = m.mul_vec(&v);
-        for r in 0..3 {
+        for (r, &g) in m.mul_vec(&v).iter().enumerate() {
             let want: f64 = (0..3).map(|c| m.get(r, c) * v[c]).sum();
-            assert_eq!(got[r], want);
+            assert_eq!(g, want);
         }
     }
 }

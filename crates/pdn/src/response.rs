@@ -40,10 +40,10 @@ impl FrequencyResponse {
 
     /// The sampled maximum `(frequency_hz, |Z|)`.
     pub fn peak(&self) -> (f64, f64) {
-        self.points
-            .iter()
-            .copied()
-            .fold((0.0, f64::MIN), |best, p| if p.1 > best.1 { p } else { best })
+        self.points.iter().copied().fold(
+            (0.0, f64::MIN),
+            |best, p| if p.1 > best.1 { p } else { best },
+        )
     }
 }
 

@@ -23,7 +23,7 @@
 //! zero-order-hold discretization used for per-cycle simulation.
 
 use crate::state_space::PdnState;
-use crate::{CLOCK_HZ, R_DC, RESONANT_HZ, TOLERANCE, V_NOMINAL};
+use crate::{CLOCK_HZ, RESONANT_HZ, R_DC, TOLERANCE, V_NOMINAL};
 use std::fmt;
 
 /// Errors produced when constructing or calibrating a [`PdnModel`].
@@ -218,8 +218,7 @@ impl PdnModelBuilder {
         let c = 1.0 / (x * omega0);
 
         let fitted = peak_for(x);
-        if !fitted.is_finite()
-            || (fitted - self.peak_impedance).abs() / self.peak_impedance > 1e-6
+        if !fitted.is_finite() || (fitted - self.peak_impedance).abs() / self.peak_impedance > 1e-6
         {
             return Err(PdnError::FitFailed);
         }
@@ -606,7 +605,10 @@ mod tests {
         let m = PdnModel::paper_default().unwrap();
         let d1 = m.worst_case_deviation(10.0);
         let d2 = m.worst_case_deviation(20.0);
-        assert!((d2 - 2.0 * d1).abs() / d1 < 1e-6, "LTI system must be linear");
+        assert!(
+            (d2 - 2.0 * d1).abs() / d1 < 1e-6,
+            "LTI system must be linear"
+        );
     }
 
     #[test]

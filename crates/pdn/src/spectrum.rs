@@ -63,7 +63,10 @@ impl Complex {
 /// Panics unless the input length is a power of two (and at least 1).
 pub fn fft(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two"
+    );
     if n == 1 {
         return;
     }
@@ -124,7 +127,10 @@ pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `freq` is outside `(0, 0.5)`.
 pub fn goertzel(signal: &[f64], freq: f64) -> f64 {
-    assert!(freq > 0.0 && freq < 0.5, "freq must be in (0, 0.5) cycles/sample");
+    assert!(
+        freq > 0.0 && freq < 0.5,
+        "freq must be in (0, 0.5) cycles/sample"
+    );
     if signal.is_empty() {
         return 0.0;
     }
@@ -151,11 +157,14 @@ pub fn dominant_frequency(signal: &[f64]) -> Option<f64> {
     }
     let spec = power_spectrum(signal);
     let n = signal.len().next_power_of_two();
-    let (best_bin, best_mag) = spec
-        .iter()
-        .enumerate()
-        .skip(1)
-        .fold((0usize, 0.0f64), |acc, (k, &m)| if m > acc.1 { (k, m) } else { acc });
+    let (best_bin, best_mag) =
+        spec.iter()
+            .enumerate()
+            .skip(1)
+            .fold(
+                (0usize, 0.0f64),
+                |acc, (k, &m)| if m > acc.1 { (k, m) } else { acc },
+            );
     if best_mag <= 1e-12 {
         return None;
     }
@@ -250,7 +259,10 @@ mod tests {
         let signal: Vec<f64> = (0..64).map(|t| ((t * 7) % 13) as f64).collect();
         let mean = signal.iter().sum::<f64>() / 64.0;
         let time_energy: f64 = signal.iter().map(|x| (x - mean).powi(2)).sum();
-        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x - mean, 0.0)).collect();
+        let mut buf: Vec<Complex> = signal
+            .iter()
+            .map(|&x| Complex::new(x - mean, 0.0))
+            .collect();
         fft(&mut buf);
         let freq_energy: f64 = buf.iter().map(|c| c.norm().powi(2)).sum::<f64>() / 64.0;
         assert!((time_energy - freq_energy).abs() / time_energy < 1e-9);

@@ -62,10 +62,10 @@ impl PdnState {
 
         let ad = a.scale(dt).expm();
         // Bd = A^-1 (Ad - I) B; A is invertible since det(A) = 1/(LC) != 0.
-        let a_inv = a.inverse().expect("second-order PDN state matrix is invertible");
-        let bd = a_inv
-            .mul(&ad.add(&Mat2::IDENTITY.scale(-1.0)))
-            .mul_vec(b);
+        let a_inv = a
+            .inverse()
+            .expect("second-order PDN state matrix is invertible");
+        let bd = a_inv.mul(&ad.add(&Mat2::IDENTITY.scale(-1.0))).mul_vec(b);
 
         PdnState {
             ad,
@@ -230,7 +230,10 @@ mod tests {
         let head: f64 = h[..100].iter().map(|x| x.abs()).fold(0.0, f64::max);
         let tail: f64 = h[3900..].iter().map(|x| x.abs()).fold(0.0, f64::max);
         assert!(head > 0.0);
-        assert!(tail < head * 1e-3, "pulse response must decay: {tail} vs {head}");
+        assert!(
+            tail < head * 1e-3,
+            "pulse response must decay: {tail} vs {head}"
+        );
     }
 
     #[test]
@@ -249,7 +252,9 @@ mod tests {
     #[test]
     fn run_matches_step_by_step() {
         let m = model();
-        let trace: Vec<f64> = (0..500).map(|k| if k % 60 < 30 { 40.0 } else { 5.0 }).collect();
+        let trace: Vec<f64> = (0..500)
+            .map(|k| if k % 60 < 30 { 40.0 } else { 5.0 })
+            .collect();
         let mut s1 = m.discretize();
         let mut s2 = m.discretize();
         let v1 = s1.run(&trace);

@@ -70,7 +70,10 @@ mod tests {
         let m = PdnModel::paper_default().unwrap();
         let ss = drive(m.discretize(), 600);
         let conv = drive(Convolver::new(kernel_for(&m, 1e-9), m.v_nominal()), 600);
-        assert!((ss - conv).abs() < 1e-6, "state-space {ss} vs convolver {conv}");
+        assert!(
+            (ss - conv).abs() < 1e-6,
+            "state-space {ss} vs convolver {conv}"
+        );
 
         let ladder = LadderModel::typical_three_stage();
         let lv = drive(ladder.discretize(), 600);

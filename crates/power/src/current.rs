@@ -30,7 +30,10 @@ impl EnergyAccumulator {
     ///
     /// Panics if `clock_hz` is not positive and finite.
     pub fn new(clock_hz: f64) -> EnergyAccumulator {
-        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock must be positive");
+        assert!(
+            clock_hz.is_finite() && clock_hz > 0.0,
+            "clock must be positive"
+        );
         EnergyAccumulator {
             cycle_seconds: 1.0 / clock_hz,
             joules: 0.0,
@@ -47,6 +50,14 @@ impl EnergyAccumulator {
     /// Total accumulated energy in joules.
     pub fn joules(&self) -> f64 {
         self.joules
+    }
+
+    /// Dumps the accumulated energy into a telemetry recorder under
+    /// `power.*` names.
+    pub fn record_telemetry(&self, rec: &mut impl voltctl_telemetry::Recorder) {
+        rec.counter("power.cycles", self.cycles);
+        rec.value("power.energy_joules", self.joules);
+        rec.value("power.avg_watts", self.average_power());
     }
 
     /// Number of accumulated cycles.

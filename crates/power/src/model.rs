@@ -185,18 +185,19 @@ impl PowerModel {
             self.domain(Unit::Il1, il1_frac, gating.gate_il1, gating.phantom_il1);
 
         // --- Window / rename / regfile: follow pipeline activity ---------
-        w[Unit::Dispatch.index()] =
-            self.scaled(Unit::Dispatch, f64::from(act.dispatched) / self.decode_width);
+        w[Unit::Dispatch.index()] = self.scaled(
+            Unit::Dispatch,
+            f64::from(act.dispatched) / self.decode_width,
+        );
         let window_frac =
             f64::from(act.dispatched + act.issued + act.completed) / (3.0 * self.issue_width);
         w[Unit::Window.index()] = self.scaled(Unit::Window, window_frac);
-        let lsq_frac = (f64::from(
-            act.issued_per_fu[FuKind::MemPort.index()] + act.lsq_forwards,
-        )) / self.mem_ports;
+        let lsq_frac = (f64::from(act.issued_per_fu[FuKind::MemPort.index()] + act.lsq_forwards))
+            / self.mem_ports;
         w[Unit::Lsq.index()] =
             self.domain(Unit::Lsq, lsq_frac, gating.gate_dl1, gating.phantom_dl1);
-        let regfile_frac = f64::from(act.regfile_reads + act.regfile_writes)
-            / (3.0 * self.issue_width);
+        let regfile_frac =
+            f64::from(act.regfile_reads + act.regfile_writes) / (3.0 * self.issue_width);
         w[Unit::Regfile.index()] = self.scaled(Unit::Regfile, regfile_frac);
 
         // --- FU domain: spread multi-cycle work over busy units ----------
@@ -242,21 +243,22 @@ mod tests {
     }
 
     fn busy_activity() -> CycleActivity {
-        let mut act = CycleActivity::default();
-        act.fetched = 8;
-        act.dispatched = 8;
-        act.issued = 8;
-        act.completed = 8;
-        act.committed = 8;
-        act.bpred_lookups = 2;
-        act.il1_accesses = 1;
-        act.dl1_accesses = 4;
-        act.l2_accesses = 1;
-        act.regfile_reads = 16;
-        act.regfile_writes = 8;
-        act.executing_per_fu = [8, 2, 4, 2, 4];
-        act.issued_per_fu = [4, 0, 0, 0, 4];
-        act
+        CycleActivity {
+            fetched: 8,
+            dispatched: 8,
+            issued: 8,
+            completed: 8,
+            committed: 8,
+            bpred_lookups: 2,
+            il1_accesses: 1,
+            dl1_accesses: 4,
+            l2_accesses: 1,
+            regfile_reads: 16,
+            regfile_writes: 8,
+            executing_per_fu: [8, 2, 4, 2, 4],
+            issued_per_fu: [4, 0, 0, 0, 4],
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -288,8 +290,10 @@ mod tests {
     fn gated_fu_domain_drops_to_floor_despite_activity() {
         let m = model();
         let act = busy_activity();
-        let mut g = GatingState::default();
-        g.gate_fu = true;
+        let g = GatingState {
+            gate_fu: true,
+            ..Default::default()
+        };
         let gated = m.cycle_power(&act, &g);
         let free = m.cycle_power(&act, &GatingState::default());
         let floor = m.params().peak(Unit::IntAlu) * m.params().gating_floor;
@@ -303,9 +307,11 @@ mod tests {
     fn phantom_fire_charges_full_peak_when_idle() {
         let m = model();
         let idle = CycleActivity::default();
-        let mut g = GatingState::default();
-        g.phantom_fu = true;
-        g.phantom_dl1 = true;
+        let g = GatingState {
+            phantom_fu: true,
+            phantom_dl1: true,
+            ..Default::default()
+        };
         let fired = m.cycle_power(&idle, &g);
         assert_eq!(fired.unit(Unit::IntAlu), m.params().peak(Unit::IntAlu));
         assert_eq!(fired.unit(Unit::FpMult), m.params().peak(Unit::FpMult));
@@ -318,8 +324,10 @@ mod tests {
     fn il1_gating_covers_front_end() {
         let m = model();
         let act = busy_activity();
-        let mut g = GatingState::default();
-        g.gate_il1 = true;
+        let g = GatingState {
+            gate_il1: true,
+            ..Default::default()
+        };
         let p = m.cycle_power(&act, &g);
         let floor = m.params().gating_floor;
         assert!((p.unit(Unit::Il1) - m.params().peak(Unit::Il1) * floor).abs() < 1e-12);
@@ -342,10 +350,12 @@ mod tests {
     #[test]
     fn clock_is_never_gated() {
         let m = model();
-        let mut g = GatingState::default();
-        g.gate_fu = true;
-        g.gate_dl1 = true;
-        g.gate_il1 = true;
+        let g = GatingState {
+            gate_fu: true,
+            gate_dl1: true,
+            gate_il1: true,
+            ..Default::default()
+        };
         let p = m.cycle_power(&CycleActivity::default(), &g);
         assert_eq!(p.unit(Unit::Clock), m.params().peak(Unit::Clock));
         // Fully gated machine sits at the analytic floor.

@@ -78,8 +78,8 @@ impl Unit {
     pub fn all() -> [Unit; Unit::COUNT] {
         use Unit::*;
         [
-            Fetch, Bpred, Il1, Dispatch, Window, Lsq, Regfile, IntAlu, IntMult, FpAlu, FpMult,
-            Dl1, L2, ResultBus, Clock,
+            Fetch, Bpred, Il1, Dispatch, Window, Lsq, Regfile, IntAlu, IntMult, FpAlu, FpMult, Dl1,
+            L2, ResultBus, Clock,
         ]
     }
 
@@ -153,7 +153,10 @@ impl PowerParams {
     ///
     /// Panics if `watts` is negative or not finite.
     pub fn set_peak(&mut self, unit: Unit, watts: f64) {
-        assert!(watts.is_finite() && watts >= 0.0, "peak power must be non-negative");
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "peak power must be non-negative"
+        );
         self.peak[unit.index()] = watts;
     }
 

@@ -1,0 +1,419 @@
+//! Structured exporters for [`Snapshot`]s: JSONL, CSV, and a
+//! human-readable summary — all hand-rolled (the build environment has no
+//! registry access, so no serde).
+//!
+//! File layout: [`write_snapshot`] puts `<run>.counters.jsonl` /
+//! `<run>.counters.csv` under an output directory (default
+//! `results/telemetry/`), and [`write_trace_csv`] adds optional per-cycle
+//! traces next to them.
+
+use crate::snapshot::Snapshot;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Escapes a string for embedding in a JSON string literal (without the
+/// surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`json_escape`]. Returns `None` on malformed escapes —
+/// exists so round-tripping is testable without a JSON parser.
+pub fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Quotes a CSV field per RFC 4180 when it contains a comma, quote, or
+/// newline; passes it through otherwise.
+pub fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Inverse of [`csv_escape`] for a single field. Returns `None` when a
+/// quoted field is malformed.
+pub fn csv_unescape(s: &str) -> Option<String> {
+    if let Some(inner) = s.strip_prefix('"') {
+        let inner = inner.strip_suffix('"')?;
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '"' {
+                if chars.next()? != '"' {
+                    return None;
+                }
+                out.push('"');
+            } else {
+                out.push(c);
+            }
+        }
+        Some(out)
+    } else {
+        Some(s.to_string())
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a snapshot as JSONL: one self-describing object per line with
+/// a `kind` discriminator (`counter`, `value`, `timer`, `histogram`).
+pub fn to_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(&c.name),
+            c.value
+        );
+    }
+    for v in &snap.values {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"value\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+            json_escape(&v.name),
+            v.count,
+            json_f64(v.sum),
+            json_f64(v.min),
+            json_f64(v.max),
+            json_f64(v.mean())
+        );
+    }
+    for t in &snap.timers {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"timer\",\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"mean_ns\":{}}}",
+            json_escape(&t.name),
+            t.count,
+            t.total_ns,
+            json_f64(t.mean_ns())
+        );
+    }
+    for h in &snap.histograms {
+        let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"lo\":{},\"hi\":{},\"under\":{},\"over\":{},\"counts\":[{}]}}",
+            json_escape(&h.name),
+            json_f64(h.lo),
+            json_f64(h.hi),
+            h.under,
+            h.over,
+            counts.join(",")
+        );
+    }
+    out
+}
+
+/// Renders a snapshot as a flat CSV with a uniform header
+/// (`kind,name,count,value,sum,min,max,mean`). Histograms emit one row
+/// per bin with `name` suffixed `[center]`.
+pub fn to_csv(snap: &Snapshot) -> String {
+    let mut out = String::from("kind,name,count,value,sum,min,max,mean\n");
+    for c in &snap.counters {
+        let _ = writeln!(out, "counter,{},1,{},,,,", csv_escape(&c.name), c.value);
+    }
+    for v in &snap.values {
+        let _ = writeln!(
+            out,
+            "value,{},{},,{},{},{},{}",
+            csv_escape(&v.name),
+            v.count,
+            v.sum,
+            v.min,
+            v.max,
+            v.mean()
+        );
+    }
+    for t in &snap.timers {
+        let _ = writeln!(
+            out,
+            "timer,{},{},{},,,,{}",
+            csv_escape(&t.name),
+            t.count,
+            t.total_ns,
+            t.mean_ns()
+        );
+    }
+    for h in &snap.histograms {
+        for (center, count) in h.centers() {
+            let _ = writeln!(
+                out,
+                "histogram,{},1,{},,,,",
+                csv_escape(&format!("{}[{:.4}]", h.name, center)),
+                count
+            );
+        }
+    }
+    out
+}
+
+/// Renders the human-readable end-of-run summary.
+pub fn to_summary(run: &str, snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== telemetry: {run} ==");
+    if snap.is_empty() {
+        let _ = writeln!(out, "  (nothing recorded)");
+        return out;
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "-- counters --");
+        let width = snap
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(0);
+        for c in &snap.counters {
+            let _ = writeln!(out, "  {:width$}  {}", c.name, c.value);
+        }
+    }
+    if !snap.values.is_empty() {
+        let _ = writeln!(out, "-- values --");
+        for v in &snap.values {
+            let _ = writeln!(
+                out,
+                "  {}  n={} mean={:.6} min={:.6} max={:.6}",
+                v.name,
+                v.count,
+                v.mean(),
+                v.min,
+                v.max
+            );
+        }
+    }
+    if !snap.timers.is_empty() {
+        let _ = writeln!(out, "-- timers --");
+        for t in &snap.timers {
+            let _ = writeln!(
+                out,
+                "  {}  n={} total={:.3}ms mean={:.0}ns",
+                t.name,
+                t.count,
+                t.total_ns as f64 / 1e6,
+                t.mean_ns()
+            );
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "-- histograms --");
+        for h in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {}  [{:.4}, {:.4}) bins={} total={} under={} over={}",
+                h.name,
+                h.lo,
+                h.hi,
+                h.counts.len(),
+                h.total(),
+                h.under,
+                h.over
+            );
+        }
+    }
+    out
+}
+
+/// The default export directory for structured snapshots.
+pub const DEFAULT_OUT_DIR: &str = "results/telemetry";
+
+/// Writes `contents` to `dir/file`, creating `dir` as needed, and returns
+/// the full path.
+pub fn write_file(dir: &Path, file: &str, contents: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(file);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Writes `<run>.counters.jsonl` or `<run>.counters.csv` (per `csv`)
+/// under `dir`, returning the path.
+pub fn write_snapshot(dir: &Path, run: &str, snap: &Snapshot, csv: bool) -> io::Result<PathBuf> {
+    if csv {
+        write_file(dir, &format!("{run}.counters.csv"), &to_csv(snap))
+    } else {
+        write_file(dir, &format!("{run}.counters.jsonl"), &to_jsonl(snap))
+    }
+}
+
+/// Writes a per-cycle (or per-row) trace as `<run>.<name>.csv`: one
+/// header row, then one row per record.
+pub fn write_trace_csv(
+    dir: &Path,
+    run: &str,
+    name: &str,
+    headers: &[&str],
+    rows: impl IntoIterator<Item = Vec<f64>>,
+) -> io::Result<PathBuf> {
+    let mut out = String::new();
+    let escaped: Vec<String> = headers.iter().map(|h| csv_escape(h)).collect();
+    out.push_str(&escaped.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|x| format!("{x}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    write_file(dir, &format!("{run}.{name}.csv"), &out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryRecorder;
+    use crate::recorder::Recorder;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut r = MemoryRecorder::new();
+        r.counter("loop.cycles", 1000);
+        r.counter("loop.emergency_cycles", 3);
+        r.value("loop.voltage", 0.98);
+        r.value("loop.voltage", 1.01);
+        r.timer_ns("loop.step.cpu", 12345);
+        r.register_histogram("h", 0.9, 1.1, 4);
+        r.value("h", 0.95);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_escape_round_trips() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "line\nbreak\ttab\rret",
+            "control\u{1}char",
+            "unicode ✓ ω",
+            "",
+        ] {
+            let escaped = json_escape(s);
+            assert!(!escaped.contains('\n'), "escaped form must be single-line");
+            assert_eq!(json_unescape(&escaped).as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn json_unescape_rejects_malformed() {
+        assert_eq!(json_unescape("trailing\\"), None);
+        assert_eq!(json_unescape("\\q"), None);
+        assert_eq!(json_unescape("\\u12"), None);
+        assert_eq!(json_unescape("\\ud800"), None, "lone surrogate");
+    }
+
+    #[test]
+    fn csv_escape_round_trips() {
+        for s in [
+            "plain",
+            "a,b",
+            "quote\"inside",
+            "multi\nline",
+            "\"already quoted\"",
+            "",
+        ] {
+            assert_eq!(csv_unescape(&csv_escape(s)).as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn csv_unescape_rejects_malformed() {
+        assert_eq!(csv_unescape("\"unterminated"), None);
+        assert_eq!(csv_unescape("\"bad \" quote\""), None);
+    }
+
+    #[test]
+    fn jsonl_is_line_structured_and_complete() {
+        let snap = sample_snapshot();
+        let jsonl = to_jsonl(&snap);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // 2 counters + 2 values + 1 timer + 1 histogram.
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"kind\":\""));
+        }
+        assert!(jsonl.contains("\"name\":\"loop.cycles\",\"value\":1000"));
+        assert!(jsonl.contains("\"kind\":\"histogram\""));
+    }
+
+    #[test]
+    fn csv_has_uniform_arity() {
+        let snap = sample_snapshot();
+        let csv = to_csv(&snap);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let arity = header.split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), arity, "{line}");
+        }
+    }
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let s = to_summary("test-run", &sample_snapshot());
+        for needle in ["test-run", "counters", "values", "timers", "histograms"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+        assert!(to_summary("empty", &Snapshot::default()).contains("nothing recorded"));
+    }
+
+    #[test]
+    fn writes_files_under_dir() {
+        let dir =
+            std::env::temp_dir().join(format!("voltctl-telemetry-test-{}", std::process::id()));
+        let snap = sample_snapshot();
+        let p1 = write_snapshot(&dir, "run", &snap, false).unwrap();
+        let p2 = write_snapshot(&dir, "run", &snap, true).unwrap();
+        let p3 = write_trace_csv(&dir, "run", "trace", &["a", "b"], vec![vec![1.0, 2.0]]).unwrap();
+        assert!(std::fs::read_to_string(&p1).unwrap().contains("counter"));
+        assert!(std::fs::read_to_string(&p2).unwrap().starts_with("kind,"));
+        assert_eq!(std::fs::read_to_string(&p3).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

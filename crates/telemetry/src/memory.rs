@@ -1,0 +1,379 @@
+//! The in-memory aggregating recorder.
+
+use crate::recorder::{HistogramData, Level, Recorder};
+use crate::snapshot::{CounterSnapshot, HistogramSnapshot, Snapshot, TimerSnapshot, ValueSnapshot};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy)]
+struct ValueStat {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl ValueStat {
+    fn new() -> ValueStat {
+        ValueStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::MAX,
+            max: f64::MIN,
+        }
+    }
+
+    fn push(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    fn merge(&mut self, other: &ValueStat) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A recorded discrete event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Severity.
+    pub level: Level,
+    /// Event topic.
+    pub topic: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// Aggregates counters, value statistics, timers, histograms, and events
+/// in memory; the run-end [`Snapshot`] feeds the exporters.
+///
+/// Value series can optionally be bucketed: [`register_histogram`]
+/// attaches a fixed-bin histogram that subsequent samples also land in.
+///
+/// [`register_histogram`]: MemoryRecorder::register_histogram
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    counters: BTreeMap<&'static str, u64>,
+    values: BTreeMap<&'static str, ValueStat>,
+    timers: BTreeMap<&'static str, (u64, u64)>,
+    histograms: BTreeMap<&'static str, HistogramData>,
+    bucketed: BTreeMap<&'static str, HistogramData>,
+    events: Vec<RecordedEvent>,
+    echo_warnings: bool,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// Also prints `Warn` events to stderr as they arrive (for long runs
+    /// where the summary only appears at the end).
+    pub fn echo_warnings(mut self, echo: bool) -> MemoryRecorder {
+        self.echo_warnings = echo;
+        self
+    }
+
+    /// Attaches a fixed-bin histogram to the value series `name`: every
+    /// later [`Recorder::value`] sample for that series is also bucketed
+    /// into `bins` equal bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi` or `bins == 0`.
+    pub fn register_histogram(&mut self, name: &'static str, lo: f64, hi: f64, bins: usize) {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        self.bucketed.insert(
+            name,
+            HistogramData {
+                lo,
+                hi,
+                counts: vec![0; bins],
+                under: 0,
+                over: 0,
+            },
+        );
+    }
+
+    /// The events recorded so far, in arrival order.
+    pub fn events(&self) -> &[RecordedEvent] {
+        &self.events
+    }
+
+    /// Folds another recorder's aggregates into this one (counters and
+    /// timers add; value stats combine; histograms add bin-wise when the
+    /// shapes match, otherwise the other's replaces this one's; events
+    /// append).
+    pub fn merge(&mut self, other: &MemoryRecorder) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in &other.values {
+            self.values
+                .entry(name)
+                .or_insert_with(ValueStat::new)
+                .merge(v);
+        }
+        for (name, (count, ns)) in &other.timers {
+            let slot = self.timers.entry(name).or_insert((0, 0));
+            slot.0 += count;
+            slot.1 += ns;
+        }
+        for (name, h) in other.histograms.iter().chain(&other.bucketed) {
+            merge_histogram(&mut self.histograms, name, h);
+        }
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    /// Produces the plain-data view for export.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut histograms: BTreeMap<&'static str, HistogramData> = self.histograms.clone();
+        for (name, h) in &self.bucketed {
+            if h.total() > 0 {
+                merge_histogram(&mut histograms, name, h);
+            }
+        }
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&name, &value)| CounterSnapshot {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            values: self
+                .values
+                .iter()
+                .map(|(&name, v)| ValueSnapshot {
+                    name: name.to_string(),
+                    count: v.count,
+                    sum: v.sum,
+                    min: v.min,
+                    max: v.max,
+                })
+                .collect(),
+            timers: self
+                .timers
+                .iter()
+                .map(|(&name, &(count, total_ns))| TimerSnapshot {
+                    name: name.to_string(),
+                    count,
+                    total_ns,
+                })
+                .collect(),
+            histograms: histograms
+                .iter()
+                .map(|(&name, h)| HistogramSnapshot {
+                    name: name.to_string(),
+                    lo: h.lo,
+                    hi: h.hi,
+                    counts: h.counts.clone(),
+                    under: h.under,
+                    over: h.over,
+                })
+                .collect(),
+        }
+    }
+}
+
+fn merge_histogram(
+    into: &mut BTreeMap<&'static str, HistogramData>,
+    name: &'static str,
+    h: &HistogramData,
+) {
+    match into.get_mut(name) {
+        Some(existing)
+            if existing.counts.len() == h.counts.len()
+                && existing.lo == h.lo
+                && existing.hi == h.hi =>
+        {
+            for (a, b) in existing.counts.iter_mut().zip(&h.counts) {
+                *a += b;
+            }
+            existing.under += h.under;
+            existing.over += h.over;
+        }
+        _ => {
+            into.insert(name, h.clone());
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn value(&mut self, name: &'static str, sample: f64) {
+        self.values
+            .entry(name)
+            .or_insert_with(ValueStat::new)
+            .push(sample);
+        if let Some(h) = self.bucketed.get_mut(name) {
+            if sample < h.lo {
+                h.under += 1;
+            } else if sample >= h.hi {
+                h.over += 1;
+            } else {
+                let bins = h.counts.len();
+                let idx = ((sample - h.lo) / (h.hi - h.lo) * bins as f64) as usize;
+                h.counts[idx.min(bins - 1)] += 1;
+            }
+        }
+    }
+
+    fn timer_ns(&mut self, name: &'static str, nanos: u64) {
+        let slot = self.timers.entry(name).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += nanos;
+    }
+
+    fn histogram(&mut self, name: &'static str, data: HistogramData) {
+        // Accumulate, matching `merge` semantics: same-shape histograms
+        // add bin-wise, a different shape replaces.
+        merge_histogram(&mut self.histograms, name, &data);
+    }
+
+    fn event(&mut self, level: Level, topic: &'static str, message: &str) {
+        if self.echo_warnings && level == Level::Warn {
+            crate::warn(topic, message);
+        }
+        self.events.push(RecordedEvent {
+            level,
+            topic,
+            message: message.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MemoryRecorder::new();
+        r.counter("a", 3);
+        r.counter("a", 4);
+        r.counter("b", 1);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), Some(7));
+        assert_eq!(s.counter("b"), Some(1));
+    }
+
+    #[test]
+    fn value_stats_track_min_max_mean() {
+        let mut r = MemoryRecorder::new();
+        for v in [1.0, 2.0, 6.0] {
+            r.value("x", v);
+        }
+        let s = r.snapshot();
+        let v = s.value("x").unwrap();
+        assert_eq!(v.count, 3);
+        assert_eq!(v.min, 1.0);
+        assert_eq!(v.max, 6.0);
+        assert!((v.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registered_histogram_buckets_samples() {
+        let mut r = MemoryRecorder::new();
+        r.register_histogram("v", 0.0, 1.0, 4);
+        for v in [-0.1, 0.1, 0.3, 0.6, 0.6, 0.99, 1.5] {
+            r.value("v", v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("v").unwrap();
+        assert_eq!(h.counts, vec![1, 1, 2, 1]);
+        assert_eq!(h.under, 1);
+        assert_eq!(h.over, 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.total(), s.value("v").unwrap().count);
+    }
+
+    #[test]
+    fn timers_accumulate_spans() {
+        let mut r = MemoryRecorder::new();
+        r.timer_ns("t", 100);
+        r.timer_ns("t", 300);
+        let s = r.snapshot();
+        let t = s.timer("t").unwrap();
+        assert_eq!(t.count, 2);
+        assert_eq!(t.total_ns, 400);
+        assert!((t.mean_ns() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_all_channels() {
+        let mut a = MemoryRecorder::new();
+        a.counter("c", 1);
+        a.value("v", 1.0);
+        a.timer_ns("t", 10);
+        a.event(Level::Info, "e", "one");
+        let mut b = MemoryRecorder::new();
+        b.counter("c", 2);
+        b.value("v", 3.0);
+        b.timer_ns("t", 20);
+        b.event(Level::Warn, "e", "two");
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.counter("c"), Some(3));
+        assert_eq!(s.value("v").unwrap().count, 2);
+        assert_eq!(s.timer("t").unwrap().total_ns, 30);
+        assert_eq!(a.events().len(), 2);
+    }
+
+    #[test]
+    fn merge_adds_matching_histograms() {
+        let h = |counts: Vec<u64>| HistogramData {
+            lo: 0.0,
+            hi: 1.0,
+            counts,
+            under: 0,
+            over: 1,
+        };
+        let mut a = MemoryRecorder::new();
+        a.histogram("h", h(vec![1, 0]));
+        let mut b = MemoryRecorder::new();
+        b.histogram("h", h(vec![2, 5]));
+        a.merge(&b);
+        let s = a.snapshot();
+        let got = s.histogram("h").unwrap();
+        assert_eq!(got.counts, vec![3, 5]);
+        assert_eq!(got.over, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn degenerate_histogram_range_rejected() {
+        MemoryRecorder::new().register_histogram("x", 1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn repeated_histogram_records_accumulate() {
+        let mut r = MemoryRecorder::new();
+        for _ in 0..2 {
+            r.histogram(
+                "h",
+                HistogramData {
+                    lo: 0.0,
+                    hi: 1.0,
+                    counts: vec![1, 2],
+                    under: 1,
+                    over: 0,
+                },
+            );
+        }
+        let s = r.snapshot();
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.counts, vec![2, 4]);
+        assert_eq!(h.under, 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! The [`Recorder`] trait: the metric/event sink the simulation layers
+//! write into.
+//!
+//! Instrumented hot paths are generic over `R: Recorder` and guard any
+//! work with non-zero cost (wall-clock reads, histogram pushes) behind
+//! `R::ENABLED`. [`NullRecorder`] sets `ENABLED = false` and inherits the
+//! empty default methods, so the disabled configuration compiles to the
+//! uninstrumented loop.
+
+/// Severity of a telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Informational progress marker.
+    Info,
+    /// A recoverable anomaly the user should see.
+    Warn,
+}
+
+impl Level {
+    /// The lowercase label used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// A plain-data fixed-bin histogram handed to a recorder wholesale
+/// (used for pre-aggregated data such as the PDN's voltage histogram).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramData {
+    /// Lower edge of the first bin.
+    pub lo: f64,
+    /// Upper edge of the last bin.
+    pub hi: f64,
+    /// Per-bin sample counts.
+    pub counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub under: u64,
+    /// Samples above `hi`.
+    pub over: u64,
+}
+
+impl HistogramData {
+    /// Total samples including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.under + self.over
+    }
+}
+
+/// A sink for counters, sampled values, timers, histograms, and events.
+///
+/// All methods default to no-ops so implementors opt into exactly the
+/// channels they aggregate; `ENABLED` lets generic call sites skip
+/// argument construction entirely.
+pub trait Recorder {
+    /// Whether this recorder observes anything at all. Generic hot paths
+    /// guard expensive instrumentation (e.g. `Instant::now`) behind this
+    /// constant so the disabled case folds away at compile time.
+    const ENABLED: bool = true;
+
+    /// Adds `delta` to the monotonic counter `name`.
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records one sample of the value series `name`.
+    fn value(&mut self, name: &'static str, sample: f64) {
+        let _ = (name, sample);
+    }
+
+    /// Adds `nanos` of wall-clock time to the timer `name`.
+    fn timer_ns(&mut self, name: &'static str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+
+    /// Stores a pre-aggregated histogram under `name` (replacing any
+    /// previous one with the same name).
+    fn histogram(&mut self, name: &'static str, data: HistogramData) {
+        let _ = (name, data);
+    }
+
+    /// Emits a discrete event.
+    fn event(&mut self, level: Level, topic: &'static str, message: &str) {
+        let _ = (level, topic, message);
+    }
+}
+
+/// The disabled recorder: drops everything, `ENABLED == false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+}
+
+/// Forwarding so call sites can hand out `&mut R` sub-borrows.
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    const ENABLED: bool = R::ENABLED;
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        (**self).counter(name, delta);
+    }
+
+    fn value(&mut self, name: &'static str, sample: f64) {
+        (**self).value(name, sample);
+    }
+
+    fn timer_ns(&mut self, name: &'static str, nanos: u64) {
+        (**self).timer_ns(name, nanos);
+    }
+
+    fn histogram(&mut self, name: &'static str, data: HistogramData) {
+        (**self).histogram(name, data);
+    }
+
+    fn event(&mut self, level: Level, topic: &'static str, message: &str) {
+        (**self).event(level, topic, message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_of<R: Recorder>() -> bool {
+        R::ENABLED
+    }
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        assert!(!enabled_of::<NullRecorder>());
+        let mut r = NullRecorder;
+        r.counter("a", 1);
+        r.value("b", 2.0);
+        r.timer_ns("c", 3);
+        r.event(Level::Warn, "d", "e");
+        r.histogram(
+            "h",
+            HistogramData {
+                lo: 0.0,
+                hi: 1.0,
+                counts: vec![1],
+                under: 0,
+                over: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn histogram_data_totals() {
+        let h = HistogramData {
+            lo: 0.0,
+            hi: 1.0,
+            counts: vec![2, 3],
+            under: 1,
+            over: 4,
+        };
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn mut_ref_forwards_enabled() {
+        fn enabled<R: Recorder>(_: &R) -> bool {
+            R::ENABLED
+        }
+        let mut n = NullRecorder;
+        assert!(!enabled(&&mut n));
+    }
+}

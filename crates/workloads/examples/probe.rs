@@ -1,15 +1,24 @@
-use voltctl_workloads::{spec, trace};
 use voltctl_cpu::CpuConfig;
-use voltctl_power::{PowerModel, PowerParams};
 use voltctl_pdn::PdnModel;
+use voltctl_power::{PowerModel, PowerParams};
+use voltctl_workloads::{spec, trace};
 
 fn main() {
     let config = CpuConfig::table1();
     let power = PowerModel::new(PowerParams::paper_3ghz());
     let delta = power.achievable_peak_current() - power.min_current();
-    let target = PdnModel::paper_default().unwrap().calibrated_target(delta).unwrap();
-    println!("{:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}", "bench", "dV@200", "dV@300", "dV@400", "<0.976", "<0.981", "<0.986");
-    for name in ["swim","mgrid","gcc","galgel","facerec","sixtrack","eon","mesa","vpr","vortex","crafty"] {
+    let target = PdnModel::paper_default()
+        .unwrap()
+        .calibrated_target(delta)
+        .unwrap();
+    println!(
+        "{:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+        "bench", "dV@200", "dV@300", "dV@400", "<0.976", "<0.981", "<0.986"
+    );
+    for name in [
+        "swim", "mgrid", "gcc", "galgel", "facerec", "sixtrack", "eon", "mesa", "vpr", "vortex",
+        "crafty",
+    ] {
         let wl = spec::by_name(name).unwrap();
         let t = trace::record_current(&wl, &config, &power, 250_000);
         let imin = t.iter().cloned().fold(f64::MAX, f64::min);
@@ -22,17 +31,30 @@ fn main() {
             let mut dev = 0.0f64;
             for &i in &t {
                 let v = st.step(i);
-                dev = dev.max((v-1.0).abs());
+                dev = dev.max((v - 1.0).abs());
                 if pc == 2.0 {
-                    if v < 0.976 { frac[0]+=1 }
-                    if v < 0.981 { frac[1]+=1 }
-                    if v < 0.986 { frac[2]+=1 }
+                    if v < 0.976 {
+                        frac[0] += 1
+                    }
+                    if v < 0.981 {
+                        frac[1] += 1
+                    }
+                    if v < 0.986 {
+                        frac[2] += 1
+                    }
                 }
             }
-            devs.push(dev*1e3);
+            devs.push(dev * 1e3);
         }
-        println!("{:>9} {:>8.1} {:>8.1} {:>8.1}  | {:>7.3}% {:>7.3}% {:>7.3}%", name,
-            devs[0], devs[1], devs[2],
-            frac[0] as f64/t.len() as f64*100.0, frac[1] as f64/t.len() as f64*100.0, frac[2] as f64/t.len() as f64*100.0);
+        println!(
+            "{:>9} {:>8.1} {:>8.1} {:>8.1}  | {:>7.3}% {:>7.3}% {:>7.3}%",
+            name,
+            devs[0],
+            devs[1],
+            devs[2],
+            frac[0] as f64 / t.len() as f64 * 100.0,
+            frac[1] as f64 / t.len() as f64 * 100.0,
+            frac[2] as f64 / t.len() as f64 * 100.0
+        );
     }
 }

@@ -21,9 +21,6 @@
 //! is deterministic (fixed per-benchmark seeds).
 
 use crate::{Class, Workload};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use voltctl_isa::builder::ProgramBuilder;
 use voltctl_isa::reg::{FpReg, IntReg};
 
@@ -108,7 +105,7 @@ fn emit_stall_setup(b: &mut ProgramBuilder, stall: Stall) {
 
 fn pointer_chase(name: &str, lines: usize, unroll: usize, seed: u64) -> Workload {
     let mut order: Vec<usize> = (0..lines).collect();
-    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    voltctl_telemetry::Rng::new(seed).shuffle(&mut order);
     let mut buf = vec![0u8; lines * 64];
     for i in 0..lines {
         let from = order[i];
@@ -146,7 +143,11 @@ fn streaming_fp(name: &str, fp_burst: usize, int_burst: usize, stall: Stall) -> 
     b.data_f64(REGION + 16, &[1.0]);
     b.lda(IntReg::R4, IntReg::R31, REGION as i64);
     // Xorshift seed for the aperiodic burst tail (Divide variant only).
-    b.lda(IntReg::new(25), IntReg::R31, 0x51ca_7e55 ^ fp_burst as i64 | 1);
+    b.lda(
+        IntReg::new(25),
+        IntReg::R31,
+        0x51ca_7e55 ^ fp_burst as i64 | 1,
+    );
     emit_stall_setup(&mut b, stall);
     if !matches!(stall, Stall::Divide(_)) {
         b.ldt(FpReg::F2, 16, IntReg::R4);
@@ -341,7 +342,13 @@ fn fp_compute(name: &str, unroll: usize) -> Workload {
     b.ldt(FpReg::F2, 8, IntReg::R4);
     loop_counter(&mut b);
     b.label("top");
-    let dests = [FpReg::F4, FpReg::F5, FpReg::F6, FpReg::new(7), FpReg::new(8)];
+    let dests = [
+        FpReg::F4,
+        FpReg::F5,
+        FpReg::F6,
+        FpReg::new(7),
+        FpReg::new(8),
+    ];
     for k in 0..unroll {
         match k % 4 {
             0 => {
@@ -442,10 +449,10 @@ fn mixed_phase(name: &str, divide_chain: usize, burst: usize) -> Workload {
 pub fn names() -> [&'static str; 26] {
     [
         // CINT2000
-        "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex",
-        "bzip2", "twolf", // CFP2000
-        "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art", "equake", "facerec",
-        "ammp", "lucas", "fma3d", "sixtrack", "apsi",
+        "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex", "bzip2",
+        "twolf", // CFP2000
+        "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art", "equake", "facerec", "ammp",
+        "lucas", "fma3d", "sixtrack", "apsi",
     ]
 }
 
@@ -496,10 +503,12 @@ pub fn all() -> Vec<Workload> {
 /// studies. Section 4.4 names seven (swim, mgrid, gcc, galgel, facerec,
 /// sixtrack, eon) while saying "eight"; we include `mesa` as the eighth.
 pub fn variable_eight() -> Vec<Workload> {
-    ["swim", "mgrid", "gcc", "galgel", "facerec", "sixtrack", "eon", "mesa"]
-        .iter()
-        .map(|n| by_name(n).expect("subset names build"))
-        .collect()
+    [
+        "swim", "mgrid", "gcc", "galgel", "facerec", "sixtrack", "eon", "mesa",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("subset names build"))
+    .collect()
 }
 
 #[cfg(test)]

@@ -26,14 +26,13 @@ pub fn record_current(
     power: &PowerModel,
     cycles: usize,
 ) -> Vec<f64> {
-    let mut cpu = Cpu::new(config.clone(), &workload.program)
-        .expect("workload configuration must validate");
+    let mut cpu =
+        Cpu::new(config.clone(), &workload.program).expect("workload configuration must validate");
     for _ in 0..workload.warmup_cycles {
         if cpu.done() {
             panic!(
                 "workload `{}` finished during warm-up ({} cycles)",
-                workload.name,
-                workload.warmup_cycles
+                workload.name, workload.warmup_cycles
             );
         }
         cpu.step();
@@ -42,10 +41,7 @@ pub fn record_current(
     let mut out = Vec::with_capacity(cycles);
     for _ in 0..cycles {
         if cpu.done() {
-            panic!(
-                "workload `{}` finished during measurement",
-                workload.name
-            );
+            panic!("workload `{}` finished during measurement", workload.name);
         }
         let act = cpu.step();
         out.push(power.cycle_current(&act, &gating));
@@ -56,8 +52,8 @@ pub fn record_current(
 /// Runs the workload for `cycles` cycles (after warm-up) and returns the
 /// final simulator, for callers that need statistics rather than traces.
 pub fn run_for(workload: &Workload, config: &CpuConfig, cycles: u64) -> Cpu {
-    let mut cpu = Cpu::new(config.clone(), &workload.program)
-        .expect("workload configuration must validate");
+    let mut cpu =
+        Cpu::new(config.clone(), &workload.program).expect("workload configuration must validate");
     cpu.run(workload.warmup_cycles + cycles);
     cpu
 }
@@ -65,10 +61,10 @@ pub fn run_for(workload: &Workload, config: &CpuConfig, cycles: u64) -> Cpu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Class;
     use voltctl_isa::builder::ProgramBuilder;
     use voltctl_isa::reg::IntReg;
     use voltctl_power::{PowerModel, PowerParams};
-    use crate::Class;
 
     fn looping_workload() -> Workload {
         let mut b = ProgramBuilder::new("loop");

@@ -67,7 +67,10 @@ fn current_spread_ordering_matches_figure_10() {
     let sixtrack = spread("sixtrack");
     // Stable kernels sit far below the variable ones.
     assert!(galgel > 3.0 * ammp, "galgel {galgel} vs ammp {ammp}");
-    assert!(sixtrack > 3.0 * wupwise, "sixtrack {sixtrack} vs wupwise {wupwise}");
+    assert!(
+        sixtrack > 3.0 * wupwise,
+        "sixtrack {sixtrack} vs wupwise {wupwise}"
+    );
 }
 
 #[test]

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("guaranteed-safe operating window (mV) by design point");
     println!("(.... = no safe thresholds exist: scope cannot arrest the worst case)\n");
-    println!("{:>10} {:>6}  {}", "impedance", "scope", "sensor delay 0..6");
+    println!("{:>10} {:>6}  sensor delay 0..6", "impedance", "scope");
 
     for percent in [1.5, 2.0, 3.0, 4.0] {
         let pdn = calibrated_pdn(&base, &power, percent)?;

@@ -42,11 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. The victim: a dI/dt stressmark tuned to the package resonance.
-    let (params, workload) = stressmark::tune(
-        pdn.resonant_period_cycles(),
-        &CpuConfig::table1(),
-        &power,
-    );
+    let (params, workload) =
+        stressmark::tune(pdn.resonant_period_cycles(), &CpuConfig::table1(), &power);
     println!(
         "stressmark: divide chain {}, burst {} ops\n",
         params.divide_chain, params.burst_ops

@@ -15,8 +15,7 @@ use voltctl::workloads::{stressmark, trace};
 fn describe(label: &str, t: &[f64]) {
     let min = t.iter().cloned().fold(f64::MAX, f64::min);
     let max = t.iter().cloned().fold(f64::MIN, f64::max);
-    let period = stressmark::measured_period(t)
-        .map_or("n/a".to_string(), |p| format!("{p:.0}"));
+    let period = stressmark::measured_period(t).map_or("n/a".to_string(), |p| format!("{p:.0}"));
     println!("{label:<28} swing {min:5.1}..{max:5.1} A   period {period:>4} cycles");
 }
 

@@ -15,6 +15,8 @@
 //!   simulator.
 //! * [`workloads`] — the dI/dt stressmark generator and the synthetic
 //!   SPEC2000-like benchmark suite.
+//! * [`telemetry`] — zero-dependency tracing/counters/export threaded
+//!   through the closed loop (see the README's Observability section).
 //!
 //! See the repository README for a walkthrough, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -36,14 +38,16 @@
 //! # }
 //! ```
 
-pub use voltctl_cpu as cpu;
 pub use voltctl_core as control;
+pub use voltctl_cpu as cpu;
 pub use voltctl_isa as isa;
 pub use voltctl_pdn as pdn;
 pub use voltctl_power as power;
+pub use voltctl_telemetry as telemetry;
 pub use voltctl_workloads as workloads;
 
 /// Commonly used types, importable with `use voltctl::prelude::*`.
 pub mod prelude {
     pub use voltctl_pdn::{PdnModel, PdnState, VoltageMonitor};
+    pub use voltctl_telemetry::{MemoryRecorder, NullRecorder, Recorder};
 }

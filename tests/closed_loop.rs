@@ -33,11 +33,7 @@ fn controller_eliminates_stressmark_emergencies_at_200_percent() {
     let scope = ActuationScope::FuDl1Il1;
     let delay = 2;
     let thresholds = solve(&power, &pdn, scope, delay);
-    let (_, wl) = stressmark::tune(
-        pdn.resonant_period_cycles(),
-        &CpuConfig::table1(),
-        &power,
-    );
+    let (_, wl) = stressmark::tune(pdn.resonant_period_cycles(), &CpuConfig::table1(), &power);
 
     let mut baseline = ControlLoop::builder(wl.program.clone())
         .power(power.clone())
@@ -203,11 +199,7 @@ fn noisy_sensor_still_protects() {
     let (power, pdn) = harness(2.0);
     let scope = ActuationScope::FuDl1Il1;
     let thresholds = solve(&power, &pdn, scope, 1);
-    let (_, wl) = stressmark::tune(
-        pdn.resonant_period_cycles(),
-        &CpuConfig::table1(),
-        &power,
-    );
+    let (_, wl) = stressmark::tune(pdn.resonant_period_cycles(), &CpuConfig::table1(), &power);
     let mut controlled = ControlLoop::builder(wl.program.clone())
         .power(power)
         .pdn(pdn)

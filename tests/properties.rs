@@ -1,11 +1,14 @@
-//! Property-based integration tests across the crates.
+//! Randomized property tests across the crates, driven by the
+//! workspace's deterministic [`voltctl::telemetry::Rng`] (the build
+//! environment has no registry access, so proptest is replaced by seeded
+//! generation: every case is reproducible from its seed).
 
-use proptest::prelude::*;
 use voltctl::cpu::{Cpu, CpuConfig, Domain};
 use voltctl::isa::{FpReg, IntReg, ProgramBuilder};
 use voltctl::pdn::{convolve, PdnModel};
+use voltctl::telemetry::Rng;
 
-/// A recipe for one straight-line instruction, generatable by proptest.
+/// A recipe for one straight-line instruction.
 #[derive(Debug, Clone)]
 enum OpRecipe {
     AddImm { rd: u8, ra: u8, imm: i32 },
@@ -17,21 +20,50 @@ enum OpRecipe {
     Div { rd: u8, ra: u8, rb: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = OpRecipe> {
-    // Registers restricted to r1..r8 / f1..f4; memory to 32 slots.
-    let reg = 1u8..9;
-    let freg = 1u8..5;
-    let slot = 0u8..32;
-    prop_oneof![
-        (reg.clone(), reg.clone(), -1000i32..1000)
-            .prop_map(|(rd, ra, imm)| OpRecipe::AddImm { rd, ra, imm }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, ra, rb)| OpRecipe::Mul { rd, ra, rb }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, ra, rb)| OpRecipe::Xor { rd, ra, rb }),
-        (reg.clone(), slot.clone()).prop_map(|(src, slot)| OpRecipe::Store { src, slot }),
-        (reg.clone(), slot).prop_map(|(rd, slot)| OpRecipe::Load { rd, slot }),
-        (freg.clone(), freg).prop_map(|(fd, fa)| OpRecipe::FpMul { fd, fa }),
-        (reg.clone(), reg.clone(), reg).prop_map(|(rd, ra, rb)| OpRecipe::Div { rd, ra, rb }),
-    ]
+/// Registers restricted to r1..r8 / f1..f4; memory to 32 slots.
+fn random_op(rng: &mut Rng) -> OpRecipe {
+    let reg = |rng: &mut Rng| rng.range_i64(1, 9) as u8;
+    let freg = |rng: &mut Rng| rng.range_i64(1, 5) as u8;
+    let slot = |rng: &mut Rng| rng.range_i64(0, 32) as u8;
+    match rng.below(7) {
+        0 => OpRecipe::AddImm {
+            rd: reg(rng),
+            ra: reg(rng),
+            imm: rng.range_i64(-1000, 1000) as i32,
+        },
+        1 => OpRecipe::Mul {
+            rd: reg(rng),
+            ra: reg(rng),
+            rb: reg(rng),
+        },
+        2 => OpRecipe::Xor {
+            rd: reg(rng),
+            ra: reg(rng),
+            rb: reg(rng),
+        },
+        3 => OpRecipe::Store {
+            src: reg(rng),
+            slot: slot(rng),
+        },
+        4 => OpRecipe::Load {
+            rd: reg(rng),
+            slot: slot(rng),
+        },
+        5 => OpRecipe::FpMul {
+            fd: freg(rng),
+            fa: freg(rng),
+        },
+        _ => OpRecipe::Div {
+            rd: reg(rng),
+            ra: reg(rng),
+            rb: reg(rng),
+        },
+    }
+}
+
+fn random_ops(rng: &mut Rng, min: usize, max: usize) -> Vec<OpRecipe> {
+    let n = rng.range_i64(min as i64, max as i64) as usize;
+    (0..n).map(|_| random_op(rng)).collect()
 }
 
 fn build_program(ops: &[OpRecipe]) -> voltctl::isa::Program {
@@ -74,38 +106,51 @@ fn build_program(ops: &[OpRecipe]) -> voltctl::isa::Program {
     b.build().expect("generated programs are label-free")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Architectural results are a function of the program alone:
-    /// microarchitecture (window sizes, widths, caches) must not change
-    /// them — the foundation for "control does not alter correctness".
-    #[test]
-    fn results_independent_of_microarchitecture(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// Architectural results are a function of the program alone:
+/// microarchitecture (window sizes, widths, caches) must not change
+/// them — the foundation for "control does not alter correctness".
+#[test]
+fn results_independent_of_microarchitecture() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(0xA110 + seed);
+        let ops = random_ops(&mut rng, 1, 200);
         let program = build_program(&ops);
         let mut big = Cpu::new(CpuConfig::table1(), &program).unwrap();
         big.run(1_000_000);
-        prop_assert!(big.done());
+        assert!(big.done(), "seed {seed}");
         let mut small = Cpu::new(CpuConfig::small(), &program).unwrap();
         small.run(2_000_000);
-        prop_assert!(small.done());
-        prop_assert_eq!(big.arch_digest(), small.arch_digest());
-        prop_assert_eq!(big.stats().committed, small.stats().committed);
+        assert!(small.done(), "seed {seed}");
+        assert_eq!(big.arch_digest(), small.arch_digest(), "seed {seed}");
+        assert_eq!(
+            big.stats().committed,
+            small.stats().committed,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Random gating schedules stall execution but never change results.
-    #[test]
-    fn gating_schedules_never_change_results(
-        ops in prop::collection::vec(op_strategy(), 1..120),
-        schedule in prop::collection::vec((0u8..3, 1u8..16, any::<bool>()), 0..40),
-    ) {
+/// Random gating schedules stall execution but never change results.
+#[test]
+fn gating_schedules_never_change_results() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(0x6A7E + seed);
+        let ops = random_ops(&mut rng, 1, 120);
+        let schedule: Vec<(u8, u8, bool)> = (0..rng.below(40))
+            .map(|_| {
+                (
+                    rng.below(3) as u8,
+                    rng.range_i64(1, 16) as u8,
+                    rng.next_bool(),
+                )
+            })
+            .collect();
         let program = build_program(&ops);
         let mut free = Cpu::new(CpuConfig::table1(), &program).unwrap();
         free.run(1_000_000);
-        prop_assert!(free.done());
+        assert!(free.done(), "seed {seed}");
 
         let mut gated = Cpu::new(CpuConfig::table1(), &program).unwrap();
-        let mut step = 0usize;
         'outer: for &(domain, cycles, phantom) in &schedule {
             let d = match domain {
                 0 => Domain::Fu,
@@ -122,50 +167,61 @@ proptest! {
                     break 'outer;
                 }
                 gated.step();
-                step += 1;
             }
             gated.gating_mut().release_all();
         }
-        let _ = step;
         gated.gating_mut().release_all();
         gated.run(1_000_000);
-        prop_assert!(gated.done());
-        prop_assert_eq!(free.arch_digest(), gated.arch_digest());
+        assert!(gated.done(), "seed {seed}");
+        assert_eq!(free.arch_digest(), gated.arch_digest(), "seed {seed}");
     }
+}
 
-    /// The PDN is linear time-invariant: scaling the current trace scales
-    /// the deviation, and the state-space path agrees with convolution.
-    #[test]
-    fn pdn_linearity_and_equivalence(
-        trace in prop::collection::vec(0.0f64..60.0, 16..300),
-        scale in 0.1f64..4.0,
-    ) {
-        let model = PdnModel::paper_default().unwrap();
+/// The PDN is linear time-invariant: scaling the current trace scales
+/// the deviation, and the state-space path agrees with convolution.
+#[test]
+fn pdn_linearity_and_equivalence() {
+    let model = PdnModel::paper_default().unwrap();
+    let kernel = convolve::kernel_for(&model, 1e-9);
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(0x11EA + seed);
+        let len = rng.range_i64(16, 300) as usize;
+        let trace: Vec<f64> = (0..len).map(|_| rng.range_f64(0.0, 60.0)).collect();
+        let scale = rng.range_f64(0.1, 4.0);
 
         let mut s1 = model.discretize();
-        let v1: Vec<f64> = trace.iter().map(|&i| s1.step(i) - model.v_nominal()).collect();
+        let v1: Vec<f64> = trace
+            .iter()
+            .map(|&i| s1.step(i) - model.v_nominal())
+            .collect();
 
         let scaled: Vec<f64> = trace.iter().map(|&i| i * scale).collect();
         let mut s2 = model.discretize();
-        let v2: Vec<f64> = scaled.iter().map(|&i| s2.step(i) - model.v_nominal()).collect();
+        let v2: Vec<f64> = scaled
+            .iter()
+            .map(|&i| s2.step(i) - model.v_nominal())
+            .collect();
         for (a, b) in v1.iter().zip(&v2) {
-            prop_assert!((a * scale - b).abs() < 1e-9);
+            assert!((a * scale - b).abs() < 1e-9, "seed {seed}");
         }
 
-        let kernel = convolve::kernel_for(&model, 1e-9);
         let conv = convolve::convolve_full(&kernel, &trace, 0.0);
         for (a, b) in v1.iter().zip(&conv) {
-            prop_assert!((a - b).abs() < 1e-7);
+            assert!((a - b).abs() < 1e-7, "seed {seed}");
         }
     }
+}
 
-    /// Assembler round-trip: disassembling any generated program and
-    /// re-assembling it yields the identical instruction stream.
-    #[test]
-    fn assembler_roundtrip(ops in prop::collection::vec(op_strategy(), 1..150)) {
+/// Assembler round-trip: disassembling any generated program and
+/// re-assembling it yields the identical instruction stream.
+#[test]
+fn assembler_roundtrip() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(0xA53A + seed);
+        let ops = random_ops(&mut rng, 1, 150);
         let program = build_program(&ops);
         let text = voltctl::isa::asm::disassemble(&program);
         let back = voltctl::isa::asm::assemble("prop", &text).expect("disassembly re-assembles");
-        prop_assert_eq!(program.insts(), back.insts());
+        assert_eq!(program.insts(), back.insts(), "seed {seed}");
     }
 }

@@ -1,0 +1,146 @@
+//! Integration tests for the telemetry layer as seen through the public
+//! facade: a recorded closed-loop run must export counters that agree
+//! exactly with the loop's own report.
+
+use voltctl::control::analysis::{evaluate_program_recorded, EvalSetup};
+use voltctl::control::prelude::*;
+use voltctl::cpu::CpuConfig;
+use voltctl::isa::{IntReg, Program, ProgramBuilder};
+use voltctl::pdn::PdnModel;
+use voltctl::power::{PowerModel, PowerParams};
+use voltctl::telemetry::{MemoryRecorder, Snapshot};
+
+fn spin() -> Program {
+    let mut b = ProgramBuilder::new("spin");
+    b.label("top");
+    b.addq_imm(IntReg::R1, IntReg::R1, 1);
+    b.mulq(IntReg::R2, IntReg::R1, IntReg::R1);
+    b.br("top");
+    b.build().unwrap()
+}
+
+fn setup(thresholds: Thresholds) -> EvalSetup {
+    let power = PowerModel::new(PowerParams::paper_3ghz());
+    let pdn = calibrated_pdn(&PdnModel::paper_default().unwrap(), &power, 2.0).unwrap();
+    EvalSetup {
+        cpu_config: CpuConfig::table1(),
+        power,
+        pdn,
+        thresholds,
+        sensor: SensorConfig::default(),
+        scope: ActuationScope::FuDl1,
+    }
+}
+
+fn recorded_run(thresholds: Thresholds, cycles: u64) -> (LoopReport, Snapshot) {
+    let s = setup(thresholds);
+    let (evaluation, rec) =
+        evaluate_program_recorded(&spin(), &s, 500, cycles, MemoryRecorder::new()).unwrap();
+    (evaluation.controlled, rec.snapshot())
+}
+
+/// The paper's central bookkeeping invariant: every cycle the controller
+/// is in exactly one band, so the three band counters partition the run.
+#[test]
+fn band_cycles_partition_the_run() {
+    for thresholds in [
+        // Wide window: the controller never leaves Normal.
+        Thresholds {
+            v_low: 0.955,
+            v_high: 1.045,
+        },
+        // Tight window: Low/High bands are actually visited.
+        Thresholds {
+            v_low: 0.9995,
+            v_high: 1.0005,
+        },
+    ] {
+        let (report, snap) = recorded_run(thresholds, 8_000);
+        let low = snap.counter("loop.cycles_in_low").unwrap();
+        let normal = snap.counter("loop.cycles_in_normal").unwrap();
+        let high = snap.counter("loop.cycles_in_high").unwrap();
+        let total = snap.counter("loop.cycles").unwrap();
+        assert_eq!(low + normal + high, total, "band counters must partition");
+        assert_eq!(total, report.cycles);
+        assert_eq!(low, report.cycles_in_low);
+        assert_eq!(normal, report.cycles_in_normal);
+        assert_eq!(high, report.cycles_in_high);
+    }
+}
+
+/// The exported emergency count is the EmergencyReport's, verbatim.
+#[test]
+fn emergency_counter_matches_report() {
+    let (report, snap) = recorded_run(
+        Thresholds {
+            v_low: 0.9995,
+            v_high: 1.0005,
+        },
+        8_000,
+    );
+    assert_eq!(
+        snap.counter("pdn.emergency_cycles").unwrap(),
+        report.emergencies.emergency_cycles
+    );
+    assert_eq!(
+        snap.counter("pdn.observed_cycles").unwrap(),
+        report.emergencies.total_cycles
+    );
+    assert_eq!(
+        snap.counter("loop.reduce_cycles").unwrap(),
+        report.reduce_cycles
+    );
+    assert_eq!(
+        snap.counter("loop.interventions").unwrap(),
+        report.interventions
+    );
+    // Gating duty is exported and consistent with the counters.
+    let duty = snap.value("loop.gating_duty").unwrap().mean();
+    assert!((duty - report.gating_duty()).abs() < 1e-12);
+}
+
+/// Sub-step wall-clock timers cover every simulated cycle.
+#[test]
+fn sub_step_timers_cover_the_run() {
+    let (report, snap) = recorded_run(
+        Thresholds {
+            v_low: 0.955,
+            v_high: 1.045,
+        },
+        4_000,
+    );
+    for name in [
+        "loop.step.cpu_ns",
+        "loop.step.power_ns",
+        "loop.step.pdn_ns",
+        "loop.step.control_ns",
+    ] {
+        let t = snap.timer(name).unwrap_or_else(|| panic!("missing {name}"));
+        assert_eq!(t.count, report.cycles, "{name} spans every cycle");
+    }
+}
+
+/// The exported run parses back out of the JSONL/CSV forms: every line
+/// is one object, and the headline counters survive the round trip.
+#[test]
+fn export_round_trips_headline_counters() {
+    use voltctl::telemetry::export;
+    let (report, snap) = recorded_run(
+        Thresholds {
+            v_low: 0.9995,
+            v_high: 1.0005,
+        },
+        4_000,
+    );
+    let jsonl = export::to_jsonl(&snap);
+    let needle = format!(
+        "{{\"kind\":\"counter\",\"name\":\"loop.cycles\",\"value\":{}}}",
+        report.cycles
+    );
+    assert!(jsonl.lines().any(|l| l == needle), "exact counter line");
+    let csv = export::to_csv(&snap);
+    let header_arity = csv.lines().next().unwrap().split(',').count();
+    for line in csv.lines() {
+        assert_eq!(line.split(',').count(), header_arity);
+    }
+}
