@@ -1,130 +1,8 @@
-//! Ablation (paper §6): asymmetric actuation.
+//! Deprecated shim: forwards to the `ablation_asymmetric` scenario in `voltctl-exp`.
 //!
-//! The paper suggests exploiting the asymmetry between the two responses:
-//! clock-gating is cheap on any unit, but phantom-firing a cache burns
-//! real array energy for no work. This experiment compares symmetric
-//! FU/DL1/IL1 actuation against an asymmetric actuator that gates
-//! FU/DL1/IL1 on undershoot but fires only the functional units on
-//! overshoot, on a workload with genuine overshoot events (the stressmark
-//! at elevated impedance, where gating rebounds cross the high
-//! threshold).
-
-use voltctl_bench::{budget, pct, pdn_at, power_model, telemetry, tuned_stressmark, TextTable};
-use voltctl_core::prelude::*;
-use voltctl_telemetry::MemoryRecorder;
-
-fn run(
-    actuator: AsymmetricActuator,
-    thresholds: Thresholds,
-    cycles: u64,
-) -> (LoopReport, LoopReport) {
-    let stress = tuned_stressmark();
-    let power = power_model();
-    let pdn = pdn_at(3.0);
-    let mut baseline = ControlLoop::builder(stress.program.clone())
-        .power(power.clone())
-        .pdn(pdn.clone())
-        .build()
-        .expect("baseline builds");
-    baseline.run(stress.warmup_cycles + cycles);
-
-    let mut controlled = ControlLoop::builder(stress.program.clone())
-        .power(power)
-        .pdn(pdn)
-        .thresholds(thresholds)
-        .actuator(actuator)
-        .sensor(SensorConfig {
-            delay_cycles: 1,
-            noise_mv: 0.0,
-            seed: 5,
-        })
-        .build()
-        .expect("controlled builds");
-    controlled.run(stress.warmup_cycles + cycles);
-    (baseline.report(), controlled.report())
-}
+//! Prefer `cargo run --release -p voltctl-exp -- run ablation_asymmetric`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("ablation_asymmetric");
-    let cycles = budget(120_000);
-    println!("== Ablation: asymmetric actuation (stressmark, 300% impedance) ==\n");
-
-    // Solve thresholds against the weakest side of each candidate.
-    let power = power_model();
-    let pdn = pdn_at(3.0);
-    let candidates: [(&str, AsymmetricActuator); 3] = [
-        (
-            "symmetric FU/DL1/IL1",
-            AsymmetricActuator::symmetric(ActuationScope::FuDl1Il1),
-        ),
-        (
-            "gate FU/DL1/IL1, fire FU",
-            AsymmetricActuator {
-                reduce: ActuationScope::FuDl1Il1,
-                increase: ActuationScope::Fu,
-            },
-        ),
-        (
-            "gate FU/DL1/IL1, fire FU/DL1",
-            AsymmetricActuator {
-                reduce: ActuationScope::FuDl1Il1,
-                increase: ActuationScope::FuDl1,
-            },
-        ),
-    ];
-
-    let mut t = TextTable::new([
-        "actuator",
-        "emergencies",
-        "perf loss",
-        "energy increase",
-        "fired cycles",
-    ]);
-    for (label, actuator) in candidates {
-        let setup = SolveSetup::new(
-            &pdn,
-            power.min_current(),
-            power.achievable_peak_current(),
-            actuator.leverage(&power),
-            1,
-        );
-        let Ok(solved) = solve_thresholds(&setup) else {
-            t.row([
-                label.into(),
-                "UNSTABLE".to_string(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]);
-            continue;
-        };
-        // The solved high threshold is unconstrained (1.05 V) in this
-        // plant; deploy a symmetric window instead, as a designer guarding
-        // high-side margins (oxide stress, aging) would — this is what
-        // makes the overshoot response fire at all.
-        let thresholds = Thresholds {
-            v_low: solved.v_low,
-            v_high: 2.0 - solved.v_low,
-        };
-        let (base, ctrl) = run(actuator, thresholds, cycles);
-        if telemetry::enabled() {
-            let mut rec = MemoryRecorder::new();
-            ctrl.emergencies.record_telemetry(&mut rec);
-            telemetry::record(&rec);
-        }
-        let perf = 1.0 - ctrl.ipc / base.ipc;
-        let energy = (ctrl.energy_joules / ctrl.committed.max(1) as f64)
-            / (base.energy_joules / base.committed.max(1) as f64)
-            - 1.0;
-        t.row([
-            label.to_string(),
-            ctrl.emergencies.emergency_cycles.to_string(),
-            pct(perf),
-            pct(energy),
-            ctrl.increase_cycles.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("(firing a smaller scope on overshoot spends less phantom energy while");
-    println!(" the coarse gating scope still guarantees the undershoot response)");
+    voltctl_exp::shim::run("ablation_asymmetric");
 }

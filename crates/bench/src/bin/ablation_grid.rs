@@ -1,58 +1,8 @@
-//! Ablation (paper §6 future work): localized, per-quadrant dI/dt.
+//! Deprecated shim: forwards to the `ablation_grid` scenario in `voltctl-exp`.
 //!
-//! A global (lumped) PDN model averages the chip's current over the die; a
-//! quadrant whose local units burst can droop its own supply harder than
-//! the chip-wide model predicts. This experiment drives the 2x2 grid
-//! extension with a burst concentrated in one quadrant and compares
-//! worst-quadrant droop against the global model.
-
-use voltctl_bench::{delta_i, pdn_at, TextTable};
-use voltctl_pdn::grid::GridPdn;
-use voltctl_pdn::waveform;
+//! Prefer `cargo run --release -p voltctl-exp -- run ablation_grid`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("ablation_grid");
-    let pdn = pdn_at(2.0);
-    let period = pdn.resonant_period_cycles();
-    let swing = delta_i();
-    println!("== Ablation: localized (2x2-quadrant) vs global PDN model ==");
-    println!("   (resonant square train, total swing {swing:.1} A, 200% impedance)\n");
-
-    let train = waveform::square_wave(0.0, swing, period, 20 * period);
-
-    // Global model: the whole swing spread over the lumped network.
-    let mut global = pdn.discretize();
-    let mut global_min = f64::MAX;
-    for &i in &train {
-        global_min = global_min.min(global.step(i));
-    }
-
-    let mut t = TextTable::new(["scenario", "worst local droop (mV)", "vs global (mV)"]);
-    t.row([
-        "global lumped model".to_string(),
-        format!("{:.1}", (pdn.v_nominal() - global_min) * 1e3),
-        "-".to_string(),
-    ]);
-
-    for (label, share) in [
-        ("uniform across quadrants", 0.25),
-        ("60% in one quadrant", 0.6),
-        ("90% in one quadrant", 0.9),
-    ] {
-        let mut grid = GridPdn::new(&pdn, 2.0e-3);
-        let mut min_v = f64::MAX;
-        for &i in &train {
-            let rest = i * (1.0 - share) / 3.0;
-            let v = grid.step([i * share, rest, rest, rest]);
-            min_v = min_v.min(v.iter().cloned().fold(f64::MAX, f64::min));
-        }
-        t.row([
-            label.to_string(),
-            format!("{:.1}", (pdn.v_nominal() - min_v) * 1e3),
-            format!("{:+.1}", (global_min - min_v) * 1e3),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("(localized bursts droop the afflicted quadrant harder than any global");
-    println!(" model can see — the paper's motivation for future per-quadrant control)");
+    voltctl_exp::shim::run("ablation_grid");
 }

@@ -1,129 +1,8 @@
-//! Ablation (paper §6): validating the second-order abstraction against a
-//! detailed multi-stage ladder network.
+//! Deprecated shim: forwards to the `ablation_ladder` scenario in `voltctl-exp`.
 //!
-//! The paper models the supply with a second-order system and acknowledges
-//! that packaging engineers use far more detailed circuit models, calling
-//! cross-level validation "important long-term". This experiment runs the
-//! paper's characteristic current inputs through both a three-stage ladder
-//! (board bulk caps → package → die) and the second-order model fitted to
-//! the ladder's mid-frequency peak, then checks that thresholds solved on
-//! the *abstraction* still protect the *detailed* plant.
-
-use voltctl_bench::TextTable;
-use voltctl_core::prelude::*;
-use voltctl_pdn::ladder::LadderModel;
-use voltctl_pdn::waveform;
-use voltctl_power::{PowerModel, PowerParams};
+//! Prefer `cargo run --release -p voltctl-exp -- run ablation_ladder`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("ablation_ladder");
-    let ladder = LadderModel::typical_three_stage();
-    let fit = ladder
-        .fit_second_order(10.0e6, 300.0e6)
-        .expect("ladder peak exceeds DC resistance");
-    let period = fit.resonant_period_cycles();
-
-    println!("== Ablation: second-order abstraction vs 3-stage ladder network ==\n");
-    println!(
-        "ladder: R_dc {:.2} mOhm, die peak {:.2} mOhm at {:.0} MHz",
-        ladder.r_dc() * 1e3,
-        fit.peak_impedance() * 1e3,
-        fit.resonant_freq_hz() / 1e6
-    );
-    println!(
-        "fitted 2nd-order: Q {:.2}, resonant period {period} cycles\n",
-        fit.q_factor()
-    );
-
-    // Characteristic inputs (Figs. 3-6 shapes) at a 40 A swing.
-    let amp = 40.0;
-    let len = 30 * period;
-    let inputs: [(&str, Vec<f64>); 4] = [
-        ("narrow spike (5 cy)", waveform::spike(0.0, amp, 20, 5, len)),
-        ("wide spike (10 cy)", waveform::spike(0.0, amp, 20, 10, len)),
-        (
-            "notched spike",
-            waveform::notched_spike(0.0, amp, 20, 20, 7, 7, len),
-        ),
-        (
-            "resonant train",
-            waveform::pulse_train(0.0, amp, 10, period / 2, period, 8, len),
-        ),
-    ];
-
-    let mut t = TextTable::new([
-        "input",
-        "ladder max |dV| (mV)",
-        "2nd-order max |dV| (mV)",
-        "abstraction error",
-    ]);
-    for (label, trace) in &inputs {
-        let mut ls = ladder.discretize();
-        let mut fs = fit.discretize();
-        let mut dl = 0.0f64;
-        let mut df = 0.0f64;
-        for &i in trace {
-            dl = dl.max((ls.step(i) - ladder.v_nominal()).abs());
-            df = df.max((fs.step(i) - fit.v_nominal()).abs());
-        }
-        t.row([
-            label.to_string(),
-            format!("{:.1}", dl * 1e3),
-            format!("{:.1}", df * 1e3),
-            format!("{:+.0}%", (df / dl - 1.0) * 100.0),
-        ]);
-    }
-    println!("{}", t.render());
-
-    // The real test: thresholds designed on the abstraction must protect
-    // the detailed plant. Solve on the fit, then run the worst-case train
-    // against the LADDER with the solved controller emulated.
-    let power = PowerModel::new(PowerParams::paper_3ghz());
-    let scope = ActuationScope::FuDl1Il1;
-    let setup = SolveSetup::new(
-        &fit,
-        power.min_current(),
-        power.achievable_peak_current(),
-        scope.leverage(&power),
-        2,
-    );
-    match solve_thresholds(&setup) {
-        Err(e) => println!("(solve failed on the fitted model: {e})"),
-        Ok(th) => {
-            let i_min = power.min_current();
-            let i_max = power.achievable_peak_current();
-            let mut supply = ladder.discretize();
-            supply.set_reference_current(i_min);
-            let demand = voltctl_pdn::waveform::square_wave(i_min, i_max, period, 20 * period);
-            let out = voltctl_core::replay(
-                &mut supply,
-                demand,
-                &voltctl_core::ReplayConfig {
-                    thresholds: Some(th),
-                    leverage: scope.leverage(&power),
-                    delay_cycles: 2,
-                    slew_limit: None,
-                    i_max,
-                    i_min,
-                },
-            );
-            println!(
-                "worst-case train on the LADDER with thresholds [{:.3}, {:.3}] solved on the fit:",
-                th.v_low, th.v_high
-            );
-            println!(
-                "  min die voltage {:.4} V — {} the 0.95 V specification ({} clamped cycles)",
-                out.min_v,
-                if out.min_v >= 0.95 {
-                    "WITHIN"
-                } else {
-                    "VIOLATES"
-                },
-                out.reduce_cycles
-            );
-        }
-    }
-    println!("\n(the paper's early-design-stage claim: the second-order model is a");
-    println!(" faithful stand-in for the detailed network at the frequencies that");
-    println!(" matter for microarchitectural dI/dt control)");
+    voltctl_exp::shim::run("ablation_ladder");
 }

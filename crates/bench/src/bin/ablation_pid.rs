@@ -1,98 +1,8 @@
-//! Ablation (paper §6): PID control vs threshold control.
+//! Deprecated shim: forwards to the `ablation_pid` scenario in `voltctl-exp`.
 //!
-//! The paper considered and rejected PID controllers for dI/dt: they need
-//! magnitude voltage readings and a multiply-accumulate pipeline, adding
-//! latency exactly where none is affordable. This ablation runs a
-//! PID-actuated loop against the threshold controller on the stressmark
-//! and reports emergencies and performance as the PID's compute latency
-//! grows.
-
-use std::collections::VecDeque;
-use voltctl_bench::{budget, pct, pdn_at, power_model, solve_for, tuned_stressmark, TextTable};
-use voltctl_core::pid::PidController;
-use voltctl_core::prelude::*;
-use voltctl_cpu::Cpu;
-use voltctl_pdn::VoltageMonitor;
-use voltctl_power::EnergyAccumulator;
-
-/// A hand-rolled PID closed loop (the threshold loop lives in
-/// `voltctl_core::loopsim`; PID needs magnitude readings, so it gets its
-/// own wiring here).
-fn run_pid(compute_delay: u32, cycles: u64) -> (f64, u64, f64) {
-    let stress = tuned_stressmark();
-    let power = power_model();
-    let pdn = pdn_at(2.0);
-    let scope = ActuationScope::FuDl1Il1;
-    let mut cpu = Cpu::new(voltctl_bench::cpu_config(), &stress.program).expect("valid config");
-    let mut state = pdn.discretize();
-    state.set_reference_current(power.min_current());
-    let mut pid = PidController::default_tuning(pdn.v_nominal(), compute_delay);
-    let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
-    let mut energy = EnergyAccumulator::new(pdn.clock_hz());
-    // Sensor transport delay of 1 cycle on top of the PID compute delay.
-    let mut transport: VecDeque<f64> = VecDeque::from(vec![pdn.v_nominal()]);
-
-    for _ in 0..stress.warmup_cycles + cycles {
-        let gating = cpu.gating();
-        let act = cpu.step();
-        let watts = power.cycle_power(&act, &gating).total();
-        let v = state.step(watts / power.params().vdd);
-        monitor.observe(v);
-        energy.add_cycle(watts);
-        transport.push_back(v);
-        let seen = transport.pop_front().expect("transport primed");
-        let action = pid.decide(seen);
-        scope.apply(action, cpu.gating_mut());
-    }
-    let ipc = cpu.stats().ipc();
-    (ipc, monitor.report().emergency_cycles, energy.joules())
-}
+//! Prefer `cargo run --release -p voltctl-exp -- run ablation_pid`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("ablation_pid");
-    let cycles = budget(120_000);
-    println!("== Ablation: PID vs threshold control (stressmark, 200% impedance) ==\n");
-
-    // Threshold baseline at sensor delay 1 (comparable transport).
-    let thresholds = solve_for(ActuationScope::FuDl1Il1, 1, 2.0).expect("stable");
-    let stress = tuned_stressmark();
-    let eval = voltctl_bench::evaluate(
-        &stress,
-        ActuationScope::FuDl1Il1,
-        thresholds,
-        SensorConfig {
-            delay_cycles: 1,
-            noise_mv: 0.0,
-            seed: 1,
-        },
-        2.0,
-        cycles,
-    )
-    .expect("threshold eval runs");
-
-    let mut t = TextTable::new([
-        "controller",
-        "emergency cycles",
-        "perf loss vs uncontrolled",
-    ]);
-    t.row([
-        "threshold (delay 1)".to_string(),
-        eval.controlled.emergencies.emergency_cycles.to_string(),
-        pct(eval.perf_loss()),
-    ]);
-
-    let base_ipc = eval.baseline.ipc;
-    for compute_delay in [0u32, 1, 2, 3, 4] {
-        let (ipc, emergencies, _) = run_pid(compute_delay, cycles);
-        t.row([
-            format!("PID (+{compute_delay} MAC cycles)"),
-            emergencies.to_string(),
-            pct(1.0 - ipc / base_ipc),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("(the paper's §6 argument: a PID needs magnitude voltage readings and a");
-    println!(" multiply-accumulate pipeline, and its output still has to be quantized");
-    println!(" into gate/none/fire — here it protects only at several times the");
-    println!(" threshold controller's performance cost, at every compute latency)");
+    voltctl_exp::shim::run("ablation_pid");
 }

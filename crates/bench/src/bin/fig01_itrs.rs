@@ -1,41 +1,8 @@
-//! Figure 1: relative power-supply impedance trends from ITRS-2001 data.
+//! Deprecated shim: forwards to the `fig01_itrs` scenario in `voltctl-exp`.
 //!
-//! Reproduces the paper's two observations: target impedance falls ~2x
-//! every 3–5 years, and the gap between the cost-performance and
-//! high-performance segments narrows.
-
-use voltctl_bench::TextTable;
-use voltctl_pdn::itrs::{self, Segment};
+//! Prefer `cargo run --release -p voltctl-exp -- run fig01_itrs`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig01_itrs");
-    println!("== Figure 1: relative impedance trends (ITRS 2001) ==\n");
-    let cp = itrs::relative_impedance(Segment::CostPerformance);
-    let hp = itrs::relative_impedance(Segment::HighPerformance);
-    let gap = itrs::segment_gap();
-
-    let mut t = TextTable::new(["year", "cost-perf (rel)", "high-perf (rel)", "cp/hp gap"]);
-    for ((cp, hp), gap) in cp.iter().zip(&hp).zip(&gap) {
-        assert_eq!(cp.0, hp.0);
-        t.row([
-            cp.0.to_string(),
-            format!("{:.3}", cp.1),
-            format!("{:.3}", hp.1),
-            format!("{:.2}", gap.1),
-        ]);
-    }
-    println!("{}", t.render());
-
-    let half_cp = cp.iter().find(|(_, z)| *z < 0.5).map(|(y, _)| *y);
-    let half_hp = hp.iter().find(|(_, z)| *z < 0.5).map(|(y, _)| *y);
-    println!(
-        "impedance halves by: cost-perf {} / high-perf {} (paper: ~2x every 3-5 years)",
-        half_cp.map_or("n/a".into(), |y| y.to_string()),
-        half_hp.map_or("n/a".into(), |y| y.to_string()),
-    );
-    println!(
-        "segment gap: {:.2}x (2001) -> {:.2}x (2016)  — converging, as the paper observes",
-        gap.first().expect("nonempty").1,
-        gap.last().expect("nonempty").1
-    );
+    voltctl_exp::shim::run("fig01_itrs");
 }

@@ -1,60 +1,8 @@
-//! Figure 2: frequency and transient response of the second-order model.
+//! Deprecated shim: forwards to the `fig02_response` scenario in `voltctl-exp`.
 //!
-//! Left panel: |Z| vs frequency with the peak at the package resonance.
-//! Right panel: the underdamped step response — overshoot and ringing at
-//! the resonant period.
-
-use voltctl_bench::{ascii_chart, delta_i, pdn_at, TextTable};
-use voltctl_pdn::{FrequencyResponse, StepResponse};
+//! Prefer `cargo run --release -p voltctl-exp -- run fig02_response`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig02_response");
-    let pdn = pdn_at(2.0);
-    println!("== Figure 2: second-order model responses (200% of target impedance) ==\n");
-    println!(
-        "model: R_dc {:.2} mOhm, f0 {:.0} MHz ({} cycles @ 3 GHz), Z_pk {:.3} mOhm, Q {:.2}, zeta {:.3}\n",
-        pdn.r_dc() * 1e3,
-        pdn.resonant_freq_hz() / 1e6,
-        pdn.resonant_period_cycles(),
-        pdn.peak_impedance() * 1e3,
-        pdn.q_factor(),
-        pdn.damping_ratio()
-    );
-
-    println!("-- impedance vs frequency --");
-    let sweep = FrequencyResponse::sweep(&pdn, 1.0e6, 1.0e9, 240);
-    let mags: Vec<f64> = sweep.points().iter().map(|(_, z)| z * 1e3).collect();
-    println!("{}", ascii_chart(&mags, 10, 72));
-    println!("           (log-frequency 1 MHz .. 1 GHz; y in mOhm)\n");
-    let (f_pk, z_pk) = sweep.peak();
-    println!(
-        "sampled peak: {:.3} mOhm at {:.1} MHz\n",
-        z_pk * 1e3,
-        f_pk / 1e6
-    );
-
-    let mut t = TextTable::new(["f (MHz)", "|Z| (mOhm)"]);
-    for &f in &[1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 200.0, 500.0] {
-        t.row([
-            format!("{f:.0}"),
-            format!("{:.4}", pdn.impedance_at(f * 1e6) * 1e3),
-        ]);
-    }
-    println!("{}", t.render());
-
-    println!(
-        "-- step response (current step = full machine swing {:.1} A) --",
-        delta_i()
-    );
-    let sr = StepResponse::simulate(&pdn, delta_i(), 400);
-    println!("{}", ascii_chart(sr.volts(), 10, 72));
-    let m = sr.metrics();
-    println!(
-        "peak deviation {:.1} mV at cycle {}, overshoot ratio {:.2}, settles by cycle {}, ringing period {} cycles",
-        m.peak_deviation * 1e3,
-        m.peak_cycle,
-        m.overshoot_ratio,
-        m.settling_cycle.map_or("n/a".into(), |c| c.to_string()),
-        m.ringing_period.map_or("n/a".into(), |p| p.to_string()),
-    );
+    voltctl_exp::shim::run("fig02_response");
 }

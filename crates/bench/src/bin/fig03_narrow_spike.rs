@@ -1,32 +1,8 @@
-//! Figure 3: the supply tolerates a narrow (5-cycle) current spike.
+//! Deprecated shim: forwards to the `fig03_narrow_spike` scenario in `voltctl-exp`.
 //!
-//! Even at 300% of target impedance, a full-swing spike that is over
-//! quickly does not pull the supply out of specification — the basis for
-//! the paper's "greedy initial response" observation.
-
-use voltctl_bench::{ascii_chart, delta_i, pdn_at};
-use voltctl_pdn::{waveform, VoltageMonitor};
+//! Prefer `cargo run --release -p voltctl-exp -- run fig03_narrow_spike`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig03_narrow_spike");
-    let pdn = pdn_at(3.0);
-    let trace = waveform::spike(0.0, delta_i(), 20, 5, 360);
-    let mut state = pdn.discretize();
-    let volts = state.run(&trace);
-    let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
-    monitor.observe_all(&volts);
-    let r = monitor.report();
-
-    println!(
-        "== Figure 3: response to a narrow (5-cycle, {:.1} A) current spike ==",
-        delta_i()
-    );
-    println!("   (300% of target impedance)\n");
-    println!("{}", ascii_chart(&volts, 10, 72));
-    println!(
-        "min voltage {:.1} mV below nominal; emergencies: {}",
-        (pdn.v_nominal() - r.min_v) * 1e3,
-        if r.any() { "YES" } else { "none" }
-    );
-    assert!(!r.any(), "narrative check: narrow spike must stay in spec");
+    voltctl_exp::shim::run("fig03_narrow_spike");
 }

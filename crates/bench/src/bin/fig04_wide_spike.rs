@@ -1,32 +1,8 @@
-//! Figure 4: a wide (10-cycle) spike of the same height causes an
-//! undervoltage emergency — duration, not just magnitude, matters.
-
-use voltctl_bench::{ascii_chart, delta_i, pdn_at};
-use voltctl_pdn::{waveform, VoltageMonitor};
+//! Deprecated shim: forwards to the `fig04_wide_spike` scenario in `voltctl-exp`.
+//!
+//! Prefer `cargo run --release -p voltctl-exp -- run fig04_wide_spike`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig04_wide_spike");
-    let pdn = pdn_at(3.0);
-    let trace = waveform::spike(0.0, delta_i(), 20, 10, 360);
-    let mut state = pdn.discretize();
-    let volts = state.run(&trace);
-    let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
-    monitor.observe_all(&volts);
-    let r = monitor.report();
-
-    println!(
-        "== Figure 4: response to a wide (10-cycle, {:.1} A) current spike ==",
-        delta_i()
-    );
-    println!("   (300% of target impedance)\n");
-    println!("{}", ascii_chart(&volts, 10, 72));
-    println!(
-        "min voltage {:.1} mV below nominal; emergency cycles: {}",
-        (pdn.v_nominal() - r.min_v) * 1e3,
-        r.emergency_cycles
-    );
-    assert!(
-        r.any(),
-        "narrative check: wide spike must cross the 5% band"
-    );
+    voltctl_exp::shim::run("fig04_wide_spike");
 }

@@ -1,42 +1,8 @@
-//! Figure 5: notching a wide spike — momentarily throttling current midway
-//! through a sustained burst — lets the network recover and avoids the
-//! emergency. This is the waveform a dI/dt actuator carves.
-
-use voltctl_bench::{ascii_chart, delta_i, pdn_at};
-use voltctl_pdn::{waveform, VoltageMonitor};
+//! Deprecated shim: forwards to the `fig05_notched_spike` scenario in `voltctl-exp`.
+//!
+//! Prefer `cargo run --release -p voltctl-exp -- run fig05_notched_spike`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig05_notched_spike");
-    let pdn = pdn_at(3.0);
-    let wide = waveform::spike(0.0, delta_i(), 20, 20, 360);
-    let notched = waveform::notched_spike(0.0, delta_i(), 20, 20, 7, 7, 360);
-
-    let run = |trace: &[f64]| {
-        let mut state = pdn.discretize();
-        let volts = state.run(trace);
-        let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
-        monitor.observe_all(&volts);
-        (volts, monitor.report())
-    };
-    let (_, wide_report) = run(&wide);
-    let (volts, notched_report) = run(&notched);
-
-    println!("== Figure 5: notched wide spike (controller back-off mid-burst) ==");
-    println!("   (300% of target impedance)\n");
-    println!("{}", ascii_chart(&volts, 10, 72));
-    println!(
-        "un-notched 20-cycle spike: {:.1} mV droop, emergency cycles {}",
-        (pdn.v_nominal() - wide_report.min_v) * 1e3,
-        wide_report.emergency_cycles
-    );
-    println!(
-        "   notched 20-cycle spike: {:.1} mV droop, emergency cycles {}",
-        (pdn.v_nominal() - notched_report.min_v) * 1e3,
-        notched_report.emergency_cycles
-    );
-    assert!(
-        wide_report.any(),
-        "narrative check: unnotched spike crosses spec"
-    );
-    assert!(!notched_report.any(), "narrative check: the notch saves it");
+    voltctl_exp::shim::run("fig05_notched_spike");
 }

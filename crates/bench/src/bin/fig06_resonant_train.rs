@@ -1,53 +1,8 @@
-//! Figure 6: pulses at the package resonant frequency build up — each
-//! successive pulse rides the echo of the last, producing the worst-case
-//! voltage swing (the analytic target the dI/dt stressmark imitates).
-
-use voltctl_bench::{ascii_chart, delta_i, pdn_at};
-use voltctl_pdn::{waveform, VoltageMonitor};
+//! Deprecated shim: forwards to the `fig06_resonant_train` scenario in `voltctl-exp`.
+//!
+//! Prefer `cargo run --release -p voltctl-exp -- run fig06_resonant_train`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig06_resonant_train");
-    let pdn = pdn_at(3.0);
-    let period = pdn.resonant_period_cycles();
-    let trace = waveform::pulse_train(0.0, delta_i(), 10, period / 2, period, 6, 600);
-    let mut state = pdn.discretize();
-    let volts = state.run(&trace);
-    let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
-    monitor.observe_all(&volts);
-    let r = monitor.report();
-
-    println!("== Figure 6: pulse train at the resonant frequency ==");
-    println!(
-        "   ({} pulses, {}-cycle period = {:.0} MHz at 3 GHz; 300% of target impedance)\n",
-        6,
-        period,
-        3.0e9 / period as f64 / 1e6
-    );
-    println!("{}", ascii_chart(&volts, 12, 72));
-
-    // Per-pulse minimum: demonstrate resonance build-up.
-    for pulse in 0..3 {
-        let start = 10 + pulse * period;
-        let end = (start + period).min(volts.len());
-        let min = volts[start..end].iter().cloned().fold(f64::MAX, f64::min);
-        println!(
-            "pulse {}: min voltage {:.1} mV below nominal",
-            pulse + 1,
-            (pdn.v_nominal() - min) * 1e3
-        );
-    }
-    println!("emergency cycles: {}", r.emergency_cycles);
-    let first = volts[10..10 + period]
-        .iter()
-        .cloned()
-        .fold(f64::MAX, f64::min);
-    let second = volts[10 + period..10 + 2 * period]
-        .iter()
-        .cloned()
-        .fold(f64::MAX, f64::min);
-    assert!(
-        second < first,
-        "narrative check: the second pulse digs deeper"
-    );
-    assert!(r.any(), "narrative check: resonance causes emergencies");
+    voltctl_exp::shim::run("fig06_resonant_train");
 }

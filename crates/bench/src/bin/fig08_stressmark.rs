@@ -1,42 +1,8 @@
-//! Figure 8: the generated dI/dt stressmark loop body.
+//! Deprecated shim: forwards to the `fig08_stressmark` scenario in `voltctl-exp`.
 //!
-//! Prints the spectrum-tuned parameters and the disassembly of the loop —
-//! the analogue of the paper's hand-crafted Alpha listing (load, dependent
-//! divides, store/reload handoff to the integer side, store burst, and the
-//! loop-carried memory dependence).
-
-use voltctl_bench::{cpu_config, pdn_at, power_model};
-use voltctl_workloads::stressmark;
+//! Prefer `cargo run --release -p voltctl-exp -- run fig08_stressmark`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig08_stressmark");
-    let config = cpu_config();
-    let power = power_model();
-    let period = pdn_at(2.0).resonant_period_cycles();
-    let (params, wl) = stressmark::tune(period, &config, &power);
-
-    println!("== Figure 8: dI/dt stressmark (auto-tuned) ==\n");
-    println!(
-        "target period: {period} cycles ({:.0} MHz at 3 GHz)",
-        3.0e9 / period as f64 / 1e6
-    );
-    println!(
-        "tuned parameters: divide chain {}, burst ops {}\n",
-        params.divide_chain, params.burst_ops
-    );
-
-    let listing = voltctl_isa::asm::disassemble(&wl.program);
-    let lines: Vec<&str> = listing.lines().collect();
-    // Head of the loop (through the cmov handoff) plus the closing ops.
-    for line in lines.iter().take(14) {
-        println!("{line}");
-    }
-    println!(
-        "    ; ... {} burst instructions elided ...",
-        params.burst_ops.saturating_sub(12)
-    );
-    for line in lines.iter().rev().take(4).collect::<Vec<_>>().iter().rev() {
-        println!("{line}");
-    }
-    println!("\ntotal loop body: {} instructions", wl.program.len());
+    voltctl_exp::shim::run("fig08_stressmark");
 }

@@ -1,74 +1,8 @@
-//! Figure 9: the software stressmark vs the analytic worst case.
+//! Deprecated shim: forwards to the `fig09_stressmark_vs_worst` scenario in `voltctl-exp`.
 //!
-//! The tuned stressmark's measured current trace is fed through the PDN;
-//! its voltage swing approaches — but does not reach — the swing of the
-//! ideal maximum-height resonant pulse train (the paper's observation that
-//! real software cannot quite achieve the theoretical worst case).
-
-use voltctl_bench::{budget, current_trace, delta_i, pdn_at, tuned_stressmark};
-use voltctl_pdn::waveform;
+//! Prefer `cargo run --release -p voltctl-exp -- run fig09_stressmark_vs_worst`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig09_stressmark_vs_worst");
-    let pdn = pdn_at(2.0);
-    let period = pdn.resonant_period_cycles();
-    let cycles = budget(60_000) as usize;
-
-    // Analytic worst case: full-swing square train at resonance.
-    let ideal_train = waveform::square_wave(0.0, delta_i(), period, cycles);
-    let mut state = pdn.discretize();
-    let ideal_volts = state.run(&ideal_train);
-    let ideal_dev = ideal_volts
-        .iter()
-        .map(|v| (v - pdn.v_nominal()).abs())
-        .fold(0.0f64, f64::max);
-
-    // The stressmark, measured on the real pipeline.
-    let stress = tuned_stressmark();
-    let trace = current_trace(&stress, cycles);
-    let swing = waveform::stats(&trace).expect("nonempty trace");
-    let mut state = pdn.discretize();
-    state.set_reference_current(trace.iter().cloned().fold(f64::MAX, f64::min));
-    let stress_volts = state.run(&trace);
-    let stress_dev = stress_volts
-        .iter()
-        .map(|v| (v - pdn.v_nominal()).abs())
-        .fold(0.0f64, f64::max);
-
-    println!("== Figure 9: stressmark vs maximum-height resonant pulse train ==");
-    println!("   (200% of target impedance, {cycles} measured cycles)\n");
-    println!(
-        "analytic worst case: swing {:.1} A, max |dV| {:.1} mV",
-        delta_i(),
-        ideal_dev * 1e3
-    );
-    println!(
-        "stressmark:          swing {:.1} A (min {:.1} / max {:.1}), max |dV| {:.1} mV",
-        swing.max - swing.min,
-        swing.min,
-        swing.max,
-        stress_dev * 1e3
-    );
-    println!(
-        "\nstressmark achieves {:.0}% of the theoretical worst-case swing",
-        100.0 * stress_dev / ideal_dev
-    );
-    assert!(
-        stress_dev < ideal_dev,
-        "software cannot beat the analytic bound"
-    );
-    assert!(
-        stress_dev > 0.4 * ideal_dev,
-        "but it must be severe enough to stress the controller"
-    );
-    let tol = pdn.tolerance_volts();
-    println!(
-        "emergency threshold is {:.0} mV: stressmark {} it at this impedance",
-        tol * 1e3,
-        if stress_dev > tol {
-            "CROSSES"
-        } else {
-            "stays within"
-        }
-    );
+    voltctl_exp::shim::run("fig09_stressmark_vs_worst");
 }

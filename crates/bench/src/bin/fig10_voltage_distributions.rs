@@ -1,81 +1,8 @@
-//! Figure 10: voltage distributions across SPEC2000 (plus the stressmark)
-//! at 100% of target impedance.
+//! Deprecated shim: forwards to the `fig10_voltage_distributions` scenario in `voltctl-exp`.
 //!
-//! At the target impedance no benchmark leaves specification (Table 2's
-//! leftmost column), but the *width* of each distribution varies wildly:
-//! ammp is famously stable, galgel and swim spread across the band.
-
-use voltctl_bench::{
-    budget, current_trace, pdn_at, spec_suite, telemetry, tuned_stressmark, TextTable,
-};
-use voltctl_pdn::{VoltageHistogram, VoltageMonitor};
-use voltctl_telemetry::MemoryRecorder;
-
-fn sparkline(hist: &VoltageHistogram) -> String {
-    // Collapse the 100 bins into 25 buckets rendered by density.
-    let counts = hist.counts();
-    let glyphs = [' ', '.', ':', '+', '*', '#'];
-    let bucket = counts.len() / 25;
-    let maxc = counts.iter().copied().max().unwrap_or(1).max(1);
-    (0..25)
-        .map(|b| {
-            let sum: u64 = counts[b * bucket..(b + 1) * bucket].iter().sum();
-            let mean = sum / bucket as u64;
-            let idx = ((mean as f64 / maxc as f64) * (glyphs.len() - 1) as f64).ceil() as usize;
-            glyphs[idx.min(glyphs.len() - 1)]
-        })
-        .collect()
-}
+//! Prefer `cargo run --release -p voltctl-exp -- run fig10_voltage_distributions`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = telemetry::init("fig10_voltage_distributions");
-    let mut rec = MemoryRecorder::new();
-    let pdn = pdn_at(1.0);
-    let cycles = budget(200_000) as usize;
-    println!("== Figure 10: voltage distributions at 100% of target impedance ==");
-    println!("   ({cycles} cycles per benchmark; sparkline spans 0.90 V .. 1.10 V)\n");
-
-    let mut t = TextTable::new([
-        "benchmark",
-        "min (V)",
-        "max (V)",
-        "spread (mV)",
-        "emerg",
-        "0.90V [distribution] 1.10V",
-    ]);
-
-    let mut workloads = spec_suite();
-    workloads.push(tuned_stressmark());
-    for wl in &workloads {
-        let trace = current_trace(wl, cycles);
-        let mut state = pdn.discretize();
-        state.set_reference_current(trace.iter().cloned().fold(f64::MAX, f64::min));
-        let mut hist = VoltageHistogram::for_nominal_1v();
-        let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
-        for &i in &trace {
-            let v = state.step(i);
-            hist.record(v);
-            monitor.observe(v);
-        }
-        let r = monitor.report();
-        if telemetry::enabled() {
-            // Suite-wide aggregate: histograms merge bin-wise, reports sum.
-            r.record_telemetry(&mut rec);
-            hist.record_telemetry(&mut rec, "pdn.voltage_hist");
-        }
-        t.row([
-            wl.name.clone(),
-            format!("{:.4}", r.min_v),
-            format!("{:.4}", r.max_v),
-            format!("{:.2}", hist.spread() * 1e3),
-            r.emergency_cycles.to_string(),
-            format!("[{}]", sparkline(&hist)),
-        ]);
-    }
-    if telemetry::enabled() {
-        telemetry::record(&rec);
-    }
-    println!("{}", t.render());
-    println!("(spread = standard deviation of the distribution; paper highlights");
-    println!(" ammp as exceptionally stable and galgel/swim as wide)");
+    voltctl_exp::shim::run("fig10_voltage_distributions");
 }

@@ -1,110 +1,8 @@
-//! Figure 11: a threshold controller in action.
+//! Deprecated shim: forwards to the `fig11_controller_trace` scenario in `voltctl-exp`.
 //!
-//! Runs the stressmark closed-loop at 200% impedance with the FU/DL1/IL1
-//! actuator and prints the voltage/current trace around the controller's
-//! interventions: the supply dives toward the low threshold, the actuator
-//! gates, the network recovers, execution resumes.
-
-use voltctl_bench::{
-    ascii_chart, budget, pdn_at, power_model, solve_for, telemetry, tuned_stressmark,
-};
-use voltctl_core::prelude::*;
-use voltctl_telemetry::{export, MemoryRecorder};
+//! Prefer `cargo run --release -p voltctl-exp -- run fig11_controller_trace`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = telemetry::init("fig11_controller_trace");
-    let scope = ActuationScope::FuDl1Il1;
-    let delay = 2;
-    let thresholds = solve_for(scope, delay, 2.0).expect("stable configuration");
-    let stress = tuned_stressmark();
-
-    let mut sim = ControlLoop::builder(stress.program.clone())
-        .power(power_model())
-        .pdn(pdn_at(2.0))
-        .thresholds(thresholds)
-        .scope(scope)
-        .sensor(SensorConfig {
-            delay_cycles: delay,
-            noise_mv: 0.0,
-            seed: 1,
-        })
-        .record_trace(true)
-        .recorder(MemoryRecorder::new())
-        .build()
-        .expect("loop builds");
-    sim.run(stress.warmup_cycles + budget(6_000));
-    sim.finish_telemetry();
-    let trace = sim.take_trace();
-    let report = sim.report();
-    if telemetry::enabled() {
-        telemetry::record(sim.recorder());
-        // This figure is about the per-cycle trace, so export it whole.
-        let rows = trace.iter().enumerate().map(|(k, s)| {
-            vec![
-                k as f64,
-                s.voltage,
-                s.current,
-                if s.reducing { 1.0 } else { 0.0 },
-                if s.increasing { 1.0 } else { 0.0 },
-            ]
-        });
-        match export::write_trace_csv(
-            &telemetry::out_dir(),
-            "fig11_controller_trace",
-            "trace",
-            &["cycle", "voltage_v", "current_a", "reducing", "increasing"],
-            rows,
-        ) {
-            Ok(path) => eprintln!("telemetry trace: {}", path.display()),
-            Err(e) => eprintln!("voltctl[warn] telemetry.export: trace write failed: {e}"),
-        }
-    }
-
-    println!("== Figure 11: threshold controller in action ==");
-    println!(
-        "   (stressmark, 200% impedance, {} actuator, sensor delay {delay}, thresholds [{:.3}, {:.3}])\n",
-        scope.name(),
-        thresholds.v_low,
-        thresholds.v_high
-    );
-
-    // Show a 300-cycle window that contains actuation.
-    let start = trace
-        .iter()
-        .position(|s| s.reducing)
-        .map(|p| p.saturating_sub(60))
-        .unwrap_or(0);
-    let window: Vec<_> = trace[start..(start + 300).min(trace.len())].to_vec();
-    let volts: Vec<f64> = window.iter().map(|s| s.voltage).collect();
-    let amps: Vec<f64> = window.iter().map(|s| s.current).collect();
-    println!("-- supply voltage (V), 300 cycles --");
-    println!("{}", ascii_chart(&volts, 10, 75));
-    println!("-- load current (A), same window --");
-    println!("{}", ascii_chart(&amps, 8, 75));
-    let gate_marks: String = window
-        .iter()
-        .step_by(4)
-        .map(|s| {
-            if s.reducing {
-                'G'
-            } else if s.increasing {
-                'F'
-            } else {
-                '.'
-            }
-        })
-        .collect();
-    println!("actuation (per 4 cycles, G=gated F=fired): {gate_marks}\n");
-
-    println!(
-        "run summary: {} interventions, {} gated cycles, {} fired cycles, {} emergency cycles",
-        report.interventions,
-        report.reduce_cycles,
-        report.increase_cycles,
-        report.emergencies.emergency_cycles
-    );
-    assert!(
-        report.interventions > 0,
-        "controller must act on the stressmark"
-    );
+    voltctl_exp::shim::run("fig11_controller_trace");
 }

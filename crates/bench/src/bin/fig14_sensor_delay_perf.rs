@@ -1,41 +1,8 @@
-//! Figure 14: impact of sensor delay on performance (ideal actuator).
+//! Deprecated shim: forwards to the `fig14_sensor_delay_perf` scenario in `voltctl-exp`.
 //!
-//! The paper's claim: SPEC barely notices the controller at any delay,
-//! while the stressmark — contrived to live at the controller's worst case
-//! — degrades visibly as delay grows.
-
-use voltctl_bench::{budget, pct, sweep_point, tuned_stressmark, variable_eight, TextTable};
-use voltctl_core::prelude::ActuationScope;
+//! Prefer `cargo run --release -p voltctl-exp -- run fig14_sensor_delay_perf`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig14_sensor_delay_perf");
-    let cycles = budget(100_000);
-    let workloads = variable_eight();
-    let stress = tuned_stressmark();
-    println!("== Figure 14: sensor delay vs performance (ideal actuator, 200% impedance) ==");
-    println!("   (SPEC subset: the paper's eight variable benchmarks; {cycles} cycles each)\n");
-
-    let mut t = TextTable::new(["delay", "SPEC-8 perf loss", "stressmark perf loss"]);
-    for delay in 0..=6u32 {
-        let rows = sweep_point(
-            &workloads,
-            &stress,
-            ActuationScope::Ideal,
-            delay,
-            0.0,
-            2.0,
-            cycles,
-        );
-        let spec = rows
-            .iter()
-            .find(|r| r.label == "SPEC mean")
-            .expect("aggregate present");
-        let sm = rows
-            .iter()
-            .find(|r| r.label == "stressmark")
-            .expect("stressmark present");
-        t.row([delay.to_string(), pct(spec.perf_loss), pct(sm.perf_loss)]);
-    }
-    println!("{}", t.render());
-    println!("(expected shape: SPEC column ~0%, stressmark grows with delay)");
+    voltctl_exp::shim::run("fig14_sensor_delay_perf");
 }

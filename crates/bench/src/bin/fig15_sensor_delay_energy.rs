@@ -1,48 +1,8 @@
-//! Figure 15: impact of sensor delay on energy (ideal actuator).
+//! Deprecated shim: forwards to the `fig15_sensor_delay_energy` scenario in `voltctl-exp`.
 //!
-//! Energy overhead comes from two sides: stall-induced longer execution
-//! (undershoot gating) and phantom-firing power (overshoot response).
-//! SPEC stays near zero; the stressmark pays more as delay grows.
-
-use voltctl_bench::{budget, pct, sweep_point, tuned_stressmark, variable_eight, TextTable};
-use voltctl_core::prelude::ActuationScope;
+//! Prefer `cargo run --release -p voltctl-exp -- run fig15_sensor_delay_energy`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig15_sensor_delay_energy");
-    let cycles = budget(100_000);
-    let workloads = variable_eight();
-    let stress = tuned_stressmark();
-    println!("== Figure 15: sensor delay vs energy (ideal actuator, 200% impedance) ==\n");
-
-    let mut t = TextTable::new([
-        "delay",
-        "SPEC-8 energy increase",
-        "stressmark energy increase",
-    ]);
-    for delay in 0..=6u32 {
-        let rows = sweep_point(
-            &workloads,
-            &stress,
-            ActuationScope::Ideal,
-            delay,
-            0.0,
-            2.0,
-            cycles,
-        );
-        let spec = rows
-            .iter()
-            .find(|r| r.label == "SPEC mean")
-            .expect("aggregate present");
-        let sm = rows
-            .iter()
-            .find(|r| r.label == "stressmark")
-            .expect("stressmark present");
-        t.row([
-            delay.to_string(),
-            pct(spec.energy_increase),
-            pct(sm.energy_increase),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("(expected shape: SPEC column <1%, stressmark grows with delay)");
+    voltctl_exp::shim::run("fig15_sensor_delay_energy");
 }

@@ -1,54 +1,8 @@
-//! Figure 16: impact of sensor error on performance and energy.
+//! Deprecated shim: forwards to the `fig16_sensor_error` scenario in `voltctl-exp`.
 //!
-//! Error is compensated by tightening the thresholds (§4.5), shrinking the
-//! operating window: small errors (<15 mV) are nearly free; larger errors
-//! cost increasingly more performance and energy.
-
-use voltctl_bench::{budget, pct, sweep_point, tuned_stressmark, variable_eight, TextTable};
-use voltctl_core::prelude::ActuationScope;
+//! Prefer `cargo run --release -p voltctl-exp -- run fig16_sensor_error`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig16_sensor_error");
-    let cycles = budget(100_000);
-    let delay = 1u32;
-    let workloads = variable_eight();
-    let stress = tuned_stressmark();
-    println!("== Figure 16: sensor error vs performance and energy ==");
-    println!("   (ideal actuator, sensor delay {delay}, 200% impedance)\n");
-
-    let mut t = TextTable::new([
-        "error (mV)",
-        "SPEC-8 perf loss",
-        "SPEC-8 energy",
-        "stressmark perf loss",
-        "stressmark energy",
-    ]);
-    for error_mv in [0.0, 10.0, 15.0, 20.0, 25.0] {
-        let rows = sweep_point(
-            &workloads,
-            &stress,
-            ActuationScope::Ideal,
-            delay,
-            error_mv,
-            2.0,
-            cycles,
-        );
-        let spec = rows
-            .iter()
-            .find(|r| r.label == "SPEC mean")
-            .expect("aggregate");
-        let sm = rows
-            .iter()
-            .find(|r| r.label == "stressmark")
-            .expect("stressmark");
-        t.row([
-            format!("{error_mv:.0}"),
-            pct(spec.perf_loss),
-            pct(spec.energy_increase),
-            pct(sm.perf_loss),
-            pct(sm.energy_increase),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("(expected shape: negligible below ~15 mV, rising beyond)");
+    voltctl_exp::shim::run("fig16_sensor_error");
 }

@@ -1,60 +1,8 @@
-//! Figure 17: actuation granularity vs performance under controller delay.
+//! Deprecated shim: forwards to the `fig17_actuator_perf` scenario in `voltctl-exp`.
 //!
-//! FU-only control lacks the leverage to reshape the current quickly: the
-//! threshold solver proves it unstable for delays >= 3 (matching §5.2).
-//! FU/DL1 and FU/DL1/IL1 hold SPEC losses under ~2% through delay 4-5;
-//! the stressmark pays ~6% at delay 0 growing to the ~25% class at 5.
-
-use voltctl_bench::{budget, pct, sweep_point, tuned_stressmark, variable_eight, TextTable};
-use voltctl_core::prelude::ActuationScope;
+//! Prefer `cargo run --release -p voltctl-exp -- run fig17_actuator_perf`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig17_actuator_perf");
-    let cycles = budget(100_000);
-    let workloads = variable_eight();
-    let stress = tuned_stressmark();
-    println!("== Figure 17: actuator granularity vs performance (200% impedance) ==\n");
-
-    for scope in [
-        ActuationScope::Fu,
-        ActuationScope::FuDl1,
-        ActuationScope::FuDl1Il1,
-    ] {
-        println!("-- actuator: {} --", scope.name());
-        let mut t = TextTable::new([
-            "delay",
-            "SPEC-8 perf loss",
-            "stressmark perf loss",
-            "emergencies left (stressmark)",
-        ]);
-        for delay in 0..=5u32 {
-            let rows = sweep_point(&workloads, &stress, scope, delay, 0.0, 2.0, cycles);
-            let spec = rows
-                .iter()
-                .find(|r| r.label == "SPEC mean")
-                .expect("aggregate");
-            let sm = rows
-                .iter()
-                .find(|r| r.label == "stressmark")
-                .expect("stressmark");
-            if spec.unstable {
-                t.row([
-                    delay.to_string(),
-                    "UNSTABLE".into(),
-                    "UNSTABLE".into(),
-                    "-".into(),
-                ]);
-            } else {
-                t.row([
-                    delay.to_string(),
-                    pct(spec.perf_loss),
-                    pct(sm.perf_loss),
-                    sm.controlled_emergencies.to_string(),
-                ]);
-            }
-        }
-        println!("{}", t.render());
-    }
-    println!("(expected shape: FU unstable at delay >= 3; FU/DL1 and FU/DL1/IL1");
-    println!(" keep SPEC under ~2% while eliminating the stressmark's emergencies)");
+    voltctl_exp::shim::run("fig17_actuator_perf");
 }

@@ -1,49 +1,8 @@
-//! Figure 18: actuation granularity vs energy under controller delay.
+//! Deprecated shim: forwards to the `fig18_actuator_energy` scenario in `voltctl-exp`.
 //!
-//! SPEC energy overhead stays under ~1%; the stressmark's grows from the
-//! ~5% class at delay 0 toward ~20%+ at delay 5 (paper's §5.3).
-
-use voltctl_bench::{budget, pct, sweep_point, tuned_stressmark, variable_eight, TextTable};
-use voltctl_core::prelude::ActuationScope;
+//! Prefer `cargo run --release -p voltctl-exp -- run fig18_actuator_energy`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("fig18_actuator_energy");
-    let cycles = budget(100_000);
-    let workloads = variable_eight();
-    let stress = tuned_stressmark();
-    println!("== Figure 18: actuator granularity vs energy (200% impedance) ==\n");
-
-    for scope in [
-        ActuationScope::Fu,
-        ActuationScope::FuDl1,
-        ActuationScope::FuDl1Il1,
-    ] {
-        println!("-- actuator: {} --", scope.name());
-        let mut t = TextTable::new([
-            "delay",
-            "SPEC-8 energy increase",
-            "stressmark energy increase",
-        ]);
-        for delay in 0..=5u32 {
-            let rows = sweep_point(&workloads, &stress, scope, delay, 0.0, 2.0, cycles);
-            let spec = rows
-                .iter()
-                .find(|r| r.label == "SPEC mean")
-                .expect("aggregate");
-            let sm = rows
-                .iter()
-                .find(|r| r.label == "stressmark")
-                .expect("stressmark");
-            if spec.unstable {
-                t.row([delay.to_string(), "UNSTABLE".into(), "UNSTABLE".into()]);
-            } else {
-                t.row([
-                    delay.to_string(),
-                    pct(spec.energy_increase),
-                    pct(sm.energy_increase),
-                ]);
-            }
-        }
-        println!("{}", t.render());
-    }
+    voltctl_exp::shim::run("fig18_actuator_energy");
 }

@@ -1,106 +1,8 @@
-//! Table 2: voltage emergencies across SPEC2000 at 100%–400% of target
-//! impedance.
+//! Deprecated shim: forwards to the `table2_emergencies` scenario in `voltctl-exp`.
 //!
-//! Each benchmark's uncontrolled current trace is recorded once on the
-//! cycle-level simulator, then replayed through the supply network at each
-//! impedance (the trace does not depend on the network). Shape targets:
-//! zero emergencies at 100% (by calibration) and at 200%; a marginal
-//! benchmark count at 300%; many benchmarks with rare emergencies at 400%.
-//! The stressmark, by contrast, crosses already at 200%.
-
-use voltctl_bench::{
-    budget, current_trace, pdn_at, spec_suite, telemetry, tuned_stressmark, TextTable,
-};
-use voltctl_pdn::VoltageMonitor;
-use voltctl_telemetry::MemoryRecorder;
+//! Prefer `cargo run --release -p voltctl-exp -- run table2_emergencies`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = telemetry::init("table2_emergencies");
-    // Aggregate emergency statistics across every (benchmark, impedance)
-    // replay for the structured export.
-    let mut rec = MemoryRecorder::new();
-    let percents = [1.0, 2.0, 3.0, 4.0];
-    let cycles = budget(300_000) as usize;
-    println!("== Table 2: voltage emergencies on SPEC2000 ==");
-    println!("   ({cycles} cycles per benchmark; emergencies = cycles beyond +/-5%)\n");
-
-    let pdns: Vec<_> = percents.iter().map(|&p| pdn_at(p)).collect();
-    let suite = spec_suite();
-
-    // Per-percent aggregates.
-    let mut with_emergencies = [0usize; 4];
-    let mut freq_sum = [0.0f64; 4];
-    let mut freq_max = [0.0f64; 4];
-    let mut per_bench = TextTable::new(["benchmark", "100%", "200%", "300%", "400%"]);
-
-    for wl in &suite {
-        let trace = current_trace(wl, cycles);
-        let i_min = trace.iter().cloned().fold(f64::MAX, f64::min);
-        let mut cells = vec![wl.name.clone()];
-        for (k, pdn) in pdns.iter().enumerate() {
-            let mut state = pdn.discretize();
-            state.set_reference_current(i_min);
-            let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
-            for &i in &trace {
-                monitor.observe(state.step(i));
-            }
-            let r = monitor.report();
-            if telemetry::enabled() {
-                r.record_telemetry(&mut rec);
-            }
-            if r.any() {
-                with_emergencies[k] += 1;
-            }
-            freq_sum[k] += r.frequency();
-            freq_max[k] = freq_max[k].max(r.frequency());
-            cells.push(format!("{:.5}%", r.frequency() * 100.0));
-        }
-        per_bench.row(cells);
-    }
-
-    let mut t = TextTable::new(["", "100%", "200%", "300%", "400%"]);
-    t.row(
-        std::iter::once("benchmarks w/ emergencies".to_string())
-            .chain(with_emergencies.iter().map(|c| c.to_string())),
-    );
-    t.row(
-        std::iter::once("emergency freq (average)".to_string()).chain(
-            freq_sum
-                .iter()
-                .map(|s| format!("{:.5}%", s / suite.len() as f64 * 100.0)),
-        ),
-    );
-    t.row(
-        std::iter::once("emergency freq (maximum)".to_string())
-            .chain(freq_max.iter().map(|m| format!("{:.5}%", m * 100.0))),
-    );
-    println!("{}", t.render());
-
-    // The stressmark row the paper notes in prose.
-    let stress = tuned_stressmark();
-    let trace = current_trace(&stress, cycles.min(budget(120_000) as usize));
-    let i_min = trace.iter().cloned().fold(f64::MAX, f64::min);
-    print!("stressmark emergency frequency:");
-    for (k, pdn) in pdns.iter().enumerate() {
-        let mut state = pdn.discretize();
-        state.set_reference_current(i_min);
-        let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
-        for &i in &trace {
-            monitor.observe(state.step(i));
-        }
-        let r = monitor.report();
-        if telemetry::enabled() {
-            r.record_telemetry(&mut rec);
-        }
-        print!(
-            "  {}%: {:.3}%",
-            (percents[k] * 100.0) as u32,
-            r.frequency() * 100.0
-        );
-    }
-    if telemetry::enabled() {
-        telemetry::record(&rec);
-    }
-    println!("\n\nper-benchmark emergency frequencies:");
-    println!("{}", per_bench.render());
+    voltctl_exp::shim::run("table2_emergencies");
 }

@@ -1,45 +1,8 @@
-//! Table 3: voltage thresholds under sensor delay at 200% impedance.
+//! Deprecated shim: forwards to the `table3_thresholds` scenario in `voltctl-exp`.
 //!
-//! Solved with the worst-case plant and an ideal actuator, as in the
-//! paper's Simulink flow. Shape targets: the low threshold rises with
-//! delay, and the safe window shrinks monotonically (94 mV-class at
-//! delay 0 down to the 40 mV class at delay 6).
-
-use voltctl_bench::{solve_for, TextTable};
-use voltctl_core::prelude::ActuationScope;
+//! Prefer `cargo run --release -p voltctl-exp -- run table3_thresholds`, which adds
+//! `--jobs`, `--scale`, `--smoke`, and multi-scenario runs.
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("table3_thresholds");
-    println!("== Table 3: voltage thresholds under sensor delay (200% impedance) ==\n");
-    let mut t = TextTable::new([
-        "delay (cycles)",
-        "low threshold (V)",
-        "high threshold (V)",
-        "safe window (mV)",
-    ]);
-    let mut prev_window = f64::INFINITY;
-    for delay in 0..=6u32 {
-        match solve_for(ActuationScope::Ideal, delay, 2.0) {
-            Ok(th) => {
-                assert!(
-                    th.window_mv() <= prev_window + 1e-6,
-                    "window must shrink with delay"
-                );
-                prev_window = th.window_mv();
-                t.row([
-                    delay.to_string(),
-                    format!("{:.3}", th.v_low),
-                    format!("{:.3}", th.v_high),
-                    format!("{:.0}", th.window_mv()),
-                ]);
-            }
-            Err(e) => {
-                t.row([delay.to_string(), "-".into(), "-".into(), format!("{e}")]);
-            }
-        }
-    }
-    println!("{}", t.render());
-    println!("(high side is unconstrained in our worst-case plant — the regulator");
-    println!(" reference sits at the minimum-power point, so overshoot never binds");
-    println!(" before the undershoot controller engages; see EXPERIMENTS.md)");
+    voltctl_exp::shim::run("table3_thresholds");
 }

@@ -3,7 +3,6 @@ use voltctl_power::{PowerModel, PowerParams};
 use voltctl_workloads::{stressmark, trace};
 
 fn main() {
-    let _telemetry = voltctl_bench::telemetry::init("voltctl_bench");
     let wl = stressmark::build(&stressmark::StressmarkParams::default());
     let config = CpuConfig::table1();
     let power = PowerModel::new(PowerParams::paper_3ghz());

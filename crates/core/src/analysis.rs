@@ -12,7 +12,7 @@ use crate::sensor::SensorConfig;
 use crate::thresholds::{ControlError, Thresholds};
 use voltctl_cpu::CpuConfig;
 use voltctl_isa::Program;
-use voltctl_pdn::PdnModel;
+use voltctl_pdn::{EmergencyReport, PdnModel, VoltageHistogram, VoltageMonitor};
 use voltctl_power::PowerModel;
 
 /// A controlled run compared against its uncontrolled baseline.
@@ -137,6 +137,45 @@ pub fn evaluate_program_recorded<R: voltctl_telemetry::Recorder>(
     ))
 }
 
+/// The result of replaying a recorded current trace through a supply
+/// network: the emergency report and (optionally) the voltage
+/// distribution.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    /// Out-of-band statistics over the replay.
+    pub report: EmergencyReport,
+    /// The voltage distribution, when requested.
+    pub histogram: Option<VoltageHistogram>,
+}
+
+/// Replays an uncontrolled current trace through `pdn`, following the
+/// methodology used for Table 2 / Figure 10: the supply's reference
+/// current is the trace minimum (the network is assumed settled at the
+/// program's quiescent draw), every cycle's voltage feeds the emergency
+/// monitor, and — with `with_histogram` — the 0.90–1.10 V distribution.
+///
+/// Traces do not depend on the network, so one recorded trace can be
+/// replayed at many impedance points; this helper is the shared
+/// replacement for the replay loops the experiment binaries used to
+/// hand-roll.
+pub fn replay_current_trace(pdn: &PdnModel, trace: &[f64], with_histogram: bool) -> TraceReplay {
+    let mut state = pdn.discretize();
+    state.set_reference_current(trace.iter().cloned().fold(f64::MAX, f64::min));
+    let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
+    let mut histogram = with_histogram.then(VoltageHistogram::for_nominal_1v);
+    for &i in trace {
+        let v = state.step(i);
+        monitor.observe(v);
+        if let Some(h) = histogram.as_mut() {
+            h.record(v);
+        }
+    }
+    TraceReplay {
+        report: monitor.report(),
+        histogram,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +232,25 @@ mod tests {
         let e = evaluate_program(&spin(), &s, 1_000, 10_000).unwrap();
         assert!(e.controlled.interventions > 0);
         assert!(e.perf_loss() > 0.02, "loss {}", e.perf_loss());
+    }
+
+    #[test]
+    fn trace_replay_flags_emergencies_and_buckets_volts() {
+        let power = PowerModel::new(PowerParams::paper_3ghz());
+        let pdn = calibrated_pdn(&PdnModel::paper_default().unwrap(), &power, 3.0).unwrap();
+        let swing = power.achievable_peak_current() - power.min_current();
+        // A resonant square train at 300% impedance must cross the band;
+        // a flat trace must not.
+        let period = pdn.resonant_period_cycles();
+        let train = voltctl_pdn::waveform::square_wave(0.0, swing, period, 20 * period);
+        let hot = replay_current_trace(&pdn, &train, true);
+        assert!(hot.report.any(), "resonant train must cause emergencies");
+        let hist = hot.histogram.expect("requested");
+        assert_eq!(hist.total(), train.len() as u64);
+
+        let calm = replay_current_trace(&pdn, &vec![1.0; 500], false);
+        assert!(!calm.report.any());
+        assert!(calm.histogram.is_none());
     }
 
     #[test]

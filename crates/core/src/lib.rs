@@ -77,6 +77,10 @@ pub mod sensor;
 pub mod thresholds;
 
 pub use actuator::{ActuationScope, AsymmetricActuator};
+pub use analysis::{
+    evaluate_program, evaluate_program_recorded, replay_current_trace, EvalSetup, Evaluation,
+    TraceReplay,
+};
 pub use calibrate::calibrated_pdn;
 pub use controller::{ControlAction, ThresholdController};
 pub use loopsim::{ControlLoop, LoopReport};

@@ -1,0 +1,362 @@
+//! The experiment engine: a [`Scenario`] declares a parameter grid and a
+//! per-cell run function; [`run_scenario`] fans the grid out across
+//! worker threads and reassembles a deterministic report.
+//!
+//! # Determinism contract
+//!
+//! Cells are independent and each cell's computation is fully seeded, so
+//! the engine guarantees that **the report and the merged telemetry
+//! structure are identical for any `--jobs` value**:
+//!
+//! * cells are identified by their grid index, and results are stored by
+//!   index — workers race only for *which* cell to run next, never for
+//!   where a result lands;
+//! * per-cell [`MemoryRecorder`]s are merged in grid order after the
+//!   join, not in completion order (wall-clock timer *values* still vary
+//!   run to run — they are wall clock — but every counter, value
+//!   statistic, histogram bin, and the event sequence are reproducible);
+//! * rendering happens once, on the caller's thread, over the
+//!   index-ordered results.
+//!
+//! This is verified by `tests/determinism.rs` (byte-identical reports at
+//! `--jobs 1` vs `--jobs 8`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use voltctl_telemetry::MemoryRecorder;
+
+use crate::scale::scaled_budget;
+
+/// Cycle budget used for every cell in `--smoke` mode: just enough for
+/// the plumbing to be exercised end to end.
+pub const SMOKE_CYCLES: u64 = 1_500;
+/// Warm-up cap in `--smoke` mode (full warm-ups run to 40k cycles and
+/// would dominate a smoke pass).
+pub const SMOKE_WARMUP: u64 = 2_000;
+
+/// Per-run context handed to every cell: budget scaling, smoke mode,
+/// and whether telemetry should be collected.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Cycle-budget scale factor (1.0 = the documented defaults).
+    pub scale: f64,
+    /// Smoke mode: tiny budgets, capped warm-ups, narrative shape
+    /// assertions disabled. For CI plumbing checks, not for numbers.
+    pub smoke: bool,
+    /// Whether cells should collect telemetry into their recorders.
+    pub telemetry: bool,
+    /// Directory for telemetry artifacts cells export directly (per-cycle
+    /// trace CSVs and the like). Unused when `telemetry` is off.
+    pub telemetry_out: PathBuf,
+}
+
+impl Default for Ctx {
+    fn default() -> Ctx {
+        Ctx {
+            scale: 1.0,
+            smoke: false,
+            telemetry: false,
+            telemetry_out: crate::telemetry::default_out_dir(),
+        }
+    }
+}
+
+impl Ctx {
+    /// A context at a given scale, telemetry off.
+    pub fn new(scale: f64) -> Ctx {
+        Ctx {
+            scale,
+            ..Ctx::default()
+        }
+    }
+
+    /// Scales a default cycle budget (smoke mode overrides to
+    /// [`SMOKE_CYCLES`]).
+    pub fn budget(&self, default_cycles: u64) -> u64 {
+        if self.smoke {
+            SMOKE_CYCLES
+        } else {
+            scaled_budget(default_cycles, self.scale)
+        }
+    }
+
+    /// The warm-up cycles to use for a workload (smoke mode caps at
+    /// [`SMOKE_WARMUP`]).
+    pub fn warmup(&self, workload_warmup: u64) -> u64 {
+        if self.smoke {
+            workload_warmup.min(SMOKE_WARMUP)
+        } else {
+            workload_warmup
+        }
+    }
+
+    /// A narrative shape check: panics with `msg` when `cond` fails —
+    /// except in smoke mode, where budgets are far too small for the
+    /// paper's shape claims to hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cond` is false outside smoke mode.
+    pub fn check(&self, cond: bool, msg: &str) {
+        if !self.smoke {
+            assert!(cond, "narrative check failed: {msg}");
+        }
+    }
+}
+
+/// The structured result of one grid cell.
+#[derive(Debug, Default)]
+pub struct CellResult {
+    /// The cell's label (usually echoes the grid label).
+    pub label: String,
+    /// Pre-formatted table cells, consumed by table-building renderers.
+    pub row: Vec<String>,
+    /// Free-form report text (charts, narratives); renderers that use
+    /// `row` typically leave this empty.
+    pub text: String,
+    /// Named metrics for cross-cell aggregation in `render` (means,
+    /// baselines, comparisons) and structured inspection.
+    pub values: Vec<(&'static str, f64)>,
+    /// Telemetry collected while running the cell; merged into the
+    /// run-wide aggregate in grid order.
+    pub recorder: MemoryRecorder,
+}
+
+impl CellResult {
+    /// An empty result with a label.
+    pub fn new(label: impl Into<String>) -> CellResult {
+        CellResult {
+            label: label.into(),
+            ..CellResult::default()
+        }
+    }
+
+    /// Records a named metric.
+    pub fn value(&mut self, name: &'static str, value: f64) -> &mut Self {
+        self.values.push((name, value));
+        self
+    }
+
+    /// Looks up a named metric.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a named metric, panicking with a clear message when the
+    /// cell didn't record it (a scenario bug, not an input condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the metric is absent.
+    pub fn require(&self, name: &str) -> f64 {
+        self.get(name)
+            .unwrap_or_else(|| panic!("cell {:?} recorded no metric {name:?}", self.label))
+    }
+}
+
+/// Rough wall-clock class, shown by `voltctl-exp list`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Runtime {
+    /// Analytic; finishes in well under a second.
+    Instant,
+    /// A few seconds of simulation.
+    Seconds,
+    /// A minute-class full-stack sweep — the parallel payoff lives here.
+    Minutes,
+}
+
+impl Runtime {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Runtime::Instant => "instant",
+            Runtime::Seconds => "seconds",
+            Runtime::Minutes => "minutes",
+        }
+    }
+}
+
+/// One reproducible experiment: a named parameter grid plus a per-cell
+/// run function and a renderer that turns ordered cell results into the
+/// report text.
+///
+/// Implementations must be `Sync`: `run_cell` is called from worker
+/// threads with only `&self`. All mutable state belongs in the
+/// [`CellResult`].
+pub trait Scenario: Sync {
+    /// Stable identifier (`table2_emergencies`, `fig14_sensor_delay_perf`, …).
+    fn id(&self) -> &'static str;
+    /// One-line description for `voltctl-exp list`.
+    fn title(&self) -> &'static str;
+    /// Rough runtime class at scale 1.0.
+    fn runtime(&self) -> Runtime {
+        Runtime::Seconds
+    }
+    /// The parameter grid: one label per cell, in **report order**. The
+    /// engine may run cells in any order on any thread, but results are
+    /// always handed to [`render`](Scenario::render) in this order.
+    fn cells(&self, ctx: &Ctx) -> Vec<String>;
+    /// Runs one cell of the grid. Must be deterministic given
+    /// `(ctx, cell)` and free of global mutable state.
+    fn run_cell(&self, ctx: &Ctx, cell: usize) -> CellResult;
+    /// Assembles the report from index-ordered cell results.
+    fn render(&self, ctx: &Ctx, cells: &[CellResult]) -> String;
+}
+
+/// The output of one engine run.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The rendered report.
+    pub report: String,
+    /// All cells' telemetry, merged in grid order.
+    pub telemetry: MemoryRecorder,
+    /// Number of grid cells executed.
+    pub cells: usize,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Wall-clock for grid execution + merge + render.
+    pub elapsed: Duration,
+}
+
+/// Runs a scenario's grid on up to `jobs` worker threads and renders
+/// its report. `jobs` is clamped to `[1, #cells]`; the cell order of
+/// the output is the grid order regardless of scheduling.
+pub fn run_scenario(scenario: &dyn Scenario, ctx: &Ctx, jobs: usize) -> RunOutput {
+    let started = Instant::now();
+    let labels = scenario.cells(ctx);
+    let n = labels.len();
+    let jobs = jobs.max(1).min(n.max(1));
+
+    let slots: Vec<Mutex<Option<CellResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    if jobs == 1 {
+        // Run inline: identical semantics, no thread overhead, and
+        // backtraces from narrative checks stay on the caller's stack.
+        for (k, slot) in slots.iter().enumerate() {
+            *slot.lock().expect("unshared slot") = Some(scenario.run_cell(ctx, k));
+        }
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let result = scenario.run_cell(ctx, k);
+                    *slots[k].lock().expect("cell slot poisoned") = Some(result);
+                });
+            }
+        });
+    }
+
+    let results: Vec<CellResult> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(k, slot)| {
+            slot.into_inner()
+                .expect("cell slot poisoned")
+                .unwrap_or_else(|| panic!("cell {k} ({:?}) produced no result", labels[k]))
+        })
+        .collect();
+
+    // Grid-order merge: deterministic regardless of completion order.
+    let mut telemetry = MemoryRecorder::new();
+    for r in &results {
+        telemetry.merge(&r.recorder);
+    }
+
+    let report = scenario.render(ctx, &results);
+    RunOutput {
+        report,
+        telemetry,
+        cells: n,
+        jobs,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// The default worker count: one per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltctl_telemetry::Recorder;
+
+    struct Counting;
+
+    impl Scenario for Counting {
+        fn id(&self) -> &'static str {
+            "counting"
+        }
+        fn title(&self) -> &'static str {
+            "test scenario"
+        }
+        fn cells(&self, _ctx: &Ctx) -> Vec<String> {
+            (0..17).map(|k| format!("cell{k}")).collect()
+        }
+        fn run_cell(&self, _ctx: &Ctx, cell: usize) -> CellResult {
+            let mut r = CellResult::new(format!("cell{cell}"));
+            r.value("square", (cell * cell) as f64);
+            r.recorder.counter("cells.run", 1);
+            r.row = vec![cell.to_string(), (cell * cell).to_string()];
+            r
+        }
+        fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
+            cells
+                .iter()
+                .map(|c| format!("{}={}", c.label, c.require("square")))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+    }
+
+    #[test]
+    fn results_are_ordered_and_merged() {
+        for jobs in [1, 3, 8, 64] {
+            let out = run_scenario(&Counting, &Ctx::default(), jobs);
+            assert_eq!(out.cells, 17);
+            assert!(out.jobs <= 17);
+            assert_eq!(out.telemetry.snapshot().counter("cells.run"), Some(17));
+            assert!(out.report.starts_with("cell0=0"));
+            assert!(out.report.ends_with("cell16=256"));
+        }
+    }
+
+    #[test]
+    fn smoke_overrides_budgets() {
+        let full = Ctx::new(1.0);
+        assert_eq!(full.budget(100_000), 100_000);
+        assert_eq!(full.warmup(40_000), 40_000);
+        let smoke = Ctx {
+            smoke: true,
+            ..Ctx::default()
+        };
+        assert_eq!(smoke.budget(100_000), SMOKE_CYCLES);
+        assert_eq!(smoke.warmup(40_000), SMOKE_WARMUP);
+        smoke.check(false, "shape claims are off in smoke mode");
+    }
+
+    #[test]
+    #[should_panic(expected = "narrative check")]
+    fn checks_fire_outside_smoke() {
+        Ctx::default().check(false, "must fire");
+    }
+
+    #[test]
+    fn scale_reaches_budgets() {
+        let ctx = Ctx::new(0.5);
+        assert_eq!(ctx.budget(100_000), 50_000);
+    }
+}

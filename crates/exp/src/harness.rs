@@ -1,0 +1,343 @@
+//! The reference machine and the shared evaluation helpers every
+//! scenario builds on (hoisted from the old `voltctl-bench` library so
+//! there is exactly one copy):
+//!
+//! * the standard power model, machine configuration, and the calibrated
+//!   supply network at any percent of target impedance (memoized —
+//!   calibration is a bisection over steady-state simulations, and
+//!   parallel grid cells would otherwise redo it per cell);
+//! * workload construction (the tuned stressmark is memoized for the
+//!   same reason; SPEC kernels build per cell via `spec::by_index`);
+//! * threshold solving per actuation scope;
+//! * controlled-vs-baseline evaluation, threading an optional
+//!   [`MemoryRecorder`] instead of mutating process-global state — the
+//!   engine's worker threads each own their cell's recorder.
+
+use std::sync::{Mutex, OnceLock};
+use voltctl_core::analysis::{evaluate_program_recorded, EvalSetup, Evaluation};
+use voltctl_core::prelude::*;
+use voltctl_cpu::CpuConfig;
+use voltctl_pdn::PdnModel;
+use voltctl_power::{PowerModel, PowerParams};
+use voltctl_telemetry::MemoryRecorder;
+use voltctl_workloads::{spec, stressmark, trace, Workload};
+
+use crate::engine::Ctx;
+
+/// The standard power model (paper's 3 GHz / 1.0 V budget).
+pub fn power_model() -> PowerModel {
+    PowerModel::new(PowerParams::paper_3ghz())
+}
+
+/// The standard machine configuration (Table 1).
+pub fn cpu_config() -> CpuConfig {
+    CpuConfig::table1()
+}
+
+/// The machine's current swing (amps) under the standard power model.
+pub fn delta_i() -> f64 {
+    let p = power_model();
+    p.achievable_peak_current() - p.min_current()
+}
+
+/// The supply network at `percent` of target impedance (1.0 = 100%).
+///
+/// Calibrations are memoized per process: the first request at a given
+/// percent runs the bisection, subsequent requests (other grid cells,
+/// other scenarios in a `run --all`) clone the cached model.
+///
+/// # Panics
+///
+/// Panics on calibration failure (cannot happen for the standard
+/// parameters).
+pub fn pdn_at(percent: f64) -> PdnModel {
+    static CACHE: OnceLock<Mutex<Vec<(u64, PdnModel)>>> = OnceLock::new();
+    let key = percent.to_bits();
+    // Calibrate while holding the lock: concurrent first requests block
+    // behind one bisection instead of redundantly re-solving — on a
+    // saturated machine the redundant work costs more than the wait.
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("pdn cache poisoned");
+    if let Some((_, pdn)) = cache.iter().find(|(k, _)| *k == key) {
+        return pdn.clone();
+    }
+    let power = power_model();
+    let pdn = calibrated_pdn(
+        &PdnModel::paper_default().expect("paper parameters are valid"),
+        &power,
+        percent,
+    )
+    .expect("calibration succeeds for the standard machine");
+    cache.push((key, pdn.clone()));
+    pdn
+}
+
+/// The stressmark tuned to the standard package resonance (60 cycles),
+/// memoized per process (tuning measures candidate loops on the
+/// cycle-level simulator).
+pub fn tuned_stressmark() -> Workload {
+    static TUNED: OnceLock<Workload> = OnceLock::new();
+    TUNED
+        .get_or_init(|| {
+            let config = cpu_config();
+            let power = power_model();
+            let period = pdn_at(2.0).resonant_period_cycles();
+            let (_, wl) = stressmark::tune(period, &config, &power);
+            wl
+        })
+        .clone()
+}
+
+/// All 26 synthetic SPEC2000 kernels, in suite order.
+pub fn spec_suite() -> Vec<Workload> {
+    spec::all()
+}
+
+/// The paper's high-variation eight-benchmark subset.
+pub fn variable_eight() -> Vec<Workload> {
+    spec::variable_eight()
+}
+
+/// Solves thresholds for a scope/delay at a given impedance percent.
+///
+/// # Errors
+///
+/// Propagates solver errors ([`ControlError::Unstable`] in particular).
+pub fn solve_for(
+    scope: ActuationScope,
+    delay: u32,
+    percent: f64,
+) -> Result<Thresholds, ControlError> {
+    let power = power_model();
+    let pdn = pdn_at(percent);
+    let setup = SolveSetup::new(
+        &pdn,
+        power.min_current(),
+        power.achievable_peak_current(),
+        scope.leverage(&power),
+        delay,
+    );
+    solve_thresholds(&setup)
+}
+
+/// Evaluates one workload under control vs. baseline.
+///
+/// With `telem: Some(rec)`, the controlled run's counters, timers, and
+/// histograms are merged into `rec` (the caller's cell recorder);
+/// with `None` the loop runs on the zero-cost
+/// [`voltctl_telemetry::NullRecorder`].
+///
+/// # Errors
+///
+/// Propagates construction/solver errors.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate(
+    workload: &Workload,
+    scope: ActuationScope,
+    thresholds: Thresholds,
+    sensor: SensorConfig,
+    percent: f64,
+    warmup: u64,
+    cycles: u64,
+    telem: Option<&mut MemoryRecorder>,
+) -> Result<Evaluation, ControlError> {
+    let setup = EvalSetup {
+        cpu_config: cpu_config(),
+        power: power_model(),
+        pdn: pdn_at(percent),
+        thresholds,
+        sensor,
+        scope,
+    };
+    match telem {
+        Some(out) => {
+            let rec = MemoryRecorder::new().echo_warnings(true);
+            let (evaluation, rec) =
+                evaluate_program_recorded(&workload.program, &setup, warmup, cycles, rec)?;
+            out.merge(&rec);
+            Ok(evaluation)
+        }
+        None => {
+            let (evaluation, _) = evaluate_program_recorded(
+                &workload.program,
+                &setup,
+                warmup,
+                cycles,
+                voltctl_telemetry::NullRecorder,
+            )?;
+            Ok(evaluation)
+        }
+    }
+}
+
+/// Records a workload's uncontrolled current trace at the standard
+/// configuration.
+pub fn current_trace(workload: &Workload, cycles: usize) -> Vec<f64> {
+    trace::record_current(workload, &cpu_config(), &power_model(), cycles)
+}
+
+/// One point of a controller sweep (used by Figures 14–18).
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Workload (or aggregate) label.
+    pub label: String,
+    /// Actuation scope.
+    pub scope: ActuationScope,
+    /// Sensor delay in cycles.
+    pub delay: u32,
+    /// Sensor error in millivolts.
+    pub error_mv: f64,
+    /// Fractional IPC loss vs. the uncontrolled baseline.
+    pub perf_loss: f64,
+    /// Fractional per-instruction energy increase vs. baseline.
+    pub energy_increase: f64,
+    /// Emergency cycles remaining under control.
+    pub controlled_emergencies: u64,
+    /// Emergency cycles in the baseline.
+    pub baseline_emergencies: u64,
+    /// Whether the threshold solver declared this point unstable.
+    pub unstable: bool,
+}
+
+/// Evaluates `workloads` (plus the stressmark) at one controller
+/// configuration, returning one row per workload plus a `"SPEC mean"`
+/// aggregate over `workloads`.
+///
+/// Unstable points (no safe thresholds) produce rows flagged `unstable`
+/// with NaN metrics.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_point(
+    ctx: &Ctx,
+    workloads: &[Workload],
+    stress: &Workload,
+    scope: ActuationScope,
+    delay: u32,
+    error_mv: f64,
+    percent: f64,
+    cycles: u64,
+    mut telem: Option<&mut MemoryRecorder>,
+) -> Vec<SweepRow> {
+    let make_row =
+        |label: &str, perf: f64, energy: f64, ce: u64, be: u64, unstable: bool| SweepRow {
+            label: label.to_string(),
+            scope,
+            delay,
+            error_mv,
+            perf_loss: perf,
+            energy_increase: energy,
+            controlled_emergencies: ce,
+            baseline_emergencies: be,
+            unstable,
+        };
+
+    // Per the paper's methodology, the deployed thresholds come from the
+    // Table 3 analysis (ideal actuation); the scope-specific solve is used
+    // to *flag* configurations whose actuation leverage cannot guarantee
+    // safety (FU-only at delay >= 3).
+    let thresholds = match solve_for(scope, delay, percent)
+        .and_then(|_| solve_for(ActuationScope::Ideal, delay, percent))
+    {
+        Ok(t) => t,
+        Err(_) => {
+            let mut rows: Vec<SweepRow> = workloads
+                .iter()
+                .map(|w| make_row(&w.name, f64::NAN, f64::NAN, 0, 0, true))
+                .collect();
+            rows.push(make_row("SPEC mean", f64::NAN, f64::NAN, 0, 0, true));
+            rows.push(make_row(&stress.name, f64::NAN, f64::NAN, 0, 0, true));
+            return rows;
+        }
+    };
+    let sensor = SensorConfig {
+        delay_cycles: delay,
+        noise_mv: error_mv,
+        seed: 0xd1d7,
+    };
+
+    let mut rows = Vec::new();
+    let mut sum_perf = 0.0;
+    let mut sum_energy = 0.0;
+    for w in workloads {
+        let e = evaluate(
+            w,
+            scope,
+            thresholds,
+            sensor,
+            percent,
+            ctx.warmup(w.warmup_cycles),
+            cycles,
+            telem.as_deref_mut(),
+        )
+        .expect("evaluation constructs for solved thresholds");
+        sum_perf += e.perf_loss();
+        sum_energy += e.energy_increase();
+        rows.push(make_row(
+            &w.name,
+            e.perf_loss(),
+            e.energy_increase(),
+            e.controlled.emergencies.emergency_cycles,
+            e.baseline.emergencies.emergency_cycles,
+            false,
+        ));
+    }
+    let n = workloads.len().max(1) as f64;
+    rows.push(make_row(
+        "SPEC mean",
+        sum_perf / n,
+        sum_energy / n,
+        0,
+        0,
+        false,
+    ));
+    let e = evaluate(
+        stress,
+        scope,
+        thresholds,
+        sensor,
+        percent,
+        ctx.warmup(stress.warmup_cycles),
+        cycles,
+        telem,
+    )
+    .expect("stressmark evaluation constructs");
+    rows.push(make_row(
+        &stress.name,
+        e.perf_loss(),
+        e.energy_increase(),
+        e.controlled.emergencies.emergency_cycles,
+        e.baseline.emergencies.emergency_cycles,
+        false,
+    ));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_constructs() {
+        let pdn = pdn_at(2.0);
+        assert!(pdn.peak_impedance() > 0.0);
+        assert!(delta_i() > 30.0);
+        assert_eq!(spec_suite().len(), 26);
+    }
+
+    #[test]
+    fn pdn_cache_returns_identical_models() {
+        let a = pdn_at(3.0);
+        let b = pdn_at(3.0);
+        assert_eq!(a.peak_impedance(), b.peak_impedance());
+        assert_eq!(a.resonant_period_cycles(), b.resonant_period_cycles());
+    }
+
+    #[test]
+    fn stressmark_is_memoized_and_stable() {
+        let a = tuned_stressmark();
+        let b = tuned_stressmark();
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.program.len(), b.program.len());
+    }
+}

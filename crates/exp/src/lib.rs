@@ -1,0 +1,35 @@
+//! voltctl-exp: the unified experiment engine.
+//!
+//! Every table, figure, and ablation of the reproduction is a
+//! [`Scenario`]: a named parameter grid plus a per-cell run function and
+//! a renderer. The [`engine`] fans a scenario's grid across worker
+//! threads (`std::thread::scope`, zero dependencies) and reassembles a
+//! deterministic report — byte-identical for any `--jobs` value.
+//!
+//! The `voltctl-exp` binary is the front door:
+//!
+//! ```text
+//! voltctl-exp list
+//! voltctl-exp run table2_emergencies --jobs 8
+//! voltctl-exp run --all --smoke
+//! ```
+//!
+//! The old `cargo run -p voltctl-bench --bin <id>` binaries remain as
+//! deprecated shims over [`shim::run`].
+
+pub mod engine;
+pub mod harness;
+pub mod report;
+pub mod scale;
+pub mod scenarios;
+pub mod shim;
+pub mod telemetry;
+
+pub use engine::{default_jobs, run_scenario, CellResult, Ctx, RunOutput, Runtime, Scenario};
+pub use harness::{
+    cpu_config, current_trace, delta_i, evaluate, pdn_at, power_model, solve_for, spec_suite,
+    sweep_point, tuned_stressmark, variable_eight, SweepRow,
+};
+pub use report::{ascii_chart, pct, TextTable};
+pub use scale::{env_scale, parse_scale, scaled_budget, MIN_CYCLES};
+pub use scenarios::{find, registry};

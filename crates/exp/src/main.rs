@@ -1,0 +1,180 @@
+//! The `voltctl-exp` CLI: list and run the reproduction's experiments.
+//!
+//! ```text
+//! voltctl-exp list
+//! voltctl-exp run <id>... [--jobs N] [--scale X] [--smoke]
+//!                         [--telemetry MODE] [--telemetry-out DIR]
+//! voltctl-exp run --all [same flags]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+use voltctl_exp::engine::{default_jobs, run_scenario, Ctx, Scenario};
+use voltctl_exp::scenarios::{find, registry};
+use voltctl_exp::telemetry::{default_out_dir, env_mode, export_run, parse_mode, Mode};
+use voltctl_exp::{parse_scale, TextTable};
+
+const USAGE: &str = "\
+voltctl-exp — unified experiment runner
+
+USAGE:
+    voltctl-exp list
+    voltctl-exp run <id>... [OPTIONS]
+    voltctl-exp run --all [OPTIONS]
+
+OPTIONS:
+    --jobs <N>            worker threads per scenario grid
+                          (default: all hardware threads)
+    --scale <X>           cycle-budget scale factor (default: 1.0,
+                          or VOLTCTL_SCALE)
+    --smoke               tiny budgets, narrative checks off (CI plumbing)
+    --telemetry <MODE>    off | summary | jsonl | csv
+                          (default: VOLTCTL_TELEMETRY or off)
+    --telemetry-out <DIR> snapshot directory (default: results/telemetry)
+
+Run `voltctl-exp list` for the available scenario ids.
+";
+
+struct RunArgs {
+    ids: Vec<String>,
+    all: bool,
+    jobs: usize,
+    ctx: Ctx,
+    mode: Mode,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("voltctl-exp: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_run_args(args: &[String]) -> RunArgs {
+    let mut out = RunArgs {
+        ids: Vec::new(),
+        all: false,
+        jobs: default_jobs(),
+        ctx: Ctx::new(voltctl_exp::env_scale()),
+        mode: env_mode(),
+    };
+    out.ctx.telemetry_out = default_out_dir();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> String {
+            if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+                return v.to_string();
+            }
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.split('=').next().unwrap_or(arg.as_str()) {
+            "--all" => out.all = true,
+            "--smoke" => out.ctx.smoke = true,
+            "--jobs" => {
+                let raw = flag_value("--jobs");
+                out.jobs = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail(&format!("--jobs {raw:?} is not a positive integer")));
+            }
+            "--scale" => {
+                let raw = flag_value("--scale");
+                out.ctx.scale =
+                    parse_scale(&raw).unwrap_or_else(|e| fail(&format!("--scale {raw:?}: {e}")));
+            }
+            "--telemetry" => out.mode = parse_mode(&flag_value("--telemetry")),
+            "--telemetry-out" => {
+                out.ctx.telemetry_out = PathBuf::from(flag_value("--telemetry-out"))
+            }
+            _ if arg.starts_with("--") => fail(&format!("unknown flag {arg:?}")),
+            _ => out.ids.push(arg.clone()),
+        }
+    }
+    out.ctx.telemetry = out.mode != Mode::Off;
+
+    if out.all && !out.ids.is_empty() {
+        fail("--all cannot be combined with explicit scenario ids");
+    }
+    if !out.all && out.ids.is_empty() {
+        fail("run needs at least one scenario id (or --all)");
+    }
+    out
+}
+
+fn cmd_list() {
+    let mut t = TextTable::new(["id", "runtime", "cells", "description"]);
+    let ctx = Ctx::default();
+    for s in registry() {
+        t.row([
+            s.id().to_string(),
+            s.runtime().name().to_string(),
+            s.cells(&ctx).len().to_string(),
+            s.title().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nrun one with: voltctl-exp run <id> [--jobs N] [--scale X]");
+}
+
+fn cmd_run(args: &[String]) {
+    let run = parse_run_args(args);
+    let scenarios: Vec<&'static dyn Scenario> = if run.all {
+        registry().to_vec()
+    } else {
+        run.ids
+            .iter()
+            .map(|id| {
+                find(id).unwrap_or_else(|| {
+                    fail(&format!("unknown scenario {id:?} (see `voltctl-exp list`)"))
+                })
+            })
+            .collect()
+    };
+
+    let started = Instant::now();
+    for (k, scenario) in scenarios.iter().enumerate() {
+        if k > 0 {
+            println!();
+        }
+        let out = run_scenario(*scenario, &run.ctx, run.jobs);
+        print!("{}", out.report);
+        eprintln!(
+            "[voltctl-exp] {}: {} cells on {} worker(s) in {:.2?}",
+            scenario.id(),
+            out.cells,
+            out.jobs,
+            out.elapsed
+        );
+        export_run(
+            scenario.id(),
+            &out.telemetry,
+            run.mode,
+            &run.ctx.telemetry_out,
+        );
+    }
+    if scenarios.len() > 1 {
+        eprintln!(
+            "[voltctl-exp] {} scenario(s) in {:.2?}",
+            scenarios.len(),
+            started.elapsed()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            if args.len() > 1 {
+                fail("list takes no arguments");
+            }
+            cmd_list();
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => print!("{USAGE}"),
+        Some(other) => fail(&format!("unknown command {other:?}")),
+        None => fail("missing command"),
+    }
+}

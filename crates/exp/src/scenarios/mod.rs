@@ -1,0 +1,72 @@
+//! The scenario registry: every table and figure of the paper plus the
+//! §6 ablations, each as a [`Scenario`](crate::engine::Scenario)
+//! implementation over the shared engine.
+//!
+//! Registry order follows the paper (figures, tables interleaved as in
+//! `DESIGN.md` §4) and is the execution order of `voltctl-exp run --all`.
+
+mod ablations;
+mod stressmark;
+mod suite;
+mod sweeps;
+mod waveforms;
+
+use crate::engine::Scenario;
+
+/// Every registered scenario, in paper order.
+pub fn registry() -> &'static [&'static dyn Scenario] {
+    static REGISTRY: &[&dyn Scenario] = &[
+        &waveforms::Fig01Itrs,
+        &waveforms::Fig02Response,
+        &waveforms::Fig03NarrowSpike,
+        &waveforms::Fig04WideSpike,
+        &waveforms::Fig05NotchedSpike,
+        &waveforms::Fig06ResonantTrain,
+        &stressmark::Fig08Stressmark,
+        &stressmark::Fig09StressmarkVsWorst,
+        &suite::Fig10VoltageDistributions,
+        &stressmark::Fig11ControllerTrace,
+        &suite::Table2Emergencies,
+        &sweeps::Table3Thresholds,
+        &sweeps::Fig14SensorDelayPerf,
+        &sweeps::Fig15SensorDelayEnergy,
+        &sweeps::Fig16SensorError,
+        &sweeps::Fig17ActuatorPerf,
+        &sweeps::Fig18ActuatorEnergy,
+        &ablations::AblationPid,
+        &ablations::AblationGrid,
+        &ablations::AblationAsymmetric,
+        &ablations::AblationLadder,
+    ];
+    REGISTRY
+}
+
+/// Looks a scenario up by id.
+pub fn find(id: &str) -> Option<&'static dyn Scenario> {
+    registry().iter().copied().find(|s| s.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let mut seen = std::collections::HashSet::new();
+        for s in registry() {
+            assert!(seen.insert(s.id()), "duplicate id {}", s.id());
+            assert!(find(s.id()).is_some());
+            assert!(!s.title().is_empty(), "{} needs a title", s.id());
+        }
+        assert_eq!(registry().len(), 21);
+        assert!(find("not_a_scenario").is_none());
+    }
+
+    #[test]
+    fn grids_are_nonempty() {
+        let ctx = crate::engine::Ctx::default();
+        for s in registry() {
+            assert!(!s.cells(&ctx).is_empty(), "{} has an empty grid", s.id());
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! §2 motivation figures: ITRS impedance trends, the second-order model's
+//! responses, and the spike/notch/resonance waveform studies (Figures 1–6).
+
+use std::fmt::Write as _;
+use voltctl_pdn::itrs::{self, Segment};
+use voltctl_pdn::{waveform, FrequencyResponse, StepResponse, VoltageMonitor};
+
+use crate::engine::{CellResult, Ctx, Runtime, Scenario};
+use crate::harness::{delta_i, pdn_at};
+use crate::report::{ascii_chart, TextTable};
+
+/// Replays a current trace on a fresh supply state and reports on it.
+fn replay(percent: f64, trace: &[f64]) -> (Vec<f64>, voltctl_pdn::EmergencyReport) {
+    let pdn = pdn_at(percent);
+    let mut state = pdn.discretize();
+    let volts = state.run(trace);
+    let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
+    monitor.observe_all(&volts);
+    (volts, monitor.report())
+}
+
+/// Figure 1: relative power-supply impedance trends from ITRS-2001 data.
+pub struct Fig01Itrs;
+
+impl Scenario for Fig01Itrs {
+    fn id(&self) -> &'static str {
+        "fig01_itrs"
+    }
+    fn title(&self) -> &'static str {
+        "ITRS-2001 relative impedance trends"
+    }
+    fn runtime(&self) -> Runtime {
+        Runtime::Instant
+    }
+    fn cells(&self, _ctx: &Ctx) -> Vec<String> {
+        vec!["itrs".into()]
+    }
+    fn run_cell(&self, _ctx: &Ctx, _cell: usize) -> CellResult {
+        let mut out = CellResult::new("itrs");
+        let cp = itrs::relative_impedance(Segment::CostPerformance);
+        let hp = itrs::relative_impedance(Segment::HighPerformance);
+        let gap = itrs::segment_gap();
+
+        let mut t = TextTable::new(["year", "cost-perf (rel)", "high-perf (rel)", "cp/hp gap"]);
+        for ((cp, hp), gap) in cp.iter().zip(&hp).zip(&gap) {
+            assert_eq!(cp.0, hp.0);
+            t.row([
+                cp.0.to_string(),
+                format!("{:.3}", cp.1),
+                format!("{:.3}", hp.1),
+                format!("{:.2}", gap.1),
+            ]);
+        }
+        let s = &mut out.text;
+        writeln!(s, "== Figure 1: relative impedance trends (ITRS 2001) ==\n").unwrap();
+        writeln!(s, "{}", t.render()).unwrap();
+
+        let half_cp = cp.iter().find(|(_, z)| *z < 0.5).map(|(y, _)| *y);
+        let half_hp = hp.iter().find(|(_, z)| *z < 0.5).map(|(y, _)| *y);
+        writeln!(
+            s,
+            "impedance halves by: cost-perf {} / high-perf {} (paper: ~2x every 3-5 years)",
+            half_cp.map_or("n/a".into(), |y| y.to_string()),
+            half_hp.map_or("n/a".into(), |y| y.to_string()),
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "segment gap: {:.2}x (2001) -> {:.2}x (2016)  — converging, as the paper observes",
+            gap.first().expect("nonempty").1,
+            gap.last().expect("nonempty").1
+        )
+        .unwrap();
+        out
+    }
+    fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
+        cells[0].text.clone()
+    }
+}
+
+/// Figure 2: frequency and transient response of the second-order model.
+pub struct Fig02Response;
+
+impl Scenario for Fig02Response {
+    fn id(&self) -> &'static str {
+        "fig02_response"
+    }
+    fn title(&self) -> &'static str {
+        "second-order model frequency/step responses"
+    }
+    fn runtime(&self) -> Runtime {
+        Runtime::Instant
+    }
+    fn cells(&self, _ctx: &Ctx) -> Vec<String> {
+        vec!["response".into()]
+    }
+    fn run_cell(&self, _ctx: &Ctx, _cell: usize) -> CellResult {
+        let mut out = CellResult::new("response");
+        let pdn = pdn_at(2.0);
+        let s = &mut out.text;
+        writeln!(
+            s,
+            "== Figure 2: second-order model responses (200% of target impedance) ==\n"
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "model: R_dc {:.2} mOhm, f0 {:.0} MHz ({} cycles @ 3 GHz), Z_pk {:.3} mOhm, Q {:.2}, zeta {:.3}\n",
+            pdn.r_dc() * 1e3,
+            pdn.resonant_freq_hz() / 1e6,
+            pdn.resonant_period_cycles(),
+            pdn.peak_impedance() * 1e3,
+            pdn.q_factor(),
+            pdn.damping_ratio()
+        )
+        .unwrap();
+
+        writeln!(s, "-- impedance vs frequency --").unwrap();
+        let sweep = FrequencyResponse::sweep(&pdn, 1.0e6, 1.0e9, 240);
+        let mags: Vec<f64> = sweep.points().iter().map(|(_, z)| z * 1e3).collect();
+        writeln!(s, "{}", ascii_chart(&mags, 10, 72)).unwrap();
+        writeln!(s, "           (log-frequency 1 MHz .. 1 GHz; y in mOhm)\n").unwrap();
+        let (f_pk, z_pk) = sweep.peak();
+        writeln!(
+            s,
+            "sampled peak: {:.3} mOhm at {:.1} MHz\n",
+            z_pk * 1e3,
+            f_pk / 1e6
+        )
+        .unwrap();
+
+        let mut t = TextTable::new(["f (MHz)", "|Z| (mOhm)"]);
+        for &f in &[1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 200.0, 500.0] {
+            t.row([
+                format!("{f:.0}"),
+                format!("{:.4}", pdn.impedance_at(f * 1e6) * 1e3),
+            ]);
+        }
+        writeln!(s, "{}", t.render()).unwrap();
+
+        writeln!(
+            s,
+            "-- step response (current step = full machine swing {:.1} A) --",
+            delta_i()
+        )
+        .unwrap();
+        let sr = StepResponse::simulate(&pdn, delta_i(), 400);
+        writeln!(s, "{}", ascii_chart(sr.volts(), 10, 72)).unwrap();
+        let m = sr.metrics();
+        writeln!(
+            s,
+            "peak deviation {:.1} mV at cycle {}, overshoot ratio {:.2}, settles by cycle {}, ringing period {} cycles",
+            m.peak_deviation * 1e3,
+            m.peak_cycle,
+            m.overshoot_ratio,
+            m.settling_cycle.map_or("n/a".into(), |c| c.to_string()),
+            m.ringing_period.map_or("n/a".into(), |p| p.to_string()),
+        )
+        .unwrap();
+        out
+    }
+    fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
+        cells[0].text.clone()
+    }
+}
+
+/// Figure 3: the supply tolerates a narrow (5-cycle) current spike.
+pub struct Fig03NarrowSpike;
+
+impl Scenario for Fig03NarrowSpike {
+    fn id(&self) -> &'static str {
+        "fig03_narrow_spike"
+    }
+    fn title(&self) -> &'static str {
+        "narrow current spike stays in spec"
+    }
+    fn runtime(&self) -> Runtime {
+        Runtime::Instant
+    }
+    fn cells(&self, _ctx: &Ctx) -> Vec<String> {
+        vec!["narrow".into()]
+    }
+    fn run_cell(&self, ctx: &Ctx, _cell: usize) -> CellResult {
+        let mut out = CellResult::new("narrow");
+        let pdn = pdn_at(3.0);
+        let trace = waveform::spike(0.0, delta_i(), 20, 5, 360);
+        let (volts, r) = replay(3.0, &trace);
+        if ctx.telemetry {
+            r.record_telemetry(&mut out.recorder);
+        }
+        let s = &mut out.text;
+        writeln!(
+            s,
+            "== Figure 3: response to a narrow (5-cycle, {:.1} A) current spike ==",
+            delta_i()
+        )
+        .unwrap();
+        writeln!(s, "   (300% of target impedance)\n").unwrap();
+        writeln!(s, "{}", ascii_chart(&volts, 10, 72)).unwrap();
+        writeln!(
+            s,
+            "min voltage {:.1} mV below nominal; emergencies: {}",
+            (pdn.v_nominal() - r.min_v) * 1e3,
+            if r.any() { "YES" } else { "none" }
+        )
+        .unwrap();
+        ctx.check(!r.any(), "narrow spike must stay in spec");
+        out
+    }
+    fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
+        cells[0].text.clone()
+    }
+}
+
+/// Figure 4: a wide (10-cycle) spike of the same height causes an
+/// undervoltage emergency — duration, not just magnitude, matters.
+pub struct Fig04WideSpike;
+
+impl Scenario for Fig04WideSpike {
+    fn id(&self) -> &'static str {
+        "fig04_wide_spike"
+    }
+    fn title(&self) -> &'static str {
+        "wide current spike crosses the 5% band"
+    }
+    fn runtime(&self) -> Runtime {
+        Runtime::Instant
+    }
+    fn cells(&self, _ctx: &Ctx) -> Vec<String> {
+        vec!["wide".into()]
+    }
+    fn run_cell(&self, ctx: &Ctx, _cell: usize) -> CellResult {
+        let mut out = CellResult::new("wide");
+        let pdn = pdn_at(3.0);
+        let trace = waveform::spike(0.0, delta_i(), 20, 10, 360);
+        let (volts, r) = replay(3.0, &trace);
+        if ctx.telemetry {
+            r.record_telemetry(&mut out.recorder);
+        }
+        let s = &mut out.text;
+        writeln!(
+            s,
+            "== Figure 4: response to a wide (10-cycle, {:.1} A) current spike ==",
+            delta_i()
+        )
+        .unwrap();
+        writeln!(s, "   (300% of target impedance)\n").unwrap();
+        writeln!(s, "{}", ascii_chart(&volts, 10, 72)).unwrap();
+        writeln!(
+            s,
+            "min voltage {:.1} mV below nominal; emergency cycles: {}",
+            (pdn.v_nominal() - r.min_v) * 1e3,
+            r.emergency_cycles
+        )
+        .unwrap();
+        ctx.check(r.any(), "wide spike must cross the 5% band");
+        out
+    }
+    fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
+        cells[0].text.clone()
+    }
+}
+
+/// Figure 5: notching a wide spike — momentarily throttling current
+/// midway through a sustained burst — lets the network recover and
+/// avoids the emergency. This is the waveform a dI/dt actuator carves.
+pub struct Fig05NotchedSpike;
+
+impl Scenario for Fig05NotchedSpike {
+    fn id(&self) -> &'static str {
+        "fig05_notched_spike"
+    }
+    fn title(&self) -> &'static str {
+        "notched wide spike avoids the emergency"
+    }
+    fn runtime(&self) -> Runtime {
+        Runtime::Instant
+    }
+    fn cells(&self, _ctx: &Ctx) -> Vec<String> {
+        vec!["un-notched".into(), "notched".into()]
+    }
+    fn run_cell(&self, ctx: &Ctx, cell: usize) -> CellResult {
+        let trace = if cell == 0 {
+            waveform::spike(0.0, delta_i(), 20, 20, 360)
+        } else {
+            waveform::notched_spike(0.0, delta_i(), 20, 20, 7, 7, 360)
+        };
+        let (volts, r) = replay(3.0, &trace);
+        let pdn = pdn_at(3.0);
+        let mut out = CellResult::new(if cell == 0 { "un-notched" } else { "notched" });
+        if ctx.telemetry {
+            r.record_telemetry(&mut out.recorder);
+        }
+        out.value("droop_mv", (pdn.v_nominal() - r.min_v) * 1e3);
+        out.value("emergency_cycles", r.emergency_cycles as f64);
+        out.value("any", if r.any() { 1.0 } else { 0.0 });
+        if cell == 1 {
+            out.text = ascii_chart(&volts, 10, 72);
+        }
+        out
+    }
+    fn render(&self, ctx: &Ctx, cells: &[CellResult]) -> String {
+        let (wide, notched) = (&cells[0], &cells[1]);
+        let mut s = String::new();
+        writeln!(
+            s,
+            "== Figure 5: notched wide spike (controller back-off mid-burst) =="
+        )
+        .unwrap();
+        writeln!(s, "   (300% of target impedance)\n").unwrap();
+        writeln!(s, "{}", notched.text).unwrap();
+        writeln!(
+            s,
+            "un-notched 20-cycle spike: {:.1} mV droop, emergency cycles {}",
+            wide.require("droop_mv"),
+            wide.require("emergency_cycles") as u64
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "   notched 20-cycle spike: {:.1} mV droop, emergency cycles {}",
+            notched.require("droop_mv"),
+            notched.require("emergency_cycles") as u64
+        )
+        .unwrap();
+        ctx.check(wide.require("any") > 0.5, "unnotched spike crosses spec");
+        ctx.check(notched.require("any") < 0.5, "the notch saves it");
+        s
+    }
+}
+
+/// Figure 6: pulses at the package resonant frequency build up — each
+/// successive pulse rides the echo of the last, producing the worst-case
+/// voltage swing (the analytic target the dI/dt stressmark imitates).
+pub struct Fig06ResonantTrain;
+
+impl Scenario for Fig06ResonantTrain {
+    fn id(&self) -> &'static str {
+        "fig06_resonant_train"
+    }
+    fn title(&self) -> &'static str {
+        "resonant pulse train builds worst-case swing"
+    }
+    fn runtime(&self) -> Runtime {
+        Runtime::Instant
+    }
+    fn cells(&self, _ctx: &Ctx) -> Vec<String> {
+        vec!["train".into()]
+    }
+    fn run_cell(&self, ctx: &Ctx, _cell: usize) -> CellResult {
+        let mut out = CellResult::new("train");
+        let pdn = pdn_at(3.0);
+        let period = pdn.resonant_period_cycles();
+        let trace = waveform::pulse_train(0.0, delta_i(), 10, period / 2, period, 6, 600);
+        let (volts, r) = replay(3.0, &trace);
+        if ctx.telemetry {
+            r.record_telemetry(&mut out.recorder);
+        }
+        let s = &mut out.text;
+        writeln!(s, "== Figure 6: pulse train at the resonant frequency ==").unwrap();
+        writeln!(
+            s,
+            "   ({} pulses, {}-cycle period = {:.0} MHz at 3 GHz; 300% of target impedance)\n",
+            6,
+            period,
+            3.0e9 / period as f64 / 1e6
+        )
+        .unwrap();
+        writeln!(s, "{}", ascii_chart(&volts, 12, 72)).unwrap();
+
+        // Per-pulse minimum: demonstrate resonance build-up.
+        for pulse in 0..3 {
+            let start = 10 + pulse * period;
+            let end = (start + period).min(volts.len());
+            let min = volts[start..end].iter().cloned().fold(f64::MAX, f64::min);
+            writeln!(
+                s,
+                "pulse {}: min voltage {:.1} mV below nominal",
+                pulse + 1,
+                (pdn.v_nominal() - min) * 1e3
+            )
+            .unwrap();
+        }
+        writeln!(s, "emergency cycles: {}", r.emergency_cycles).unwrap();
+        let first = volts[10..10 + period]
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
+        let second = volts[10 + period..10 + 2 * period]
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
+        ctx.check(second < first, "the second pulse digs deeper");
+        ctx.check(r.any(), "resonance causes emergencies");
+        out
+    }
+    fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
+        cells[0].text.clone()
+    }
+}

@@ -1,0 +1,32 @@
+//! Back-compat entry point for the deprecated per-figure binaries in
+//! `voltctl-bench`: each old `cargo run -p voltctl-bench --bin <id>`
+//! binary is now a one-line shim over [`run`].
+//!
+//! Shims honor the legacy environment interface (`VOLTCTL_SCALE`,
+//! `VOLTCTL_TELEMETRY`, `--telemetry-out <dir>`) and run the scenario's
+//! grid on all available cores. New workflows should call
+//! `voltctl-exp run <id>` instead, which adds `--jobs`, `--scale`,
+//! `--smoke`, and multi-scenario runs.
+
+use crate::engine::{default_jobs, run_scenario, Ctx};
+use crate::scenarios::find;
+use crate::telemetry::{env_mode, export_run, out_dir_from_args, Mode};
+
+/// Runs one scenario by id with legacy environment-driven configuration,
+/// printing the report to stdout. Process-exits with status 2 on an
+/// unknown id (a shim/registry mismatch, not a user error).
+pub fn run(id: &str) {
+    let Some(scenario) = find(id) else {
+        eprintln!("voltctl-exp: unknown scenario {id:?} (shim out of date?)");
+        std::process::exit(2);
+    };
+    eprintln!(
+        "note: `--bin {id}` is a deprecated shim; prefer `cargo run --release -p voltctl-exp -- run {id}`"
+    );
+    let mut ctx = Ctx::new(crate::scale::env_scale());
+    ctx.telemetry = env_mode() != Mode::Off;
+    ctx.telemetry_out = out_dir_from_args(std::env::args().skip(1));
+    let out = run_scenario(scenario, &ctx, default_jobs());
+    print!("{}", out.report);
+    export_run(id, &out.telemetry, env_mode(), &ctx.telemetry_out);
+}

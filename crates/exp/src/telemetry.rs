@@ -1,0 +1,142 @@
+//! Telemetry configuration and end-of-run export for the engine.
+//!
+//! Collection itself is per-cell: each grid cell records into a private
+//! [`MemoryRecorder`](voltctl_telemetry::MemoryRecorder) that rides back
+//! on its `CellResult`, and the engine merges them in grid order (so the
+//! aggregate is deterministic regardless of worker count). This module
+//! owns what happens *around* that: which export mode is active
+//! (`--telemetry` flag or the `VOLTCTL_TELEMETRY` environment variable),
+//! where files go (`--telemetry-out`, default `results/telemetry/`), and
+//! the export itself.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use voltctl_telemetry::{export, MemoryRecorder};
+
+/// Export format selected by `--telemetry` / `VOLTCTL_TELEMETRY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Telemetry disabled (the default).
+    Off,
+    /// Human-readable digest on stderr only.
+    Summary,
+    /// JSONL snapshot file + stderr digest.
+    Jsonl,
+    /// CSV snapshot file + stderr digest.
+    Csv,
+}
+
+/// Parses a telemetry mode value. Unknown values warn and disable
+/// telemetry rather than abort an expensive run.
+pub fn parse_mode(raw: &str) -> Mode {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "off" | "0" | "none" => Mode::Off,
+        "summary" => Mode::Summary,
+        "jsonl" | "json" => Mode::Jsonl,
+        "csv" => Mode::Csv,
+        other => {
+            voltctl_telemetry::warn(
+                "telemetry.mode",
+                &format!(
+                    "unknown telemetry mode {other:?} \
+                     (expected off|summary|jsonl|csv); telemetry disabled"
+                ),
+            );
+            Mode::Off
+        }
+    }
+}
+
+/// The mode from `VOLTCTL_TELEMETRY`, read once per process.
+pub fn env_mode() -> Mode {
+    static MODE: OnceLock<Mode> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("VOLTCTL_TELEMETRY")
+            .map(|raw| parse_mode(&raw))
+            .unwrap_or(Mode::Off)
+    })
+}
+
+/// The default export directory.
+pub fn default_out_dir() -> PathBuf {
+    PathBuf::from(export::DEFAULT_OUT_DIR)
+}
+
+/// Extracts `--telemetry-out <dir>` / `--telemetry-out=<dir>` from an
+/// argument list; falls back to the default directory. (Used by the
+/// deprecated per-figure shim binaries; the `voltctl-exp` CLI parses
+/// the flag itself.)
+pub fn out_dir_from_args<I, S>(args: I) -> PathBuf
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let arg = arg.as_ref();
+        if let Some(dir) = arg.strip_prefix("--telemetry-out=") {
+            return PathBuf::from(dir);
+        }
+        if arg == "--telemetry-out" {
+            if let Some(dir) = args.next() {
+                return PathBuf::from(dir.as_ref());
+            }
+        }
+    }
+    default_out_dir()
+}
+
+/// Exports a run's merged telemetry according to `mode`: a stderr
+/// digest always, plus a JSONL or CSV snapshot file under `out_dir`
+/// for the file modes.
+pub fn export_run(run: &str, rec: &MemoryRecorder, mode: Mode, out_dir: &Path) {
+    if mode == Mode::Off {
+        return;
+    }
+    let snap = rec.snapshot();
+    eprint!("{}", export::to_summary(run, &snap));
+    let csv = match mode {
+        Mode::Summary | Mode::Off => return,
+        Mode::Jsonl => false,
+        Mode::Csv => true,
+    };
+    match export::write_snapshot(out_dir, run, &snap, csv) {
+        Ok(path) => eprintln!("telemetry snapshot: {}", path.display()),
+        Err(e) => voltctl_telemetry::warn("telemetry.export", &format!("write failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parses() {
+        assert_eq!(parse_mode(""), Mode::Off);
+        assert_eq!(parse_mode("off"), Mode::Off);
+        assert_eq!(parse_mode("SUMMARY"), Mode::Summary);
+        assert_eq!(parse_mode(" jsonl "), Mode::Jsonl);
+        assert_eq!(parse_mode("json"), Mode::Jsonl);
+        assert_eq!(parse_mode("csv"), Mode::Csv);
+        assert_eq!(parse_mode("bogus"), Mode::Off, "unknown values disable");
+    }
+
+    #[test]
+    fn out_dir_parses_args() {
+        let none: [&str; 0] = [];
+        assert_eq!(out_dir_from_args(none), default_out_dir());
+        assert_eq!(
+            out_dir_from_args(["--telemetry-out", "/tmp/t"]),
+            PathBuf::from("/tmp/t")
+        );
+        assert_eq!(
+            out_dir_from_args(["x", "--telemetry-out=/tmp/u", "y"]),
+            PathBuf::from("/tmp/u")
+        );
+        assert_eq!(
+            out_dir_from_args(["--telemetry-out"]),
+            default_out_dir(),
+            "dangling flag falls back"
+        );
+    }
+}

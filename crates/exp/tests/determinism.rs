@@ -1,0 +1,109 @@
+//! The engine's determinism contract: for any `--jobs` value, a
+//! scenario's report is byte-identical and its merged telemetry is
+//! structurally identical (wall-clock timer values aside).
+//!
+//! Real scenarios run here in smoke mode, so the whole matrix stays
+//! test-suite cheap while still exercising solver calls, the pipeline
+//! simulator, and per-cell recorders end to end.
+
+use voltctl_exp::engine::{run_scenario, CellResult, Ctx, Scenario};
+use voltctl_exp::scenarios::find;
+use voltctl_telemetry::Recorder;
+
+fn smoke_ctx() -> Ctx {
+    Ctx {
+        smoke: true,
+        telemetry: true,
+        ..Ctx::default()
+    }
+}
+
+/// Reports and telemetry (timers excluded — they hold wall-clock values)
+/// must match across worker counts.
+fn assert_jobs_invariant(id: &str) {
+    let ctx = smoke_ctx();
+    let scenario = find(id).expect("registered scenario");
+    let reference = run_scenario(scenario, &ctx, 1);
+    let ref_snap = reference.telemetry.snapshot();
+    for jobs in [2, 8] {
+        let out = run_scenario(scenario, &ctx, jobs);
+        assert_eq!(
+            out.report, reference.report,
+            "{id}: report differs between --jobs 1 and --jobs {jobs}"
+        );
+        let snap = out.telemetry.snapshot();
+        assert_eq!(snap.counters, ref_snap.counters, "{id} counters @ {jobs}");
+        assert_eq!(snap.values, ref_snap.values, "{id} values @ {jobs}");
+        assert_eq!(
+            snap.histograms, ref_snap.histograms,
+            "{id} histograms @ {jobs}"
+        );
+    }
+}
+
+#[test]
+fn table3_report_is_jobs_invariant() {
+    assert_jobs_invariant("table3_thresholds");
+}
+
+#[test]
+fn fig05_report_is_jobs_invariant() {
+    assert_jobs_invariant("fig05_notched_spike");
+}
+
+#[test]
+fn ablation_grid_report_is_jobs_invariant() {
+    assert_jobs_invariant("ablation_grid");
+}
+
+#[test]
+fn fig16_report_is_jobs_invariant() {
+    assert_jobs_invariant("fig16_sensor_error");
+}
+
+/// A wide synthetic grid with per-cell telemetry: stresses the
+/// work-stealing path with far more cells than workers.
+struct Synthetic;
+
+impl Scenario for Synthetic {
+    fn id(&self) -> &'static str {
+        "synthetic"
+    }
+    fn title(&self) -> &'static str {
+        "synthetic determinism grid"
+    }
+    fn cells(&self, _ctx: &Ctx) -> Vec<String> {
+        (0..61).map(|k| format!("cell{k:02}")).collect()
+    }
+    fn run_cell(&self, _ctx: &Ctx, cell: usize) -> CellResult {
+        let mut out = CellResult::new(format!("cell{cell:02}"));
+        // Unequal work per cell so completion order scrambles under
+        // parallel scheduling.
+        let mut acc = 0u64;
+        for i in 0..(cell as u64 % 7) * 50_000 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        out.value("acc", (acc % 1000) as f64);
+        out.recorder.counter("synthetic.cells", 1);
+        out.recorder.value("synthetic.index", cell as f64);
+        out
+    }
+    fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
+        cells
+            .iter()
+            .map(|c| format!("{}={}", c.label, c.require("acc")))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[test]
+fn synthetic_grid_is_jobs_invariant() {
+    let ctx = smoke_ctx();
+    let reference = run_scenario(&Synthetic, &ctx, 1);
+    for jobs in [2, 3, 8, 61] {
+        let out = run_scenario(&Synthetic, &ctx, jobs);
+        assert_eq!(out.report, reference.report);
+        assert_eq!(out.telemetry.snapshot(), reference.telemetry.snapshot());
+    }
+}

@@ -1,0 +1,110 @@
+//! Thread-safe aggregation of [`MemoryRecorder`]s.
+//!
+//! The experiment engine (`voltctl-exp`) runs independent grid cells on
+//! worker threads; each cell records into a private [`MemoryRecorder`]
+//! and hands it off to a shared [`Collector`] when it finishes. The
+//! collector wraps the existing [`MemoryRecorder::merge`] aggregation in
+//! a mutex so hand-off is safe from any thread, while the hot recording
+//! path stays lock-free (each worker owns its recorder exclusively until
+//! the hand-off).
+//!
+//! Merge-order caveat: counters, value statistics, timers, and
+//! same-shape histogram bins are associative and commutative (see the
+//! property tests in `tests/merge_properties.rs`), but the *event log*
+//! is an append-only sequence. Callers that need a deterministic event
+//! order regardless of thread scheduling should merge per-cell recorders
+//! in a canonical order themselves (as the experiment engine does) and
+//! use the collector only for order-insensitive aggregates.
+
+use crate::memory::MemoryRecorder;
+use std::sync::Mutex;
+
+/// A mutex-guarded [`MemoryRecorder`] that worker threads fold their
+/// finished recorders into.
+#[derive(Debug, Default)]
+pub struct Collector {
+    inner: Mutex<MemoryRecorder>,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Folds a finished recorder into the aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked (poisoning); the
+    /// experiment engine treats a panicking cell as fatal anyway.
+    pub fn merge(&self, rec: &MemoryRecorder) {
+        self.inner
+            .lock()
+            .expect("telemetry collector poisoned")
+            .merge(rec);
+    }
+
+    /// A plain-data snapshot of the aggregate so far.
+    pub fn snapshot(&self) -> crate::Snapshot {
+        self.inner
+            .lock()
+            .expect("telemetry collector poisoned")
+            .snapshot()
+    }
+
+    /// Removes and returns the aggregate, leaving the collector empty.
+    pub fn take(&self) -> MemoryRecorder {
+        std::mem::take(&mut *self.inner.lock().expect("telemetry collector poisoned"))
+    }
+
+    /// Whether anything has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        let snap = self.snapshot();
+        snap.counters.is_empty()
+            && snap.values.is_empty()
+            && snap.timers.is_empty()
+            && snap.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn merges_from_multiple_threads() {
+        let collector = Collector::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let collector = &collector;
+                s.spawn(move || {
+                    let mut rec = MemoryRecorder::new();
+                    rec.counter("cells", 1);
+                    rec.value("metric", t as f64);
+                    collector.merge(&rec);
+                });
+            }
+        });
+        let snap = collector.snapshot();
+        assert_eq!(snap.counter("cells"), Some(4));
+        let v = snap.value("metric").unwrap();
+        assert_eq!(v.count, 4);
+        assert_eq!(v.min, 0.0);
+        assert_eq!(v.max, 3.0);
+    }
+
+    #[test]
+    fn take_drains() {
+        let collector = Collector::new();
+        assert!(collector.is_empty());
+        let mut rec = MemoryRecorder::new();
+        rec.counter("c", 2);
+        collector.merge(&rec);
+        assert!(!collector.is_empty());
+        let taken = collector.take();
+        assert_eq!(taken.snapshot().counter("c"), Some(2));
+        assert!(collector.is_empty());
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod collector;
 pub mod export;
 pub mod memory;
 pub mod recorder;
@@ -48,6 +49,7 @@ pub mod rng;
 pub mod snapshot;
 pub mod stopwatch;
 
+pub use collector::Collector;
 pub use memory::MemoryRecorder;
 pub use recorder::{HistogramData, Level, NullRecorder, Recorder};
 pub use rng::Rng;

@@ -445,7 +445,17 @@ fn mixed_phase(name: &str, divide_chain: usize, burst: usize) -> Workload {
     }
 }
 
-/// All 26 SPEC2000 benchmark names, in suite order (CINT then CFP).
+/// Number of kernels in the synthetic suite.
+pub const SUITE_LEN: usize = 26;
+
+/// All 26 SPEC2000 benchmark names, in **suite order** (CINT2000 in
+/// published order, then CFP2000 in published order).
+///
+/// This ordering is the canonical report order: every experiment that
+/// prints per-benchmark rows (Table 2, Figure 10, …) emits them in
+/// exactly this sequence, so successive runs diff cleanly. Use
+/// [`position`] to sort results that were produced out of order (e.g.
+/// by parallel workers).
 pub fn names() -> [&'static str; 26] {
     [
         // CINT2000
@@ -491,12 +501,32 @@ pub fn by_name(name: &str) -> Option<Workload> {
     })
 }
 
-/// The full 26-kernel suite.
+/// The suite-order index of a benchmark name (`None` for non-members).
+pub fn position(name: &str) -> Option<usize> {
+    names().iter().position(|&n| n == name)
+}
+
+/// Builds the kernel at a given suite-order index (see [`names`]).
+///
+/// # Panics
+///
+/// Panics when `index >= SUITE_LEN`.
+pub fn by_index(index: usize) -> Workload {
+    let name = names()[index];
+    by_name(name).expect("every listed name builds")
+}
+
+/// Iterates the full suite lazily in suite order. Prefer this over
+/// [`all`] when kernels are consumed one at a time (e.g. one grid cell
+/// per benchmark): each kernel is built on demand, so parallel workers
+/// don't pay for the whole suite up front.
+pub fn iter() -> impl Iterator<Item = Workload> {
+    (0..SUITE_LEN).map(by_index)
+}
+
+/// The full 26-kernel suite, in suite order.
 pub fn all() -> Vec<Workload> {
-    names()
-        .iter()
-        .map(|n| by_name(n).expect("every listed name builds"))
-        .collect()
+    iter().collect()
 }
 
 /// The paper's high-voltage-variation subset used in the controller
@@ -540,7 +570,20 @@ mod tests {
     #[test]
     fn suite_has_26_members_and_subset_8() {
         assert_eq!(all().len(), 26);
+        assert_eq!(all().len(), SUITE_LEN);
         assert_eq!(variable_eight().len(), 8);
+    }
+
+    #[test]
+    fn iteration_helpers_follow_suite_order() {
+        for (k, name) in names().iter().enumerate() {
+            assert_eq!(position(name), Some(k));
+            assert_eq!(by_index(k).name, *name);
+        }
+        assert_eq!(position("notabenchmark"), None);
+        let lazy: Vec<String> = iter().map(|w| w.name).collect();
+        let eager: Vec<String> = all().into_iter().map(|w| w.name).collect();
+        assert_eq!(lazy, eager);
     }
 
     #[test]
