@@ -320,7 +320,14 @@ impl<R: Recorder> ControlLoop<R> {
     }
 
     /// Runs `cycles` cycles (stops early if the program finishes).
+    ///
+    /// When trace recording is on, the sample buffer is reserved up front
+    /// (capped at 2^22 samples per call for pathological budgets) so the
+    /// hot loop never reallocates mid-run.
     pub fn run(&mut self, cycles: u64) {
+        if let Some(trace) = &mut self.trace {
+            trace.reserve(cycles.min(1 << 22) as usize);
+        }
         for _ in 0..cycles {
             if self.cpu.done() {
                 break;
@@ -604,6 +611,39 @@ mod tests {
         let trace = sim.take_trace();
         assert_eq!(trace.len(), 100);
         assert!(trace.iter().all(|s| s.voltage > 0.5 && s.current > 0.0));
+    }
+
+    #[test]
+    fn trace_buffer_is_reserved_before_the_run() {
+        let (power, pdn) = harness(2.0);
+        let mut sim = ControlLoop::builder(spin_program())
+            .power(power)
+            .pdn(pdn)
+            .record_trace(true)
+            .build()
+            .unwrap();
+        sim.run(750);
+        // The reserve in run() must cover the whole budget: pushing the
+        // samples cannot have grown the buffer beyond one allocation.
+        let trace = sim.trace.as_ref().expect("trace recording enabled");
+        assert_eq!(trace.len(), 750);
+        assert!(
+            trace.capacity() >= 750,
+            "capacity {} must be reserved up front",
+            trace.capacity()
+        );
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn disabled_recorder_is_compile_time_off() {
+        // The hot path guards every instrumentation site on R::ENABLED;
+        // the default recorder must be statically disabled so those sites
+        // monomorphize away (no clock reads, no sample recording).
+        assert!(!<NullRecorder as Recorder>::ENABLED);
+        assert!(<MemoryRecorder as Recorder>::ENABLED);
+        let sw = Stopwatch::start_for::<NullRecorder>();
+        assert_eq!(sw.elapsed_ns(), 0, "disabled span must not read the clock");
     }
 
     #[test]

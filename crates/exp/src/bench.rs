@@ -1,0 +1,488 @@
+//! The `voltctl-exp bench` subcommand: the machine-readable performance
+//! baseline for the simulation kernels.
+//!
+//! Two suites run on the in-tree micro-benchmark harness
+//! ([`voltctl_telemetry::stopwatch::bench`]) and export JSON artifacts:
+//!
+//! * **`BENCH_pdn.json`** — voltage-computation throughput per kernel
+//!   size: the direct O(N·K) convolution, the overlap-save FFT path
+//!   (O(N log K)), the branch-free streaming convolver, and the O(1)/cycle
+//!   state-space stepper, all over the same seeded trace; plus the
+//!   derive-vs-cache-hit cost of [`voltctl_pdn::cached_kernel_for`].
+//! * **`BENCH_loop.json`** — closed-loop simulator throughput:
+//!   uncontrolled, threshold-controlled, and telemetry-recorded
+//!   [`ControlLoop`](voltctl_core::prelude::ControlLoop) stepping.
+//!
+//! Every point carries wall-clock nanoseconds and derived cycles/second.
+//! [`run`] fails (after writing the artifacts, so CI can still upload
+//! them) when any point reports a NaN or non-positive throughput — the
+//! perf-smoke CI gate. No absolute-time thresholds are enforced: the CI
+//! runner is single-core and noisy; the artifacts exist to *track* the
+//! trajectory, not to gate on machine speed.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use voltctl_core::loopsim::ControlLoop;
+use voltctl_core::prelude::*;
+use voltctl_isa::builder::ProgramBuilder;
+use voltctl_isa::reg::IntReg;
+use voltctl_isa::Program;
+use voltctl_pdn::state_space::pulse_response;
+use voltctl_pdn::{cached_kernel_for, convolve, PdnModel};
+use voltctl_telemetry::stopwatch::bench;
+use voltctl_telemetry::{MemoryRecorder, Rng};
+
+use crate::harness::{cpu_config, pdn_at, power_model};
+
+/// Options for a bench run.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Tiny trace/cycle budgets for CI plumbing checks.
+    pub smoke: bool,
+    /// Directory the `BENCH_*.json` artifacts are written to.
+    pub out: PathBuf,
+}
+
+impl Default for BenchOpts {
+    fn default() -> BenchOpts {
+        BenchOpts {
+            smoke: false,
+            out: PathBuf::from(DEFAULT_PERF_DIR),
+        }
+    }
+}
+
+/// Default artifact directory for perf baselines.
+pub const DEFAULT_PERF_DIR: &str = "results/perf";
+
+/// One measured point: a named code path at a kernel size (0 taps for
+/// paths with no kernel, e.g. the state-space stepper or the loop suite).
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    /// Code path measured (`direct`, `fft`, `stream`, `state_space`, …).
+    pub path: &'static str,
+    /// Convolution taps (0 where not applicable).
+    pub kernel_taps: usize,
+    /// Simulated cycles per iteration.
+    pub cycles: u64,
+    /// Median wall-clock nanoseconds per iteration.
+    pub wall_ns: f64,
+    /// Best (minimum) wall-clock nanoseconds per iteration.
+    pub best_ns: f64,
+    /// Simulated cycles per wall-clock second, from the median.
+    pub cycles_per_sec: f64,
+}
+
+impl BenchPoint {
+    fn from_result(
+        path: &'static str,
+        kernel_taps: usize,
+        cycles: u64,
+        r: voltctl_telemetry::stopwatch::BenchResult,
+    ) -> BenchPoint {
+        let cycles_per_sec = if r.median_ns_per_iter > 0.0 {
+            cycles as f64 * 1e9 / r.median_ns_per_iter
+        } else {
+            f64::NAN
+        };
+        BenchPoint {
+            path,
+            kernel_taps,
+            cycles,
+            wall_ns: r.median_ns_per_iter,
+            best_ns: r.best_ns_per_iter,
+            cycles_per_sec,
+        }
+    }
+
+    fn is_sane(&self) -> bool {
+        self.wall_ns.is_finite()
+            && self.wall_ns > 0.0
+            && self.cycles_per_sec.is_finite()
+            && self.cycles_per_sec > 0.0
+    }
+}
+
+/// A completed suite ready for export.
+#[derive(Debug, Clone)]
+pub struct BenchSuite {
+    /// Suite name (`pdn` or `loop`); the artifact is `BENCH_<name>.json`.
+    pub name: &'static str,
+    /// Whether smoke budgets were used.
+    pub smoke: bool,
+    /// Measured points.
+    pub points: Vec<BenchPoint>,
+    /// Suite-level derived metrics (speedups, cache costs).
+    pub summary: Vec<(&'static str, f64)>,
+}
+
+impl BenchSuite {
+    /// Paths whose points fail the NaN/zero-throughput check.
+    pub fn insane_points(&self) -> Vec<String> {
+        self.points
+            .iter()
+            .filter(|p| !p.is_sane())
+            .map(|p| format!("{}/{} taps", p.path, p.kernel_taps))
+            .collect()
+    }
+
+    /// Renders the machine-readable JSON artifact (single object; every
+    /// non-finite number becomes `null` so the file always parses).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"{}\",", self.name);
+        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"smoke\": {},", self.smoke);
+        let _ = writeln!(s, "  \"points\": [");
+        for (k, p) in self.points.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"path\": \"{}\", \"kernel_taps\": {}, \"cycles\": {}, \
+                 \"wall_ns\": {}, \"best_ns\": {}, \"cycles_per_sec\": {}}}{}",
+                p.path,
+                p.kernel_taps,
+                p.cycles,
+                json_num(p.wall_ns),
+                json_num(p.best_ns),
+                json_num(p.cycles_per_sec),
+                if k + 1 < self.points.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"summary\": {{");
+        for (k, (name, value)) in self.summary.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    \"{}\": {}{}",
+                name,
+                json_num(*value),
+                if k + 1 < self.summary.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "  }}");
+        let _ = write!(s, "}}");
+        s
+    }
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A deterministic replay-style trace: a resonant square train with
+/// seeded jitter, the workload class the convolution paths exist for.
+fn bench_trace(model: &PdnModel, cycles: usize) -> Vec<f64> {
+    let period = model.resonant_period_cycles().max(2);
+    let mut rng = Rng::new(0x9e3779b97f4a7c15);
+    (0..cycles)
+        .map(|k| {
+            let base = if (k / (period / 2)).is_multiple_of(2) {
+                42.0
+            } else {
+                6.0
+            };
+            base + 3.0 * rng.next_f64()
+        })
+        .collect()
+}
+
+/// The PDN suite: convolution paths per kernel size + kernel-cache cost.
+pub fn bench_pdn(smoke: bool) -> BenchSuite {
+    let (trace_cycles, samples, iters) = if smoke { (4096, 2, 1) } else { (65536, 5, 1) };
+    let model = PdnModel::paper_default().expect("paper parameters are valid");
+    let trace = bench_trace(&model, trace_cycles);
+    let v_nom = model.v_nominal();
+
+    // The paper-default kernel length anchors the size sweep: half, full,
+    // and double, all exact truncations of one long pulse response.
+    let paper_taps = convolve::kernel_for(&model, 1e-6).len();
+    let sizes = [paper_taps / 4, paper_taps / 2, paper_taps, paper_taps * 2];
+    let long_kernel = pulse_response(&model, paper_taps * 2);
+
+    let mut points = Vec::new();
+    let mut direct_at_paper = f64::NAN;
+    let mut fft_at_paper = f64::NAN;
+    for &taps in &sizes {
+        let kernel = &long_kernel[..taps];
+        let d = bench(&format!("pdn.direct.k{taps}"), samples, iters, || {
+            convolve::convolve_full(kernel, &trace, v_nom)
+        });
+        let f = bench(&format!("pdn.fft.k{taps}"), samples, iters, || {
+            convolve::convolve_full_fft(kernel, &trace, v_nom)
+        });
+        let s = bench(&format!("pdn.stream.k{taps}"), samples, iters, || {
+            let mut conv = convolve::Convolver::new(kernel.to_vec(), v_nom);
+            let mut last = 0.0;
+            for &i in &trace {
+                last = conv.step(i);
+            }
+            last
+        });
+        if taps == paper_taps {
+            direct_at_paper = d.median_ns_per_iter;
+            fft_at_paper = f.median_ns_per_iter;
+        }
+        let cycles = trace_cycles as u64;
+        points.push(BenchPoint::from_result("direct", taps, cycles, d));
+        points.push(BenchPoint::from_result("fft", taps, cycles, f));
+        points.push(BenchPoint::from_result("stream", taps, cycles, s));
+    }
+
+    // The state-space stepper is kernel-independent: one reference point.
+    let ss = bench("pdn.state_space", samples, iters, || {
+        let mut state = model.discretize();
+        let mut last = 0.0;
+        for &i in &trace {
+            last = state.step(i);
+        }
+        last
+    });
+    points.push(BenchPoint::from_result(
+        "state_space",
+        0,
+        trace_cycles as u64,
+        ss,
+    ));
+
+    // Derivation-cache economics: cold derive vs. warm hit.
+    let derive_t0 = Instant::now();
+    let derived = convolve::kernel_for(&model, 1e-6);
+    let derive_ns = derive_t0.elapsed().as_nanos() as f64;
+    let _ = cached_kernel_for(&model, 1e-6); // warm the entry
+    let hit_t0 = Instant::now();
+    let hits = 64;
+    for _ in 0..hits {
+        std::hint::black_box(cached_kernel_for(&model, 1e-6));
+    }
+    let hit_ns = hit_t0.elapsed().as_nanos() as f64 / hits as f64;
+
+    let summary = vec![
+        ("trace_cycles", trace_cycles as f64),
+        ("paper_default_kernel_taps", paper_taps as f64),
+        (
+            "fft_speedup_at_paper_default",
+            direct_at_paper / fft_at_paper,
+        ),
+        ("kernel_derive_ns", derive_ns),
+        ("kernel_cache_hit_ns", hit_ns),
+        ("derived_kernel_taps", derived.len() as f64),
+    ];
+    BenchSuite {
+        name: "pdn",
+        smoke,
+        points,
+        summary,
+    }
+}
+
+fn spin_program() -> Program {
+    let mut b = ProgramBuilder::new("bench-spin");
+    b.label("top");
+    b.addq_imm(IntReg::R1, IntReg::R1, 1);
+    b.br("top");
+    b.build().expect("spin program assembles")
+}
+
+/// The closed-loop suite: `ControlLoop::step` throughput uncontrolled,
+/// controlled, and with a live telemetry recorder.
+pub fn bench_loop(smoke: bool) -> BenchSuite {
+    let (chunk, samples) = if smoke {
+        (5_000u64, 2)
+    } else {
+        (200_000u64, 5)
+    };
+    let power = power_model();
+    let pdn = pdn_at(2.0);
+    let thresholds = Thresholds {
+        v_low: 0.97,
+        v_high: 1.03,
+    };
+
+    let mut uncontrolled = ControlLoop::builder(spin_program())
+        .cpu_config(cpu_config())
+        .power(power.clone())
+        .pdn(pdn.clone())
+        .build()
+        .expect("uncontrolled loop constructs");
+    let u = bench("loop.uncontrolled", samples, 1, || {
+        uncontrolled.run(chunk);
+        uncontrolled.report().cycles
+    });
+
+    let mut controlled = ControlLoop::builder(spin_program())
+        .cpu_config(cpu_config())
+        .power(power.clone())
+        .pdn(pdn.clone())
+        .thresholds(thresholds)
+        .build()
+        .expect("controlled loop constructs");
+    let c = bench("loop.controlled", samples, 1, || {
+        controlled.run(chunk);
+        controlled.report().cycles
+    });
+
+    let mut recorded = ControlLoop::builder(spin_program())
+        .cpu_config(cpu_config())
+        .power(power)
+        .pdn(pdn)
+        .recorder(MemoryRecorder::new())
+        .build()
+        .expect("recorded loop constructs");
+    let r = bench("loop.recorded", samples, 1, || {
+        recorded.run(chunk);
+        recorded.report().cycles
+    });
+
+    let points = vec![
+        BenchPoint::from_result("uncontrolled", 0, chunk, u),
+        BenchPoint::from_result("controlled", 0, chunk, c),
+        BenchPoint::from_result("recorded", 0, chunk, r),
+    ];
+    let telemetry_overhead = r.median_ns_per_iter / u.median_ns_per_iter - 1.0;
+    let summary = vec![
+        ("chunk_cycles", chunk as f64),
+        ("telemetry_overhead_frac", telemetry_overhead),
+    ];
+    BenchSuite {
+        name: "loop",
+        smoke,
+        points,
+        summary,
+    }
+}
+
+/// Runs both suites, writes `BENCH_pdn.json` and `BENCH_loop.json` under
+/// `opts.out`, and returns the artifact paths.
+///
+/// # Errors
+///
+/// Returns a description of every NaN/zero-throughput point (the
+/// artifacts are still written first so CI can upload them), or the I/O
+/// error message if writing failed.
+pub fn run(opts: &BenchOpts) -> Result<Vec<PathBuf>, String> {
+    let suites = [bench_pdn(opts.smoke), bench_loop(opts.smoke)];
+    let mut paths = Vec::new();
+    let mut failures = Vec::new();
+    for suite in &suites {
+        let path = write_suite(&opts.out, suite).map_err(|e| {
+            format!(
+                "failed to write BENCH_{}.json under {}: {e}",
+                suite.name,
+                opts.out.display()
+            )
+        })?;
+        eprintln!("[voltctl-exp] wrote {}", path.display());
+        paths.push(path);
+        for bad in suite.insane_points() {
+            failures.push(format!("BENCH_{}: {bad}", suite.name));
+        }
+    }
+    if failures.is_empty() {
+        Ok(paths)
+    } else {
+        Err(format!(
+            "NaN/zero-throughput points: {}",
+            failures.join(", ")
+        ))
+    }
+}
+
+/// Writes one suite's artifact, creating the directory as needed.
+fn write_suite(dir: &Path, suite: &BenchSuite) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{}.json", suite.name));
+    std::fs::write(&path, suite.to_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdn_suite_covers_kernel_sizes_and_paths() {
+        let suite = bench_pdn(true);
+        assert_eq!(suite.name, "pdn");
+        assert!(suite.insane_points().is_empty(), "{:?}", suite.points);
+        // >= 3 kernel-size points per convolution path.
+        for path in ["direct", "fft", "stream"] {
+            let sizes: std::collections::BTreeSet<usize> = suite
+                .points
+                .iter()
+                .filter(|p| p.path == path)
+                .map(|p| p.kernel_taps)
+                .collect();
+            assert!(sizes.len() >= 3, "{path} has sizes {sizes:?}");
+        }
+        assert!(suite.points.iter().any(|p| p.path == "state_space"));
+        let speedup = suite
+            .summary
+            .iter()
+            .find(|(n, _)| *n == "fft_speedup_at_paper_default")
+            .unwrap()
+            .1;
+        assert!(speedup.is_finite() && speedup > 0.0);
+    }
+
+    #[test]
+    fn loop_suite_measures_all_variants() {
+        let suite = bench_loop(true);
+        assert!(suite.insane_points().is_empty(), "{:?}", suite.points);
+        let paths: Vec<&str> = suite.points.iter().map(|p| p.path).collect();
+        assert_eq!(paths, ["uncontrolled", "controlled", "recorded"]);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_nan_safe() {
+        let suite = BenchSuite {
+            name: "pdn",
+            smoke: true,
+            points: vec![BenchPoint {
+                path: "direct",
+                kernel_taps: 8,
+                cycles: 100,
+                wall_ns: f64::NAN,
+                best_ns: 1.0,
+                cycles_per_sec: 0.0,
+            }],
+            summary: vec![("x", f64::INFINITY)],
+        };
+        let json = suite.to_json();
+        assert!(json.contains("\"wall_ns\": null"));
+        assert!(json.contains("\"x\": null"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        // Balanced braces/brackets (cheap well-formedness probe).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        assert_eq!(suite.insane_points().len(), 1);
+    }
+
+    #[test]
+    fn run_writes_artifacts_and_validates() {
+        let dir = std::env::temp_dir().join(format!("voltctl-bench-test-{}", std::process::id()));
+        let opts = BenchOpts {
+            smoke: true,
+            out: dir.clone(),
+        };
+        let paths = run(&opts).expect("smoke bench must produce sane throughput");
+        assert_eq!(paths.len(), 2);
+        for (path, name) in paths.iter().zip(["pdn", "loop"]) {
+            let contents = std::fs::read_to_string(path).unwrap();
+            assert!(contents.contains(&format!("\"bench\": \"{name}\"")));
+            assert!(contents.contains("\"cycles_per_sec\""));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -102,6 +102,13 @@ pub fn variable_eight() -> Vec<Workload> {
 
 /// Solves thresholds for a scope/delay at a given impedance percent.
 ///
+/// Solutions are memoized per process, keyed by `(scope, delay,
+/// percent)`: a controller sweep evaluates every workload at the same
+/// handful of configurations, and without the cache each grid cell would
+/// re-run the worst-case adversary search (hundreds of replay
+/// simulations per solve). Unstable outcomes are cached too — re-proving
+/// infeasibility is as expensive as solving.
+///
 /// # Errors
 ///
 /// Propagates solver errors ([`ControlError::Unstable`] in particular).
@@ -110,6 +117,20 @@ pub fn solve_for(
     delay: u32,
     percent: f64,
 ) -> Result<Thresholds, ControlError> {
+    type SolveKey = (ActuationScope, u32, u64);
+    type SolveCache = Mutex<Vec<(SolveKey, Result<Thresholds, ControlError>)>>;
+    static CACHE: OnceLock<SolveCache> = OnceLock::new();
+    let key = (scope, delay, percent.to_bits());
+    // Solve while holding the lock: concurrent first requests for the
+    // same configuration block behind one adversary search instead of
+    // redundantly re-solving (same policy as the calibration cache).
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("threshold cache poisoned");
+    if let Some((_, solved)) = cache.iter().find(|(k, _)| *k == key) {
+        return solved.clone();
+    }
     let power = power_model();
     let pdn = pdn_at(percent);
     let setup = SolveSetup::new(
@@ -119,7 +140,9 @@ pub fn solve_for(
         scope.leverage(&power),
         delay,
     );
-    solve_thresholds(&setup)
+    let solved = solve_thresholds(&setup);
+    cache.push((key, solved.clone()));
+    solved
 }
 
 /// Evaluates one workload under control vs. baseline.
@@ -331,6 +354,17 @@ mod tests {
         let b = pdn_at(3.0);
         assert_eq!(a.peak_impedance(), b.peak_impedance());
         assert_eq!(a.resonant_period_cycles(), b.resonant_period_cycles());
+    }
+
+    #[test]
+    fn solve_cache_replays_solutions_and_failures() {
+        let a = solve_for(ActuationScope::Ideal, 2, 2.0).expect("ideal at delay 2 is solvable");
+        let b = solve_for(ActuationScope::Ideal, 2, 2.0).unwrap();
+        assert_eq!(a, b, "cached solve must replay the original solution");
+        // FU-only at long delay is unstable; the failure is cached too.
+        let e1 = solve_for(ActuationScope::Fu, 6, 3.0);
+        let e2 = solve_for(ActuationScope::Fu, 6, 3.0);
+        assert_eq!(e1, e2);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! The old `cargo run -p voltctl-bench --bin <id>` binaries remain as
 //! deprecated shims over [`shim::run`].
 
+pub mod bench;
 pub mod engine;
 pub mod harness;
 pub mod report;
@@ -25,6 +26,7 @@ pub mod scenarios;
 pub mod shim;
 pub mod telemetry;
 
+pub use bench::{BenchOpts, BenchPoint, BenchSuite};
 pub use engine::{default_jobs, run_scenario, CellResult, Ctx, RunOutput, Runtime, Scenario};
 pub use harness::{
     cpu_config, current_trace, delta_i, evaluate, pdn_at, power_model, solve_for, spec_suite,

@@ -5,6 +5,7 @@
 //! voltctl-exp run <id>... [--jobs N] [--scale X] [--smoke]
 //!                         [--telemetry MODE] [--telemetry-out DIR]
 //! voltctl-exp run --all [same flags]
+//! voltctl-exp bench [--smoke] [--out DIR]
 //! ```
 
 use std::path::PathBuf;
@@ -21,6 +22,7 @@ USAGE:
     voltctl-exp list
     voltctl-exp run <id>... [OPTIONS]
     voltctl-exp run --all [OPTIONS]
+    voltctl-exp bench [--smoke] [--out <DIR>]
 
 OPTIONS:
     --jobs <N>            worker threads per scenario grid
@@ -31,6 +33,11 @@ OPTIONS:
     --telemetry <MODE>    off | summary | jsonl | csv
                           (default: VOLTCTL_TELEMETRY or off)
     --telemetry-out <DIR> snapshot directory (default: results/telemetry)
+
+BENCH OPTIONS:
+    --smoke               tiny iteration budgets (CI plumbing check)
+    --out <DIR>           artifact directory (default: results/perf);
+                          writes BENCH_pdn.json and BENCH_loop.json
 
 Run `voltctl-exp list` for the available scenario ids.
 ";
@@ -163,6 +170,32 @@ fn cmd_run(args: &[String]) {
     }
 }
 
+fn cmd_bench(args: &[String]) {
+    let mut opts = voltctl_exp::BenchOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.split('=').next().unwrap_or(arg.as_str()) {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                let raw = arg
+                    .strip_prefix("--out=")
+                    .map(str::to_string)
+                    .unwrap_or_else(|| {
+                        it.next()
+                            .unwrap_or_else(|| fail("--out needs a value"))
+                            .clone()
+                    });
+                opts.out = PathBuf::from(raw);
+            }
+            _ => fail(&format!("unknown bench argument {arg:?}")),
+        }
+    }
+    if let Err(msg) = voltctl_exp::bench::run(&opts) {
+        eprintln!("voltctl-exp: bench failed: {msg}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -173,6 +206,7 @@ fn main() {
             cmd_list();
         }
         Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => print!("{USAGE}"),
         Some(other) => fail(&format!("unknown command {other:?}")),
         None => fail("missing command"),

@@ -1,0 +1,137 @@
+//! Process-wide derivation cache for expensive per-model computations.
+//!
+//! Parallel experiment grids instantiate the *same* handful of
+//! [`PdnModel`]s in every cell (the calibrated network at each impedance
+//! percent), and each cell that takes the convolution path re-derives the
+//! same truncated kernel — hundreds of state-space steps plus tail scans
+//! per derivation. [`cached_kernel_for`] memoizes those kernels behind a
+//! [`OnceLock`], keyed by the model's *quantized* physical parameters, so
+//! a grid runner derives each distinct kernel exactly once per process.
+//!
+//! # Key quantization
+//!
+//! Models arrive from calibration bisections, so two logically identical
+//! models can differ in the last few mantissa bits. The cache key drops
+//! the low 8 mantissa bits of each parameter (a ~2^-44 relative
+//! quantum — far below any physically meaningful difference, far above
+//! bisection jitter), folding such twins onto one entry. The kernel
+//! returned is the one derived for the first model seen in the class;
+//! within the quantum the responses are indistinguishable at the cached
+//! tolerances.
+
+use crate::convolve::kernel_for;
+use crate::second_order::PdnModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A quantized cache key: the bit patterns of every parameter the kernel
+/// derivation depends on, low mantissa bits masked.
+type Key = [u64; 6];
+
+/// Drops the low 8 mantissa bits: values within ~2^-44 relative distance
+/// share a key.
+fn quantize(x: f64) -> u64 {
+    x.to_bits() & !0xFF
+}
+
+fn key_for(model: &PdnModel, rel_tol: f64) -> Key {
+    [
+        quantize(model.r_dc()),
+        quantize(model.inductance()),
+        quantize(model.capacitance()),
+        quantize(model.clock_hz()),
+        quantize(model.v_nominal()),
+        quantize(rel_tol),
+    ]
+}
+
+fn cache() -> &'static Mutex<HashMap<Key, Arc<Vec<f64>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Vec<f64>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// [`kernel_for`], memoized per process. The first call for a given
+/// (quantized model, tolerance) pair derives the kernel; later calls —
+/// from any thread — clone an [`Arc`] of the cached taps.
+///
+/// Derivation happens while holding the cache lock: concurrent first
+/// requests for the same model block behind one derivation instead of
+/// redundantly re-deriving (the same policy as the experiment harness's
+/// calibration cache — on a saturated machine redundant work costs more
+/// than the wait).
+///
+/// # Panics
+///
+/// Panics if `rel_tol` is not a positive finite number (as
+/// [`kernel_for`] does).
+pub fn cached_kernel_for(model: &PdnModel, rel_tol: f64) -> Arc<Vec<f64>> {
+    assert!(
+        rel_tol.is_finite() && rel_tol > 0.0,
+        "rel_tol must be positive and finite"
+    );
+    let key = key_for(model, rel_tol);
+    let mut map = cache().lock().expect("kernel cache poisoned");
+    if let Some(hit) = map.get(&key) {
+        return Arc::clone(hit);
+    }
+    let kernel = Arc::new(kernel_for(model, rel_tol));
+    map.insert(key, Arc::clone(&kernel));
+    kernel
+}
+
+/// Number of distinct kernels currently cached (diagnostics / tests).
+pub fn cached_kernel_count() -> usize {
+    cache().lock().expect("kernel cache poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_identical_kernel_and_dedupes() {
+        let m = PdnModel::paper_default().unwrap();
+        let a = cached_kernel_for(&m, 1e-6);
+        let b = cached_kernel_for(&m, 1e-6);
+        // Same allocation, not merely equal contents.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, kernel_for(&m, 1e-6));
+    }
+
+    #[test]
+    fn distinct_tolerances_get_distinct_entries() {
+        let m = PdnModel::paper_default().unwrap();
+        let coarse = cached_kernel_for(&m, 1e-3);
+        let fine = cached_kernel_for(&m, 1e-9);
+        assert!(fine.len() >= coarse.len());
+        assert!(!Arc::ptr_eq(&coarse, &fine));
+    }
+
+    #[test]
+    fn quantization_folds_bisection_jitter() {
+        let m = PdnModel::paper_default().unwrap();
+        let a = cached_kernel_for(&m, 1e-6);
+        // Perturb L and C in the last mantissa bit: physically the same
+        // model, numerically a different f64.
+        let jittered = PdnModel::from_rlc(
+            m.r_dc(),
+            f64::from_bits(m.inductance().to_bits() ^ 1),
+            f64::from_bits(m.capacitance().to_bits() ^ 1),
+            m.clock_hz(),
+        )
+        .unwrap();
+        let b = cached_kernel_for(&jittered, 1e-6);
+        assert!(Arc::ptr_eq(&a, &b), "last-bit jitter must share the entry");
+    }
+
+    #[test]
+    fn distinct_models_do_not_collide() {
+        let m = PdnModel::paper_default().unwrap();
+        let scaled = m.scaled(3.0).unwrap();
+        let a = cached_kernel_for(&m, 1e-6);
+        let b = cached_kernel_for(&scaled, 1e-6);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(*a, *b);
+        assert!(cached_kernel_count() >= 2);
+    }
+}

@@ -23,7 +23,8 @@
 //! paper's intuition figures ([`waveform`]), supply-voltage emergency
 //! detection and histograms ([`emergency`]), spectrum analysis used by the
 //! dI/dt stressmark auto-tuner ([`spectrum`]), the ITRS-2001 impedance-trend
-//! data behind the paper's Figure 1 ([`itrs`]), and a multi-quadrant
+//! data behind the paper's Figure 1 ([`itrs`]), a process-wide memoization
+//! of derived convolution kernels ([`cache`]), and a multi-quadrant
 //! extension of the model ([`grid`]).
 //!
 //! # Example
@@ -53,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod convolve;
 pub mod emergency;
 pub mod grid;
@@ -67,6 +69,7 @@ pub mod state_space;
 pub mod supply;
 pub mod waveform;
 
+pub use cache::cached_kernel_for;
 pub use emergency::{EmergencyReport, VoltageHistogram, VoltageMonitor};
 pub use response::{FrequencyResponse, ResponseMetrics, StepResponse};
 pub use second_order::{PdnError, PdnModel, PdnModelBuilder};
