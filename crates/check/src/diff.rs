@@ -1,0 +1,235 @@
+//! A minimal line-level diff for snapshot mismatches.
+//!
+//! The golden-snapshot harness (`voltctl-exp golden`) compares rendered
+//! reports byte-for-byte; when they differ it needs to show a human the
+//! *smallest* description of what changed. [`line_diff`] computes a
+//! longest-common-subsequence alignment over lines and renders the
+//! changed lines as `-`/`+` hunks with two lines of context, numbered on
+//! both sides.
+
+/// One aligned edit between two line sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Edit {
+    /// Line present in both (old index, new index).
+    Keep(usize, usize),
+    /// Line only in the old text.
+    Del(usize),
+    /// Line only in the new text.
+    Add(usize),
+}
+
+/// Computes a line-level diff from `old` to `new`, rendered with hunk
+/// headers (`@@ -<old line> +<new line> @@`), two context lines, and
+/// `-`/`+` markers. Returns an empty string when the inputs are equal.
+pub fn line_diff(old: &str, new: &str) -> String {
+    if old == new {
+        return String::new();
+    }
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let edits = align(&a, &b);
+    render(&a, &b, &edits)
+}
+
+/// LCS alignment via dynamic programming. Snapshot reports are small
+/// (hundreds of lines); above a million-cell table the common prefix and
+/// suffix are stripped first, which in practice keeps the table tiny.
+fn align(a: &[&str], b: &[&str]) -> Vec<Edit> {
+    // Strip common prefix/suffix — cheap and keeps the DP table small.
+    let mut prefix = 0;
+    while prefix < a.len() && prefix < b.len() && a[prefix] == b[prefix] {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < a.len() - prefix
+        && suffix < b.len() - prefix
+        && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+    let core_a = &a[prefix..a.len() - suffix];
+    let core_b = &b[prefix..b.len() - suffix];
+
+    let mut edits: Vec<Edit> = (0..prefix).map(|k| Edit::Keep(k, k)).collect();
+    edits.extend(align_core(core_a, core_b, prefix));
+    for k in 0..suffix {
+        edits.push(Edit::Keep(a.len() - suffix + k, b.len() - suffix + k));
+    }
+    edits
+}
+
+fn align_core(a: &[&str], b: &[&str], offset: usize) -> Vec<Edit> {
+    let (n, m) = (a.len(), b.len());
+    // Degenerate fallback for pathological sizes: report everything as
+    // replaced rather than allocating a huge table.
+    if n.saturating_mul(m) > 4_000_000 {
+        let mut edits: Vec<Edit> = (0..n).map(|i| Edit::Del(offset + i)).collect();
+        edits.extend((0..m).map(|j| Edit::Add(offset + j)));
+        return edits;
+    }
+    // lcs[i][j] = LCS length of a[i..] vs b[j..].
+    let mut lcs = vec![0u32; (n + 1) * (m + 1)];
+    let at = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[at(i, j)] = if a[i] == b[j] {
+                lcs[at(i + 1, j + 1)] + 1
+            } else {
+                lcs[at(i + 1, j)].max(lcs[at(i, j + 1)])
+            };
+        }
+    }
+    let mut edits = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            edits.push(Edit::Keep(offset + i, offset + j));
+            i += 1;
+            j += 1;
+        } else if lcs[at(i + 1, j)] >= lcs[at(i, j + 1)] {
+            edits.push(Edit::Del(offset + i));
+            i += 1;
+        } else {
+            edits.push(Edit::Add(offset + j));
+            j += 1;
+        }
+    }
+    edits.extend((i..n).map(|k| Edit::Del(offset + k)));
+    edits.extend((j..m).map(|k| Edit::Add(offset + k)));
+    edits
+}
+
+const CONTEXT: usize = 2;
+
+fn render(a: &[&str], b: &[&str], edits: &[Edit]) -> String {
+    // Mark which edit indices are "interesting": changes plus context.
+    let mut show = vec![false; edits.len()];
+    for (k, e) in edits.iter().enumerate() {
+        if !matches!(e, Edit::Keep(..)) {
+            for s in show
+                .iter_mut()
+                .take((k + CONTEXT + 1).min(edits.len()))
+                .skip(k.saturating_sub(CONTEXT))
+            {
+                *s = true;
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut k = 0;
+    while k < edits.len() {
+        if !show[k] {
+            k += 1;
+            continue;
+        }
+        // One hunk: a maximal run of shown edits.
+        let start = k;
+        while k < edits.len() && show[k] {
+            k += 1;
+        }
+        let (old_line, new_line) = match edits[start] {
+            Edit::Keep(i, j) => (i + 1, j + 1),
+            Edit::Del(i) => (i + 1, hunk_new_line(edits, start) + 1),
+            Edit::Add(j) => (hunk_old_line(edits, start) + 1, j + 1),
+        };
+        out.push_str(&format!("@@ -{old_line} +{new_line} @@\n"));
+        for e in &edits[start..k] {
+            match *e {
+                Edit::Keep(i, _) => {
+                    out.push(' ');
+                    out.push_str(a[i]);
+                }
+                Edit::Del(i) => {
+                    out.push('-');
+                    out.push_str(a[i]);
+                }
+                Edit::Add(j) => {
+                    out.push('+');
+                    out.push_str(b[j]);
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The old-side line an Add at `k` sits after (0-based, saturating).
+fn hunk_old_line(edits: &[Edit], k: usize) -> usize {
+    edits[..k]
+        .iter()
+        .rev()
+        .find_map(|e| match *e {
+            Edit::Keep(i, _) | Edit::Del(i) => Some(i + 1),
+            Edit::Add(_) => None,
+        })
+        .unwrap_or(0)
+}
+
+/// The new-side line a Del at `k` sits after (0-based, saturating).
+fn hunk_new_line(edits: &[Edit], k: usize) -> usize {
+    edits[..k]
+        .iter()
+        .rev()
+        .find_map(|e| match *e {
+            Edit::Keep(_, j) | Edit::Add(j) => Some(j + 1),
+            Edit::Del(_) => None,
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_diff_empty() {
+        assert_eq!(line_diff("a\nb\n", "a\nb\n"), "");
+        assert_eq!(line_diff("", ""), "");
+    }
+
+    #[test]
+    fn single_changed_line_is_minimal() {
+        let old = "one\ntwo\nthree\nfour\nfive\nsix\nseven\n";
+        let new = "one\ntwo\nthree\nFOUR\nfive\nsix\nseven\n";
+        let d = line_diff(old, new);
+        assert!(d.contains("-four\n"));
+        assert!(d.contains("+FOUR\n"));
+        // Two lines of context on each side, nothing more.
+        assert!(d.contains(" two\n") && d.contains(" six\n"));
+        assert!(!d.contains("one") && !d.contains("seven"));
+        assert!(d.starts_with("@@ -2 +2 @@\n"));
+    }
+
+    #[test]
+    fn insertion_and_deletion_at_edges() {
+        let d = line_diff("b\nc\n", "a\nb\nc\n");
+        assert!(d.contains("+a\n"));
+        assert!(
+            !d.lines().any(|l| l.starts_with('-')),
+            "pure insertion: {d}"
+        );
+        let d = line_diff("a\nb\nc\n", "a\nb\n");
+        assert!(d.contains("-c\n"));
+    }
+
+    #[test]
+    fn distant_changes_become_separate_hunks() {
+        let old: Vec<String> = (0..40).map(|k| format!("line{k}")).collect();
+        let mut new = old.clone();
+        new[3] = "CHANGED-A".into();
+        new[30] = "CHANGED-B".into();
+        let d = line_diff(&old.join("\n"), &new.join("\n"));
+        assert_eq!(d.matches("@@").count() / 2 * 2, d.matches("@@").count());
+        assert_eq!(d.lines().filter(|l| l.starts_with("@@")).count(), 2);
+        assert!(d.contains("-line3\n+CHANGED-A"));
+        assert!(d.contains("-line30\n+CHANGED-B"));
+    }
+
+    #[test]
+    fn completely_different_texts() {
+        let d = line_diff("x\ny\n", "p\nq\nr\n");
+        assert_eq!(d.lines().filter(|l| l.starts_with('-')).count(), 2);
+        assert_eq!(d.lines().filter(|l| l.starts_with('+')).count(), 3);
+    }
+}

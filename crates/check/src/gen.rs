@@ -1,0 +1,483 @@
+//! Composable generators with integrated shrinking.
+//!
+//! A [`Gen`] produces values from the workspace's deterministic
+//! [`Rng`] and knows how to propose *smaller* variants of a failing
+//! value. The three shrinking strategies, matching what the hot-path
+//! equivalence suites need:
+//!
+//! * **halving** — integers step toward their lower bound by bisection
+//!   ([`i64_in`], [`usize_in`], vector lengths);
+//! * **element dropping** — vectors drop their second half, first half,
+//!   and (once short) individual elements ([`vec_of`], [`vec_f64`]);
+//! * **scalar bisection** — floats bisect toward their lower bound
+//!   ([`f64_in`]).
+//!
+//! # Consumption contract
+//!
+//! Generators document exactly which `Rng` draws they make, because
+//! migrated properties must reproduce the historical hand-rolled value
+//! streams (see the crate docs' seeding contract). In particular
+//! [`vec_of`] draws the length via `range_i64(min, max)` and then each
+//! element in order — byte-for-byte what the old
+//! `(0..rng.range_i64(a, b)).map(|_| element(rng))` loops did.
+
+use voltctl_telemetry::Rng;
+
+/// A reproducible value generator with integrated shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Produces one value, consuming draws from `rng`.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of a failing value, most
+    /// aggressive first. The runner keeps the first variant that still
+    /// fails and asks again. An empty vec ends shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// A uniform `i64` in `[lo, hi)` (one `range_i64` draw); shrinks by
+/// bisection toward `lo`.
+pub fn i64_in(lo: i64, hi: i64) -> I64In {
+    assert!(lo < hi, "i64_in: empty range");
+    I64In { lo, hi }
+}
+
+/// See [`i64_in`].
+#[derive(Debug, Clone, Copy)]
+pub struct I64In {
+    lo: i64,
+    hi: i64,
+}
+
+impl Gen for I64In {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut Rng) -> i64 {
+        rng.range_i64(self.lo, self.hi)
+    }
+
+    fn shrink(&self, &v: &i64) -> Vec<i64> {
+        let mut out = Vec::new();
+        if v != self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (v - self.lo) / 2;
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+            if v - 1 != self.lo && v - 1 != v {
+                out.push(v - 1);
+            }
+        }
+        out
+    }
+}
+
+/// A uniform `usize` in `[lo, hi)` (one `range_i64` draw); shrinks by
+/// bisection toward `lo`.
+pub fn usize_in(lo: usize, hi: usize) -> UsizeIn {
+    assert!(lo < hi, "usize_in: empty range");
+    UsizeIn { lo, hi }
+}
+
+/// See [`usize_in`].
+#[derive(Debug, Clone, Copy)]
+pub struct UsizeIn {
+    lo: usize,
+    hi: usize,
+}
+
+impl Gen for UsizeIn {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut Rng) -> usize {
+        rng.range_i64(self.lo as i64, self.hi as i64) as usize
+    }
+
+    fn shrink(&self, &v: &usize) -> Vec<usize> {
+        i64_in(self.lo as i64, self.hi as i64)
+            .shrink(&(v as i64))
+            .into_iter()
+            .map(|x| x as usize)
+            .collect()
+    }
+}
+
+/// A uniform `f64` in `[lo, hi]` (one `range_f64` draw); shrinks by
+/// bisection toward `lo`.
+pub fn f64_in(lo: f64, hi: f64) -> F64In {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "f64_in: bad range"
+    );
+    F64In { lo, hi }
+}
+
+/// See [`f64_in`].
+#[derive(Debug, Clone, Copy)]
+pub struct F64In {
+    lo: f64,
+    hi: f64,
+}
+
+impl Gen for F64In {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+
+    fn shrink(&self, &v: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if v != self.lo {
+            out.push(self.lo);
+            // Zero is the friendliest witness when the range straddles it.
+            if self.lo < 0.0 && v > 0.0 {
+                out.push(0.0);
+            }
+            let mid = 0.5 * (self.lo + v);
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+            // A short-decimal variant reads better in counterexamples.
+            let rounded = (v * 8.0).round() / 8.0;
+            if rounded != v && rounded > self.lo && rounded < self.hi {
+                out.push(rounded);
+            }
+        }
+        out
+    }
+}
+
+/// An arbitrary `f64` bit pattern (one `next_u64` draw): NaNs, ±0.0,
+/// subnormals, and infinities all occur. Shrinks toward simple patterns
+/// (+0.0, sign cleared, low mantissa cleared).
+pub fn f64_bits() -> F64Bits {
+    F64Bits
+}
+
+/// See [`f64_bits`].
+#[derive(Debug, Clone, Copy)]
+pub struct F64Bits;
+
+impl Gen for F64Bits {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+
+    fn shrink(&self, &v: &f64) -> Vec<f64> {
+        let bits = v.to_bits();
+        [0u64, bits & !(1 << 63), bits & !0xFFFF_FFFF, bits & !0xFF]
+            .into_iter()
+            .filter(|&b| b != bits)
+            .map(f64::from_bits)
+            .collect()
+    }
+}
+
+/// A fixed value (no draws, no shrinking).
+pub fn just<T: Clone + std::fmt::Debug>(value: T) -> Just<T> {
+    Just { value }
+}
+
+/// See [`just`].
+#[derive(Debug, Clone)]
+pub struct Just<T> {
+    value: T,
+}
+
+impl<T: Clone + std::fmt::Debug> Gen for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.value.clone()
+    }
+}
+
+/// A generator from a closure over the raw [`Rng`] — the escape hatch
+/// for domain-specific recipes (instruction mixes, schedules). No
+/// shrinking of its own; wrap in [`vec_of`] to get element dropping.
+pub fn from_fn<T, F>(f: F) -> FnGen<F>
+where
+    T: Clone + std::fmt::Debug,
+    F: Fn(&mut Rng) -> T,
+{
+    FnGen { f }
+}
+
+/// See [`from_fn`].
+pub struct FnGen<F> {
+    f: F,
+}
+
+impl<F> std::fmt::Debug for FnGen<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnGen")
+    }
+}
+
+impl<T, F> Gen for FnGen<F>
+where
+    T: Clone + std::fmt::Debug,
+    F: Fn(&mut Rng) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Maps a generator's output through a pure function. The mapped value
+/// is not shrinkable (the mapping is one-way); prefer generating the
+/// *inputs* of a computation and mapping inside the property when
+/// shrinking matters.
+pub fn map<G, T, F>(gen: G, f: F) -> MappedGen<G, F>
+where
+    G: Gen,
+    T: Clone + std::fmt::Debug,
+    F: Fn(G::Value) -> T,
+{
+    MappedGen { gen, f }
+}
+
+/// See [`map`].
+pub struct MappedGen<G, F> {
+    gen: G,
+    f: F,
+}
+
+impl<G: std::fmt::Debug, F> std::fmt::Debug for MappedGen<G, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedGen").field("gen", &self.gen).finish()
+    }
+}
+
+impl<G, T, F> Gen for MappedGen<G, F>
+where
+    G: Gen,
+    T: Clone + std::fmt::Debug,
+    F: Fn(G::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.f)(self.gen.generate(rng))
+    }
+}
+
+/// Above this length, shrinking restricts itself to halving (no
+/// per-element candidates) to keep the candidate set small.
+const ELEMENTWISE_LIMIT: usize = 32;
+
+/// A vector of `min_len..max_len` elements (exclusive upper bound, like
+/// `range_i64`): draws the length first, then each element in order.
+/// Shrinks by dropping the second half, the first half, then individual
+/// elements, then shrinking single elements via the element generator.
+pub fn vec_of<G: Gen>(element: G, min_len: usize, max_len: usize) -> VecGen<G> {
+    assert!(min_len < max_len, "vec_of: empty length range");
+    VecGen {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+/// A vector of uniform `f64`s in `[lo, hi]` with `min_len..max_len`
+/// elements — the trace generator. Identical draw order to the
+/// hand-rolled `(0..rng.range_i64(a, b)).map(|_| rng.range_f64(lo, hi))`
+/// loops it replaces.
+pub fn vec_f64(min_len: usize, max_len: usize, lo: f64, hi: f64) -> VecGen<F64In> {
+    vec_of(f64_in(lo, hi), min_len, max_len)
+}
+
+/// See [`vec_of`].
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    element: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<G::Value> {
+        let n = rng.range_i64(self.min_len as i64, self.max_len as i64) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let n = v.len();
+        // Structural shrinks first: halves, then single-element drops.
+        if n > self.min_len {
+            let keep_front = (n / 2).max(self.min_len);
+            if keep_front < n {
+                out.push(v[..keep_front].to_vec());
+                out.push(v[n - keep_front..].to_vec());
+            }
+            if n <= ELEMENTWISE_LIMIT {
+                for k in 0..n {
+                    let mut shorter = v.clone();
+                    shorter.remove(k);
+                    out.push(shorter);
+                }
+            }
+        }
+        // Element shrinks once the vector is short enough to enumerate.
+        if n <= ELEMENTWISE_LIMIT {
+            for k in 0..n {
+                for cand in self.element.shrink(&v[k]).into_iter().take(2) {
+                    let mut smaller = v.clone();
+                    smaller[k] = cand;
+                    out.push(smaller);
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_gen {
+    ($($g:ident / $v:ident / $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(G0 / v0 / 0, G1 / v1 / 1);
+tuple_gen!(G0 / v0 / 0, G1 / v1 / 1, G2 / v2 / 2);
+tuple_gen!(G0 / v0 / 0, G1 / v1 / 1, G2 / v2 / 2, G3 / v3 / 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_match_hand_rolled_loops() {
+        // The migration guarantee: vec_f64 consumes the Rng exactly like
+        // the historical `range_i64` + per-element `range_f64` loops.
+        let gen = vec_f64(16, 300, 0.0, 60.0);
+        let mut a = Rng::new(0x11EA);
+        let from_gen = gen.generate(&mut a);
+
+        let mut b = Rng::new(0x11EA);
+        let n = b.range_i64(16, 300) as usize;
+        let by_hand: Vec<f64> = (0..n).map(|_| b.range_f64(0.0, 60.0)).collect();
+        assert_eq!(from_gen, by_hand);
+        assert_eq!(a.next_u64(), b.next_u64(), "streams stay in lockstep");
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_lo() {
+        let g = i64_in(3, 100);
+        let cands = g.shrink(&64);
+        assert!(cands.contains(&3));
+        assert!(cands.iter().all(|&c| (3..64).contains(&c)));
+        assert!(g.shrink(&3).is_empty(), "lower bound is terminal");
+    }
+
+    #[test]
+    fn f64_shrink_bisects_toward_lo() {
+        let g = f64_in(1.0, 9.0);
+        let cands = g.shrink(&8.0);
+        assert!(cands.contains(&1.0));
+        assert!(cands.contains(&4.5));
+        assert!(g.shrink(&1.0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_drops_halves_and_elements() {
+        let g = vec_f64(0, 64, 0.0, 1.0);
+        let v = vec![0.5; 8];
+        let cands = g.shrink(&v);
+        assert!(cands.contains(&vec![0.5; 4]), "front half");
+        assert!(cands.iter().any(|c| c.len() == 7), "single drop");
+        assert!(
+            cands.iter().any(|c| c.len() == 8 && c.contains(&0.0)),
+            "element shrink"
+        );
+        assert!(g.shrink(&Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        let g = vec_f64(2, 64, 0.0, 1.0);
+        for cand in g.shrink(&vec![0.5; 3]) {
+            assert!(cand.len() >= 2, "{cand:?}");
+        }
+    }
+
+    #[test]
+    fn long_vec_shrinks_structurally_only() {
+        let g = vec_f64(0, 512, 0.0, 1.0);
+        let v = vec![0.5; 400];
+        let cands = g.shrink(&v);
+        assert!(!cands.is_empty());
+        assert!(
+            cands.iter().all(|c| c.len() < v.len()),
+            "only drops, no element noise"
+        );
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let g = (usize_in(0, 10), f64_in(0.0, 1.0));
+        let cands = g.shrink(&(5, 0.75));
+        assert!(cands.iter().any(|&(n, x)| n < 5 && x == 0.75));
+        assert!(cands.iter().any(|&(n, x)| n == 5 && x < 0.75));
+    }
+
+    #[test]
+    fn f64_bits_covers_special_values_and_shrinks() {
+        let g = f64_bits();
+        let mut rng = Rng::new(7);
+        let mut saw_negative = false;
+        for _ in 0..512 {
+            let x = g.generate(&mut rng);
+            saw_negative |= x.is_sign_negative();
+        }
+        assert!(saw_negative);
+        let cands = g.shrink(&f64::from_bits(0x8000_0000_0000_01FF));
+        assert!(cands.contains(&0.0));
+    }
+
+    #[test]
+    fn just_and_from_fn_generate() {
+        let mut rng = Rng::new(1);
+        assert_eq!(just(7u8).generate(&mut rng), 7);
+        let g = from_fn(|rng: &mut Rng| rng.below(3));
+        assert!(g.generate(&mut rng) < 3);
+    }
+
+    #[test]
+    fn map_applies() {
+        let g = map(usize_in(1, 5), |n| vec![1u8; n]);
+        let mut rng = Rng::new(2);
+        let v = g.generate(&mut rng);
+        assert!((1..5).contains(&v.len()));
+    }
+}

@@ -1,0 +1,399 @@
+//! The property runner: seeded cases, greedy shrinking, red-seed replay.
+//!
+//! [`check`] is the single entry point. It replays previously-failing
+//! seeds first (see [`crate::persist`]), then generates fresh cases with
+//! seeds `base.wrapping_add(k)` for `k in 0..cases` — the seeding
+//! contract that lets migrated hand-rolled loops keep their historical
+//! value streams. A failing case is shrunk greedily: the generator
+//! proposes smaller candidates ([`Gen::shrink`]); the first candidate
+//! that still fails becomes the new counterexample, until no candidate
+//! fails or the evaluation budget runs out.
+//!
+//! Properties return `Result<(), String>`; panics inside a property
+//! (plain `assert!`s) are caught and treated as failures, so existing
+//! assertion helpers migrate unchanged. The default panic hook is
+//! suppressed while a property runs — shrinking re-executes the failing
+//! property dozens of times and would otherwise spray backtraces.
+
+use crate::gen::Gen;
+use crate::persist::{self, FailureRecord};
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use voltctl_telemetry::Rng;
+
+/// Configuration for one [`check`] call.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Fresh cases to generate (`VOLTCTL_CHECK_CASES` overrides — the
+    /// CI knob for a fixed exploration budget).
+    pub cases: u64,
+    /// Base seed; case `k` runs on `Rng::new(seed.wrapping_add(k))`.
+    pub seed: u64,
+    /// Total property evaluations the shrinker may spend.
+    pub max_shrink_evals: u64,
+    /// Failure-persistence directory; `None` uses
+    /// [`persist::default_dir`]. Tests of the runner itself point this
+    /// at a temp dir.
+    pub dir: Option<PathBuf>,
+}
+
+impl Config {
+    /// The standard budget: 64 cases from `seed`.
+    pub fn new(seed: u64) -> Config {
+        Config::cases(64, seed)
+    }
+
+    /// An explicit `cases` budget from `seed`.
+    pub fn cases(cases: u64, seed: u64) -> Config {
+        Config {
+            cases,
+            seed,
+            max_shrink_evals: 2_000,
+            dir: None,
+        }
+    }
+
+    fn effective_cases(&self) -> u64 {
+        match std::env::var("VOLTCTL_CHECK_CASES") {
+            Ok(raw) => match raw.trim().parse::<u64>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    warn_once_bad_cases(&raw);
+                    self.cases
+                }
+            },
+            Err(_) => self.cases,
+        }
+    }
+}
+
+fn warn_once_bad_cases(raw: &str) {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    WARNED.get_or_init(|| {
+        eprintln!(
+            "voltctl-check: ignoring unparseable VOLTCTL_CHECK_CASES={raw:?} (want a positive integer)"
+        );
+    });
+}
+
+thread_local! {
+    /// True while this thread is executing a property under [`check`];
+    /// the global panic hook stays silent for such panics.
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that forwards to the
+/// original hook except while a property is executing on this thread.
+fn install_quiet_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let original = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                original(info);
+            }
+        }));
+    });
+}
+
+/// Runs the property once, converting a panic into a failure message.
+fn run_once<V, P>(prop: &P, value: &V) -> Option<String>
+where
+    P: Fn(&V) -> Result<(), String>,
+{
+    SUPPRESS_PANIC_OUTPUT.with(|flag| flag.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    SUPPRESS_PANIC_OUTPUT.with(|flag| flag.set(false));
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// `Debug`-renders a counterexample, truncated for report hygiene.
+fn render<V: std::fmt::Debug>(value: &V) -> String {
+    let full = format!("{value:?}");
+    const MAX: usize = 2_000;
+    if full.len() <= MAX {
+        return full;
+    }
+    let cut = (0..=MAX)
+        .rev()
+        .find(|&k| full.is_char_boundary(k))
+        .unwrap_or(0);
+    format!("{}… ({} chars total)", &full[..cut], full.len())
+}
+
+/// Checks `prop` against generated values of `gen`.
+///
+/// Previously-failing seeds for `name` are replayed first; fresh cases
+/// follow. On failure the counterexample is shrunk, persisted to
+/// `failures.jsonl`, and reported via `panic!` (so `cargo test`
+/// integrates naturally). On a fully green run, stale failure records
+/// for `name` are cleared.
+///
+/// # Panics
+///
+/// Panics — with the shrunk counterexample, its seed, and the failure
+/// message — when the property fails.
+pub fn check<G, P>(name: &str, config: &Config, gen: &G, prop: P)
+where
+    G: Gen,
+    P: Fn(&G::Value) -> Result<(), String>,
+{
+    install_quiet_hook();
+    let dir = config.dir.clone().unwrap_or_else(persist::default_dir);
+
+    // 1. Red seeds first: go straight back to a known regression.
+    for seed in persist::red_seeds(&dir, name) {
+        run_case(name, config, gen, &prop, &dir, seed, None);
+    }
+
+    // 2. Fresh cases on the documented seed schedule.
+    let cases = config.effective_cases();
+    for k in 0..cases {
+        let seed = config.seed.wrapping_add(k);
+        run_case(name, config, gen, &prop, &dir, seed, Some((k, cases)));
+    }
+
+    // 3. Everything passed: stale records are no longer interesting.
+    persist::clear(&dir, name);
+}
+
+fn run_case<G, P>(
+    name: &str,
+    config: &Config,
+    gen: &G,
+    prop: &P,
+    dir: &std::path::Path,
+    seed: u64,
+    fresh: Option<(u64, u64)>,
+) where
+    G: Gen,
+    P: Fn(&G::Value) -> Result<(), String>,
+{
+    let mut rng = Rng::new(seed);
+    let original = gen.generate(&mut rng);
+    let Some(first_msg) = run_once(prop, &original) else {
+        return;
+    };
+
+    // Greedy shrink: keep the first smaller candidate that still fails.
+    let mut current = original.clone();
+    let mut msg = first_msg;
+    let mut evals = 0u64;
+    'shrinking: while evals < config.max_shrink_evals {
+        for candidate in gen.shrink(&current) {
+            if evals >= config.max_shrink_evals {
+                break 'shrinking;
+            }
+            evals += 1;
+            if let Some(m) = run_once(prop, &candidate) {
+                current = candidate;
+                msg = m;
+                continue 'shrinking;
+            }
+        }
+        break;
+    }
+
+    let record = FailureRecord {
+        prop: name.to_string(),
+        seed,
+        case: fresh.map_or(u64::MAX, |(k, _)| k),
+        shrinks: evals,
+        value: render(&current),
+        msg: msg.clone(),
+    };
+    persist::append(dir, &record);
+
+    let provenance = match fresh {
+        Some((k, n)) => format!("case {k} of {n}"),
+        None => "replay of a persisted red seed".to_string(),
+    };
+    panic!(
+        "property '{name}' failed ({provenance})\n\
+         \x20 case seed: {seed:#x} (replayed automatically on the next run)\n\
+         \x20 original:  {}\n\
+         \x20 shrunk ({evals} shrink evals): {}\n\
+         \x20 message:   {msg}\n\
+         \x20 persisted: {}",
+        render(&original),
+        render(&current),
+        dir.join("failures.jsonl").display(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{usize_in, vec_f64, vec_of};
+    use std::sync::Mutex;
+
+    fn temp_config(tag: &str, cases: u64, seed: u64) -> (Config, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("voltctl-check-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = Config::cases(cases, seed);
+        config.dir = Some(dir.clone());
+        (config, dir)
+    }
+
+    /// Runs `f`, returning the panic message it produced (if any).
+    fn capture_panic(f: impl FnOnce()) -> Option<String> {
+        install_quiet_hook();
+        SUPPRESS_PANIC_OUTPUT.with(|flag| flag.set(true));
+        let out = panic::catch_unwind(AssertUnwindSafe(f));
+        SUPPRESS_PANIC_OUTPUT.with(|flag| flag.set(false));
+        out.err().map(|p| panic_message(p.as_ref()))
+    }
+
+    #[test]
+    fn passing_property_runs_every_case() {
+        let (config, dir) = temp_config("pass", 16, 42);
+        let count = Mutex::new(0u64);
+        check("selftest.pass", &config, &vec_f64(0, 8, 0.0, 1.0), |_| {
+            *count.lock().unwrap() += 1;
+            Ok(())
+        });
+        // effective_cases, not 16: a CI-set VOLTCTL_CHECK_CASES wins.
+        assert_eq!(*count.lock().unwrap(), config.effective_cases());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn case_seeds_follow_the_documented_schedule() {
+        let (config, dir) = temp_config("seeds", 8, 0xA110);
+        let seen = Mutex::new(Vec::new());
+        check("selftest.seeds", &config, &vec_f64(1, 32, 0.0, 9.0), |v| {
+            seen.lock().unwrap().push(v.clone());
+            Ok(())
+        });
+        // Case k must equal the hand-rolled `Rng::new(0xA110 + k)` loop.
+        let seen = seen.lock().unwrap();
+        for (k, value) in seen.iter().enumerate() {
+            let mut rng = Rng::new(0xA110 + k as u64);
+            let n = rng.range_i64(1, 32) as usize;
+            let by_hand: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 9.0)).collect();
+            assert_eq!(value, &by_hand, "case {k}");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failure_shrinks_persists_and_replays_first() {
+        let (config, dir) = temp_config("fail", 64, 7);
+        // Fails whenever the vector has >= 3 elements: minimal
+        // counterexample is any 3-element vector.
+        let msg = capture_panic(|| {
+            check("selftest.fail", &config, &vec_f64(0, 40, 0.0, 1.0), |v| {
+                crate::ensure!(v.len() < 3, "len {} >= 3", v.len());
+                Ok(())
+            });
+        })
+        .expect("property must fail");
+        assert!(msg.contains("selftest.fail"), "{msg}");
+        assert!(msg.contains("shrunk"), "{msg}");
+
+        // The shrunk counterexample is minimal: exactly 3 elements.
+        let records = persist::load(&dir);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].prop, "selftest.fail");
+        assert_eq!(
+            records[0].value.matches(',').count(),
+            2,
+            "3-element vec: {}",
+            records[0].value
+        );
+        let red_seed = records[0].seed;
+
+        // Next run replays the red seed before any fresh case.
+        let first_seed_seen = Mutex::new(None::<u64>);
+        let replayed = Mutex::new(Vec::new());
+        let msg = capture_panic(|| {
+            check("selftest.fail", &config, &vec_f64(0, 40, 0.0, 1.0), |v| {
+                replayed.lock().unwrap().push(v.len());
+                if first_seed_seen.lock().unwrap().is_none() {
+                    // The first value must come from the persisted seed.
+                    let mut rng = Rng::new(red_seed);
+                    let n = rng.range_i64(0, 40) as usize;
+                    assert_eq!(v.len(), n, "red seed must replay first");
+                    *first_seed_seen.lock().unwrap() = Some(red_seed);
+                }
+                crate::ensure!(v.len() < 3, "len {} >= 3", v.len());
+                Ok(())
+            });
+        });
+        assert!(msg.is_some(), "still red on replay");
+        assert!(first_seed_seen.lock().unwrap().is_some());
+
+        // Once the property is green, the records are cleared.
+        check("selftest.fail", &config, &vec_f64(0, 40, 0.0, 1.0), |_| {
+            Ok(())
+        });
+        assert!(persist::red_seeds(&dir, "selftest.fail").is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn panicking_properties_are_caught_and_shrunk() {
+        let (config, dir) = temp_config("panic", 32, 9);
+        let msg = capture_panic(|| {
+            check(
+                "selftest.panic",
+                &config,
+                &vec_of(usize_in(0, 100), 0, 20),
+                |v| {
+                    // Plain assert! style: the index-out-of-bounds class.
+                    assert!(v.iter().sum::<usize>() < 40, "sum blew the budget");
+                    Ok(())
+                },
+            );
+        });
+        let msg = msg.expect("must fail eventually");
+        assert!(msg.contains("sum blew the budget"), "{msg}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn shrink_budget_is_respected() {
+        let (mut config, dir) = temp_config("budget", 4, 3);
+        config.max_shrink_evals = 5;
+        let evals = Mutex::new(0u64);
+        let msg = capture_panic(|| {
+            check(
+                "selftest.budget",
+                &config,
+                &vec_f64(1, 64, 0.0, 1.0),
+                |_| {
+                    *evals.lock().unwrap() += 1;
+                    Err("always fails".to_string())
+                },
+            );
+        });
+        assert!(msg.is_some());
+        // 1 original eval + at most 5 shrink evals.
+        assert!(*evals.lock().unwrap() <= 6);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn render_truncates_monsters() {
+        let s = render(&vec![1.0f64; 4096]);
+        assert!(s.len() < 2_100);
+        assert!(s.contains("chars total"));
+    }
+}

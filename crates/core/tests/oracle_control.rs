@@ -1,0 +1,312 @@
+//! Differential-oracle suite for the control loop.
+//!
+//! The controlled-replay engine (`voltctl_core::replay`) is the
+//! foundation both of the worst-case threshold solver and of trace-based
+//! design-space exploration, so it gets the strongest oracle available:
+//! a deliberately naive reimplementation in this file — plain indexed
+//! loops, no `VecDeque`, no shared helpers — that must agree **bitwise**
+//! with the production path on random demands, delays, and control
+//! modes. The remaining properties pin the controller's band discipline,
+//! the sensed-threshold guarantee the solver provides, and the sensor's
+//! delay/error envelope across the paper's sweep ranges (0–6 cycles,
+//! 0–25 mV).
+
+use voltctl_check::{check, ensure, f64_in, i64_in, usize_in, vec_f64, Config};
+use voltctl_core::actuator::Leverage;
+use voltctl_core::prelude::*;
+use voltctl_core::sensor::{SensorConfig, SensorReading, ThresholdSensor};
+use voltctl_pdn::{PdnModel, Supply};
+
+const I_MIN: f64 = 5.0;
+const I_MAX: f64 = 50.0;
+
+fn leverage() -> Leverage {
+    Leverage {
+        reduce_floor_amps: 12.0,
+        increase_ceiling_amps: 45.0,
+        settle_cycles: 2,
+    }
+}
+
+/// A from-scratch reimplementation of the controlled replay loop: same
+/// control law, written as differently as possible (indexed history
+/// instead of a delay queue, inline decay). Any divergence from
+/// `voltctl_core::replay` is a bug in one of the two.
+fn naive_replay(model: &PdnModel, demand: &[f64], config: &ReplayConfig) -> ReplayOutcome {
+    let mut supply = model.discretize();
+    supply.set_reference_current(config.i_min);
+    let v_nom = supply.nominal();
+    let delay = config.delay_cycles as usize;
+    let decay = |from: f64, to: f64, t: u64, settle: u64| -> f64 {
+        if settle == 0 {
+            to
+        } else {
+            to + (from - to) * (-(t as f64) / settle as f64).exp()
+        }
+    };
+
+    let mut entering: Vec<f64> = Vec::with_capacity(demand.len());
+    let mut v = v_nom;
+    let (mut min_v, mut max_v) = (v_nom, v_nom);
+    let (mut reduce_time, mut increase_time) = (0u64, 0u64);
+    let (mut reduce_cycles, mut increase_cycles) = (0u64, 0u64);
+    let mut prev_i = config.i_min;
+
+    for (t, &want) in demand.iter().enumerate() {
+        entering.push(v);
+        let seen = if t >= delay {
+            entering[t - delay]
+        } else {
+            v_nom
+        };
+
+        if let Some(th) = config.thresholds {
+            if seen < th.v_low {
+                reduce_time += 1;
+                increase_time = 0;
+            } else if seen > th.v_high {
+                increase_time += 1;
+                reduce_time = 0;
+            } else {
+                reduce_time = 0;
+                increase_time = 0;
+            }
+        }
+
+        let mut i = match config.slew_limit {
+            Some(slew) => prev_i + (want - prev_i).clamp(-slew, slew),
+            None => want,
+        };
+        if reduce_time > 0 {
+            reduce_cycles += 1;
+            i = i.min(decay(
+                config.i_max,
+                config.leverage.reduce_floor_amps,
+                reduce_time,
+                config.leverage.settle_cycles,
+            ));
+        } else if increase_time > 0 {
+            increase_cycles += 1;
+            i = i.max(decay(
+                config.i_min,
+                config.leverage.increase_ceiling_amps,
+                increase_time,
+                1,
+            ));
+        }
+
+        prev_i = i;
+        v = supply.step_supply(i);
+        min_v = min_v.min(v);
+        max_v = max_v.max(v);
+    }
+    ReplayOutcome {
+        min_v,
+        max_v,
+        reduce_cycles,
+        increase_cycles,
+        cycles: demand.len() as u64,
+    }
+}
+
+/// The production replay agrees bitwise with the naive reference over
+/// random demands, all paper sensor delays, controlled and uncontrolled,
+/// with and without slew limiting.
+#[test]
+fn replay_matches_naive_reimplementation_bitwise() {
+    let model = PdnModel::paper_default().unwrap();
+    let gen = (
+        vec_f64(1, 240, I_MIN, I_MAX), // demand (amps per cycle)
+        usize_in(0, 7),                // sensor delay, paper range 0..=6
+        i64_in(0, 4),                  // bit 0: thresholds on; bit 1: slew on
+    );
+    check(
+        "oracle.replay.naive-differential",
+        &Config::cases(64, 0x0C01),
+        &gen,
+        |(demand, delay, mode)| {
+            let config = ReplayConfig {
+                thresholds: (mode & 1 == 1).then_some(Thresholds {
+                    v_low: 0.97,
+                    v_high: 1.03,
+                }),
+                leverage: leverage(),
+                delay_cycles: *delay as u32,
+                slew_limit: (mode & 2 == 2).then_some((I_MAX - I_MIN) / 3.0),
+                i_max: I_MAX,
+                i_min: I_MIN,
+            };
+            let mut supply = model.discretize();
+            supply.set_reference_current(config.i_min);
+            let production = replay(&mut supply, demand.iter().copied(), &config);
+            let naive = naive_replay(&model, demand, &config);
+            ensure!(
+                production == naive,
+                "delay {delay} mode {mode}: production {production:?} vs naive {naive:?}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Band discipline: fed through a zero-noise sensor, the controller
+/// commands Reduce exactly when the delayed voltage is below the low
+/// threshold, Increase exactly when above the high threshold, and
+/// nothing otherwise — and its cycle counters tally those commands.
+#[test]
+fn controller_fires_only_outside_the_band() {
+    let gen = (
+        f64_in(0.90, 0.99),          // v_low
+        f64_in(0.005, 0.08),         // window width -> v_high
+        usize_in(0, 7),              // sensor delay
+        vec_f64(1, 100, 0.85, 1.15), // true voltage trace
+    );
+    check(
+        "oracle.controller.band-invariant",
+        &Config::cases(96, 0x0C02),
+        &gen,
+        |(v_low, window, delay, trace)| {
+            let v_high = v_low + window;
+            let mut sensor = ThresholdSensor::new(
+                *v_low,
+                v_high,
+                1.0,
+                SensorConfig {
+                    delay_cycles: *delay as u32,
+                    noise_mv: 0.0,
+                    seed: 1,
+                },
+            );
+            let mut controller = ThresholdController::new();
+            let (mut lows, mut highs) = (0u64, 0u64);
+            for (t, &v) in trace.iter().enumerate() {
+                let action = controller.decide(sensor.observe(v));
+                // What the sensor is looking at this cycle: the voltage
+                // from `delay` cycles ago, nominal during pipeline fill.
+                let sensed = if t >= *delay { trace[t - *delay] } else { 1.0 };
+                let expected = if sensed < *v_low {
+                    lows += 1;
+                    ControlAction::ReduceCurrent
+                } else if sensed > v_high {
+                    highs += 1;
+                    ControlAction::IncreaseCurrent
+                } else {
+                    ControlAction::None
+                };
+                ensure!(
+                    action == expected,
+                    "cycle {t}: sensed {sensed} in [{v_low}, {v_high}] -> {action:?}, expected {expected:?}"
+                );
+            }
+            ensure!(
+                controller.reduce_cycles() == lows && controller.increase_cycles() == highs,
+                "counters drifted: {} Reduce / {} Increase vs {lows}/{highs} band exits",
+                controller.reduce_cycles(),
+                controller.increase_cycles()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The solver's guarantee carries to arbitrary in-envelope demands: with
+/// thresholds solved against the worst-case resonant square train, any
+/// slew-limited demand inside the machine's current envelope replays
+/// within specification — so engaging the controller (gating *and*
+/// phantom firing) never creates an emergency a free-running machine
+/// would not have had.
+#[test]
+fn solved_thresholds_hold_for_random_in_envelope_demands() {
+    let model = PdnModel::paper_default().unwrap();
+    let setup = SolveSetup::new(&model, I_MIN, I_MAX, leverage(), 2);
+    let thresholds = solve_thresholds(&setup).expect("paper config must be solvable");
+    let v_min_spec = model.v_nominal() * (1.0 - model.tolerance());
+    let v_max_spec = model.v_nominal() * (1.0 + model.tolerance());
+
+    let gen = (
+        vec_f64(1, 40, I_MIN, I_MAX), // demand levels
+        i64_in(1, 40),                // cycles each level is held
+    );
+    check(
+        "oracle.control.solved-thresholds-hold",
+        &Config::cases(48, 0x0C03),
+        &gen,
+        |(levels, hold)| {
+            let demand: Vec<f64> = levels
+                .iter()
+                .flat_map(|&amps| std::iter::repeat_n(amps, *hold as usize))
+                .collect();
+            let config = ReplayConfig {
+                thresholds: Some(thresholds),
+                leverage: leverage(),
+                delay_cycles: setup.delay_cycles,
+                slew_limit: Some(setup.slew_limit),
+                i_max: I_MAX,
+                i_min: I_MIN,
+            };
+            let mut supply = model.discretize();
+            supply.set_reference_current(I_MIN);
+            let out = replay(&mut supply, demand.iter().copied(), &config);
+            ensure!(
+                out.min_v >= v_min_spec,
+                "controlled undershoot {} below spec {v_min_spec}",
+                out.min_v
+            );
+            ensure!(
+                out.max_v <= v_max_spec,
+                "controlled overshoot {} above spec {v_max_spec}",
+                out.max_v
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The sensor's error envelope: with a noise bound of `e` volts, a Low
+/// reading implies the delayed true voltage was within `e` of the low
+/// band, High within `e` of the high band, and Normal within `e` of the
+/// window — across the paper's full delay (0–6 cycles) and error
+/// (0–25 mV) sweep.
+#[test]
+fn sensor_readings_stay_inside_the_error_envelope() {
+    let gen = (
+        usize_in(0, 7),              // delay, paper sweep 0..=6
+        f64_in(0.0, 25.0),           // noise bound, paper sweep 0..=25 mV
+        i64_in(0, 1 << 30),          // sensor noise seed
+        vec_f64(1, 120, 0.90, 1.10), // true voltage trace
+    );
+    let (v_low, v_high) = (0.96, 1.04);
+    check(
+        "oracle.sensor.error-envelope",
+        &Config::cases(96, 0x0C04),
+        &gen,
+        |(delay, noise_mv, seed, trace)| {
+            let mut sensor = ThresholdSensor::new(
+                v_low,
+                v_high,
+                1.0,
+                SensorConfig {
+                    delay_cycles: *delay as u32,
+                    noise_mv: *noise_mv,
+                    seed: *seed as u64,
+                },
+            );
+            let e = noise_mv / 1000.0;
+            for (t, &v) in trace.iter().enumerate() {
+                let reading = sensor.observe(v);
+                let sensed = if t >= *delay { trace[t - *delay] } else { 1.0 };
+                let ok = match reading {
+                    SensorReading::Low => sensed < v_low + e,
+                    SensorReading::High => sensed > v_high - e,
+                    SensorReading::Normal => sensed >= v_low - e && sensed <= v_high + e,
+                };
+                ensure!(
+                    ok,
+                    "cycle {t}: {reading:?} for sensed {sensed} violates the \
+                     {noise_mv} mV envelope at delay {delay}"
+                );
+            }
+            Ok(())
+        },
+    );
+}

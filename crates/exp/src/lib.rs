@@ -19,6 +19,7 @@
 
 pub mod bench;
 pub mod engine;
+pub mod golden;
 pub mod harness;
 pub mod report;
 pub mod scale;
@@ -28,10 +29,11 @@ pub mod telemetry;
 
 pub use bench::{BenchOpts, BenchPoint, BenchSuite};
 pub use engine::{default_jobs, run_scenario, CellResult, Ctx, RunOutput, Runtime, Scenario};
+pub use golden::{GoldenOpts, GoldenOutcome, Verdict};
 pub use harness::{
     cpu_config, current_trace, delta_i, evaluate, pdn_at, power_model, solve_for, spec_suite,
     sweep_point, tuned_stressmark, variable_eight, SweepRow,
 };
 pub use report::{ascii_chart, pct, TextTable};
 pub use scale::{env_scale, parse_scale, scaled_budget, MIN_CYCLES};
-pub use scenarios::{find, registry};
+pub use scenarios::{find, listing, registry};

@@ -6,6 +6,7 @@
 //!                         [--telemetry MODE] [--telemetry-out DIR]
 //! voltctl-exp run --all [same flags]
 //! voltctl-exp bench [--smoke] [--out DIR]
+//! voltctl-exp golden [--bless] [--jobs N] [--dir DIR] [id...]
 //! ```
 
 use std::path::PathBuf;
@@ -23,6 +24,7 @@ USAGE:
     voltctl-exp run <id>... [OPTIONS]
     voltctl-exp run --all [OPTIONS]
     voltctl-exp bench [--smoke] [--out <DIR>]
+    voltctl-exp golden [--bless] [--jobs <N>] [--dir <DIR>] [<id>...]
 
 OPTIONS:
     --jobs <N>            worker threads per scenario grid
@@ -38,6 +40,12 @@ BENCH OPTIONS:
     --smoke               tiny iteration budgets (CI plumbing check)
     --out <DIR>           artifact directory (default: results/perf);
                           writes BENCH_pdn.json and BENCH_loop.json
+
+GOLDEN OPTIONS:
+    --bless               rewrite the snapshots instead of comparing
+    --jobs <N>            worker threads per scenario grid
+    --dir <DIR>           snapshot directory (default: results/golden)
+    <id>...               scenarios to check (default: all)
 
 Run `voltctl-exp list` for the available scenario ids.
 ";
@@ -112,17 +120,49 @@ fn parse_run_args(args: &[String]) -> RunArgs {
 
 fn cmd_list() {
     let mut t = TextTable::new(["id", "runtime", "cells", "description"]);
-    let ctx = Ctx::default();
-    for s in registry() {
-        t.row([
-            s.id().to_string(),
-            s.runtime().name().to_string(),
-            s.cells(&ctx).len().to_string(),
-            s.title().to_string(),
-        ]);
+    for row in voltctl_exp::listing(&Ctx::default()) {
+        t.row(row);
     }
     print!("{}", t.render());
     println!("\nrun one with: voltctl-exp run <id> [--jobs N] [--scale X]");
+}
+
+fn cmd_golden(args: &[String]) {
+    let mut opts = voltctl_exp::GoldenOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> String {
+            if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+                return v.to_string();
+            }
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.split('=').next().unwrap_or(arg.as_str()) {
+            "--bless" => opts.bless = true,
+            "--jobs" => {
+                let raw = flag_value("--jobs");
+                opts.jobs = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail(&format!("--jobs {raw:?} is not a positive integer")));
+            }
+            "--dir" => opts.dir = PathBuf::from(flag_value("--dir")),
+            _ if arg.starts_with("--") => fail(&format!("unknown golden flag {arg:?}")),
+            _ => opts.ids.push(arg.clone()),
+        }
+    }
+    match voltctl_exp::golden::run(&opts) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if !outcome.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        Err(msg) => fail(&msg),
+    }
 }
 
 fn cmd_run(args: &[String]) {
@@ -207,6 +247,7 @@ fn main() {
         }
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("golden") => cmd_golden(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => print!("{USAGE}"),
         Some(other) => fail(&format!("unknown command {other:?}")),
         None => fail("missing command"),

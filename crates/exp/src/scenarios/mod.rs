@@ -46,6 +46,25 @@ pub fn find(id: &str) -> Option<&'static dyn Scenario> {
     registry().iter().copied().find(|s| s.id() == id)
 }
 
+/// The `voltctl-exp list` rows — `[id, runtime, cells, title]` — sorted
+/// by id for scanability. The registry itself stays in paper order (the
+/// execution order of `run --all`); only the listing is sorted.
+pub fn listing(ctx: &crate::engine::Ctx) -> Vec<[String; 4]> {
+    let mut rows: Vec<[String; 4]> = registry()
+        .iter()
+        .map(|s| {
+            [
+                s.id().to_string(),
+                s.runtime().name().to_string(),
+                s.cells(ctx).len().to_string(),
+                s.title().to_string(),
+            ]
+        })
+        .collect();
+    rows.sort_by(|a, b| a[0].cmp(&b[0]));
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,76 @@
+//! Shape checks for the `voltctl-exp bench --smoke` artifacts: both
+//! `BENCH_*.json` files must parse, carry no NaN/null measurements, and
+//! report strictly positive throughput.
+
+use voltctl_check::Json;
+use voltctl_exp::{bench, BenchOpts};
+
+#[test]
+fn smoke_bench_artifacts_parse_and_are_sane() {
+    let dir = std::env::temp_dir().join(format!("voltctl-bench-shape-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = BenchOpts {
+        smoke: true,
+        out: dir.clone(),
+    };
+    let paths = bench::run(&opts).expect("smoke bench must pass its own sanity gate");
+    assert_eq!(
+        paths.len(),
+        2,
+        "expected BENCH_pdn.json and BENCH_loop.json"
+    );
+
+    for (path, name) in paths.iter().zip(["pdn", "loop"]) {
+        assert_eq!(
+            path.file_name().and_then(|f| f.to_str()),
+            Some(format!("BENCH_{name}.json").as_str())
+        );
+        let raw = std::fs::read_to_string(path).unwrap();
+        let doc = Json::parse(&raw).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some(name));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
+
+        let points = doc
+            .get("points")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("{}: points must be an array", path.display()));
+        assert!(!points.is_empty(), "{}: no points", path.display());
+        for p in points {
+            let label = format!(
+                "{}/{}",
+                p.get("path").and_then(Json::as_str).unwrap_or("?"),
+                p.get("kernel_taps").and_then(Json::as_f64).unwrap_or(-1.0)
+            );
+            for field in ["wall_ns", "best_ns", "cycles_per_sec"] {
+                let v = p.get(field);
+                assert!(
+                    !v.map(Json::is_null).unwrap_or(true),
+                    "{label}: {field} is null/missing (NaN leaked into the artifact)"
+                );
+                let x = v.and_then(Json::as_f64).unwrap();
+                assert!(
+                    x.is_finite() && x > 0.0,
+                    "{label}: {field} = {x} is not positive-finite"
+                );
+            }
+            let cycles = p.get("cycles").and_then(Json::as_f64).unwrap_or(0.0);
+            assert!(cycles > 0.0, "{label}: zero simulated cycles");
+        }
+    }
+
+    // The loop suite covers all three stepping variants.
+    let loop_raw = std::fs::read_to_string(&paths[1]).unwrap();
+    let loop_doc = Json::parse(&loop_raw).unwrap();
+    let variants: Vec<&str> = loop_doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|p| p.get("path").and_then(Json::as_str))
+        .collect();
+    assert_eq!(variants, ["uncontrolled", "controlled", "recorded"]);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

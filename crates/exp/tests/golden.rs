@@ -1,0 +1,87 @@
+//! End-to-end tests for the golden-snapshot harness: bless → clean
+//! compare → detect a perturbed snapshot with a line-level diff.
+
+use voltctl_exp::golden::{run, GoldenOpts};
+use voltctl_exp::Verdict;
+
+/// A throwaway snapshot directory unique to this test.
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("voltctl-golden-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(dir: std::path::PathBuf, bless: bool, ids: &[&str]) -> GoldenOpts {
+    GoldenOpts {
+        bless,
+        dir,
+        ids: ids.iter().map(|s| s.to_string()).collect(),
+        ..GoldenOpts::default()
+    }
+}
+
+#[test]
+fn bless_then_compare_round_trips() {
+    let dir = temp_dir("roundtrip");
+
+    // Before blessing, every requested snapshot is missing.
+    let out = run(&opts(dir.clone(), false, &["fig01_itrs"])).unwrap();
+    assert_eq!(out.verdicts, vec![("fig01_itrs", Verdict::Missing)]);
+    assert!(!out.is_clean());
+    assert!(out.render().contains("MISSING"));
+
+    // Bless writes the snapshot and reports it.
+    let out = run(&opts(dir.clone(), true, &["fig01_itrs"])).unwrap();
+    assert_eq!(out.verdicts, vec![("fig01_itrs", Verdict::Blessed)]);
+    assert!(out.is_clean());
+    assert!(dir.join("fig01_itrs.txt").is_file());
+
+    // An immediate unblessed run matches byte-for-byte.
+    let out = run(&opts(dir.clone(), false, &["fig01_itrs"])).unwrap();
+    assert_eq!(out.verdicts, vec![("fig01_itrs", Verdict::Match)]);
+    assert!(out.is_clean());
+    assert!(out.render().contains("1 clean, 0 failing"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn perturbed_snapshot_yields_a_line_diff() {
+    let dir = temp_dir("perturb");
+    run(&opts(dir.clone(), true, &["fig01_itrs"])).unwrap();
+
+    // Corrupt one line of the committed snapshot.
+    let path = dir.join("fig01_itrs.txt");
+    let committed = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = committed.lines().collect();
+    let victim = lines.len() / 2;
+    lines[victim] = "CORRUPTED LINE";
+    std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+    let out = run(&opts(dir.clone(), false, &["fig01_itrs"])).unwrap();
+    assert!(!out.is_clean());
+    match &out.verdicts[0].1 {
+        Verdict::Differs(diff) => {
+            assert!(
+                diff.lines().any(|l| l == "-CORRUPTED LINE"),
+                "diff should delete the corrupted line:\n{diff}"
+            );
+            assert!(
+                diff.lines().any(|l| l.starts_with('+')),
+                "diff should restore the real line:\n{diff}"
+            );
+        }
+        v => panic!("expected Differs, got {v:?}"),
+    }
+    let rendered = out.render();
+    assert!(rendered.contains("MISMATCH"));
+    assert!(rendered.contains("0 clean, 1 failing"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_id_is_an_error_not_a_verdict() {
+    let err = run(&opts(temp_dir("unknown"), false, &["not_a_scenario"])).unwrap_err();
+    assert!(err.contains("not_a_scenario"), "{err}");
+}

@@ -30,7 +30,13 @@ type Key = [u64; 6];
 
 /// Drops the low 8 mantissa bits: values within ~2^-44 relative distance
 /// share a key.
-fn quantize(x: f64) -> u64 {
+///
+/// Operates on the raw bit pattern, so every `f64` — NaNs, infinities,
+/// subnormals, both zeros — maps to *some* key without panicking, and the
+/// sign bit always survives (so `+0.0` and `-0.0`, or `±x` twins from a
+/// sign error upstream, never fold onto one cache entry). Public so the
+/// edge-case property suite can pin this contract down directly.
+pub fn quantize(x: f64) -> u64 {
     x.to_bits() & !0xFF
 }
 

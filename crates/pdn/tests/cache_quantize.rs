@@ -1,0 +1,90 @@
+//! Edge-case properties for the kernel cache's key quantization.
+//!
+//! The cache folds calibration jitter by masking the low 8 mantissa bits
+//! of each model parameter. These tests pin down the contract on the
+//! full `f64` bit space — NaNs, infinities, subnormals, both zeros —
+//! because a cache key that panics, or that folds `+x` onto `-x`, would
+//! silently hand a grid runner the wrong kernel.
+
+use voltctl_check::{check, ensure, f64_bits, i64_in, Config};
+use voltctl_pdn::cache::quantize;
+
+/// Quantization is total: any bit pattern — NaN payloads, infinities,
+/// subnormals — maps to a key without panicking, and the key is stable.
+#[test]
+fn quantize_is_total_and_deterministic() {
+    check(
+        "oracle.quantize.total",
+        &Config::cases(256, 0x0CE0),
+        &f64_bits(),
+        |&x| {
+            let a = quantize(x);
+            let b = quantize(x);
+            ensure!(a == b, "{x:?}: non-deterministic key {a:#x} vs {b:#x}");
+            Ok(())
+        },
+    );
+}
+
+/// The sign bit always survives quantization: `+x` and `-x` never share
+/// a cache entry, for every representable magnitude (including zero and
+/// the subnormals, where a value-based comparison would see equality).
+#[test]
+fn quantize_never_collides_across_sign() {
+    check(
+        "oracle.quantize.sign-preserved",
+        &Config::cases(256, 0x0CE1),
+        &f64_bits(),
+        |&x| {
+            let pos = quantize(x);
+            let neg = quantize(-x);
+            ensure!(
+                pos >> 63 == x.to_bits() >> 63,
+                "{x:?}: sign bit dropped from key {pos:#x}"
+            );
+            ensure!(pos != neg, "{x:?}: +x and -x collide on key {pos:#x}");
+            Ok(())
+        },
+    );
+}
+
+/// Jitter confined to the low 8 mantissa bits folds onto one key — the
+/// whole point of quantization — while flips above the mask never do.
+#[test]
+fn quantize_folds_exactly_the_masked_bits() {
+    let gen = (f64_bits(), i64_in(0, 64));
+    check(
+        "oracle.quantize.mask-boundary",
+        &Config::cases(256, 0x0CE2),
+        &gen,
+        |&(x, bit)| {
+            let flipped = f64::from_bits(x.to_bits() ^ (1u64 << bit));
+            let same = quantize(x) == quantize(flipped);
+            if bit < 8 {
+                ensure!(same, "{x:?}: low-bit {bit} jitter changed the key");
+            } else {
+                ensure!(!same, "{x:?}: bit {bit} flip folded onto the same key");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The named edge cases, pinned explicitly (the properties above cover
+/// them statistically; these make the contract readable).
+#[test]
+fn quantize_edge_cases_pinned() {
+    // ±0.0 are distinct keys: a sign error upstream must miss the cache.
+    assert_ne!(quantize(0.0), quantize(-0.0));
+    // NaN quantizes without panicking and deterministically.
+    assert_eq!(quantize(f64::NAN), quantize(f64::NAN));
+    // Infinities keep their sign.
+    assert_ne!(quantize(f64::INFINITY), quantize(f64::NEG_INFINITY));
+    // The smallest subnormal folds onto the zero of its sign (it is
+    // within the low-8-bit quantum of zero) but never onto the other
+    // sign's zero.
+    let tiny = f64::from_bits(1);
+    assert_eq!(quantize(tiny), quantize(0.0));
+    assert_ne!(quantize(-tiny), quantize(0.0));
+    assert_eq!(quantize(-tiny), quantize(-0.0));
+}

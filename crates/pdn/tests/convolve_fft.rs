@@ -6,7 +6,13 @@
 //! to FFT sizing, block partitioning, or ring indexing that breaks
 //! numerical equivalence fails here before it can skew a replayed
 //! emergency count.
+//!
+//! Run on the [`voltctl_check`] harness with the historical base seeds
+//! (`0x1000`–`0x5000`). Each generator replays the original hand-rolled
+//! draw sequence, so case 0 of every suite is byte-for-byte the
+//! pre-migration test; the remaining cases are new coverage.
 
+use voltctl_check::{check, ensure, ensure_eq, from_fn, Config};
 use voltctl_pdn::convolve::{convolve_full, convolve_full_fft, kernel_for, Convolver};
 use voltctl_pdn::state_space::pulse_response;
 use voltctl_pdn::PdnModel;
@@ -15,15 +21,16 @@ use voltctl_telemetry::Rng;
 /// |a - b| <= tol * max(1, |a|, |b|): relative where the signal is large,
 /// absolute near zero (voltages sit near 1.0, so this is effectively
 /// relative).
-fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
-    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+fn ensure_close(a: &[f64], b: &[f64], tol: f64, what: &str) -> Result<(), String> {
+    ensure_eq!(a.len(), b.len());
     for (k, (&x, &y)) in a.iter().zip(b).enumerate() {
         let scale = 1.0_f64.max(x.abs()).max(y.abs());
-        assert!(
+        ensure!(
             (x - y).abs() <= tol * scale,
             "{what}: cycle {k}: {x} vs {y} (tol {tol})"
         );
     }
+    Ok(())
 }
 
 /// A seeded random current trace in the paper's ampere range.
@@ -31,59 +38,114 @@ fn random_trace(rng: &mut Rng, len: usize) -> Vec<f64> {
     (0..len).map(|_| rng.range_f64(5.0, 50.0)).collect()
 }
 
+/// Kernel lengths straddling FFT block boundaries: tiny, non-power-of-two,
+/// exactly a power of two, and the paper-default derived length.
+fn taps_palette(model: &PdnModel) -> Vec<usize> {
+    let paper = kernel_for(model, 1e-6).len();
+    vec![1, 2, 3, 7, 64, 100, 255, 256, 257, paper]
+}
+
 #[test]
 fn fft_matches_direct_on_random_traces_across_kernel_lengths() {
     let model = PdnModel::paper_default().unwrap();
-    let mut rng = Rng::new(0x1000);
-    // Kernel lengths straddle FFT block boundaries: tiny, non-power-of-two,
-    // exactly a power of two, and the paper-default derived length.
-    let paper = kernel_for(&model, 1e-6).len();
-    for taps in [1, 2, 3, 7, 64, 100, 255, 256, 257, paper] {
-        let kernel = pulse_response(&model, taps);
-        for trace_len in [1, taps / 2 + 1, taps, 4 * taps + 13] {
-            let trace = random_trace(&mut rng, trace_len);
-            let direct = convolve_full(&kernel, &trace, model.v_nominal());
-            let fft = convolve_full_fft(&kernel, &trace, model.v_nominal());
-            assert_close(
-                &direct,
-                &fft,
-                1e-9,
-                &format!("taps={taps} trace_len={trace_len}"),
-            );
-        }
-    }
+    let palette = taps_palette(&model);
+    // One value = every (taps, trace_len) cell of the palette with its
+    // trace, drawn in the historical order off a single Rng stream.
+    let cells = {
+        let palette = palette.clone();
+        from_fn(move |rng: &mut Rng| -> Vec<(usize, Vec<f64>)> {
+            let mut out = Vec::new();
+            for &taps in &palette {
+                for trace_len in [1, taps / 2 + 1, taps, 4 * taps + 13] {
+                    out.push((taps, random_trace(rng, trace_len)));
+                }
+            }
+            out
+        })
+    };
+    check(
+        "convolve.fft-vs-direct.kernel-lengths",
+        &Config::cases(4, 0x1000),
+        &cells,
+        |cells| {
+            for (taps, trace) in cells {
+                let kernel = pulse_response(&model, *taps);
+                let direct = convolve_full(&kernel, trace, model.v_nominal());
+                let fft = convolve_full_fft(&kernel, trace, model.v_nominal());
+                ensure_close(
+                    &direct,
+                    &fft,
+                    1e-9,
+                    &format!("taps={taps} trace_len={}", trace.len()),
+                )?;
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn fft_matches_direct_on_random_kernels() {
     // Not just physical PDN kernels: arbitrary signed taps (including a
     // sign-alternating worst case for cancellation).
-    let mut rng = Rng::new(0x2000);
-    for taps in [5, 33, 129, 513] {
-        let kernel: Vec<f64> = (0..taps)
-            .map(|k| rng.range_f64(-1e-3, 1e-3) * if k % 2 == 0 { 1.0 } else { -1.0 })
-            .collect();
-        let trace = random_trace(&mut rng, 2048);
-        let direct = convolve_full(&kernel, &trace, 1.0);
-        let fft = convolve_full_fft(&kernel, &trace, 1.0);
-        assert_close(&direct, &fft, 1e-9, &format!("random kernel taps={taps}"));
-    }
+    let pairs = from_fn(|rng: &mut Rng| -> Vec<(Vec<f64>, Vec<f64>)> {
+        [5usize, 33, 129, 513]
+            .iter()
+            .map(|&taps| {
+                let kernel: Vec<f64> = (0..taps)
+                    .map(|k| rng.range_f64(-1e-3, 1e-3) * if k % 2 == 0 { 1.0 } else { -1.0 })
+                    .collect();
+                let trace = random_trace(rng, 2048);
+                (kernel, trace)
+            })
+            .collect()
+    });
+    check(
+        "convolve.fft-vs-direct.random-kernels",
+        &Config::cases(4, 0x2000),
+        &pairs,
+        |pairs| {
+            for (kernel, trace) in pairs {
+                let direct = convolve_full(kernel, trace, 1.0);
+                let fft = convolve_full_fft(kernel, trace, 1.0);
+                ensure_close(
+                    &direct,
+                    &fft,
+                    1e-9,
+                    &format!("random kernel taps={}", kernel.len()),
+                )?;
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn streaming_agrees_with_both_batch_paths() {
     let model = PdnModel::paper_default().unwrap();
-    let mut rng = Rng::new(0x3000);
-    for taps in [7, 60, 256] {
-        let kernel = pulse_response(&model, taps);
-        let trace = random_trace(&mut rng, 1500);
-        let direct = convolve_full(&kernel, &trace, model.v_nominal());
-        let fft = convolve_full_fft(&kernel, &trace, model.v_nominal());
-        let mut conv = Convolver::new(kernel, model.v_nominal());
-        let streamed: Vec<f64> = trace.iter().map(|&i| conv.step(i)).collect();
-        assert_close(&direct, &streamed, 1e-9, &format!("stream taps={taps}"));
-        assert_close(&fft, &streamed, 1e-9, &format!("fft-vs-stream taps={taps}"));
-    }
+    let traces = from_fn(|rng: &mut Rng| -> Vec<(usize, Vec<f64>)> {
+        [7usize, 60, 256]
+            .iter()
+            .map(|&taps| (taps, random_trace(rng, 1500)))
+            .collect()
+    });
+    check(
+        "convolve.stream-vs-batch",
+        &Config::cases(4, 0x3000),
+        &traces,
+        |traces| {
+            for (taps, trace) in traces {
+                let kernel = pulse_response(&model, *taps);
+                let direct = convolve_full(&kernel, trace, model.v_nominal());
+                let fft = convolve_full_fft(&kernel, trace, model.v_nominal());
+                let mut conv = Convolver::new(kernel, model.v_nominal());
+                let streamed: Vec<f64> = trace.iter().map(|&i| conv.step(i)).collect();
+                ensure_close(&direct, &streamed, 1e-9, &format!("stream taps={taps}"))?;
+                ensure_close(&fft, &streamed, 1e-9, &format!("fft-vs-stream taps={taps}"))?;
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
@@ -93,13 +155,17 @@ fn fft_replay_reproduces_state_space_voltages() {
     // tolerance — the property the fast replay path exists to uphold.
     let model = PdnModel::paper_default().unwrap();
     let kernel = kernel_for(&model, 1e-9);
-    let mut rng = Rng::new(0x4000);
-    let trace = random_trace(&mut rng, 8192);
-
-    let mut state = model.discretize();
-    let exact: Vec<f64> = trace.iter().map(|&i| state.step(i)).collect();
-    let fft = convolve_full_fft(&kernel, &trace, model.v_nominal());
-    assert_close(&exact, &fft, 1e-6, "state-space vs fft replay");
+    check(
+        "convolve.fft-replay-vs-state-space",
+        &Config::cases(2, 0x4000),
+        &from_fn(|rng: &mut Rng| random_trace(rng, 8192)),
+        |trace| {
+            let mut state = model.discretize();
+            let exact: Vec<f64> = trace.iter().map(|&i| state.step(i)).collect();
+            let fft = convolve_full_fft(&kernel, trace, model.v_nominal());
+            ensure_close(&exact, &fft, 1e-6, "state-space vs fft replay")
+        },
+    );
 }
 
 #[test]
@@ -108,9 +174,15 @@ fn fft_is_deterministic_across_calls() {
     // guarantee relies on every voltage path being a pure function.
     let model = PdnModel::paper_default().unwrap();
     let kernel = kernel_for(&model, 1e-6);
-    let mut rng = Rng::new(0x5000);
-    let trace = random_trace(&mut rng, 4096);
-    let a = convolve_full_fft(&kernel, &trace, model.v_nominal());
-    let b = convolve_full_fft(&kernel, &trace, model.v_nominal());
-    assert_eq!(a, b);
+    check(
+        "convolve.fft-deterministic",
+        &Config::cases(2, 0x5000),
+        &from_fn(|rng: &mut Rng| random_trace(rng, 4096)),
+        |trace| {
+            let a = convolve_full_fft(&kernel, trace, model.v_nominal());
+            let b = convolve_full_fft(&kernel, trace, model.v_nominal());
+            ensure_eq!(a, b);
+            Ok(())
+        },
+    );
 }

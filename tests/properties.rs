@@ -1,15 +1,19 @@
-//! Randomized property tests across the crates, driven by the
-//! workspace's deterministic [`voltctl::telemetry::Rng`] (the build
-//! environment has no registry access, so proptest is replaced by seeded
-//! generation: every case is reproducible from its seed).
+//! Randomized property tests across the crates, run on the in-tree
+//! [`voltctl_check`] property harness. Each suite keeps its historical
+//! base seed (`0xA110`, `0x6A7E`, `0x11EA`, `0xA53A`) and case budget:
+//! the runner seeds case `k` with `base + k`, and the generators consume
+//! the `Rng` exactly like the hand-rolled loops they replaced, so every
+//! historical case is still covered — now with shrinking and failure-seed
+//! persistence on top.
 
 use voltctl::cpu::{Cpu, CpuConfig, Domain};
 use voltctl::isa::{FpReg, IntReg, ProgramBuilder};
 use voltctl::pdn::{convolve, PdnModel};
 use voltctl::telemetry::Rng;
+use voltctl_check::{check, ensure, ensure_eq, from_fn, vec_f64, vec_of, Config, Gen};
 
 /// A recipe for one straight-line instruction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum OpRecipe {
     AddImm { rd: u8, ra: u8, imm: i32 },
     Mul { rd: u8, ra: u8, rb: u8 },
@@ -61,9 +65,11 @@ fn random_op(rng: &mut Rng) -> OpRecipe {
     }
 }
 
-fn random_ops(rng: &mut Rng, min: usize, max: usize) -> Vec<OpRecipe> {
-    let n = rng.range_i64(min as i64, max as i64) as usize;
-    (0..n).map(|_| random_op(rng)).collect()
+/// `min..max` random ops: same draw order as the old `random_ops`
+/// helper (length via `range_i64`, then each op), plus element-dropping
+/// shrinks from [`vec_of`] — a failing program gets minimized.
+fn ops_gen(min: usize, max: usize) -> impl Gen<Value = Vec<OpRecipe>> {
+    vec_of(from_fn(random_op), min, max)
 }
 
 fn build_program(ops: &[OpRecipe]) -> voltctl::isa::Program {
@@ -111,32 +117,33 @@ fn build_program(ops: &[OpRecipe]) -> voltctl::isa::Program {
 /// them — the foundation for "control does not alter correctness".
 #[test]
 fn results_independent_of_microarchitecture() {
-    for seed in 0..24u64 {
-        let mut rng = Rng::new(0xA110 + seed);
-        let ops = random_ops(&mut rng, 1, 200);
-        let program = build_program(&ops);
-        let mut big = Cpu::new(CpuConfig::table1(), &program).unwrap();
-        big.run(1_000_000);
-        assert!(big.done(), "seed {seed}");
-        let mut small = Cpu::new(CpuConfig::small(), &program).unwrap();
-        small.run(2_000_000);
-        assert!(small.done(), "seed {seed}");
-        assert_eq!(big.arch_digest(), small.arch_digest(), "seed {seed}");
-        assert_eq!(
-            big.stats().committed,
-            small.stats().committed,
-            "seed {seed}"
-        );
-    }
+    check(
+        "properties.uarch-independent",
+        &Config::cases(24, 0xA110),
+        &ops_gen(1, 200),
+        |ops| {
+            let program = build_program(ops);
+            let mut big = Cpu::new(CpuConfig::table1(), &program).unwrap();
+            big.run(1_000_000);
+            ensure!(big.done(), "table1 config did not finish");
+            let mut small = Cpu::new(CpuConfig::small(), &program).unwrap();
+            small.run(2_000_000);
+            ensure!(small.done(), "small config did not finish");
+            ensure_eq!(big.arch_digest(), small.arch_digest());
+            ensure_eq!(big.stats().committed, small.stats().committed);
+            Ok(())
+        },
+    );
 }
 
 /// Random gating schedules stall execution but never change results.
 #[test]
 fn gating_schedules_never_change_results() {
-    for seed in 0..24u64 {
-        let mut rng = Rng::new(0x6A7E + seed);
-        let ops = random_ops(&mut rng, 1, 120);
-        let schedule: Vec<(u8, u8, bool)> = (0..rng.below(40))
+    // Draw order matches the historical loop: the op list first, then
+    // the schedule (`below(40)` entries of `(below(3), range_i64(1,16),
+    // next_bool())`), so the tuple generator replays the same streams.
+    let schedule_gen = from_fn(|rng: &mut Rng| -> Vec<(u8, u8, bool)> {
+        (0..rng.below(40))
             .map(|_| {
                 (
                     rng.below(3) as u8,
@@ -144,37 +151,45 @@ fn gating_schedules_never_change_results() {
                     rng.next_bool(),
                 )
             })
-            .collect();
-        let program = build_program(&ops);
-        let mut free = Cpu::new(CpuConfig::table1(), &program).unwrap();
-        free.run(1_000_000);
-        assert!(free.done(), "seed {seed}");
+            .collect()
+    });
+    check(
+        "properties.gating-preserves-results",
+        &Config::cases(24, 0x6A7E),
+        &(ops_gen(1, 120), schedule_gen),
+        |(ops, schedule)| {
+            let program = build_program(ops);
+            let mut free = Cpu::new(CpuConfig::table1(), &program).unwrap();
+            free.run(1_000_000);
+            ensure!(free.done(), "ungated run did not finish");
 
-        let mut gated = Cpu::new(CpuConfig::table1(), &program).unwrap();
-        'outer: for &(domain, cycles, phantom) in &schedule {
-            let d = match domain {
-                0 => Domain::Fu,
-                1 => Domain::Dl1,
-                _ => Domain::Il1,
-            };
-            if phantom {
-                gated.gating_mut().set_phantom(d, true);
-            } else {
-                gated.gating_mut().set_gated(d, true);
-            }
-            for _ in 0..cycles {
-                if gated.done() {
-                    break 'outer;
+            let mut gated = Cpu::new(CpuConfig::table1(), &program).unwrap();
+            'outer: for &(domain, cycles, phantom) in schedule {
+                let d = match domain {
+                    0 => Domain::Fu,
+                    1 => Domain::Dl1,
+                    _ => Domain::Il1,
+                };
+                if phantom {
+                    gated.gating_mut().set_phantom(d, true);
+                } else {
+                    gated.gating_mut().set_gated(d, true);
                 }
-                gated.step();
+                for _ in 0..cycles {
+                    if gated.done() {
+                        break 'outer;
+                    }
+                    gated.step();
+                }
+                gated.gating_mut().release_all();
             }
             gated.gating_mut().release_all();
-        }
-        gated.gating_mut().release_all();
-        gated.run(1_000_000);
-        assert!(gated.done(), "seed {seed}");
-        assert_eq!(free.arch_digest(), gated.arch_digest(), "seed {seed}");
-    }
+            gated.run(1_000_000);
+            ensure!(gated.done(), "gated run did not finish");
+            ensure_eq!(free.arch_digest(), gated.arch_digest());
+            Ok(())
+        },
+    );
 }
 
 /// The PDN is linear time-invariant: scaling the current trace scales
@@ -183,45 +198,57 @@ fn gating_schedules_never_change_results() {
 fn pdn_linearity_and_equivalence() {
     let model = PdnModel::paper_default().unwrap();
     let kernel = convolve::kernel_for(&model, 1e-9);
-    for seed in 0..24u64 {
-        let mut rng = Rng::new(0x11EA + seed);
-        let len = rng.range_i64(16, 300) as usize;
-        let trace: Vec<f64> = (0..len).map(|_| rng.range_f64(0.0, 60.0)).collect();
-        let scale = rng.range_f64(0.1, 4.0);
+    check(
+        "properties.pdn-linearity",
+        &Config::cases(24, 0x11EA),
+        &(vec_f64(16, 300, 0.0, 60.0), voltctl_check::f64_in(0.1, 4.0)),
+        |(trace, scale)| {
+            let mut s1 = model.discretize();
+            let v1: Vec<f64> = trace
+                .iter()
+                .map(|&i| s1.step(i) - model.v_nominal())
+                .collect();
 
-        let mut s1 = model.discretize();
-        let v1: Vec<f64> = trace
-            .iter()
-            .map(|&i| s1.step(i) - model.v_nominal())
-            .collect();
+            let scaled: Vec<f64> = trace.iter().map(|&i| i * scale).collect();
+            let mut s2 = model.discretize();
+            let v2: Vec<f64> = scaled
+                .iter()
+                .map(|&i| s2.step(i) - model.v_nominal())
+                .collect();
+            for (t, (a, b)) in v1.iter().zip(&v2).enumerate() {
+                ensure!(
+                    (a * scale - b).abs() < 1e-9,
+                    "linearity broke at cycle {t}: {a} * {scale} vs {b}"
+                );
+            }
 
-        let scaled: Vec<f64> = trace.iter().map(|&i| i * scale).collect();
-        let mut s2 = model.discretize();
-        let v2: Vec<f64> = scaled
-            .iter()
-            .map(|&i| s2.step(i) - model.v_nominal())
-            .collect();
-        for (a, b) in v1.iter().zip(&v2) {
-            assert!((a * scale - b).abs() < 1e-9, "seed {seed}");
-        }
-
-        let conv = convolve::convolve_full(&kernel, &trace, 0.0);
-        for (a, b) in v1.iter().zip(&conv) {
-            assert!((a - b).abs() < 1e-7, "seed {seed}");
-        }
-    }
+            let conv = convolve::convolve_full(&kernel, trace, 0.0);
+            for (t, (a, b)) in v1.iter().zip(&conv).enumerate() {
+                ensure!(
+                    (a - b).abs() < 1e-7,
+                    "state-space vs convolution at cycle {t}: {a} vs {b}"
+                );
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Assembler round-trip: disassembling any generated program and
 /// re-assembling it yields the identical instruction stream.
 #[test]
 fn assembler_roundtrip() {
-    for seed in 0..24u64 {
-        let mut rng = Rng::new(0xA53A + seed);
-        let ops = random_ops(&mut rng, 1, 150);
-        let program = build_program(&ops);
-        let text = voltctl::isa::asm::disassemble(&program);
-        let back = voltctl::isa::asm::assemble("prop", &text).expect("disassembly re-assembles");
-        assert_eq!(program.insts(), back.insts(), "seed {seed}");
-    }
+    check(
+        "properties.assembler-roundtrip",
+        &Config::cases(24, 0xA53A),
+        &ops_gen(1, 150),
+        |ops| {
+            let program = build_program(ops);
+            let text = voltctl::isa::asm::disassemble(&program);
+            let back = voltctl::isa::asm::assemble("prop", &text)
+                .map_err(|e| format!("re-assemble: {e}"))?;
+            ensure_eq!(program.insts(), back.insts());
+            Ok(())
+        },
+    );
 }
