@@ -109,6 +109,33 @@ pub fn evaluate_program_recorded<R: voltctl_telemetry::Recorder>(
     cycles: u64,
     recorder: R,
 ) -> Result<(Evaluation, R), ControlError> {
+    let (evaluation, recorder, _) = evaluate_program_traced(
+        program,
+        setup,
+        warmup,
+        cycles,
+        recorder,
+        voltctl_trace::NullTracer,
+    )?;
+    Ok((evaluation, recorder))
+}
+
+/// Like [`evaluate_program_recorded`], but additionally attaches `tracer`
+/// to the **controlled** run (matching the telemetry policy: the
+/// controlled loop is the one under forensic scrutiny) and hands it back
+/// for capture extraction.
+///
+/// # Errors
+///
+/// Propagates loop-construction errors.
+pub fn evaluate_program_traced<R: voltctl_telemetry::Recorder, T: voltctl_trace::Tracer>(
+    program: &Program,
+    setup: &EvalSetup,
+    warmup: u64,
+    cycles: u64,
+    recorder: R,
+    tracer: T,
+) -> Result<(Evaluation, R, T), ControlError> {
     let mut baseline = ControlLoop::builder(program.clone())
         .cpu_config(setup.cpu_config.clone())
         .power(setup.power.clone())
@@ -124,17 +151,17 @@ pub fn evaluate_program_recorded<R: voltctl_telemetry::Recorder>(
         .sensor(setup.sensor)
         .scope(setup.scope)
         .recorder(recorder)
+        .tracer(tracer)
         .build()?;
     controlled.run(warmup + cycles);
     controlled.finish_telemetry();
 
-    Ok((
-        Evaluation {
-            baseline: baseline.report(),
-            controlled: controlled.report(),
-        },
-        controlled.into_recorder(),
-    ))
+    let evaluation = Evaluation {
+        baseline: baseline.report(),
+        controlled: controlled.report(),
+    };
+    let (recorder, tracer) = controlled.into_parts();
+    Ok((evaluation, recorder, tracer))
 }
 
 /// The result of replaying a recorded current trace through a supply
@@ -159,21 +186,57 @@ pub struct TraceReplay {
 /// replacement for the replay loops the experiment binaries used to
 /// hand-roll.
 pub fn replay_current_trace(pdn: &PdnModel, trace: &[f64], with_histogram: bool) -> TraceReplay {
+    let (replay, _) =
+        replay_current_trace_traced(pdn, trace, with_histogram, voltctl_trace::NullTracer);
+    replay
+}
+
+/// Like [`replay_current_trace`], but streams every replayed cycle into
+/// `tracer` as a [`CycleRecord`](voltctl_trace::CycleRecord) — replays
+/// have no CPU behind them, so the sensed band is `Normal` and the event
+/// bits are empty; only current/voltage/supply-band carry signal.
+pub fn replay_current_trace_traced<T: voltctl_trace::Tracer>(
+    pdn: &PdnModel,
+    trace: &[f64],
+    with_histogram: bool,
+    mut tracer: T,
+) -> (TraceReplay, T) {
     let mut state = pdn.discretize();
     state.set_reference_current(trace.iter().cloned().fold(f64::MAX, f64::min));
     let mut monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
     let mut histogram = with_histogram.then(VoltageHistogram::for_nominal_1v);
-    for &i in trace {
+    for (k, &i) in trace.iter().enumerate() {
         let v = state.step(i);
-        monitor.observe(v);
+        let band = monitor.observe(v);
+        if T::ENABLED {
+            tracer.cycle(voltctl_trace::CycleRecord {
+                cycle: k as u64,
+                current: i,
+                voltage: v,
+                supply: match band {
+                    voltctl_pdn::emergency::VoltageBand::UnderEmergency => {
+                        voltctl_trace::SupplyBand::Under
+                    }
+                    voltctl_pdn::emergency::VoltageBand::Safe => voltctl_trace::SupplyBand::Safe,
+                    voltctl_pdn::emergency::VoltageBand::OverEmergency => {
+                        voltctl_trace::SupplyBand::Over
+                    }
+                },
+                sensor: voltctl_trace::SensorBand::Normal,
+                events: 0,
+            });
+        }
         if let Some(h) = histogram.as_mut() {
             h.record(v);
         }
     }
-    TraceReplay {
-        report: monitor.report(),
-        histogram,
-    }
+    (
+        TraceReplay {
+            report: monitor.report(),
+            histogram,
+        },
+        tracer,
+    )
 }
 
 #[cfg(test)]

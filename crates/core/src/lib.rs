@@ -78,8 +78,8 @@ pub mod thresholds;
 
 pub use actuator::{ActuationScope, AsymmetricActuator};
 pub use analysis::{
-    evaluate_program, evaluate_program_recorded, replay_current_trace, EvalSetup, Evaluation,
-    TraceReplay,
+    evaluate_program, evaluate_program_recorded, evaluate_program_traced, replay_current_trace,
+    replay_current_trace_traced, EvalSetup, Evaluation, TraceReplay,
 };
 pub use calibrate::calibrated_pdn;
 pub use controller::{ControlAction, ThresholdController};

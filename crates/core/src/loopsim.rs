@@ -21,16 +21,25 @@
 //! uninstrumented loop. Attach a real recorder with
 //! [`ControlLoopBuilder::recorder`] and flush run-level aggregates with
 //! [`ControlLoop::finish_telemetry`].
+//!
+//! The loop is also generic over a [`Tracer`] (default [`NullTracer`],
+//! same compile-time-off contract): when enabled, every cycle emits one
+//! [`CycleRecord`](voltctl_trace::CycleRecord) — current, voltage,
+//! ground-truth supply band, sensed band, and microarchitectural event
+//! bits — into the attached flight recorder. Attach one with
+//! [`ControlLoopBuilder::tracer`].
 
 use crate::actuator::{ActuationScope, AsymmetricActuator};
 use crate::controller::ThresholdController;
 use crate::sensor::{SensorConfig, SensorReading, ThresholdSensor};
 use crate::thresholds::{ControlError, Thresholds};
-use voltctl_cpu::{Cpu, CpuConfig};
+use voltctl_cpu::{Cpu, CpuConfig, CycleActivity, GatingState};
 use voltctl_isa::Program;
+use voltctl_pdn::emergency::VoltageBand;
 use voltctl_pdn::{EmergencyReport, PdnModel, PdnState, VoltageHistogram, VoltageMonitor};
 use voltctl_power::{EnergyAccumulator, PowerModel};
 use voltctl_telemetry::{NullRecorder, Recorder, Stopwatch};
+use voltctl_trace::{events, CycleRecord, NullTracer, SensorBand, SupplyBand, Tracer};
 
 /// One cycle's observables (optionally recorded).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +56,7 @@ pub struct LoopSample {
 
 /// Builder for [`ControlLoop`].
 #[derive(Debug)]
-pub struct ControlLoopBuilder<R: Recorder = NullRecorder> {
+pub struct ControlLoopBuilder<R: Recorder = NullRecorder, T: Tracer = NullTracer> {
     program: Program,
     cpu_config: CpuConfig,
     power: Option<PowerModel>,
@@ -57,9 +66,10 @@ pub struct ControlLoopBuilder<R: Recorder = NullRecorder> {
     actuator: AsymmetricActuator,
     record_trace: bool,
     recorder: R,
+    tracer: T,
 }
 
-impl<R: Recorder> ControlLoopBuilder<R> {
+impl<R: Recorder, T: Tracer> ControlLoopBuilder<R, T> {
     /// Selects the machine configuration (default: Table 1).
     pub fn cpu_config(mut self, config: CpuConfig) -> Self {
         self.cpu_config = config;
@@ -114,7 +124,7 @@ impl<R: Recorder> ControlLoopBuilder<R> {
 
     /// Attaches a telemetry recorder; the built loop streams per-cycle
     /// samples and sub-step timings into it.
-    pub fn recorder<R2: Recorder>(self, recorder: R2) -> ControlLoopBuilder<R2> {
+    pub fn recorder<R2: Recorder>(self, recorder: R2) -> ControlLoopBuilder<R2, T> {
         ControlLoopBuilder {
             program: self.program,
             cpu_config: self.cpu_config,
@@ -125,6 +135,25 @@ impl<R: Recorder> ControlLoopBuilder<R> {
             actuator: self.actuator,
             record_trace: self.record_trace,
             recorder,
+            tracer: self.tracer,
+        }
+    }
+
+    /// Attaches a cycle tracer (e.g. a
+    /// [`FlightRecorder`](voltctl_trace::FlightRecorder), or `&mut` one);
+    /// the built loop emits one [`CycleRecord`] per cycle into it.
+    pub fn tracer<T2: Tracer>(self, tracer: T2) -> ControlLoopBuilder<R, T2> {
+        ControlLoopBuilder {
+            program: self.program,
+            cpu_config: self.cpu_config,
+            power: self.power,
+            pdn: self.pdn,
+            thresholds: self.thresholds,
+            sensor: self.sensor,
+            actuator: self.actuator,
+            record_trace: self.record_trace,
+            recorder: self.recorder,
+            tracer,
         }
     }
 
@@ -135,7 +164,7 @@ impl<R: Recorder> ControlLoopBuilder<R> {
     /// [`ControlError::Infeasible`] when required parts are missing, the
     /// CPU configuration fails validation, or error compensation consumes
     /// the threshold window.
-    pub fn build(self) -> Result<ControlLoop<R>, ControlError> {
+    pub fn build(self) -> Result<ControlLoop<R, T>, ControlError> {
         let power = self
             .power
             .ok_or_else(|| ControlError::Infeasible("power model is required".into()))?;
@@ -179,6 +208,7 @@ impl<R: Recorder> ControlLoopBuilder<R> {
                 None
             },
             recorder: self.recorder,
+            tracer: self.tracer,
             cycles_in_low: 0,
             cycles_in_normal: 0,
             cycles_in_high: 0,
@@ -188,7 +218,7 @@ impl<R: Recorder> ControlLoopBuilder<R> {
 
 /// The closed-loop simulator.
 #[derive(Debug)]
-pub struct ControlLoop<R: Recorder = NullRecorder> {
+pub struct ControlLoop<R: Recorder = NullRecorder, T: Tracer = NullTracer> {
     cpu: Cpu,
     power: PowerModel,
     pdn_state: PdnState,
@@ -201,6 +231,7 @@ pub struct ControlLoop<R: Recorder = NullRecorder> {
     energy: EnergyAccumulator,
     trace: Option<Vec<LoopSample>>,
     recorder: R,
+    tracer: T,
     cycles_in_low: u64,
     cycles_in_normal: u64,
     cycles_in_high: u64,
@@ -261,13 +292,79 @@ impl ControlLoop {
             actuator: AsymmetricActuator::symmetric(ActuationScope::FuDl1),
             record_trace: false,
             recorder: NullRecorder,
+            tracer: NullTracer,
         }
     }
 }
 
-impl<R: Recorder> ControlLoop<R> {
+/// Maps the monitor's ground-truth band into the trace vocabulary.
+fn supply_band(band: VoltageBand) -> SupplyBand {
+    match band {
+        VoltageBand::UnderEmergency => SupplyBand::Under,
+        VoltageBand::Safe => SupplyBand::Safe,
+        VoltageBand::OverEmergency => SupplyBand::Over,
+    }
+}
+
+/// Maps the sensed control band into the trace vocabulary.
+fn sensor_band(reading: SensorReading) -> SensorBand {
+    match reading {
+        SensorReading::Low => SensorBand::Low,
+        SensorReading::Normal => SensorBand::Normal,
+        SensorReading::High => SensorBand::High,
+    }
+}
+
+/// Packs one cycle's microarchitectural activity and actuator state into
+/// trace event bits.
+fn event_bits(act: &CycleActivity, gating: &GatingState) -> u16 {
+    let mut bits = 0u16;
+    if act.dl1_misses > 0 {
+        bits |= events::DL1_MISS;
+    }
+    if act.il1_misses > 0 {
+        bits |= events::IL1_MISS;
+    }
+    if act.l2_misses > 0 {
+        bits |= events::L2_MISS;
+    }
+    if act.mispredicts > 0 {
+        bits |= events::MISPREDICT;
+    }
+    if act.issued == 0 {
+        bits |= events::STALL;
+    }
+    if gating.gate_fu {
+        bits |= events::GATE_FU;
+    }
+    if gating.gate_dl1 {
+        bits |= events::GATE_DL1;
+    }
+    if gating.gate_il1 {
+        bits |= events::GATE_IL1;
+    }
+    if gating.phantom_fu {
+        bits |= events::PHANTOM_FU;
+    }
+    if gating.phantom_dl1 {
+        bits |= events::PHANTOM_DL1;
+    }
+    if gating.phantom_il1 {
+        bits |= events::PHANTOM_IL1;
+    }
+    bits
+}
+
+impl<R: Recorder, T: Tracer> ControlLoop<R, T> {
     /// Advances one cycle.
     pub fn step(&mut self) -> LoopSample {
+        // 0-based index of the cycle about to execute; only read when the
+        // tracer is enabled so the disabled loop stays byte-identical.
+        let cycle = if T::ENABLED {
+            self.cpu.stats().cycles
+        } else {
+            0
+        };
         let gating = self.cpu.gating();
 
         let sw = Stopwatch::start_for::<R>();
@@ -283,7 +380,7 @@ impl<R: Recorder> ControlLoop<R> {
         let volts = self.pdn_state.step(amps);
         sw.stop(&mut self.recorder, "loop.step.pdn_ns");
 
-        self.monitor.observe(volts);
+        let band = self.monitor.observe(volts);
         self.histogram.record(volts);
         self.energy.add_cycle(watts);
 
@@ -295,6 +392,17 @@ impl<R: Recorder> ControlLoop<R> {
             self.actuator.apply(action, self.cpu.gating_mut());
         }
         sw.stop(&mut self.recorder, "loop.step.control_ns");
+
+        if T::ENABLED {
+            self.tracer.cycle(CycleRecord {
+                cycle,
+                current: amps,
+                voltage: volts,
+                supply: supply_band(band),
+                sensor: sensor_band(reading),
+                events: event_bits(&act, &gating),
+            });
+        }
 
         match reading {
             SensorReading::Low => self.cycles_in_low += 1,
@@ -365,6 +473,26 @@ impl<R: Recorder> ControlLoop<R> {
     /// Consumes the loop, returning its recorder.
     pub fn into_recorder(self) -> R {
         self.recorder
+    }
+
+    /// The attached cycle tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// The attached cycle tracer, mutably.
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
+    }
+
+    /// Consumes the loop, returning its tracer.
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
+
+    /// Consumes the loop, returning its recorder and tracer together.
+    pub fn into_parts(self) -> (R, T) {
+        (self.recorder, self.tracer)
     }
 
     /// Takes the recorded per-cycle trace (empty unless
@@ -644,6 +772,60 @@ mod tests {
         assert!(<MemoryRecorder as Recorder>::ENABLED);
         let sw = Stopwatch::start_for::<NullRecorder>();
         assert_eq!(sw.elapsed_ns(), 0, "disabled span must not read the clock");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn disabled_tracer_is_compile_time_off() {
+        // Mirror of disabled_recorder_is_compile_time_off for the Tracer
+        // axis: the default tracer must be statically disabled (and
+        // zero-sized) so the per-cycle CycleRecord construction in step()
+        // is dead code, not a runtime branch.
+        assert!(!<NullTracer as Tracer>::ENABLED);
+        assert!(<voltctl_trace::FlightRecorder as Tracer>::ENABLED);
+        assert!(
+            !<&mut NullTracer as Tracer>::ENABLED,
+            "forwarding preserves off"
+        );
+        assert_eq!(std::mem::size_of::<NullTracer>(), 0);
+        // A null-traced loop is the *same type layout* as an untraced one.
+        assert_eq!(
+            std::mem::size_of::<ControlLoop>(),
+            std::mem::size_of::<ControlLoop<NullRecorder, NullTracer>>()
+        );
+    }
+
+    #[test]
+    fn null_tracer_loop_matches_traced_loop_exactly() {
+        // Tracing must be a pure observer: a loop with a FlightRecorder
+        // attached produces identical simulation results to the default
+        // NullTracer loop, and the flight recorder sees every cycle.
+        let (power, pdn) = harness(2.0);
+        let mut plain = ControlLoop::builder(spin_program())
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .build()
+            .unwrap();
+        let mut flight = voltctl_trace::FlightRecorder::new(32);
+        let mut traced = ControlLoop::builder(spin_program())
+            .power(power)
+            .pdn(pdn)
+            .tracer(&mut flight)
+            .build()
+            .unwrap();
+        plain.run(2_000);
+        traced.run(2_000);
+        assert_eq!(plain.report(), traced.report());
+        assert_eq!(plain.arch_digest(), traced.arch_digest());
+        drop(traced);
+        assert_eq!(flight.cycles(), 2_000);
+        assert_eq!(flight.buffered(), 32);
+        let cell = flight.to_cell("spin");
+        assert_eq!(
+            cell.crossings,
+            plain.report().emergencies.events(),
+            "tracer crossing count must agree with the voltage monitor"
+        );
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct CycleActivity {
     pub l2_misses: u32,
     /// Branch-predictor lookups.
     pub bpred_lookups: u32,
+    /// Mispredicted branches fetched this cycle (each starts a pipeline
+    /// flush/refill bubble).
+    pub mispredicts: u32,
     /// Architectural register-file reads (operand fetch at issue).
     pub regfile_reads: u32,
     /// Register-file writes (writeback).

@@ -572,6 +572,7 @@ impl Cpu {
             }
             if mispredicted {
                 self.stats.mispredicts += 1;
+                act.mispredicts += 1;
                 self.fetch_blocked_on = Some(seq);
                 break;
             }

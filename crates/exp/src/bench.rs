@@ -10,7 +10,8 @@
 //!   state-space stepper, all over the same seeded trace; plus the
 //!   derive-vs-cache-hit cost of [`voltctl_pdn::cached_kernel_for`].
 //! * **`BENCH_loop.json`** — closed-loop simulator throughput:
-//!   uncontrolled, threshold-controlled, and telemetry-recorded
+//!   uncontrolled, threshold-controlled, telemetry-recorded, and
+//!   flight-recorder-traced
 //!   [`ControlLoop`](voltctl_core::prelude::ControlLoop) stepping.
 //!
 //! Every point carries wall-clock nanoseconds and derived cycles/second.
@@ -33,6 +34,7 @@ use voltctl_pdn::state_space::pulse_response;
 use voltctl_pdn::{cached_kernel_for, convolve, PdnModel};
 use voltctl_telemetry::stopwatch::bench;
 use voltctl_telemetry::{MemoryRecorder, Rng};
+use voltctl_trace::FlightRecorder;
 
 use crate::harness::{cpu_config, pdn_at, power_model};
 
@@ -43,6 +45,9 @@ pub struct BenchOpts {
     pub smoke: bool,
     /// Directory the `BENCH_*.json` artifacts are written to.
     pub out: PathBuf,
+    /// Run only the named suite (`pdn` or `loop`); `None` runs both.
+    /// Useful for regenerating one baseline without paying for the other.
+    pub suite: Option<String>,
 }
 
 impl Default for BenchOpts {
@@ -50,6 +55,7 @@ impl Default for BenchOpts {
         BenchOpts {
             smoke: false,
             out: PathBuf::from(DEFAULT_PERF_DIR),
+            suite: None,
         }
     }
 }
@@ -291,7 +297,9 @@ fn spin_program() -> Program {
 }
 
 /// The closed-loop suite: `ControlLoop::step` throughput uncontrolled,
-/// controlled, and with a live telemetry recorder.
+/// controlled, with a live telemetry recorder, and with a flight
+/// recorder attached (`NullTracer`'s cost is not a point: disabled
+/// tracing is compile-time dead code, identical to `uncontrolled`).
 pub fn bench_loop(smoke: bool) -> BenchSuite {
     let (chunk, samples) = if smoke {
         (5_000u64, 2)
@@ -330,8 +338,8 @@ pub fn bench_loop(smoke: bool) -> BenchSuite {
 
     let mut recorded = ControlLoop::builder(spin_program())
         .cpu_config(cpu_config())
-        .power(power)
-        .pdn(pdn)
+        .power(power.clone())
+        .pdn(pdn.clone())
         .recorder(MemoryRecorder::new())
         .build()
         .expect("recorded loop constructs");
@@ -340,15 +348,30 @@ pub fn bench_loop(smoke: bool) -> BenchSuite {
         recorded.report().cycles
     });
 
+    let mut traced = ControlLoop::builder(spin_program())
+        .cpu_config(cpu_config())
+        .power(power)
+        .pdn(pdn)
+        .tracer(FlightRecorder::new(voltctl_trace::DEFAULT_WINDOW))
+        .build()
+        .expect("traced loop constructs");
+    let t = bench("loop.traced", samples, 1, || {
+        traced.run(chunk);
+        traced.report().cycles
+    });
+
     let points = vec![
         BenchPoint::from_result("uncontrolled", 0, chunk, u),
         BenchPoint::from_result("controlled", 0, chunk, c),
         BenchPoint::from_result("recorded", 0, chunk, r),
+        BenchPoint::from_result("traced", 0, chunk, t),
     ];
     let telemetry_overhead = r.median_ns_per_iter / u.median_ns_per_iter - 1.0;
+    let tracing_overhead = t.median_ns_per_iter / u.median_ns_per_iter - 1.0;
     let summary = vec![
         ("chunk_cycles", chunk as f64),
         ("telemetry_overhead_frac", telemetry_overhead),
+        ("tracing_overhead_frac", tracing_overhead),
     ];
     BenchSuite {
         name: "loop",
@@ -367,7 +390,16 @@ pub fn bench_loop(smoke: bool) -> BenchSuite {
 /// artifacts are still written first so CI can upload them), or the I/O
 /// error message if writing failed.
 pub fn run(opts: &BenchOpts) -> Result<Vec<PathBuf>, String> {
-    let suites = [bench_pdn(opts.smoke), bench_loop(opts.smoke)];
+    let mut suites = Vec::new();
+    if opts.suite.as_deref().is_none_or(|s| s == "pdn") {
+        suites.push(bench_pdn(opts.smoke));
+    }
+    if opts.suite.as_deref().is_none_or(|s| s == "loop") {
+        suites.push(bench_loop(opts.smoke));
+    }
+    if suites.is_empty() {
+        return Err(format!("unknown bench suite {:?}", opts.suite));
+    }
     let mut paths = Vec::new();
     let mut failures = Vec::new();
     for suite in &suites {
@@ -436,7 +468,7 @@ mod tests {
         let suite = bench_loop(true);
         assert!(suite.insane_points().is_empty(), "{:?}", suite.points);
         let paths: Vec<&str> = suite.points.iter().map(|p| p.path).collect();
-        assert_eq!(paths, ["uncontrolled", "controlled", "recorded"]);
+        assert_eq!(paths, ["uncontrolled", "controlled", "recorded", "traced"]);
     }
 
     #[test]
@@ -475,6 +507,7 @@ mod tests {
         let opts = BenchOpts {
             smoke: true,
             out: dir.clone(),
+            suite: None,
         };
         let paths = run(&opts).expect("smoke bench must produce sane throughput");
         assert_eq!(paths.len(), 2);

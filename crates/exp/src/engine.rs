@@ -26,8 +26,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use voltctl_telemetry::MemoryRecorder;
+use voltctl_trace::{FlightRecorder, MergedTrace};
 
 use crate::scale::scaled_budget;
+
+/// Trace configuration for a run: when present in [`Ctx`], scenarios
+/// that support tracing attach a [`FlightRecorder`] with this window to
+/// their controlled loops and hand it back on the [`CellResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Flight-recorder window: cycles kept before and after each
+    /// emergency crossing.
+    pub window: usize,
+}
+
+impl Default for TraceSpec {
+    fn default() -> TraceSpec {
+        TraceSpec {
+            window: voltctl_trace::DEFAULT_WINDOW,
+        }
+    }
+}
 
 /// Cycle budget used for every cell in `--smoke` mode: just enough for
 /// the plumbing to be exercised end to end.
@@ -50,6 +69,10 @@ pub struct Ctx {
     /// Directory for telemetry artifacts cells export directly (per-cycle
     /// trace CSVs and the like). Unused when `telemetry` is off.
     pub telemetry_out: PathBuf,
+    /// Event tracing: `Some` makes trace-aware scenarios attach a
+    /// flight recorder per cell; `None` (the default) costs nothing —
+    /// untraced loops run with `NullTracer`, which compiles away.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for Ctx {
@@ -59,6 +82,7 @@ impl Default for Ctx {
             smoke: false,
             telemetry: false,
             telemetry_out: crate::telemetry::default_out_dir(),
+            trace: None,
         }
     }
 }
@@ -122,6 +146,10 @@ pub struct CellResult {
     /// Telemetry collected while running the cell; merged into the
     /// run-wide aggregate in grid order.
     pub recorder: MemoryRecorder,
+    /// Flight recorder for trace-aware scenarios (left at its default,
+    /// empty state otherwise); snapshotted into the run-wide
+    /// [`MergedTrace`] in grid order.
+    pub tracer: FlightRecorder,
 }
 
 impl CellResult {
@@ -215,6 +243,9 @@ pub struct RunOutput {
     pub report: String,
     /// All cells' telemetry, merged in grid order.
     pub telemetry: MemoryRecorder,
+    /// All cells' trace captures, merged in grid order. Empty unless
+    /// `ctx.trace` was set and the scenario is trace-aware.
+    pub trace: MergedTrace,
     /// Number of grid cells executed.
     pub cells: usize,
     /// Worker threads actually used.
@@ -268,14 +299,19 @@ pub fn run_scenario(scenario: &dyn Scenario, ctx: &Ctx, jobs: usize) -> RunOutpu
 
     // Grid-order merge: deterministic regardless of completion order.
     let mut telemetry = MemoryRecorder::new();
+    let mut trace = MergedTrace::new();
     for r in &results {
         telemetry.merge(&r.recorder);
+        if ctx.trace.is_some() && r.tracer.cycles() > 0 {
+            trace.push(r.tracer.to_cell(r.label.clone()));
+        }
     }
 
     let report = scenario.render(ctx, &results);
     RunOutput {
         report,
         telemetry,
+        trace,
         cells: n,
         jobs,
         elapsed: started.elapsed(),

@@ -12,11 +12,16 @@
 //! and for a pre-commit reflex, and smoke budgets exercise every
 //! scenario's full rendering path without the minutes-class sweeps.
 
-use crate::engine::{run_scenario, Ctx, Scenario};
+use crate::engine::{run_scenario, Ctx, Scenario, TraceSpec};
 use crate::scenarios::{find, registry};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use voltctl_check::line_diff;
+
+/// The id of the forensics-report snapshot: not a registry scenario but
+/// the trace pipeline run over `fig08_stressmark` in smoke mode, pinning
+/// the flight recorder, attribution, and report rendering byte-for-byte.
+pub const TRACE_GOLDEN_ID: &str = "trace_fig08_stressmark";
 
 /// Configuration for one golden run.
 #[derive(Debug, Clone)]
@@ -126,13 +131,27 @@ fn snapshot_path(dir: &Path, id: &str) -> PathBuf {
 /// Returns `Err` for an unknown scenario id or an unwritable snapshot
 /// directory; mismatches are reported through the outcome, not as errors.
 pub fn run(opts: &GoldenOpts) -> Result<GoldenOutcome, String> {
-    let scenarios: Vec<&'static dyn Scenario> = if opts.ids.is_empty() {
-        registry().to_vec()
+    // Registry scenarios plus the forensics-report entry, which has no
+    // Scenario of its own: it reruns fig08_stressmark with tracing on
+    // and snapshots the rendered forensics instead of the report.
+    enum Entry {
+        Scenario(&'static dyn Scenario),
+        TraceForensics,
+    }
+    let entries: Vec<Entry> = if opts.ids.is_empty() {
+        let mut all: Vec<Entry> = registry().iter().map(|s| Entry::Scenario(*s)).collect();
+        all.push(Entry::TraceForensics);
+        all
     } else {
         opts.ids
             .iter()
             .map(|id| {
-                find(id).ok_or_else(|| format!("unknown scenario {id:?} (see `voltctl-exp list`)"))
+                if id == TRACE_GOLDEN_ID {
+                    return Ok(Entry::TraceForensics);
+                }
+                find(id)
+                    .map(Entry::Scenario)
+                    .ok_or_else(|| format!("unknown scenario {id:?} (see `voltctl-exp list`)"))
             })
             .collect::<Result<_, _>>()?
     };
@@ -141,10 +160,27 @@ pub fn run(opts: &GoldenOpts) -> Result<GoldenOutcome, String> {
         smoke: true,
         ..Ctx::default()
     };
-    let mut verdicts = Vec::with_capacity(scenarios.len());
-    for scenario in scenarios {
-        let report = run_scenario(scenario, &ctx, opts.jobs).report;
-        let path = snapshot_path(&opts.dir, scenario.id());
+    let mut verdicts = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let (id, report) = match entry {
+            Entry::Scenario(scenario) => (
+                scenario.id(),
+                run_scenario(scenario, &ctx, opts.jobs).report,
+            ),
+            Entry::TraceForensics => {
+                let traced = Ctx {
+                    trace: Some(TraceSpec::default()),
+                    ..ctx.clone()
+                };
+                let scenario = find("fig08_stressmark").expect("fig08_stressmark is registered");
+                let out = run_scenario(scenario, &traced, opts.jobs);
+                (
+                    TRACE_GOLDEN_ID,
+                    crate::trace::forensics(&out.trace).render(scenario.id()),
+                )
+            }
+        };
+        let path = snapshot_path(&opts.dir, id);
         let verdict = if opts.bless {
             std::fs::create_dir_all(&opts.dir)
                 .map_err(|e| format!("cannot create {}: {e}", opts.dir.display()))?;
@@ -158,7 +194,7 @@ pub fn run(opts: &GoldenOpts) -> Result<GoldenOutcome, String> {
                 Ok(committed) => Verdict::Differs(line_diff(&committed, &report)),
             }
         };
-        verdicts.push((scenario.id(), verdict));
+        verdicts.push((id, verdict));
     }
     Ok(GoldenOutcome { verdicts })
 }

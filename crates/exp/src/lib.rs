@@ -26,9 +26,12 @@ pub mod scale;
 pub mod scenarios;
 pub mod shim;
 pub mod telemetry;
+pub mod trace;
 
 pub use bench::{BenchOpts, BenchPoint, BenchSuite};
-pub use engine::{default_jobs, run_scenario, CellResult, Ctx, RunOutput, Runtime, Scenario};
+pub use engine::{
+    default_jobs, run_scenario, CellResult, Ctx, RunOutput, Runtime, Scenario, TraceSpec,
+};
 pub use golden::{GoldenOpts, GoldenOutcome, Verdict};
 pub use harness::{
     cpu_config, current_trace, delta_i, evaluate, pdn_at, power_model, solve_for, spec_suite,

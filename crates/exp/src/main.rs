@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! voltctl-exp list
-//! voltctl-exp run <id>... [--jobs N] [--scale X] [--smoke]
+//! voltctl-exp run <id>... [--jobs N] [--scale X] [--smoke] [--trace]
 //!                         [--telemetry MODE] [--telemetry-out DIR]
 //! voltctl-exp run --all [same flags]
-//! voltctl-exp bench [--smoke] [--out DIR]
+//! voltctl-exp trace <id>... [--window W] [--out DIR] [--jobs N]
+//!                           [--scale X] [--smoke] [--min-captures N]
+//! voltctl-exp bench [--smoke] [--out DIR] [--suite pdn|loop]
 //! voltctl-exp golden [--bless] [--jobs N] [--dir DIR] [id...]
 //! ```
 
 use std::path::PathBuf;
 use std::time::Instant;
-use voltctl_exp::engine::{default_jobs, run_scenario, Ctx, Scenario};
+use voltctl_exp::engine::{default_jobs, run_scenario, Ctx, Scenario, TraceSpec};
 use voltctl_exp::scenarios::{find, registry};
 use voltctl_exp::telemetry::{default_out_dir, env_mode, export_run, parse_mode, Mode};
 use voltctl_exp::{parse_scale, TextTable};
@@ -23,7 +25,8 @@ USAGE:
     voltctl-exp list
     voltctl-exp run <id>... [OPTIONS]
     voltctl-exp run --all [OPTIONS]
-    voltctl-exp bench [--smoke] [--out <DIR>]
+    voltctl-exp trace <id>... [TRACE OPTIONS]
+    voltctl-exp bench [--smoke] [--out <DIR>] [--suite <pdn|loop>]
     voltctl-exp golden [--bless] [--jobs <N>] [--dir <DIR>] [<id>...]
 
 OPTIONS:
@@ -32,14 +35,28 @@ OPTIONS:
     --scale <X>           cycle-budget scale factor (default: 1.0,
                           or VOLTCTL_SCALE)
     --smoke               tiny budgets, narrative checks off (CI plumbing)
+    --trace               attach the emergency flight recorder and export
+                          trace artifacts after each scenario
     --telemetry <MODE>    off | summary | jsonl | csv
                           (default: VOLTCTL_TELEMETRY or off)
     --telemetry-out <DIR> snapshot directory (default: results/telemetry)
+
+TRACE OPTIONS:
+    --window <W>          flight-recorder window in cycles kept either
+                          side of each emergency crossing (default: 96)
+    --out <DIR>           artifact directory (default: results/trace);
+                          writes <id>.trace.json (Perfetto-loadable) and
+                          <id>.forensics.txt, never overwriting
+    --jobs/--scale/--smoke as for run
+    --min-captures <N>    fail unless at least N emergencies captured
+                          ('stressmark' is an alias for fig08_stressmark)
 
 BENCH OPTIONS:
     --smoke               tiny iteration budgets (CI plumbing check)
     --out <DIR>           artifact directory (default: results/perf);
                           writes BENCH_pdn.json and BENCH_loop.json
+    --suite <pdn|loop>    run only one suite (regenerate one baseline
+                          without paying for the other)
 
 GOLDEN OPTIONS:
     --bless               rewrite the snapshots instead of comparing
@@ -86,6 +103,7 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         match arg.split('=').next().unwrap_or(arg.as_str()) {
             "--all" => out.all = true,
             "--smoke" => out.ctx.smoke = true,
+            "--trace" => out.ctx.trace = Some(TraceSpec::default()),
             "--jobs" => {
                 let raw = flag_value("--jobs");
                 out.jobs = raw
@@ -200,6 +218,25 @@ fn cmd_run(args: &[String]) {
             run.mode,
             &run.ctx.telemetry_out,
         );
+        if run.ctx.trace.is_some() && !out.trace.is_empty() {
+            match voltctl_exp::trace::export(
+                &voltctl_exp::trace::default_out_dir(),
+                scenario.id(),
+                &out.trace,
+            ) {
+                Ok(a) => eprintln!(
+                    "[voltctl-exp] trace {}: {} capture(s); wrote {} and {}",
+                    scenario.id(),
+                    out.trace.total_captures(),
+                    a.json.display(),
+                    a.forensics.display()
+                ),
+                Err(msg) => {
+                    eprintln!("voltctl-exp: trace export failed: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
     if scenarios.len() > 1 {
         eprintln!(
@@ -207,6 +244,60 @@ fn cmd_run(args: &[String]) {
             scenarios.len(),
             started.elapsed()
         );
+    }
+}
+
+fn cmd_trace(args: &[String]) {
+    let mut opts = voltctl_exp::trace::TraceOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> String {
+            if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+                return v.to_string();
+            }
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.split('=').next().unwrap_or(arg.as_str()) {
+            "--smoke" => opts.smoke = true,
+            "--window" => {
+                let raw = flag_value("--window");
+                opts.window = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        fail(&format!("--window {raw:?} is not a positive integer"))
+                    });
+            }
+            "--jobs" => {
+                let raw = flag_value("--jobs");
+                opts.jobs = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail(&format!("--jobs {raw:?} is not a positive integer")));
+            }
+            "--scale" => {
+                let raw = flag_value("--scale");
+                opts.scale =
+                    parse_scale(&raw).unwrap_or_else(|e| fail(&format!("--scale {raw:?}: {e}")));
+            }
+            "--out" => opts.out = PathBuf::from(flag_value("--out")),
+            "--min-captures" => {
+                let raw = flag_value("--min-captures");
+                opts.min_captures = raw
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail(&format!("--min-captures {raw:?} is not an integer")));
+            }
+            _ if arg.starts_with("--") => fail(&format!("unknown trace flag {arg:?}")),
+            _ => opts.ids.push(arg.clone()),
+        }
+    }
+    if let Err(msg) = voltctl_exp::trace::run(&opts) {
+        eprintln!("voltctl-exp: trace failed: {msg}");
+        std::process::exit(1);
     }
 }
 
@@ -227,6 +318,20 @@ fn cmd_bench(args: &[String]) {
                     });
                 opts.out = PathBuf::from(raw);
             }
+            "--suite" => {
+                let raw = arg
+                    .strip_prefix("--suite=")
+                    .map(str::to_string)
+                    .unwrap_or_else(|| {
+                        it.next()
+                            .unwrap_or_else(|| fail("--suite needs a value"))
+                            .clone()
+                    });
+                if !["pdn", "loop"].contains(&raw.as_str()) {
+                    fail(&format!("unknown bench suite {raw:?} (pdn, loop)"));
+                }
+                opts.suite = Some(raw);
+            }
             _ => fail(&format!("unknown bench argument {arg:?}")),
         }
     }
@@ -246,6 +351,7 @@ fn main() {
             cmd_list();
         }
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("golden") => cmd_golden(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => print!("{USAGE}"),

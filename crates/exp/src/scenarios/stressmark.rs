@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 use voltctl_core::prelude::*;
 use voltctl_pdn::waveform;
 use voltctl_telemetry::{export, MemoryRecorder};
+use voltctl_trace::FlightRecorder;
 use voltctl_workloads::stressmark;
 
 use crate::engine::{CellResult, Ctx, Runtime, Scenario};
@@ -15,7 +16,59 @@ use crate::harness::{
 use crate::report::ascii_chart;
 
 /// Figure 8: the generated dI/dt stressmark loop body.
+///
+/// Trace-aware: under `--trace` the grid gains two extra cells that run
+/// the tuned stressmark closed-loop — uncontrolled and under the
+/// FU/DL1/IL1 threshold controller — with the flight recorder attached.
+/// The report only uses the listing cell, so the rendered output (and
+/// its golden snapshot) is identical with or without tracing.
 pub struct Fig08Stressmark;
+
+impl Fig08Stressmark {
+    /// Runs the tuned stressmark with a flight recorder attached;
+    /// `controlled` adds the paper's FU/DL1/IL1 threshold controller.
+    fn traced_cell(&self, ctx: &Ctx, controlled: bool) -> CellResult {
+        let label = if controlled {
+            "controlled"
+        } else {
+            "uncontrolled"
+        };
+        let mut out = CellResult::new(label);
+        let window = ctx
+            .trace
+            .map(|t| t.window)
+            .unwrap_or(voltctl_trace::DEFAULT_WINDOW);
+        out.tracer = FlightRecorder::new(window);
+
+        let stress = tuned_stressmark();
+        // The stressmark's resonance needs ~7k cycles from cold start
+        // before the supply first leaves the band; smoke budgets would
+        // stop short of any capture, so trace cells keep a floor that
+        // guarantees the uncontrolled run records at least one.
+        let cycles = (ctx.warmup(stress.warmup_cycles) + ctx.budget(6_000)).max(9_000);
+        let builder = ControlLoop::builder(stress.program.clone())
+            .power(power_model())
+            .pdn(pdn_at(2.0))
+            .tracer(&mut out.tracer);
+        let builder = if controlled {
+            let scope = ActuationScope::FuDl1Il1;
+            let delay = 2;
+            builder
+                .thresholds(solve_for(scope, delay, 2.0).expect("stable configuration"))
+                .scope(scope)
+                .sensor(SensorConfig {
+                    delay_cycles: delay,
+                    noise_mv: 0.0,
+                    seed: 1,
+                })
+        } else {
+            builder
+        };
+        let mut sim = builder.build().expect("loop builds");
+        sim.run(cycles);
+        out
+    }
+}
 
 impl Scenario for Fig08Stressmark {
     fn id(&self) -> &'static str {
@@ -24,10 +77,18 @@ impl Scenario for Fig08Stressmark {
     fn title(&self) -> &'static str {
         "auto-tuned dI/dt stressmark listing"
     }
-    fn cells(&self, _ctx: &Ctx) -> Vec<String> {
-        vec!["listing".into()]
+    fn cells(&self, ctx: &Ctx) -> Vec<String> {
+        let mut cells = vec!["listing".to_string()];
+        if ctx.trace.is_some() {
+            cells.push("uncontrolled".into());
+            cells.push("controlled".into());
+        }
+        cells
     }
-    fn run_cell(&self, _ctx: &Ctx, _cell: usize) -> CellResult {
+    fn run_cell(&self, ctx: &Ctx, cell: usize) -> CellResult {
+        if cell > 0 {
+            return self.traced_cell(ctx, cell == 2);
+        }
         let mut out = CellResult::new("listing");
         let config = cpu_config();
         let power = power_model();
@@ -204,6 +265,9 @@ impl Scenario for Fig11ControllerTrace {
         let delay = 2;
         let thresholds = solve_for(scope, delay, 2.0).expect("stable configuration");
         let stress = tuned_stressmark();
+        if let Some(spec) = ctx.trace {
+            out.tracer = FlightRecorder::new(spec.window);
+        }
 
         let mut sim = ControlLoop::builder(stress.program.clone())
             .power(power_model())
@@ -217,6 +281,7 @@ impl Scenario for Fig11ControllerTrace {
             })
             .record_trace(true)
             .recorder(MemoryRecorder::new())
+            .tracer(&mut out.tracer)
             .build()
             .expect("loop builds");
         sim.run(ctx.warmup(stress.warmup_cycles) + ctx.budget(6_000));

@@ -7,8 +7,9 @@
 //! report order is stable by construction regardless of worker count.
 
 use std::fmt::Write as _;
-use voltctl_core::replay_current_trace;
+use voltctl_core::{replay_current_trace, replay_current_trace_traced};
 use voltctl_pdn::VoltageHistogram;
+use voltctl_trace::FlightRecorder;
 use voltctl_workloads::{spec, Workload};
 
 use crate::engine::{CellResult, Ctx, Runtime, Scenario};
@@ -174,10 +175,24 @@ impl Scenario for Fig10VoltageDistributions {
         let wl = suite_workload(cell);
         let cycles = ctx.budget(200_000) as usize;
         let trace = current_trace(&wl, cycles);
-        let replay = replay_current_trace(&pdn_at(1.0), &trace, true);
+        let mut out = CellResult::new(wl.name.clone());
+        let replay = if let Some(spec) = ctx.trace {
+            // Replays are trace-aware: at 100% impedance crossings are
+            // rare (that's Table 2's point), so most cells contribute
+            // cycle counts but no captures.
+            let (replay, tracer) = replay_current_trace_traced(
+                &pdn_at(1.0),
+                &trace,
+                true,
+                FlightRecorder::new(spec.window),
+            );
+            out.tracer = tracer;
+            replay
+        } else {
+            replay_current_trace(&pdn_at(1.0), &trace, true)
+        };
         let r = &replay.report;
         let hist = replay.histogram.as_ref().expect("histogram requested");
-        let mut out = CellResult::new(wl.name.clone());
         if ctx.telemetry {
             // Suite-wide aggregate: histograms merge bin-wise, reports sum.
             r.record_telemetry(&mut out.recorder);

@@ -12,6 +12,7 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
     let opts = BenchOpts {
         smoke: true,
         out: dir.clone(),
+        suite: None,
     };
     let paths = bench::run(&opts).expect("smoke bench must pass its own sanity gate");
     assert_eq!(
@@ -60,7 +61,7 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
         }
     }
 
-    // The loop suite covers all three stepping variants.
+    // The loop suite covers all four stepping variants.
     let loop_raw = std::fs::read_to_string(&paths[1]).unwrap();
     let loop_doc = Json::parse(&loop_raw).unwrap();
     let variants: Vec<&str> = loop_doc
@@ -70,7 +71,10 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
         .iter()
         .filter_map(|p| p.get("path").and_then(Json::as_str))
         .collect();
-    assert_eq!(variants, ["uncontrolled", "controlled", "recorded"]);
+    assert_eq!(
+        variants,
+        ["uncontrolled", "controlled", "recorded", "traced"]
+    );
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,0 +1,125 @@
+//! End-to-end tests for the trace pipeline: flight-recorder captures on
+//! the traced scenarios, byte-identical forensics across worker counts,
+//! Perfetto export validity, and the golden forensics snapshot entry.
+
+use voltctl_exp::engine::{run_scenario, Ctx, TraceSpec};
+use voltctl_exp::golden::{self, GoldenOpts, TRACE_GOLDEN_ID};
+use voltctl_exp::scenarios::find;
+use voltctl_exp::trace::{export, forensics};
+use voltctl_exp::Verdict;
+
+fn traced_smoke_ctx() -> Ctx {
+    Ctx {
+        smoke: true,
+        trace: Some(TraceSpec::default()),
+        ..Ctx::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("voltctl-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Backs the CI gate: a smoke-mode trace of the stressmark scenario must
+/// record at least one emergency capture, and attribution must assign
+/// every capture exactly one cause.
+#[test]
+fn smoke_stressmark_trace_captures_an_emergency() {
+    let scenario = find("fig08_stressmark").unwrap();
+    let out = run_scenario(scenario, &traced_smoke_ctx(), 2);
+    assert!(!out.trace.is_empty(), "trace cells must attach recorders");
+    assert!(
+        out.trace.total_captures() >= 1,
+        "smoke budgets must still reach the first emergency"
+    );
+    let f = forensics(&out.trace);
+    assert_eq!(
+        f.counts.total() as usize,
+        f.captures.len(),
+        "every capture gets exactly one cause"
+    );
+    assert_eq!(f.captures.len(), out.trace.total_captures());
+}
+
+/// The engine's determinism contract extends to traces: forensics text
+/// and Perfetto JSON are byte-identical for any worker count.
+#[test]
+fn trace_artifacts_are_jobs_invariant() {
+    let scenario = find("fig08_stressmark").unwrap();
+    let ctx = traced_smoke_ctx();
+    let reference = run_scenario(scenario, &ctx, 1);
+    let ref_report = forensics(&reference.trace).render(scenario.id());
+    let ref_json = voltctl_trace::to_chrome_trace(scenario.id(), &reference.trace);
+    for jobs in [2, 8] {
+        let out = run_scenario(scenario, &ctx, jobs);
+        assert_eq!(
+            forensics(&out.trace).render(scenario.id()),
+            ref_report,
+            "forensics differ between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            voltctl_trace::to_chrome_trace(scenario.id(), &out.trace),
+            ref_json,
+            "Perfetto JSON differs between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+/// Exported artifacts exist, the JSON parses with the workspace's own
+/// reader, and a second export never overwrites the first.
+#[test]
+fn export_writes_fresh_validated_artifacts() {
+    let dir = temp_dir("export");
+    let scenario = find("fig08_stressmark").unwrap();
+    let out = run_scenario(scenario, &traced_smoke_ctx(), 2);
+
+    let first = export(&dir, scenario.id(), &out.trace).unwrap();
+    let json = std::fs::read_to_string(&first.json).unwrap();
+    let parsed = voltctl_check::Json::parse(&json).unwrap();
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert!(
+        json.contains("\"emergency:under\"") || json.contains("\"emergency:over\""),
+        "at least one emergency instant in the export"
+    );
+    assert!(std::fs::read_to_string(&first.forensics)
+        .unwrap()
+        .starts_with("== forensics: fig08_stressmark =="));
+
+    let second = export(&dir, scenario.id(), &out.trace).unwrap();
+    assert_ne!(first.json, second.json, "re-export must not overwrite");
+    assert_ne!(first.forensics, second.forensics);
+    assert!(first.json.exists() && second.json.exists());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The golden harness carries the forensics snapshot alongside the
+/// scenario reports: bless writes it, an immediate compare matches.
+#[test]
+fn golden_forensics_entry_round_trips() {
+    let dir = temp_dir("golden");
+    let opts = |bless| GoldenOpts {
+        bless,
+        dir: dir.clone(),
+        ids: vec![TRACE_GOLDEN_ID.to_string()],
+        ..GoldenOpts::default()
+    };
+    let out = golden::run(&opts(true)).unwrap();
+    assert_eq!(out.verdicts, vec![(TRACE_GOLDEN_ID, Verdict::Blessed)]);
+    let path = dir.join(format!("{TRACE_GOLDEN_ID}.txt"));
+    assert!(path.is_file());
+    assert!(std::fs::read_to_string(&path)
+        .unwrap()
+        .contains("cause ranking:"));
+
+    let out = golden::run(&opts(false)).unwrap();
+    assert_eq!(out.verdicts, vec![(TRACE_GOLDEN_ID, Verdict::Match)]);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

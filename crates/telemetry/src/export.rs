@@ -266,7 +266,9 @@ pub fn to_summary(run: &str, snap: &Snapshot) -> String {
 pub const DEFAULT_OUT_DIR: &str = "results/telemetry";
 
 /// Writes `contents` to `dir/file`, creating `dir` as needed, and returns
-/// the full path.
+/// the full path. Silently overwrites — reserved for artifacts with
+/// regenerate-in-place semantics (perf baselines); run exports go through
+/// [`write_file_fresh`].
 pub fn write_file(dir: &Path, file: &str, contents: &str) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(file);
@@ -274,18 +276,75 @@ pub fn write_file(dir: &Path, file: &str, contents: &str) -> io::Result<PathBuf>
     Ok(path)
 }
 
+/// Splits `file` into (stem, extension) at the *last* dot, so the
+/// collision suffix lands before the extension:
+/// `run.counters.jsonl` → `run.counters-1.jsonl`.
+fn suffixed_name(file: &str, n: u32) -> String {
+    match file.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{n}.{ext}"),
+        _ => format!("{file}-{n}"),
+    }
+}
+
+fn warn_once_about_suffixing(path: &Path) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        crate::warn(
+            "telemetry.export",
+            &format!(
+                "output {} already exists; writing suffixed copies (…-N) instead of overwriting",
+                path.display()
+            ),
+        );
+    });
+}
+
+/// Writes `contents` to `dir/file`, or — when that file already exists —
+/// to the first free `dir/<stem>-N.<ext>` (N = 1, 2, …), never
+/// overwriting. Warns once per process on the first collision. Creation
+/// uses `create_new` so concurrent writers cannot clobber each other.
+pub fn write_file_fresh(dir: &Path, file: &str, contents: &str) -> io::Result<PathBuf> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let mut name = file.to_string();
+    let mut n = 0u32;
+    loop {
+        let path = dir.join(&name);
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                f.write_all(contents.as_bytes())?;
+                return Ok(path);
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                if n == 0 {
+                    warn_once_about_suffixing(&path);
+                }
+                n += 1;
+                name = suffixed_name(file, n);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Writes `<run>.counters.jsonl` or `<run>.counters.csv` (per `csv`)
-/// under `dir`, returning the path.
+/// under `dir`, returning the path. Never overwrites an existing export
+/// (see [`write_file_fresh`]).
 pub fn write_snapshot(dir: &Path, run: &str, snap: &Snapshot, csv: bool) -> io::Result<PathBuf> {
     if csv {
-        write_file(dir, &format!("{run}.counters.csv"), &to_csv(snap))
+        write_file_fresh(dir, &format!("{run}.counters.csv"), &to_csv(snap))
     } else {
-        write_file(dir, &format!("{run}.counters.jsonl"), &to_jsonl(snap))
+        write_file_fresh(dir, &format!("{run}.counters.jsonl"), &to_jsonl(snap))
     }
 }
 
 /// Writes a per-cycle (or per-row) trace as `<run>.<name>.csv`: one
-/// header row, then one row per record.
+/// header row, then one row per record. Never overwrites an existing
+/// export (see [`write_file_fresh`]).
 pub fn write_trace_csv(
     dir: &Path,
     run: &str,
@@ -302,7 +361,7 @@ pub fn write_trace_csv(
         out.push_str(&cells.join(","));
         out.push('\n');
     }
-    write_file(dir, &format!("{run}.{name}.csv"), &out)
+    write_file_fresh(dir, &format!("{run}.{name}.csv"), &out)
 }
 
 #[cfg(test)]
@@ -415,5 +474,54 @@ mod tests {
         assert!(std::fs::read_to_string(&p2).unwrap().starts_with("kind,"));
         assert_eq!(std::fs::read_to_string(&p3).unwrap(), "a,b\n1,2\n");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_write_suffixes_instead_of_overwriting() {
+        let dir = std::env::temp_dir().join(format!("voltctl-fresh-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let p1 = write_file_fresh(&dir, "run.counters.jsonl", "first").unwrap();
+        let p2 = write_file_fresh(&dir, "run.counters.jsonl", "second").unwrap();
+        let p3 = write_file_fresh(&dir, "run.counters.jsonl", "third").unwrap();
+        assert_eq!(p1.file_name().unwrap(), "run.counters.jsonl");
+        assert_eq!(p2.file_name().unwrap(), "run.counters-1.jsonl");
+        assert_eq!(p3.file_name().unwrap(), "run.counters-2.jsonl");
+        // The original is untouched; every write landed somewhere.
+        assert_eq!(std::fs::read_to_string(&p1).unwrap(), "first");
+        assert_eq!(std::fs::read_to_string(&p2).unwrap(), "second");
+        assert_eq!(std::fs::read_to_string(&p3).unwrap(), "third");
+
+        // Extension-less names get a plain numeric suffix.
+        let q1 = write_file_fresh(&dir, "noext", "a").unwrap();
+        let q2 = write_file_fresh(&dir, "noext", "b").unwrap();
+        assert_eq!(q1.file_name().unwrap(), "noext");
+        assert_eq!(q2.file_name().unwrap(), "noext-1");
+
+        // The snapshot/trace writers inherit the semantics: a re-export
+        // of the same run must not clobber the first export.
+        let snap = sample_snapshot();
+        let s1 = write_snapshot(&dir, "run2", &snap, false).unwrap();
+        let s2 = write_snapshot(&dir, "run2", &snap, false).unwrap();
+        assert_ne!(s1, s2);
+        assert!(s1.exists() && s2.exists());
+        let t1 = write_trace_csv(&dir, "run2", "trace", &["a"], vec![vec![1.0]]).unwrap();
+        let t2 = write_trace_csv(&dir, "run2", "trace", &["a"], vec![vec![2.0]]).unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(std::fs::read_to_string(&t1).unwrap(), "a\n1\n");
+        assert_eq!(std::fs::read_to_string(&t2).unwrap(), "a\n2\n");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn suffixed_name_places_counter_before_extension() {
+        assert_eq!(
+            suffixed_name("run.counters.jsonl", 1),
+            "run.counters-1.jsonl"
+        );
+        assert_eq!(suffixed_name("trace.csv", 3), "trace-3.csv");
+        assert_eq!(suffixed_name("noext", 1), "noext-1");
+        assert_eq!(suffixed_name(".hidden", 1), ".hidden-1");
     }
 }

@@ -1,0 +1,605 @@
+//! Root-cause attribution: classify each [`EmergencyCapture`] into
+//! exactly one cause class and rank classes for a run.
+//!
+//! The taxonomy reproduces the paper's qualitative attribution of
+//! emergencies as machine-checkable rules, applied in a fixed priority
+//! order so every capture gets exactly one deterministic class:
+//!
+//! 1. **controller-induced** — the actuator changed state shortly before
+//!    the crossing (the control action itself produced the swing, e.g. a
+//!    gating-onset overshoot).
+//! 2. **resonant-train** — the capture's current waveform has a dominant
+//!    period near the PDN resonance with enough spectral share: the
+//!    paper's pathological stall/resume pulse train.
+//! 3. **flush-dip** — a branch misprediction (pipeline flush) in the
+//!    recent pre-window drained activity into a dip.
+//! 4. **stall-then-surge** — a cache-miss stall in the recent pre-window
+//!    was followed by a current swing at the crossing.
+//! 5. **load-swing** — none of the above signatures: a generic program
+//!    activity swing.
+//!
+//! Priority matters: a controlled resonant section *is* controller
+//! territory only when the actuator actually moved — steady gating does
+//! not shadow a resonance diagnosis.
+
+use crate::flight::{EmergencyCapture, EmergencyKind, MergedTrace};
+use crate::record::events;
+
+/// The cause classes, in canonical (priority) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    /// Actuator state changed shortly before the crossing.
+    ControllerInduced,
+    /// Dominant current period matches the PDN resonance.
+    ResonantTrain,
+    /// Pipeline flush (mispredict) in the recent pre-window.
+    FlushDip,
+    /// Cache-miss/issue stall in the recent pre-window.
+    StallThenSurge,
+    /// Generic activity swing with none of the above signatures.
+    LoadSwing,
+}
+
+impl Cause {
+    /// Number of cause classes.
+    pub const COUNT: usize = 5;
+
+    /// Every class in canonical (priority) order.
+    pub const ALL: [Cause; Cause::COUNT] = [
+        Cause::ControllerInduced,
+        Cause::ResonantTrain,
+        Cause::FlushDip,
+        Cause::StallThenSurge,
+        Cause::LoadSwing,
+    ];
+
+    /// Stable kebab-case label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cause::ControllerInduced => "controller-induced",
+            Cause::ResonantTrain => "resonant-train",
+            Cause::FlushDip => "flush-dip",
+            Cause::StallThenSurge => "stall-then-surge",
+            Cause::LoadSwing => "load-swing",
+        }
+    }
+
+    /// Canonical index (position in [`Cause::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            Cause::ControllerInduced => 0,
+            Cause::ResonantTrain => 1,
+            Cause::FlushDip => 2,
+            Cause::StallThenSurge => 3,
+            Cause::LoadSwing => 4,
+        }
+    }
+}
+
+/// Tunables for the attribution pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttributionConfig {
+    /// The PDN's resonant period in cycles (from
+    /// `PdnModel::resonant_period_cycles`).
+    pub resonant_period: usize,
+    /// Relative tolerance on the dominant period for a resonance match.
+    pub resonant_tolerance: f64,
+    /// Minimum share of candidate spectral power the dominant period must
+    /// hold to count as resonant.
+    pub min_period_share: f64,
+    /// How many pre-window cycles before the crossing an actuator edge is
+    /// considered causal.
+    pub controller_horizon: usize,
+    /// How many pre-window cycles before the crossing a flush/stall event
+    /// is considered causal (defaults to the resonant period: one swing).
+    pub uarch_horizon: usize,
+}
+
+impl AttributionConfig {
+    /// Defaults for a PDN with the given resonant period.
+    pub fn new(resonant_period: usize) -> AttributionConfig {
+        let rp = resonant_period.max(2);
+        AttributionConfig {
+            resonant_period: rp,
+            resonant_tolerance: 0.25,
+            min_period_share: 0.2,
+            controller_horizon: 16,
+            uarch_horizon: rp,
+        }
+    }
+}
+
+/// One capture's verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attribution {
+    /// The single cause class.
+    pub cause: Cause,
+    /// Dominant current period over the capture, cycles (0 when the
+    /// window is too short to estimate).
+    pub dominant_period: usize,
+    /// Share of candidate spectral power held by the dominant period
+    /// (0 when not estimated).
+    pub period_share: f64,
+}
+
+/// Estimates the dominant period of `samples` by scanning single-bin DFT
+/// (Goertzel-style) power over every integer period `2..=len/2` on the
+/// mean-removed signal. Returns `(period, share_of_candidate_power)`, or
+/// `(0, 0.0)` when fewer than 8 samples.
+///
+/// O(len²) — captures are a few hundred cycles, so this stays cheap and
+/// keeps the crate dependency-free.
+pub fn dominant_period(samples: &[f64]) -> (usize, f64) {
+    let n = samples.len();
+    if n < 8 {
+        return (0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let mut best_p = 0usize;
+    let mut best_power = 0.0f64;
+    let mut total_power = 0.0f64;
+    for p in 2..=n / 2 {
+        let w = std::f64::consts::TAU / p as f64;
+        let (mut c, mut s) = (0.0f64, 0.0f64);
+        for (i, &x) in samples.iter().enumerate() {
+            let ph = w * i as f64;
+            let y = x - mean;
+            c += y * ph.cos();
+            s += y * ph.sin();
+        }
+        let power = c * c + s * s;
+        total_power += power;
+        if power > best_power {
+            best_power = power;
+            best_p = p;
+        }
+    }
+    if total_power <= 0.0 || best_p == 0 {
+        (0, 0.0)
+    } else {
+        (best_p, best_power / total_power)
+    }
+}
+
+fn edge_within(pre: &[&u16], horizon: usize) -> bool {
+    // An actuation-state change among the last `horizon + 1` pre records.
+    let start = pre.len().saturating_sub(horizon + 1);
+    pre[start..]
+        .windows(2)
+        .any(|w| (*w[0] & events::ACTUATION) != (*w[1] & events::ACTUATION))
+}
+
+fn any_within(pre: &[&u16], horizon: usize, bits: u16) -> bool {
+    let start = pre.len().saturating_sub(horizon);
+    pre[start..].iter().any(|&&e| e & bits != 0)
+}
+
+/// Classifies one capture. Total: every capture gets exactly one class.
+pub fn attribute(capture: &EmergencyCapture, cfg: &AttributionConfig) -> Attribution {
+    let currents: Vec<f64> = capture.records.iter().map(|r| r.current).collect();
+    let (period, share) = dominant_period(&currents);
+
+    let pre_events: Vec<&u16> = capture.pre().iter().map(|r| &r.events).collect();
+    let cause = if edge_within(&pre_events, cfg.controller_horizon) {
+        Cause::ControllerInduced
+    } else if period > 0 && share >= cfg.min_period_share && {
+        let rp = cfg.resonant_period as f64;
+        (period as f64 - rp).abs() <= cfg.resonant_tolerance * rp
+    } {
+        Cause::ResonantTrain
+    } else if any_within(&pre_events, cfg.uarch_horizon, events::MISPREDICT) {
+        Cause::FlushDip
+    } else if any_within(&pre_events, cfg.uarch_horizon, events::MISS | events::STALL) {
+        Cause::StallThenSurge
+    } else {
+        Cause::LoadSwing
+    };
+    Attribution {
+        cause,
+        dominant_period: period,
+        period_share: share,
+    }
+}
+
+/// Per-class capture counts: the mergeable summary the forensics ranking
+/// is built from. Merging is element-wise addition — associative and
+/// commutative like telemetry counter merges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CauseCounts {
+    counts: [u64; Cause::COUNT],
+}
+
+impl CauseCounts {
+    /// All-zero counts.
+    pub fn new() -> CauseCounts {
+        CauseCounts::default()
+    }
+
+    /// Records one capture of `cause`.
+    pub fn add(&mut self, cause: Cause) {
+        self.counts[cause.index()] += 1;
+    }
+
+    /// Element-wise accumulation of `other`.
+    pub fn merge(&mut self, other: &CauseCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Captures attributed to `cause`.
+    pub fn get(&self, cause: Cause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    /// Total captures counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Classes ranked by count descending, ties broken by canonical
+    /// order; zero-count classes omitted.
+    pub fn ranking(&self) -> Vec<(Cause, u64)> {
+        let mut ranked: Vec<(Cause, u64)> = Cause::ALL
+            .iter()
+            .map(|&c| (c, self.get(c)))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        ranked
+    }
+}
+
+/// One capture with its attribution and rendering context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributedCapture {
+    /// Grid index of the producing cell.
+    pub cell: usize,
+    /// Producing cell's label.
+    pub cell_label: String,
+    /// Which threshold was crossed.
+    pub kind: EmergencyKind,
+    /// Cycle of the crossing.
+    pub crossing_cycle: u64,
+    /// Capture length in records.
+    pub len: usize,
+    /// Minimum voltage over the capture.
+    pub v_min: f64,
+    /// Maximum voltage over the capture.
+    pub v_max: f64,
+    /// The verdict.
+    pub attribution: Attribution,
+    /// Non-zero event-bit cycle counts, rendered in canonical order
+    /// (e.g. `stall x40 dl1-miss x12`), `-` when none.
+    pub event_summary: String,
+}
+
+/// A whole run's attribution report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forensics {
+    /// Config the pass ran with.
+    pub config: AttributionConfig,
+    /// Cells traced.
+    pub cells: usize,
+    /// Pre/post window, or `None` when cells disagree.
+    pub window: Option<usize>,
+    /// Total cycles traced.
+    pub cycles: u64,
+    /// Total crossings (under, over inside).
+    pub crossings: u64,
+    /// Crossings into the under band.
+    pub under_crossings: u64,
+    /// Crossings into the over band.
+    pub over_crossings: u64,
+    /// Crossings not captured (storage exhausted).
+    pub dropped_captures: u64,
+    /// Total actuator intervention onsets.
+    pub interventions: u64,
+    /// Every capture, attributed, in grid-then-cycle order.
+    pub captures: Vec<AttributedCapture>,
+    /// Per-class counts over `captures`.
+    pub counts: CauseCounts,
+}
+
+fn event_summary(capture: &EmergencyCapture) -> String {
+    let parts: Vec<String> = events::NAMED
+        .iter()
+        .filter_map(|&(bit, name)| {
+            let n = capture.cycles_with(bit);
+            (n > 0).then(|| format!("{name} x{n}"))
+        })
+        .collect();
+    if parts.is_empty() {
+        "-".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+impl Forensics {
+    /// Attributes every capture of `merged` under `cfg`.
+    pub fn analyze(merged: &MergedTrace, cfg: &AttributionConfig) -> Forensics {
+        let mut windows: Vec<usize> = merged.cells.iter().map(|c| c.window).collect();
+        windows.sort_unstable();
+        windows.dedup();
+        let mut out = Forensics {
+            config: *cfg,
+            cells: merged.cells.len(),
+            window: match windows.as_slice() {
+                [w] => Some(*w),
+                _ => None,
+            },
+            cycles: merged.total_cycles(),
+            crossings: merged.total_crossings(),
+            under_crossings: merged.cells.iter().map(|c| c.under_crossings).sum(),
+            over_crossings: merged.cells.iter().map(|c| c.over_crossings).sum(),
+            dropped_captures: merged.cells.iter().map(|c| c.dropped_captures).sum(),
+            interventions: merged.cells.iter().map(|c| c.interventions_total).sum(),
+            captures: Vec::new(),
+            counts: CauseCounts::new(),
+        };
+        for (cell_idx, cell) in merged.cells.iter().enumerate() {
+            for cap in &cell.captures {
+                let attribution = attribute(cap, cfg);
+                out.counts.add(attribution.cause);
+                out.captures.push(AttributedCapture {
+                    cell: cell_idx,
+                    cell_label: cell.label.clone(),
+                    kind: cap.kind,
+                    crossing_cycle: cap.crossing_cycle,
+                    len: cap.records.len(),
+                    v_min: cap.v_min(),
+                    v_max: cap.v_max(),
+                    attribution,
+                    event_summary: event_summary(cap),
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders the plain-text forensics report. Purely a function of the
+    /// analysis data — byte-identical across `--jobs` splits because the
+    /// engine merges cell traces in grid order.
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "== forensics: {title} ==");
+        match self.window {
+            Some(w) => {
+                let _ = writeln!(
+                    s,
+                    "window: {w} cycles pre + {w} post (resonant period {} cycles)",
+                    self.config.resonant_period
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "window: mixed (resonant period {} cycles)",
+                    self.config.resonant_period
+                );
+            }
+        }
+        let _ = writeln!(s, "cells traced: {}; cycles: {}", self.cells, self.cycles);
+        let _ = writeln!(
+            s,
+            "emergency crossings: {} (under {}, over {}); captures: {} ({} dropped)",
+            self.crossings,
+            self.under_crossings,
+            self.over_crossings,
+            self.captures.len(),
+            self.dropped_captures
+        );
+        let _ = writeln!(s, "controller interventions: {}", self.interventions);
+        let _ = writeln!(s);
+        if self.captures.is_empty() {
+            let _ = writeln!(s, "no emergencies captured.");
+            return s;
+        }
+        let _ = writeln!(s, "cause ranking:");
+        let total = self.counts.total().max(1);
+        for (rank, (cause, n)) in self.counts.ranking().into_iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  {:>2}. {:<19} {:>6}  {:>5.1}%",
+                rank + 1,
+                cause.name(),
+                n,
+                n as f64 * 100.0 / total as f64
+            );
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(s, "captures:");
+        for (k, c) in self.captures.iter().enumerate() {
+            let a = &c.attribution;
+            let period = if a.dominant_period > 0 {
+                format!(
+                    "period {} ({:.0}% power)",
+                    a.dominant_period,
+                    a.period_share * 100.0
+                )
+            } else {
+                "period n/a".to_string()
+            };
+            let _ = writeln!(
+                s,
+                "  [{k:>3}] cell {} \"{}\" @cycle {} {:<5} -> {:<18} {period}  v {:.4}..{:.4}  events: {}",
+                c.cell,
+                c.cell_label,
+                c.crossing_cycle,
+                c.kind.name(),
+                a.cause.name(),
+                c.v_min,
+                c.v_max,
+                c.event_summary
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::FlightRecorder;
+    use crate::record::{CycleRecord, SupplyBand};
+    use crate::tracer::Tracer;
+
+    fn capture_from(records: Vec<CycleRecord>, pre_len: usize) -> EmergencyCapture {
+        EmergencyCapture {
+            kind: EmergencyKind::Under,
+            crossing_cycle: records[pre_len].cycle,
+            pre_len,
+            records,
+        }
+    }
+
+    fn rec(cycle: u64, current: f64, eventbits: u16) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            current,
+            voltage: 1.0,
+            supply: SupplyBand::Safe,
+            events: eventbits,
+            ..CycleRecord::default()
+        }
+    }
+
+    #[test]
+    fn dominant_period_finds_a_sine() {
+        let p = 20usize;
+        let xs: Vec<f64> = (0..200)
+            .map(|i| 10.0 + 5.0 * (std::f64::consts::TAU * i as f64 / p as f64).sin())
+            .collect();
+        let (found, share) = dominant_period(&xs);
+        assert_eq!(found, p);
+        assert!(share > 0.3, "share {share}");
+    }
+
+    #[test]
+    fn dominant_period_needs_samples() {
+        assert_eq!(dominant_period(&[1.0; 4]), (0, 0.0));
+        assert_eq!(
+            dominant_period(&[3.0; 64]),
+            (0, 0.0),
+            "flat signal has no period"
+        );
+    }
+
+    #[test]
+    fn resonant_train_wins_without_actuation() {
+        let cfg = AttributionConfig::new(20);
+        let records: Vec<CycleRecord> = (0..120)
+            .map(|i| {
+                rec(
+                    i,
+                    10.0 + 5.0 * (std::f64::consts::TAU * i as f64 / 20.0).sin(),
+                    events::STALL, // stalls present, but resonance outranks
+                )
+            })
+            .collect();
+        let a = attribute(&capture_from(records, 60), &cfg);
+        assert_eq!(a.cause, Cause::ResonantTrain);
+        assert_eq!(a.dominant_period, 20);
+    }
+
+    #[test]
+    fn actuator_edge_outranks_resonance() {
+        let cfg = AttributionConfig::new(20);
+        let mut records: Vec<CycleRecord> = (0..120)
+            .map(|i| {
+                rec(
+                    i,
+                    10.0 + 5.0 * (std::f64::consts::TAU * i as f64 / 20.0).sin(),
+                    0,
+                )
+            })
+            .collect();
+        // Gating turns on a few cycles before the crossing at index 60.
+        for r in &mut records[55..60] {
+            r.events |= events::GATE_FU;
+        }
+        let a = attribute(&capture_from(records, 60), &cfg);
+        assert_eq!(a.cause, Cause::ControllerInduced);
+    }
+
+    #[test]
+    fn steady_actuation_is_not_controller_induced() {
+        let cfg = AttributionConfig::new(50);
+        // Constant gating from record 0, aperiodic current, mispredict late.
+        let mut records: Vec<CycleRecord> = (0..40)
+            .map(|i| rec(i, (i as f64).sqrt(), events::GATE_FU))
+            .collect();
+        records[35].events |= events::MISPREDICT;
+        let a = attribute(&capture_from(records, 38), &cfg);
+        assert_eq!(a.cause, Cause::FlushDip);
+    }
+
+    #[test]
+    fn stall_then_surge_and_fallback() {
+        let cfg = AttributionConfig::new(50);
+        let records: Vec<CycleRecord> = (0..30)
+            .map(|i| rec(i, if i < 15 { 2.0 } else { 40.0 }, events::DL1_MISS))
+            .collect();
+        let a = attribute(&capture_from(records, 20), &cfg);
+        assert_eq!(a.cause, Cause::StallThenSurge);
+
+        let plain: Vec<CycleRecord> = (0..30).map(|i| rec(i, i as f64, 0)).collect();
+        let a = attribute(&capture_from(plain, 20), &cfg);
+        assert_eq!(a.cause, Cause::LoadSwing);
+    }
+
+    #[test]
+    fn cause_counts_merge_and_rank() {
+        let mut a = CauseCounts::new();
+        a.add(Cause::FlushDip);
+        a.add(Cause::FlushDip);
+        let mut b = CauseCounts::new();
+        b.add(Cause::ResonantTrain);
+        b.add(Cause::ResonantTrain);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge commutes");
+        assert_eq!(ab.total(), 4);
+        // Tie: canonical order puts resonant-train (index 1) first.
+        assert_eq!(
+            ab.ranking(),
+            vec![(Cause::ResonantTrain, 2), (Cause::FlushDip, 2)]
+        );
+    }
+
+    #[test]
+    fn forensics_attributes_every_capture_exactly_once() {
+        let mut fr = FlightRecorder::new(8);
+        for k in 0..40u64 {
+            let band = if k == 20 || k == 33 {
+                SupplyBand::Under
+            } else {
+                SupplyBand::Safe
+            };
+            let mut r = rec(k, 10.0, 0);
+            r.supply = band;
+            fr.cycle(r);
+        }
+        let mut merged = MergedTrace::new();
+        merged.push(fr.to_cell("cell-a"));
+        let cfg = AttributionConfig::new(20);
+        let f = Forensics::analyze(&merged, &cfg);
+        assert_eq!(f.captures.len(), 2);
+        assert_eq!(f.counts.total(), 2, "each capture counted exactly once");
+        let text = f.render("unit");
+        assert!(text.contains("== forensics: unit =="));
+        assert!(text.contains("cause ranking:"));
+        assert!(text.contains("cell 0 \"cell-a\""));
+    }
+
+    #[test]
+    fn empty_forensics_renders() {
+        let f = Forensics::analyze(&MergedTrace::new(), &AttributionConfig::new(60));
+        let text = f.render("empty");
+        assert!(text.contains("no emergencies captured."));
+    }
+}

@@ -1,0 +1,482 @@
+//! The ring-buffer flight recorder and its frozen emergency captures.
+//!
+//! [`FlightRecorder`] continuously buffers the last `W` cycles of
+//! [`CycleRecord`]s. When the supply band crosses into an emergency
+//! (Safe→Under or Safe→Over, and direct Under↔Over flips), it freezes the
+//! buffered pre-window plus the crossing cycle and keeps recording for
+//! `W` post cycles, yielding an [`EmergencyCapture`] — the
+//! "microarchitectural story around an emergency" the paper tells
+//! qualitatively, as data.
+//!
+//! # Semantics
+//!
+//! * The pre-window holds `min(W, cycles elapsed)` records: the ring never
+//!   drops an in-window cycle (property-tested).
+//! * A crossing during an open capture's post-window *extends* that
+//!   capture (the post countdown restarts) instead of opening an
+//!   overlapping one, so captures within a cell never overlap and their
+//!   cycle ranges are strictly increasing.
+//! * Every crossing is counted even when capture storage is exhausted
+//!   ([`CellTrace::dropped_captures`]) — counts are exact, captures are a
+//!   bounded sample.
+
+use std::collections::VecDeque;
+
+use crate::record::{CycleRecord, SupplyBand};
+use crate::tracer::Tracer;
+
+/// Default pre/post window, cycles. Sized to cover ≥ 3 periods of the
+/// paper PDN's ~60-cycle resonance at 2× impedance so the attribution
+/// pass can see a resonant train inside one capture.
+pub const DEFAULT_WINDOW: usize = 96;
+
+/// Default cap on stored captures per cell (crossings beyond it are
+/// counted but not captured).
+pub const DEFAULT_MAX_CAPTURES: usize = 64;
+
+/// Cap on stored intervention markers per cell.
+const MAX_INTERVENTION_MARKS: usize = 4096;
+
+/// Which emergency threshold was crossed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmergencyKind {
+    /// Dip below the lower threshold.
+    Under,
+    /// Overshoot above the upper threshold.
+    Over,
+}
+
+impl EmergencyKind {
+    /// Short lowercase label (`under` / `over`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EmergencyKind::Under => "under",
+            EmergencyKind::Over => "over",
+        }
+    }
+}
+
+/// A frozen pre/post window around one emergency crossing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmergencyCapture {
+    /// Which threshold was crossed at [`crossing_cycle`](Self::crossing_cycle).
+    pub kind: EmergencyKind,
+    /// Cycle index of the crossing record.
+    pub crossing_cycle: u64,
+    /// Number of pre-window records before the crossing record.
+    pub pre_len: usize,
+    /// Pre-window records, the crossing record, then post-window records,
+    /// in cycle order.
+    pub records: Vec<CycleRecord>,
+}
+
+impl EmergencyCapture {
+    /// The crossing record itself.
+    pub fn crossing(&self) -> &CycleRecord {
+        &self.records[self.pre_len]
+    }
+
+    /// Records strictly before the crossing.
+    pub fn pre(&self) -> &[CycleRecord] {
+        &self.records[..self.pre_len]
+    }
+
+    /// Records strictly after the crossing.
+    pub fn post(&self) -> &[CycleRecord] {
+        &self.records[self.pre_len + 1..]
+    }
+
+    /// Minimum voltage over the capture.
+    pub fn v_min(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.voltage)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum voltage over the capture.
+    pub fn v_max(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.voltage)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Number of records with any of `bits` set.
+    pub fn cycles_with(&self, bits: u16) -> usize {
+        self.records.iter().filter(|r| r.events & bits != 0).count()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Pending {
+    capture: EmergencyCapture,
+    post_left: usize,
+}
+
+/// The in-memory flight recorder: ring buffer + capture freezer.
+///
+/// This is the "MemoryRecorder" of tracing: attach it via
+/// `ControlLoopBuilder::tracer`, run, then snapshot with
+/// [`to_cell`](Self::to_cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    window: usize,
+    max_captures: usize,
+    ring: VecDeque<CycleRecord>,
+    cycles: u64,
+    last_supply: SupplyBand,
+    last_actuating: bool,
+    pending: Option<Pending>,
+    captures: Vec<EmergencyCapture>,
+    crossings: u64,
+    under_crossings: u64,
+    over_crossings: u64,
+    dropped_captures: u64,
+    interventions: Vec<u64>,
+    interventions_total: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_WINDOW)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the given pre/post window (clamped to ≥ 1 cycle)
+    /// and the default capture cap.
+    pub fn new(window: usize) -> FlightRecorder {
+        FlightRecorder {
+            window: window.max(1),
+            max_captures: DEFAULT_MAX_CAPTURES,
+            ring: VecDeque::new(),
+            cycles: 0,
+            last_supply: SupplyBand::Safe,
+            last_actuating: false,
+            pending: None,
+            captures: Vec::new(),
+            crossings: 0,
+            under_crossings: 0,
+            over_crossings: 0,
+            dropped_captures: 0,
+            interventions: Vec::new(),
+            interventions_total: 0,
+        }
+    }
+
+    /// The configured pre/post window, cycles.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Records currently buffered in the ring (`min(window, cycles)`).
+    pub fn buffered(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Total records consumed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Emergency crossings observed so far (captured or not).
+    pub fn crossings(&self) -> u64 {
+        self.crossings
+    }
+
+    /// Snapshots this recorder into a [`CellTrace`], flushing any capture
+    /// still collecting its post-window. The recorder itself is untouched
+    /// (cells are snapshotted by the engine after the run).
+    pub fn to_cell(&self, label: impl Into<String>) -> CellTrace {
+        let mut captures = self.captures.clone();
+        if let Some(p) = &self.pending {
+            captures.push(p.capture.clone());
+        }
+        CellTrace {
+            label: label.into(),
+            window: self.window,
+            cycles: self.cycles,
+            captures,
+            crossings: self.crossings,
+            under_crossings: self.under_crossings,
+            over_crossings: self.over_crossings,
+            dropped_captures: self.dropped_captures,
+            interventions: self.interventions.clone(),
+            interventions_total: self.interventions_total,
+        }
+    }
+}
+
+impl Tracer for FlightRecorder {
+    fn cycle(&mut self, rec: CycleRecord) {
+        // Intervention markers: rising edges of any actuator activity.
+        let actuating = rec.actuating();
+        if actuating && !self.last_actuating {
+            self.interventions_total += 1;
+            if self.interventions.len() < MAX_INTERVENTION_MARKS {
+                self.interventions.push(rec.cycle);
+            }
+        }
+        self.last_actuating = actuating;
+
+        // A crossing is entry into a non-Safe band, matching
+        // VoltageMonitor's event counting (Under↔Over flips included).
+        let crossing = rec.supply != SupplyBand::Safe && rec.supply != self.last_supply;
+        self.last_supply = rec.supply;
+        if crossing {
+            self.crossings += 1;
+            match rec.supply {
+                SupplyBand::Under => self.under_crossings += 1,
+                SupplyBand::Over => self.over_crossings += 1,
+                SupplyBand::Safe => unreachable!("crossing implies non-Safe band"),
+            }
+        }
+
+        match &mut self.pending {
+            Some(p) => {
+                p.capture.records.push(rec);
+                if crossing {
+                    // Extend the episode rather than opening an
+                    // overlapping capture.
+                    p.post_left = self.window;
+                } else {
+                    p.post_left -= 1;
+                }
+                if p.post_left == 0 {
+                    let done = self.pending.take().expect("pending capture present");
+                    self.captures.push(done.capture);
+                }
+            }
+            None if crossing => {
+                if self.captures.len() >= self.max_captures {
+                    self.dropped_captures += 1;
+                } else {
+                    let mut records: Vec<CycleRecord> = self.ring.iter().copied().collect();
+                    let pre_len = records.len();
+                    records.push(rec);
+                    self.pending = Some(Pending {
+                        capture: EmergencyCapture {
+                            kind: match rec.supply {
+                                SupplyBand::Under => EmergencyKind::Under,
+                                _ => EmergencyKind::Over,
+                            },
+                            crossing_cycle: rec.cycle,
+                            pre_len,
+                            records,
+                        },
+                        post_left: self.window,
+                    });
+                }
+            }
+            None => {}
+        }
+
+        if self.ring.len() == self.window {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(rec);
+        self.cycles += 1;
+    }
+}
+
+/// One cell's finished trace: the flight recorder's exportable snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTrace {
+    /// Cell label (grid position title from the scenario).
+    pub label: String,
+    /// Pre/post window the captures were taken with.
+    pub window: usize,
+    /// Cycles the cell traced in total.
+    pub cycles: u64,
+    /// Frozen captures, in crossing order, non-overlapping.
+    pub captures: Vec<EmergencyCapture>,
+    /// Total emergency crossings (≥ `captures.len()`).
+    pub crossings: u64,
+    /// Crossings into the under-voltage band.
+    pub under_crossings: u64,
+    /// Crossings into the over-voltage band.
+    pub over_crossings: u64,
+    /// Crossings not captured because storage was exhausted.
+    pub dropped_captures: u64,
+    /// Cycles at which an actuator intervention began (rising edges).
+    pub interventions: Vec<u64>,
+    /// Total intervention rising edges (≥ `interventions.len()`).
+    pub interventions_total: u64,
+}
+
+/// All cells' traces for one run, in grid order.
+///
+/// Merging is list concatenation, so it is associative and — because the
+/// engine always merges in grid order — deterministic for any `--jobs`
+/// split, exactly like telemetry merging.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MergedTrace {
+    /// Per-cell traces in grid order.
+    pub cells: Vec<CellTrace>,
+}
+
+impl MergedTrace {
+    /// An empty merged trace.
+    pub fn new() -> MergedTrace {
+        MergedTrace::default()
+    }
+
+    /// Appends one cell's trace.
+    pub fn push(&mut self, cell: CellTrace) {
+        self.cells.push(cell);
+    }
+
+    /// Appends every cell of `other` (ordered concatenation).
+    pub fn merge(&mut self, other: &MergedTrace) {
+        self.cells.extend(other.cells.iter().cloned());
+    }
+
+    /// Total captures across cells.
+    pub fn total_captures(&self) -> usize {
+        self.cells.iter().map(|c| c.captures.len()).sum()
+    }
+
+    /// Total emergency crossings across cells.
+    pub fn total_crossings(&self) -> u64 {
+        self.cells.iter().map(|c| c.crossings).sum()
+    }
+
+    /// Total cycles traced across cells.
+    pub fn total_cycles(&self) -> u64 {
+        self.cells.iter().map(|c| c.cycles).sum()
+    }
+
+    /// Whether no cell traced any cycles.
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(|c| c.cycles == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::events;
+
+    fn rec(cycle: u64, supply: SupplyBand) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            current: 10.0,
+            voltage: 1.0,
+            supply,
+            ..CycleRecord::default()
+        }
+    }
+
+    #[test]
+    fn capture_freezes_pre_and_post_window() {
+        let mut fr = FlightRecorder::new(4);
+        for k in 0..10 {
+            fr.cycle(rec(k, SupplyBand::Safe));
+        }
+        assert_eq!(fr.buffered(), 4);
+        fr.cycle(rec(10, SupplyBand::Under));
+        for k in 11..20 {
+            fr.cycle(rec(k, SupplyBand::Safe));
+        }
+        let cell = fr.to_cell("t");
+        assert_eq!(cell.crossings, 1);
+        assert_eq!(cell.captures.len(), 1);
+        let cap = &cell.captures[0];
+        assert_eq!(cap.kind, EmergencyKind::Under);
+        assert_eq!(cap.pre_len, 4);
+        assert_eq!(cap.crossing_cycle, 10);
+        assert_eq!(cap.crossing().cycle, 10);
+        // 4 pre + crossing + 4 post.
+        assert_eq!(cap.records.len(), 9);
+        assert_eq!(cap.pre().len(), 4);
+        assert_eq!(cap.post().len(), 4);
+        assert_eq!(cap.records.first().unwrap().cycle, 6);
+        assert_eq!(cap.records.last().unwrap().cycle, 14);
+    }
+
+    #[test]
+    fn recrossing_extends_the_open_capture() {
+        let mut fr = FlightRecorder::new(3);
+        fr.cycle(rec(0, SupplyBand::Under));
+        fr.cycle(rec(1, SupplyBand::Safe));
+        fr.cycle(rec(2, SupplyBand::Over)); // re-crossing inside post-window
+        for k in 3..10 {
+            fr.cycle(rec(k, SupplyBand::Safe));
+        }
+        let cell = fr.to_cell("t");
+        assert_eq!(cell.crossings, 2);
+        assert_eq!(cell.under_crossings, 1);
+        assert_eq!(cell.over_crossings, 1);
+        assert_eq!(cell.captures.len(), 1, "episode extension, not overlap");
+        let cap = &cell.captures[0];
+        // cycle 0..=5: crossing, safe, re-crossing, then 3 post cycles.
+        assert_eq!(cap.records.len(), 6);
+    }
+
+    #[test]
+    fn partial_post_window_is_flushed_by_snapshot() {
+        let mut fr = FlightRecorder::new(8);
+        fr.cycle(rec(0, SupplyBand::Over));
+        fr.cycle(rec(1, SupplyBand::Safe));
+        let cell = fr.to_cell("t");
+        assert_eq!(cell.captures.len(), 1);
+        assert_eq!(cell.captures[0].records.len(), 2);
+        // Snapshot did not consume the pending capture.
+        assert_eq!(fr.to_cell("t"), cell);
+    }
+
+    #[test]
+    fn capture_cap_counts_dropped_crossings() {
+        let mut fr = FlightRecorder::new(1);
+        fr.max_captures = 2;
+        for k in 0..12u64 {
+            // Alternate Safe / Under: a crossing every other cycle, each
+            // capture closing after one post cycle.
+            let band = if k % 2 == 1 {
+                SupplyBand::Under
+            } else {
+                SupplyBand::Safe
+            };
+            fr.cycle(rec(k, band));
+        }
+        let cell = fr.to_cell("t");
+        assert_eq!(cell.captures.len(), 2);
+        assert_eq!(cell.crossings, 6);
+        assert_eq!(cell.dropped_captures, 4);
+    }
+
+    #[test]
+    fn interventions_mark_rising_edges_only() {
+        let mut fr = FlightRecorder::new(4);
+        let mut r = rec(0, SupplyBand::Safe);
+        fr.cycle(r);
+        for k in 1..4 {
+            r = rec(k, SupplyBand::Safe);
+            r.events = events::GATE_FU;
+            fr.cycle(r);
+        }
+        r = rec(4, SupplyBand::Safe);
+        fr.cycle(r);
+        r = rec(5, SupplyBand::Safe);
+        r.events = events::PHANTOM_IL1;
+        fr.cycle(r);
+        let cell = fr.to_cell("t");
+        assert_eq!(cell.interventions, vec![1, 5]);
+        assert_eq!(cell.interventions_total, 2);
+    }
+
+    #[test]
+    fn merge_is_ordered_concatenation() {
+        let mut a = MergedTrace::new();
+        a.push(FlightRecorder::new(2).to_cell("a"));
+        let mut b = MergedTrace::new();
+        b.push(FlightRecorder::new(2).to_cell("b"));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.cells.len(), 2);
+        assert_eq!(ab.cells[0].label, "a");
+        assert_eq!(ab.cells[1].label, "b");
+        assert!(ab.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! voltctl-trace: cycle-level event tracing for the voltctl simulator.
+//!
+//! Where `voltctl-telemetry` *aggregates* (counters, histograms, timers),
+//! this crate *remembers the story*: per-cycle [`CycleRecord`]s flow into
+//! a ring-buffer [`FlightRecorder`] that freezes a pre/post window around
+//! every emergency crossing, a root-cause pass ([`attribute`]) classifies
+//! each [`EmergencyCapture`] into exactly one cause class, and exporters
+//! render a Perfetto-loadable Chrome trace ([`perfetto`]) plus a
+//! plain-text forensics report ([`Forensics`]).
+//!
+//! The producer-side contract mirrors the `Recorder` pattern exactly:
+//! hot loops are generic over [`Tracer`], whose `const ENABLED` makes the
+//! default [`NullTracer`] compile away — disabled tracing is dead code,
+//! not a runtime branch.
+//!
+//! # Example
+//!
+//! ```
+//! use voltctl_trace::{CycleRecord, FlightRecorder, MergedTrace, SupplyBand, Tracer};
+//!
+//! let mut fr = FlightRecorder::new(8);
+//! for k in 0..32 {
+//!     fr.cycle(CycleRecord {
+//!         cycle: k,
+//!         voltage: 1.0,
+//!         current: 20.0,
+//!         supply: if k == 16 { SupplyBand::Under } else { SupplyBand::Safe },
+//!         ..CycleRecord::default()
+//!     });
+//! }
+//! let mut merged = MergedTrace::new();
+//! merged.push(fr.to_cell("example"));
+//! assert_eq!(merged.total_captures(), 1);
+//! let json = voltctl_trace::perfetto::to_chrome_trace("example", &merged);
+//! assert!(json.contains("\"emergency:under\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attribute;
+pub mod flight;
+pub mod perfetto;
+pub mod record;
+pub mod tracer;
+
+pub use attribute::{
+    attribute, dominant_period, Attribution, AttributionConfig, Cause, CauseCounts, Forensics,
+};
+pub use flight::{
+    CellTrace, EmergencyCapture, EmergencyKind, FlightRecorder, MergedTrace, DEFAULT_WINDOW,
+};
+pub use perfetto::to_chrome_trace;
+pub use record::{events, CycleRecord, SensorBand, SupplyBand};
+pub use tracer::{NullTracer, Tracer};

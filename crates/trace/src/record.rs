@@ -1,0 +1,194 @@
+//! The per-cycle trace record and its event-bit vocabulary.
+//!
+//! [`CycleRecord`] is the unit of tracing: one plain-data sample per
+//! simulated cycle, small enough (`Copy`, no heap) that the flight
+//! recorder can ring-buffer hundreds of them per cell without perturbing
+//! the run. The producer (`voltctl_core::loopsim`) fills it from state it
+//! already holds each cycle; nothing here reaches back into the
+//! simulator.
+
+/// Supply-voltage band relative to the emergency envelope, as classified
+/// by `voltctl_pdn::VoltageMonitor`.
+///
+/// This is the *ground-truth* band (the oracle the paper measures
+/// against), not the delayed/noisy sensor estimate in
+/// [`CycleRecord::sensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SupplyBand {
+    /// Below the lower emergency threshold (a dip emergency).
+    Under,
+    /// Inside the allowed envelope.
+    #[default]
+    Safe,
+    /// Above the upper emergency threshold (an overshoot emergency).
+    Over,
+}
+
+impl SupplyBand {
+    /// Short lowercase label (`under` / `safe` / `over`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SupplyBand::Under => "under",
+            SupplyBand::Safe => "safe",
+            SupplyBand::Over => "over",
+        }
+    }
+
+    /// Small integer code for counter-track export (-1 / 0 / +1).
+    pub fn code(self) -> i8 {
+        match self {
+            SupplyBand::Under => -1,
+            SupplyBand::Safe => 0,
+            SupplyBand::Over => 1,
+        }
+    }
+}
+
+/// The control loop's *sensed* voltage band (delayed, possibly noisy),
+/// i.e. what the threshold controller acted on this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SensorBand {
+    /// Sensor read below the low control threshold.
+    Low,
+    /// Sensor read inside the control band (no action).
+    #[default]
+    Normal,
+    /// Sensor read above the high control threshold.
+    High,
+}
+
+impl SensorBand {
+    /// Short lowercase label (`low` / `normal` / `high`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SensorBand::Low => "low",
+            SensorBand::Normal => "normal",
+            SensorBand::High => "high",
+        }
+    }
+
+    /// Small integer code for counter-track export (-1 / 0 / +1).
+    pub fn code(self) -> i8 {
+        match self {
+            SensorBand::Low => -1,
+            SensorBand::Normal => 0,
+            SensorBand::High => 1,
+        }
+    }
+}
+
+/// Microarchitectural event bits carried by [`CycleRecord::events`].
+///
+/// One bit per event *kind* per cycle (a cycle with three D-cache misses
+/// sets [`DL1_MISS`](events::DL1_MISS) once); the attribution pass cares
+/// about temporal patterns, not per-cycle multiplicity.
+pub mod events {
+    /// At least one L1 D-cache miss this cycle.
+    pub const DL1_MISS: u16 = 1 << 0;
+    /// At least one L1 I-cache miss this cycle.
+    pub const IL1_MISS: u16 = 1 << 1;
+    /// At least one L2 miss (main-memory access) this cycle.
+    pub const L2_MISS: u16 = 1 << 2;
+    /// A mispredicted branch was fetched this cycle (pipeline flush).
+    pub const MISPREDICT: u16 = 1 << 3;
+    /// No instruction issued this cycle (an issue stall).
+    pub const STALL: u16 = 1 << 4;
+    /// Actuator was gating functional-unit issue this cycle.
+    pub const GATE_FU: u16 = 1 << 5;
+    /// Actuator was gating D-cache issue this cycle.
+    pub const GATE_DL1: u16 = 1 << 6;
+    /// Actuator was gating fetch (I-cache) this cycle.
+    pub const GATE_IL1: u16 = 1 << 7;
+    /// Phantom firing (dummy activity) on the FU domain this cycle.
+    pub const PHANTOM_FU: u16 = 1 << 8;
+    /// Phantom firing on the D-cache domain this cycle.
+    pub const PHANTOM_DL1: u16 = 1 << 9;
+    /// Phantom firing on the I-cache domain this cycle.
+    pub const PHANTOM_IL1: u16 = 1 << 10;
+
+    /// All throttle-down (gating) bits.
+    pub const GATING: u16 = GATE_FU | GATE_DL1 | GATE_IL1;
+    /// All throttle-up (phantom-fire) bits.
+    pub const PHANTOM: u16 = PHANTOM_FU | PHANTOM_DL1 | PHANTOM_IL1;
+    /// Any actuator activity (gating or phantom).
+    pub const ACTUATION: u16 = GATING | PHANTOM;
+    /// Any cache-miss bit.
+    pub const MISS: u16 = DL1_MISS | IL1_MISS | L2_MISS;
+
+    /// Every single-event bit, in canonical render order, with its label.
+    pub const NAMED: [(u16, &str); 11] = [
+        (DL1_MISS, "dl1-miss"),
+        (IL1_MISS, "il1-miss"),
+        (L2_MISS, "l2-miss"),
+        (MISPREDICT, "mispredict"),
+        (STALL, "stall"),
+        (GATE_FU, "gate-fu"),
+        (GATE_DL1, "gate-dl1"),
+        (GATE_IL1, "gate-il1"),
+        (PHANTOM_FU, "phantom-fu"),
+        (PHANTOM_DL1, "phantom-dl1"),
+        (PHANTOM_IL1, "phantom-il1"),
+    ];
+}
+
+/// One cycle of traced state: the flight recorder's sample type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CycleRecord {
+    /// Cycle index within the producing run (0-based, monotone).
+    pub cycle: u64,
+    /// Supply current drawn this cycle, amps.
+    pub current: f64,
+    /// Supply voltage seen this cycle, volts.
+    pub voltage: f64,
+    /// Ground-truth supply band (emergency classification).
+    pub supply: SupplyBand,
+    /// Sensed band the controller acted on.
+    pub sensor: SensorBand,
+    /// Bitset of [`events`] observed this cycle.
+    pub events: u16,
+}
+
+impl CycleRecord {
+    /// Whether any actuator (gating or phantom) bit is set.
+    pub fn actuating(&self) -> bool {
+        self.events & events::ACTUATION != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_bits_are_distinct() {
+        let mut seen = 0u16;
+        for (bit, _) in events::NAMED {
+            assert_eq!(seen & bit, 0, "bit {bit:#06x} repeated");
+            assert_eq!(bit.count_ones(), 1);
+            seen |= bit;
+        }
+        assert_eq!(
+            seen,
+            events::MISS | events::MISPREDICT | events::STALL | events::ACTUATION
+        );
+    }
+
+    #[test]
+    fn band_codes_order() {
+        assert!(SupplyBand::Under.code() < SupplyBand::Safe.code());
+        assert!(SupplyBand::Safe.code() < SupplyBand::Over.code());
+        assert_eq!(SensorBand::default(), SensorBand::Normal);
+    }
+
+    #[test]
+    fn actuating_checks_both_directions() {
+        let mut r = CycleRecord::default();
+        assert!(!r.actuating());
+        r.events = events::GATE_FU;
+        assert!(r.actuating());
+        r.events = events::PHANTOM_DL1;
+        assert!(r.actuating());
+        r.events = events::DL1_MISS | events::STALL;
+        assert!(!r.actuating());
+    }
+}

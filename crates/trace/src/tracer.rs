@@ -1,0 +1,79 @@
+//! The [`Tracer`] sink trait and its compile-time-off [`NullTracer`].
+//!
+//! This mirrors `voltctl_telemetry::Recorder` exactly: hot loops are
+//! written against a generic `T: Tracer`, the associated `const ENABLED`
+//! lets producers skip even *building* a [`CycleRecord`] when tracing is
+//! off, and the default [`NullTracer`] monomorphizes every call site to
+//! nothing — the PR 3 compile-time-off guarantee extended to tracing.
+
+use crate::record::CycleRecord;
+
+/// A sink for per-cycle trace records.
+///
+/// All methods default to no-ops so implementors override only what they
+/// consume; producers should guard record construction with
+/// `if T::ENABLED { ... }` so disabled tracing costs nothing.
+pub trait Tracer {
+    /// Whether this tracer consumes records at all. Generic code checks
+    /// this constant so the disabled path is dead code, not a branch.
+    const ENABLED: bool = true;
+
+    /// Consumes one cycle's record.
+    fn cycle(&mut self, record: CycleRecord) {
+        let _ = record;
+    }
+}
+
+/// The disabled tracer: `ENABLED == false`, every method a no-op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    const ENABLED: bool = false;
+}
+
+/// Forwarding impl so loops can borrow a caller-owned tracer
+/// (`.tracer(&mut flight)`) without giving up ownership.
+impl<T: Tracer + ?Sized> Tracer for &mut T {
+    const ENABLED: bool = T::ENABLED;
+
+    fn cycle(&mut self, record: CycleRecord) {
+        (**self).cycle(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_of<T: Tracer>() -> bool {
+        T::ENABLED
+    }
+
+    #[test]
+    fn null_tracer_is_disabled_and_zero_sized() {
+        assert!(!enabled_of::<NullTracer>());
+        assert!(!enabled_of::<&mut NullTracer>());
+        assert_eq!(std::mem::size_of::<NullTracer>(), 0);
+    }
+
+    #[test]
+    fn default_methods_are_no_ops() {
+        struct CountOnly(u64);
+        impl Tracer for CountOnly {
+            fn cycle(&mut self, _record: CycleRecord) {
+                self.0 += 1;
+            }
+        }
+        assert!(enabled_of::<CountOnly>());
+        let mut t = CountOnly(0);
+        {
+            // Through the forwarding impl explicitly, not auto-deref.
+            let mut fwd = &mut t;
+            <&mut CountOnly as Tracer>::cycle(&mut fwd, CycleRecord::default());
+        }
+        assert_eq!(t.0, 1);
+        // NullTracer accepts records and drops them.
+        NullTracer.cycle(CycleRecord::default());
+    }
+}

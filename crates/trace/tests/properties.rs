@@ -1,0 +1,230 @@
+//! Property tests for the flight recorder, attribution counts, and the
+//! Perfetto exporter, on the workspace's `voltctl-check` harness.
+
+use voltctl_check::{check, ensure, i64_in, usize_in, vec_of, Config, Json};
+use voltctl_trace::{
+    events, to_chrome_trace, CauseCounts, CycleRecord, FlightRecorder, MergedTrace, SensorBand,
+    SupplyBand, Tracer,
+};
+
+/// Decodes a generated band code: most values are Safe so traces spend
+/// realistic stretches inside the band between crossings.
+fn band(code: i64) -> SupplyBand {
+    match code {
+        0 => SupplyBand::Under,
+        1 => SupplyBand::Over,
+        _ => SupplyBand::Safe,
+    }
+}
+
+/// Feeds a deterministic record stream (bands from `codes`, everything
+/// else a function of the cycle index) into a recorder.
+fn feed(fr: &mut FlightRecorder, codes: &[i64]) {
+    for (k, &code) in codes.iter().enumerate() {
+        fr.cycle(CycleRecord {
+            cycle: k as u64,
+            current: 20.0 + (k % 7) as f64,
+            voltage: 1.0 - 0.01 * (k % 5) as f64,
+            supply: band(code),
+            sensor: SensorBand::Normal,
+            events: if k % 3 == 0 { events::STALL } else { 0 },
+        });
+    }
+}
+
+/// The ring never drops in-window history: after `n` cycles it buffers
+/// exactly `min(window, n)` records.
+#[test]
+fn ring_buffers_exactly_min_window_cycles() {
+    let gen = (usize_in(1, 128), usize_in(0, 400));
+    check(
+        "trace.ring-buffered-min",
+        &Config::cases(64, 0x7A11),
+        &gen,
+        |&(w, n)| {
+            let mut fr = FlightRecorder::new(w);
+            feed(&mut fr, &vec![9; n]);
+            ensure!(
+                fr.buffered() == w.min(n),
+                "window {w}, {n} cycles: buffered {} != {}",
+                fr.buffered(),
+                w.min(n)
+            );
+            ensure!(fr.cycles() == n as u64);
+            Ok(())
+        },
+    );
+}
+
+/// A lone crossing captures `min(window, pre)` cycles of history, the
+/// crossing record itself, and `min(window, post)` cycles of aftermath —
+/// a partial post-window (run ends early) is flushed, never dropped.
+#[test]
+fn capture_length_is_min_window_each_side() {
+    let gen = (usize_in(1, 96), usize_in(0, 300), usize_in(0, 300));
+    check(
+        "trace.capture-covers-window",
+        &Config::cases(64, 0x7A12),
+        &gen,
+        |&(w, pre, post)| {
+            let mut fr = FlightRecorder::new(w);
+            let mut codes = vec![9i64; pre];
+            codes.push(0); // the single Under crossing
+            codes.extend(std::iter::repeat_n(9, post));
+            feed(&mut fr, &codes);
+            let cell = fr.to_cell("p");
+            ensure!(cell.crossings == 1, "exactly one crossing");
+            ensure!(cell.captures.len() == 1, "exactly one capture");
+            let cap = &cell.captures[0];
+            let want = w.min(pre) + 1 + w.min(post);
+            ensure!(
+                cap.records.len() == want,
+                "window {w}, pre {pre}, post {post}: len {} != {want}",
+                cap.records.len()
+            );
+            ensure!(cap.pre_len == w.min(pre));
+            ensure!(cap.crossing().cycle == pre as u64);
+            Ok(())
+        },
+    );
+}
+
+/// Generates three independent cell traces from band-code streams.
+fn three_cells(streams: &[Vec<i64>]) -> Vec<MergedTrace> {
+    streams
+        .iter()
+        .enumerate()
+        .map(|(k, codes)| {
+            let mut fr = FlightRecorder::new(16);
+            feed(&mut fr, codes);
+            let mut m = MergedTrace::new();
+            m.push(fr.to_cell(format!("cell{k}")));
+            m
+        })
+        .collect()
+}
+
+/// Merging cell traces is associative: (a+b)+c == a+(b+c), so the
+/// engine may fold per-cell tracers in any grouping as long as the
+/// order is the grid order.
+#[test]
+fn merged_trace_merge_is_associative() {
+    let stream = vec_of(i64_in(0, 8), 1, 120);
+    let gen = (stream.clone(), stream.clone(), stream);
+    check(
+        "trace.merge-associative",
+        &Config::cases(48, 0x7A13),
+        &gen,
+        |(a, b, c)| {
+            let cells = three_cells(&[a.clone(), b.clone(), c.clone()]);
+            let (a, b, c) = (&cells[0], &cells[1], &cells[2]);
+
+            let mut left = a.clone();
+            left.merge(b);
+            left.merge(c);
+
+            let mut bc = b.clone();
+            bc.merge(c);
+            let mut right = a.clone();
+            right.merge(&bc);
+
+            ensure!(left == right, "merge grouping changed the result");
+            ensure!(
+                left.total_captures()
+                    == a.total_captures() + b.total_captures() + c.total_captures()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Cause tallies merge associatively AND commutatively (they are plain
+/// per-class sums), mirroring the telemetry counter contract.
+#[test]
+fn cause_counts_merge_like_counters() {
+    let stream = vec_of(i64_in(0, 6), 1, 150);
+    let gen = (stream.clone(), stream);
+    check(
+        "trace.cause-counts-commute",
+        &Config::cases(48, 0x7A14),
+        &gen,
+        |(a, b)| {
+            let cfg = voltctl_trace::AttributionConfig::new(12);
+            let count = |codes: &[i64]| {
+                let mut fr = FlightRecorder::new(16);
+                feed(&mut fr, codes);
+                let mut counts = CauseCounts::new();
+                for cap in &fr.to_cell("c").captures {
+                    counts.add(voltctl_trace::attribute(cap, &cfg).cause);
+                }
+                counts
+            };
+            let (ca, cb) = (count(a), count(b));
+
+            let mut ab = ca;
+            ab.merge(&cb);
+            let mut ba = cb;
+            ba.merge(&ca);
+            ensure!(ab == ba, "cause-count merge must commute");
+            ensure!(ab.total() == ca.total() + cb.total());
+            Ok(())
+        },
+    );
+}
+
+/// The Perfetto export always parses with the workspace's own JSON
+/// reader, and every per-track timestamp sequence is strictly monotone
+/// (Perfetto rejects out-of-order counter samples within a track).
+#[test]
+fn perfetto_export_parses_with_monotone_timestamps() {
+    let stream = vec_of(i64_in(0, 8), 1, 200);
+    let gen = (stream.clone(), stream);
+    check(
+        "trace.perfetto-roundtrip",
+        &Config::cases(48, 0x7A15),
+        &gen,
+        |(a, b)| {
+            let mut merged = MergedTrace::new();
+            for (k, codes) in [a, b].iter().enumerate() {
+                let mut fr = FlightRecorder::new(24);
+                feed(&mut fr, codes);
+                merged.push(fr.to_cell(format!("cell{k}")));
+            }
+            let json = to_chrome_trace("prop", &merged);
+            let parsed = Json::parse(&json).map_err(|e| format!("JSON does not parse: {e}"))?;
+            let events = parsed
+                .get("traceEvents")
+                .and_then(|e| e.as_arr())
+                .ok_or("traceEvents missing")?;
+
+            // ts must be strictly increasing within each (pid, name)
+            // counter track.
+            let mut last: std::collections::HashMap<(i64, String), f64> =
+                std::collections::HashMap::new();
+            for ev in events {
+                let ph = ev.get("ph").and_then(|p| p.as_str()).unwrap_or("");
+                if ph != "C" {
+                    continue;
+                }
+                let pid = ev
+                    .get("pid")
+                    .and_then(|p| p.as_f64())
+                    .ok_or("counter without pid")? as i64;
+                let name = ev
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .ok_or("counter without name")?
+                    .to_string();
+                let ts = ev
+                    .get("ts")
+                    .and_then(|t| t.as_f64())
+                    .ok_or("counter without ts")?;
+                if let Some(&prev) = last.get(&(pid, name.clone())) {
+                    ensure!(ts > prev, "track ({pid}, {name}): ts {ts} not after {prev}");
+                }
+                last.insert((pid, name), ts);
+            }
+            Ok(())
+        },
+    );
+}
