@@ -16,7 +16,10 @@
 //! The loop is generic over a [`Recorder`] (default [`NullRecorder`]):
 //! per-cycle voltage/current samples, controller-state cycle counters, and
 //! wall-clock timers around the CPU/power/PDN/control sub-steps stream
-//! into it. With the default recorder, `R::ENABLED` is false and every
+//! into it. Metric names are resolved to [`MetricId`]s once at build
+//! time and samples go through the id-indexed recorder methods; sub-step
+//! timers are sampled one cycle in [`TIMER_SAMPLE_STRIDE`] so clock
+//! reads stay off the common path. With the default recorder, `R::ENABLED` is false and every
 //! instrumentation site monomorphizes away — the disabled loop is the
 //! uninstrumented loop. Attach a real recorder with
 //! [`ControlLoopBuilder::recorder`] and flush run-level aggregates with
@@ -38,8 +41,44 @@ use voltctl_isa::Program;
 use voltctl_pdn::emergency::VoltageBand;
 use voltctl_pdn::{EmergencyReport, PdnModel, PdnState, VoltageHistogram, VoltageMonitor};
 use voltctl_power::{EnergyAccumulator, PowerModel};
-use voltctl_telemetry::{NullRecorder, Recorder, Stopwatch};
+use voltctl_telemetry::{MetricId, NullRecorder, Recorder, Stopwatch};
 use voltctl_trace::{events, CycleRecord, NullTracer, SensorBand, SupplyBand, Tracer};
+
+/// Sub-step wall-clock timers are sampled every this many cycles (two
+/// clock reads per sampled span). Stride sampling keeps the recorded
+/// loop honest about where time goes without paying eight `Instant::now`
+/// calls on every cycle; the sampled mean is unbiased for steady-state
+/// sub-step costs.
+pub const TIMER_SAMPLE_STRIDE: u64 = 64;
+
+/// The per-cycle metric ids, resolved once at build time so the hot loop
+/// records through flat-index lookups ([`Recorder::value_id`] /
+/// [`Recorder::timer_id`]) instead of per-sample name maps.
+#[derive(Debug, Clone, Copy, Default)]
+struct LoopMetricIds {
+    voltage: MetricId,
+    current: MetricId,
+    cpu_ns: MetricId,
+    power_ns: MetricId,
+    pdn_ns: MetricId,
+    control_ns: MetricId,
+}
+
+impl LoopMetricIds {
+    fn resolve<R: Recorder>(rec: &mut R) -> LoopMetricIds {
+        if !R::ENABLED {
+            return LoopMetricIds::default();
+        }
+        LoopMetricIds {
+            voltage: rec.metric_id("loop.voltage_v"),
+            current: rec.metric_id("loop.current_a"),
+            cpu_ns: rec.metric_id("loop.step.cpu_ns"),
+            power_ns: rec.metric_id("loop.step.power_ns"),
+            pdn_ns: rec.metric_id("loop.step.pdn_ns"),
+            control_ns: rec.metric_id("loop.step.control_ns"),
+        }
+    }
+}
 
 /// One cycle's observables (optionally recorded).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -190,6 +229,8 @@ impl<R: Recorder, T: Tracer> ControlLoopBuilder<R, T> {
         pdn_state.set_reference_current(power.min_current());
         let monitor = VoltageMonitor::new(pdn.v_nominal(), pdn.tolerance());
         let energy = EnergyAccumulator::new(pdn.clock_hz());
+        let mut recorder = self.recorder;
+        let metric_ids = LoopMetricIds::resolve(&mut recorder);
 
         Ok(ControlLoop {
             cpu,
@@ -207,7 +248,8 @@ impl<R: Recorder, T: Tracer> ControlLoopBuilder<R, T> {
             } else {
                 None
             },
-            recorder: self.recorder,
+            recorder,
+            metric_ids,
             tracer: self.tracer,
             cycles_in_low: 0,
             cycles_in_normal: 0,
@@ -231,6 +273,7 @@ pub struct ControlLoop<R: Recorder = NullRecorder, T: Tracer = NullTracer> {
     energy: EnergyAccumulator,
     trace: Option<Vec<LoopSample>>,
     recorder: R,
+    metric_ids: LoopMetricIds,
     tracer: T,
     cycles_in_low: u64,
     cycles_in_normal: u64,
@@ -358,40 +401,44 @@ fn event_bits(act: &CycleActivity, gating: &GatingState) -> u16 {
 impl<R: Recorder, T: Tracer> ControlLoop<R, T> {
     /// Advances one cycle.
     pub fn step(&mut self) -> LoopSample {
-        // 0-based index of the cycle about to execute; only read when the
-        // tracer is enabled so the disabled loop stays byte-identical.
-        let cycle = if T::ENABLED {
+        // 0-based index of the cycle about to execute; only read when an
+        // observer is enabled so the disabled loop stays byte-identical.
+        let cycle = if R::ENABLED || T::ENABLED {
             self.cpu.stats().cycles
         } else {
             0
         };
+        // Sub-step timers are stride-sampled: two clock reads per span
+        // are the recorded path's single biggest tax, so only one cycle
+        // in TIMER_SAMPLE_STRIDE pays them.
+        let time_substeps = R::ENABLED && cycle % TIMER_SAMPLE_STRIDE == 0;
         let gating = self.cpu.gating();
 
-        let sw = Stopwatch::start_for::<R>();
+        let sw = Stopwatch::started_if(time_substeps);
         let act = self.cpu.step();
-        sw.stop(&mut self.recorder, "loop.step.cpu_ns");
+        sw.stop_id(&mut self.recorder, self.metric_ids.cpu_ns);
 
-        let sw = Stopwatch::start_for::<R>();
+        let sw = Stopwatch::started_if(time_substeps);
         let watts = self.power.cycle_power(&act, &gating).total();
         let amps = watts / self.power.params().vdd;
-        sw.stop(&mut self.recorder, "loop.step.power_ns");
+        sw.stop_id(&mut self.recorder, self.metric_ids.power_ns);
 
-        let sw = Stopwatch::start_for::<R>();
+        let sw = Stopwatch::started_if(time_substeps);
         let volts = self.pdn_state.step(amps);
-        sw.stop(&mut self.recorder, "loop.step.pdn_ns");
+        sw.stop_id(&mut self.recorder, self.metric_ids.pdn_ns);
 
         let band = self.monitor.observe(volts);
         self.histogram.record(volts);
         self.energy.add_cycle(watts);
 
-        let sw = Stopwatch::start_for::<R>();
+        let sw = Stopwatch::started_if(time_substeps);
         let mut reading = SensorReading::Normal;
         if let Some(sensor) = &mut self.sensor {
             reading = sensor.observe(volts);
             let action = self.controller.decide(reading);
             self.actuator.apply(action, self.cpu.gating_mut());
         }
-        sw.stop(&mut self.recorder, "loop.step.control_ns");
+        sw.stop_id(&mut self.recorder, self.metric_ids.control_ns);
 
         if T::ENABLED {
             self.tracer.cycle(CycleRecord {
@@ -411,8 +458,8 @@ impl<R: Recorder, T: Tracer> ControlLoop<R, T> {
         }
 
         if R::ENABLED {
-            self.recorder.value("loop.voltage_v", volts);
-            self.recorder.value("loop.current_a", amps);
+            self.recorder.value_id(self.metric_ids.voltage, volts);
+            self.recorder.value_id(self.metric_ids.current, amps);
         }
 
         let sample = LoopSample {
@@ -865,13 +912,15 @@ mod tests {
         assert_eq!(snap.counter("loop.cycles"), Some(500));
         assert_eq!(snap.value("loop.voltage_v").unwrap().count, 500);
         assert_eq!(snap.value("loop.current_a").unwrap().count, 500);
+        // Sub-step timers are stride-sampled: cycle indices 0, 64, ….
+        let sampled = 500u64.div_ceil(TIMER_SAMPLE_STRIDE);
         for timer in [
             "loop.step.cpu_ns",
             "loop.step.power_ns",
             "loop.step.pdn_ns",
             "loop.step.control_ns",
         ] {
-            assert_eq!(snap.timer(timer).unwrap().count, 500, "{timer}");
+            assert_eq!(snap.timer(timer).unwrap().count, sampled, "{timer}");
         }
         assert_eq!(snap.histogram("loop.voltage_hist").unwrap().total(), 500);
         assert_eq!(snap.counter("cpu.cycles"), Some(500));

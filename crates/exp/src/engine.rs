@@ -25,9 +25,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use voltctl_telemetry::MemoryRecorder;
-use voltctl_trace::{FlightRecorder, MergedTrace};
+use voltctl_telemetry::{MemoryRecorder, Recorder as _};
+use voltctl_trace::{Cause, FlightRecorder, MergedTrace};
 
+use crate::profile::{NullProfiler, Profiler, Span};
 use crate::scale::scaled_budget;
 
 /// Trace configuration for a run: when present in [`Ctx`], scenarios
@@ -234,6 +235,11 @@ pub trait Scenario: Sync {
     fn run_cell(&self, ctx: &Ctx, cell: usize) -> CellResult;
     /// Assembles the report from index-ordered cell results.
     fn render(&self, ctx: &Ctx, cells: &[CellResult]) -> String;
+    /// Whether cells attach a flight recorder when `ctx.trace` is set.
+    /// `voltctl-exp list` marks these; `trace` on anything else fails.
+    fn trace_aware(&self) -> bool {
+        false
+    }
 }
 
 /// The output of one engine run.
@@ -258,7 +264,22 @@ pub struct RunOutput {
 /// its report. `jobs` is clamped to `[1, #cells]`; the cell order of
 /// the output is the grid order regardless of scheduling.
 pub fn run_scenario(scenario: &dyn Scenario, ctx: &Ctx, jobs: usize) -> RunOutput {
+    run_scenario_profiled(scenario, ctx, jobs, &NullProfiler)
+}
+
+/// [`run_scenario`] with self-profiling: each grid cell, the merge, and
+/// the render record wall-clock spans into `profiler` under folded
+/// stacks (`exp;<id>;grid;job<j>;<cell>`, `exp;<id>;merge`,
+/// `exp;<id>;render`). With [`NullProfiler`] the spans compile away and
+/// this *is* `run_scenario`.
+pub fn run_scenario_profiled<P: Profiler>(
+    scenario: &dyn Scenario,
+    ctx: &Ctx,
+    jobs: usize,
+    profiler: &P,
+) -> RunOutput {
     let started = Instant::now();
+    let id = scenario.id();
     let labels = scenario.cells(ctx);
     let n = labels.len();
     let jobs = jobs.max(1).min(n.max(1));
@@ -270,18 +291,27 @@ pub fn run_scenario(scenario: &dyn Scenario, ctx: &Ctx, jobs: usize) -> RunOutpu
         // Run inline: identical semantics, no thread overhead, and
         // backtraces from narrative checks stay on the caller's stack.
         for (k, slot) in slots.iter().enumerate() {
-            *slot.lock().expect("unshared slot") = Some(scenario.run_cell(ctx, k));
+            let span = Span::start(profiler);
+            let result = scenario.run_cell(ctx, k);
+            span.stop(profiler, &["exp", id, "grid", "job0", &labels[k]]);
+            *slot.lock().expect("unshared slot") = Some(result);
         }
     } else {
         std::thread::scope(|s| {
-            for _ in 0..jobs {
-                s.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= n {
-                        break;
+            for j in 0..jobs {
+                let (slots, next, labels) = (&slots, &next, &labels);
+                s.spawn(move || {
+                    let job = format!("job{j}");
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
+                        }
+                        let span = Span::start(profiler);
+                        let result = scenario.run_cell(ctx, k);
+                        span.stop(profiler, &["exp", id, "grid", &job, &labels[k]]);
+                        *slots[k].lock().expect("cell slot poisoned") = Some(result);
                     }
-                    let result = scenario.run_cell(ctx, k);
-                    *slots[k].lock().expect("cell slot poisoned") = Some(result);
                 });
             }
         });
@@ -298,6 +328,7 @@ pub fn run_scenario(scenario: &dyn Scenario, ctx: &Ctx, jobs: usize) -> RunOutpu
         .collect();
 
     // Grid-order merge: deterministic regardless of completion order.
+    let span = Span::start(profiler);
     let mut telemetry = MemoryRecorder::new();
     let mut trace = MergedTrace::new();
     for r in &results {
@@ -306,8 +337,22 @@ pub fn run_scenario(scenario: &dyn Scenario, ctx: &Ctx, jobs: usize) -> RunOutpu
             trace.push(r.tracer.to_cell(r.label.clone()));
         }
     }
+    // Traced runs fold their root-cause attribution into the telemetry
+    // aggregate as `trace.cause.*` counters (all classes, so the counter
+    // set is stable run to run). Attribution is deterministic over the
+    // grid-order merge, so these are jobs-invariant like everything else.
+    if !trace.is_empty() {
+        let counts = crate::trace::forensics(&trace).counts;
+        for cause in Cause::ALL {
+            telemetry.counter(cause.counter_name(), counts.get(cause));
+        }
+        telemetry.counter("trace.captures", trace.total_captures() as u64);
+    }
+    span.stop(profiler, &["exp", id, "merge"]);
 
+    let span = Span::start(profiler);
     let report = scenario.render(ctx, &results);
+    span.stop(profiler, &["exp", id, "render"]);
     RunOutput {
         report,
         telemetry,
@@ -368,6 +413,25 @@ mod tests {
             assert!(out.report.starts_with("cell0=0"));
             assert!(out.report.ends_with("cell16=256"));
         }
+    }
+
+    #[test]
+    fn profiled_run_records_stage_spans() {
+        let p = crate::profile::SelfProfiler::new();
+        let out = run_scenario_profiled(&Counting, &Ctx::default(), 3, &p);
+        assert_eq!(out.cells, 17);
+        let stacks = p.stacks();
+        let has = |frag: &str| stacks.iter().any(|(s, _)| s.starts_with(frag));
+        assert!(has("exp;counting;grid;job"), "cell spans: {stacks:?}");
+        assert!(has("exp;counting;merge"), "merge span: {stacks:?}");
+        assert!(has("exp;counting;render"), "render span: {stacks:?}");
+        let cell_spans: u64 = stacks
+            .iter()
+            .filter(|(s, _)| s.starts_with("exp;counting;grid;"))
+            .map(|(_, st)| st.count)
+            .sum();
+        assert_eq!(cell_spans, 17, "one span per grid cell");
+        assert!(!Counting.trace_aware(), "trace-awareness defaults off");
     }
 
     #[test]

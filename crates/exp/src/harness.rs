@@ -63,6 +63,9 @@ pub fn pdn_at(percent: f64) -> PdnModel {
     if let Some((_, pdn)) = cache.iter().find(|(k, _)| *k == key) {
         return pdn.clone();
     }
+    // Only the cache-miss bisection is worth a profiler span: hits are
+    // a vector scan.
+    let span = crate::profile::global().map(crate::profile::Span::start);
     let power = power_model();
     let pdn = calibrated_pdn(
         &PdnModel::paper_default().expect("paper parameters are valid"),
@@ -70,6 +73,9 @@ pub fn pdn_at(percent: f64) -> PdnModel {
         percent,
     )
     .expect("calibration succeeds for the standard machine");
+    if let (Some(span), Some(p)) = (span, crate::profile::global()) {
+        span.stop(p, &["harness", "calibrate", &format!("p{percent}")]);
+    }
     cache.push((key, pdn.clone()));
     pdn
 }
@@ -81,10 +87,14 @@ pub fn tuned_stressmark() -> Workload {
     static TUNED: OnceLock<Workload> = OnceLock::new();
     TUNED
         .get_or_init(|| {
+            let span = crate::profile::global().map(crate::profile::Span::start);
             let config = cpu_config();
             let power = power_model();
             let period = pdn_at(2.0).resonant_period_cycles();
             let (_, wl) = stressmark::tune(period, &config, &power);
+            if let (Some(span), Some(p)) = (span, crate::profile::global()) {
+                span.stop(p, &["harness", "tune", "stressmark"]);
+            }
             wl
         })
         .clone()
@@ -131,6 +141,7 @@ pub fn solve_for(
     if let Some((_, solved)) = cache.iter().find(|(k, _)| *k == key) {
         return solved.clone();
     }
+    let span = crate::profile::global().map(crate::profile::Span::start);
     let power = power_model();
     let pdn = pdn_at(percent);
     let setup = SolveSetup::new(
@@ -141,6 +152,16 @@ pub fn solve_for(
         delay,
     );
     let solved = solve_thresholds(&setup);
+    if let (Some(span), Some(p)) = (span, crate::profile::global()) {
+        span.stop(
+            p,
+            &[
+                "harness",
+                "solve",
+                &format!("{scope:?}.d{delay}.p{percent}"),
+            ],
+        );
+    }
     cache.push((key, solved.clone()));
     solved
 }

@@ -21,6 +21,8 @@ pub mod bench;
 pub mod engine;
 pub mod golden;
 pub mod harness;
+pub mod manifest;
+pub mod profile;
 pub mod report;
 pub mod scale;
 pub mod scenarios;
@@ -30,13 +32,16 @@ pub mod trace;
 
 pub use bench::{BenchOpts, BenchPoint, BenchSuite};
 pub use engine::{
-    default_jobs, run_scenario, CellResult, Ctx, RunOutput, Runtime, Scenario, TraceSpec,
+    default_jobs, run_scenario, run_scenario_profiled, CellResult, Ctx, RunOutput, Runtime,
+    Scenario, TraceSpec,
 };
 pub use golden::{GoldenOpts, GoldenOutcome, Verdict};
 pub use harness::{
     cpu_config, current_trace, delta_i, evaluate, pdn_at, power_model, solve_for, spec_suite,
     sweep_point, tuned_stressmark, variable_eight, SweepRow,
 };
+pub use manifest::Manifest;
+pub use profile::{NullProfiler, Profiler, SelfProfiler, Span};
 pub use report::{ascii_chart, pct, TextTable};
 pub use scale::{env_scale, parse_scale, scaled_budget, MIN_CYCLES};
 pub use scenarios::{find, listing, registry};

@@ -13,10 +13,13 @@
 
 use std::path::PathBuf;
 use std::time::Instant;
-use voltctl_exp::engine::{default_jobs, run_scenario, Ctx, Scenario, TraceSpec};
+use voltctl_exp::engine::{
+    default_jobs, run_scenario, run_scenario_profiled, Ctx, Scenario, TraceSpec,
+};
+use voltctl_exp::profile::{self, Profiler, SelfProfiler};
 use voltctl_exp::scenarios::{find, registry};
 use voltctl_exp::telemetry::{default_out_dir, env_mode, export_run, parse_mode, Mode};
-use voltctl_exp::{parse_scale, TextTable};
+use voltctl_exp::{parse_scale, Manifest, TextTable};
 
 const USAGE: &str = "\
 voltctl-exp — unified experiment runner
@@ -40,6 +43,10 @@ OPTIONS:
     --telemetry <MODE>    off | summary | jsonl | csv
                           (default: VOLTCTL_TELEMETRY or off)
     --telemetry-out <DIR> snapshot directory (default: results/telemetry)
+    --profile             self-profile the engine: per-stage summary on
+                          stderr + a speedscope/inferno-loadable
+                          folded-stacks file
+    --profile-out <DIR>   folded-stacks directory (default: results/profile)
 
 TRACE OPTIONS:
     --window <W>          flight-recorder window in cycles kept either
@@ -73,6 +80,8 @@ struct RunArgs {
     jobs: usize,
     ctx: Ctx,
     mode: Mode,
+    profile: bool,
+    profile_out: PathBuf,
 }
 
 fn fail(msg: &str) -> ! {
@@ -87,6 +96,10 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         jobs: default_jobs(),
         ctx: Ctx::new(voltctl_exp::env_scale()),
         mode: env_mode(),
+        profile: false,
+        profile_out: voltctl_check::persist::workspace_root()
+            .join("results")
+            .join("profile"),
     };
     out.ctx.telemetry_out = default_out_dir();
 
@@ -121,6 +134,8 @@ fn parse_run_args(args: &[String]) -> RunArgs {
             "--telemetry-out" => {
                 out.ctx.telemetry_out = PathBuf::from(flag_value("--telemetry-out"))
             }
+            "--profile" => out.profile = true,
+            "--profile-out" => out.profile_out = PathBuf::from(flag_value("--profile-out")),
             _ if arg.starts_with("--") => fail(&format!("unknown flag {arg:?}")),
             _ => out.ids.push(arg.clone()),
         }
@@ -137,12 +152,13 @@ fn parse_run_args(args: &[String]) -> RunArgs {
 }
 
 fn cmd_list() {
-    let mut t = TextTable::new(["id", "runtime", "cells", "description"]);
+    let mut t = TextTable::new(["id", "runtime", "cells", "trace", "description"]);
     for row in voltctl_exp::listing(&Ctx::default()) {
         t.row(row);
     }
     print!("{}", t.render());
     println!("\nrun one with: voltctl-exp run <id> [--jobs N] [--scale X]");
+    println!("trace-aware scenarios (trace=yes) also accept: voltctl-exp trace <id>");
 }
 
 fn cmd_golden(args: &[String]) {
@@ -198,12 +214,26 @@ fn cmd_run(args: &[String]) {
             .collect()
     };
 
+    // --profile installs the process-global profiler so the harness's
+    // memoized solve/calibrate slow paths record into the same place as
+    // the engine's stage spans.
+    let profiler: Option<&'static SelfProfiler> = run.profile.then(profile::install_global);
+
     let started = Instant::now();
+    let trace_out = voltctl_exp::trace::default_out_dir();
+    let mut telemetry_manifest = Manifest::new(format!("run --telemetry {:?}", run.mode));
+    telemetry_manifest.ctx(&run.ctx, run.jobs);
+    let mut trace_manifest = Manifest::new("run --trace");
+    trace_manifest.ctx(&run.ctx, run.jobs);
+
     for (k, scenario) in scenarios.iter().enumerate() {
         if k > 0 {
             println!();
         }
-        let out = run_scenario(*scenario, &run.ctx, run.jobs);
+        let out = match profiler {
+            Some(p) => run_scenario_profiled(*scenario, &run.ctx, run.jobs, p),
+            None => run_scenario(*scenario, &run.ctx, run.jobs),
+        };
         print!("{}", out.report);
         eprintln!(
             "[voltctl-exp] {}: {} cells on {} worker(s) in {:.2?}",
@@ -212,38 +242,108 @@ fn cmd_run(args: &[String]) {
             out.jobs,
             out.elapsed
         );
-        export_run(
+        let export_t0 = Instant::now();
+        for path in export_run(
             scenario.id(),
             &out.telemetry,
             run.mode,
             &run.ctx.telemetry_out,
-        );
+        ) {
+            telemetry_manifest.scenario(scenario.id());
+            telemetry_manifest.artifact(&path);
+        }
         if run.ctx.trace.is_some() && !out.trace.is_empty() {
-            match voltctl_exp::trace::export(
-                &voltctl_exp::trace::default_out_dir(),
-                scenario.id(),
-                &out.trace,
-            ) {
-                Ok(a) => eprintln!(
-                    "[voltctl-exp] trace {}: {} capture(s); wrote {} and {}",
-                    scenario.id(),
-                    out.trace.total_captures(),
-                    a.json.display(),
-                    a.forensics.display()
-                ),
+            match voltctl_exp::trace::export(&trace_out, scenario.id(), &out.trace) {
+                Ok(a) => {
+                    eprintln!(
+                        "[voltctl-exp] trace {}: {} capture(s); wrote {} and {}",
+                        scenario.id(),
+                        out.trace.total_captures(),
+                        a.json.display(),
+                        a.forensics.display()
+                    );
+                    trace_manifest.scenario(scenario.id());
+                    trace_manifest.artifact(&a.json).artifact(&a.forensics);
+                }
                 Err(msg) => {
                     eprintln!("voltctl-exp: trace export failed: {msg}");
                     std::process::exit(1);
                 }
             }
         }
+        if let Some(p) = profiler {
+            p.record(
+                &["exp", scenario.id(), "export"],
+                export_t0.elapsed().as_nanos() as u64,
+            );
+        }
     }
+
+    // Every directory that received artifacts gets a provenance
+    // manifest describing this invocation.
+    telemetry_manifest.wall(started.elapsed());
+    trace_manifest.wall(started.elapsed());
+    for (manifest, dir) in [
+        (&telemetry_manifest, &run.ctx.telemetry_out),
+        (&trace_manifest, &trace_out),
+    ] {
+        if manifest.artifact_count() == 0 {
+            continue;
+        }
+        match manifest.write(dir) {
+            Ok(path) => eprintln!("[voltctl-exp] wrote {}", path.display()),
+            Err(e) => eprintln!("voltctl-exp: manifest write failed: {e}"),
+        }
+    }
+
+    if let Some(p) = profiler {
+        write_profile(p, &run);
+    }
+
     if scenarios.len() > 1 {
         eprintln!(
             "[voltctl-exp] {} scenario(s) in {:.2?}",
             scenarios.len(),
             started.elapsed()
         );
+    }
+}
+
+/// Emits the self-profiler's two deliverables: the per-stage summary
+/// table on stderr and the folded-stacks file (plus its manifest) under
+/// `--profile-out`.
+fn write_profile(p: &SelfProfiler, run: &RunArgs) {
+    eprint!(
+        "\n[voltctl-exp] self-profile (stages nest; totals overlap):\n{}",
+        p.summary()
+    );
+    let stem = if run.all {
+        "all".to_string()
+    } else {
+        run.ids.join("+")
+    };
+    match voltctl_telemetry::export::write_file_fresh(
+        &run.profile_out,
+        &format!("{stem}.folded"),
+        &p.folded(),
+    ) {
+        Ok(path) => {
+            eprintln!(
+                "[voltctl-exp] wrote {} (speedscope/inferno-loadable)",
+                path.display()
+            );
+            let mut manifest = Manifest::new("run --profile");
+            manifest.ctx(&run.ctx, run.jobs);
+            for id in &run.ids {
+                manifest.scenario(id);
+            }
+            manifest.artifact(&path);
+            match manifest.write(&run.profile_out) {
+                Ok(m) => eprintln!("[voltctl-exp] wrote {}", m.display()),
+                Err(e) => eprintln!("voltctl-exp: manifest write failed: {e}"),
+            }
+        }
+        Err(e) => eprintln!("voltctl-exp: profile write failed: {e}"),
     }
 }
 

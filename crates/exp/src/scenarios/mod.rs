@@ -46,17 +46,20 @@ pub fn find(id: &str) -> Option<&'static dyn Scenario> {
     registry().iter().copied().find(|s| s.id() == id)
 }
 
-/// The `voltctl-exp list` rows — `[id, runtime, cells, title]` — sorted
-/// by id for scanability. The registry itself stays in paper order (the
-/// execution order of `run --all`); only the listing is sorted.
-pub fn listing(ctx: &crate::engine::Ctx) -> Vec<[String; 4]> {
-    let mut rows: Vec<[String; 4]> = registry()
+/// The `voltctl-exp list` rows — `[id, runtime, cells, trace, title]` —
+/// sorted by id for scanability. The `trace` column marks trace-aware
+/// scenarios (`yes`: they accept `voltctl-exp trace` / `run --trace`).
+/// The registry itself stays in paper order (the execution order of
+/// `run --all`); only the listing is sorted.
+pub fn listing(ctx: &crate::engine::Ctx) -> Vec<[String; 5]> {
+    let mut rows: Vec<[String; 5]> = registry()
         .iter()
         .map(|s| {
             [
                 s.id().to_string(),
                 s.runtime().name().to_string(),
                 s.cells(ctx).len().to_string(),
+                if s.trace_aware() { "yes" } else { "-" }.to_string(),
                 s.title().to_string(),
             ]
         })
@@ -79,6 +82,32 @@ mod tests {
         }
         assert_eq!(registry().len(), 21);
         assert!(find("not_a_scenario").is_none());
+    }
+
+    #[test]
+    fn trace_aware_scenarios_are_marked() {
+        let traced: Vec<&str> = registry()
+            .iter()
+            .filter(|s| s.trace_aware())
+            .map(|s| s.id())
+            .collect();
+        assert_eq!(
+            traced,
+            [
+                "fig08_stressmark",
+                "fig10_voltage_distributions",
+                "fig11_controller_trace"
+            ]
+        );
+        let listing = listing(&crate::engine::Ctx::default());
+        for row in &listing {
+            let expected = if traced.contains(&row[0].as_str()) {
+                "yes"
+            } else {
+                "-"
+            };
+            assert_eq!(row[3], expected, "{} trace column", row[0]);
+        }
     }
 
     #[test]

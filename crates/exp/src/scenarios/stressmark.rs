@@ -77,6 +77,9 @@ impl Scenario for Fig08Stressmark {
     fn title(&self) -> &'static str {
         "auto-tuned dI/dt stressmark listing"
     }
+    fn trace_aware(&self) -> bool {
+        true
+    }
     fn cells(&self, ctx: &Ctx) -> Vec<String> {
         let mut cells = vec!["listing".to_string()];
         if ctx.trace.is_some() {
@@ -252,6 +255,9 @@ impl Scenario for Fig11ControllerTrace {
     }
     fn title(&self) -> &'static str {
         "threshold controller trace on the stressmark"
+    }
+    fn trace_aware(&self) -> bool {
+        true
     }
     fn runtime(&self) -> Runtime {
         Runtime::Seconds

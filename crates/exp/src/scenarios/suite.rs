@@ -165,6 +165,9 @@ impl Scenario for Fig10VoltageDistributions {
     fn title(&self) -> &'static str {
         "SPEC2000 voltage distributions at 100% impedance"
     }
+    fn trace_aware(&self) -> bool {
+        true
+    }
     fn runtime(&self) -> Runtime {
         Runtime::Minutes
     }

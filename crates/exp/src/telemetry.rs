@@ -18,7 +18,7 @@ use voltctl_telemetry::{export, MemoryRecorder};
 pub enum Mode {
     /// Telemetry disabled (the default).
     Off,
-    /// Human-readable digest on stderr only.
+    /// Human-readable digest on stderr + `<run>.summary.txt` file.
     Summary,
     /// JSONL snapshot file + stderr digest.
     Jsonl,
@@ -87,22 +87,30 @@ where
 }
 
 /// Exports a run's merged telemetry according to `mode`: a stderr
-/// digest always, plus a JSONL or CSV snapshot file under `out_dir`
-/// for the file modes.
-pub fn export_run(run: &str, rec: &MemoryRecorder, mode: Mode, out_dir: &Path) {
+/// digest always, plus one snapshot file under `out_dir` per the mode
+/// (summary text, JSONL, or CSV). Returns the paths written, so the
+/// caller can fold them into the run's provenance manifest.
+pub fn export_run(run: &str, rec: &MemoryRecorder, mode: Mode, out_dir: &Path) -> Vec<PathBuf> {
     if mode == Mode::Off {
-        return;
+        return Vec::new();
     }
     let snap = rec.snapshot();
     eprint!("{}", export::to_summary(run, &snap));
-    let csv = match mode {
-        Mode::Summary | Mode::Off => return,
-        Mode::Jsonl => false,
-        Mode::Csv => true,
+    let written = match mode {
+        Mode::Off => unreachable!("handled above"),
+        Mode::Summary => export::write_summary(out_dir, run, &snap),
+        Mode::Jsonl => export::write_snapshot(out_dir, run, &snap, false),
+        Mode::Csv => export::write_snapshot(out_dir, run, &snap, true),
     };
-    match export::write_snapshot(out_dir, run, &snap, csv) {
-        Ok(path) => eprintln!("telemetry snapshot: {}", path.display()),
-        Err(e) => voltctl_telemetry::warn("telemetry.export", &format!("write failed: {e}")),
+    match written {
+        Ok(path) => {
+            eprintln!("telemetry snapshot: {}", path.display());
+            vec![path]
+        }
+        Err(e) => {
+            voltctl_telemetry::warn("telemetry.export", &format!("write failed: {e}"));
+            Vec::new()
+        }
     }
 }
 

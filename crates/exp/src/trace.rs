@@ -150,6 +150,9 @@ pub fn run(opts: &TraceOpts) -> Result<(), String> {
         ..Ctx::default()
     };
 
+    let started = std::time::Instant::now();
+    let mut manifest = crate::manifest::Manifest::new(format!("trace --window {}", opts.window));
+    manifest.ctx(&ctx, opts.jobs);
     let mut total_captures = 0usize;
     for (k, scenario) in scenarios.iter().enumerate() {
         if k > 0 {
@@ -172,7 +175,16 @@ pub fn run(opts: &TraceOpts) -> Result<(), String> {
             artifacts.json.display(),
             artifacts.forensics.display()
         );
+        manifest.scenario(scenario.id());
+        manifest
+            .artifact(&artifacts.json)
+            .artifact(&artifacts.forensics);
     }
+    manifest.wall(started.elapsed());
+    let manifest_path = manifest
+        .write(&opts.out)
+        .map_err(|e| format!("cannot write manifest under {}: {e}", opts.out.display()))?;
+    eprintln!("[voltctl-exp] wrote {}", manifest_path.display());
 
     if total_captures < opts.min_captures {
         return Err(format!(

@@ -30,7 +30,10 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
         let doc = Json::parse(&raw).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
 
         assert_eq!(doc.get("bench").and_then(Json::as_str), Some(name));
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_f64),
+            Some(bench::BENCH_SCHEMA as f64)
+        );
         assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
 
         let points = doc
@@ -44,7 +47,7 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
                 p.get("path").and_then(Json::as_str).unwrap_or("?"),
                 p.get("kernel_taps").and_then(Json::as_f64).unwrap_or(-1.0)
             );
-            for field in ["wall_ns", "best_ns", "cycles_per_sec"] {
+            for field in ["wall_ns", "best_ns", "cycles_per_sec", "ns_per_cycle"] {
                 let v = p.get(field);
                 assert!(
                     !v.map(Json::is_null).unwrap_or(true),
@@ -61,7 +64,7 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
         }
     }
 
-    // The loop suite covers all four stepping variants.
+    // The loop suite covers all five stepping variants.
     let loop_raw = std::fs::read_to_string(&paths[1]).unwrap();
     let loop_doc = Json::parse(&loop_raw).unwrap();
     let variants: Vec<&str> = loop_doc
@@ -73,8 +76,31 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
         .collect();
     assert_eq!(
         variants,
-        ["uncontrolled", "controlled", "recorded", "traced"]
+        [
+            "uncontrolled",
+            "controlled",
+            "recorded",
+            "traced",
+            "recorded_trace"
+        ]
     );
+
+    // The baseline directory carries a parseable provenance manifest
+    // naming both artifacts.
+    let manifest_raw = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    let manifest = Json::parse(&manifest_raw).expect("manifest.json parses");
+    for key in ["command", "git", "host", "seeds", "schema_versions"] {
+        assert!(manifest.get(key).is_some(), "manifest missing {key:?}");
+    }
+    let artifacts = manifest
+        .get("artifacts")
+        .and_then(Json::as_arr)
+        .expect("artifacts array");
+    assert_eq!(artifacts.len(), 2);
+    for a in artifacts {
+        let bytes = a.get("bytes").and_then(Json::as_f64).unwrap_or(0.0);
+        assert!(bytes > 0.0, "artifact sizes are captured");
+    }
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

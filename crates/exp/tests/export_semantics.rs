@@ -1,0 +1,104 @@
+//! Export-layer contracts for the SoA recorder pipeline:
+//!
+//! * the never-overwrite writer's `-N` suffix semantics hold for every
+//!   snapshot format (JSONL, CSV, summary text);
+//! * a merged run's exported bytes are identical for any `--jobs` value
+//!   once wall-clock timers are excluded (the byte-level form of the
+//!   engine's determinism contract — structure equality is necessary
+//!   but not sufficient when the exporters format floats).
+
+use std::path::PathBuf;
+
+use voltctl_exp::engine::{run_scenario, Ctx};
+use voltctl_exp::scenarios::find;
+use voltctl_telemetry::export;
+use voltctl_telemetry::{MemoryRecorder, Recorder, Snapshot};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("voltctl-export-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_snapshot() -> Snapshot {
+    let mut rec = MemoryRecorder::new();
+    rec.counter("loop.cycles", 123);
+    rec.value("loop.voltage", 0.987);
+    rec.snapshot()
+}
+
+#[test]
+fn every_format_suffixes_instead_of_overwriting() {
+    let dir = temp_dir("suffix");
+    let snap = sample_snapshot();
+
+    // (writer, first file, suffixed file) per format.
+    let jsonl = |run: &str| export::write_snapshot(&dir, run, &snap, false).unwrap();
+    let csv = |run: &str| export::write_snapshot(&dir, run, &snap, true).unwrap();
+    let summary = |run: &str| export::write_summary(&dir, run, &snap).unwrap();
+
+    type WriteFn<'a> = &'a dyn Fn(&str) -> PathBuf;
+    let cases: [(&str, WriteFn, &str, &str); 3] = [
+        ("j", &jsonl, "j.counters.jsonl", "j.counters-1.jsonl"),
+        ("c", &csv, "c.counters.csv", "c.counters-1.csv"),
+        ("s", &summary, "s.summary.txt", "s.summary-1.txt"),
+    ];
+    for (run, write, first, second) in cases {
+        let a = write(run);
+        assert_eq!(a.file_name().and_then(|f| f.to_str()), Some(first));
+        let b = write(run);
+        assert_eq!(
+            b.file_name().and_then(|f| f.to_str()),
+            Some(second),
+            "{run}: rerun must suffix, not overwrite"
+        );
+        let c = write(run);
+        assert!(
+            c.file_name()
+                .and_then(|f| f.to_str())
+                .unwrap()
+                .contains("-2"),
+            "{run}: third write keeps counting ({c:?})"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap(),
+            "{run}: same snapshot, same bytes"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Exported bytes — not just snapshot structure — must be identical
+/// across worker counts for a real scenario on the SoA recorder.
+/// Wall-clock timers are cleared first: their *values* are wall clock.
+#[test]
+fn merged_export_bytes_are_jobs_invariant() {
+    let ctx = Ctx {
+        smoke: true,
+        telemetry: true,
+        ..Ctx::default()
+    };
+    let scenario = find("fig16_sensor_error").expect("registered scenario");
+
+    let render = |jobs: usize| -> (String, String, String) {
+        let out = run_scenario(scenario, &ctx, jobs);
+        let mut snap = out.telemetry.snapshot();
+        snap.timers.clear();
+        (
+            export::to_jsonl(&snap),
+            export::to_csv(&snap),
+            export::to_summary(scenario.id(), &snap),
+        )
+    };
+
+    let (jsonl1, csv1, summary1) = render(1);
+    assert!(!jsonl1.is_empty(), "smoke run records telemetry");
+    for jobs in [2, 8] {
+        let (jsonl, csv, summary) = render(jobs);
+        assert_eq!(jsonl, jsonl1, "JSONL bytes differ at --jobs {jobs}");
+        assert_eq!(csv, csv1, "CSV bytes differ at --jobs {jobs}");
+        assert_eq!(summary, summary1, "summary bytes differ at --jobs {jobs}");
+    }
+}

@@ -342,6 +342,13 @@ pub fn write_snapshot(dir: &Path, run: &str, snap: &Snapshot, csv: bool) -> io::
     }
 }
 
+/// Writes the human-readable summary as `<run>.summary.txt` under
+/// `dir`, returning the path. Never overwrites an existing export (see
+/// [`write_file_fresh`]).
+pub fn write_summary(dir: &Path, run: &str, snap: &Snapshot) -> io::Result<PathBuf> {
+    write_file_fresh(dir, &format!("{run}.summary.txt"), &to_summary(run, snap))
+}
+
 /// Writes a per-cycle (or per-row) trace as `<run>.<name>.csv`: one
 /// header row, then one row per record. Never overwrites an existing
 /// export (see [`write_file_fresh`]).

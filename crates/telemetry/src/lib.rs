@@ -51,7 +51,7 @@ pub mod stopwatch;
 
 pub use collector::Collector;
 pub use memory::MemoryRecorder;
-pub use recorder::{HistogramData, Level, NullRecorder, Recorder};
+pub use recorder::{HistogramData, Level, MetricId, NullRecorder, Recorder};
 pub use rng::Rng;
 pub use snapshot::{CounterSnapshot, HistogramSnapshot, Snapshot, TimerSnapshot, ValueSnapshot};
 pub use stopwatch::Stopwatch;

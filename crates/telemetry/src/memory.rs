@@ -1,8 +1,34 @@
-//! The in-memory aggregating recorder.
+//! The in-memory aggregating recorder, structure-of-arrays edition.
+//!
+//! # Hot-path layout
+//!
+//! Metric names are interned once into a [`MetricId`] (a dense `u32`);
+//! every channel is then a flat `Vec` indexed by that id:
+//!
+//! * counters — `Vec<u64>`, one add per record;
+//! * timers — `Vec<(count, total_ns)>`, two adds per record;
+//! * value series — a per-metric *pending ring* of raw `f64` samples.
+//!   Recording is a bare `Vec::push` into preallocated capacity; the
+//!   min/max/sum fold and optional histogram bucketing are deferred
+//!   until the ring fills ([`PENDING_CHUNK`] samples), the series is
+//!   merged, or a snapshot is taken. Samples are always folded in
+//!   arrival order, so the deferred aggregation produces bit-identical
+//!   `f64` statistics to the old fold-per-sample recorder.
+//!
+//! The string-keyed [`Recorder`] methods remain (they intern on every
+//! call and are fine for run-level flushes); per-cycle call sites
+//! resolve ids up front via [`Recorder::metric_id`] and use the `*_id`
+//! methods, which cost one bounds-checked index instead of a `BTreeMap`
+//! walk per sample.
 
-use crate::recorder::{HistogramData, Level, Recorder};
+use crate::recorder::{HistogramData, Level, MetricId, Recorder};
 use crate::snapshot::{CounterSnapshot, HistogramSnapshot, Snapshot, TimerSnapshot, ValueSnapshot};
 use std::collections::BTreeMap;
+
+/// Pending-ring capacity per value series: samples buffered before the
+/// deferred min/max/sum/bucket fold runs. Amortizes the fold to a few
+/// tenths of a nanosecond per sample while bounding per-metric memory.
+pub const PENDING_CHUNK: usize = 4096;
 
 #[derive(Debug, Clone, Copy)]
 struct ValueStat {
@@ -37,6 +63,82 @@ impl ValueStat {
     }
 }
 
+fn bucket_sample(h: &mut HistogramData, sample: f64) {
+    if sample < h.lo {
+        h.under += 1;
+    } else if sample >= h.hi {
+        h.over += 1;
+    } else {
+        let bins = h.counts.len();
+        let idx = ((sample - h.lo) / (h.hi - h.lo) * bins as f64) as usize;
+        h.counts[idx.min(bins - 1)] += 1;
+    }
+}
+
+/// One value series: the pending sample ring plus the folded statistics
+/// and optional attached histogram.
+#[derive(Debug, Clone)]
+struct ValueSeries {
+    pending: Vec<f64>,
+    stat: ValueStat,
+    bucket: Option<HistogramData>,
+}
+
+impl ValueSeries {
+    fn new() -> ValueSeries {
+        ValueSeries {
+            pending: Vec::new(),
+            stat: ValueStat::new(),
+            bucket: None,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, sample: f64) {
+        if self.pending.capacity() == 0 {
+            self.pending.reserve_exact(PENDING_CHUNK);
+        }
+        self.pending.push(sample);
+        if self.pending.len() >= PENDING_CHUNK {
+            self.drain();
+        }
+    }
+
+    /// Folds the pending ring into the running statistics (and histogram
+    /// when attached), in arrival order.
+    fn drain(&mut self) {
+        for &sample in &self.pending {
+            self.stat.push(sample);
+        }
+        if let Some(h) = &mut self.bucket {
+            for &sample in &self.pending {
+                bucket_sample(h, sample);
+            }
+        }
+        self.pending.clear();
+    }
+
+    /// The folded statistics *as if* the ring were drained, without
+    /// mutating (for `&self` snapshots).
+    fn effective_stat(&self) -> ValueStat {
+        let mut stat = self.stat;
+        for &sample in &self.pending {
+            stat.push(sample);
+        }
+        stat
+    }
+
+    /// The attached histogram with pending samples folded in, without
+    /// mutating.
+    fn effective_bucket(&self) -> Option<HistogramData> {
+        let mut h = self.bucket.clone()?;
+        for &sample in &self.pending {
+            bucket_sample(&mut h, sample);
+        }
+        Some(h)
+    }
+}
+
 /// A recorded discrete event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordedEvent {
@@ -57,11 +159,23 @@ pub struct RecordedEvent {
 /// [`register_histogram`]: MemoryRecorder::register_histogram
 #[derive(Debug, Clone, Default)]
 pub struct MemoryRecorder {
-    counters: BTreeMap<&'static str, u64>,
-    values: BTreeMap<&'static str, ValueStat>,
-    timers: BTreeMap<&'static str, (u64, u64)>,
-    histograms: BTreeMap<&'static str, HistogramData>,
-    bucketed: BTreeMap<&'static str, HistogramData>,
+    /// `name -> id`; also the sorted iteration order for snapshots.
+    index: BTreeMap<&'static str, u32>,
+    /// `id -> name`.
+    names: Vec<&'static str>,
+    /// Counter channel, id-indexed; the parallel `bool` marks slots a
+    /// counter was actually recorded into (an interned name does not by
+    /// itself create a counter).
+    counters: Vec<u64>,
+    counters_used: Vec<bool>,
+    /// Timer channel, id-indexed `(span count, total ns)`.
+    timers: Vec<(u64, u64)>,
+    timers_used: Vec<bool>,
+    /// Value channel, id-indexed.
+    values: Vec<ValueSeries>,
+    /// Wholesale pre-aggregated histograms ([`Recorder::histogram`]),
+    /// id-indexed.
+    histograms: Vec<Option<HistogramData>>,
     events: Vec<RecordedEvent>,
     echo_warnings: bool,
 }
@@ -79,9 +193,28 @@ impl MemoryRecorder {
         self
     }
 
+    /// Interns `name`, growing every channel's flat storage in lockstep.
+    fn intern(&mut self, name: &'static str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.index.insert(name, id);
+        self.names.push(name);
+        self.counters.push(0);
+        self.counters_used.push(false);
+        self.timers.push((0, 0));
+        self.timers_used.push(false);
+        self.values.push(ValueSeries::new());
+        self.histograms.push(None);
+        id
+    }
+
     /// Attaches a fixed-bin histogram to the value series `name`: every
     /// later [`Recorder::value`] sample for that series is also bucketed
-    /// into `bins` equal bins spanning `[lo, hi)`.
+    /// into `bins` equal bins spanning `[lo, hi)`. Samples recorded
+    /// *before* the registration keep their statistics but are not
+    /// retroactively bucketed.
     ///
     /// # Panics
     ///
@@ -89,16 +222,18 @@ impl MemoryRecorder {
     pub fn register_histogram(&mut self, name: &'static str, lo: f64, hi: f64, bins: usize) {
         assert!(lo < hi, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
-        self.bucketed.insert(
-            name,
-            HistogramData {
-                lo,
-                hi,
-                counts: vec![0; bins],
-                under: 0,
-                over: 0,
-            },
-        );
+        let id = self.intern(name) as usize;
+        let series = &mut self.values[id];
+        // Earlier samples predate the bucket: fold them first so they
+        // land in the statistics only.
+        series.drain();
+        series.bucket = Some(HistogramData {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            under: 0,
+            over: 0,
+        });
     }
 
     /// The events recorded so far, in arrival order.
@@ -111,84 +246,102 @@ impl MemoryRecorder {
     /// shapes match, otherwise the other's replaces this one's; events
     /// append).
     pub fn merge(&mut self, other: &MemoryRecorder) {
-        for (name, v) in &other.counters {
-            *self.counters.entry(name).or_insert(0) += v;
+        // Fold our own pending samples first so the combined sums keep
+        // strict arrival order: everything recorded here so far, then the
+        // other recorder's totals.
+        for series in &mut self.values {
+            series.drain();
         }
-        for (name, v) in &other.values {
-            self.values
-                .entry(name)
-                .or_insert_with(ValueStat::new)
-                .merge(v);
-        }
-        for (name, (count, ns)) in &other.timers {
-            let slot = self.timers.entry(name).or_insert((0, 0));
-            slot.0 += count;
-            slot.1 += ns;
-        }
-        for (name, h) in other.histograms.iter().chain(&other.bucketed) {
-            merge_histogram(&mut self.histograms, name, h);
+        for (&name, &oid) in &other.index {
+            let oid = oid as usize;
+            let id = self.intern(name) as usize;
+            if other.counters_used[oid] {
+                self.counters[id] += other.counters[oid];
+                self.counters_used[id] = true;
+            }
+            if other.timers_used[oid] {
+                self.timers[id].0 += other.timers[oid].0;
+                self.timers[id].1 += other.timers[oid].1;
+                self.timers_used[id] = true;
+            }
+            let oseries = &other.values[oid];
+            let ostat = oseries.effective_stat();
+            if ostat.count > 0 {
+                self.values[id].stat.merge(&ostat);
+            }
+            // Wholesale histograms first, then the other's bucketed one —
+            // same shapes add bin-wise, a different shape replaces.
+            if let Some(h) = &other.histograms[oid] {
+                merge_histogram(&mut self.histograms[id], h);
+            }
+            if let Some(h) = oseries.effective_bucket() {
+                merge_histogram(&mut self.histograms[id], &h);
+            }
         }
         self.events.extend(other.events.iter().cloned());
     }
 
-    /// Produces the plain-data view for export.
+    /// Produces the plain-data view for export (names sorted).
     pub fn snapshot(&self) -> Snapshot {
-        let mut histograms: BTreeMap<&'static str, HistogramData> = self.histograms.clone();
-        for (name, h) in &self.bucketed {
-            if h.total() > 0 {
-                merge_histogram(&mut histograms, name, h);
+        let mut counters = Vec::new();
+        let mut values = Vec::new();
+        let mut timers = Vec::new();
+        let mut histograms = Vec::new();
+        for (&name, &id) in &self.index {
+            let id = id as usize;
+            if self.counters_used[id] {
+                counters.push(CounterSnapshot {
+                    name: name.to_string(),
+                    value: self.counters[id],
+                });
             }
-        }
-        Snapshot {
-            counters: self
-                .counters
-                .iter()
-                .map(|(&name, &value)| CounterSnapshot {
+            let series = &self.values[id];
+            let stat = series.effective_stat();
+            if stat.count > 0 {
+                values.push(ValueSnapshot {
                     name: name.to_string(),
-                    value,
-                })
-                .collect(),
-            values: self
-                .values
-                .iter()
-                .map(|(&name, v)| ValueSnapshot {
-                    name: name.to_string(),
-                    count: v.count,
-                    sum: v.sum,
-                    min: v.min,
-                    max: v.max,
-                })
-                .collect(),
-            timers: self
-                .timers
-                .iter()
-                .map(|(&name, &(count, total_ns))| TimerSnapshot {
+                    count: stat.count,
+                    sum: stat.sum,
+                    min: stat.min,
+                    max: stat.max,
+                });
+            }
+            if self.timers_used[id] {
+                let (count, total_ns) = self.timers[id];
+                timers.push(TimerSnapshot {
                     name: name.to_string(),
                     count,
                     total_ns,
-                })
-                .collect(),
-            histograms: histograms
-                .iter()
-                .map(|(&name, h)| HistogramSnapshot {
+                });
+            }
+            let mut effective = self.histograms[id].clone();
+            if let Some(bucket) = series.effective_bucket() {
+                if bucket.total() > 0 {
+                    merge_histogram(&mut effective, &bucket);
+                }
+            }
+            if let Some(h) = effective {
+                histograms.push(HistogramSnapshot {
                     name: name.to_string(),
                     lo: h.lo,
                     hi: h.hi,
-                    counts: h.counts.clone(),
+                    counts: h.counts,
                     under: h.under,
                     over: h.over,
-                })
-                .collect(),
+                });
+            }
+        }
+        Snapshot {
+            counters,
+            values,
+            timers,
+            histograms,
         }
     }
 }
 
-fn merge_histogram(
-    into: &mut BTreeMap<&'static str, HistogramData>,
-    name: &'static str,
-    h: &HistogramData,
-) {
-    match into.get_mut(name) {
+fn merge_histogram(into: &mut Option<HistogramData>, h: &HistogramData) {
+    match into {
         Some(existing)
             if existing.counts.len() == h.counts.len()
                 && existing.lo == h.lo
@@ -201,44 +354,56 @@ fn merge_histogram(
             existing.over += h.over;
         }
         _ => {
-            into.insert(name, h.clone());
+            *into = Some(h.clone());
         }
     }
 }
 
 impl Recorder for MemoryRecorder {
+    fn metric_id(&mut self, name: &'static str) -> MetricId {
+        MetricId(self.intern(name))
+    }
+
     fn counter(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+        let id = self.intern(name);
+        self.counter_id(MetricId(id), delta);
+    }
+
+    #[inline]
+    fn counter_id(&mut self, id: MetricId, delta: u64) {
+        let i = id.0 as usize;
+        self.counters[i] += delta;
+        self.counters_used[i] = true;
     }
 
     fn value(&mut self, name: &'static str, sample: f64) {
-        self.values
-            .entry(name)
-            .or_insert_with(ValueStat::new)
-            .push(sample);
-        if let Some(h) = self.bucketed.get_mut(name) {
-            if sample < h.lo {
-                h.under += 1;
-            } else if sample >= h.hi {
-                h.over += 1;
-            } else {
-                let bins = h.counts.len();
-                let idx = ((sample - h.lo) / (h.hi - h.lo) * bins as f64) as usize;
-                h.counts[idx.min(bins - 1)] += 1;
-            }
-        }
+        let id = self.intern(name);
+        self.value_id(MetricId(id), sample);
+    }
+
+    #[inline]
+    fn value_id(&mut self, id: MetricId, sample: f64) {
+        self.values[id.0 as usize].push(sample);
     }
 
     fn timer_ns(&mut self, name: &'static str, nanos: u64) {
-        let slot = self.timers.entry(name).or_insert((0, 0));
-        slot.0 += 1;
-        slot.1 += nanos;
+        let id = self.intern(name);
+        self.timer_id(MetricId(id), nanos);
+    }
+
+    #[inline]
+    fn timer_id(&mut self, id: MetricId, nanos: u64) {
+        let i = id.0 as usize;
+        self.timers[i].0 += 1;
+        self.timers[i].1 += nanos;
+        self.timers_used[i] = true;
     }
 
     fn histogram(&mut self, name: &'static str, data: HistogramData) {
         // Accumulate, matching `merge` semantics: same-shape histograms
         // add bin-wise, a different shape replaces.
-        merge_histogram(&mut self.histograms, name, &data);
+        let id = self.intern(name) as usize;
+        merge_histogram(&mut self.histograms[id], &data);
     }
 
     fn event(&mut self, level: Level, topic: &'static str, message: &str) {
@@ -299,6 +464,17 @@ mod tests {
     }
 
     #[test]
+    fn samples_before_registration_are_not_bucketed() {
+        let mut r = MemoryRecorder::new();
+        r.value("v", 0.5);
+        r.register_histogram("v", 0.0, 1.0, 2);
+        r.value("v", 0.5);
+        let s = r.snapshot();
+        assert_eq!(s.value("v").unwrap().count, 2, "stats keep every sample");
+        assert_eq!(s.histogram("v").unwrap().total(), 1, "bucket starts late");
+    }
+
+    #[test]
     fn timers_accumulate_spans() {
         let mut r = MemoryRecorder::new();
         r.timer_ns("t", 100);
@@ -308,6 +484,45 @@ mod tests {
         assert_eq!(t.count, 2);
         assert_eq!(t.total_ns, 400);
         assert!((t.mean_ns() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn id_path_matches_name_path_exactly() {
+        let mut by_name = MemoryRecorder::new();
+        let mut by_id = MemoryRecorder::new();
+        by_id.register_histogram("v", 0.0, 1.0, 4);
+        by_name.register_histogram("v", 0.0, 1.0, 4);
+        let v = by_id.metric_id("v");
+        let c = by_id.metric_id("c");
+        let t = by_id.metric_id("t");
+        assert_eq!(by_id.metric_id("v"), v, "interning is idempotent");
+        let mut x = 0.9_f64;
+        for i in 0..10_000u64 {
+            x = (x * 1.3).fract();
+            by_name.value("v", x);
+            by_name.counter("c", i & 3);
+            by_name.timer_ns("t", i);
+            by_id.value_id(v, x);
+            by_id.counter_id(c, i & 3);
+            by_id.timer_id(t, i);
+        }
+        assert_eq!(by_name.snapshot(), by_id.snapshot());
+    }
+
+    #[test]
+    fn pending_ring_drains_across_chunk_boundary() {
+        let mut r = MemoryRecorder::new();
+        let id = r.metric_id("v");
+        let n = (PENDING_CHUNK * 2 + 17) as u64;
+        for i in 0..n {
+            r.value_id(id, i as f64);
+        }
+        let s = r.snapshot();
+        let v = s.value("v").unwrap();
+        assert_eq!(v.count, n);
+        assert_eq!(v.min, 0.0);
+        assert_eq!(v.max, (n - 1) as f64);
+        assert_eq!(v.sum, (n * (n - 1) / 2) as f64);
     }
 
     #[test]
@@ -348,6 +563,25 @@ mod tests {
         let got = s.histogram("h").unwrap();
         assert_eq!(got.counts, vec![3, 5]);
         assert_eq!(got.over, 2);
+    }
+
+    #[test]
+    fn merge_folds_pending_samples_from_both_sides() {
+        let mut a = MemoryRecorder::new();
+        let mut b = MemoryRecorder::new();
+        b.register_histogram("v", 0.0, 1.0, 2);
+        let ia = a.metric_id("v");
+        let ib = b.metric_id("v");
+        for i in 0..100 {
+            a.value_id(ia, i as f64 / 100.0);
+            b.value_id(ib, i as f64 / 100.0);
+        }
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.value("v").unwrap().count, 200, "pending samples survive");
+        assert_eq!(s.histogram("v").unwrap().total(), 100);
+        // `b` itself is untouched.
+        assert_eq!(b.snapshot().value("v").unwrap().count, 100);
     }
 
     #[test]

@@ -49,20 +49,50 @@ impl HistogramData {
     }
 }
 
+/// A pre-resolved handle to one metric name.
+///
+/// Hot paths that record the same metric millions of times resolve the
+/// name to an id once (via [`Recorder::metric_id`], typically at loop
+/// setup) and then record through the `*_id` methods, which index flat
+/// storage directly instead of re-hashing the name per sample.
+///
+/// Ids are only meaningful for the recorder that issued them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct MetricId(pub u32);
+
 /// A sink for counters, sampled values, timers, histograms, and events.
 ///
 /// All methods default to no-ops so implementors opt into exactly the
 /// channels they aggregate; `ENABLED` lets generic call sites skip
 /// argument construction entirely.
+///
+/// The `*_id` methods are the zero-lookup hot-path variants: callers
+/// resolve a [`MetricId`] once with [`metric_id`] and record through it.
+/// They also default to no-ops, so implementors that want to observe
+/// id-recorded streams (as the closed loop emits) must implement them.
+///
+/// [`metric_id`]: Recorder::metric_id
 pub trait Recorder {
     /// Whether this recorder observes anything at all. Generic hot paths
     /// guard expensive instrumentation (e.g. `Instant::now`) behind this
     /// constant so the disabled case folds away at compile time.
     const ENABLED: bool = true;
 
+    /// Resolves `name` to a stable [`MetricId`] for the `*_id` methods.
+    /// The default returns a dummy id (matching the no-op defaults).
+    fn metric_id(&mut self, name: &'static str) -> MetricId {
+        let _ = name;
+        MetricId::default()
+    }
+
     /// Adds `delta` to the monotonic counter `name`.
     fn counter(&mut self, name: &'static str, delta: u64) {
         let _ = (name, delta);
+    }
+
+    /// Id-resolved variant of [`counter`](Recorder::counter).
+    fn counter_id(&mut self, id: MetricId, delta: u64) {
+        let _ = (id, delta);
     }
 
     /// Records one sample of the value series `name`.
@@ -70,9 +100,19 @@ pub trait Recorder {
         let _ = (name, sample);
     }
 
+    /// Id-resolved variant of [`value`](Recorder::value).
+    fn value_id(&mut self, id: MetricId, sample: f64) {
+        let _ = (id, sample);
+    }
+
     /// Adds `nanos` of wall-clock time to the timer `name`.
     fn timer_ns(&mut self, name: &'static str, nanos: u64) {
         let _ = (name, nanos);
+    }
+
+    /// Id-resolved variant of [`timer_ns`](Recorder::timer_ns).
+    fn timer_id(&mut self, id: MetricId, nanos: u64) {
+        let _ = (id, nanos);
     }
 
     /// Stores a pre-aggregated histogram under `name` (replacing any
@@ -99,16 +139,32 @@ impl Recorder for NullRecorder {
 impl<R: Recorder + ?Sized> Recorder for &mut R {
     const ENABLED: bool = R::ENABLED;
 
+    fn metric_id(&mut self, name: &'static str) -> MetricId {
+        (**self).metric_id(name)
+    }
+
     fn counter(&mut self, name: &'static str, delta: u64) {
         (**self).counter(name, delta);
+    }
+
+    fn counter_id(&mut self, id: MetricId, delta: u64) {
+        (**self).counter_id(id, delta);
     }
 
     fn value(&mut self, name: &'static str, sample: f64) {
         (**self).value(name, sample);
     }
 
+    fn value_id(&mut self, id: MetricId, sample: f64) {
+        (**self).value_id(id, sample);
+    }
+
     fn timer_ns(&mut self, name: &'static str, nanos: u64) {
         (**self).timer_ns(name, nanos);
+    }
+
+    fn timer_id(&mut self, id: MetricId, nanos: u64) {
+        (**self).timer_id(id, nanos);
     }
 
     fn histogram(&mut self, name: &'static str, data: HistogramData) {
@@ -136,6 +192,11 @@ mod tests {
         r.value("b", 2.0);
         r.timer_ns("c", 3);
         r.event(Level::Warn, "d", "e");
+        let id = r.metric_id("a");
+        assert_eq!(id, MetricId::default(), "null ids are dummies");
+        r.counter_id(id, 1);
+        r.value_id(id, 2.0);
+        r.timer_id(id, 3);
         r.histogram(
             "h",
             HistogramData {

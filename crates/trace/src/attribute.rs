@@ -64,6 +64,19 @@ impl Cause {
         }
     }
 
+    /// Telemetry counter name for this class (`trace.cause.<label>`),
+    /// used when a traced run folds its [`CauseCounts`] into the
+    /// exported telemetry snapshot.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            Cause::ControllerInduced => "trace.cause.controller-induced",
+            Cause::ResonantTrain => "trace.cause.resonant-train",
+            Cause::FlushDip => "trace.cause.flush-dip",
+            Cause::StallThenSurge => "trace.cause.stall-then-surge",
+            Cause::LoadSwing => "trace.cause.load-swing",
+        }
+    }
+
     /// Canonical index (position in [`Cause::ALL`]).
     pub fn index(self) -> usize {
         match self {
