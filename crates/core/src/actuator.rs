@@ -262,6 +262,41 @@ impl AsymmetricActuator {
     }
 }
 
+impl voltctl_snap::Pack for ActuationScope {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        let idx = ActuationScope::all()
+            .iter()
+            .position(|s| s == self)
+            .expect("every scope is in all()");
+        w.put_u8(idx as u8);
+    }
+}
+
+impl voltctl_snap::Unpack for ActuationScope {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let idx = r.get_u8()? as usize;
+        ActuationScope::all().get(idx).copied().ok_or_else(|| {
+            voltctl_snap::SnapError::Corrupt(format!("invalid actuation scope tag {idx}"))
+        })
+    }
+}
+
+impl voltctl_snap::Pack for AsymmetricActuator {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.reduce.pack(w);
+        self.increase.pack(w);
+    }
+}
+
+impl voltctl_snap::Unpack for AsymmetricActuator {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(AsymmetricActuator {
+            reduce: voltctl_snap::Unpack::unpack(r)?,
+            increase: voltctl_snap::Unpack::unpack(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,6 +90,64 @@ impl ThresholdController {
     }
 }
 
+impl voltctl_snap::Pack for ControlAction {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(match self {
+            ControlAction::None => 0,
+            ControlAction::ReduceCurrent => 1,
+            ControlAction::IncreaseCurrent => 2,
+        });
+    }
+}
+
+impl voltctl_snap::Unpack for ControlAction {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(ControlAction::None),
+            1 => Ok(ControlAction::ReduceCurrent),
+            2 => Ok(ControlAction::IncreaseCurrent),
+            k => Err(voltctl_snap::SnapError::Corrupt(format!(
+                "invalid control action tag {k}"
+            ))),
+        }
+    }
+}
+
+impl voltctl_snap::Pack for ThresholdController {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.last.pack(w);
+        w.put_u64(self.reduce_cycles);
+        w.put_u64(self.increase_cycles);
+        w.put_u64(self.reduce_events);
+        w.put_u64(self.increase_events);
+    }
+}
+
+impl voltctl_snap::Unpack for ThresholdController {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let last = voltctl_snap::Unpack::unpack(r)?;
+        let reduce_cycles = r.get_u64()?;
+        let increase_cycles = r.get_u64()?;
+        let reduce_events = r.get_u64()?;
+        let increase_events = r.get_u64()?;
+        // Every distinct intervention spans at least one cycle.
+        if reduce_events > reduce_cycles || increase_events > increase_cycles {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "controller event counts exceed cycle counts: \
+                 {reduce_events}/{reduce_cycles} reduce, \
+                 {increase_events}/{increase_cycles} increase"
+            )));
+        }
+        Ok(ThresholdController {
+            last,
+            reduce_cycles,
+            increase_cycles,
+            reduce_events,
+            increase_events,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

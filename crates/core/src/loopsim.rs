@@ -41,6 +41,7 @@ use voltctl_isa::Program;
 use voltctl_pdn::emergency::VoltageBand;
 use voltctl_pdn::{EmergencyReport, PdnModel, PdnState, VoltageHistogram, VoltageMonitor};
 use voltctl_power::{EnergyAccumulator, PowerModel};
+use voltctl_snap::{Pack, SnapError, SnapshotKind, SnapshotReader, SnapshotWriter, Unpack};
 use voltctl_telemetry::{MetricId, NullRecorder, Recorder, Stopwatch};
 use voltctl_trace::{events, CycleRecord, NullTracer, SensorBand, SupplyBand, Tracer};
 
@@ -92,6 +93,53 @@ pub struct LoopSample {
     /// Whether the actuator was phantom-firing this cycle.
     pub increasing: bool,
 }
+
+impl voltctl_snap::Pack for LoopSample {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_f64(self.current);
+        w.put_f64(self.voltage);
+        w.put_bool(self.reducing);
+        w.put_bool(self.increasing);
+    }
+}
+
+impl voltctl_snap::Unpack for LoopSample {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, SnapError> {
+        Ok(LoopSample {
+            current: r.get_f64()?,
+            voltage: r.get_f64()?,
+            reducing: r.get_bool()?,
+            increasing: r.get_bool()?,
+        })
+    }
+}
+
+/// Section tags of the [`SnapshotKind::Loop`] container written by
+/// [`ControlLoop::save`]. Every section is at schema version
+/// [`LOOP_SECTION_VERSION`]; unknown tags are skipped on read so future
+/// versions can append sections without breaking old readers.
+mod section {
+    /// Nominal voltage, power-model fingerprint, band cycle counters.
+    pub const META: u16 = 1;
+    /// Full microarchitectural CPU state (self-validating against the
+    /// program digest and machine-configuration fingerprint).
+    pub const CPU: u16 = 2;
+    /// The discretized supply network mid-transient.
+    pub const PDN: u16 = 3;
+    /// The threshold sensor (delay pipeline + noise RNG), if controlled.
+    pub const SENSOR: u16 = 4;
+    /// The threshold controller FSM and its intervention counters.
+    pub const CONTROLLER: u16 = 5;
+    /// The actuation scopes in effect.
+    pub const ACTUATOR: u16 = 6;
+    /// Voltage monitor, histogram, and energy accumulator.
+    pub const MONITOR: u16 = 7;
+    /// The recorded per-cycle sample trace, when enabled.
+    pub const TRACE: u16 = 8;
+}
+
+/// Schema version of every loop-snapshot section this build writes.
+pub const LOOP_SECTION_VERSION: u16 = 1;
 
 /// Builder for [`ControlLoop`].
 #[derive(Debug)]
@@ -256,6 +304,39 @@ impl<R: Recorder, T: Tracer> ControlLoopBuilder<R, T> {
             cycles_in_high: 0,
         })
     }
+
+    /// Builds the loop and restores it to the state captured by
+    /// [`ControlLoop::save`], so stepping continues bit-for-bit where the
+    /// saved run left off.
+    ///
+    /// The builder supplies everything a snapshot deliberately does not
+    /// carry — the program, the machine configuration, the power model,
+    /// and the attached observers — and those must match the producing
+    /// run: the snapshot embeds the program digest and configuration
+    /// fingerprints and restoration fails on any mismatch. Everything
+    /// else (pipeline state, supply transient, sensor pipeline and noise
+    /// RNG, controller counters, actuation scopes, monitor/histogram/
+    /// energy aggregates, the recorded sample trace) comes from the
+    /// snapshot, replacing whatever the builder configured.
+    ///
+    /// Restoration is atomic: the snapshot is fully decoded and validated
+    /// before any loop state is touched, so an error never leaves a
+    /// half-restored loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Infeasible`] when the builder itself is infeasible,
+    /// when the bytes are not a loop snapshot (wrong magic, kind, version,
+    /// truncation, corruption), or when the snapshot was taken under a
+    /// different program, machine configuration, power model, or
+    /// control-enablement than this builder specifies.
+    pub fn restore(self, bytes: &[u8]) -> Result<ControlLoop<R, T>, ControlError> {
+        let program = self.program.clone();
+        let cpu_config = self.cpu_config.clone();
+        let mut sim = self.build()?;
+        sim.apply_snapshot(cpu_config, &program, bytes)?;
+        Ok(sim)
+    }
 }
 
 /// The closed-loop simulator.
@@ -338,6 +419,13 @@ impl ControlLoop {
             tracer: NullTracer,
         }
     }
+}
+
+/// Fingerprint of a power model's full parameterization, embedded in loop
+/// snapshots so restoration detects a rebuild under different power
+/// assumptions (which would silently change every current sample).
+fn power_fingerprint(power: &PowerModel) -> u64 {
+    voltctl_snap::fnv1a(format!("{power:?}").as_bytes())
 }
 
 /// Maps the monitor's ground-truth band into the trace vocabulary.
@@ -474,21 +562,34 @@ impl<R: Recorder, T: Tracer> ControlLoop<R, T> {
         sample
     }
 
+    /// Advances up to `budget` cycles, stopping early when the program
+    /// finishes, and returns how many cycles actually ran.
+    ///
+    /// This is the resumable execution primitive: run a slice, ask
+    /// [`done`](Self::done), [`save`](Self::save) at any boundary, and a
+    /// loop restored from that snapshot continues the remaining slices
+    /// bit-for-bit. When trace recording is on, the sample buffer is
+    /// reserved up front (capped at 2^22 samples per call for
+    /// pathological budgets) so the hot loop never reallocates mid-run.
+    pub fn step_n(&mut self, budget: u64) -> u64 {
+        if let Some(trace) = &mut self.trace {
+            trace.reserve(budget.min(1 << 22) as usize);
+        }
+        let mut stepped = 0;
+        while stepped < budget && !self.cpu.done() {
+            self.step();
+            stepped += 1;
+        }
+        stepped
+    }
+
     /// Runs `cycles` cycles (stops early if the program finishes).
     ///
-    /// When trace recording is on, the sample buffer is reserved up front
-    /// (capped at 2^22 samples per call for pathological budgets) so the
-    /// hot loop never reallocates mid-run.
+    /// Compatibility alias for [`step_n`](Self::step_n), kept so existing
+    /// scenario code keeps compiling; it discards the stepped-cycle count.
+    /// New code that runs in resumable slices should call `step_n`.
     pub fn run(&mut self, cycles: u64) {
-        if let Some(trace) = &mut self.trace {
-            trace.reserve(cycles.min(1 << 22) as usize);
-        }
-        for _ in 0..cycles {
-            if self.cpu.done() {
-                break;
-            }
-            self.step();
-        }
+        self.step_n(cycles);
     }
 
     /// Whether the program has finished and drained.
@@ -593,6 +694,169 @@ impl<R: Recorder, T: Tracer> ControlLoop<R, T> {
         self.histogram.record_telemetry(rec, "loop.voltage_hist");
         self.cpu.stats().record_telemetry(rec);
         self.energy.record_telemetry(rec);
+    }
+
+    /// Serializes the loop's complete simulation state into a versioned
+    /// [`SnapshotKind::Loop`] container.
+    ///
+    /// The snapshot captures everything that evolves as the loop steps —
+    /// CPU microarchitectural state, the supply transient, the sensor's
+    /// delay pipeline and noise RNG, controller counters, actuation
+    /// scopes, monitor/histogram/energy aggregates, and the recorded
+    /// sample trace — so [`ControlLoopBuilder::restore`] resumes
+    /// bit-for-bit. Static inputs (program, machine configuration, power
+    /// model) are *not* stored; they are fingerprinted so restoration can
+    /// verify the rebuilt loop matches, and the observers (recorder,
+    /// tracer) stay outside: both [`MemoryRecorder`] and
+    /// [`FlightRecorder`](voltctl_trace::FlightRecorder) implement
+    /// [`Pack`] themselves, so callers checkpoint them alongside.
+    ///
+    /// [`MemoryRecorder`]: voltctl_telemetry::MemoryRecorder
+    pub fn save(&self) -> Vec<u8> {
+        let mut snap = SnapshotWriter::new(SnapshotKind::Loop);
+
+        let mut w = voltctl_snap::ByteWriter::new();
+        w.put_f64(self.v_nominal);
+        w.put_u64(power_fingerprint(&self.power));
+        w.put_u64(self.cycles_in_low);
+        w.put_u64(self.cycles_in_normal);
+        w.put_u64(self.cycles_in_high);
+        snap.section(section::META, LOOP_SECTION_VERSION, w);
+
+        let mut w = voltctl_snap::ByteWriter::new();
+        self.cpu.pack_state(&mut w);
+        snap.section(section::CPU, LOOP_SECTION_VERSION, w);
+
+        let mut w = voltctl_snap::ByteWriter::new();
+        self.pdn_state.pack(&mut w);
+        snap.section(section::PDN, LOOP_SECTION_VERSION, w);
+
+        let mut w = voltctl_snap::ByteWriter::new();
+        self.sensor.pack(&mut w);
+        snap.section(section::SENSOR, LOOP_SECTION_VERSION, w);
+
+        let mut w = voltctl_snap::ByteWriter::new();
+        self.controller.pack(&mut w);
+        snap.section(section::CONTROLLER, LOOP_SECTION_VERSION, w);
+
+        let mut w = voltctl_snap::ByteWriter::new();
+        self.actuator.pack(&mut w);
+        snap.section(section::ACTUATOR, LOOP_SECTION_VERSION, w);
+
+        let mut w = voltctl_snap::ByteWriter::new();
+        self.monitor.pack(&mut w);
+        self.histogram.pack(&mut w);
+        self.energy.pack(&mut w);
+        snap.section(section::MONITOR, LOOP_SECTION_VERSION, w);
+
+        let mut w = voltctl_snap::ByteWriter::new();
+        self.trace.pack(&mut w);
+        snap.section(section::TRACE, LOOP_SECTION_VERSION, w);
+
+        snap.finish()
+    }
+
+    /// Decodes a loop snapshot and swaps it in. Two-phase: every section
+    /// is decoded and validated into locals first, then the loop's fields
+    /// are replaced together, so a failure cannot leave mixed state.
+    fn apply_snapshot(
+        &mut self,
+        config: CpuConfig,
+        program: &Program,
+        bytes: &[u8],
+    ) -> Result<(), ControlError> {
+        let snap_err = |e: SnapError| ControlError::Infeasible(format!("snapshot: {e}"));
+        let reader = SnapshotReader::parse(bytes).map_err(snap_err)?;
+        if reader.kind() != SnapshotKind::Loop {
+            return Err(ControlError::Infeasible(format!(
+                "expected a loop snapshot, found a {} snapshot",
+                reader.kind().name()
+            )));
+        }
+        let section_reader = |tag: u16, what: &'static str| {
+            let sec = reader.require(tag, what).map_err(snap_err)?;
+            if sec.version != LOOP_SECTION_VERSION {
+                return Err(snap_err(SnapError::UnsupportedVersion {
+                    what,
+                    found: u32::from(sec.version),
+                    supported: u32::from(LOOP_SECTION_VERSION),
+                }));
+            }
+            Ok(sec.reader())
+        };
+
+        let mut r = section_reader(section::META, "loop metadata")?;
+        let v_nominal = r.get_f64().map_err(snap_err)?;
+        let power_fp = r.get_u64().map_err(snap_err)?;
+        let cycles_in_low = r.get_u64().map_err(snap_err)?;
+        let cycles_in_normal = r.get_u64().map_err(snap_err)?;
+        let cycles_in_high = r.get_u64().map_err(snap_err)?;
+        r.expect_end("loop metadata").map_err(snap_err)?;
+        if power_fp != power_fingerprint(&self.power) {
+            return Err(ControlError::Infeasible(
+                "snapshot was taken with a different power model".into(),
+            ));
+        }
+
+        let mut r = section_reader(section::CPU, "cpu state")?;
+        let cpu = Cpu::unpack_state(config, program, &mut r).map_err(snap_err)?;
+        r.expect_end("cpu state").map_err(snap_err)?;
+
+        let mut r = section_reader(section::PDN, "supply state")?;
+        let pdn_state = PdnState::unpack(&mut r).map_err(snap_err)?;
+        r.expect_end("supply state").map_err(snap_err)?;
+
+        let mut r = section_reader(section::SENSOR, "sensor state")?;
+        let sensor: Option<ThresholdSensor> = Unpack::unpack(&mut r).map_err(snap_err)?;
+        r.expect_end("sensor state").map_err(snap_err)?;
+        if sensor.is_some() != self.sensor.is_some() {
+            return Err(ControlError::Infeasible(format!(
+                "snapshot is of {} run but the builder configured {}",
+                if sensor.is_some() {
+                    "a controlled"
+                } else {
+                    "an uncontrolled"
+                },
+                if self.sensor.is_some() {
+                    "control thresholds"
+                } else {
+                    "no control"
+                },
+            )));
+        }
+
+        let mut r = section_reader(section::CONTROLLER, "controller state")?;
+        let controller = ThresholdController::unpack(&mut r).map_err(snap_err)?;
+        r.expect_end("controller state").map_err(snap_err)?;
+
+        let mut r = section_reader(section::ACTUATOR, "actuator state")?;
+        let actuator = AsymmetricActuator::unpack(&mut r).map_err(snap_err)?;
+        r.expect_end("actuator state").map_err(snap_err)?;
+
+        let mut r = section_reader(section::MONITOR, "monitor state")?;
+        let monitor = VoltageMonitor::unpack(&mut r).map_err(snap_err)?;
+        let histogram = VoltageHistogram::unpack(&mut r).map_err(snap_err)?;
+        let energy = EnergyAccumulator::unpack(&mut r).map_err(snap_err)?;
+        r.expect_end("monitor state").map_err(snap_err)?;
+
+        let mut r = section_reader(section::TRACE, "sample trace")?;
+        let trace: Option<Vec<LoopSample>> = Unpack::unpack(&mut r).map_err(snap_err)?;
+        r.expect_end("sample trace").map_err(snap_err)?;
+
+        self.cpu = cpu;
+        self.pdn_state = pdn_state;
+        self.v_nominal = v_nominal;
+        self.sensor = sensor;
+        self.controller = controller;
+        self.actuator = actuator;
+        self.monitor = monitor;
+        self.histogram = histogram;
+        self.energy = energy;
+        self.trace = trace;
+        self.cycles_in_low = cycles_in_low;
+        self.cycles_in_normal = cycles_in_normal;
+        self.cycles_in_high = cycles_in_high;
+        Ok(())
     }
 
     /// Digest of the CPU's architectural state, to verify control does not
@@ -928,6 +1192,239 @@ mod tests {
         let normal = snap.counter("loop.cycles_in_normal").unwrap();
         let high = snap.counter("loop.cycles_in_high").unwrap();
         assert_eq!(low + normal + high, 500);
+    }
+
+    fn oscillator_program() -> Program {
+        let mut b = ProgramBuilder::new("osc-snap");
+        b.data_f64(0x40000, &[1.0, 1.0]);
+        b.lda(IntReg::R4, IntReg::R31, 0x40000);
+        b.ldt(voltctl_isa::FpReg::F2, 8, IntReg::R4);
+        b.lda(IntReg::R1, IntReg::R31, 2_000);
+        b.label("top");
+        b.ldt(voltctl_isa::FpReg::F1, 0, IntReg::R4);
+        b.divt(
+            voltctl_isa::FpReg::F3,
+            voltctl_isa::FpReg::F1,
+            voltctl_isa::FpReg::F2,
+        );
+        b.stt(voltctl_isa::FpReg::F3, 16, IntReg::R4);
+        for k in 0..60 {
+            match k % 3 {
+                0 => {
+                    b.xor(IntReg::R8, IntReg::R3, IntReg::R3);
+                }
+                1 => {
+                    b.addq(IntReg::new(9), IntReg::R3, IntReg::R3);
+                }
+                _ => {
+                    b.stq(IntReg::R3, 64 + ((k as i64 * 8) % 56), IntReg::R4);
+                }
+            }
+        }
+        b.subq_imm(IntReg::R1, IntReg::R1, 1);
+        b.bne(IntReg::R1, "top");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    /// A controlled builder exercising every stateful component: sensor
+    /// delay pipeline, sensor noise RNG, and an asymmetric actuator.
+    fn snapshot_builder(
+        program: Program,
+        power: PowerModel,
+        pdn: voltctl_pdn::PdnModel,
+    ) -> ControlLoopBuilder {
+        ControlLoop::builder(program)
+            .power(power)
+            .pdn(pdn)
+            .thresholds(Thresholds {
+                v_low: 0.97,
+                v_high: 1.03,
+            })
+            .sensor(SensorConfig {
+                delay_cycles: 2,
+                noise_mv: 5.0,
+                seed: 0x5eed,
+            })
+            .actuator(AsymmetricActuator {
+                reduce: ActuationScope::FuDl1Il1,
+                increase: ActuationScope::Fu,
+            })
+    }
+
+    #[test]
+    fn save_restore_continues_bit_for_bit() {
+        let (power, pdn) = harness(4.0);
+        let program = oscillator_program();
+        let mut reference = snapshot_builder(program.clone(), power.clone(), pdn.clone())
+            .build()
+            .unwrap();
+        reference.step_n(7_500);
+        assert!(!reference.done(), "snapshot must be taken mid-run");
+        let bytes = reference.save();
+
+        let mut resumed = snapshot_builder(program, power, pdn)
+            .restore(&bytes)
+            .unwrap();
+        // Resumed state must be indistinguishable: identical re-save.
+        assert_eq!(resumed.save(), bytes);
+
+        // And stepping must match the uninterrupted run sample-for-sample
+        // (LoopSample equality is f64 equality — bitwise for non-NaN).
+        for _ in 0..10_000 {
+            if reference.done() {
+                break;
+            }
+            assert_eq!(reference.step(), resumed.step());
+        }
+        assert_eq!(reference.done(), resumed.done());
+        assert_eq!(reference.report(), resumed.report());
+        assert_eq!(reference.arch_digest(), resumed.arch_digest());
+        assert_eq!(reference.save(), resumed.save());
+    }
+
+    #[test]
+    fn saved_trace_buffer_travels_with_the_snapshot() {
+        let (power, pdn) = harness(2.0);
+        let mut sim = ControlLoop::builder(spin_program())
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .record_trace(true)
+            .build()
+            .unwrap();
+        sim.step_n(100);
+        let bytes = sim.save();
+        let mut resumed = ControlLoop::builder(spin_program())
+            .power(power)
+            .pdn(pdn)
+            .record_trace(true)
+            .restore(&bytes)
+            .unwrap();
+        resumed.step_n(50);
+        sim.step_n(50);
+        let expect = sim.take_trace();
+        let got = resumed.take_trace();
+        assert_eq!(expect.len(), 150);
+        assert_eq!(expect, got, "restored trace must include pre-save samples");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_rebuilds() {
+        let (power, pdn) = harness(4.0);
+        let program = oscillator_program();
+        let mut sim = snapshot_builder(program.clone(), power.clone(), pdn.clone())
+            .build()
+            .unwrap();
+        sim.step_n(500);
+        let bytes = sim.save();
+
+        // Different program.
+        let e = snapshot_builder(spin_program(), power.clone(), pdn.clone())
+            .restore(&bytes)
+            .unwrap_err();
+        assert!(
+            e.to_string().contains("different program"),
+            "unexpected error: {e}"
+        );
+
+        // Different machine configuration.
+        let mut small = CpuConfig::table1();
+        small.ruu_size /= 2;
+        let e = snapshot_builder(program.clone(), power.clone(), pdn.clone())
+            .cpu_config(small)
+            .restore(&bytes)
+            .unwrap_err();
+        assert!(
+            e.to_string().contains("different machine configuration"),
+            "unexpected error: {e}"
+        );
+
+        // Different power model.
+        let mut params = PowerParams::paper_3ghz();
+        params.vdd *= 1.1;
+        let e = snapshot_builder(program.clone(), PowerModel::new(params), pdn.clone())
+            .restore(&bytes)
+            .unwrap_err();
+        assert!(
+            e.to_string().contains("different power model"),
+            "unexpected error: {e}"
+        );
+
+        // Controlled snapshot into an uncontrolled builder.
+        let e = ControlLoop::builder(program.clone())
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .restore(&bytes)
+            .unwrap_err();
+        assert!(
+            e.to_string().contains("uncontrolled") || e.to_string().contains("no control"),
+            "unexpected error: {e}"
+        );
+
+        // The matching rebuild still works after all those rejections.
+        assert!(snapshot_builder(program, power, pdn)
+            .restore(&bytes)
+            .is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_damaged_snapshots_without_panicking() {
+        let (power, pdn) = harness(2.0);
+        let mut sim = ControlLoop::builder(spin_program())
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .build()
+            .unwrap();
+        sim.step_n(300);
+        let bytes = sim.save();
+
+        // Every truncation must be a clean error.
+        for cut in (0..bytes.len()).step_by(41) {
+            let builder = ControlLoop::builder(spin_program())
+                .power(power.clone())
+                .pdn(pdn.clone());
+            assert!(
+                builder.restore(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // Arbitrary junk must be a clean error too.
+        let builder = ControlLoop::builder(spin_program())
+            .power(power.clone())
+            .pdn(pdn.clone());
+        assert!(builder.restore(b"not a snapshot at all").is_err());
+    }
+
+    #[test]
+    fn step_n_reports_cycles_and_run_delegates() {
+        let (power, pdn) = harness(2.0);
+        let program = oscillator_program();
+        let mut a = ControlLoop::builder(program.clone())
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .build()
+            .unwrap();
+        let mut total = 0;
+        loop {
+            let stepped = a.step_n(10_000);
+            total += stepped;
+            if stepped < 10_000 {
+                break;
+            }
+        }
+        assert!(a.done());
+        assert_eq!(total, a.report().cycles);
+        assert_eq!(a.step_n(10), 0, "a finished loop steps zero cycles");
+
+        // The `run` shim is exactly step_n with the count discarded.
+        let mut b = ControlLoop::builder(program)
+            .power(power)
+            .pdn(pdn)
+            .build()
+            .unwrap();
+        b.run(u64::MAX);
+        assert!(b.done());
+        assert_eq!(a.report(), b.report());
     }
 
     #[test]

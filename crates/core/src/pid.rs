@@ -100,6 +100,53 @@ impl PidController {
     }
 }
 
+impl voltctl_snap::Pack for PidController {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_f64(self.kp);
+        w.put_f64(self.ki);
+        w.put_f64(self.kd);
+        w.put_f64(self.dead_band);
+        w.put_f64(self.v_nominal);
+        w.put_f64(self.integral);
+        w.put_f64(self.prev_error);
+        self.compute_delay.pack(w);
+        w.put_f64(self.integral_clamp);
+    }
+}
+
+impl voltctl_snap::Unpack for PidController {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let kp = r.get_f64()?;
+        let ki = r.get_f64()?;
+        let kd = r.get_f64()?;
+        let dead_band = r.get_f64()?;
+        let v_nominal = r.get_f64()?;
+        let integral = r.get_f64()?;
+        let prev_error = r.get_f64()?;
+        let compute_delay: VecDeque<f64> = voltctl_snap::Unpack::unpack(r)?;
+        let integral_clamp = r.get_f64()?;
+        // Re-assert the constructor's gain invariants on decoded bytes.
+        for (name, g) in [("kp", kp), ("ki", ki), ("kd", kd)] {
+            if !g.is_finite() || g < 0.0 {
+                return Err(voltctl_snap::SnapError::Corrupt(format!(
+                    "PID gain {name} = {g} must be non-negative and finite"
+                )));
+            }
+        }
+        Ok(PidController {
+            kp,
+            ki,
+            kd,
+            dead_band,
+            v_nominal,
+            integral,
+            prev_error,
+            compute_delay,
+            integral_clamp,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +219,35 @@ mod tests {
         pid.decide(0.90);
         pid.reset();
         assert_eq!(pid.decide(1.0), ControlAction::None);
+    }
+
+    #[test]
+    fn wire_round_trip_continues_the_control_stream() {
+        use voltctl_snap::{ByteReader, ByteWriter, Pack, SnapError, Unpack};
+        let mut pid = PidController::default_tuning(1.0, 3);
+        for k in 0..100 {
+            pid.decide(1.0 - (k % 7) as f64 * 0.01);
+        }
+        let mut w = ByteWriter::new();
+        pid.pack(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut restored = PidController::unpack(&mut r).unwrap();
+        assert!(r.finished());
+        // Integral, previous error, and the MAC pipeline all carry over:
+        // the two controllers must emit identical commands forever after.
+        for k in 0..200 {
+            let v = 1.0 + ((k % 11) as f64 - 5.0) * 0.008;
+            assert_eq!(pid.decide(v), restored.decide(v));
+        }
+
+        // A negative gain must be rejected on decode, mirroring `new`.
+        let mut bad = bytes.clone();
+        bad[..8].copy_from_slice(&(-1.0f64).to_bits().to_le_bytes());
+        match PidController::unpack(&mut ByteReader::new(&bad)) {
+            Err(SnapError::Corrupt(msg)) => assert!(msg.contains("kp"), "{msg}"),
+            other => panic!("negative kp must be rejected, got {other:?}"),
+        }
     }
 
     #[test]

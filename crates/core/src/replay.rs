@@ -20,7 +20,8 @@
 use crate::actuator::Leverage;
 use crate::thresholds::Thresholds;
 use std::collections::VecDeque;
-use voltctl_pdn::Supply;
+use voltctl_pdn::{PdnModel, PdnState, Supply};
+use voltctl_trace::EmergencyCapture;
 
 /// Configuration of a replay run.
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +136,42 @@ pub fn replay<S: Supply>(
     }
 }
 
+/// Turns a flight-recorder [`EmergencyCapture`] back into a live supply
+/// stepper positioned at the capture's second record — a time-travel
+/// checkpoint for debugging an emergency after the fact.
+///
+/// The capture logs only observables (per-cycle current and voltage); the
+/// supply's hidden inductor state is recovered from the first two records
+/// via [`PdnState::reconstruct`]. Feeding the remaining recorded currents
+/// to the returned stepper reproduces the remaining recorded voltages to
+/// numerical conditioning (~1e-9 V, not bitwise — reconstruction divides
+/// through the discretized dynamics), and from there the investigator can
+/// diverge: replay the same window against different thresholds, inject a
+/// different actuation response, or hand the state to
+/// [`replay`] for what-if control sweeps.
+///
+/// `model` and `i_ref` must be the supply model and regulation point the
+/// capturing run used. Returns `None` when the capture holds fewer than
+/// two records (no pre-window to reconstruct from) or the model's
+/// discretization makes the hidden state unobservable (degenerate for
+/// physical RLC parameters).
+pub fn capture_checkpoint(
+    model: &PdnModel,
+    capture: &EmergencyCapture,
+    i_ref: f64,
+) -> Option<PdnState> {
+    let prev = capture.records.first()?;
+    let now = capture.records.get(1)?;
+    let v_nom = model.v_nominal();
+    PdnState::reconstruct(
+        model,
+        prev.voltage - v_nom,
+        now.voltage - v_nom,
+        now.current,
+        i_ref,
+    )
+}
+
 /// Exponential approach from `from` toward `to` after `t` engaged cycles
 /// with time constant `settle` (instant when `settle == 0`).
 pub(crate) fn decay(from: f64, to: f64, t: u64, settle: u64) -> f64 {
@@ -239,6 +276,86 @@ mod tests {
             soft.min_v > hard.min_v,
             "slew limiting must reduce the swing"
         );
+    }
+
+    #[test]
+    fn capture_checkpoint_replays_the_recorded_emergency() {
+        use crate::calibrate::calibrated_pdn;
+        use crate::loopsim::ControlLoop;
+        use voltctl_isa::builder::ProgramBuilder;
+        use voltctl_isa::reg::IntReg;
+        use voltctl_trace::FlightRecorder;
+
+        // A divide/burst oscillator at high impedance: emergencies occur
+        // uncontrolled, so the flight recorder freezes captures.
+        let mut b = ProgramBuilder::new("osc");
+        b.data_f64(0x40000, &[1.0, 1.0]);
+        b.lda(IntReg::R4, IntReg::R31, 0x40000);
+        b.ldt(voltctl_isa::FpReg::F2, 8, IntReg::R4);
+        b.lda(IntReg::R1, IntReg::R31, 1);
+        b.label("top");
+        b.ldt(voltctl_isa::FpReg::F1, 0, IntReg::R4);
+        b.divt(
+            voltctl_isa::FpReg::F3,
+            voltctl_isa::FpReg::F1,
+            voltctl_isa::FpReg::F2,
+        );
+        for k in 0..120 {
+            if k % 2 == 0 {
+                b.xor(IntReg::R8, IntReg::R3, IntReg::R3);
+            } else {
+                b.stq(IntReg::R3, 64 + ((k as i64 * 8) % 56), IntReg::R4);
+            }
+        }
+        b.bne(IntReg::R1, "top");
+        let program = b.build().unwrap();
+
+        let power = PowerModel::new(PowerParams::paper_3ghz());
+        let pdn = calibrated_pdn(&PdnModel::paper_default().unwrap(), &power, 4.0).unwrap();
+        let mut flight = FlightRecorder::new(16);
+        let mut sim = ControlLoop::builder(program)
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .tracer(&mut flight)
+            .build()
+            .unwrap();
+        sim.run(30_000);
+        drop(sim);
+        let cell = flight.to_cell("osc");
+        assert!(
+            !cell.captures.is_empty(),
+            "the run must capture emergencies"
+        );
+
+        // Every capture with a pre-window converts back into a stepper
+        // that reproduces the rest of the recorded voltage trajectory.
+        let mut verified = 0;
+        for cap in cell.captures.iter().filter(|c| c.records.len() > 2) {
+            let mut state = capture_checkpoint(&pdn, cap, power.min_current())
+                .expect("physical RLC parameters are observable");
+            for (k, rec) in cap.records.iter().enumerate().skip(2) {
+                let v = state.step(rec.current);
+                assert!(
+                    (v - rec.voltage).abs() < 1e-9,
+                    "capture @{} record {k}: replayed {v} vs recorded {}",
+                    cap.crossing_cycle,
+                    rec.voltage
+                );
+            }
+            verified += 1;
+        }
+        assert!(verified > 0, "at least one capture must have a window");
+
+        // A capture with fewer than two records cannot be reconstructed.
+        let stub = EmergencyCapture {
+            records: cap_first_record(&cell.captures[0]),
+            ..cell.captures[0].clone()
+        };
+        assert!(capture_checkpoint(&pdn, &stub, power.min_current()).is_none());
+    }
+
+    fn cap_first_record(cap: &EmergencyCapture) -> Vec<voltctl_trace::CycleRecord> {
+        vec![cap.records[0]]
     }
 
     #[test]

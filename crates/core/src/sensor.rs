@@ -130,6 +130,45 @@ impl ThresholdSensor {
     }
 }
 
+impl voltctl_snap::Pack for ThresholdSensor {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_f64(self.v_low);
+        w.put_f64(self.v_high);
+        self.pipeline.pack(w);
+        w.put_f64(self.noise_v);
+        self.rng.pack(w);
+    }
+}
+
+impl voltctl_snap::Unpack for ThresholdSensor {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let v_low = r.get_f64()?;
+        let v_high = r.get_f64()?;
+        let pipeline: VecDeque<f64> = voltctl_snap::Unpack::unpack(r)?;
+        let noise_v = r.get_f64()?;
+        let rng = voltctl_snap::Unpack::unpack(r)?;
+        // Re-assert the constructor invariants so a decoded sensor can
+        // never be in a state `new` would have panicked on.
+        if v_low.is_nan() || v_high.is_nan() || v_low >= v_high {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "sensor thresholds inverted: v_low {v_low} >= v_high {v_high}"
+            )));
+        }
+        if !noise_v.is_finite() || noise_v < 0.0 {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "sensor noise bound {noise_v} must be finite and non-negative"
+            )));
+        }
+        Ok(ThresholdSensor {
+            v_low,
+            v_high,
+            pipeline,
+            noise_v,
+            rng,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +240,49 @@ mod tests {
     #[should_panic(expected = "v_low < v_high")]
     fn inverted_thresholds_rejected() {
         let _ = ThresholdSensor::new(1.04, 0.96, 1.0, SensorConfig::default());
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_delay_and_noise_stream() {
+        use voltctl_snap::{ByteReader, ByteWriter, Pack, Unpack};
+        let config = SensorConfig {
+            delay_cycles: 3,
+            noise_mv: 15.0,
+            seed: 99,
+        };
+        let mut s = ThresholdSensor::new(0.96, 1.04, 1.0, config);
+        for k in 0..257 {
+            s.observe(0.96 + k as f64 * 1e-4);
+        }
+        let mut w = ByteWriter::new();
+        s.pack(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut t = ThresholdSensor::unpack(&mut r).unwrap();
+        assert!(r.finished());
+        // The restored sensor must continue the exact same delayed,
+        // noisy reading stream: pipeline contents and RNG state carry.
+        for k in 0..1000u64 {
+            let v = 0.95 + ((k * 37) % 100) as f64 * 1e-3;
+            assert_eq!(s.observe(v), t.observe(v), "cycle {k}");
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_inverted_thresholds() {
+        use voltctl_snap::{ByteReader, ByteWriter, Pack, SnapError, Unpack};
+        let s = ThresholdSensor::new(0.96, 1.04, 1.0, SensorConfig::default());
+        let mut w = ByteWriter::new();
+        s.pack(&mut w);
+        let mut bytes = w.into_bytes();
+        // Swap the two threshold doubles in place.
+        let (low, high) = (bytes[..8].to_vec(), bytes[8..16].to_vec());
+        bytes[..8].copy_from_slice(&high);
+        bytes[8..16].copy_from_slice(&low);
+        match ThresholdSensor::unpack(&mut ByteReader::new(&bytes)) {
+            Err(SnapError::Corrupt(msg)) => assert!(msg.contains("inverted"), "{msg}"),
+            other => panic!("inverted thresholds must be rejected, got {other:?}"),
+        }
     }
 
     #[test]

@@ -173,6 +173,46 @@ impl Stats {
     }
 }
 
+impl voltctl_snap::Pack for Stats {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u64(self.cycles);
+        w.put_u64(self.committed);
+        w.put_u64(self.fetched);
+        w.put_u64(self.branches);
+        w.put_u64(self.mispredicts);
+        w.put_u64(self.loads);
+        w.put_u64(self.stores);
+        w.put_u64(self.lsq_forwards);
+        self.il1.pack(w);
+        self.dl1.pack(w);
+        self.l2.pack(w);
+        w.put_u64(self.gated_fetch_cycles);
+        w.put_u64(self.gated_issue_cycles);
+        w.put_u64(self.gated_mem_cycles);
+    }
+}
+
+impl voltctl_snap::Unpack for Stats {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(Stats {
+            cycles: r.get_u64()?,
+            committed: r.get_u64()?,
+            fetched: r.get_u64()?,
+            branches: r.get_u64()?,
+            mispredicts: r.get_u64()?,
+            loads: r.get_u64()?,
+            stores: r.get_u64()?,
+            lsq_forwards: r.get_u64()?,
+            il1: voltctl_snap::Unpack::unpack(r)?,
+            dl1: voltctl_snap::Unpack::unpack(r)?,
+            l2: voltctl_snap::Unpack::unpack(r)?,
+            gated_fetch_cycles: r.get_u64()?,
+            gated_issue_cycles: r.get_u64()?,
+            gated_mem_cycles: r.get_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -206,6 +206,97 @@ impl BranchPredictor {
     }
 }
 
+impl voltctl_snap::Pack for Counter2 {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(self.0);
+    }
+}
+
+impl voltctl_snap::Unpack for Counter2 {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let v = r.get_u8()?;
+        if v > 3 {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "2-bit counter value {v} out of range"
+            )));
+        }
+        Ok(Counter2(v))
+    }
+}
+
+impl voltctl_snap::Pack for BranchPredictor {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.bimodal.pack(w);
+        self.gshare.pack(w);
+        self.chooser.pack(w);
+        w.put_u64(self.history);
+        w.put_u64(self.history_mask);
+        self.btb_tags.pack(w);
+        self.btb_targets.pack(w);
+        self.ras.pack(w);
+        w.put_usize(self.ras_top);
+        w.put_usize(self.ras_capacity);
+        w.put_u64(self.lookups);
+        w.put_u64(self.mispredicts);
+    }
+}
+
+impl voltctl_snap::Unpack for BranchPredictor {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let bimodal: Vec<Counter2> = voltctl_snap::Unpack::unpack(r)?;
+        let gshare: Vec<Counter2> = voltctl_snap::Unpack::unpack(r)?;
+        let chooser: Vec<Counter2> = voltctl_snap::Unpack::unpack(r)?;
+        let history = r.get_u64()?;
+        let history_mask = r.get_u64()?;
+        let btb_tags: Vec<Option<u64>> = voltctl_snap::Unpack::unpack(r)?;
+        let btb_targets: Vec<u32> = voltctl_snap::Unpack::unpack(r)?;
+        let ras: Vec<u32> = voltctl_snap::Unpack::unpack(r)?;
+        let ras_top = r.get_usize()?;
+        let ras_capacity = r.get_usize()?;
+        let lookups = r.get_u64()?;
+        let mispredicts = r.get_u64()?;
+        for (name, len) in [
+            ("bimodal", bimodal.len()),
+            ("gshare", gshare.len()),
+            ("chooser", chooser.len()),
+            ("btb", btb_tags.len()),
+        ] {
+            if !len.is_power_of_two() {
+                return Err(voltctl_snap::SnapError::Corrupt(format!(
+                    "{name} table length {len} is not a power of two"
+                )));
+            }
+        }
+        if btb_targets.len() != btb_tags.len() {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "BTB target table length {} does not match tag table length {}",
+                btb_targets.len(),
+                btb_tags.len()
+            )));
+        }
+        if ras.len() != ras_capacity {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "RAS length {} does not match capacity {ras_capacity}",
+                ras.len()
+            )));
+        }
+        Ok(BranchPredictor {
+            bimodal,
+            gshare,
+            chooser,
+            history,
+            history_mask,
+            btb_tags,
+            btb_targets,
+            ras,
+            ras_top,
+            ras_capacity,
+            lookups,
+            mispredicts,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

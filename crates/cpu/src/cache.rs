@@ -145,6 +145,66 @@ impl Cache {
     }
 }
 
+impl voltctl_snap::Pack for Cache {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_usize(self.sets);
+        w.put_usize(self.ways);
+        w.put_u32(self.line_shift);
+        self.tags.pack(w);
+        self.stamps.pack(w);
+        self.dirty.pack(w);
+        w.put_u64(self.tick);
+        w.put_u64(self.accesses);
+        w.put_u64(self.misses);
+        w.put_u64(self.writebacks);
+    }
+}
+
+impl voltctl_snap::Unpack for Cache {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let sets = r.get_usize()?;
+        let ways = r.get_usize()?;
+        let line_shift = r.get_u32()?;
+        let tags: Vec<Option<u64>> = voltctl_snap::Unpack::unpack(r)?;
+        let stamps: Vec<u64> = voltctl_snap::Unpack::unpack(r)?;
+        let dirty: Vec<bool> = voltctl_snap::Unpack::unpack(r)?;
+        let tick = r.get_u64()?;
+        let accesses = r.get_u64()?;
+        let misses = r.get_u64()?;
+        let writebacks = r.get_u64()?;
+        let lines = sets.checked_mul(ways).ok_or_else(|| {
+            voltctl_snap::SnapError::Corrupt(format!(
+                "cache geometry {sets} sets x {ways} ways overflows"
+            ))
+        })?;
+        if !sets.is_power_of_two() || ways == 0 {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "invalid cache geometry: {sets} sets x {ways} ways"
+            )));
+        }
+        if tags.len() != lines || stamps.len() != lines || dirty.len() != lines {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "cache arrays ({}, {}, {}) do not match geometry {sets} sets x {ways} ways",
+                tags.len(),
+                stamps.len(),
+                dirty.len()
+            )));
+        }
+        Ok(Cache {
+            sets,
+            ways,
+            line_shift,
+            tags,
+            stamps,
+            dirty,
+            tick,
+            accesses,
+            misses,
+            writebacks,
+        })
+    }
+}
+
 /// Per-access counts bubbled up from the hierarchy for the power model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HierarchyCounts {
@@ -232,6 +292,32 @@ impl CacheHierarchy {
         }
         counts.l2_misses = 1;
         (self.l1d_hit + self.l2_hit + self.memory_latency, counts)
+    }
+}
+
+impl voltctl_snap::Pack for CacheHierarchy {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.l1i.pack(w);
+        self.l1d.pack(w);
+        self.l2.pack(w);
+        w.put_u64(self.l1i_hit);
+        w.put_u64(self.l1d_hit);
+        w.put_u64(self.l2_hit);
+        w.put_u64(self.memory_latency);
+    }
+}
+
+impl voltctl_snap::Unpack for CacheHierarchy {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(CacheHierarchy {
+            l1i: voltctl_snap::Unpack::unpack(r)?,
+            l1d: voltctl_snap::Unpack::unpack(r)?,
+            l2: voltctl_snap::Unpack::unpack(r)?,
+            l1i_hit: r.get_u64()?,
+            l1d_hit: r.get_u64()?,
+            l2_hit: r.get_u64()?,
+            memory_latency: r.get_u64()?,
+        })
     }
 }
 

@@ -40,6 +40,7 @@ use crate::gating::GatingState;
 use crate::mem::Memory;
 use std::collections::VecDeque;
 use voltctl_isa::{exec, Inst, OpClass, Opcode, Program, Reg};
+use voltctl_snap::{Pack, Unpack};
 
 /// Completion-event ring capacity; must exceed the largest possible
 /// operation latency (memory miss chain + occupancy).
@@ -730,6 +731,258 @@ impl Cpu {
     }
 }
 
+impl voltctl_snap::Pack for EntryState {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(match self {
+            EntryState::Waiting => 0,
+            EntryState::Ready => 1,
+            EntryState::Issued => 2,
+            EntryState::Complete => 3,
+        });
+    }
+}
+
+impl voltctl_snap::Unpack for EntryState {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(EntryState::Waiting),
+            1 => Ok(EntryState::Ready),
+            2 => Ok(EntryState::Issued),
+            3 => Ok(EntryState::Complete),
+            other => Err(voltctl_snap::SnapError::Corrupt(format!(
+                "unknown RUU entry state {other}"
+            ))),
+        }
+    }
+}
+
+impl voltctl_snap::Pack for FetchedInst {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.inst.pack(w);
+        w.put_u64(self.seq);
+        self.mem_addr.pack(w);
+        w.put_usize(self.mem_bytes);
+        w.put_bool(self.mispredicted_branch);
+    }
+}
+
+impl voltctl_snap::Unpack for FetchedInst {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let inst = Inst::unpack(r)?;
+        let seq = r.get_u64()?;
+        let mem_addr: Option<u64> = voltctl_snap::Unpack::unpack(r)?;
+        let mem_bytes = r.get_usize()?;
+        let mispredicted_branch = r.get_bool()?;
+        if inst.op.is_mem() && mem_addr.is_none() {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "in-flight memory instruction (seq {seq}) has no effective address"
+            )));
+        }
+        Ok(FetchedInst {
+            inst,
+            seq,
+            mem_addr,
+            mem_bytes,
+            mispredicted_branch,
+        })
+    }
+}
+
+impl voltctl_snap::Pack for RuuEntry {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.fetched.pack(w);
+        self.state.pack(w);
+        w.put_u32(self.deps_outstanding);
+        self.dependents.pack(w);
+        self.fu.pack(w);
+    }
+}
+
+impl voltctl_snap::Unpack for RuuEntry {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(RuuEntry {
+            fetched: voltctl_snap::Unpack::unpack(r)?,
+            state: voltctl_snap::Unpack::unpack(r)?,
+            deps_outstanding: r.get_u32()?,
+            dependents: voltctl_snap::Unpack::unpack(r)?,
+            fu: voltctl_snap::Unpack::unpack(r)?,
+        })
+    }
+}
+
+impl Cpu {
+    /// Stable fingerprint of a machine configuration. Snapshots embed it so
+    /// a restore under a different configuration is rejected instead of
+    /// silently producing a divergent machine.
+    pub fn config_fingerprint(config: &CpuConfig) -> u64 {
+        voltctl_snap::fnv1a(format!("{config:?}").as_bytes())
+    }
+
+    /// Serializes the complete processor state — architectural (registers,
+    /// memory, PC) and microarchitectural (predictor, caches, window, LSQ,
+    /// functional units, in-flight completions) — so that a restored
+    /// machine continues cycle-for-cycle identically.
+    ///
+    /// The program itself is not embedded; its [`Program::digest`] is, and
+    /// [`Cpu::unpack_state`] refuses to restore onto a different program.
+    pub fn pack_state(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u64(self.program.digest());
+        w.put_u64(Cpu::config_fingerprint(&self.config));
+        self.regs.pack(w);
+        self.memory.pack(w);
+        w.put_u32(self.pc);
+        w.put_bool(self.fetch_done);
+        self.bpred.pack(w);
+        self.fetch_queue.pack(w);
+        w.put_u64(self.fetch_stall_until);
+        self.fetch_blocked_on.pack(w);
+        self.ruu.pack(w);
+        w.put_usize(self.ruu_head);
+        w.put_usize(self.ruu_count);
+        self.lsq.pack(w);
+        self.reg_producer.pack(w);
+        self.caches.pack(w);
+        self.fus.pack(w);
+        self.completions.pack(w);
+        self.gating.pack(w);
+        w.put_u64(self.cycle);
+        w.put_u64(self.next_seq);
+        self.stats.pack(w);
+        w.put_bool(self.last_branch_taken);
+    }
+
+    /// Reconstructs a processor from [`Cpu::pack_state`] bytes.
+    ///
+    /// The caller supplies the configuration and program; both are checked
+    /// against the fingerprints embedded in the snapshot. Every structural
+    /// index is validated against the window geometry, so corrupt input
+    /// yields an error — never a machine that panics later.
+    pub fn unpack_state(
+        config: CpuConfig,
+        program: &Program,
+        r: &mut voltctl_snap::ByteReader<'_>,
+    ) -> Result<Cpu, voltctl_snap::SnapError> {
+        let digest = r.get_u64()?;
+        if digest != program.digest() {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "snapshot was taken on a different program (digest {digest:#018x}, \
+                 expected {:#018x} for '{}')",
+                program.digest(),
+                program.name()
+            )));
+        }
+        let config_fp = r.get_u64()?;
+        if config_fp != Cpu::config_fingerprint(&config) {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "snapshot was taken under a different machine configuration \
+                 (fingerprint {config_fp:#018x}, expected {:#018x})",
+                Cpu::config_fingerprint(&config)
+            )));
+        }
+        config
+            .validate()
+            .map_err(|e| voltctl_snap::SnapError::Corrupt(format!("invalid configuration: {e}")))?;
+
+        let regs: [u64; 64] = voltctl_snap::Unpack::unpack(r)?;
+        let memory = Memory::unpack(r)?;
+        let pc = r.get_u32()?;
+        let fetch_done = r.get_bool()?;
+        let bpred = BranchPredictor::unpack(r)?;
+        let fetch_queue: VecDeque<FetchedInst> = voltctl_snap::Unpack::unpack(r)?;
+        let fetch_stall_until = r.get_u64()?;
+        let fetch_blocked_on: Option<u64> = voltctl_snap::Unpack::unpack(r)?;
+        let ruu: Vec<Option<RuuEntry>> = voltctl_snap::Unpack::unpack(r)?;
+        let ruu_head = r.get_usize()?;
+        let ruu_count = r.get_usize()?;
+        let lsq: VecDeque<usize> = voltctl_snap::Unpack::unpack(r)?;
+        let reg_producer: [Option<usize>; 64] = voltctl_snap::Unpack::unpack(r)?;
+        let caches = CacheHierarchy::unpack(r)?;
+        let fus = FuPool::unpack(r)?;
+        let completions: Vec<Vec<usize>> = voltctl_snap::Unpack::unpack(r)?;
+        let gating = GatingState::unpack(r)?;
+        let cycle = r.get_u64()?;
+        let next_seq = r.get_u64()?;
+        let stats = Stats::unpack(r)?;
+        let last_branch_taken = r.get_bool()?;
+
+        // Structural validation: every stored index must stay inside the
+        // window, and cross-structure references must point at live
+        // entries, so the pipeline's internal `expect`s can never fire.
+        let len = ruu.len();
+        if len != config.ruu_size {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "window has {len} slots, configuration says {}",
+                config.ruu_size
+            )));
+        }
+        if ruu_head >= len {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "window head {ruu_head} out of range (size {len})"
+            )));
+        }
+        let occupied = ruu.iter().filter(|e| e.is_some()).count();
+        if ruu_count != occupied {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "window count {ruu_count} does not match {occupied} occupied slots"
+            )));
+        }
+        if completions.len() != EVENT_RING {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "completion ring has {} buckets, expected {EVENT_RING}",
+                completions.len()
+            )));
+        }
+        let live = |slot: usize| ruu.get(slot).is_some_and(|e| e.is_some());
+        for entry in ruu.iter().flatten() {
+            if let Some(&bad) = entry.dependents.iter().find(|&&d| d >= len) {
+                return Err(voltctl_snap::SnapError::Corrupt(format!(
+                    "dependent slot {bad} out of range (window size {len})"
+                )));
+            }
+        }
+        for &slot in lsq.iter().chain(completions.iter().flatten()) {
+            if !live(slot) {
+                return Err(voltctl_snap::SnapError::Corrupt(format!(
+                    "LSQ/completion reference to vacant window slot {slot}"
+                )));
+            }
+        }
+        for slot in reg_producer.iter().flatten() {
+            if !live(*slot) {
+                return Err(voltctl_snap::SnapError::Corrupt(format!(
+                    "register producer points at vacant window slot {slot}"
+                )));
+            }
+        }
+
+        Ok(Cpu {
+            config,
+            program: program.clone(),
+            regs,
+            memory,
+            pc,
+            fetch_done,
+            bpred,
+            fetch_queue,
+            fetch_stall_until,
+            fetch_blocked_on,
+            ruu,
+            ruu_head,
+            ruu_count,
+            lsq,
+            reg_producer,
+            caches,
+            fus,
+            completions,
+            gating,
+            cycle,
+            next_seq,
+            stats,
+            last_branch_taken,
+        })
+    }
+}
+
 /// Outcome of the load-vs-older-store ordering check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LoadOrder {
@@ -1114,5 +1367,104 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.halt();
         assert!(Cpu::new(config, &b.build().unwrap()).is_err());
+    }
+
+    fn busy_program() -> Program {
+        let mut b = ProgramBuilder::new("snapshot-target");
+        b.data_f64(0x1000, &[9.0, 2.0]);
+        b.lda(IntReg::R4, IntReg::R31, 0x1000);
+        b.ldt(FpReg::F1, 0, IntReg::R4);
+        b.ldt(FpReg::F2, 8, IntReg::R4);
+        b.lda(IntReg::R1, IntReg::R31, 300);
+        b.label("top");
+        b.divt(FpReg::F3, FpReg::F1, FpReg::F2);
+        b.ldq(IntReg::R2, 0, IntReg::R4);
+        b.stq(IntReg::R2, 64, IntReg::R4);
+        b.addq_imm(IntReg::R3, IntReg::R2, 5);
+        b.subq_imm(IntReg::R1, IntReg::R1, 1);
+        b.bne(IntReg::R1, "top");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn snapshot_mid_flight_resumes_cycle_for_cycle() {
+        use voltctl_snap::{ByteReader, ByteWriter};
+        let program = busy_program();
+        let config = CpuConfig::table1();
+        let mut reference = Cpu::new(config.clone(), &program).unwrap();
+
+        // Stop mid-pipeline with the window, LSQ, and FUs all busy.
+        reference.run(137);
+        assert!(!reference.done(), "checkpoint must land mid-flight");
+
+        let mut w = ByteWriter::new();
+        reference.pack_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut restored = Cpu::unpack_state(config, &program, &mut r).unwrap();
+        assert!(r.finished(), "decoder must consume the whole snapshot");
+        assert_eq!(restored.cycle(), reference.cycle());
+
+        // Every subsequent cycle must report identical structural activity.
+        while !reference.done() {
+            assert_eq!(restored.step(), reference.step());
+        }
+        assert!(restored.done());
+        assert_eq!(restored.arch_digest(), reference.arch_digest());
+        assert_eq!(restored.stats(), reference.stats());
+
+        // And re-serializing the restored machine is byte-identical.
+        let mut w2 = ByteWriter::new();
+        let mut w3 = ByteWriter::new();
+        reference.pack_state(&mut w2);
+        restored.pack_state(&mut w3);
+        assert_eq!(w2.as_bytes(), w3.as_bytes());
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_program_and_config() {
+        use voltctl_snap::{ByteReader, ByteWriter};
+        let program = busy_program();
+        let config = CpuConfig::table1();
+        let mut cpu = Cpu::new(config.clone(), &program).unwrap();
+        cpu.run(50);
+        let mut w = ByteWriter::new();
+        cpu.pack_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut b = ProgramBuilder::new("other");
+        b.nop();
+        b.halt();
+        let other = b.build().unwrap();
+        let err =
+            Cpu::unpack_state(config.clone(), &other, &mut ByteReader::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("different program"), "{err}");
+
+        let mut other_config = config;
+        other_config.ruu_size = 128;
+        let err =
+            Cpu::unpack_state(other_config, &program, &mut ByteReader::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("different machine"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_truncations_never_panic() {
+        use voltctl_snap::{ByteReader, ByteWriter};
+        let program = busy_program();
+        let config = CpuConfig::table1();
+        let mut cpu = Cpu::new(config.clone(), &program).unwrap();
+        cpu.run(137);
+        let mut w = ByteWriter::new();
+        cpu.pack_state(&mut w);
+        let bytes = w.into_bytes();
+        // Every proper prefix must fail cleanly with an error.
+        for cut in (0..bytes.len()).step_by(97) {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                Cpu::unpack_state(config.clone(), &program, &mut r).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
     }
 }

@@ -158,6 +158,59 @@ impl FuPool {
     }
 }
 
+impl voltctl_snap::Pack for FuKind {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(self.index() as u8);
+    }
+}
+
+impl voltctl_snap::Unpack for FuKind {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let idx = r.get_u8()? as usize;
+        FuKind::all().get(idx).copied().ok_or_else(|| {
+            voltctl_snap::SnapError::Corrupt(format!(
+                "functional-unit kind {idx} out of range (must be < {})",
+                FuKind::COUNT
+            ))
+        })
+    }
+}
+
+impl voltctl_snap::Pack for FuPool {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        for k in 0..FuKind::COUNT {
+            self.busy_until[k].pack(w);
+        }
+        for k in 0..FuKind::COUNT {
+            self.executing_until[k].pack(w);
+        }
+    }
+}
+
+impl voltctl_snap::Unpack for FuPool {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let mut busy_until: [Vec<u64>; FuKind::COUNT] = Default::default();
+        let mut executing_until: [Vec<u64>; FuKind::COUNT] = Default::default();
+        for slot in busy_until.iter_mut() {
+            *slot = voltctl_snap::Unpack::unpack(r)?;
+        }
+        for (k, slot) in executing_until.iter_mut().enumerate() {
+            *slot = voltctl_snap::Unpack::unpack(r)?;
+            if slot.len() != busy_until[k].len() {
+                return Err(voltctl_snap::SnapError::Corrupt(format!(
+                    "functional-unit pool kind {k}: executing table has {} units, busy table {}",
+                    slot.len(),
+                    busy_until[k].len()
+                )));
+            }
+        }
+        Ok(FuPool {
+            busy_until,
+            executing_until,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

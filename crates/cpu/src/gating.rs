@@ -132,6 +132,30 @@ impl GatingState {
     }
 }
 
+impl voltctl_snap::Pack for GatingState {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_bool(self.gate_fu);
+        w.put_bool(self.gate_dl1);
+        w.put_bool(self.gate_il1);
+        w.put_bool(self.phantom_fu);
+        w.put_bool(self.phantom_dl1);
+        w.put_bool(self.phantom_il1);
+    }
+}
+
+impl voltctl_snap::Unpack for GatingState {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(GatingState {
+            gate_fu: r.get_bool()?,
+            gate_dl1: r.get_bool()?,
+            gate_il1: r.get_bool()?,
+            phantom_fu: r.get_bool()?,
+            phantom_dl1: r.get_bool()?,
+            phantom_il1: r.get_bool()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -135,6 +135,43 @@ impl Memory {
     }
 }
 
+impl voltctl_snap::Pack for Memory {
+    /// Serializes every resident page (including all-zero ones, so the
+    /// observable `resident_pages()` count survives a round trip) in
+    /// ascending page order, making the encoding canonical.
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        let mut pagenos: Vec<u64> = self.pages.keys().copied().collect();
+        pagenos.sort_unstable();
+        w.put_usize(pagenos.len());
+        for pageno in pagenos {
+            w.put_u64(pageno);
+            w.put_raw(&self.pages[&pageno][..]);
+        }
+    }
+}
+
+impl voltctl_snap::Unpack for Memory {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let n = r.get_count("memory page table")?;
+        let mut pages = HashMap::with_capacity(n);
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let pageno = r.get_u64()?;
+            if prev.is_some_and(|p| p >= pageno) {
+                return Err(voltctl_snap::SnapError::Corrupt(format!(
+                    "memory pages out of order or duplicated at page {pageno:#x}"
+                )));
+            }
+            prev = Some(pageno);
+            let bytes = r.get_raw(PAGE_SIZE, "memory page")?;
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page.copy_from_slice(bytes);
+            pages.insert(pageno, page);
+        }
+        Ok(Memory { pages })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +252,36 @@ mod tests {
         let mut m = Memory::new();
         m.load(0x100, &[1, 2, 3, 4]);
         assert_eq!(m.read_u32(0x100), 0x04030201);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_pages_including_zero_pages() {
+        use voltctl_snap::{ByteReader, ByteWriter, Pack, Unpack};
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0xdead_beef);
+        m.write_u64(0x5000, 0); // touched but zero — must stay resident
+        let mut w = ByteWriter::new();
+        m.pack(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = Memory::unpack(&mut r).unwrap();
+        assert!(r.finished());
+        assert_eq!(back.resident_pages(), 2);
+        assert_eq!(back.read_u64(0x1000), 0xdead_beef);
+        assert_eq!(back.digest(), m.digest());
+    }
+
+    #[test]
+    fn wire_decode_rejects_duplicate_pages() {
+        use voltctl_snap::{ByteReader, ByteWriter, Unpack};
+        let mut w = ByteWriter::new();
+        w.put_usize(2);
+        for _ in 0..2 {
+            w.put_u64(0x7); // same page number twice
+            w.put_raw(&[0u8; PAGE_SIZE]);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(Memory::unpack(&mut r).is_err());
     }
 }

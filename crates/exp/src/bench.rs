@@ -65,8 +65,10 @@ pub const DEFAULT_PERF_DIR: &str = "results/perf";
 
 /// Schema version of the `BENCH_*.json` artifacts. Version 2 added
 /// `ns_per_cycle` per point and the `recorded_trace` loop path with its
-/// `recording_overhead_frac` summary.
-pub const BENCH_SCHEMA: u64 = 2;
+/// `recording_overhead_frac` summary. Version 3 added the
+/// `snapshot_save` / `snapshot_restore` loop points and the
+/// `snapshot_bytes*` / `snapshot_*_mb_per_sec` summary entries.
+pub const BENCH_SCHEMA: u64 = 3;
 
 /// One measured point: a named code path at a kernel size (0 taps for
 /// paths with no kernel, e.g. the state-space stepper or the loop suite).
@@ -383,6 +385,29 @@ pub fn bench_loop(smoke: bool) -> BenchSuite {
         traced.report().cycles
     });
 
+    // Snapshot economics: how long a mid-run save/restore takes and how
+    // large the state is, per simulated cycle already covered — the
+    // numbers that size `run --shards` checkpoint overhead. The restore
+    // path pays for the full builder rebuild (that is what a resume
+    // costs); `cycles` on both points is the state's cycle count, so
+    // `ns_per_cycle` reads as amortized checkpoint cost per simulated
+    // cycle.
+    let state_cycles = controlled.report().cycles;
+    let snapshot = controlled.save();
+    let snapshot_bytes = snapshot.len();
+    let sv = bench("loop.snapshot_save", samples, 1, || controlled.save().len());
+    let rs = bench("loop.snapshot_restore", samples, 1, || {
+        ControlLoop::builder(spin_program())
+            .cpu_config(cpu_config())
+            .power(power.clone())
+            .pdn(pdn.clone())
+            .thresholds(thresholds)
+            .restore(&snapshot)
+            .expect("snapshot restores")
+            .report()
+            .cycles
+    });
+
     // The per-cycle LoopSample buffer (`record_trace`) is the fourth
     // observability path; draining it per iteration keeps memory flat
     // and charges the consumer-side cost the real users (fig11's CSV
@@ -405,17 +430,29 @@ pub fn bench_loop(smoke: bool) -> BenchSuite {
         BenchPoint::from_result("recorded", 0, chunk, r),
         BenchPoint::from_result("traced", 0, chunk, t),
         BenchPoint::from_result("recorded_trace", 0, chunk, rt),
+        BenchPoint::from_result("snapshot_save", 0, state_cycles, sv),
+        BenchPoint::from_result("snapshot_restore", 0, state_cycles, rs),
     ];
     // Best-of-N ratios: see the doc comment — the minimum is the
     // noise-robust estimator on shared runners, medians are not.
     let telemetry_overhead = r.best_ns_per_iter / u.best_ns_per_iter - 1.0;
     let tracing_overhead = t.best_ns_per_iter / u.best_ns_per_iter - 1.0;
     let recording_overhead = rt.best_ns_per_iter / u.best_ns_per_iter - 1.0;
+    // MB/s from best-of-N for the same noise-robustness reason.
+    let save_mb_per_sec = snapshot_bytes as f64 * 1e3 / sv.best_ns_per_iter;
+    let restore_mb_per_sec = snapshot_bytes as f64 * 1e3 / rs.best_ns_per_iter;
     let summary = vec![
         ("chunk_cycles", chunk as f64),
         ("telemetry_overhead_frac", telemetry_overhead),
         ("tracing_overhead_frac", tracing_overhead),
         ("recording_overhead_frac", recording_overhead),
+        ("snapshot_bytes", snapshot_bytes as f64),
+        (
+            "snapshot_bytes_per_cycle",
+            snapshot_bytes as f64 / state_cycles as f64,
+        ),
+        ("snapshot_save_mb_per_sec", save_mb_per_sec),
+        ("snapshot_restore_mb_per_sec", restore_mb_per_sec),
     ];
     BenchSuite {
         name: "loop",
@@ -542,7 +579,9 @@ mod tests {
                 "controlled",
                 "recorded",
                 "traced",
-                "recorded_trace"
+                "recorded_trace",
+                "snapshot_save",
+                "snapshot_restore"
             ]
         );
         for p in &suite.points {
@@ -552,10 +591,24 @@ mod tests {
                 p.path
             );
         }
-        for key in ["telemetry_overhead_frac", "recording_overhead_frac"] {
+        for key in [
+            "telemetry_overhead_frac",
+            "recording_overhead_frac",
+            "snapshot_bytes",
+            "snapshot_bytes_per_cycle",
+            "snapshot_save_mb_per_sec",
+            "snapshot_restore_mb_per_sec",
+        ] {
             let v = suite.summary.iter().find(|(n, _)| *n == key).unwrap().1;
             assert!(v.is_finite(), "{key} must be measured");
         }
+        let bytes = suite
+            .summary
+            .iter()
+            .find(|(n, _)| *n == "snapshot_bytes")
+            .unwrap()
+            .1;
+        assert!(bytes > 0.0, "a mid-run snapshot is never empty");
     }
 
     #[test]

@@ -279,21 +279,65 @@ pub fn run_scenario_profiled<P: Profiler>(
     profiler: &P,
 ) -> RunOutput {
     let started = Instant::now();
+    let n = scenario.cells(ctx).len();
+    let jobs = jobs.max(1).min(n.max(1));
+    let results = run_cells_profiled(scenario, ctx, jobs, 0..n, profiler);
+    let mut out = assemble_run_profiled(scenario, ctx, results, jobs, profiler);
+    out.elapsed = started.elapsed();
+    out
+}
+
+/// Runs a contiguous sub-range of a scenario's grid on up to `jobs`
+/// worker threads and returns the cell results **in grid order**.
+///
+/// This is the resumable primitive under [`run_scenario`]: a sharded run
+/// calls it once per shard (checkpointing each returned slice) and then
+/// feeds the concatenation to [`assemble_run`], which performs exactly
+/// the merge+render a single-shot run would — so shard-then-merge output
+/// is byte-identical to single-shot at any `jobs` value.
+///
+/// # Panics
+///
+/// Panics when `range` exceeds the scenario's grid.
+pub fn run_cells(
+    scenario: &dyn Scenario,
+    ctx: &Ctx,
+    jobs: usize,
+    range: std::ops::Range<usize>,
+) -> Vec<CellResult> {
+    run_cells_profiled(scenario, ctx, jobs, range, &NullProfiler)
+}
+
+/// [`run_cells`] with self-profiling (same span layout as
+/// [`run_scenario_profiled`]'s grid stage).
+pub fn run_cells_profiled<P: Profiler>(
+    scenario: &dyn Scenario,
+    ctx: &Ctx,
+    jobs: usize,
+    range: std::ops::Range<usize>,
+    profiler: &P,
+) -> Vec<CellResult> {
     let id = scenario.id();
     let labels = scenario.cells(ctx);
-    let n = labels.len();
+    assert!(
+        range.start <= range.end && range.end <= labels.len(),
+        "cell range {range:?} exceeds the {}-cell grid of {id}",
+        labels.len()
+    );
+    let n = range.len();
     let jobs = jobs.max(1).min(n.max(1));
 
     let slots: Vec<Mutex<Option<CellResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let base = range.start;
 
     if jobs == 1 {
         // Run inline: identical semantics, no thread overhead, and
         // backtraces from narrative checks stay on the caller's stack.
         for (k, slot) in slots.iter().enumerate() {
             let span = Span::start(profiler);
-            let result = scenario.run_cell(ctx, k);
-            span.stop(profiler, &["exp", id, "grid", "job0", &labels[k]]);
+            let result = scenario.run_cell(ctx, base + k);
+            span.stop(profiler, &["exp", id, "grid", "job0", &labels[base + k]]);
             *slot.lock().expect("unshared slot") = Some(result);
         }
     } else {
@@ -308,8 +352,8 @@ pub fn run_scenario_profiled<P: Profiler>(
                             break;
                         }
                         let span = Span::start(profiler);
-                        let result = scenario.run_cell(ctx, k);
-                        span.stop(profiler, &["exp", id, "grid", &job, &labels[k]]);
+                        let result = scenario.run_cell(ctx, base + k);
+                        span.stop(profiler, &["exp", id, "grid", &job, &labels[base + k]]);
                         *slots[k].lock().expect("cell slot poisoned") = Some(result);
                     }
                 });
@@ -317,15 +361,52 @@ pub fn run_scenario_profiled<P: Profiler>(
         });
     }
 
-    let results: Vec<CellResult> = slots
+    slots
         .into_iter()
         .enumerate()
         .map(|(k, slot)| {
             slot.into_inner()
                 .expect("cell slot poisoned")
-                .unwrap_or_else(|| panic!("cell {k} ({:?}) produced no result", labels[k]))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "cell {} ({:?}) produced no result",
+                        base + k,
+                        labels[base + k]
+                    )
+                })
         })
-        .collect();
+        .collect()
+}
+
+/// Merges grid-ordered cell results and renders the report — the back
+/// half of [`run_scenario`], exposed so sharded runs (which obtain
+/// their results from [`run_cells`] calls and checkpoint restores) can
+/// produce output byte-identical to a single-shot run.
+///
+/// `results` must cover the whole grid in grid order. `elapsed` on the
+/// returned output covers only merge+render; callers tracking a longer
+/// wall clock overwrite it.
+pub fn assemble_run(
+    scenario: &dyn Scenario,
+    ctx: &Ctx,
+    results: Vec<CellResult>,
+    jobs: usize,
+) -> RunOutput {
+    assemble_run_profiled(scenario, ctx, results, jobs, &NullProfiler)
+}
+
+/// [`assemble_run`] with self-profiling (`exp;<id>;merge` and
+/// `exp;<id>;render` spans).
+pub fn assemble_run_profiled<P: Profiler>(
+    scenario: &dyn Scenario,
+    ctx: &Ctx,
+    results: Vec<CellResult>,
+    jobs: usize,
+    profiler: &P,
+) -> RunOutput {
+    let started = Instant::now();
+    let id = scenario.id();
+    let n = results.len();
 
     // Grid-order merge: deterministic regardless of completion order.
     let span = Span::start(profiler);

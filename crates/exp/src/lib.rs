@@ -26,14 +26,16 @@ pub mod profile;
 pub mod report;
 pub mod scale;
 pub mod scenarios;
+pub mod shard;
 pub mod shim;
+pub mod snapshot;
 pub mod telemetry;
 pub mod trace;
 
 pub use bench::{BenchOpts, BenchPoint, BenchSuite};
 pub use engine::{
-    default_jobs, run_scenario, run_scenario_profiled, CellResult, Ctx, RunOutput, Runtime,
-    Scenario, TraceSpec,
+    assemble_run, default_jobs, run_cells, run_scenario, run_scenario_profiled, CellResult, Ctx,
+    RunOutput, Runtime, Scenario, TraceSpec,
 };
 pub use golden::{GoldenOpts, GoldenOutcome, Verdict};
 pub use harness::{
@@ -45,3 +47,4 @@ pub use profile::{NullProfiler, Profiler, SelfProfiler, Span};
 pub use report::{ascii_chart, pct, TextTable};
 pub use scale::{env_scale, parse_scale, scaled_budget, MIN_CYCLES};
 pub use scenarios::{find, listing, registry};
+pub use shard::{plan_shards, run_sharded, ShardMeta, ShardOpts, ShardRun};

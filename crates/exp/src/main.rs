@@ -4,11 +4,13 @@
 //! voltctl-exp list
 //! voltctl-exp run <id>... [--jobs N] [--scale X] [--smoke] [--trace]
 //!                         [--telemetry MODE] [--telemetry-out DIR]
+//!                         [--shards K] [--resume DIR] [--checkpoint-dir DIR]
 //! voltctl-exp run --all [same flags]
 //! voltctl-exp trace <id>... [--window W] [--out DIR] [--jobs N]
 //!                           [--scale X] [--smoke] [--min-captures N]
 //! voltctl-exp bench [--smoke] [--out DIR] [--suite pdn|loop]
 //! voltctl-exp golden [--bless] [--jobs N] [--dir DIR] [id...]
+//! voltctl-exp snapshot inspect <file>...
 //! ```
 
 use std::path::PathBuf;
@@ -19,7 +21,7 @@ use voltctl_exp::engine::{
 use voltctl_exp::profile::{self, Profiler, SelfProfiler};
 use voltctl_exp::scenarios::{find, registry};
 use voltctl_exp::telemetry::{default_out_dir, env_mode, export_run, parse_mode, Mode};
-use voltctl_exp::{parse_scale, Manifest, TextTable};
+use voltctl_exp::{parse_scale, run_sharded, Manifest, ShardOpts, TextTable};
 
 const USAGE: &str = "\
 voltctl-exp — unified experiment runner
@@ -31,6 +33,7 @@ USAGE:
     voltctl-exp trace <id>... [TRACE OPTIONS]
     voltctl-exp bench [--smoke] [--out <DIR>] [--suite <pdn|loop>]
     voltctl-exp golden [--bless] [--jobs <N>] [--dir <DIR>] [<id>...]
+    voltctl-exp snapshot inspect <file>...
 
 OPTIONS:
     --jobs <N>            worker threads per scenario grid
@@ -47,6 +50,15 @@ OPTIONS:
                           stderr + a speedscope/inferno-loadable
                           folded-stacks file
     --profile-out <DIR>   folded-stacks directory (default: results/profile)
+    --shards <K>          split each scenario's grid into K resumable
+                          shards, checkpointing each as a .snap file;
+                          the merged output is byte-identical to an
+                          unsharded run
+    --resume <DIR>        load valid shard checkpoints from DIR instead
+                          of recomputing them (invalid or missing shards
+                          rerun and are re-checkpointed)
+    --checkpoint-dir <DIR> where new checkpoints land (default: the
+                          --resume directory, else results/checkpoints)
 
 TRACE OPTIONS:
     --window <W>          flight-recorder window in cycles kept either
@@ -71,6 +83,11 @@ GOLDEN OPTIONS:
     --dir <DIR>           snapshot directory (default: results/golden)
     <id>...               scenarios to check (default: all)
 
+SNAPSHOT COMMANDS:
+    inspect <file>...     validate a .snap container (loop save, shard
+                          checkpoint, replay capture) and describe its
+                          sections; exits nonzero on any invalid file
+
 Run `voltctl-exp list` for the available scenario ids.
 ";
 
@@ -82,6 +99,30 @@ struct RunArgs {
     mode: Mode,
     profile: bool,
     profile_out: PathBuf,
+    shards: Option<usize>,
+    resume: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+impl RunArgs {
+    /// Whether this run goes through the shard planner at all.
+    fn sharded(&self) -> bool {
+        self.shards.is_some() || self.resume.is_some()
+    }
+
+    /// Where new checkpoints land: explicit `--checkpoint-dir`, else the
+    /// resume directory (so a healed shard is found next time), else the
+    /// default under the workspace root.
+    fn checkpoint_dir(&self) -> PathBuf {
+        self.checkpoint_dir
+            .clone()
+            .or_else(|| self.resume.clone())
+            .unwrap_or_else(|| {
+                voltctl_check::persist::workspace_root()
+                    .join("results")
+                    .join("checkpoints")
+            })
+    }
 }
 
 fn fail(msg: &str) -> ! {
@@ -100,6 +141,9 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         profile_out: voltctl_check::persist::workspace_root()
             .join("results")
             .join("profile"),
+        shards: None,
+        resume: None,
+        checkpoint_dir: None,
     };
     out.ctx.telemetry_out = default_out_dir();
 
@@ -136,6 +180,21 @@ fn parse_run_args(args: &[String]) -> RunArgs {
             }
             "--profile" => out.profile = true,
             "--profile-out" => out.profile_out = PathBuf::from(flag_value("--profile-out")),
+            "--shards" => {
+                let raw = flag_value("--shards");
+                out.shards = Some(
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| {
+                            fail(&format!("--shards {raw:?} is not a positive integer"))
+                        }),
+                );
+            }
+            "--resume" => out.resume = Some(PathBuf::from(flag_value("--resume"))),
+            "--checkpoint-dir" => {
+                out.checkpoint_dir = Some(PathBuf::from(flag_value("--checkpoint-dir")))
+            }
             _ if arg.starts_with("--") => fail(&format!("unknown flag {arg:?}")),
             _ => out.ids.push(arg.clone()),
         }
@@ -226,13 +285,54 @@ fn cmd_run(args: &[String]) {
     let mut trace_manifest = Manifest::new("run --trace");
     trace_manifest.ctx(&run.ctx, run.jobs);
 
+    let shard_opts = ShardOpts {
+        shards: run.shards,
+        resume: run.resume.clone(),
+        dir: run.checkpoint_dir(),
+    };
+    let mut checkpoint_manifest = Manifest::new(match (run.shards, &run.resume) {
+        (Some(k), _) => format!("run --shards {k}"),
+        (None, Some(dir)) => format!("run --resume {}", dir.display()),
+        (None, None) => "run".to_string(),
+    });
+    checkpoint_manifest.ctx(&run.ctx, run.jobs);
+    let mut max_shards = 0usize;
+
     for (k, scenario) in scenarios.iter().enumerate() {
         if k > 0 {
             println!();
         }
-        let out = match profiler {
-            Some(p) => run_scenario_profiled(*scenario, &run.ctx, run.jobs, p),
-            None => run_scenario(*scenario, &run.ctx, run.jobs),
+        let out = if run.sharded() {
+            let sharded = match profiler {
+                Some(p) => run_sharded(*scenario, &run.ctx, run.jobs, &shard_opts, p),
+                None => run_sharded(
+                    *scenario,
+                    &run.ctx,
+                    run.jobs,
+                    &shard_opts,
+                    &voltctl_exp::NullProfiler,
+                ),
+            }
+            .unwrap_or_else(|msg| fail(&msg));
+            eprintln!(
+                "[voltctl-exp] {}: {} shard(s) — {} loaded from checkpoints, {} checkpoint(s) written under {}",
+                scenario.id(),
+                sharded.shards,
+                sharded.loaded,
+                sharded.written.len(),
+                shard_opts.dir.display()
+            );
+            max_shards = max_shards.max(sharded.shards);
+            checkpoint_manifest.scenario(scenario.id());
+            for path in &sharded.written {
+                checkpoint_manifest.artifact(path);
+            }
+            sharded.output
+        } else {
+            match profiler {
+                Some(p) => run_scenario_profiled(*scenario, &run.ctx, run.jobs, p),
+                None => run_scenario(*scenario, &run.ctx, run.jobs),
+            }
         };
         print!("{}", out.report);
         eprintln!(
@@ -280,12 +380,26 @@ fn cmd_run(args: &[String]) {
     }
 
     // Every directory that received artifacts gets a provenance
-    // manifest describing this invocation.
+    // manifest describing this invocation. Sharded runs stamp their
+    // lineage (shard count, resume source) on every manifest they
+    // write, so artifacts remain traceable to the checkpoints that
+    // fed them.
     telemetry_manifest.wall(started.elapsed());
     trace_manifest.wall(started.elapsed());
+    checkpoint_manifest.wall(started.elapsed());
+    if run.sharded() {
+        for manifest in [
+            &mut telemetry_manifest,
+            &mut trace_manifest,
+            &mut checkpoint_manifest,
+        ] {
+            manifest.shard_lineage(max_shards, run.resume.as_deref());
+        }
+    }
     for (manifest, dir) in [
         (&telemetry_manifest, &run.ctx.telemetry_out),
         (&trace_manifest, &trace_out),
+        (&checkpoint_manifest, &shard_opts.dir),
     ] {
         if manifest.artifact_count() == 0 {
             continue;
@@ -441,6 +555,28 @@ fn cmd_bench(args: &[String]) {
     }
 }
 
+fn cmd_snapshot(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("inspect") if args.len() > 1 => {}
+        Some("inspect") => fail("snapshot inspect needs at least one file"),
+        Some(other) => fail(&format!("unknown snapshot command {other:?} (inspect)")),
+        None => fail("snapshot needs a command (inspect <file>...)"),
+    }
+    let mut failed = false;
+    for file in &args[1..] {
+        match voltctl_exp::snapshot::inspect_file(std::path::Path::new(file)) {
+            Ok(report) => print!("{report}"),
+            Err(msg) => {
+                eprintln!("voltctl-exp: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -454,6 +590,7 @@ fn main() {
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("golden") => cmd_golden(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => print!("{USAGE}"),
         Some(other) => fail(&format!("unknown command {other:?}")),
         None => fail("missing command"),

@@ -22,8 +22,10 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use voltctl_telemetry::export::{self, json_escape};
 
-/// Schema version of the manifest format itself.
-pub const MANIFEST_SCHEMA: u64 = 1;
+/// Schema version of the manifest format itself. Version 2 added the
+/// shard lineage fields: `shards` (0 = single-shot) and `resume_from`
+/// (the checkpoint directory a resumed run loaded from, else `null`).
+pub const MANIFEST_SCHEMA: u64 = 2;
 
 /// The schema versions of every machine-readable artifact format this
 /// workspace writes, recorded in each manifest so a reader knows which
@@ -34,6 +36,7 @@ pub fn schema_versions() -> Vec<(&'static str, u64)> {
         ("bench", crate::bench::BENCH_SCHEMA),
         ("telemetry_snapshot", 1),
         ("trace_event_json", 1),
+        ("snapshot", voltctl_snap::CONTAINER_VERSION as u64),
     ]
 }
 
@@ -64,6 +67,11 @@ pub struct Manifest {
     pub jobs: usize,
     /// Whether smoke budgets were used.
     pub smoke: bool,
+    /// Shard count of a sharded run; 0 means single-shot (no shard
+    /// checkpoints were involved).
+    pub shards: usize,
+    /// Checkpoint directory a resumed run loaded shards from, if any.
+    pub resume_from: Option<String>,
     /// Named RNG seeds the run depended on.
     pub seeds: Vec<(&'static str, u64)>,
     /// Artifact-format schema versions (see [`schema_versions`]).
@@ -83,6 +91,8 @@ impl Manifest {
             scale: 1.0,
             jobs: 1,
             smoke: false,
+            shards: 0,
+            resume_from: None,
             seeds: default_seeds(),
             versions: schema_versions(),
             wall_ms: 0,
@@ -107,6 +117,14 @@ impl Manifest {
     /// Records the elapsed wall clock.
     pub fn wall(&mut self, elapsed: Duration) -> &mut Self {
         self.wall_ms = elapsed.as_millis() as u64;
+        self
+    }
+
+    /// Records shard lineage: the shard count and, for resumed runs,
+    /// the checkpoint directory that supplied prior results.
+    pub fn shard_lineage(&mut self, shards: usize, resume_from: Option<&Path>) -> &mut Self {
+        self.shards = shards;
+        self.resume_from = resume_from.map(|p| p.display().to_string());
         self
     }
 
@@ -141,6 +159,15 @@ impl Manifest {
         let _ = writeln!(s, "  \"scale\": {},", self.scale);
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"smoke\": {},", self.smoke);
+        let _ = writeln!(s, "  \"shards\": {},", self.shards);
+        match &self.resume_from {
+            Some(dir) => {
+                let _ = writeln!(s, "  \"resume_from\": \"{}\",", json_escape(dir));
+            }
+            None => {
+                let _ = writeln!(s, "  \"resume_from\": null,");
+            }
+        }
         let _ = writeln!(s, "  \"seeds\": {{");
         for (k, (name, seed)) in self.seeds.iter().enumerate() {
             let comma = if k + 1 < self.seeds.len() { "," } else { "" };
@@ -270,11 +297,18 @@ mod tests {
             "seeds",
             "schema_versions",
             "artifacts",
+            "shards",
+            "resume_from",
         ] {
             assert!(parsed.get(key).is_some(), "manifest carries {key:?}");
         }
         assert!(json.contains("\"scenarios\": [\"fig08_stressmark\"]"));
         assert!(json.contains("\"wall_ms\": 1234"));
+        // Single-shot lineage defaults: no shards, no resume source.
+        assert!(json.contains("\"shards\": 0"));
+        assert!(json.contains("\"resume_from\": null"));
+        // Snapshot container version travels with every manifest.
+        assert!(json.contains("\"snapshot\": 1"));
         // The artifact path is relativized and carries its true size.
         assert!(json.contains("\"path\": \"fig.trace.json\", \"bytes\": 2"));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -297,6 +331,18 @@ mod tests {
     fn describe_and_host_never_panic() {
         assert!(!git_describe().is_empty());
         assert!(!hostname().is_empty());
+    }
+
+    #[test]
+    fn shard_lineage_is_rendered() {
+        let dir = temp_dir("lineage");
+        let mut m = Manifest::new("run --shards 3");
+        m.shard_lineage(3, Some(Path::new("results/checkpoints/a")));
+        let json = m.to_json(&dir);
+        voltctl_check::Json::parse(&json).expect("manifest JSON parses");
+        assert!(json.contains("\"shards\": 3"));
+        assert!(json.contains("\"resume_from\": \"results/checkpoints/a\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,686 @@
+//! Sharded, resumable scenario execution (`run --shards K` /
+//! `run --resume DIR`).
+//!
+//! A shard is a contiguous slice of a scenario's grid. [`plan_shards`]
+//! splits the grid into K slices whose sizes differ by at most one;
+//! each completed shard's [`CellResult`]s are serialized into a
+//! [`SnapshotKind::Shard`] container (one `.snap` file per shard,
+//! written through the never-overwrite
+//! [`write_bytes_fresh`](voltctl_telemetry::export::write_bytes_fresh)
+//! writer), and the final merge feeds the concatenated results to
+//! [`assemble_run`] — exactly the merge+render a single-shot run
+//! performs, so the report, telemetry, and trace artifacts are
+//! byte-identical to `run` without `--shards` at any `--jobs` value.
+//!
+//! A resumed run ([`ShardOpts::resume`]) loads every shard whose
+//! canonical checkpoint file is present and valid — matching scenario,
+//! shard geometry, and [`ctx_fingerprint`] — and recomputes the rest.
+//! Invalid checkpoints (truncated, corrupted, version-skewed, or taken
+//! under a different context) are *rejected and recomputed*, never
+//! half-loaded: decoding is all-or-nothing per file.
+//!
+//! Checkpoint layout (kind = shard, both sections at
+//! [`SHARD_SECTION_VERSION`]):
+//!
+//! | tag | section | contents                                         |
+//! |-----|---------|--------------------------------------------------|
+//! | 1   | meta    | scenario id, shard index/count, cell range, grid size, ctx fingerprint + fields |
+//! | 2   | cells   | the shard's `CellResult`s (label, row, text, values, recorder, tracer) |
+
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use voltctl_snap::{
+    ByteWriter, Pack, SnapError, SnapshotKind, SnapshotReader, SnapshotWriter, Unpack,
+};
+use voltctl_telemetry::export::write_bytes_fresh;
+
+use crate::engine::{assemble_run_profiled, run_cells_profiled, CellResult, Ctx, RunOutput};
+use crate::profile::Profiler;
+
+/// Version stamped on (and required of) every section in a shard
+/// checkpoint.
+pub const SHARD_SECTION_VERSION: u16 = 1;
+
+/// Section tags of the shard container.
+pub mod section {
+    /// Shard geometry and run-context provenance.
+    pub const META: u16 = 1;
+    /// The shard's cell results.
+    pub const CELLS: u16 = 2;
+}
+
+/// Splits `cells` grid indices into `shards` contiguous ranges whose
+/// sizes differ by at most one (earlier shards take the remainder).
+/// `shards` is clamped to `[1, cells]`; an empty grid yields one empty
+/// shard so the downstream merge still runs.
+pub fn plan_shards(cells: usize, shards: usize) -> Vec<Range<usize>> {
+    let k = shards.clamp(1, cells.max(1));
+    let base = cells / k;
+    let rem = cells % k;
+    let mut plan = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < rem);
+        plan.push(start..start + len);
+        start += len;
+    }
+    plan
+}
+
+/// Fingerprints the parts of a [`Ctx`] that change cell *results*:
+/// scale, smoke, telemetry collection, and the trace window. A
+/// checkpoint taken under a different fingerprint holds answers to a
+/// different question and is rejected on resume. (`telemetry_out` is
+/// deliberately excluded — it moves artifacts, not results.)
+pub fn ctx_fingerprint(ctx: &Ctx) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_u64(ctx.scale.to_bits());
+    w.put_bool(ctx.smoke);
+    w.put_bool(ctx.telemetry);
+    ctx.trace.map(|t| t.window).pack(&mut w);
+    voltctl_snap::fnv1a(w.as_bytes())
+}
+
+/// The canonical checkpoint file name for one shard of one scenario.
+/// Resume looks for exactly this name; the never-overwrite writer's
+/// `-N` suffixed copies from reruns are left alone.
+pub fn checkpoint_file(id: &str, shard: usize, shards: usize) -> String {
+    format!("{id}.shard{shard}of{shards}.snap")
+}
+
+/// Provenance and geometry carried in a shard checkpoint's meta
+/// section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMeta {
+    /// The scenario the cells belong to.
+    pub scenario: String,
+    /// This shard's index (0-based).
+    pub shard: usize,
+    /// Total shards in the plan.
+    pub shards: usize,
+    /// Grid-index range covered: `start..end`.
+    pub start: usize,
+    /// End of the covered range (exclusive).
+    pub end: usize,
+    /// Total cells in the scenario's grid when the shard ran.
+    pub total_cells: usize,
+    /// [`ctx_fingerprint`] of the run context.
+    pub fingerprint: u64,
+    /// Cycle-budget scale the cells ran at (for `snapshot inspect`).
+    pub scale: f64,
+    /// Whether smoke budgets were used.
+    pub smoke: bool,
+    /// Whether telemetry was collected.
+    pub telemetry: bool,
+    /// Flight-recorder window when tracing was on.
+    pub trace_window: Option<usize>,
+}
+
+impl ShardMeta {
+    /// Builds the meta record for shard `shard` covering `range`.
+    pub fn new(
+        scenario: &str,
+        ctx: &Ctx,
+        shard: usize,
+        shards: usize,
+        range: &Range<usize>,
+        total_cells: usize,
+    ) -> ShardMeta {
+        ShardMeta {
+            scenario: scenario.to_string(),
+            shard,
+            shards,
+            start: range.start,
+            end: range.end,
+            total_cells,
+            fingerprint: ctx_fingerprint(ctx),
+            scale: ctx.scale,
+            smoke: ctx.smoke,
+            telemetry: ctx.telemetry,
+            trace_window: ctx.trace.map(|t| t.window),
+        }
+    }
+}
+
+impl Pack for ShardMeta {
+    fn pack(&self, w: &mut ByteWriter) {
+        w.put_str(&self.scenario);
+        w.put_usize(self.shard);
+        w.put_usize(self.shards);
+        w.put_usize(self.start);
+        w.put_usize(self.end);
+        w.put_usize(self.total_cells);
+        w.put_u64(self.fingerprint);
+        w.put_f64(self.scale);
+        w.put_bool(self.smoke);
+        w.put_bool(self.telemetry);
+        self.trace_window.pack(w);
+    }
+}
+
+impl Unpack for ShardMeta {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, SnapError> {
+        let meta = ShardMeta {
+            scenario: r.get_str()?,
+            shard: r.get_usize()?,
+            shards: r.get_usize()?,
+            start: r.get_usize()?,
+            end: r.get_usize()?,
+            total_cells: r.get_usize()?,
+            fingerprint: r.get_u64()?,
+            scale: r.get_f64()?,
+            smoke: r.get_bool()?,
+            telemetry: r.get_bool()?,
+            trace_window: Unpack::unpack(r)?,
+        };
+        if meta.shard >= meta.shards {
+            return Err(SnapError::Corrupt(format!(
+                "shard index {} out of range for {} shard(s)",
+                meta.shard, meta.shards
+            )));
+        }
+        if meta.start > meta.end || meta.end > meta.total_cells {
+            return Err(SnapError::Corrupt(format!(
+                "shard range {}..{} exceeds the {}-cell grid",
+                meta.start, meta.end, meta.total_cells
+            )));
+        }
+        Ok(meta)
+    }
+}
+
+impl Pack for CellResult {
+    fn pack(&self, w: &mut ByteWriter) {
+        w.put_str(&self.label);
+        self.row.pack(w);
+        w.put_str(&self.text);
+        w.put_usize(self.values.len());
+        for (name, value) in &self.values {
+            w.put_str(name);
+            w.put_f64(*value);
+        }
+        self.recorder.pack(w);
+        self.tracer.pack(w);
+    }
+}
+
+impl Unpack for CellResult {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, SnapError> {
+        let label = r.get_str()?;
+        let row = Unpack::unpack(r)?;
+        let text = r.get_str()?;
+        let count = r.get_count("cell values")?;
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Metric names are `&'static str` in the live struct; the
+            // process-wide intern pool restores that after a decode.
+            let name = voltctl_telemetry::intern::intern_static(&r.get_str()?);
+            values.push((name, r.get_f64()?));
+        }
+        Ok(CellResult {
+            label,
+            row,
+            text,
+            values,
+            recorder: Unpack::unpack(r)?,
+            tracer: Unpack::unpack(r)?,
+        })
+    }
+}
+
+/// Serializes one completed shard into a shard-kind snapshot container.
+pub fn encode_checkpoint(meta: &ShardMeta, cells: &[CellResult]) -> Vec<u8> {
+    let mut w = SnapshotWriter::new(SnapshotKind::Shard);
+    let mut m = ByteWriter::new();
+    meta.pack(&mut m);
+    w.section(section::META, SHARD_SECTION_VERSION, m);
+    let mut c = ByteWriter::new();
+    c.put_usize(cells.len());
+    for cell in cells {
+        cell.pack(&mut c);
+    }
+    w.section(section::CELLS, SHARD_SECTION_VERSION, c);
+    w.finish()
+}
+
+/// Decodes a shard checkpoint all-or-nothing: container framing, both
+/// sections, and the meta/cells consistency check (`end - start` cells)
+/// must all hold before anything is returned.
+///
+/// # Errors
+///
+/// Every malformed input maps to a [`SnapError`] naming what failed;
+/// no partial state escapes.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<(ShardMeta, Vec<CellResult>), SnapError> {
+    let snap = SnapshotReader::parse(bytes)?;
+    if snap.kind() != SnapshotKind::Shard {
+        return Err(SnapError::Corrupt(format!(
+            "expected a shard snapshot, found a {} snapshot",
+            snap.kind().name()
+        )));
+    }
+    let read = |tag: u16, what: &'static str| -> Result<voltctl_snap::ByteReader<'_>, SnapError> {
+        let sec = snap.require(tag, what)?;
+        if sec.version != SHARD_SECTION_VERSION {
+            return Err(SnapError::UnsupportedVersion {
+                what,
+                found: sec.version as u32,
+                supported: SHARD_SECTION_VERSION as u32,
+            });
+        }
+        Ok(sec.reader())
+    };
+
+    let mut r = read(section::META, "shard meta")?;
+    let meta = ShardMeta::unpack(&mut r)?;
+    r.expect_end("shard meta")?;
+
+    let mut r = read(section::CELLS, "shard cells")?;
+    let count = r.get_count("shard cells")?;
+    if count != meta.end - meta.start {
+        return Err(SnapError::Corrupt(format!(
+            "checkpoint for cells {}..{} carries {count} result(s)",
+            meta.start, meta.end
+        )));
+    }
+    let mut cells = Vec::with_capacity(count);
+    for _ in 0..count {
+        cells.push(CellResult::unpack(&mut r)?);
+    }
+    r.expect_end("shard cells")?;
+    Ok((meta, cells))
+}
+
+/// How a sharded run should find and keep its checkpoints.
+#[derive(Debug, Clone)]
+pub struct ShardOpts {
+    /// Shard count. `None` with a resume directory infers the count
+    /// from the checkpoints found there (falling back to 1).
+    pub shards: Option<usize>,
+    /// Directory to load existing checkpoints from (`run --resume`).
+    pub resume: Option<PathBuf>,
+    /// Directory newly computed shards are checkpointed into.
+    pub dir: PathBuf,
+}
+
+/// The outcome of a sharded run: the merged output plus shard lineage
+/// for the provenance manifest.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// The merged run output — byte-identical to a single-shot run.
+    pub output: RunOutput,
+    /// Shard count actually used.
+    pub shards: usize,
+    /// Shards restored from checkpoints instead of recomputed.
+    pub loaded: usize,
+    /// Checkpoint files written by this invocation.
+    pub written: Vec<PathBuf>,
+}
+
+/// Infers the shard count from the canonical checkpoint files present
+/// for `id` under `dir` (smallest count wins if several plans coexist).
+fn infer_shards(dir: &Path, id: &str) -> Option<usize> {
+    let prefix = format!("{id}.shard");
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut counts: Vec<usize> = entries
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter_map(|name| {
+            let rest = name.strip_prefix(&prefix)?.strip_suffix(".snap")?;
+            let (shard, shards) = rest.split_once("of")?;
+            let _: usize = shard.parse().ok()?;
+            shards.parse().ok()
+        })
+        .collect();
+    counts.sort_unstable();
+    counts.into_iter().next()
+}
+
+/// Loads one shard's checkpoint if its canonical file exists and its
+/// meta matches the expected geometry and context. Returns the cells on
+/// success, `None` (after a stderr warning for real mismatches) when
+/// the shard must be recomputed.
+fn try_load_shard(dir: &Path, expected: &ShardMeta) -> Option<Vec<CellResult>> {
+    let path = dir.join(checkpoint_file(
+        &expected.scenario,
+        expected.shard,
+        expected.shards,
+    ));
+    let bytes = std::fs::read(&path).ok()?;
+    let reject = |why: String| {
+        voltctl_telemetry::warn(
+            "shard.resume",
+            &format!("ignoring {}: {why}; recomputing shard", path.display()),
+        );
+        None
+    };
+    match decode_checkpoint(&bytes) {
+        Ok((meta, cells)) => {
+            if meta != *expected {
+                return reject(format!(
+                    "checkpoint was taken for {} shard {}/{} cells {}..{} \
+                     (fingerprint {:#x}), this run needs shard {}/{} cells {}..{} \
+                     (fingerprint {:#x})",
+                    meta.scenario,
+                    meta.shard,
+                    meta.shards,
+                    meta.start,
+                    meta.end,
+                    meta.fingerprint,
+                    expected.shard,
+                    expected.shards,
+                    expected.start,
+                    expected.end,
+                    expected.fingerprint,
+                ));
+            }
+            Some(cells)
+        }
+        Err(e) => reject(format!("{e}")),
+    }
+}
+
+/// Runs `scenario` in shards: each shard's cells fan out across `jobs`
+/// workers, completed shards are checkpointed under `opts.dir`, and
+/// shards whose checkpoints already exist under `opts.resume` are
+/// loaded instead of recomputed. The concatenated results then go
+/// through the same grid-order merge and render as a single-shot run.
+///
+/// # Errors
+///
+/// Returns a message when a freshly computed checkpoint cannot be
+/// written (resume safety would be silently lost otherwise).
+pub fn run_sharded<P: Profiler>(
+    scenario: &dyn crate::engine::Scenario,
+    ctx: &Ctx,
+    jobs: usize,
+    opts: &ShardOpts,
+    profiler: &P,
+) -> Result<ShardRun, String> {
+    let started = Instant::now();
+    let id = scenario.id();
+    let total = scenario.cells(ctx).len();
+    let jobs = jobs.max(1).min(total.max(1));
+    let shards = opts
+        .shards
+        .or_else(|| infer_shards(opts.resume.as_deref()?, id))
+        .unwrap_or(1);
+    let plan = plan_shards(total, shards);
+    let shards = plan.len();
+
+    let mut results: Vec<CellResult> = Vec::with_capacity(total);
+    let mut loaded = 0;
+    let mut written = Vec::new();
+    for (i, range) in plan.iter().enumerate() {
+        let meta = ShardMeta::new(id, ctx, i, shards, range, total);
+        let cells = match opts
+            .resume
+            .as_deref()
+            .and_then(|d| try_load_shard(d, &meta))
+        {
+            Some(cells) => {
+                loaded += 1;
+                cells
+            }
+            None => {
+                let cells = run_cells_profiled(scenario, ctx, jobs, range.clone(), profiler);
+                let bytes = encode_checkpoint(&meta, &cells);
+                let path = write_bytes_fresh(&opts.dir, &checkpoint_file(id, i, shards), &bytes)
+                    .map_err(|e| {
+                        format!(
+                            "cannot checkpoint shard {i} of {id} under {}: {e}",
+                            opts.dir.display()
+                        )
+                    })?;
+                written.push(path);
+                cells
+            }
+        };
+        results.extend(cells);
+    }
+
+    let mut output = assemble_run_profiled(scenario, ctx, results, jobs, profiler);
+    output.elapsed = started.elapsed();
+    Ok(ShardRun {
+        output,
+        shards,
+        loaded,
+        written,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Scenario;
+    use voltctl_telemetry::Recorder as _;
+
+    struct Grid(usize);
+
+    impl Scenario for Grid {
+        fn id(&self) -> &'static str {
+            "shard_grid"
+        }
+        fn title(&self) -> &'static str {
+            "shard test grid"
+        }
+        fn cells(&self, _ctx: &Ctx) -> Vec<String> {
+            (0..self.0).map(|k| format!("cell{k}")).collect()
+        }
+        fn run_cell(&self, _ctx: &Ctx, cell: usize) -> CellResult {
+            let mut r = CellResult::new(format!("cell{cell}"));
+            r.value("idx", cell as f64);
+            r.row = vec![cell.to_string()];
+            r.text = format!("ran {cell}");
+            r.recorder.counter("cells.run", 1);
+            r.recorder.value("cell.index", cell as f64);
+            r
+        }
+        fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
+            cells
+                .iter()
+                .map(|c| format!("{}={}", c.label, c.require("idx")))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("voltctl-shard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn plans_are_contiguous_and_balanced() {
+        for cells in [0usize, 1, 2, 7, 8, 61] {
+            for shards in [1usize, 2, 3, 8, 100] {
+                let plan = plan_shards(cells, shards);
+                assert!(!plan.is_empty());
+                assert!(plan.len() <= shards.max(1));
+                assert_eq!(plan[0].start, 0);
+                assert_eq!(plan.last().unwrap().end, cells);
+                let mut sizes = Vec::new();
+                for w in plan.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                }
+                for r in &plan {
+                    sizes.push(r.len());
+                }
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "{cells} cells / {shards} shards: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_cells_exactly() {
+        let ctx = Ctx::default();
+        let scenario = Grid(5);
+        let range = 1..4;
+        let cells = crate::engine::run_cells(&scenario, &ctx, 1, range.clone());
+        let meta = ShardMeta::new("shard_grid", &ctx, 0, 2, &range, 5);
+        let bytes = encode_checkpoint(&meta, &cells);
+        let (meta2, cells2) = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(meta, meta2);
+        assert_eq!(cells.len(), cells2.len());
+        for (a, b) in cells.iter().zip(&cells2) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.row, b.row);
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.values, b.values);
+            assert_eq!(a.recorder.snapshot(), b.recorder.snapshot());
+        }
+        // Re-encoding the decoded state is bitwise stable.
+        assert_eq!(encode_checkpoint(&meta2, &cells2), bytes);
+    }
+
+    #[test]
+    fn damaged_checkpoints_are_rejected_not_half_loaded() {
+        let ctx = Ctx::default();
+        let cells = crate::engine::run_cells(&Grid(3), &ctx, 1, 0..3);
+        let meta = ShardMeta::new("shard_grid", &ctx, 0, 1, &(0..3), 3);
+        let good = encode_checkpoint(&meta, &cells);
+        for cut in (0..good.len()).step_by(13) {
+            assert!(decode_checkpoint(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut flipped = good.clone();
+        flipped[good.len() / 2] ^= 0x10;
+        assert!(decode_checkpoint(&flipped).is_err(), "bit flip undetected");
+        // A loop snapshot is not a shard checkpoint.
+        let wrong_kind = SnapshotWriter::new(SnapshotKind::Loop).finish();
+        let err = decode_checkpoint(&wrong_kind).unwrap_err();
+        assert!(
+            format!("{err}").contains("expected a shard snapshot"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shot_and_resumes() {
+        let ctx = Ctx {
+            telemetry: true,
+            ..Ctx::default()
+        };
+        let scenario = Grid(11);
+        let single = crate::engine::run_scenario(&scenario, &ctx, 2);
+
+        let dir = temp_dir("resume");
+        let opts = ShardOpts {
+            shards: Some(3),
+            resume: None,
+            dir: dir.clone(),
+        };
+        let run = run_sharded(&scenario, &ctx, 2, &opts, &crate::profile::NullProfiler).unwrap();
+        assert_eq!(run.shards, 3);
+        assert_eq!(run.loaded, 0);
+        assert_eq!(run.written.len(), 3);
+        assert_eq!(run.output.report, single.report);
+        assert_eq!(
+            run.output.telemetry.snapshot().counters,
+            single.telemetry.snapshot().counters
+        );
+
+        // Resume with every checkpoint present: nothing recomputed.
+        let resumed = run_sharded(
+            &scenario,
+            &ctx,
+            2,
+            &ShardOpts {
+                shards: None, // inferred from the directory
+                resume: Some(dir.clone()),
+                dir: dir.clone(),
+            },
+            &crate::profile::NullProfiler,
+        )
+        .unwrap();
+        assert_eq!(resumed.shards, 3);
+        assert_eq!(resumed.loaded, 3);
+        assert!(resumed.written.is_empty());
+        assert_eq!(resumed.output.report, single.report);
+
+        // Corrupt one checkpoint: that shard (and only it) is recomputed,
+        // and the output is still identical.
+        let victim = dir.join(checkpoint_file("shard_grid", 1, 3));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let at = bytes.len() / 3;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+        let healed = run_sharded(
+            &scenario,
+            &ctx,
+            2,
+            &ShardOpts {
+                shards: Some(3),
+                resume: Some(dir.clone()),
+                dir: dir.clone(),
+            },
+            &crate::profile::NullProfiler,
+        )
+        .unwrap();
+        assert_eq!(healed.loaded, 2);
+        assert_eq!(healed.written.len(), 1);
+        assert_eq!(healed.output.report, single.report);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_shaping_context_only() {
+        let base = Ctx::default();
+        let scaled = Ctx {
+            scale: 0.5,
+            ..Ctx::default()
+        };
+        let smoke = Ctx {
+            smoke: true,
+            ..Ctx::default()
+        };
+        let moved = Ctx {
+            telemetry_out: PathBuf::from("/elsewhere"),
+            ..Ctx::default()
+        };
+        assert_ne!(ctx_fingerprint(&base), ctx_fingerprint(&scaled));
+        assert_ne!(ctx_fingerprint(&base), ctx_fingerprint(&smoke));
+        assert_eq!(
+            ctx_fingerprint(&base),
+            ctx_fingerprint(&moved),
+            "artifact destination must not invalidate checkpoints"
+        );
+    }
+
+    #[test]
+    fn context_mismatch_forces_recompute() {
+        let dir = temp_dir("ctx-mismatch");
+        let scenario = Grid(4);
+        let smoke = Ctx {
+            smoke: true,
+            ..Ctx::default()
+        };
+        let opts = ShardOpts {
+            shards: Some(2),
+            resume: None,
+            dir: dir.clone(),
+        };
+        run_sharded(&scenario, &smoke, 1, &opts, &crate::profile::NullProfiler).unwrap();
+
+        // Same shard geometry, different context: checkpoints must not
+        // be trusted.
+        let full = Ctx::default();
+        let resumed = run_sharded(
+            &scenario,
+            &full,
+            1,
+            &ShardOpts {
+                shards: Some(2),
+                resume: Some(dir.clone()),
+                dir: dir.clone(),
+            },
+            &crate::profile::NullProfiler,
+        )
+        .unwrap();
+        assert_eq!(resumed.loaded, 0, "fingerprint mismatch must recompute");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

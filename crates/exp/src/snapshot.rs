@@ -1,0 +1,143 @@
+//! The `voltctl-exp snapshot` command: offline inspection of `.snap`
+//! containers (loop saves, shard checkpoints, replay captures) without
+//! reconstructing any simulator state.
+//!
+//! `snapshot inspect <file>` validates the container framing — magic,
+//! version, checksum, section table — and prints a section-by-section
+//! description. For shard checkpoints the meta section is decoded too,
+//! so a checkpoint directory can be audited (which scenario, which
+//! cells, which run context) before committing to a resume.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use voltctl_snap::{SnapshotKind, SnapshotReader, Unpack};
+
+use crate::shard::{self, ShardMeta};
+
+/// Human-readable name of a section tag within a given snapshot kind;
+/// tags from newer writers fall back to `"?"` (the framing still
+/// validates and prints).
+fn section_name(kind: SnapshotKind, tag: u16) -> &'static str {
+    match (kind, tag) {
+        (SnapshotKind::Loop, 1) => "meta",
+        (SnapshotKind::Loop, 2) => "cpu",
+        (SnapshotKind::Loop, 3) => "pdn",
+        (SnapshotKind::Loop, 4) => "sensor",
+        (SnapshotKind::Loop, 5) => "controller",
+        (SnapshotKind::Loop, 6) => "actuator",
+        (SnapshotKind::Loop, 7) => "monitor",
+        (SnapshotKind::Loop, 8) => "trace",
+        (SnapshotKind::Shard, 1) => "meta",
+        (SnapshotKind::Shard, 2) => "cells",
+        _ => "?",
+    }
+}
+
+/// Renders an inspection report for one snapshot's bytes. `origin` is
+/// echoed in the header (usually the file path).
+///
+/// # Errors
+///
+/// Returns the parse failure verbatim — the same rejection a restore
+/// would produce — when the container does not validate.
+pub fn inspect(origin: &str, bytes: &[u8]) -> Result<String, String> {
+    let snap = SnapshotReader::parse(bytes).map_err(|e| format!("{origin}: {e}"))?;
+    let kind = snap.kind();
+    let mut s = String::new();
+    let _ = writeln!(s, "{origin}");
+    let _ = writeln!(
+        s,
+        "  kind: {} (container v{}), {} bytes, checksum ok",
+        kind.name(),
+        voltctl_snap::CONTAINER_VERSION,
+        bytes.len()
+    );
+    let _ = writeln!(s, "  sections: {}", snap.sections().len());
+    let _ = writeln!(s, "    tag  ver      bytes  name");
+    for sec in snap.sections() {
+        let _ = writeln!(
+            s,
+            "    {:>3}  {:>3}  {:>9}  {}",
+            sec.tag,
+            sec.version,
+            sec.payload.len(),
+            section_name(kind, sec.tag)
+        );
+    }
+    if kind == SnapshotKind::Shard {
+        if let Some(sec) = snap.section(shard::section::META) {
+            let mut r = sec.reader();
+            match ShardMeta::unpack(&mut r) {
+                Ok(m) => {
+                    let trace = match m.trace_window {
+                        Some(w) => format!("window {w}"),
+                        None => "off".to_string(),
+                    };
+                    let _ = writeln!(
+                        s,
+                        "  shard: {} shard {}/{}, cells {}..{} of {}",
+                        m.scenario, m.shard, m.shards, m.start, m.end, m.total_cells
+                    );
+                    let _ = writeln!(
+                        s,
+                        "  context: scale {}, smoke {}, telemetry {}, trace {}, fingerprint {:#018x}",
+                        m.scale, m.smoke, m.telemetry, trace, m.fingerprint
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(s, "  shard meta does not decode: {e}");
+                }
+            }
+        }
+    }
+    Ok(s)
+}
+
+/// [`inspect`] over a file on disk.
+///
+/// # Errors
+///
+/// Returns a message for unreadable files and invalid containers alike.
+pub fn inspect_file(path: &Path) -> Result<String, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    inspect(&path.display().to_string(), &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Ctx;
+
+    #[test]
+    fn inspect_describes_a_shard_checkpoint() {
+        let ctx = Ctx::default();
+        let meta = ShardMeta::new("fig16_sensor_error", &ctx, 1, 3, &(4..8), 11);
+        let bytes = shard::encode_checkpoint(&meta, &[]);
+        // An empty cell list contradicts the 4..8 range on a *decode*,
+        // but inspect only frames the container, so build a consistent
+        // one instead.
+        let meta = ShardMeta::new("fig16_sensor_error", &ctx, 1, 3, &(4..4), 11);
+        let bytes_ok = shard::encode_checkpoint(&meta, &[]);
+        let report = inspect("test.snap", &bytes_ok).unwrap();
+        assert!(report.contains("kind: shard"), "{report}");
+        assert!(report.contains("cells 4..4 of 11"), "{report}");
+        assert!(report.contains("meta"), "{report}");
+        // The inconsistent one still frames (inspect is forensic, not a
+        // loader) and names both sections.
+        let partial = inspect("bad.snap", &bytes).unwrap();
+        assert!(partial.contains("cells"), "{partial}");
+    }
+
+    #[test]
+    fn inspect_rejects_garbage_with_the_parser_error() {
+        let err = inspect("junk.snap", b"not a snapshot at all").unwrap_err();
+        assert!(err.contains("junk.snap"), "{err}");
+        let mut good =
+            shard::encode_checkpoint(&ShardMeta::new("x", &Ctx::default(), 0, 1, &(0..0), 0), &[]);
+        let last = good.len() - 1;
+        good[last] ^= 1;
+        let err = inspect("flip.snap", &good).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+}

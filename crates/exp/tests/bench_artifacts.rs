@@ -64,7 +64,8 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
         }
     }
 
-    // The loop suite covers all five stepping variants.
+    // The loop suite covers all five stepping variants plus the two
+    // snapshot (checkpoint write/read) paths.
     let loop_raw = std::fs::read_to_string(&paths[1]).unwrap();
     let loop_doc = Json::parse(&loop_raw).unwrap();
     let variants: Vec<&str> = loop_doc
@@ -81,7 +82,9 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
             "controlled",
             "recorded",
             "traced",
-            "recorded_trace"
+            "recorded_trace",
+            "snapshot_save",
+            "snapshot_restore"
         ]
     );
 

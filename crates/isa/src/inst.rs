@@ -39,6 +39,32 @@ pub struct Inst {
     pub target: Option<u32>,
 }
 
+impl voltctl_snap::Pack for Inst {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.op.pack(w);
+        self.rd.pack(w);
+        self.ra.pack(w);
+        self.rb.pack(w);
+        self.rc.pack(w);
+        w.put_i64(self.imm);
+        self.target.pack(w);
+    }
+}
+
+impl voltctl_snap::Unpack for Inst {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(Inst {
+            op: Opcode::unpack(r)?,
+            rd: Option::unpack(r)?,
+            ra: Option::unpack(r)?,
+            rb: Option::unpack(r)?,
+            rc: Option::unpack(r)?,
+            imm: r.get_i64()?,
+            target: Option::unpack(r)?,
+        })
+    }
+}
+
 impl Inst {
     fn base(op: Opcode) -> Inst {
         Inst {

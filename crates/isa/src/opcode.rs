@@ -273,6 +273,28 @@ impl fmt::Display for Opcode {
     }
 }
 
+impl voltctl_snap::Pack for Opcode {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        let idx = Opcode::all()
+            .iter()
+            .position(|op| op == self)
+            .expect("Opcode::all() covers every variant");
+        w.put_u8(idx as u8);
+    }
+}
+
+impl voltctl_snap::Unpack for Opcode {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let idx = r.get_u8()? as usize;
+        Opcode::all().get(idx).copied().ok_or_else(|| {
+            voltctl_snap::SnapError::Corrupt(format!(
+                "opcode index {idx} out of range (must be < {})",
+                Opcode::all().len()
+            ))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,33 @@ impl Program {
     pub fn inst_addr(pc: u32) -> u64 {
         0x1_0000 + (pc as u64) * 4
     }
+
+    /// A stable FNV-1a fingerprint of the whole program — name, entry
+    /// point, disassembly, and initial data image. Checkpoints embed it
+    /// so a snapshot can refuse to restore onto a different program.
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&self.entry.to_le_bytes());
+        eat(&(self.insts.len() as u64).to_le_bytes());
+        for inst in &self.insts {
+            // The disassembly covers every semantic field (opcode,
+            // registers, immediate, branch target).
+            eat(inst.to_string().as_bytes());
+        }
+        for seg in &self.data {
+            eat(&seg.addr.to_le_bytes());
+            eat(&(seg.bytes.len() as u64).to_le_bytes());
+            eat(&seg.bytes);
+        }
+        hash
+    }
 }
 
 impl fmt::Display for Program {
@@ -161,6 +188,22 @@ mod tests {
     fn inst_addresses_are_word_spaced() {
         assert_eq!(Program::inst_addr(0) + 4, Program::inst_addr(1));
         assert_ne!(Program::inst_addr(0), 0); // text doesn't start at null
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let p = demo();
+        assert_eq!(p.digest(), demo().digest(), "same program, same digest");
+        let other = Program::new(
+            "demo",
+            vec![
+                Inst::alu_imm(Opcode::Addq, IntReg::R1, IntReg::R31, 2),
+                Inst::halt(),
+            ],
+            p.data().to_vec(),
+            0,
+        );
+        assert_ne!(p.digest(), other.digest(), "one immediate flips the digest");
     }
 
     #[test]

@@ -144,6 +144,24 @@ impl Reg {
     }
 }
 
+impl voltctl_snap::Pack for Reg {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(self.index() as u8);
+    }
+}
+
+impl voltctl_snap::Unpack for Reg {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let idx = r.get_u8()? as usize;
+        if idx >= 64 {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "register index {idx} out of range (must be < 64)"
+            )));
+        }
+        Ok(Reg::from_index(idx))
+    }
+}
+
 impl From<IntReg> for Reg {
     fn from(r: IntReg) -> Reg {
         Reg::Int(r)

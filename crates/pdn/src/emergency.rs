@@ -158,6 +158,74 @@ impl VoltageMonitor {
     }
 }
 
+impl voltctl_snap::Pack for VoltageBand {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(match self {
+            VoltageBand::UnderEmergency => 0,
+            VoltageBand::Safe => 1,
+            VoltageBand::OverEmergency => 2,
+        });
+    }
+}
+
+impl voltctl_snap::Unpack for VoltageBand {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(VoltageBand::UnderEmergency),
+            1 => Ok(VoltageBand::Safe),
+            2 => Ok(VoltageBand::OverEmergency),
+            other => Err(voltctl_snap::SnapError::Corrupt(format!(
+                "unknown voltage band {other}"
+            ))),
+        }
+    }
+}
+
+impl voltctl_snap::Pack for VoltageMonitor {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_f64(self.v_nominal);
+        w.put_f64(self.tolerance);
+        w.put_u64(self.total_cycles);
+        w.put_u64(self.under_cycles);
+        w.put_u64(self.over_cycles);
+        w.put_u64(self.under_events);
+        w.put_u64(self.over_events);
+        w.put_f64(self.min_v);
+        w.put_f64(self.max_v);
+        self.last_band.pack(w);
+    }
+}
+
+impl voltctl_snap::Unpack for VoltageMonitor {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let v_nominal = r.get_f64()?;
+        let tolerance = r.get_f64()?;
+        if v_nominal.is_nan()
+            || v_nominal <= 0.0
+            || tolerance.is_nan()
+            || tolerance <= 0.0
+            || tolerance >= 1.0
+        {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "voltage monitor parameters out of range: nominal {v_nominal}, \
+                 tolerance {tolerance}"
+            )));
+        }
+        Ok(VoltageMonitor {
+            v_nominal,
+            tolerance,
+            total_cycles: r.get_u64()?,
+            under_cycles: r.get_u64()?,
+            over_cycles: r.get_u64()?,
+            under_events: r.get_u64()?,
+            over_events: r.get_u64()?,
+            min_v: r.get_f64()?,
+            max_v: r.get_f64()?,
+            last_band: voltctl_snap::Unpack::unpack(r)?,
+        })
+    }
+}
+
 /// Accumulated emergency statistics for a run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EmergencyReport {
@@ -329,6 +397,42 @@ impl VoltageHistogram {
         let mean: f64 = pts.iter().map(|(v, p)| v * p).sum();
         let var: f64 = pts.iter().map(|(v, p)| (v - mean).powi(2) * p).sum();
         var.sqrt()
+    }
+}
+
+impl voltctl_snap::Pack for VoltageHistogram {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_f64(self.lo);
+        w.put_f64(self.hi);
+        self.bins.pack(w);
+        w.put_u64(self.below);
+        w.put_u64(self.above);
+        w.put_u64(self.total);
+    }
+}
+
+impl voltctl_snap::Unpack for VoltageHistogram {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let lo = r.get_f64()?;
+        let hi = r.get_f64()?;
+        let bins: Vec<u64> = voltctl_snap::Unpack::unpack(r)?;
+        let below = r.get_u64()?;
+        let above = r.get_u64()?;
+        let total = r.get_u64()?;
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi || bins.is_empty() {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "voltage histogram geometry invalid: range [{lo}, {hi}), {} bins",
+                bins.len()
+            )));
+        }
+        Ok(VoltageHistogram {
+            lo,
+            hi,
+            bins,
+            below,
+            above,
+            total,
+        })
     }
 }
 

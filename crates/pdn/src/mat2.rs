@@ -129,6 +129,42 @@ impl Mat2 {
     }
 }
 
+impl voltctl_snap::Pack for Mat2 {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_f64(self.a);
+        w.put_f64(self.b);
+        w.put_f64(self.c);
+        w.put_f64(self.d);
+    }
+}
+
+impl voltctl_snap::Unpack for Mat2 {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(Mat2 {
+            a: r.get_f64()?,
+            b: r.get_f64()?,
+            c: r.get_f64()?,
+            d: r.get_f64()?,
+        })
+    }
+}
+
+impl voltctl_snap::Pack for Vec2 {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_f64(self.x);
+        w.put_f64(self.y);
+    }
+}
+
+impl voltctl_snap::Unpack for Vec2 {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(Vec2 {
+            x: r.get_f64()?,
+            y: r.get_f64()?,
+        })
+    }
+}
+
 impl Vec2 {
     pub fn new(x: f64, y: f64) -> Self {
         Vec2 { x, y }

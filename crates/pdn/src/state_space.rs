@@ -124,6 +124,66 @@ impl PdnState {
     pub fn run(&mut self, currents: &[f64]) -> Vec<f64> {
         currents.iter().map(|&i| self.step(i)).collect()
     }
+
+    /// Rebuilds a stepper from two consecutive *observed* voltage
+    /// deviations and the load current applied between them.
+    ///
+    /// The network state is two-dimensional (die voltage and inductor
+    /// current) but only the voltage is observable, so external captures —
+    /// e.g. the flight recorder's emergency windows, which log voltages and
+    /// currents per cycle — cannot store the full state directly. Given
+    /// `dev_prev` (deviation from nominal at cycle *t*), `dev_now` (at
+    /// *t + 1*), and `i_load` held over that cycle, the hidden component is
+    /// recovered by inverting one row of the discrete update, positioning
+    /// the returned stepper exactly at cycle *t + 1*. This is what turns a
+    /// recorded emergency capture back into a replayable checkpoint.
+    ///
+    /// Returns `None` when the model's discretization makes the hidden
+    /// state unobservable (degenerate `ad.b`), which does not happen for
+    /// physical RLC parameters.
+    pub fn reconstruct(
+        model: &PdnModel,
+        dev_prev: f64,
+        dev_now: f64,
+        i_load: f64,
+        i_ref: f64,
+    ) -> Option<PdnState> {
+        let mut state = PdnState::new(model);
+        state.i_ref = i_ref;
+        let (ad, bd) = (state.ad, state.bd);
+        if ad.b == 0.0 || !ad.b.is_finite() {
+            return None;
+        }
+        let u = i_load - i_ref;
+        // Invert the voltage row of x_{t+1} = Ad x_t + Bd u for the hidden
+        // component, then advance the full state one cycle.
+        let y_prev = (dev_now - ad.a * dev_prev - bd.x * u) / ad.b;
+        let y_now = ad.c * dev_prev + ad.d * y_prev + bd.y * u;
+        state.x = Vec2::new(dev_now, y_now);
+        Some(state)
+    }
+}
+
+impl voltctl_snap::Pack for PdnState {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.ad.pack(w);
+        self.bd.pack(w);
+        self.x.pack(w);
+        w.put_f64(self.v_nominal);
+        w.put_f64(self.i_ref);
+    }
+}
+
+impl voltctl_snap::Unpack for PdnState {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(PdnState {
+            ad: voltctl_snap::Unpack::unpack(r)?,
+            bd: voltctl_snap::Unpack::unpack(r)?,
+            x: voltctl_snap::Unpack::unpack(r)?,
+            v_nominal: r.get_f64()?,
+            i_ref: r.get_f64()?,
+        })
+    }
 }
 
 /// The model's *pulse response*: the voltage-deviation sequence produced by
@@ -260,6 +320,62 @@ mod tests {
         let v1 = s1.run(&trace);
         let v2: Vec<f64> = trace.iter().map(|&i| s2.step(i)).collect();
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn wire_round_trip_resumes_bitwise() {
+        use voltctl_snap::{ByteReader, ByteWriter, Pack, Unpack};
+        let m = model();
+        let mut s = m.discretize();
+        s.set_reference_current(12.0);
+        for k in 0..500 {
+            s.step(if k % 60 < 30 { 40.0 } else { 5.0 });
+        }
+        let mut w = ByteWriter::new();
+        s.pack(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut back = PdnState::unpack(&mut r).unwrap();
+        assert!(r.finished());
+        for k in 0..500 {
+            let i = if k % 7 == 0 { 35.0 } else { 8.0 };
+            // Bitwise: both steppers run the same float operations on the
+            // same bit patterns.
+            assert_eq!(back.step(i).to_bits(), s.step(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn reconstruct_recovers_hidden_state_from_observations() {
+        let m = model();
+        let mut s = m.discretize();
+        s.set_reference_current(10.0);
+        let mut devs = vec![s.deviation()];
+        let trace: Vec<f64> = (0..300)
+            .map(|k| if k % 45 < 20 { 38.0 } else { 6.0 })
+            .collect();
+        for &i in &trace {
+            s.step(i);
+            devs.push(s.deviation());
+        }
+        // Rebuild from the last observed pair and the current between them.
+        let n = trace.len();
+        let mut rebuilt = PdnState::reconstruct(
+            &m,
+            devs[n - 1],
+            devs[n],
+            trace[n - 1],
+            s.reference_current(),
+        )
+        .expect("physical model is observable");
+        assert!((rebuilt.voltage() - s.voltage()).abs() < 1e-9);
+        // Both continue in lockstep (tolerance: reconstruction divides by
+        // ad.b, so it is exact only to floating-point conditioning).
+        for k in 0..2000 {
+            let i = if k % 33 < 11 { 42.0 } else { 4.0 };
+            let (va, vb) = (s.step(i), rebuilt.step(i));
+            assert!((va - vb).abs() < 1e-9, "cycle {k}: {va} vs {vb}");
+        }
     }
 
     #[test]

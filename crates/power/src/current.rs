@@ -75,6 +75,32 @@ impl EnergyAccumulator {
     }
 }
 
+impl voltctl_snap::Pack for EnergyAccumulator {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_f64(self.cycle_seconds);
+        w.put_f64(self.joules);
+        w.put_u64(self.cycles);
+    }
+}
+
+impl voltctl_snap::Unpack for EnergyAccumulator {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let cycle_seconds = r.get_f64()?;
+        let joules = r.get_f64()?;
+        let cycles = r.get_u64()?;
+        if !(cycle_seconds.is_finite() && cycle_seconds > 0.0) {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "energy accumulator cycle time {cycle_seconds} is not positive"
+            )));
+        }
+        Ok(EnergyAccumulator {
+            cycle_seconds,
+            joules,
+            cycles,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

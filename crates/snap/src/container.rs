@@ -1,0 +1,320 @@
+//! The snapshot container: magic, container version, snapshot kind,
+//! tagged length-prefixed sections, and a trailing checksum.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     8  magic  b"VCTLSNAP"
+//!      8     4  container version (u32, currently 1)
+//!     12     2  snapshot kind (u16; loop / shard / replay)
+//!     14     4  section count (u32)
+//!     18     -  sections, each:
+//!                  tag (u16) | section version (u16) |
+//!                  payload length (u64) | payload bytes
+//!   last     8  FNV-1a 64 checksum of every preceding byte
+//! ```
+//!
+//! Versioning rules: the container version only changes when this
+//! framing changes; each section carries its own version so state
+//! structs can evolve independently. Readers reject container versions
+//! above [`CONTAINER_VERSION`]; section decoders reject section
+//! versions they do not know. Unknown *tags* are skipped — a newer
+//! writer may add sections an older reader safely ignores.
+
+use crate::error::SnapError;
+use crate::wire::{ByteReader, ByteWriter};
+
+/// The eight magic bytes every snapshot file starts with.
+pub const MAGIC: [u8; 8] = *b"VCTLSNAP";
+
+/// Newest container framing this build reads and the one it writes.
+pub const CONTAINER_VERSION: u32 = 1;
+
+/// What a snapshot file contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// Full mid-run `ControlLoop` state (save/restore).
+    Loop,
+    /// Completed shard results awaiting a merge (`run --shards`).
+    Shard,
+    /// A flight-recorder capture converted into a replayable
+    /// checkpoint (time-travel debugging).
+    Replay,
+}
+
+impl SnapshotKind {
+    /// The wire tag for this kind.
+    pub fn tag(self) -> u16 {
+        match self {
+            SnapshotKind::Loop => 1,
+            SnapshotKind::Shard => 2,
+            SnapshotKind::Replay => 3,
+        }
+    }
+
+    /// Decodes a wire tag.
+    pub fn from_tag(tag: u16) -> Result<SnapshotKind, SnapError> {
+        match tag {
+            1 => Ok(SnapshotKind::Loop),
+            2 => Ok(SnapshotKind::Shard),
+            3 => Ok(SnapshotKind::Replay),
+            other => Err(SnapError::Corrupt(format!("unknown snapshot kind {other}"))),
+        }
+    }
+
+    /// Human-readable name (used by `snapshot inspect`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotKind::Loop => "loop",
+            SnapshotKind::Shard => "shard",
+            SnapshotKind::Replay => "replay",
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash — the container checksum and the workspace's
+/// fingerprint primitive.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Builds a snapshot file section by section.
+#[derive(Debug, Clone)]
+pub struct SnapshotWriter {
+    kind: SnapshotKind,
+    sections: Vec<(u16, u16, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// An empty snapshot of the given kind.
+    pub fn new(kind: SnapshotKind) -> SnapshotWriter {
+        SnapshotWriter {
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section with the given tag and section version.
+    pub fn section(&mut self, tag: u16, version: u16, payload: ByteWriter) -> &mut Self {
+        self.sections.push((tag, version, payload.into_bytes()));
+        self
+    }
+
+    /// Serializes the container: header, sections, checksum.
+    pub fn finish(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_raw(&MAGIC);
+        w.put_u32(CONTAINER_VERSION);
+        w.put_u16(self.kind.tag());
+        w.put_u32(self.sections.len() as u32);
+        for (tag, version, payload) in &self.sections {
+            w.put_u16(*tag);
+            w.put_u16(*version);
+            w.put_u64(payload.len() as u64);
+            w.put_raw(payload);
+        }
+        let checksum = fnv1a(w.as_bytes());
+        w.put_u64(checksum);
+        w.into_bytes()
+    }
+}
+
+/// One parsed section: tag, version, payload bytes.
+#[derive(Debug, Clone)]
+pub struct Section<'a> {
+    /// The section tag (what state lives here).
+    pub tag: u16,
+    /// The section's own schema version.
+    pub version: u16,
+    /// The raw payload.
+    pub payload: &'a [u8],
+}
+
+impl<'a> Section<'a> {
+    /// A reader positioned at the start of the payload.
+    pub fn reader(&self) -> ByteReader<'a> {
+        ByteReader::new(self.payload)
+    }
+}
+
+/// A fully validated snapshot container: magic, version, kind,
+/// checksum, and section framing all checked before any section
+/// payload is decoded.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader<'a> {
+    kind: SnapshotKind,
+    sections: Vec<Section<'a>>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Parses and validates the container framing.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input maps to a [`SnapError`]: wrong magic,
+    /// newer container version, checksum mismatch, truncated or
+    /// over-long section framing, trailing bytes.
+    pub fn parse(bytes: &'a [u8]) -> Result<SnapshotReader<'a>, SnapError> {
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapError::BadMagic {
+                found: bytes[..bytes.len().min(MAGIC.len())].to_vec(),
+            });
+        }
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(SnapError::Truncated {
+                context: "container header",
+                needed: MAGIC.len() + 8,
+                available: bytes.len(),
+            });
+        }
+        let body_len = bytes.len() - 8;
+        let declared = u64::from_le_bytes(bytes[body_len..].try_into().unwrap());
+        let actual = fnv1a(&bytes[..body_len]);
+        if declared != actual {
+            return Err(SnapError::Corrupt(format!(
+                "checksum mismatch: file says {declared:#018x}, bytes hash to {actual:#018x}"
+            )));
+        }
+
+        let mut r = ByteReader::new(&bytes[MAGIC.len()..body_len]);
+        let version = r.get_u32()?;
+        if version > CONTAINER_VERSION {
+            return Err(SnapError::UnsupportedVersion {
+                what: "container",
+                found: version,
+                supported: CONTAINER_VERSION,
+            });
+        }
+        let kind = SnapshotKind::from_tag(r.get_u16()?)?;
+        let count = r.get_u32()? as usize;
+        let mut sections = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            let tag = r.get_u16()?;
+            let version = r.get_u16()?;
+            let len = r.get_usize()?;
+            let payload = r.get_raw(len, "section payload")?;
+            sections.push(Section {
+                tag,
+                version,
+                payload,
+            });
+        }
+        r.expect_end("section table")?;
+        Ok(SnapshotReader { kind, sections })
+    }
+
+    /// The snapshot kind.
+    pub fn kind(&self) -> SnapshotKind {
+        self.kind
+    }
+
+    /// All sections in file order (unknown tags included, so
+    /// `snapshot inspect` can describe files from newer writers).
+    pub fn sections(&self) -> &[Section<'a>] {
+        &self.sections
+    }
+
+    /// The first section with the given tag, if present.
+    pub fn section(&self, tag: u16) -> Option<&Section<'a>> {
+        self.sections.iter().find(|s| s.tag == tag)
+    }
+
+    /// Like [`section`](Self::section) but failing with a clear error
+    /// naming the missing state.
+    pub fn require(&self, tag: u16, what: &'static str) -> Result<&Section<'a>, SnapError> {
+        self.section(tag)
+            .ok_or_else(|| SnapError::Corrupt(format!("missing required section {tag} ({what})")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        payload.put_u64(42);
+        payload.put_str("state");
+        let mut snap = SnapshotWriter::new(SnapshotKind::Loop);
+        snap.section(7, 1, payload);
+        snap.section(9, 3, ByteWriter::new());
+        snap.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_framing() {
+        let bytes = sample();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        assert_eq!(r.kind(), SnapshotKind::Loop);
+        assert_eq!(r.sections().len(), 2);
+        let s = r.require(7, "answer").unwrap();
+        assert_eq!(s.version, 1);
+        let mut pr = s.reader();
+        assert_eq!(pr.get_u64().unwrap(), 42);
+        assert_eq!(pr.get_str().unwrap(), "state");
+        pr.expect_end("answer").unwrap();
+        assert_eq!(r.section(9).unwrap().payload.len(), 0);
+        assert!(r.section(8).is_none());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let good = sample();
+        for k in 0..good.len() {
+            let mut bad = good.clone();
+            bad[k] ^= 0x40;
+            assert!(
+                SnapshotReader::parse(&bad).is_err(),
+                "flip at byte {k} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let good = sample();
+        for cut in 0..good.len() {
+            assert!(
+                SnapshotReader::parse(&good[..cut]).is_err(),
+                "truncation to {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn newer_container_versions_are_rejected_by_name() {
+        let mut bytes = sample();
+        // Bump the version field, then re-stamp the checksum so the
+        // version check (not the checksum) is what trips.
+        bytes[8..12].copy_from_slice(&(CONTAINER_VERSION + 1).to_le_bytes());
+        let body = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body]);
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&sum.to_le_bytes());
+        match SnapshotReader::parse(&bytes).unwrap_err() {
+            SnapError::UnsupportedVersion { found, .. } => {
+                assert_eq!(found, CONTAINER_VERSION + 1)
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_not_a_snapshot() {
+        assert!(matches!(
+            SnapshotReader::parse(b"NOTASNAP????????"),
+            Err(SnapError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            SnapshotReader::parse(b""),
+            Err(SnapError::BadMagic { .. })
+        ));
+    }
+}

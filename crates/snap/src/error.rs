@@ -1,0 +1,92 @@
+//! The error taxonomy for snapshot decoding.
+//!
+//! Every decode failure is a value of [`SnapError`]; decoding never
+//! panics on untrusted bytes and never leaves a partially-applied
+//! state behind (callers decode into owned structs first and apply
+//! only after the whole container validated).
+
+use std::fmt;
+
+/// Why a snapshot (or one of its sections) failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The file does not start with the snapshot magic — not a
+    /// snapshot at all (or an unrelated file handed to `--resume`).
+    BadMagic {
+        /// The bytes actually found where the magic belongs.
+        found: Vec<u8>,
+    },
+    /// The container (or a section) was written by a format version
+    /// this build does not understand.
+    UnsupportedVersion {
+        /// What the snapshot is versioned as ("container" or a
+        /// section name).
+        what: &'static str,
+        /// The version found in the file.
+        found: u32,
+        /// The newest version this build can read.
+        supported: u32,
+    },
+    /// The byte stream ended before a declared field or section.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+        /// How many bytes the read needed.
+        needed: usize,
+        /// How many bytes were left.
+        available: usize,
+    },
+    /// The bytes decoded but describe an impossible state (checksum
+    /// mismatch, out-of-range enum tag, inconsistent lengths, a
+    /// fingerprint that does not match the live configuration, ...).
+    Corrupt(String),
+    /// Decoding consumed the payload but bytes remain — the file is
+    /// longer than its own framing says it should be.
+    TrailingBytes {
+        /// What was fully decoded when the extra bytes were noticed.
+        context: &'static str,
+        /// How many bytes remain unconsumed.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::BadMagic { found } => {
+                write!(f, "not a voltctl snapshot (magic bytes {found:02x?})")
+            }
+            SnapError::UnsupportedVersion {
+                what,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported {what} version {found} (this build reads up to {supported})"
+            ),
+            SnapError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated snapshot while reading {context}: needed {needed} byte(s), {available} left"
+            ),
+            SnapError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            SnapError::TrailingBytes { context, count } => {
+                write!(f, "{count} trailing byte(s) after {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Shorthand for `Err(SnapError::Corrupt(format!(...)))` used across
+/// the decoders.
+#[macro_export]
+macro_rules! snap_corrupt {
+    ($($arg:tt)*) => {
+        return Err($crate::SnapError::Corrupt(format!($($arg)*)))
+    };
+}

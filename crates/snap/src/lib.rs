@@ -1,0 +1,29 @@
+//! Hand-rolled versioned binary snapshot format for voltctl — the
+//! wire layer under checkpoint/restore and sharded resumable runs.
+//!
+//! Three pieces, std only:
+//!
+//! * [`wire`] — checked little-endian primitives ([`ByteWriter`],
+//!   [`ByteReader`]) and the [`Pack`]/[`Unpack`] traits state structs
+//!   implement. Floats travel as bit patterns, so round trips are
+//!   bitwise.
+//! * [`container`] — the file framing: magic, container version,
+//!   snapshot kind, tagged length-prefixed sections, FNV-1a checksum.
+//! * [`error`] — [`SnapError`]: every malformed input maps to a
+//!   descriptive error; decoding never panics and callers apply
+//!   decoded state only after the whole container validated, so a
+//!   corrupt file can never leave partial state behind.
+//!
+//! This crate sits at the bottom of the workspace dependency graph
+//! (nothing but `std`) so every layer — telemetry, cpu, pdn, power,
+//! core, trace, exp — can serialize its own state structs.
+
+pub mod container;
+pub mod error;
+pub mod wire;
+
+pub use container::{
+    fnv1a, Section, SnapshotKind, SnapshotReader, SnapshotWriter, CONTAINER_VERSION, MAGIC,
+};
+pub use error::SnapError;
+pub use wire::{ByteReader, ByteWriter, Pack, Unpack};

@@ -1,0 +1,473 @@
+//! Checked little-endian wire primitives and the [`Pack`]/[`Unpack`]
+//! traits every serializable state struct implements.
+//!
+//! Writes are infallible (they grow a `Vec<u8>`); reads are total
+//! functions over arbitrary bytes — every failure is a [`SnapError`],
+//! never a panic, out-of-bounds read, or unbounded allocation. Floats
+//! travel as IEEE-754 bit patterns so round trips are bitwise even for
+//! NaN payloads, which is what the determinism contract needs.
+
+use std::collections::VecDeque;
+
+use crate::error::SnapError;
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, yielding its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a `usize` as a `u64` (the format is 64-bit regardless
+    /// of host width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends raw bytes with no length prefix (for fixed-size
+    /// payloads whose length the schema already pins down).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// A checked cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole slice has been consumed.
+    pub fn finished(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails with [`SnapError::TrailingBytes`] unless the reader is
+    /// exactly exhausted — the guard every section decoder ends with.
+    pub fn expect_end(&self, context: &'static str) -> Result<(), SnapError> {
+        if self.finished() {
+            Ok(())
+        } else {
+            Err(SnapError::TrailingBytes {
+                context,
+                count: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                context,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, SnapError> {
+        let b = self.take(2, "u16")?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, SnapError> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `bool`, rejecting anything but 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, SnapError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapError::Corrupt(format!(
+                "bool byte must be 0 or 1, found {other}"
+            ))),
+        }
+    }
+
+    /// Reads a `usize` (stored as `u64`), rejecting values the host
+    /// cannot represent.
+    pub fn get_usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| SnapError::Corrupt(format!("length {v} exceeds host usize")))
+    }
+
+    /// Reads a declared element count, additionally rejecting counts
+    /// that cannot possibly fit in the remaining bytes (each element
+    /// occupies at least one byte) — the guard that keeps corrupted
+    /// length prefixes from requesting absurd allocations.
+    pub fn get_count(&mut self, context: &'static str) -> Result<usize, SnapError> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            return Err(SnapError::Corrupt(format!(
+                "{context}: declared count {n} exceeds the {} remaining byte(s)",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SnapError> {
+        let n = self.get_count("string")?;
+        let bytes = self.take(n, "string bytes")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| SnapError::Corrupt(format!("invalid UTF-8 in string: {e}")))
+    }
+
+    /// Reads a length-prefixed byte vector.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, SnapError> {
+        let n = self.get_count("bytes")?;
+        Ok(self.take(n, "byte payload")?.to_vec())
+    }
+
+    /// Reads `n` raw bytes (no length prefix).
+    pub fn get_raw(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapError> {
+        self.take(n, context)
+    }
+}
+
+/// Serialize into a [`ByteWriter`]. Implementations must be exact
+/// inverses of their [`Unpack`] counterpart.
+pub trait Pack {
+    /// Appends this value's wire form.
+    fn pack(&self, w: &mut ByteWriter);
+}
+
+/// Deserialize from a [`ByteReader`] without panicking on any input.
+pub trait Unpack: Sized {
+    /// Reads one value, consuming exactly the bytes [`Pack`] wrote.
+    fn unpack(r: &mut ByteReader<'_>) -> Result<Self, SnapError>;
+}
+
+macro_rules! impl_pack_primitive {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Pack for $ty {
+            fn pack(&self, w: &mut ByteWriter) {
+                w.$put(*self);
+            }
+        }
+        impl Unpack for $ty {
+            fn unpack(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+impl_pack_primitive!(u8, put_u8, get_u8);
+impl_pack_primitive!(u16, put_u16, get_u16);
+impl_pack_primitive!(u32, put_u32, get_u32);
+impl_pack_primitive!(u64, put_u64, get_u64);
+impl_pack_primitive!(i64, put_i64, get_i64);
+impl_pack_primitive!(f64, put_f64, get_f64);
+impl_pack_primitive!(bool, put_bool, get_bool);
+impl_pack_primitive!(usize, put_usize, get_usize);
+
+impl Pack for String {
+    fn pack(&self, w: &mut ByteWriter) {
+        w.put_str(self);
+    }
+}
+
+impl Unpack for String {
+    fn unpack(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        r.get_str()
+    }
+}
+
+impl<T: Pack> Pack for Option<T> {
+    fn pack(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.pack(w);
+            }
+        }
+    }
+}
+
+impl<T: Unpack> Unpack for Option<T> {
+    fn unpack(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unpack(r)?)),
+            other => Err(SnapError::Corrupt(format!(
+                "Option discriminant must be 0 or 1, found {other}"
+            ))),
+        }
+    }
+}
+
+impl<T: Pack> Pack for Vec<T> {
+    fn pack(&self, w: &mut ByteWriter) {
+        w.put_usize(self.len());
+        for v in self {
+            v.pack(w);
+        }
+    }
+}
+
+impl<T: Unpack> Unpack for Vec<T> {
+    fn unpack(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_count("Vec")?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::unpack(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Pack> Pack for VecDeque<T> {
+    fn pack(&self, w: &mut ByteWriter) {
+        w.put_usize(self.len());
+        for v in self {
+            v.pack(w);
+        }
+    }
+}
+
+impl<T: Unpack> Unpack for VecDeque<T> {
+    fn unpack(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_count("VecDeque")?;
+        let mut out = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            out.push_back(T::unpack(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Pack, B: Pack> Pack for (A, B) {
+    fn pack(&self, w: &mut ByteWriter) {
+        self.0.pack(w);
+        self.1.pack(w);
+    }
+}
+
+impl<A: Unpack, B: Unpack> Unpack for (A, B) {
+    fn unpack(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::unpack(r)?, B::unpack(r)?))
+    }
+}
+
+impl<A: Pack, B: Pack, C: Pack> Pack for (A, B, C) {
+    fn pack(&self, w: &mut ByteWriter) {
+        self.0.pack(w);
+        self.1.pack(w);
+        self.2.pack(w);
+    }
+}
+
+impl<A: Unpack, B: Unpack, C: Unpack> Unpack for (A, B, C) {
+    fn unpack(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::unpack(r)?, B::unpack(r)?, C::unpack(r)?))
+    }
+}
+
+impl<T: Pack, const N: usize> Pack for [T; N] {
+    fn pack(&self, w: &mut ByteWriter) {
+        for v in self {
+            v.pack(w);
+        }
+    }
+}
+
+impl<T: Unpack + Copy + Default, const N: usize> Unpack for [T; N] {
+    fn unpack(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::unpack(r)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Pack + Unpack + PartialEq + std::fmt::Debug>(v: T) {
+        let mut w = ByteWriter::new();
+        v.pack(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(T::unpack(&mut r).unwrap(), v);
+        assert!(r.finished(), "exact inverse");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(0xbeefu16);
+        round_trip(0xdead_beefu32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(1.0625f64);
+        round_trip(true);
+        round_trip(12345usize);
+        round_trip("héllo §".to_string());
+        round_trip(Some(7u64));
+        round_trip(Option::<u64>::None);
+        round_trip(vec![1.5f64, -0.0, f64::INFINITY]);
+        round_trip(VecDeque::from(vec![1u32, 2, 3]));
+        round_trip((1u64, 2.5f64));
+        round_trip([9u64, 8, 7]);
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        let mut w = ByteWriter::new();
+        weird.pack(&mut w);
+        let bytes = w.into_bytes();
+        let back = f64::unpack(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        vec![1u64, 2, 3].pack(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let err = Vec::<u64>::unpack(&mut ByteReader::new(&bytes[..cut]));
+            assert!(err.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn absurd_lengths_are_rejected_before_allocating() {
+        let mut w = ByteWriter::new();
+        w.put_usize(u64::MAX as usize);
+        let err = Vec::<u8>::unpack(&mut ByteReader::new(w.as_bytes())).unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_discriminants_are_corrupt() {
+        assert!(matches!(
+            bool::unpack(&mut ByteReader::new(&[2])),
+            Err(SnapError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Option::<u8>::unpack(&mut ByteReader::new(&[9, 0])),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+}

@@ -304,6 +304,12 @@ fn warn_once_about_suffixing(path: &Path) {
 /// overwriting. Warns once per process on the first collision. Creation
 /// uses `create_new` so concurrent writers cannot clobber each other.
 pub fn write_file_fresh(dir: &Path, file: &str, contents: &str) -> io::Result<PathBuf> {
+    write_bytes_fresh(dir, file, contents.as_bytes())
+}
+
+/// [`write_file_fresh`] for binary artifacts (snapshot checkpoints):
+/// identical `-N` suffix semantics, raw bytes instead of UTF-8 text.
+pub fn write_bytes_fresh(dir: &Path, file: &str, contents: &[u8]) -> io::Result<PathBuf> {
     use std::io::Write as _;
     std::fs::create_dir_all(dir)?;
     let mut name = file.to_string();
@@ -316,7 +322,7 @@ pub fn write_file_fresh(dir: &Path, file: &str, contents: &str) -> io::Result<Pa
             .open(&path)
         {
             Ok(mut f) => {
-                f.write_all(contents.as_bytes())?;
+                f.write_all(contents)?;
                 return Ok(path);
             }
             Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
@@ -325,6 +331,32 @@ pub fn write_file_fresh(dir: &Path, file: &str, contents: &str) -> io::Result<Pa
                 }
                 n += 1;
                 name = suffixed_name(file, n);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Creates the directory `parent/name`, or — when it already exists —
+/// the first free `parent/name-N` (N = 1, 2, …): the directory-level
+/// twin of [`write_file_fresh`], used for checkpoint directories so a
+/// rerun never mingles its shards with a previous run's. Creation uses
+/// `create_dir` (not `create_dir_all` on the leaf) so concurrent
+/// callers cannot claim the same directory.
+pub fn create_dir_fresh(parent: &Path, name: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(parent)?;
+    let mut candidate = name.to_string();
+    let mut n = 0u32;
+    loop {
+        let path = parent.join(&candidate);
+        match std::fs::create_dir(&path) {
+            Ok(()) => return Ok(path),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                if n == 0 {
+                    warn_once_about_suffixing(&path);
+                }
+                n += 1;
+                candidate = suffixed_name(name, n);
             }
             Err(e) => return Err(e),
         }
@@ -519,6 +551,21 @@ mod tests {
         assert_eq!(std::fs::read_to_string(&t2).unwrap(), "a\n2\n");
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_dirs_suffix_like_fresh_files() {
+        let parent =
+            std::env::temp_dir().join(format!("voltctl-freshdir-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&parent);
+        let d1 = create_dir_fresh(&parent, "ckpt").unwrap();
+        let d2 = create_dir_fresh(&parent, "ckpt").unwrap();
+        let d3 = create_dir_fresh(&parent, "ckpt").unwrap();
+        assert_eq!(d1.file_name().unwrap(), "ckpt");
+        assert_eq!(d2.file_name().unwrap(), "ckpt-1");
+        assert_eq!(d3.file_name().unwrap(), "ckpt-2");
+        assert!(d1.is_dir() && d2.is_dir() && d3.is_dir());
+        std::fs::remove_dir_all(&parent).unwrap();
     }
 
     #[test]

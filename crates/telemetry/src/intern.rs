@@ -1,0 +1,45 @@
+//! A leak-once intern pool for metric names decoded from snapshots.
+//!
+//! The recorder keys its channels by `&'static str` because every live
+//! call site uses string literals. Deserializing a checkpoint hands us
+//! owned `String`s instead; this pool turns each *distinct* name into a
+//! `&'static str` by leaking exactly one copy for the life of the
+//! process. The leak is bounded by the number of distinct metric names
+//! ever decoded — a few dozen in practice — and repeated restores of
+//! the same snapshot reuse the pooled copy.
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock};
+
+static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+
+/// Returns a `&'static str` equal to `s`, leaking at most one copy per
+/// distinct string for the life of the process.
+pub fn intern_static(s: &str) -> &'static str {
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&found) = pool.get(s) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern_static("intern-test-alpha");
+        let b = intern_static("intern-test-alpha");
+        assert_eq!(a, "intern-test-alpha");
+        assert!(std::ptr::eq(a, b), "same pooled copy both times");
+    }
+
+    #[test]
+    fn distinct_strings_stay_distinct() {
+        assert_ne!(intern_static("intern-x"), intern_static("intern-y"));
+    }
+}

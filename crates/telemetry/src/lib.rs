@@ -43,6 +43,7 @@
 
 pub mod collector;
 pub mod export;
+pub mod intern;
 pub mod memory;
 pub mod recorder;
 pub mod rng;

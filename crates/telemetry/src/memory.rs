@@ -340,6 +340,134 @@ impl MemoryRecorder {
     }
 }
 
+impl voltctl_snap::Pack for ValueStat {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u64(self.count);
+        w.put_f64(self.sum);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+}
+
+impl voltctl_snap::Unpack for ValueStat {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(ValueStat {
+            count: r.get_u64()?,
+            sum: r.get_f64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+        })
+    }
+}
+
+/// A value series is checkpointed with its pending ring pre-folded:
+/// samples fold in arrival order either way, so folding at save time
+/// and restoring with an empty ring is bitwise-equivalent to never
+/// having checkpointed.
+impl voltctl_snap::Pack for ValueSeries {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        voltctl_snap::Pack::pack(&self.effective_stat(), w);
+        voltctl_snap::Pack::pack(&self.effective_bucket(), w);
+    }
+}
+
+impl voltctl_snap::Unpack for ValueSeries {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(ValueSeries {
+            pending: Vec::new(),
+            stat: voltctl_snap::Unpack::unpack(r)?,
+            bucket: voltctl_snap::Unpack::unpack(r)?,
+        })
+    }
+}
+
+impl voltctl_snap::Pack for RecordedEvent {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        voltctl_snap::Pack::pack(&self.level, w);
+        w.put_str(self.topic);
+        w.put_str(&self.message);
+    }
+}
+
+impl voltctl_snap::Unpack for RecordedEvent {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(RecordedEvent {
+            level: voltctl_snap::Unpack::unpack(r)?,
+            topic: crate::intern::intern_static(&r.get_str()?),
+            message: r.get_str()?,
+        })
+    }
+}
+
+impl voltctl_snap::Pack for MemoryRecorder {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_usize(self.names.len());
+        for name in &self.names {
+            w.put_str(name);
+        }
+        voltctl_snap::Pack::pack(&self.counters, w);
+        voltctl_snap::Pack::pack(&self.counters_used, w);
+        voltctl_snap::Pack::pack(&self.timers, w);
+        voltctl_snap::Pack::pack(&self.timers_used, w);
+        voltctl_snap::Pack::pack(&self.values, w);
+        voltctl_snap::Pack::pack(&self.histograms, w);
+        voltctl_snap::Pack::pack(&self.events, w);
+        w.put_bool(self.echo_warnings);
+    }
+}
+
+impl voltctl_snap::Unpack for MemoryRecorder {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        use voltctl_snap::SnapError;
+        let n = r.get_count("recorder names")?;
+        let mut names: Vec<&'static str> = Vec::with_capacity(n);
+        let mut index = BTreeMap::new();
+        for id in 0..n {
+            let name = crate::intern::intern_static(&r.get_str()?);
+            if index.insert(name, id as u32).is_some() {
+                return Err(SnapError::Corrupt(format!(
+                    "duplicate metric name {name:?} in recorder snapshot"
+                )));
+            }
+            names.push(name);
+        }
+        let counters: Vec<u64> = voltctl_snap::Unpack::unpack(r)?;
+        let counters_used: Vec<bool> = voltctl_snap::Unpack::unpack(r)?;
+        let timers: Vec<(u64, u64)> = voltctl_snap::Unpack::unpack(r)?;
+        let timers_used: Vec<bool> = voltctl_snap::Unpack::unpack(r)?;
+        let values: Vec<ValueSeries> = voltctl_snap::Unpack::unpack(r)?;
+        let histograms: Vec<Option<HistogramData>> = voltctl_snap::Unpack::unpack(r)?;
+        let events: Vec<RecordedEvent> = voltctl_snap::Unpack::unpack(r)?;
+        let echo_warnings = r.get_bool()?;
+        for (what, len) in [
+            ("counters", counters.len()),
+            ("counters_used", counters_used.len()),
+            ("timers", timers.len()),
+            ("timers_used", timers_used.len()),
+            ("values", values.len()),
+            ("histograms", histograms.len()),
+        ] {
+            if len != n {
+                return Err(SnapError::Corrupt(format!(
+                    "recorder channel {what} has {len} slot(s) for {n} name(s)"
+                )));
+            }
+        }
+        Ok(MemoryRecorder {
+            index,
+            names,
+            counters,
+            counters_used,
+            timers,
+            timers_used,
+            values,
+            histograms,
+            events,
+            echo_warnings,
+        })
+    }
+}
+
 fn merge_histogram(into: &mut Option<HistogramData>, h: &HistogramData) {
     match into {
         Some(existing)
@@ -588,6 +716,61 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn degenerate_histogram_range_rejected() {
         MemoryRecorder::new().register_histogram("x", 1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_every_channel_and_future_samples() {
+        use voltctl_snap::{ByteReader, ByteWriter, Pack, Unpack};
+        let build = |checkpoint_at: usize| -> Snapshot {
+            let mut r = MemoryRecorder::new();
+            r.register_histogram("v", 0.0, 1.0, 8);
+            r.counter("c", 5);
+            r.timer_ns("t", 111);
+            r.event(Level::Warn, "topic", "early");
+            // Force the id-interning path so the checkpoint carries an
+            // interned metric, not just name-keyed series.
+            let _id = r.metric_id("v");
+            let mut x = 0.37_f64;
+            for i in 0..(PENDING_CHUNK + 99) {
+                if i == checkpoint_at {
+                    // Detour through the wire format mid-stream.
+                    let mut w = ByteWriter::new();
+                    r.pack(&mut w);
+                    let bytes = w.into_bytes();
+                    let mut rd = ByteReader::new(&bytes);
+                    r = MemoryRecorder::unpack(&mut rd).unwrap();
+                    rd.expect_end("recorder").unwrap();
+                }
+                x = (x * 1.7 + 0.11).fract();
+                r.value("v", x);
+            }
+            r.counter("c", 2);
+            r.event(Level::Info, "topic", "late");
+            r.snapshot()
+        };
+        let straight = build(usize::MAX);
+        // Checkpointing mid-pending-ring or at a chunk boundary must be
+        // invisible in the final snapshot, bit for bit.
+        for at in [0, 17, PENDING_CHUNK] {
+            assert_eq!(build(at), straight, "checkpoint at sample {at}");
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_mismatched_channel_lengths() {
+        use voltctl_snap::{ByteReader, ByteWriter, Pack, Unpack};
+        let mut r = MemoryRecorder::new();
+        r.counter("a", 1);
+        r.counter("b", 2);
+        let mut w = ByteWriter::new();
+        r.pack(&mut w);
+        let mut bytes = w.into_bytes();
+        // Claim three names but keep two channels' worth of data.
+        assert_eq!(bytes[0], 2, "name count is the leading u64");
+        bytes[0] = 1;
+        let mut rd = ByteReader::new(&bytes);
+        let clean = MemoryRecorder::unpack(&mut rd).is_ok() && rd.finished();
+        assert!(!clean, "shrunken name table must not decode cleanly");
     }
 
     #[test]

@@ -49,6 +49,59 @@ impl HistogramData {
     }
 }
 
+impl voltctl_snap::Pack for Level {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(match self {
+            Level::Info => 0,
+            Level::Warn => 1,
+        });
+    }
+}
+
+impl voltctl_snap::Unpack for Level {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Level::Info),
+            1 => Ok(Level::Warn),
+            other => Err(voltctl_snap::SnapError::Corrupt(format!(
+                "unknown event level {other}"
+            ))),
+        }
+    }
+}
+
+impl voltctl_snap::Pack for HistogramData {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_f64(self.lo);
+        w.put_f64(self.hi);
+        voltctl_snap::Pack::pack(&self.counts, w);
+        w.put_u64(self.under);
+        w.put_u64(self.over);
+    }
+}
+
+impl voltctl_snap::Unpack for HistogramData {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let lo = r.get_f64()?;
+        let hi = r.get_f64()?;
+        let counts = voltctl_snap::Unpack::unpack(r)?;
+        let under = r.get_u64()?;
+        let over = r.get_u64()?;
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "histogram range [{lo}, {hi}) is empty or non-finite"
+            )));
+        }
+        Ok(HistogramData {
+            lo,
+            hi,
+            counts,
+            under,
+            over,
+        })
+    }
+}
+
 /// A pre-resolved handle to one metric name.
 ///
 /// Hot paths that record the same metric millions of times resolve the

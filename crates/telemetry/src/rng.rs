@@ -18,6 +18,17 @@ impl Rng {
         Rng { state: seed }
     }
 
+    /// The raw generator state, for checkpointing. Restoring with
+    /// [`from_state`](Rng::from_state) resumes the exact stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator mid-stream from a captured [`state`](Rng::state).
+    pub fn from_state(state: u64) -> Rng {
+        Rng { state }
+    }
+
     /// The next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -75,6 +86,18 @@ impl Rng {
             let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
+    }
+}
+
+impl voltctl_snap::Pack for Rng {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u64(self.state);
+    }
+}
+
+impl voltctl_snap::Unpack for Rng {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(Rng::from_state(r.get_u64()?))
     }
 }
 

@@ -108,10 +108,79 @@ impl EmergencyCapture {
     }
 }
 
+impl voltctl_snap::Pack for EmergencyKind {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(match self {
+            EmergencyKind::Under => 0,
+            EmergencyKind::Over => 1,
+        });
+    }
+}
+
+impl voltctl_snap::Unpack for EmergencyKind {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(EmergencyKind::Under),
+            1 => Ok(EmergencyKind::Over),
+            k => Err(voltctl_snap::SnapError::Corrupt(format!(
+                "invalid emergency kind tag {k}"
+            ))),
+        }
+    }
+}
+
+impl voltctl_snap::Pack for EmergencyCapture {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.kind.pack(w);
+        w.put_u64(self.crossing_cycle);
+        w.put_usize(self.pre_len);
+        self.records.pack(w);
+    }
+}
+
+impl voltctl_snap::Unpack for EmergencyCapture {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let kind = voltctl_snap::Unpack::unpack(r)?;
+        let crossing_cycle = r.get_u64()?;
+        let pre_len = r.get_usize()?;
+        let records: Vec<CycleRecord> = voltctl_snap::Unpack::unpack(r)?;
+        // The crossing record at records[pre_len] must exist, or every
+        // accessor (crossing/pre/post) would panic on the decoded value.
+        if pre_len >= records.len() {
+            return Err(voltctl_snap::SnapError::Corrupt(format!(
+                "capture pre-window length {pre_len} out of range for {} records",
+                records.len()
+            )));
+        }
+        Ok(EmergencyCapture {
+            kind,
+            crossing_cycle,
+            pre_len,
+            records,
+        })
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 struct Pending {
     capture: EmergencyCapture,
     post_left: usize,
+}
+
+impl voltctl_snap::Pack for Pending {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        self.capture.pack(w);
+        w.put_usize(self.post_left);
+    }
+}
+
+impl voltctl_snap::Unpack for Pending {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(Pending {
+            capture: voltctl_snap::Unpack::unpack(r)?,
+            post_left: r.get_usize()?,
+        })
+    }
 }
 
 /// The in-memory flight recorder: ring buffer + capture freezer.
@@ -205,6 +274,102 @@ impl FlightRecorder {
             interventions: self.interventions.clone(),
             interventions_total: self.interventions_total,
         }
+    }
+}
+
+impl voltctl_snap::Pack for FlightRecorder {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_usize(self.window);
+        w.put_usize(self.max_captures);
+        self.ring.pack(w);
+        w.put_u64(self.cycles);
+        self.last_supply.pack(w);
+        w.put_bool(self.last_actuating);
+        self.pending.pack(w);
+        self.captures.pack(w);
+        w.put_u64(self.crossings);
+        w.put_u64(self.under_crossings);
+        w.put_u64(self.over_crossings);
+        w.put_u64(self.dropped_captures);
+        self.interventions.pack(w);
+        w.put_u64(self.interventions_total);
+    }
+}
+
+impl voltctl_snap::Unpack for FlightRecorder {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        let corrupt = |msg: String| voltctl_snap::SnapError::Corrupt(msg);
+        let window = r.get_usize()?;
+        let max_captures = r.get_usize()?;
+        let ring: VecDeque<CycleRecord> = voltctl_snap::Unpack::unpack(r)?;
+        let cycles = r.get_u64()?;
+        let last_supply = voltctl_snap::Unpack::unpack(r)?;
+        let last_actuating = r.get_bool()?;
+        let pending: Option<Pending> = voltctl_snap::Unpack::unpack(r)?;
+        let captures: Vec<EmergencyCapture> = voltctl_snap::Unpack::unpack(r)?;
+        let crossings = r.get_u64()?;
+        let under_crossings = r.get_u64()?;
+        let over_crossings = r.get_u64()?;
+        let dropped_captures = r.get_u64()?;
+        let interventions: Vec<u64> = voltctl_snap::Unpack::unpack(r)?;
+        let interventions_total = r.get_u64()?;
+
+        if window == 0 {
+            return Err(corrupt("flight-recorder window must be >= 1".into()));
+        }
+        if ring.len() > window {
+            return Err(corrupt(format!(
+                "ring holds {} records but the window is {window}",
+                ring.len()
+            )));
+        }
+        if cycles < ring.len() as u64 {
+            return Err(corrupt(format!(
+                "ring holds {} records but only {cycles} cycles elapsed",
+                ring.len()
+            )));
+        }
+        if let Some(p) = &pending {
+            if p.post_left == 0 || p.post_left > window {
+                return Err(corrupt(format!(
+                    "pending capture post-window {} out of range 1..={window}",
+                    p.post_left
+                )));
+            }
+        }
+        if crossings != under_crossings + over_crossings {
+            return Err(corrupt(format!(
+                "crossing counts disagree: {crossings} != {under_crossings} + {over_crossings}"
+            )));
+        }
+        if interventions.len() > MAX_INTERVENTION_MARKS {
+            return Err(corrupt(format!(
+                "{} intervention marks exceed the {MAX_INTERVENTION_MARKS} cap",
+                interventions.len()
+            )));
+        }
+        if interventions_total < interventions.len() as u64 {
+            return Err(corrupt(format!(
+                "{} intervention marks but total is {interventions_total}",
+                interventions.len()
+            )));
+        }
+        Ok(FlightRecorder {
+            window,
+            max_captures,
+            ring,
+            cycles,
+            last_supply,
+            last_actuating,
+            pending,
+            captures,
+            crossings,
+            under_crossings,
+            over_crossings,
+            dropped_captures,
+            interventions,
+            interventions_total,
+        })
     }
 }
 
@@ -464,6 +629,75 @@ mod tests {
         let cell = fr.to_cell("t");
         assert_eq!(cell.interventions, vec![1, 5]);
         assert_eq!(cell.interventions_total, 2);
+    }
+
+    #[test]
+    fn wire_round_trip_resumes_mid_capture() {
+        use voltctl_snap::{ByteReader, ByteWriter, Pack, Unpack};
+        // Drive a recorder into the middle of an open capture, snapshot
+        // it, then keep feeding the original and the restored copy the
+        // same records: they must stay indistinguishable.
+        let mut fr = FlightRecorder::new(4);
+        for k in 0..8 {
+            fr.cycle(rec(k, SupplyBand::Safe));
+        }
+        fr.cycle(rec(8, SupplyBand::Under));
+        fr.cycle(rec(9, SupplyBand::Safe)); // post-window still open
+        assert!(fr.pending.is_some(), "capture must be mid-flight");
+
+        let mut w = ByteWriter::new();
+        fr.pack(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut restored = FlightRecorder::unpack(&mut r).unwrap();
+        assert!(r.finished());
+        assert_eq!(restored, fr);
+
+        for k in 10..30 {
+            let band = if k == 15 {
+                SupplyBand::Over
+            } else {
+                SupplyBand::Safe
+            };
+            fr.cycle(rec(k, band));
+            restored.cycle(rec(k, band));
+        }
+        assert_eq!(restored, fr);
+        assert_eq!(restored.to_cell("t"), fr.to_cell("t"));
+        let mut w2 = ByteWriter::new();
+        restored.pack(&mut w2);
+        let mut w3 = ByteWriter::new();
+        fr.pack(&mut w3);
+        assert_eq!(w2.into_bytes(), w3.into_bytes());
+    }
+
+    #[test]
+    fn wire_decode_rejects_inconsistent_state() {
+        use voltctl_snap::{ByteReader, ByteWriter, Pack, SnapError, Unpack};
+        let mut fr = FlightRecorder::new(4);
+        for k in 0..6 {
+            fr.cycle(rec(k, SupplyBand::Safe));
+        }
+        let mut w = ByteWriter::new();
+        fr.pack(&mut w);
+        let good = w.into_bytes();
+        assert!(FlightRecorder::unpack(&mut ByteReader::new(&good)).is_ok());
+
+        // A zero window can never be produced by the constructor.
+        let mut bad = good.clone();
+        bad[..8].copy_from_slice(&0u64.to_le_bytes());
+        match FlightRecorder::unpack(&mut ByteReader::new(&bad)) {
+            Err(SnapError::Corrupt(msg)) => assert!(msg.contains("window"), "{msg}"),
+            other => panic!("zero window must be rejected, got {other:?}"),
+        }
+
+        // Truncations at every prefix must error, never panic.
+        for cut in (0..good.len()).step_by(7) {
+            assert!(
+                FlightRecorder::unpack(&mut ByteReader::new(&good[..cut])).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -155,6 +155,76 @@ impl CycleRecord {
     }
 }
 
+impl voltctl_snap::Pack for SupplyBand {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(match self {
+            SupplyBand::Under => 0,
+            SupplyBand::Safe => 1,
+            SupplyBand::Over => 2,
+        });
+    }
+}
+
+impl voltctl_snap::Unpack for SupplyBand {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(SupplyBand::Under),
+            1 => Ok(SupplyBand::Safe),
+            2 => Ok(SupplyBand::Over),
+            k => Err(voltctl_snap::SnapError::Corrupt(format!(
+                "invalid supply band tag {k}"
+            ))),
+        }
+    }
+}
+
+impl voltctl_snap::Pack for SensorBand {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u8(match self {
+            SensorBand::Low => 0,
+            SensorBand::Normal => 1,
+            SensorBand::High => 2,
+        });
+    }
+}
+
+impl voltctl_snap::Unpack for SensorBand {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(SensorBand::Low),
+            1 => Ok(SensorBand::Normal),
+            2 => Ok(SensorBand::High),
+            k => Err(voltctl_snap::SnapError::Corrupt(format!(
+                "invalid sensor band tag {k}"
+            ))),
+        }
+    }
+}
+
+impl voltctl_snap::Pack for CycleRecord {
+    fn pack(&self, w: &mut voltctl_snap::ByteWriter) {
+        w.put_u64(self.cycle);
+        w.put_f64(self.current);
+        w.put_f64(self.voltage);
+        self.supply.pack(w);
+        self.sensor.pack(w);
+        w.put_u16(self.events);
+    }
+}
+
+impl voltctl_snap::Unpack for CycleRecord {
+    fn unpack(r: &mut voltctl_snap::ByteReader<'_>) -> Result<Self, voltctl_snap::SnapError> {
+        Ok(CycleRecord {
+            cycle: r.get_u64()?,
+            current: r.get_f64()?,
+            voltage: r.get_f64()?,
+            supply: voltctl_snap::Unpack::unpack(r)?,
+            sensor: voltctl_snap::Unpack::unpack(r)?,
+            events: r.get_u16()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
