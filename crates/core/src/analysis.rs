@@ -164,6 +164,37 @@ pub fn evaluate_program_traced<R: voltctl_telemetry::Recorder, T: voltctl_trace:
     Ok((evaluation, recorder, tracer))
 }
 
+/// Builds the `(baseline, controlled)` loop pair [`evaluate_program`]
+/// would run, without running them — the entry point for batch
+/// executors ([`crate::lane::LaneLoop`]) that step many evaluations in
+/// lockstep. The loops are constructed exactly as on the scalar path
+/// (same builder calls, no recorder or tracer), so running each for
+/// `warmup + cycles` cycles reproduces [`evaluate_program`]'s reports
+/// bitwise.
+///
+/// # Errors
+///
+/// Propagates loop-construction errors.
+pub fn build_eval_loops(
+    program: &Program,
+    setup: &EvalSetup,
+) -> Result<(ControlLoop, ControlLoop), ControlError> {
+    let baseline = ControlLoop::builder(program.clone())
+        .cpu_config(setup.cpu_config.clone())
+        .power(setup.power.clone())
+        .pdn(setup.pdn.clone())
+        .build()?;
+    let controlled = ControlLoop::builder(program.clone())
+        .cpu_config(setup.cpu_config.clone())
+        .power(setup.power.clone())
+        .pdn(setup.pdn.clone())
+        .thresholds(setup.thresholds)
+        .sensor(setup.sensor)
+        .scope(setup.scope)
+        .build()?;
+    Ok((baseline, controlled))
+}
+
 /// The result of replaying a recorded current trace through a supply
 /// network: the emergency report and (optionally) the voltage
 /// distribution.

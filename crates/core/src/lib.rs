@@ -70,6 +70,7 @@ pub mod actuator;
 pub mod analysis;
 pub mod calibrate;
 pub mod controller;
+pub mod lane;
 pub mod loopsim;
 pub mod pid;
 pub mod replay;
@@ -78,11 +79,12 @@ pub mod thresholds;
 
 pub use actuator::{ActuationScope, AsymmetricActuator};
 pub use analysis::{
-    evaluate_program, evaluate_program_recorded, evaluate_program_traced, replay_current_trace,
-    replay_current_trace_traced, EvalSetup, Evaluation, TraceReplay,
+    build_eval_loops, evaluate_program, evaluate_program_recorded, evaluate_program_traced,
+    replay_current_trace, replay_current_trace_traced, EvalSetup, Evaluation, TraceReplay,
 };
 pub use calibrate::calibrated_pdn;
 pub use controller::{ControlAction, ThresholdController};
+pub use lane::{LaneLoop, LaneOutcome};
 pub use loopsim::{ControlLoop, LoopReport};
 pub use replay::{replay, ReplayConfig, ReplayOutcome};
 pub use sensor::{SensorConfig, SensorReading, ThresholdSensor};
@@ -93,6 +95,7 @@ pub mod prelude {
     pub use crate::actuator::{ActuationScope, AsymmetricActuator};
     pub use crate::calibrate::calibrated_pdn;
     pub use crate::controller::{ControlAction, ThresholdController};
+    pub use crate::lane::{LaneLoop, LaneOutcome};
     pub use crate::loopsim::{ControlLoop, LoopReport};
     pub use crate::replay::{replay, ReplayConfig, ReplayOutcome};
     pub use crate::sensor::{SensorConfig, SensorReading, ThresholdSensor};

@@ -423,9 +423,86 @@ impl ControlLoop {
 
 /// Fingerprint of a power model's full parameterization, embedded in loop
 /// snapshots so restoration detects a rebuild under different power
-/// assumptions (which would silently change every current sample).
-fn power_fingerprint(power: &PowerModel) -> u64 {
+/// assumptions (which would silently change every current sample). Also
+/// part of the lane-group key (see [`crate::lane`]): two loops may share
+/// one CPU only when their power models are parameter-identical.
+pub(crate) fn power_fingerprint(power: &PowerModel) -> u64 {
     voltctl_snap::fnv1a(format!("{power:?}").as_bytes())
+}
+
+/// A [`ControlLoop`]'s complete evolving state, decomposed so the lane
+/// path ([`crate::lane`]) can transpose it into per-field arrays and —
+/// at checkpoint/scatter boundaries — reassemble a scalar loop that is
+/// byte-identical to one that had been stepped scalar all along.
+#[derive(Debug)]
+pub(crate) struct LaneParts {
+    pub(crate) cpu: Cpu,
+    pub(crate) power: PowerModel,
+    pub(crate) pdn_state: PdnState,
+    pub(crate) v_nominal: f64,
+    pub(crate) sensor: Option<ThresholdSensor>,
+    pub(crate) controller: ThresholdController,
+    pub(crate) actuator: AsymmetricActuator,
+    pub(crate) monitor: VoltageMonitor,
+    pub(crate) histogram: VoltageHistogram,
+    pub(crate) energy: EnergyAccumulator,
+    pub(crate) trace: Option<Vec<LoopSample>>,
+    pub(crate) cycles_in_low: u64,
+    pub(crate) cycles_in_normal: u64,
+    pub(crate) cycles_in_high: u64,
+}
+
+impl ControlLoop {
+    /// Decomposes an (unobserved) loop into lane-transposable parts.
+    ///
+    /// Only the default `NullRecorder`/`NullTracer` instantiation can
+    /// enter the lane path: per-cycle observers would have to fire in
+    /// scalar step order, which is exactly what the transposed passes
+    /// give up.
+    pub(crate) fn into_lane_parts(self) -> LaneParts {
+        LaneParts {
+            cpu: self.cpu,
+            power: self.power,
+            pdn_state: self.pdn_state,
+            v_nominal: self.v_nominal,
+            sensor: self.sensor,
+            controller: self.controller,
+            actuator: self.actuator,
+            monitor: self.monitor,
+            histogram: self.histogram,
+            energy: self.energy,
+            trace: self.trace,
+            cycles_in_low: self.cycles_in_low,
+            cycles_in_normal: self.cycles_in_normal,
+            cycles_in_high: self.cycles_in_high,
+        }
+    }
+
+    /// Reassembles a scalar loop from lane parts. Inverse of
+    /// [`into_lane_parts`](Self::into_lane_parts): a loop rebuilt from
+    /// unmodified parts is byte-identical (its [`save`](Self::save)
+    /// bytes match) to the loop that was decomposed.
+    pub(crate) fn from_lane_parts(parts: LaneParts) -> ControlLoop {
+        ControlLoop {
+            cpu: parts.cpu,
+            power: parts.power,
+            pdn_state: parts.pdn_state,
+            v_nominal: parts.v_nominal,
+            sensor: parts.sensor,
+            controller: parts.controller,
+            actuator: parts.actuator,
+            monitor: parts.monitor,
+            histogram: parts.histogram,
+            energy: parts.energy,
+            trace: parts.trace,
+            recorder: NullRecorder,
+            metric_ids: LoopMetricIds::default(),
+            tracer: NullTracer,
+            cycles_in_low: parts.cycles_in_low,
+            cycles_in_normal: parts.cycles_in_normal,
+            cycles_in_high: parts.cycles_in_high,
+        }
+    }
 }
 
 /// Maps the monitor's ground-truth band into the trace vocabulary.

@@ -74,7 +74,12 @@ struct RuuEntry {
 }
 
 /// The processor.
-#[derive(Debug)]
+///
+/// `Clone` is part of the multi-lane execution contract: the simulator is
+/// deterministic, so a cloned CPU stepped under the same gating commands
+/// produces bit-identical activity — which lets lane groups share one CPU
+/// until their controllers diverge and fork copies only at that point.
+#[derive(Debug, Clone)]
 pub struct Cpu {
     config: CpuConfig,
     program: Program,

@@ -27,6 +27,7 @@ use std::time::Instant;
 
 use voltctl_core::loopsim::ControlLoop;
 use voltctl_core::prelude::*;
+use voltctl_core::LaneLoop;
 use voltctl_isa::builder::ProgramBuilder;
 use voltctl_isa::reg::IntReg;
 use voltctl_isa::Program;
@@ -48,6 +49,16 @@ pub struct BenchOpts {
     /// Run only the named suite (`pdn` or `loop`); `None` runs both.
     /// Useful for regenerating one baseline without paying for the other.
     pub suite: Option<String>,
+    /// Prior baseline to diff against: a `BENCH_*.json` file, or a
+    /// directory holding one per suite. Per-point throughput deltas are
+    /// printed, and any drop past [`tolerance`](BenchOpts::tolerance)
+    /// fails the run.
+    pub compare: Option<PathBuf>,
+    /// Allowed fractional throughput regression against the `compare`
+    /// baseline before the run fails (0.25 = a point may be up to 25%
+    /// slower). The runners are noisy single-core machines, so the
+    /// default is generous; tighten it on quiet hardware.
+    pub tolerance: f64,
 }
 
 impl Default for BenchOpts {
@@ -56,9 +67,15 @@ impl Default for BenchOpts {
             smoke: false,
             out: PathBuf::from(DEFAULT_PERF_DIR),
             suite: None,
+            compare: None,
+            tolerance: DEFAULT_TOLERANCE,
         }
     }
 }
+
+/// Default `--tolerance`: allowed fractional slowdown vs. a `--compare`
+/// baseline.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
 
 /// Default artifact directory for perf baselines.
 pub const DEFAULT_PERF_DIR: &str = "results/perf";
@@ -68,7 +85,16 @@ pub const DEFAULT_PERF_DIR: &str = "results/perf";
 /// `recording_overhead_frac` summary. Version 3 added the
 /// `snapshot_save` / `snapshot_restore` loop points and the
 /// `snapshot_bytes*` / `snapshot_*_mb_per_sec` summary entries.
-pub const BENCH_SCHEMA: u64 = 3;
+/// Version 4 added the `lane_w4` / `lane_w8` batched-loop points (a
+/// point's `cycles` is the *aggregate* simulated lane-cycles per
+/// iteration) and the `lane_speedup_w*` summary ratios.
+pub const BENCH_SCHEMA: u64 = 4;
+
+/// Perf-smoke gate: the batched lane path must beat the scalar
+/// controlled loop by at least this factor *within the same run*. A
+/// ratio, not an absolute time, so machine speed cancels out and the
+/// gate holds on slow shared runners.
+pub const MIN_LANE_SPEEDUP: f64 = 1.5;
 
 /// One measured point: a named code path at a kernel size (0 taps for
 /// paths with no kernel, e.g. the state-space stepper or the loop suite).
@@ -361,6 +387,50 @@ pub fn bench_loop(smoke: bool) -> BenchSuite {
         controlled.report().cycles
     });
 
+    // The lane path at widths 4 and 8: W byte-identical controlled
+    // loops never diverge from each other, so one `Cpu::step` + power
+    // evaluation per lockstep cycle serves all W lanes and a point's
+    // `cycles` is the aggregate W·chunk simulated lane-cycles per
+    // iteration. Lane state persists across samples by scattering back
+    // to scalar loops and re-gathering, so each iteration pays the same
+    // gather/scatter cost the engine's chunk executor pays — the ratio
+    // to `controlled` is an honest end-to-end lane speedup.
+    let mut lane_points = Vec::new();
+    let mut lane_speedups = Vec::new();
+    for (w, path, speedup_name) in [
+        (4usize, "lane_w4", "lane_speedup_w4"),
+        (8, "lane_w8", "lane_speedup_w8"),
+    ] {
+        let mut held: Option<Vec<ControlLoop>> = Some(
+            (0..w)
+                .map(|_| {
+                    ControlLoop::builder(spin_program())
+                        .cpu_config(cpu_config())
+                        .power(power.clone())
+                        .pdn(pdn.clone())
+                        .thresholds(thresholds)
+                        .build()
+                        .expect("lane loop constructs")
+                })
+                .collect(),
+        );
+        let budgets = vec![chunk; w];
+        let l = bench(&format!("loop.{path}"), samples, 1, || {
+            let loops = held.take().expect("lane loops persist across samples");
+            let mut lanes = LaneLoop::gather(loops, &budgets);
+            lanes.run();
+            let cycles = lanes.report(0).cycles;
+            held = Some(lanes.into_loops());
+            cycles
+        });
+        // Best-of-N per simulated cycle on both sides (see below).
+        lane_speedups.push((
+            speedup_name,
+            (c.best_ns_per_iter / chunk as f64) / (l.best_ns_per_iter / (w as u64 * chunk) as f64),
+        ));
+        lane_points.push(BenchPoint::from_result(path, 0, w as u64 * chunk, l));
+    }
+
     let mut recorded = ControlLoop::builder(spin_program())
         .cpu_config(cpu_config())
         .power(power.clone())
@@ -424,15 +494,18 @@ pub fn bench_loop(smoke: bool) -> BenchSuite {
         recording.take_trace().len()
     });
 
-    let points = vec![
+    let mut points = vec![
         BenchPoint::from_result("uncontrolled", 0, chunk, u),
         BenchPoint::from_result("controlled", 0, chunk, c),
+    ];
+    points.extend(lane_points);
+    points.extend([
         BenchPoint::from_result("recorded", 0, chunk, r),
         BenchPoint::from_result("traced", 0, chunk, t),
         BenchPoint::from_result("recorded_trace", 0, chunk, rt),
         BenchPoint::from_result("snapshot_save", 0, state_cycles, sv),
         BenchPoint::from_result("snapshot_restore", 0, state_cycles, rs),
-    ];
+    ]);
     // Best-of-N ratios: see the doc comment — the minimum is the
     // noise-robust estimator on shared runners, medians are not.
     let telemetry_overhead = r.best_ns_per_iter / u.best_ns_per_iter - 1.0;
@@ -441,7 +514,7 @@ pub fn bench_loop(smoke: bool) -> BenchSuite {
     // MB/s from best-of-N for the same noise-robustness reason.
     let save_mb_per_sec = snapshot_bytes as f64 * 1e3 / sv.best_ns_per_iter;
     let restore_mb_per_sec = snapshot_bytes as f64 * 1e3 / rs.best_ns_per_iter;
-    let summary = vec![
+    let mut summary = vec![
         ("chunk_cycles", chunk as f64),
         ("telemetry_overhead_frac", telemetry_overhead),
         ("tracing_overhead_frac", tracing_overhead),
@@ -454,6 +527,7 @@ pub fn bench_loop(smoke: bool) -> BenchSuite {
         ("snapshot_save_mb_per_sec", save_mb_per_sec),
         ("snapshot_restore_mb_per_sec", restore_mb_per_sec),
     ];
+    summary.extend(lane_speedups);
     BenchSuite {
         name: "loop",
         smoke,
@@ -482,6 +556,16 @@ pub fn run(opts: &BenchOpts) -> Result<Vec<PathBuf>, String> {
     if suites.is_empty() {
         return Err(format!("unknown bench suite {:?}", opts.suite));
     }
+    // Baselines load *before* the artifacts are (over)written: comparing
+    // against the default out directory — the regenerate-in-place
+    // workflow — must diff against the prior run, not the file this one
+    // just wrote.
+    let mut baselines = Vec::new();
+    if let Some(base) = &opts.compare {
+        for suite in &suites {
+            baselines.push(load_baseline(base, suite.name)?);
+        }
+    }
     let mut paths = Vec::new();
     let mut failures = Vec::new();
     for suite in &suites {
@@ -496,6 +580,39 @@ pub fn run(opts: &BenchOpts) -> Result<Vec<PathBuf>, String> {
         paths.push(path);
         for bad in suite.insane_points() {
             failures.push(format!("BENCH_{}: {bad}", suite.name));
+        }
+        // Perf-smoke lane gate: batched vs. scalar within the same run.
+        if suite.name == "loop" {
+            let best = suite
+                .summary
+                .iter()
+                .filter(|(n, _)| n.starts_with("lane_speedup_"))
+                .map(|(_, v)| *v)
+                .fold(f64::NAN, f64::max);
+            if best.is_nan() || best < MIN_LANE_SPEEDUP {
+                failures.push(format!(
+                    "BENCH_loop: best lane speedup {best:.2}x is below the {MIN_LANE_SPEEDUP}x gate"
+                ));
+            }
+        }
+    }
+
+    // Baseline diff: per-point throughput deltas against the prior
+    // artifact, failing on any drop past the tolerance.
+    if let Some(base) = &opts.compare {
+        for (suite, old) in suites.iter().zip(&baselines) {
+            match old {
+                Some(old) => {
+                    let diff = compare_suite(suite, old, opts.tolerance);
+                    print!("{}", diff.rendered);
+                    failures.extend(diff.regressions);
+                }
+                None => eprintln!(
+                    "[voltctl-exp] no {} baseline under {} — skipping compare",
+                    suite.name,
+                    base.display()
+                ),
+            }
         }
     }
 
@@ -527,6 +644,144 @@ pub fn run(opts: &BenchOpts) -> Result<Vec<PathBuf>, String> {
             "NaN/zero-throughput points: {}",
             failures.join(", ")
         ))
+    }
+}
+
+/// A prior suite loaded from a `BENCH_*.json` artifact (any schema —
+/// every version has carried `path`/`kernel_taps`/`cycles_per_sec`).
+#[derive(Debug)]
+struct OldSuite {
+    origin: PathBuf,
+    smoke: Option<bool>,
+    points: Vec<(String, usize, Option<f64>)>,
+}
+
+/// Loads the baseline for `suite_name` from `base`: a directory holding
+/// `BENCH_<name>.json`, or a single artifact file (skipped with
+/// `Ok(None)` when it describes a different suite, so `--compare
+/// OLD.json` composes with running both suites).
+///
+/// # Errors
+///
+/// Unreadable or malformed JSON is an error; a missing per-suite file
+/// under a directory is `Ok(None)`.
+fn load_baseline(base: &Path, suite_name: &str) -> Result<Option<OldSuite>, String> {
+    let path = if base.is_dir() {
+        let p = base.join(format!("BENCH_{suite_name}.json"));
+        if !p.exists() {
+            return Ok(None);
+        }
+        p
+    } else {
+        base.to_path_buf()
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let json = voltctl_check::Json::parse(&text)
+        .map_err(|e| format!("{} does not parse: {e}", path.display()))?;
+    match json.get("bench").and_then(|b| b.as_str()) {
+        Some(name) if name == suite_name => {}
+        Some(_) => return Ok(None),
+        None => return Err(format!("{}: no \"bench\" field", path.display())),
+    }
+    let points = json
+        .get("points")
+        .and_then(|p| p.as_arr())
+        .ok_or_else(|| format!("{}: no \"points\" array", path.display()))?
+        .iter()
+        .filter_map(|p| {
+            Some((
+                p.get("path")?.as_str()?.to_string(),
+                p.get("kernel_taps")?.as_f64()? as usize,
+                p.get("cycles_per_sec").and_then(|v| v.as_f64()),
+            ))
+        })
+        .collect();
+    Ok(Some(OldSuite {
+        origin: path,
+        smoke: json.get("smoke").and_then(|s| s.as_bool()),
+        points,
+    }))
+}
+
+/// A rendered baseline diff plus the regressions it found.
+struct CompareOutcome {
+    rendered: String,
+    regressions: Vec<String>,
+}
+
+/// Diffs the current suite against a loaded baseline, point by point
+/// (matched on `path` + `kernel_taps`). A point is a regression when
+/// its throughput dropped by more than `tolerance`; new, dropped, and
+/// unmeasurable (`null`) points are annotated but never fail.
+fn compare_suite(suite: &BenchSuite, old: &OldSuite, tolerance: f64) -> CompareOutcome {
+    let mut s = String::new();
+    let mut regressions = Vec::new();
+    let _ = writeln!(
+        s,
+        "bench {} vs {} (tolerance {:.0}%)",
+        suite.name,
+        old.origin.display(),
+        tolerance * 100.0
+    );
+    if old.smoke.is_some_and(|o| o != suite.smoke) {
+        let _ = writeln!(
+            s,
+            "  warning: smoke={} now vs smoke={} in the baseline — deltas compare different budgets",
+            suite.smoke,
+            old.smoke.unwrap()
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  {:<16} {:>5}  {:>12}  {:>12}  {:>8}",
+        "path", "taps", "old cyc/s", "new cyc/s", "delta"
+    );
+    for p in &suite.points {
+        let prior = old
+            .points
+            .iter()
+            .find(|(path, taps, _)| *path == p.path && *taps == p.kernel_taps);
+        let (old_txt, delta_txt) = match prior {
+            Some((_, _, Some(old_cps))) if p.cycles_per_sec.is_finite() && *old_cps > 0.0 => {
+                let delta = p.cycles_per_sec / old_cps - 1.0;
+                if delta < -tolerance {
+                    regressions.push(format!(
+                        "BENCH_{}: {}/{} taps {:.1}% below baseline (tolerance {:.0}%)",
+                        suite.name,
+                        p.path,
+                        p.kernel_taps,
+                        -delta * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+                (format!("{old_cps:.3e}"), format!("{:+.1}%", delta * 100.0))
+            }
+            Some(_) => ("null".to_string(), "n/a".to_string()),
+            None => ("-".to_string(), "new".to_string()),
+        };
+        let _ = writeln!(
+            s,
+            "  {:<16} {:>5}  {:>12}  {:>12}  {:>8}",
+            p.path,
+            p.kernel_taps,
+            old_txt,
+            format!("{:.3e}", p.cycles_per_sec),
+            delta_txt
+        );
+    }
+    for (path, taps, _) in &old.points {
+        if !suite
+            .points
+            .iter()
+            .any(|p| p.path == *path && p.kernel_taps == *taps)
+        {
+            let _ = writeln!(s, "  {path:<16} {taps:>5}  (dropped from this run)");
+        }
+    }
+    CompareOutcome {
+        rendered: s,
+        regressions,
     }
 }
 
@@ -577,6 +832,8 @@ mod tests {
             [
                 "uncontrolled",
                 "controlled",
+                "lane_w4",
+                "lane_w8",
                 "recorded",
                 "traced",
                 "recorded_trace",
@@ -584,6 +841,10 @@ mod tests {
                 "snapshot_restore"
             ]
         );
+        // A lane point's `cycles` is the aggregate over all lanes.
+        let chunk = suite.points[0].cycles;
+        let w8 = suite.points.iter().find(|p| p.path == "lane_w8").unwrap();
+        assert_eq!(w8.cycles, 8 * chunk);
         for p in &suite.points {
             assert!(
                 (p.ns_per_cycle - p.wall_ns / p.cycles as f64).abs() < 1e-9,
@@ -598,6 +859,8 @@ mod tests {
             "snapshot_bytes_per_cycle",
             "snapshot_save_mb_per_sec",
             "snapshot_restore_mb_per_sec",
+            "lane_speedup_w4",
+            "lane_speedup_w8",
         ] {
             let v = suite.summary.iter().find(|(n, _)| *n == key).unwrap().1;
             assert!(v.is_finite(), "{key} must be measured");
@@ -648,7 +911,7 @@ mod tests {
         let opts = BenchOpts {
             smoke: true,
             out: dir.clone(),
-            suite: None,
+            ..BenchOpts::default()
         };
         let paths = run(&opts).expect("smoke bench must produce sane throughput");
         assert_eq!(paths.len(), 2);
@@ -665,6 +928,70 @@ mod tests {
         voltctl_check::Json::parse(&manifest).expect("manifest parses");
         assert!(manifest.contains("\"path\": \"BENCH_pdn.json\""));
         assert!(manifest.contains("\"path\": \"BENCH_loop.json\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tiny_suite(cps: f64) -> BenchSuite {
+        BenchSuite {
+            name: "loop",
+            smoke: true,
+            points: vec![BenchPoint {
+                path: "controlled",
+                kernel_taps: 0,
+                cycles: 100,
+                wall_ns: 1.0,
+                best_ns: 1.0,
+                cycles_per_sec: cps,
+                ns_per_cycle: 1.0,
+            }],
+            summary: vec![],
+        }
+    }
+
+    #[test]
+    fn compare_flags_regressions_past_tolerance_only() {
+        let dir = std::env::temp_dir().join(format!("voltctl-bench-cmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = tiny_suite(1000.0);
+        std::fs::write(dir.join("BENCH_loop.json"), baseline.to_json()).unwrap();
+
+        // 10% down, 25% tolerance: annotated, not failed.
+        let ok = load_baseline(&dir, "loop").unwrap().unwrap();
+        let diff = compare_suite(&tiny_suite(900.0), &ok, 0.25);
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.rendered.contains("-10.0%"), "{}", diff.rendered);
+
+        // 40% down: regression.
+        let diff = compare_suite(&tiny_suite(600.0), &ok, 0.25);
+        assert_eq!(diff.regressions.len(), 1);
+        assert!(diff.regressions[0].contains("40.0% below baseline"));
+
+        // Faster is never a regression.
+        let diff = compare_suite(&tiny_suite(2000.0), &ok, 0.25);
+        assert!(diff.regressions.is_empty());
+        assert!(diff.rendered.contains("+100.0%"));
+
+        // A single-file baseline for a different suite is skipped.
+        assert!(load_baseline(&dir.join("BENCH_loop.json"), "pdn")
+            .unwrap()
+            .is_none());
+        // A missing per-suite file under a directory is skipped too.
+        assert!(load_baseline(&dir, "pdn").unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compare_annotates_new_and_dropped_points() {
+        let mut old = tiny_suite(1000.0);
+        old.points[0].path = "uncontrolled";
+        let dir = std::env::temp_dir().join(format!("voltctl-bench-cmp2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_loop.json"), old.to_json()).unwrap();
+        let old = load_baseline(&dir, "loop").unwrap().unwrap();
+        let diff = compare_suite(&tiny_suite(1000.0), &old, 0.25);
+        assert!(diff.regressions.is_empty());
+        assert!(diff.rendered.contains("new"), "{}", diff.rendered);
+        assert!(diff.rendered.contains("dropped from this run"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -25,6 +25,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use voltctl_core::{ControlLoop, LaneLoop, LaneOutcome};
 use voltctl_telemetry::{MemoryRecorder, Recorder as _};
 use voltctl_trace::{Cause, FlightRecorder, MergedTrace};
 
@@ -74,6 +75,11 @@ pub struct Ctx {
     /// flight recorder per cell; `None` (the default) costs nothing —
     /// untraced loops run with `NullTracer`, which compiles away.
     pub trace: Option<TraceSpec>,
+    /// Whether batchable scenarios may use the lane executor (the
+    /// default). `false` pins every cell to the scalar path — results
+    /// are bitwise identical either way, so this only trades speed for
+    /// per-cell backtraces and apples-to-apples scalar timing.
+    pub lanes: bool,
 }
 
 impl Default for Ctx {
@@ -84,6 +90,7 @@ impl Default for Ctx {
             telemetry: false,
             telemetry_out: crate::telemetry::default_out_dir(),
             trace: None,
+            lanes: true,
         }
     }
 }
@@ -188,6 +195,19 @@ impl CellResult {
     }
 }
 
+/// One lane a batchable scenario contributes to the engine's lane
+/// executor: a fully built closed loop plus the cycle budget it should
+/// run for (warm-up included, exactly what `sim.run(budget)` would get
+/// on the scalar path).
+#[derive(Debug)]
+pub struct BatchLane {
+    /// The closed loop to step.
+    pub sim: ControlLoop,
+    /// Total cycles to run (the lane exits earlier if its program
+    /// terminates, matching `ControlLoop::run`).
+    pub budget: u64,
+}
+
 /// Rough wall-clock class, shown by `voltctl-exp list`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Runtime {
@@ -239,6 +259,36 @@ pub trait Scenario: Sync {
     /// `voltctl-exp list` marks these; `trace` on anything else fails.
     fn trace_aware(&self) -> bool {
         false
+    }
+    /// Whether this scenario opts into the lane executor: cells that can
+    /// express themselves as a flat list of [`BatchLane`]s are stepped
+    /// in lockstep by a shared [`LaneLoop`], amortizing CPU and power
+    /// work across lanes that share identical state. The engine only
+    /// uses the lane path when telemetry and tracing are off — lane
+    /// results are bitwise identical to the scalar path, so reports
+    /// don't change, but per-cycle telemetry streams are scalar-only.
+    fn batchable(&self) -> bool {
+        false
+    }
+    /// Produces this cell's lanes for the lane executor, or `None` to
+    /// run the cell on the scalar path ([`run_cell`](Scenario::run_cell))
+    /// instead — the escape hatch for cells with nothing to simulate
+    /// (e.g. configurations the threshold solver rejects).
+    fn batch_cell(&self, _ctx: &Ctx, _cell: usize) -> Option<Vec<BatchLane>> {
+        None
+    }
+    /// Assembles the cell's [`CellResult`] from the finished lanes'
+    /// outcomes, in the order [`batch_cell`](Scenario::batch_cell)
+    /// produced them. Must yield a result byte-identical to
+    /// [`run_cell`](Scenario::run_cell) (lane outcomes are bitwise equal
+    /// to scalar runs, so this is a pure reshaping).
+    fn finish_batch_cell(
+        &self,
+        _ctx: &Ctx,
+        _cell: usize,
+        _outcomes: Vec<LaneOutcome>,
+    ) -> CellResult {
+        unreachable!("scenarios that produce batch lanes must implement finish_batch_cell")
     }
 }
 
@@ -327,6 +377,13 @@ pub fn run_cells_profiled<P: Profiler>(
     let n = range.len();
     let jobs = jobs.max(1).min(n.max(1));
 
+    // Lane-batched execution when the scenario opts in and nothing
+    // forces the scalar path. Lane results are bitwise identical to
+    // scalar runs, so the choice is invisible in every report.
+    if ctx.lanes && scenario.batchable() && !ctx.telemetry && ctx.trace.is_none() {
+        return run_cells_batched(scenario, ctx, jobs, range, &labels, profiler);
+    }
+
     let slots: Vec<Mutex<Option<CellResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let base = range.start;
@@ -357,6 +414,164 @@ pub fn run_cells_profiled<P: Profiler>(
                         *slots[k].lock().expect("cell slot poisoned") = Some(result);
                     }
                 });
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(k, slot)| {
+            slot.into_inner()
+                .expect("cell slot poisoned")
+                .unwrap_or_else(|| {
+                    panic!(
+                        "cell {} ({:?}) produced no result",
+                        base + k,
+                        labels[base + k]
+                    )
+                })
+        })
+        .collect()
+}
+
+/// The lane-batched back end of [`run_cells_profiled`]: cells are handed
+/// out to workers in contiguous chunks; each chunk's lanes (from
+/// [`Scenario::batch_cell`]) are gathered into one [`LaneLoop`] and
+/// stepped in lockstep, then scattered back through
+/// [`Scenario::finish_batch_cell`]. Cells that decline batching run on
+/// the scalar path inside the same work queue.
+///
+/// Chunking multiple cells into one `LaneLoop` is where the speedup
+/// comes from, twice over:
+///
+/// * lanes that are **entirely identical** — same snapshot bytes, same
+///   budget — are simulated once and their outcome copied (sweep grids
+///   re-run the same uncontrolled baseline in every cell; determinism
+///   makes the copy exact, and the lane/scalar oracle tests prove it);
+/// * the surviving lanes with byte-identical CPU state (a cell's
+///   baseline/controlled pair before the first intervention) share one
+///   CPU step per cycle inside the `LaneLoop`.
+///
+/// Chunk boundaries affect only scheduling, never results — every
+/// lane's arithmetic is independent of its neighbours.
+fn run_cells_batched<P: Profiler>(
+    scenario: &dyn Scenario,
+    ctx: &Ctx,
+    jobs: usize,
+    range: std::ops::Range<usize>,
+    labels: &[String],
+    profiler: &P,
+) -> Vec<CellResult> {
+    let id = scenario.id();
+    let n = range.len();
+    let base = range.start;
+    // Wider chunks dedupe and share across more cells, but every live
+    // CPU in a chunk is stepped each cycle, so too many lanes turns the
+    // lockstep walk cache-hostile. Eight cells per chunk balances the
+    // two (and keeps multi-worker runs schedulable).
+    let chunk = if jobs <= 1 {
+        n.clamp(1, 8)
+    } else {
+        n.div_ceil(jobs * 2).clamp(1, 8)
+    };
+    let n_chunks = n.div_ceil(chunk);
+
+    let slots: Vec<Mutex<Option<CellResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    let worker = |j: usize| {
+        let job = format!("job{j}");
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let chunk_label = format!("chunk{c}");
+
+            // Gather: build every batchable cell's lanes, dedupe exact
+            // replicas, and transpose the survivors into one SoA lane
+            // loop. `origin[i]` maps logical lane `i` to its simulated
+            // representative.
+            let span = Span::start(profiler);
+            let mut sims = Vec::new();
+            let mut budgets = Vec::new();
+            let mut origin = Vec::new();
+            let mut seen: Vec<(u64, Vec<u8>, usize)> = Vec::new(); // (budget-key, bytes, lane)
+            let mut cell_spans = Vec::new(); // (slot, first lane, lane count)
+            let mut scalar_cells = Vec::new();
+            for k in lo..hi {
+                match scenario.batch_cell(ctx, base + k) {
+                    Some(lanes) => {
+                        let start = origin.len();
+                        for lane in lanes {
+                            let bytes = lane.sim.save();
+                            match seen
+                                .iter()
+                                .find(|(b, s, _)| *b == lane.budget && *s == bytes)
+                            {
+                                Some(&(_, _, dup)) => origin.push(dup),
+                                None => {
+                                    seen.push((lane.budget, bytes, sims.len()));
+                                    origin.push(sims.len());
+                                    sims.push(lane.sim);
+                                    budgets.push(lane.budget);
+                                }
+                            }
+                        }
+                        cell_spans.push((k, start, origin.len() - start));
+                    }
+                    None => scalar_cells.push(k),
+                }
+            }
+            let mut lanes = (!sims.is_empty()).then(|| LaneLoop::gather(sims, &budgets));
+            span.stop(profiler, &["exp", id, "lanes", "gather", &chunk_label]);
+
+            // Step: run every lane in the chunk to completion.
+            if let Some(lanes) = lanes.as_mut() {
+                let span = Span::start(profiler);
+                lanes.run();
+                span.stop(profiler, &["exp", id, "lanes", "step", &chunk_label]);
+            }
+
+            // Scatter: reshape each cell's lane outcomes into its result.
+            if let Some(lanes) = lanes.as_ref() {
+                let span = Span::start(profiler);
+                for &(k, start, count) in &cell_spans {
+                    let outcomes: Vec<LaneOutcome> = origin[start..start + count]
+                        .iter()
+                        .map(|&l| {
+                            lanes
+                                .outcome(l)
+                                .expect("every lane has exited after run()")
+                                .clone()
+                        })
+                        .collect();
+                    let result = scenario.finish_batch_cell(ctx, base + k, outcomes);
+                    *slots[k].lock().expect("cell slot poisoned") = Some(result);
+                }
+                span.stop(profiler, &["exp", id, "lanes", "scatter", &chunk_label]);
+            }
+
+            // Scalar fallback for cells that declined batching.
+            for &k in &scalar_cells {
+                let span = Span::start(profiler);
+                let result = scenario.run_cell(ctx, base + k);
+                span.stop(profiler, &["exp", id, "grid", &job, &labels[base + k]]);
+                *slots[k].lock().expect("cell slot poisoned") = Some(result);
+            }
+        }
+    };
+
+    if jobs == 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|s| {
+            let worker = &worker;
+            for j in 0..jobs {
+                s.spawn(move || worker(j));
             }
         });
     }

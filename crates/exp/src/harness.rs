@@ -14,7 +14,7 @@
 //!   engine's worker threads each own their cell's recorder.
 
 use std::sync::{Mutex, OnceLock};
-use voltctl_core::analysis::{evaluate_program_recorded, EvalSetup, Evaluation};
+use voltctl_core::analysis::{build_eval_loops, evaluate_program_recorded, EvalSetup, Evaluation};
 use voltctl_core::prelude::*;
 use voltctl_cpu::CpuConfig;
 use voltctl_pdn::PdnModel;
@@ -22,7 +22,7 @@ use voltctl_power::{PowerModel, PowerParams};
 use voltctl_telemetry::MemoryRecorder;
 use voltctl_workloads::{spec, stressmark, trace, Workload};
 
-use crate::engine::Ctx;
+use crate::engine::{BatchLane, Ctx};
 
 /// The standard power model (paper's 3 GHz / 1.0 V budget).
 pub fn power_model() -> PowerModel {
@@ -245,76 +245,91 @@ pub struct SweepRow {
     pub unstable: bool,
 }
 
-/// Evaluates `workloads` (plus the stressmark) at one controller
-/// configuration, returning one row per workload plus a `"SPEC mean"`
-/// aggregate over `workloads`.
+/// The solved configuration for one sweep point: deployed thresholds
+/// plus the sensor model. `None` means the threshold solver declared the
+/// point unstable (no safe thresholds exist for the scope's leverage).
 ///
-/// Unstable points (no safe thresholds) produce rows flagged `unstable`
-/// with NaN metrics.
-#[allow(clippy::too_many_arguments)]
-pub fn sweep_point(
-    ctx: &Ctx,
-    workloads: &[Workload],
-    stress: &Workload,
+/// Per the paper's methodology, the deployed thresholds come from the
+/// Table 3 analysis (ideal actuation); the scope-specific solve is used
+/// to *flag* configurations whose actuation leverage cannot guarantee
+/// safety (FU-only at delay >= 3).
+pub fn sweep_config(
     scope: ActuationScope,
     delay: u32,
     error_mv: f64,
     percent: f64,
-    cycles: u64,
-    mut telem: Option<&mut MemoryRecorder>,
-) -> Vec<SweepRow> {
-    let make_row =
-        |label: &str, perf: f64, energy: f64, ce: u64, be: u64, unstable: bool| SweepRow {
-            label: label.to_string(),
-            scope,
-            delay,
-            error_mv,
-            perf_loss: perf,
-            energy_increase: energy,
-            controlled_emergencies: ce,
-            baseline_emergencies: be,
-            unstable,
-        };
-
-    // Per the paper's methodology, the deployed thresholds come from the
-    // Table 3 analysis (ideal actuation); the scope-specific solve is used
-    // to *flag* configurations whose actuation leverage cannot guarantee
-    // safety (FU-only at delay >= 3).
-    let thresholds = match solve_for(scope, delay, percent)
+) -> Option<(Thresholds, SensorConfig)> {
+    let thresholds = solve_for(scope, delay, percent)
         .and_then(|_| solve_for(ActuationScope::Ideal, delay, percent))
-    {
-        Ok(t) => t,
-        Err(_) => {
-            let mut rows: Vec<SweepRow> = workloads
-                .iter()
-                .map(|w| make_row(&w.name, f64::NAN, f64::NAN, 0, 0, true))
-                .collect();
-            rows.push(make_row("SPEC mean", f64::NAN, f64::NAN, 0, 0, true));
-            rows.push(make_row(&stress.name, f64::NAN, f64::NAN, 0, 0, true));
-            return rows;
-        }
-    };
+        .ok()?;
     let sensor = SensorConfig {
         delay_cycles: delay,
         noise_mv: error_mv,
         seed: 0xd1d7,
     };
+    Some((thresholds, sensor))
+}
 
+/// A row constructor bound to one sweep point's coordinates.
+fn sweep_row_maker(
+    scope: ActuationScope,
+    delay: u32,
+    error_mv: f64,
+) -> impl Fn(&str, f64, f64, u64, u64, bool) -> SweepRow {
+    move |label: &str, perf: f64, energy: f64, ce: u64, be: u64, unstable: bool| SweepRow {
+        label: label.to_string(),
+        scope,
+        delay,
+        error_mv,
+        perf_loss: perf,
+        energy_increase: energy,
+        controlled_emergencies: ce,
+        baseline_emergencies: be,
+        unstable,
+    }
+}
+
+/// The rows for an unstable sweep point: NaN metrics, flagged, one per
+/// workload plus the `"SPEC mean"` aggregate and the stressmark.
+fn sweep_rows_unstable(
+    workloads: &[Workload],
+    stress: &Workload,
+    scope: ActuationScope,
+    delay: u32,
+    error_mv: f64,
+) -> Vec<SweepRow> {
+    let make_row = sweep_row_maker(scope, delay, error_mv);
+    let mut rows: Vec<SweepRow> = workloads
+        .iter()
+        .map(|w| make_row(&w.name, f64::NAN, f64::NAN, 0, 0, true))
+        .collect();
+    rows.push(make_row("SPEC mean", f64::NAN, f64::NAN, 0, 0, true));
+    rows.push(make_row(&stress.name, f64::NAN, f64::NAN, 0, 0, true));
+    rows
+}
+
+/// Assembles sweep rows from per-workload evaluations (`evals` holds one
+/// [`Evaluation`] per workload, then the stressmark's, in order). Shared
+/// by the scalar and lane-batched paths so the aggregate arithmetic —
+/// and therefore every reported digit — is identical on both.
+fn sweep_rows(
+    workloads: &[Workload],
+    stress: &Workload,
+    scope: ActuationScope,
+    delay: u32,
+    error_mv: f64,
+    evals: &[Evaluation],
+) -> Vec<SweepRow> {
+    assert_eq!(
+        evals.len(),
+        workloads.len() + 1,
+        "one evaluation per workload plus the stressmark"
+    );
+    let make_row = sweep_row_maker(scope, delay, error_mv);
     let mut rows = Vec::new();
     let mut sum_perf = 0.0;
     let mut sum_energy = 0.0;
-    for w in workloads {
-        let e = evaluate(
-            w,
-            scope,
-            thresholds,
-            sensor,
-            percent,
-            ctx.warmup(w.warmup_cycles),
-            cycles,
-            telem.as_deref_mut(),
-        )
-        .expect("evaluation constructs for solved thresholds");
+    for (w, e) in workloads.iter().zip(evals) {
         sum_perf += e.perf_loss();
         sum_energy += e.energy_increase();
         rows.push(make_row(
@@ -335,17 +350,7 @@ pub fn sweep_point(
         0,
         false,
     ));
-    let e = evaluate(
-        stress,
-        scope,
-        thresholds,
-        sensor,
-        percent,
-        ctx.warmup(stress.warmup_cycles),
-        cycles,
-        telem,
-    )
-    .expect("stressmark evaluation constructs");
+    let e = &evals[workloads.len()];
     rows.push(make_row(
         &stress.name,
         e.perf_loss(),
@@ -355,6 +360,131 @@ pub fn sweep_point(
         false,
     ));
     rows
+}
+
+/// Evaluates `workloads` (plus the stressmark) at one controller
+/// configuration, returning one row per workload plus a `"SPEC mean"`
+/// aggregate over `workloads`.
+///
+/// Unstable points (no safe thresholds) produce rows flagged `unstable`
+/// with NaN metrics.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_point(
+    ctx: &Ctx,
+    workloads: &[Workload],
+    stress: &Workload,
+    scope: ActuationScope,
+    delay: u32,
+    error_mv: f64,
+    percent: f64,
+    cycles: u64,
+    mut telem: Option<&mut MemoryRecorder>,
+) -> Vec<SweepRow> {
+    let Some((thresholds, sensor)) = sweep_config(scope, delay, error_mv, percent) else {
+        return sweep_rows_unstable(workloads, stress, scope, delay, error_mv);
+    };
+
+    let mut evals = Vec::new();
+    for w in workloads {
+        evals.push(
+            evaluate(
+                w,
+                scope,
+                thresholds,
+                sensor,
+                percent,
+                ctx.warmup(w.warmup_cycles),
+                cycles,
+                telem.as_deref_mut(),
+            )
+            .expect("evaluation constructs for solved thresholds"),
+        );
+    }
+    evals.push(
+        evaluate(
+            stress,
+            scope,
+            thresholds,
+            sensor,
+            percent,
+            ctx.warmup(stress.warmup_cycles),
+            cycles,
+            telem,
+        )
+        .expect("stressmark evaluation constructs"),
+    );
+    sweep_rows(workloads, stress, scope, delay, error_mv, &evals)
+}
+
+/// Builds the lane list for one sweep point — a baseline/controlled loop
+/// pair per workload (workloads in order, stressmark last), each with the
+/// budget its scalar run would get. Returns `None` for unstable points,
+/// which fall back to the scalar path (no simulation happens there — the
+/// rows are immediate).
+///
+/// Adjacent lanes of the same workload start with byte-identical CPU
+/// state, so the lane executor shares one CPU step across them until the
+/// controlled lane's first intervention.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_batch(
+    ctx: &Ctx,
+    workloads: &[Workload],
+    stress: &Workload,
+    scope: ActuationScope,
+    delay: u32,
+    error_mv: f64,
+    percent: f64,
+    cycles: u64,
+) -> Option<Vec<BatchLane>> {
+    let (thresholds, sensor) = sweep_config(scope, delay, error_mv, percent)?;
+    let setup = EvalSetup {
+        cpu_config: cpu_config(),
+        power: power_model(),
+        pdn: pdn_at(percent),
+        thresholds,
+        sensor,
+        scope,
+    };
+    let mut lanes = Vec::new();
+    for w in workloads.iter().chain(std::iter::once(stress)) {
+        let budget = ctx.warmup(w.warmup_cycles) + cycles;
+        let (baseline, controlled) = build_eval_loops(&w.program, &setup)
+            .expect("evaluation constructs for solved thresholds");
+        lanes.push(BatchLane {
+            sim: baseline,
+            budget,
+        });
+        lanes.push(BatchLane {
+            sim: controlled,
+            budget,
+        });
+    }
+    Some(lanes)
+}
+
+/// Pairs the finished lane outcomes from [`sweep_batch`] back into
+/// evaluations and assembles the same rows [`sweep_point`] produces.
+pub fn sweep_finish(
+    workloads: &[Workload],
+    stress: &Workload,
+    scope: ActuationScope,
+    delay: u32,
+    error_mv: f64,
+    outcomes: &[voltctl_core::LaneOutcome],
+) -> Vec<SweepRow> {
+    assert_eq!(
+        outcomes.len(),
+        2 * (workloads.len() + 1),
+        "a baseline/controlled outcome pair per workload plus the stressmark"
+    );
+    let evals: Vec<Evaluation> = outcomes
+        .chunks(2)
+        .map(|pair| Evaluation {
+            baseline: pair[0].report.clone(),
+            controlled: pair[1].report.clone(),
+        })
+        .collect();
+    sweep_rows(workloads, stress, scope, delay, error_mv, &evals)
 }
 
 #[cfg(test)]

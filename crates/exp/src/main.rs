@@ -9,6 +9,7 @@
 //! voltctl-exp trace <id>... [--window W] [--out DIR] [--jobs N]
 //!                           [--scale X] [--smoke] [--min-captures N]
 //! voltctl-exp bench [--smoke] [--out DIR] [--suite pdn|loop]
+//!                   [--compare OLD] [--tolerance FRAC]
 //! voltctl-exp golden [--bless] [--jobs N] [--dir DIR] [id...]
 //! voltctl-exp snapshot inspect <file>...
 //! ```
@@ -32,6 +33,7 @@ USAGE:
     voltctl-exp run --all [OPTIONS]
     voltctl-exp trace <id>... [TRACE OPTIONS]
     voltctl-exp bench [--smoke] [--out <DIR>] [--suite <pdn|loop>]
+                      [--compare <OLD>] [--tolerance <FRAC>]
     voltctl-exp golden [--bless] [--jobs <N>] [--dir <DIR>] [<id>...]
     voltctl-exp snapshot inspect <file>...
 
@@ -41,6 +43,8 @@ OPTIONS:
     --scale <X>           cycle-budget scale factor (default: 1.0,
                           or VOLTCTL_SCALE)
     --smoke               tiny budgets, narrative checks off (CI plumbing)
+    --no-lanes            pin every cell to the scalar path (results are
+                          bitwise identical; for timing and backtraces)
     --trace               attach the emergency flight recorder and export
                           trace artifacts after each scenario
     --telemetry <MODE>    off | summary | jsonl | csv
@@ -76,6 +80,12 @@ BENCH OPTIONS:
                           writes BENCH_pdn.json and BENCH_loop.json
     --suite <pdn|loop>    run only one suite (regenerate one baseline
                           without paying for the other)
+    --compare <OLD>       diff against a prior baseline: a BENCH_*.json
+                          file or a directory holding one per suite;
+                          prints per-point throughput deltas and exits
+                          nonzero on any regression past the tolerance
+    --tolerance <FRAC>    allowed fractional throughput drop under
+                          --compare before failing (default: 0.25)
 
 GOLDEN OPTIONS:
     --bless               rewrite the snapshots instead of comparing
@@ -160,6 +170,7 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         match arg.split('=').next().unwrap_or(arg.as_str()) {
             "--all" => out.all = true,
             "--smoke" => out.ctx.smoke = true,
+            "--no-lanes" => out.ctx.lanes = false,
             "--trace" => out.ctx.trace = Some(TraceSpec::default()),
             "--jobs" => {
                 let raw = flag_value("--jobs");
@@ -545,6 +556,33 @@ fn cmd_bench(args: &[String]) {
                     fail(&format!("unknown bench suite {raw:?} (pdn, loop)"));
                 }
                 opts.suite = Some(raw);
+            }
+            "--compare" => {
+                let raw = arg
+                    .strip_prefix("--compare=")
+                    .map(str::to_string)
+                    .unwrap_or_else(|| {
+                        it.next()
+                            .unwrap_or_else(|| fail("--compare needs a value"))
+                            .clone()
+                    });
+                opts.compare = Some(PathBuf::from(raw));
+            }
+            "--tolerance" => {
+                let raw = arg
+                    .strip_prefix("--tolerance=")
+                    .map(str::to_string)
+                    .unwrap_or_else(|| {
+                        it.next()
+                            .unwrap_or_else(|| fail("--tolerance needs a value"))
+                            .clone()
+                    });
+                opts.tolerance = raw.parse().unwrap_or_else(|_| {
+                    fail(&format!("--tolerance needs a fraction, got {raw:?}"))
+                });
+                if opts.tolerance.is_nan() || opts.tolerance < 0.0 {
+                    fail("--tolerance must be >= 0");
+                }
             }
             _ => fail(&format!("unknown bench argument {arg:?}")),
         }

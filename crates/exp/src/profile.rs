@@ -153,12 +153,26 @@ impl SelfProfiler {
 /// The stage a folded stack belongs to, for the summary table:
 /// `exp;<id>;<stage>;…` groups by `<stage>` (grid/merge/render/export),
 /// anything else by its second frame (`harness;solve;…` → `solve`).
+///
+/// The lane executor's sub-stages keep their own rows —
+/// `exp;<id>;lanes;gather;…` groups as `lanes;gather` (likewise `step`
+/// and `scatter`) — so `run --profile` attributes transpose, lockstep
+/// simulation, and result reshaping separately from scalar cell work.
 pub fn stage_of(stack: &str) -> &str {
     let mut parts = stack.split(';');
     let first = parts.next().unwrap_or(stack);
     let second = parts.next();
     if first == "exp" {
-        parts.next().or(second).unwrap_or(first)
+        let stage = parts.next().or(second).unwrap_or(first);
+        if stage == "lanes" {
+            if let Some(sub) = parts.next() {
+                // `lanes;<sub>` is contiguous within the stack string.
+                let start = stage.as_ptr() as usize - stack.as_ptr() as usize;
+                let end = sub.as_ptr() as usize + sub.len() - stack.as_ptr() as usize;
+                return &stack[start..end];
+            }
+        }
+        stage
     } else {
         second.unwrap_or(first)
     }
@@ -249,6 +263,10 @@ mod tests {
     #[test]
     fn stage_grouping_is_stable() {
         assert_eq!(stage_of("exp;fig08;grid;job3;cell"), "grid");
+        assert_eq!(stage_of("exp;fig14;lanes;gather;chunk0"), "lanes;gather");
+        assert_eq!(stage_of("exp;fig14;lanes;step;chunk2"), "lanes;step");
+        assert_eq!(stage_of("exp;fig14;lanes;scatter;chunk1"), "lanes;scatter");
+        assert_eq!(stage_of("exp;fig14;lanes"), "lanes");
         assert_eq!(stage_of("exp;fig08;merge"), "merge");
         assert_eq!(stage_of("exp;fig08;export"), "export");
         assert_eq!(stage_of("harness;solve;fu-dl1.d2"), "solve");

@@ -5,11 +5,14 @@
 
 use std::fmt::Write as _;
 use voltctl_core::prelude::ActuationScope;
+use voltctl_core::LaneOutcome;
 use voltctl_telemetry::MemoryRecorder;
 use voltctl_workloads::Workload;
 
-use crate::engine::{CellResult, Ctx, Runtime, Scenario};
-use crate::harness::{solve_for, sweep_point, tuned_stressmark, variable_eight, SweepRow};
+use crate::engine::{BatchLane, CellResult, Ctx, Runtime, Scenario};
+use crate::harness::{
+    solve_for, sweep_batch, sweep_finish, sweep_point, tuned_stressmark, variable_eight, SweepRow,
+};
 use crate::report::{pct, TextTable};
 
 /// Table 3: voltage thresholds under sensor delay at 200% impedance.
@@ -119,6 +122,13 @@ fn sweep_cell(
         cycles,
         rec.as_mut(),
     );
+    let (spec, sm) = pick_summary_rows(&rows, &stress.name);
+    (spec, sm, rec.unwrap_or_default())
+}
+
+/// Extracts the `SPEC mean` and stressmark rows from a sweep point's
+/// row list.
+fn pick_summary_rows(rows: &[SweepRow], stress_name: &str) -> (SweepRow, SweepRow) {
     let spec = rows
         .iter()
         .find(|r| r.label == "SPEC mean")
@@ -126,10 +136,27 @@ fn sweep_cell(
         .clone();
     let sm = rows
         .iter()
-        .find(|r| r.label == stress.name)
+        .find(|r| r.label == stress_name)
         .expect("stressmark present")
         .clone();
-    (spec, sm, rec.unwrap_or_default())
+    (spec, sm)
+}
+
+/// The lane-batched half of [`sweep_cell`]: reshapes finished lane
+/// outcomes (from a [`sweep_batch`] lane list) into the same summary
+/// rows. The recorder equivalent is [`MemoryRecorder::default`] — the
+/// engine only takes the lane path with telemetry off, where the scalar
+/// path's recorder is the default too.
+fn sweep_cell_finish(
+    workloads: &[Workload],
+    stress: &Workload,
+    scope: ActuationScope,
+    delay: u32,
+    error_mv: f64,
+    outcomes: &[LaneOutcome],
+) -> (SweepRow, SweepRow) {
+    let rows = sweep_finish(workloads, stress, scope, delay, error_mv, outcomes);
+    pick_summary_rows(&rows, &stress.name)
 }
 
 /// Figure 14: impact of sensor delay on performance (ideal actuator).
@@ -163,10 +190,36 @@ impl Scenario for Fig14SensorDelayPerf {
             0.0,
             ctx.budget(100_000),
         );
-        let mut out = CellResult::new(format!("delay {delay}"));
+        let mut out = fig14_result(delay, &spec, &sm);
         out.recorder = rec;
-        out.row = vec![delay.to_string(), pct(spec.perf_loss), pct(sm.perf_loss)];
         out
+    }
+    fn batchable(&self) -> bool {
+        true
+    }
+    fn batch_cell(&self, ctx: &Ctx, cell: usize) -> Option<Vec<BatchLane>> {
+        sweep_batch(
+            ctx,
+            &variable_eight(),
+            &tuned_stressmark(),
+            ActuationScope::Ideal,
+            cell as u32,
+            0.0,
+            2.0,
+            ctx.budget(100_000),
+        )
+    }
+    fn finish_batch_cell(&self, _ctx: &Ctx, cell: usize, outcomes: Vec<LaneOutcome>) -> CellResult {
+        let delay = cell as u32;
+        let (spec, sm) = sweep_cell_finish(
+            &variable_eight(),
+            &tuned_stressmark(),
+            ActuationScope::Ideal,
+            delay,
+            0.0,
+            &outcomes,
+        );
+        fig14_result(delay, &spec, &sm)
     }
     fn render(&self, ctx: &Ctx, cells: &[CellResult]) -> String {
         let cycles = ctx.budget(100_000);
@@ -193,6 +246,13 @@ impl Scenario for Fig14SensorDelayPerf {
         .unwrap();
         s
     }
+}
+
+/// Figure 14's cell shape, shared by the scalar and lane-batched paths.
+fn fig14_result(delay: u32, spec: &SweepRow, sm: &SweepRow) -> CellResult {
+    let mut out = CellResult::new(format!("delay {delay}"));
+    out.row = vec![delay.to_string(), pct(spec.perf_loss), pct(sm.perf_loss)];
+    out
 }
 
 /// Figure 15: impact of sensor delay on energy (ideal actuator).
@@ -226,14 +286,36 @@ impl Scenario for Fig15SensorDelayEnergy {
             0.0,
             ctx.budget(100_000),
         );
-        let mut out = CellResult::new(format!("delay {delay}"));
+        let mut out = fig15_result(delay, &spec, &sm);
         out.recorder = rec;
-        out.row = vec![
-            delay.to_string(),
-            pct(spec.energy_increase),
-            pct(sm.energy_increase),
-        ];
         out
+    }
+    fn batchable(&self) -> bool {
+        true
+    }
+    fn batch_cell(&self, ctx: &Ctx, cell: usize) -> Option<Vec<BatchLane>> {
+        sweep_batch(
+            ctx,
+            &variable_eight(),
+            &tuned_stressmark(),
+            ActuationScope::Ideal,
+            cell as u32,
+            0.0,
+            2.0,
+            ctx.budget(100_000),
+        )
+    }
+    fn finish_batch_cell(&self, _ctx: &Ctx, cell: usize, outcomes: Vec<LaneOutcome>) -> CellResult {
+        let delay = cell as u32;
+        let (spec, sm) = sweep_cell_finish(
+            &variable_eight(),
+            &tuned_stressmark(),
+            ActuationScope::Ideal,
+            delay,
+            0.0,
+            &outcomes,
+        );
+        fig15_result(delay, &spec, &sm)
     }
     fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
         let mut s = String::new();
@@ -258,6 +340,17 @@ impl Scenario for Fig15SensorDelayEnergy {
         .unwrap();
         s
     }
+}
+
+/// Figure 15's cell shape, shared by the scalar and lane-batched paths.
+fn fig15_result(delay: u32, spec: &SweepRow, sm: &SweepRow) -> CellResult {
+    let mut out = CellResult::new(format!("delay {delay}"));
+    out.row = vec![
+        delay.to_string(),
+        pct(spec.energy_increase),
+        pct(sm.energy_increase),
+    ];
+    out
 }
 
 /// Figure 16: impact of sensor error on performance and energy.
@@ -293,16 +386,36 @@ impl Scenario for Fig16SensorError {
             error_mv,
             ctx.budget(100_000),
         );
-        let mut out = CellResult::new(format!("{error_mv:.0} mV"));
+        let mut out = fig16_result(error_mv, &spec, &sm);
         out.recorder = rec;
-        out.row = vec![
-            format!("{error_mv:.0}"),
-            pct(spec.perf_loss),
-            pct(spec.energy_increase),
-            pct(sm.perf_loss),
-            pct(sm.energy_increase),
-        ];
         out
+    }
+    fn batchable(&self) -> bool {
+        true
+    }
+    fn batch_cell(&self, ctx: &Ctx, cell: usize) -> Option<Vec<BatchLane>> {
+        sweep_batch(
+            ctx,
+            &variable_eight(),
+            &tuned_stressmark(),
+            ActuationScope::Ideal,
+            1,
+            ERRORS_MV[cell],
+            2.0,
+            ctx.budget(100_000),
+        )
+    }
+    fn finish_batch_cell(&self, _ctx: &Ctx, cell: usize, outcomes: Vec<LaneOutcome>) -> CellResult {
+        let error_mv = ERRORS_MV[cell];
+        let (spec, sm) = sweep_cell_finish(
+            &variable_eight(),
+            &tuned_stressmark(),
+            ActuationScope::Ideal,
+            1,
+            error_mv,
+            &outcomes,
+        );
+        fig16_result(error_mv, &spec, &sm)
     }
     fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
         let mut s = String::new();
@@ -326,6 +439,19 @@ impl Scenario for Fig16SensorError {
         .unwrap();
         s
     }
+}
+
+/// Figure 16's cell shape, shared by the scalar and lane-batched paths.
+fn fig16_result(error_mv: f64, spec: &SweepRow, sm: &SweepRow) -> CellResult {
+    let mut out = CellResult::new(format!("{error_mv:.0} mV"));
+    out.row = vec![
+        format!("{error_mv:.0}"),
+        pct(spec.perf_loss),
+        pct(spec.energy_increase),
+        pct(sm.perf_loss),
+        pct(sm.energy_increase),
+    ];
+    out
 }
 
 /// The scope grid shared by Figures 17 and 18 (scope-major, delays
@@ -385,24 +511,37 @@ impl Scenario for Fig17ActuatorPerf {
             0.0,
             ctx.budget(100_000),
         );
-        let mut out = CellResult::new(format!("{} delay {delay}", scope.name()));
+        let mut out = fig17_result(scope, delay, &spec, &sm);
         out.recorder = rec;
-        out.row = if spec.unstable {
-            vec![
-                delay.to_string(),
-                "UNSTABLE".into(),
-                "UNSTABLE".into(),
-                "-".into(),
-            ]
-        } else {
-            vec![
-                delay.to_string(),
-                pct(spec.perf_loss),
-                pct(sm.perf_loss),
-                sm.controlled_emergencies.to_string(),
-            ]
-        };
         out
+    }
+    fn batchable(&self) -> bool {
+        true
+    }
+    fn batch_cell(&self, ctx: &Ctx, cell: usize) -> Option<Vec<BatchLane>> {
+        let (scope, delay) = scope_grid_point(cell);
+        sweep_batch(
+            ctx,
+            &variable_eight(),
+            &tuned_stressmark(),
+            scope,
+            delay,
+            0.0,
+            2.0,
+            ctx.budget(100_000),
+        )
+    }
+    fn finish_batch_cell(&self, _ctx: &Ctx, cell: usize, outcomes: Vec<LaneOutcome>) -> CellResult {
+        let (scope, delay) = scope_grid_point(cell);
+        let (spec, sm) = sweep_cell_finish(
+            &variable_eight(),
+            &tuned_stressmark(),
+            scope,
+            delay,
+            0.0,
+            &outcomes,
+        );
+        fig17_result(scope, delay, &spec, &sm)
     }
     fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
         let mut s = String::new();
@@ -438,6 +577,29 @@ impl Scenario for Fig17ActuatorPerf {
     }
 }
 
+/// Figure 17's cell shape, shared by the scalar and lane-batched paths
+/// (unstable points always arrive via the scalar path — the lane path
+/// declines them — but the shape lives in one place).
+fn fig17_result(scope: ActuationScope, delay: u32, spec: &SweepRow, sm: &SweepRow) -> CellResult {
+    let mut out = CellResult::new(format!("{} delay {delay}", scope.name()));
+    out.row = if spec.unstable {
+        vec![
+            delay.to_string(),
+            "UNSTABLE".into(),
+            "UNSTABLE".into(),
+            "-".into(),
+        ]
+    } else {
+        vec![
+            delay.to_string(),
+            pct(spec.perf_loss),
+            pct(sm.perf_loss),
+            sm.controlled_emergencies.to_string(),
+        ]
+    };
+    out
+}
+
 /// Figure 18: actuation granularity vs energy under controller delay.
 ///
 /// SPEC energy overhead stays under ~1%; the stressmark's grows from
@@ -468,18 +630,37 @@ impl Scenario for Fig18ActuatorEnergy {
             0.0,
             ctx.budget(100_000),
         );
-        let mut out = CellResult::new(format!("{} delay {delay}", scope.name()));
+        let mut out = fig18_result(scope, delay, &spec, &sm);
         out.recorder = rec;
-        out.row = if spec.unstable {
-            vec![delay.to_string(), "UNSTABLE".into(), "UNSTABLE".into()]
-        } else {
-            vec![
-                delay.to_string(),
-                pct(spec.energy_increase),
-                pct(sm.energy_increase),
-            ]
-        };
         out
+    }
+    fn batchable(&self) -> bool {
+        true
+    }
+    fn batch_cell(&self, ctx: &Ctx, cell: usize) -> Option<Vec<BatchLane>> {
+        let (scope, delay) = scope_grid_point(cell);
+        sweep_batch(
+            ctx,
+            &variable_eight(),
+            &tuned_stressmark(),
+            scope,
+            delay,
+            0.0,
+            2.0,
+            ctx.budget(100_000),
+        )
+    }
+    fn finish_batch_cell(&self, _ctx: &Ctx, cell: usize, outcomes: Vec<LaneOutcome>) -> CellResult {
+        let (scope, delay) = scope_grid_point(cell);
+        let (spec, sm) = sweep_cell_finish(
+            &variable_eight(),
+            &tuned_stressmark(),
+            scope,
+            delay,
+            0.0,
+            &outcomes,
+        );
+        fig18_result(scope, delay, &spec, &sm)
     }
     fn render(&self, _ctx: &Ctx, cells: &[CellResult]) -> String {
         let mut s = String::new();
@@ -502,4 +683,19 @@ impl Scenario for Fig18ActuatorEnergy {
         }
         s
     }
+}
+
+/// Figure 18's cell shape, shared by the scalar and lane-batched paths.
+fn fig18_result(scope: ActuationScope, delay: u32, spec: &SweepRow, sm: &SweepRow) -> CellResult {
+    let mut out = CellResult::new(format!("{} delay {delay}", scope.name()));
+    out.row = if spec.unstable {
+        vec![delay.to_string(), "UNSTABLE".into(), "UNSTABLE".into()]
+    } else {
+        vec![
+            delay.to_string(),
+            pct(spec.energy_increase),
+            pct(sm.energy_increase),
+        ]
+    };
+    out
 }

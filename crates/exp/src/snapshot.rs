@@ -15,6 +15,23 @@ use voltctl_snap::{SnapshotKind, SnapshotReader, Unpack};
 
 use crate::shard::{self, ShardMeta};
 
+/// Binary-prefixed rendering of a byte count (`640 B`, `1.2 KiB`,
+/// `3.4 MiB`), printed alongside raw bytes so sizes scan at a glance
+/// while exact values stay available.
+fn human_bytes(n: usize) -> String {
+    const KIB: f64 = 1024.0;
+    let n = n as f64;
+    if n < KIB {
+        format!("{n} B")
+    } else if n < KIB * KIB {
+        format!("{:.1} KiB", n / KIB)
+    } else if n < KIB * KIB * KIB {
+        format!("{:.1} MiB", n / (KIB * KIB))
+    } else {
+        format!("{:.1} GiB", n / (KIB * KIB * KIB))
+    }
+}
+
 /// Human-readable name of a section tag within a given snapshot kind;
 /// tags from newer writers fall back to `"?"` (the framing still
 /// validates and prints).
@@ -48,20 +65,22 @@ pub fn inspect(origin: &str, bytes: &[u8]) -> Result<String, String> {
     let _ = writeln!(s, "{origin}");
     let _ = writeln!(
         s,
-        "  kind: {} (container v{}), {} bytes, checksum ok",
+        "  kind: {} (container v{}), {} bytes ({}), checksum ok",
         kind.name(),
         voltctl_snap::CONTAINER_VERSION,
-        bytes.len()
+        bytes.len(),
+        human_bytes(bytes.len())
     );
     let _ = writeln!(s, "  sections: {}", snap.sections().len());
-    let _ = writeln!(s, "    tag  ver      bytes  name");
+    let _ = writeln!(s, "    tag  ver      bytes       size  name");
     for sec in snap.sections() {
         let _ = writeln!(
             s,
-            "    {:>3}  {:>3}  {:>9}  {}",
+            "    {:>3}  {:>3}  {:>9}  {:>9}  {}",
             sec.tag,
             sec.version,
             sec.payload.len(),
+            human_bytes(sec.payload.len()),
             section_name(kind, sec.tag)
         );
     }
@@ -123,6 +142,9 @@ mod tests {
         assert!(report.contains("kind: shard"), "{report}");
         assert!(report.contains("cells 4..4 of 11"), "{report}");
         assert!(report.contains("meta"), "{report}");
+        // Sizes print human-readable alongside raw bytes.
+        assert!(report.contains("bytes ("), "{report}");
+        assert!(report.contains(" B"), "{report}");
         // The inconsistent one still frames (inspect is forensic, not a
         // loader) and names both sections.
         let partial = inspect("bad.snap", &bytes).unwrap();
@@ -139,5 +161,15 @@ mod tests {
         good[last] ^= 1;
         let err = inspect("flip.snap", &good).unwrap_err();
         assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn human_bytes_picks_the_right_prefix() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(1024), "1.0 KiB");
+        assert_eq!(human_bytes(150_000), "146.5 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 * 1024), "5.0 GiB");
     }
 }

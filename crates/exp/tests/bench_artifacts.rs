@@ -12,7 +12,7 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
     let opts = BenchOpts {
         smoke: true,
         out: dir.clone(),
-        suite: None,
+        ..BenchOpts::default()
     };
     let paths = bench::run(&opts).expect("smoke bench must pass its own sanity gate");
     assert_eq!(
@@ -64,8 +64,8 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
         }
     }
 
-    // The loop suite covers all five stepping variants plus the two
-    // snapshot (checkpoint write/read) paths.
+    // The loop suite covers all five stepping variants, the batched
+    // lane points, and the two snapshot (checkpoint write/read) paths.
     let loop_raw = std::fs::read_to_string(&paths[1]).unwrap();
     let loop_doc = Json::parse(&loop_raw).unwrap();
     let variants: Vec<&str> = loop_doc
@@ -80,6 +80,8 @@ fn smoke_bench_artifacts_parse_and_are_sane() {
         [
             "uncontrolled",
             "controlled",
+            "lane_w4",
+            "lane_w8",
             "recorded",
             "traced",
             "recorded_trace",

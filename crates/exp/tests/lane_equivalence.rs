@@ -1,0 +1,70 @@
+//! The lane executor's identity contract: a batchable scenario's report
+//! is byte-identical whether its cells run on the scalar path or are
+//! gathered into SoA lane groups — at any worker count, so chunk
+//! boundaries are covered too.
+//!
+//! `ForceScalar` pins a scenario to the scalar path by masking
+//! `batchable`; the unwrapped scenario takes the lane path whenever
+//! telemetry and tracing are off (as here).
+
+use voltctl_exp::engine::{run_scenario, CellResult, Ctx, Runtime, Scenario};
+use voltctl_exp::scenarios::find;
+
+/// Delegates everything but `batchable`, forcing the scalar path.
+struct ForceScalar<'a>(&'a dyn Scenario);
+
+impl Scenario for ForceScalar<'_> {
+    fn id(&self) -> &'static str {
+        self.0.id()
+    }
+    fn title(&self) -> &'static str {
+        self.0.title()
+    }
+    fn runtime(&self) -> Runtime {
+        self.0.runtime()
+    }
+    fn cells(&self, ctx: &Ctx) -> Vec<String> {
+        self.0.cells(ctx)
+    }
+    fn run_cell(&self, ctx: &Ctx, cell: usize) -> CellResult {
+        self.0.run_cell(ctx, cell)
+    }
+    fn render(&self, ctx: &Ctx, cells: &[CellResult]) -> String {
+        self.0.render(ctx, cells)
+    }
+}
+
+fn assert_lane_path_matches_scalar(id: &str) {
+    let ctx = Ctx {
+        smoke: true,
+        ..Ctx::default()
+    };
+    let scenario = find(id).expect("registered scenario");
+    assert!(scenario.batchable(), "{id} must opt into the lane executor");
+    let scalar = run_scenario(&ForceScalar(scenario), &ctx, 1);
+    for jobs in [1, 8] {
+        let lanes = run_scenario(scenario, &ctx, jobs);
+        assert_eq!(
+            lanes.report, scalar.report,
+            "{id}: lane-batched report differs from scalar at --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn fig14_lane_report_matches_scalar() {
+    assert_lane_path_matches_scalar("fig14_sensor_delay_perf");
+}
+
+#[test]
+fn fig16_lane_report_matches_scalar() {
+    assert_lane_path_matches_scalar("fig16_sensor_error");
+}
+
+/// Figure 17's grid mixes batchable cells with unstable ones the lane
+/// path declines (FU-only at delay >= 3), so this covers the scalar
+/// fallback inside lane chunks.
+#[test]
+fn fig17_mixed_grid_lane_report_matches_scalar() {
+    assert_lane_path_matches_scalar("fig17_actuator_perf");
+}
