@@ -371,6 +371,13 @@ macro_rules! tuple_gen {
 tuple_gen!(G0 / v0 / 0, G1 / v1 / 1);
 tuple_gen!(G0 / v0 / 0, G1 / v1 / 1, G2 / v2 / 2);
 tuple_gen!(G0 / v0 / 0, G1 / v1 / 1, G2 / v2 / 2, G3 / v3 / 3);
+tuple_gen!(
+    G0 / v0 / 0,
+    G1 / v1 / 1,
+    G2 / v2 / 2,
+    G3 / v3 / 3,
+    G4 / v4 / 4
+);
 
 #[cfg(test)]
 mod tests {

@@ -87,8 +87,12 @@ pub const DEFAULT_PERF_DIR: &str = "results/perf";
 /// `snapshot_bytes*` / `snapshot_*_mb_per_sec` summary entries.
 /// Version 4 added the `lane_w4` / `lane_w8` batched-loop points (a
 /// point's `cycles` is the *aggregate* simulated lane-cycles per
-/// iteration) and the `lane_speedup_w*` summary ratios.
-pub const BENCH_SCHEMA: u64 = 4;
+/// iteration) and the `lane_speedup_w*` summary ratios. Version 5 added
+/// the `BENCH_serve.json` suite emitted by the `voltctl-serve` load
+/// generator (a serve point's `cycles` counts grid cells completed, and
+/// the summary carries latency percentiles plus the serve-vs-batch
+/// wall-clock ratio over an identical request mix).
+pub const BENCH_SCHEMA: u64 = 5;
 
 /// Perf-smoke gate: the batched lane path must beat the scalar
 /// controlled loop by at least this factor *within the same run*. A

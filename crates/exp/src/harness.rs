@@ -112,12 +112,17 @@ pub fn variable_eight() -> Vec<Workload> {
 
 /// Solves thresholds for a scope/delay at a given impedance percent.
 ///
-/// Solutions are memoized per process, keyed by `(scope, delay,
+/// Solutions are memoized per process in a bounded
+/// [`ShardedLru`](voltctl_pdn::ShardedLru), keyed by `(scope, delay,
 /// percent)`: a controller sweep evaluates every workload at the same
 /// handful of configurations, and without the cache each grid cell would
 /// re-run the worst-case adversary search (hundreds of replay
 /// simulations per solve). Unstable outcomes are cached too — re-proving
-/// infeasibility is as expensive as solving.
+/// infeasibility is as expensive as solving. Bounding the memo matters
+/// for the serve daemon: a long-running process fed arbitrary client
+/// configurations must not grow the table without limit, and sharding
+/// keeps concurrent workers solving *different* configurations from
+/// convoying on one lock.
 ///
 /// # Errors
 ///
@@ -128,42 +133,44 @@ pub fn solve_for(
     percent: f64,
 ) -> Result<Thresholds, ControlError> {
     type SolveKey = (ActuationScope, u32, u64);
-    type SolveCache = Mutex<Vec<(SolveKey, Result<Thresholds, ControlError>)>>;
+    type SolveCache = voltctl_pdn::ShardedLru<SolveKey, Result<Thresholds, ControlError>>;
     static CACHE: OnceLock<SolveCache> = OnceLock::new();
     let key = (scope, delay, percent.to_bits());
-    // Solve while holding the lock: concurrent first requests for the
-    // same configuration block behind one adversary search instead of
-    // redundantly re-solving (same policy as the calibration cache).
-    let mut cache = CACHE
-        .get_or_init(|| Mutex::new(Vec::new()))
-        .lock()
-        .expect("threshold cache poisoned");
-    if let Some((_, solved)) = cache.iter().find(|(k, _)| *k == key) {
-        return solved.clone();
-    }
-    let span = crate::profile::global().map(crate::profile::Span::start);
-    let power = power_model();
-    let pdn = pdn_at(percent);
-    let setup = SolveSetup::new(
-        &pdn,
-        power.min_current(),
-        power.achievable_peak_current(),
-        scope.leverage(&power),
-        delay,
-    );
-    let solved = solve_thresholds(&setup);
-    if let (Some(span), Some(p)) = (span, crate::profile::global()) {
-        span.stop(
-            p,
-            &[
-                "harness",
-                "solve",
-                &format!("{scope:?}.d{delay}.p{percent}"),
-            ],
+    // Solve while holding the shard lock: concurrent first requests for
+    // the same configuration block behind one adversary search instead
+    // of redundantly re-solving (same policy as the calibration cache);
+    // requests for configurations on other shards proceed unblocked.
+    let cache = CACHE.get_or_init(|| SolveCache::new(4, 32));
+    cache.get_or_insert_with(&key, || {
+        let span = crate::profile::global().map(crate::profile::Span::start);
+        let power = power_model();
+        let pdn = pdn_at(percent);
+        let setup = SolveSetup::new(
+            &pdn,
+            power.min_current(),
+            power.achievable_peak_current(),
+            scope.leverage(&power),
+            delay,
         );
-    }
-    cache.push((key, solved.clone()));
-    solved
+        let solved = solve_thresholds(&setup);
+        if let (Some(span), Some(p)) = (span, crate::profile::global()) {
+            span.stop(
+                p,
+                &[
+                    "harness",
+                    "solve",
+                    &format!("{scope:?}.d{delay}.p{percent}"),
+                ],
+            );
+        }
+        solved
+    })
+}
+
+/// Upper bound on memoized threshold solutions (diagnostics / tests).
+pub fn solve_cache_capacity() -> usize {
+    // Mirrors the dimensions in `solve_for`: 4 shards x 32 entries.
+    4 * 32
 }
 
 /// Evaluates one workload under control vs. baseline.

@@ -47,4 +47,7 @@ pub use profile::{NullProfiler, Profiler, SelfProfiler, Span};
 pub use report::{ascii_chart, pct, TextTable};
 pub use scale::{env_scale, parse_scale, scaled_budget, MIN_CYCLES};
 pub use scenarios::{find, listing, registry};
-pub use shard::{plan_shards, run_sharded, ShardMeta, ShardOpts, ShardRun};
+pub use shard::{
+    checkpoint_file, ctx_fingerprint, decode_checkpoint, encode_checkpoint, plan_shards,
+    run_sharded, try_load_shard, ShardMeta, ShardOpts, ShardRun,
+};

@@ -340,8 +340,10 @@ fn infer_shards(dir: &Path, id: &str) -> Option<usize> {
 /// Loads one shard's checkpoint if its canonical file exists and its
 /// meta matches the expected geometry and context. Returns the cells on
 /// success, `None` (after a stderr warning for real mismatches) when
-/// the shard must be recomputed.
-fn try_load_shard(dir: &Path, expected: &ShardMeta) -> Option<Vec<CellResult>> {
+/// the shard must be recomputed. Public so the serve daemon's job
+/// runner can resume crash-interrupted (or cancelled) jobs through the
+/// same validation path the CLI `--resume` flag uses.
+pub fn try_load_shard(dir: &Path, expected: &ShardMeta) -> Option<Vec<CellResult>> {
     let path = dir.join(checkpoint_file(
         &expected.scenario,
         expected.shard,

@@ -1,12 +1,24 @@
-//! Process-wide derivation cache for expensive per-model computations.
+//! Process-wide derivation caches for expensive per-model computations.
 //!
 //! Parallel experiment grids instantiate the *same* handful of
 //! [`PdnModel`]s in every cell (the calibrated network at each impedance
 //! percent), and each cell that takes the convolution path re-derives the
 //! same truncated kernel — hundreds of state-space steps plus tail scans
-//! per derivation. [`cached_kernel_for`] memoizes those kernels behind a
-//! [`OnceLock`], keyed by the model's *quantized* physical parameters, so
-//! a grid runner derives each distinct kernel exactly once per process.
+//! per derivation. [`cached_kernel_for`] memoizes those kernels in a
+//! [`ShardedLru`], keyed by the model's *quantized* physical parameters,
+//! so a grid runner derives each distinct kernel exactly once while the
+//! entry stays resident.
+//!
+//! # Why a bounded LRU and not a grow-forever map
+//!
+//! The original memo was an unbounded `HashMap` behind one global mutex.
+//! Fine for a batch CLI that exits after one grid; wrong for a
+//! long-running daemon (`voltctl-serve`) where every distinct
+//! `(model, tolerance)` a client ever submits would pin a multi-kilobyte
+//! kernel for the life of the process, and every lookup from every worker
+//! would contend on the same lock. [`ShardedLru`] bounds residency
+//! (least-recently-used entries are evicted once a shard fills) and
+//! spreads lock contention across shards keyed by hash.
 //!
 //! # Key quantization
 //!
@@ -21,8 +33,130 @@
 
 use crate::convolve::kernel_for;
 use crate::second_order::PdnModel;
-use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// One shard: a mutex-guarded MRU-ordered entry list.
+type Shard<K, V> = Mutex<Vec<(K, V)>>;
+
+/// A bounded, sharded, mutex-protected LRU map for memoizing expensive
+/// derivations across threads.
+///
+/// Keys hash to one of `shards` independent [`Mutex`]-protected shards;
+/// each shard holds at most `per_shard` entries in most-recently-used
+/// order and evicts its least-recently-used entry on overflow. Shard
+/// selection uses [`std::collections::hash_map::DefaultHasher`] seeded
+/// identically every process, so the key→shard mapping (and therefore
+/// eviction behaviour under a deterministic access sequence) is itself
+/// deterministic.
+///
+/// [`get_or_insert_with`](ShardedLru::get_or_insert_with) computes the
+/// missing value *while holding the shard lock*: concurrent first
+/// requests for the same key block behind one derivation instead of
+/// redundantly re-deriving (on a saturated machine redundant work costs
+/// more than the wait). Requests for keys on other shards proceed
+/// unblocked.
+pub struct ShardedLru<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    per_shard: usize,
+}
+
+impl<K, V> std::fmt::Debug for ShardedLru<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLru")
+            .field("shards", &self.shards.len())
+            .field("per_shard", &self.per_shard)
+            .finish()
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedLru<K, V> {
+    /// A cache with `shards` independent locks, each bounded to
+    /// `per_shard` entries. Total capacity is `shards * per_shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(shards: usize, per_shard: usize) -> Self {
+        assert!(shards > 0, "ShardedLru needs at least one shard");
+        assert!(per_shard > 0, "ShardedLru shards need capacity >= 1");
+        let shards = (0..shards)
+            .map(|_| Mutex::new(Vec::with_capacity(per_shard)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedLru { shards, per_shard }
+    }
+
+    /// Maximum number of entries the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.per_shard
+    }
+
+    /// Current number of resident entries (sums every shard; a
+    /// diagnostic, not a synchronized snapshot).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("ShardedLru shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Vec<(K, V)>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, promoting a hit to most-recently-used. Returns a
+    /// clone of the cached value.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut entries = self
+            .shard_for(key)
+            .lock()
+            .expect("ShardedLru shard poisoned");
+        let idx = entries.iter().position(|(k, _)| k == key)?;
+        let entry = entries.remove(idx);
+        let value = entry.1.clone();
+        entries.insert(0, entry);
+        Some(value)
+    }
+
+    /// Returns the cached value for `key`, deriving it with `derive`
+    /// (under the shard lock) on a miss. The entry becomes
+    /// most-recently-used; if the shard exceeds its bound, its
+    /// least-recently-used entry is evicted.
+    pub fn get_or_insert_with(&self, key: &K, derive: impl FnOnce() -> V) -> V
+    where
+        K: Clone,
+    {
+        let mut entries = self
+            .shard_for(key)
+            .lock()
+            .expect("ShardedLru shard poisoned");
+        if let Some(idx) = entries.iter().position(|(k, _)| k == key) {
+            let entry = entries.remove(idx);
+            let value = entry.1.clone();
+            entries.insert(0, entry);
+            return value;
+        }
+        let value = derive();
+        entries.insert(0, (key.clone(), value.clone()));
+        entries.truncate(self.per_shard);
+        value
+    }
+
+    /// Drops every entry in every shard.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("ShardedLru shard poisoned").clear();
+        }
+    }
+}
 
 /// A quantized cache key: the bit patterns of every parameter the kernel
 /// derivation depends on, low mantissa bits masked.
@@ -51,20 +185,25 @@ fn key_for(model: &PdnModel, rel_tol: f64) -> Key {
     ]
 }
 
-fn cache() -> &'static Mutex<HashMap<Key, Arc<Vec<f64>>>> {
-    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Vec<f64>>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// Shard count for the process-wide kernel cache. Eight shards keeps
+/// worst-case convoy length (every daemon worker asking for kernels on
+/// one shard) short without scattering the handful of hot entries.
+const KERNEL_CACHE_SHARDS: usize = 8;
+/// Per-shard bound. A grid run touches a few models × a few tolerances;
+/// 16 entries per shard (128 total) is an order of magnitude of headroom
+/// while still bounding a daemon fed adversarial model diversity.
+const KERNEL_CACHE_PER_SHARD: usize = 16;
+
+fn cache() -> &'static ShardedLru<Key, Arc<Vec<f64>>> {
+    static CACHE: OnceLock<ShardedLru<Key, Arc<Vec<f64>>>> = OnceLock::new();
+    CACHE.get_or_init(|| ShardedLru::new(KERNEL_CACHE_SHARDS, KERNEL_CACHE_PER_SHARD))
 }
 
-/// [`kernel_for`], memoized per process. The first call for a given
-/// (quantized model, tolerance) pair derives the kernel; later calls —
-/// from any thread — clone an [`Arc`] of the cached taps.
-///
-/// Derivation happens while holding the cache lock: concurrent first
-/// requests for the same model block behind one derivation instead of
-/// redundantly re-deriving (the same policy as the experiment harness's
-/// calibration cache — on a saturated machine redundant work costs more
-/// than the wait).
+/// [`kernel_for`], memoized per process in a bounded [`ShardedLru`]. The
+/// first call for a given (quantized model, tolerance) pair derives the
+/// kernel; later calls — from any thread — clone an [`Arc`] of the
+/// cached taps while the entry stays resident. Evicted entries are
+/// simply re-derived on next use.
 ///
 /// # Panics
 ///
@@ -76,18 +215,18 @@ pub fn cached_kernel_for(model: &PdnModel, rel_tol: f64) -> Arc<Vec<f64>> {
         "rel_tol must be positive and finite"
     );
     let key = key_for(model, rel_tol);
-    let mut map = cache().lock().expect("kernel cache poisoned");
-    if let Some(hit) = map.get(&key) {
-        return Arc::clone(hit);
-    }
-    let kernel = Arc::new(kernel_for(model, rel_tol));
-    map.insert(key, Arc::clone(&kernel));
-    kernel
+    cache().get_or_insert_with(&key, || Arc::new(kernel_for(model, rel_tol)))
 }
 
 /// Number of distinct kernels currently cached (diagnostics / tests).
 pub fn cached_kernel_count() -> usize {
-    cache().lock().expect("kernel cache poisoned").len()
+    cache().len()
+}
+
+/// Upper bound on resident kernels; [`cached_kernel_count`] never
+/// exceeds this.
+pub fn kernel_cache_capacity() -> usize {
+    cache().capacity()
 }
 
 #[cfg(test)]
@@ -139,5 +278,52 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(*a, *b);
         assert!(cached_kernel_count() >= 2);
+        assert!(cached_kernel_count() <= kernel_cache_capacity());
+    }
+
+    #[test]
+    fn lru_evicts_only_beyond_bound() {
+        let lru: ShardedLru<u64, u64> = ShardedLru::new(1, 3);
+        for k in 0..3 {
+            lru.get_or_insert_with(&k, || k * 10);
+        }
+        assert_eq!(lru.len(), 3);
+        // Touch 0 so it becomes MRU; inserting a 4th evicts the LRU (1).
+        assert_eq!(lru.get(&0), Some(0));
+        lru.get_or_insert_with(&3, || 30);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.get(&1), None, "LRU entry must be the one evicted");
+        assert_eq!(lru.get(&0), Some(0));
+        assert_eq!(lru.get(&2), Some(20));
+        assert_eq!(lru.get(&3), Some(30));
+    }
+
+    #[test]
+    fn lru_len_never_exceeds_capacity() {
+        let lru: ShardedLru<u64, u64> = ShardedLru::new(4, 2);
+        assert_eq!(lru.capacity(), 8);
+        for k in 0..100 {
+            lru.get_or_insert_with(&k, || k);
+            assert!(lru.len() <= lru.capacity());
+        }
+        lru.clear();
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn lru_rederives_after_eviction_with_same_value() {
+        let lru: ShardedLru<u64, u64> = ShardedLru::new(1, 1);
+        assert_eq!(lru.get_or_insert_with(&1, || 11), 11);
+        assert_eq!(lru.get_or_insert_with(&2, || 22), 22);
+        // 1 was evicted; the derive closure runs again.
+        let mut derived = false;
+        assert_eq!(
+            lru.get_or_insert_with(&1, || {
+                derived = true;
+                11
+            }),
+            11
+        );
+        assert!(derived);
     }
 }

@@ -1,0 +1,162 @@
+//! `voltctl-serve` CLI: `serve` runs the daemon, `bench` drives it with
+//! the closed-loop load generator.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+use voltctl_serve::{run_bench, spawn, BenchOpts, ServeConfig};
+
+const USAGE: &str = "voltctl-serve: the simulation engine as a service
+
+USAGE:
+    voltctl-serve serve [OPTIONS]      run the daemon until POST /shutdown
+    voltctl-serve bench [OPTIONS]      closed-loop load generator -> BENCH_serve.json
+
+SERVE OPTIONS:
+    --addr ADDR            bind address (default 127.0.0.1:7643; port 0 = auto)
+    --workers N            job worker threads (default 2)
+    --queue-depth N        queued-job bound before 429 (default 64)
+    --root DIR             artifact + checkpoint root (default <tmp>/voltctl-serve)
+    --shards K             default checkpoint shards per job (default 4)
+    --read-timeout-ms T    per-connection read timeout (default 5000)
+
+BENCH OPTIONS:
+    --addr ADDR            drive a live daemon (default: spawn one in-process)
+    --smoke                tiny budgets; gate only on failures + percentiles
+    --out DIR              artifact directory (default results/perf)
+    --requests N           total requests (default 24)
+    --connections N        concurrent closed-loop clients (default 4)
+    --seed S               request-mix seed (default 0x5EEDC0DE)
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("voltctl-serve: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Pulls `--flag VALUE` out of `args`, returning the value.
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn flag_present(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, what: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{what} {raw:?} is not valid"))
+}
+
+fn cmd_serve(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let mut cfg = ServeConfig::default();
+    if let Some(addr) = flag_value(&mut args, "--addr")? {
+        cfg.addr = addr;
+    }
+    if let Some(raw) = flag_value(&mut args, "--workers")? {
+        cfg.workers = parse_num::<usize>(&raw, "--workers")?.max(1);
+    }
+    if let Some(raw) = flag_value(&mut args, "--queue-depth")? {
+        cfg.queue_bound = parse_num::<usize>(&raw, "--queue-depth")?.max(1);
+    }
+    if let Some(raw) = flag_value(&mut args, "--root")? {
+        cfg.root = PathBuf::from(raw);
+    }
+    if let Some(raw) = flag_value(&mut args, "--shards")? {
+        cfg.default_shards = parse_num::<usize>(&raw, "--shards")?.max(1);
+    }
+    if let Some(raw) = flag_value(&mut args, "--read-timeout-ms")? {
+        cfg.read_timeout = Duration::from_millis(parse_num(&raw, "--read-timeout-ms")?);
+    }
+    if let Some(extra) = args.first() {
+        return Err(format!("unknown argument {extra:?}"));
+    }
+
+    let handle = spawn(cfg).map_err(|e| format!("cannot start daemon: {e}"))?;
+    println!("voltctl-serve: listening on {}", handle.addr);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    while !handle.is_stopping() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.join();
+    println!("voltctl-serve: stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let mut opts = BenchOpts::default();
+    if let Some(raw) = flag_value(&mut args, "--addr")? {
+        let addr: SocketAddr = raw
+            .parse()
+            .map_err(|_| format!("--addr {raw:?} is not host:port"))?;
+        opts.addr = Some(addr);
+    }
+    opts.smoke = flag_present(&mut args, "--smoke");
+    if let Some(raw) = flag_value(&mut args, "--out")? {
+        opts.out = PathBuf::from(raw);
+    }
+    if let Some(raw) = flag_value(&mut args, "--requests")? {
+        opts.requests = parse_num::<usize>(&raw, "--requests")?.max(1);
+    }
+    if let Some(raw) = flag_value(&mut args, "--connections")? {
+        opts.connections = parse_num::<usize>(&raw, "--connections")?.max(1);
+    }
+    if let Some(raw) = flag_value(&mut args, "--seed")? {
+        opts.seed = parse_num(&raw, "--seed")?;
+    }
+    if let Some(extra) = args.first() {
+        return Err(format!("unknown argument {extra:?}"));
+    }
+
+    match run_bench(&opts) {
+        Ok(report) => {
+            let summary: Vec<String> = report
+                .suite
+                .summary
+                .iter()
+                .map(|(name, value)| format!("{name}={value:.3}"))
+                .collect();
+            println!("serve bench ok: {}", summary.join(" "));
+            for path in &report.paths {
+                println!("  wrote {}", path.display());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(reason) => Err(reason),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return fail("missing command");
+    }
+    let command = args.remove(0);
+    let result = match command.as_str() {
+        "serve" => cmd_serve(args),
+        "bench" => cmd_bench(args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    result.unwrap_or_else(|msg| fail(&msg))
+}

@@ -1,0 +1,426 @@
+//! TCP accept loop, request routing, and the daemon's HTTP API.
+//!
+//! One thread accepts connections; each connection gets a short-lived
+//! handler thread (one request per connection, `connection: close`).
+//! Workers run jobs from the shared [`JobTable`]. The API:
+//!
+//! | Method | Path | Meaning |
+//! |---|---|---|
+//! | GET | `/healthz` | liveness probe |
+//! | GET | `/scenarios` | registry listing (id, runtime, cells, trace, title) |
+//! | GET | `/stats` | queue/state counters |
+//! | POST | `/jobs` | submit (JSON spec body) — 202, or 429 + `Retry-After` |
+//! | GET | `/jobs/<id>` | job status |
+//! | GET | `/jobs/<id>/report` | rendered report, byte-identical to the CLI |
+//! | GET | `/jobs/<id>/stream` | JSONL progress events until terminal |
+//! | GET | `/jobs/<id>/artifacts` | artifact file listing |
+//! | GET | `/jobs/<id>/artifacts/<name>` | one artifact's bytes |
+//! | DELETE | `/jobs/<id>` | cooperative cancel |
+//! | POST | `/shutdown` | stop accepting, drain workers, exit |
+//!
+//! Read timeouts bound slowloris-style clients: a connection that goes
+//! quiet mid-request gets a 408 and is dropped; it can never wedge the
+//! daemon (the protocol fuzz suite pins this).
+
+use crate::http::{parse_request, Parse, Request, Response};
+use crate::job::{JobSpec, JobTable, SubmitError};
+use crate::runner::{worker_loop, RunnerConfig};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use voltctl_check::json::escape;
+use voltctl_exp::{find, listing, Ctx};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7643`. Port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Queued-job bound; submissions beyond it get 429.
+    pub queue_bound: usize,
+    /// State root for artifacts and checkpoints.
+    pub root: PathBuf,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Default checkpoint shard count for specs that leave it unset.
+    pub default_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7643".to_string(),
+            workers: 2,
+            queue_bound: 64,
+            root: std::env::temp_dir().join("voltctl-serve"),
+            read_timeout: Duration::from_secs(5),
+            default_shards: 4,
+        }
+    }
+}
+
+/// A running daemon: its bound address plus the handles needed to stop
+/// it and join its threads.
+#[derive(Debug)]
+pub struct ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub addr: SocketAddr,
+    table: Arc<JobTable>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The shared job table (tests observe stats through it).
+    pub fn table(&self) -> &Arc<JobTable> {
+        &self.table
+    }
+
+    /// True once `POST /shutdown` (or [`stop`](ServerHandle::stop)) has
+    /// been seen.
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Requests shutdown without waiting.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.table.shutdown();
+    }
+
+    /// Stops the daemon and joins every thread. In-flight jobs finish;
+    /// queued jobs are still claimed and run before workers exit only
+    /// if already popped — the queue itself is drained by shutdown
+    /// semantics in [`JobTable::claim`] (remaining queued jobs are
+    /// claimed until the queue is empty, then workers exit).
+    pub fn join(mut self) {
+        self.stop();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds, spawns the accept loop and `workers` worker threads, and
+/// returns immediately.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    std::fs::create_dir_all(&cfg.root)?;
+
+    let table = Arc::new(JobTable::new(cfg.queue_bound));
+    let stop = Arc::new(AtomicBool::new(false));
+    let runner_cfg = Arc::new(RunnerConfig {
+        root: cfg.root.clone(),
+        default_shards: cfg.default_shards.max(1),
+    });
+
+    let workers = (0..cfg.workers.max(1))
+        .map(|_| {
+            let table = Arc::clone(&table);
+            let runner_cfg = Arc::clone(&runner_cfg);
+            std::thread::spawn(move || worker_loop(table, runner_cfg))
+        })
+        .collect();
+
+    let accept = {
+        let table = Arc::clone(&table);
+        let stop = Arc::clone(&stop);
+        let read_timeout = cfg.read_timeout;
+        std::thread::spawn(move || {
+            accept_loop(listener, table, stop, read_timeout);
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        table,
+        stop,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    table: Arc<JobTable>,
+    stop: Arc<AtomicBool>,
+    read_timeout: Duration,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let table = Arc::clone(&table);
+                let stop = Arc::clone(&stop);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, &table, &stop, read_timeout);
+                }));
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // 1ms poll: bounds per-connection accept latency well
+                // below any real job's runtime while still noticing the
+                // stop flag promptly.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+/// Reads one request (incrementally, bounded, with timeout), routes it,
+/// writes one response, closes.
+fn handle_connection(
+    mut stream: TcpStream,
+    table: &Arc<JobTable>,
+    stop: &Arc<AtomicBool>,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let request = loop {
+        match parse_request(&buf) {
+            Ok(Parse::Complete(req, _consumed)) => break req,
+            Ok(Parse::Incomplete) => {}
+            Err(e) => {
+                let _ = Response::error(e.status(), &e.detail()).write_to(&mut stream);
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if !buf.is_empty() {
+                    let _ =
+                        Response::error(400, "connection closed mid-request").write_to(&mut stream);
+                }
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                let _ = Response::error(408, "request not completed in time").write_to(&mut stream);
+                return;
+            }
+            Err(_) => return,
+        }
+    };
+    route(&request, &mut stream, table, stop);
+}
+
+/// Splits `/jobs/<id>[/rest]` into the id and the remaining path.
+fn job_path(target: &str) -> Option<(u64, &str)> {
+    let rest = target.strip_prefix("/jobs/")?;
+    let (id, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, tail),
+        None => (rest, ""),
+    };
+    id.parse().ok().map(|id| (id, tail))
+}
+
+fn route(req: &Request, stream: &mut TcpStream, table: &Arc<JobTable>, stop: &Arc<AtomicBool>) {
+    let response = match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/scenarios") => scenarios_response(),
+        ("GET", "/stats") => Response::json(200, table.stats().to_json()),
+        ("POST", "/jobs") => submit(req, table),
+        ("POST", "/shutdown") => {
+            stop.store(true, Ordering::Relaxed);
+            table.shutdown();
+            Response::json(200, "{\"shutdown\":true}".into())
+        }
+        (method, target) if target.starts_with("/jobs/") => {
+            let Some((id, tail)) = job_path(target) else {
+                return finish(stream, Response::error(400, "job id is not an integer"));
+            };
+            match (method, tail) {
+                ("GET", "") => match table.snapshot(id) {
+                    Some(snap) => Response::json(200, snap.to_json()),
+                    None => Response::error(404, "no such job"),
+                },
+                ("DELETE", "") => match table.cancel(id) {
+                    Some(before) => Response::json(
+                        200,
+                        format!("{{\"id\":{id},\"was\":\"{}\"}}", before.name()),
+                    ),
+                    None => Response::error(404, "no such job"),
+                },
+                ("GET", "report") => match table.snapshot(id) {
+                    None => Response::error(404, "no such job"),
+                    Some(snap) => match table.report(id) {
+                        Some(report) => Response {
+                            status: 200,
+                            content_type: "text/plain; charset=utf-8",
+                            headers: Vec::new(),
+                            body: report,
+                        },
+                        None => Response::error(
+                            409,
+                            &format!("job is {}, report not available", snap.state.name()),
+                        ),
+                    },
+                },
+                ("GET", "stream") => return stream_events(stream, table, id),
+                ("GET", "artifacts") => artifact_listing(table, id),
+                ("GET", name) if name.starts_with("artifacts/") => {
+                    artifact_body(table, id, &name["artifacts/".len()..])
+                }
+                ("GET" | "DELETE", _) => Response::error(404, "no such endpoint"),
+                _ => Response::error(405, "method not allowed"),
+            }
+        }
+        ("GET" | "POST" | "DELETE" | "HEAD" | "PUT" | "PATCH" | "OPTIONS", _) => {
+            Response::error(404, "no such endpoint")
+        }
+        _ => Response::error(405, "method not allowed"),
+    };
+    finish(stream, response);
+}
+
+fn finish(stream: &mut TcpStream, response: Response) {
+    let _ = response.write_to(stream);
+}
+
+fn scenarios_response() -> Response {
+    let rows = listing(&Ctx::default());
+    let mut body = String::from("{\"scenarios\":[");
+    for (i, [id, runtime, cells, trace, title]) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"id\":{},\"runtime\":{},\"cells\":{},\"trace\":{},\"title\":{}}}",
+            escape(id),
+            escape(runtime),
+            cells,
+            trace == "yes",
+            escape(title)
+        ));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+fn submit(req: &Request, table: &Arc<JobTable>) -> Response {
+    let spec = match JobSpec::from_json_body(&req.body) {
+        Ok(spec) => spec,
+        Err(reason) => return Response::error(400, &reason),
+    };
+    if find(&spec.scenario).is_none() {
+        return Response::error(
+            400,
+            &format!(
+                "unknown scenario {:?}; GET /scenarios lists valid ids",
+                spec.scenario
+            ),
+        );
+    }
+    match table.submit(spec) {
+        Ok(id) => Response::json(202, format!("{{\"id\":{id},\"state\":\"queued\"}}")),
+        Err(SubmitError::QueueFull) => {
+            let mut resp = Response::error(429, "job queue is full; retry later");
+            resp.headers.push(("retry-after".into(), "1".into()));
+            resp
+        }
+        Err(SubmitError::ShuttingDown) => Response::error(409, "daemon is shutting down"),
+    }
+}
+
+/// Streams JSONL progress events until the job is terminal and all
+/// events are flushed. The response has no `content-length`; the
+/// connection close delimits the stream (`connection: close` is already
+/// the daemon-wide contract).
+fn stream_events(stream: &mut TcpStream, table: &Arc<JobTable>, id: u64) {
+    if table.snapshot(id).is_none() {
+        return finish(stream, Response::error(404, "no such job"));
+    }
+    let head = "HTTP/1.1 200 OK\r\ncontent-type: application/jsonl\r\nconnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let mut from = 0;
+    loop {
+        let Some((events, terminal)) = table.wait_events(id, from, Duration::from_millis(250))
+        else {
+            return;
+        };
+        for event in &events {
+            if stream
+                .write_all(event.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .is_err()
+            {
+                return; // Client went away; the job keeps running.
+            }
+        }
+        let _ = stream.flush();
+        from += events.len();
+        if terminal {
+            return;
+        }
+    }
+}
+
+fn artifact_listing(table: &Arc<JobTable>, id: u64) -> Response {
+    let Some(snap) = table.snapshot(id) else {
+        return Response::error(404, "no such job");
+    };
+    let mut names: Vec<String> = Vec::new();
+    if let Some(dir) = snap.artifact_dir {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                    names.push(entry.file_name().to_string_lossy().into_owned());
+                }
+            }
+        }
+    }
+    names.sort();
+    let listed: Vec<String> = names.iter().map(|n| escape(n)).collect();
+    Response::json(
+        200,
+        format!("{{\"id\":{id},\"artifacts\":[{}]}}", listed.join(",")),
+    )
+}
+
+fn artifact_body(table: &Arc<JobTable>, id: u64, name: &str) -> Response {
+    if name.is_empty() || name.contains('/') || name.contains('\\') || name.contains("..") {
+        return Response::error(400, "artifact name must be a plain file name");
+    }
+    let Some(snap) = table.snapshot(id) else {
+        return Response::error(404, "no such job");
+    };
+    let Some(dir) = snap.artifact_dir else {
+        return Response::error(404, "job has no artifacts yet");
+    };
+    match std::fs::read(dir.join(name)) {
+        Ok(bytes) => Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body: bytes,
+        },
+        Err(_) => Response::error(404, "no such artifact"),
+    }
+}

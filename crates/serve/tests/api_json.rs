@@ -1,0 +1,113 @@
+//! Every JSON body the daemon emits must actually parse as JSON.
+//!
+//! Regression pin for a double-quoting bug: `voltctl_check::json::
+//! escape` returns the string *with* surrounding quotes, and several
+//! render sites wrapped it in another pair, producing bodies like
+//! `"scenario":""fig01_itrs""` that no parser accepts. This walks the
+//! whole read surface of a live daemon — listing, stats, snapshots,
+//! submit echoes, artifact listings, and error responses — and feeds
+//! each body back through the JSON parser, checking the string-typed
+//! fields land as strings.
+
+use voltctl_check::Json;
+use voltctl_serve::{request, spawn, ServeConfig};
+
+fn parsed(label: &str, body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("{label} body is not JSON ({e}): {body}"))
+}
+
+#[test]
+fn every_endpoint_emits_parseable_json() {
+    let root = std::env::temp_dir().join(format!("voltctl-serve-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let handle = spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_bound: 4,
+        root: root.clone(),
+        read_timeout: std::time::Duration::from_secs(5),
+        default_shards: 1,
+    })
+    .expect("daemon must start");
+    let addr = handle.addr;
+
+    let health = request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+
+    let listing = request(addr, "GET", "/scenarios", None).unwrap();
+    let listing = parsed("scenarios", &listing.text());
+    let rows = match listing.get("scenarios") {
+        Some(Json::Arr(rows)) => rows,
+        other => panic!("scenarios must be an array, got {other:?}"),
+    };
+    assert!(!rows.is_empty());
+    for row in rows {
+        for key in ["id", "runtime", "title"] {
+            assert!(
+                row.get(key).and_then(Json::as_str).is_some(),
+                "scenario row field {key:?} must be a JSON string: {row:?}"
+            );
+        }
+    }
+
+    // A completed job: snapshot spec/state round-trip as strings.
+    let submit = request(
+        addr,
+        "POST",
+        "/jobs",
+        Some(br#"{"scenario":"fig01_itrs","smoke":true,"telemetry":"summary"}"#),
+    )
+    .unwrap();
+    assert_eq!(submit.status, 202);
+    let id = parsed("submit", &submit.text())
+        .get("id")
+        .and_then(Json::as_f64)
+        .unwrap() as u64;
+    let stream = request(addr, "GET", &format!("/jobs/{id}/stream"), None).unwrap();
+    for line in stream.text().lines() {
+        parsed("stream event", line);
+    }
+    let snap = request(addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+    let snap = parsed("job snapshot", &snap.text());
+    assert_eq!(snap.get("state").and_then(Json::as_str), Some("done"));
+    let spec = snap.get("spec").expect("snapshot carries the spec");
+    assert_eq!(
+        spec.get("scenario").and_then(Json::as_str),
+        Some("fig01_itrs"),
+        "spec echo must be a plain JSON string"
+    );
+    assert_eq!(
+        spec.get("telemetry").and_then(Json::as_str),
+        Some("summary")
+    );
+
+    let artifacts = request(addr, "GET", &format!("/jobs/{id}/artifacts"), None).unwrap();
+    let artifacts = parsed("artifact listing", &artifacts.text());
+    match artifacts.get("artifacts") {
+        Some(Json::Arr(names)) => {
+            assert!(!names.is_empty(), "summary telemetry leaves artifacts");
+            for name in names {
+                assert!(
+                    name.as_str().is_some(),
+                    "artifact names are strings: {name:?}"
+                );
+            }
+        }
+        other => panic!("artifacts must be an array, got {other:?}"),
+    }
+
+    let stats = request(addr, "GET", "/stats", None).unwrap();
+    parsed("stats", &stats.text());
+
+    // Error responses are JSON too, with the detail as a string field.
+    let bad = request(addr, "POST", "/jobs", Some(b"{\"scenario\":42}")).unwrap();
+    assert_eq!(bad.status, 400);
+    let bad = parsed("error response", &bad.text());
+    assert!(bad.get("error").and_then(Json::as_str).is_some());
+    let missing = request(addr, "GET", "/jobs/999999", None).unwrap();
+    assert_eq!(missing.status, 404);
+    parsed("missing job", &missing.text());
+
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}

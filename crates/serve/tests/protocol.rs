@@ -1,0 +1,278 @@
+//! Protocol robustness: property-based fuzz of the HTTP/JSONL surface.
+//!
+//! The daemon's parser faces the raw network, so its contract is
+//! adversarial: for *any* byte string — random garbage, truncations of
+//! valid requests, single-byte corruptions, oversized dimensions — it
+//! must return quickly with a parse, an `Incomplete`, or a 4xx-classed
+//! error. Never a panic (the `voltctl-check` runner treats caught
+//! panics as failures and shrinks the input), never an accepted
+//! mangled request masquerading as the original, and — at the socket
+//! level — never a hung connection.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use voltctl_check::{check, ensure, i64_in, map, usize_in, vec_of, Config};
+use voltctl_serve::job::JobSpec;
+use voltctl_serve::{parse_request, request, spawn, HttpError, Parse, ServeConfig};
+
+fn byte_gen() -> impl voltctl_check::gen::Gen<Value = u8> {
+    map(i64_in(0, 256), |b| b as u8)
+}
+
+/// A well-formed request assembled from generated parts: method,
+/// path characters, extra header value, and body bytes.
+fn valid_request(method_idx: usize, path_salt: &[u8], body: &[u8]) -> Vec<u8> {
+    let method = ["GET", "POST", "DELETE", "HEAD"][method_idx % 4];
+    let path: String = path_salt
+        .iter()
+        .map(|b| (b'a' + (b % 26)) as char)
+        .collect();
+    let mut raw = format!(
+        "{method} /{path} HTTP/1.1\r\nhost: fuzz\r\nx-salt: {}\r\ncontent-length: {}\r\n\r\n",
+        path_salt.len(),
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    raw
+}
+
+/// Any byte string: the parser returns (never panics, never loops), and
+/// rejections are always 4xx.
+#[test]
+fn arbitrary_bytes_never_panic_and_reject_with_4xx() {
+    check(
+        "serve.http.total",
+        &Config::cases(256, 0x5EAF_0001),
+        &vec_of(byte_gen(), 0, 512),
+        |bytes| {
+            match parse_request(bytes) {
+                Ok(Parse::Complete(_, consumed)) => {
+                    ensure!(consumed <= bytes.len(), "consumed past the buffer")
+                }
+                Ok(Parse::Incomplete) => {}
+                Err(e) => {
+                    let status = e.status();
+                    ensure!(
+                        (400..500).contains(&status),
+                        "{e:?} maps to {status}, not 4xx"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Every proper prefix of a valid request is `Incomplete` — truncation
+/// is indistinguishable from a slow client, so it must neither error
+/// nor produce a bogus complete parse.
+#[test]
+fn truncations_of_valid_requests_are_incomplete() {
+    check(
+        "serve.http.truncate",
+        &Config::cases(128, 0x5EAF_0002),
+        &(
+            usize_in(0, 4),
+            vec_of(byte_gen(), 0, 24),
+            vec_of(byte_gen(), 0, 64),
+            usize_in(0, 4096),
+        ),
+        |(method_idx, path_salt, body, cut_salt)| {
+            let raw = valid_request(*method_idx, path_salt, body);
+            match parse_request(&raw) {
+                Ok(Parse::Complete(_, consumed)) => {
+                    ensure!(consumed == raw.len(), "must consume the whole request")
+                }
+                other => return Err(format!("valid request failed to parse: {other:?}")),
+            }
+            let cut = cut_salt % raw.len();
+            match parse_request(&raw[..cut]) {
+                Ok(Parse::Incomplete) => Ok(()),
+                other => Err(format!(
+                    "prefix of {cut}/{} bytes gave {other:?}",
+                    raw.len()
+                )),
+            }
+        },
+    );
+}
+
+/// Flipping one byte of a valid request never panics the parser and
+/// never yields a parse that silently consumed more than the buffer.
+/// (A flip may still parse — e.g. in the body or a header value — or
+/// become `Incomplete` by corrupting `content-length` upward; what it
+/// must not do is crash or produce an out-of-bounds consume.)
+#[test]
+fn single_byte_corruption_is_handled() {
+    check(
+        "serve.http.byteflip",
+        &Config::cases(256, 0x5EAF_0003),
+        &(
+            usize_in(0, 4),
+            vec_of(byte_gen(), 0, 24),
+            vec_of(byte_gen(), 0, 64),
+            usize_in(0, 4096),
+            i64_in(1, 256),
+        ),
+        |(method_idx, path_salt, body, pos_salt, flip)| {
+            let mut raw = valid_request(*method_idx, path_salt, body);
+            let pos = pos_salt % raw.len();
+            raw[pos] ^= *flip as u8;
+            match parse_request(&raw) {
+                Ok(Parse::Complete(_, consumed)) => {
+                    ensure!(consumed <= raw.len(), "consumed past the buffer")
+                }
+                Ok(Parse::Incomplete) => {}
+                Err(e) => ensure!((400..500).contains(&e.status())),
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Oversized dimensions map to their specific 4xx: long request lines
+/// to 414, fat declared bodies to 413, header floods to 431.
+#[test]
+fn oversized_requests_get_specific_4xx_statuses() {
+    check(
+        "serve.http.oversize",
+        &Config::cases(64, 0x5EAF_0004),
+        &usize_in(1, 2048),
+        |&extra| {
+            let line = vec![b'G'; voltctl_serve::http::MAX_REQUEST_LINE + extra];
+            ensure!(parse_request(&line) == Err(HttpError::UriTooLong));
+
+            let fat = format!(
+                "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                voltctl_serve::http::MAX_BODY + extra
+            );
+            match parse_request(fat.as_bytes()) {
+                Err(e @ HttpError::BodyTooLarge(_)) => ensure!(e.status() == 413),
+                other => return Err(format!("fat body gave {other:?}")),
+            }
+
+            let mut flood = String::from("GET /x HTTP/1.1\r\n");
+            for i in 0..=(voltctl_serve::http::MAX_HEADERS + extra % 8) {
+                flood.push_str(&format!("h{i}: v\r\n"));
+            }
+            flood.push_str("\r\n");
+            ensure!(parse_request(flood.as_bytes()) == Err(HttpError::HeadersTooLarge));
+            Ok(())
+        },
+    );
+}
+
+/// The JSONL job-spec parser is total over arbitrary bytes: parse or a
+/// readable error, never a panic.
+#[test]
+fn job_spec_parse_is_total_over_arbitrary_bytes() {
+    check(
+        "serve.jsonl.total",
+        &Config::cases(256, 0x5EAF_0005),
+        &vec_of(byte_gen(), 0, 256),
+        |bytes| {
+            let _ = JobSpec::from_json_body(bytes);
+            Ok(())
+        },
+    );
+}
+
+/// Corrupting one byte of a valid spec body never panics and, when it
+/// still parses, yields a spec whose scenario string is non-empty (the
+/// required-field invariant survives corruption).
+#[test]
+fn job_spec_survives_byte_flips() {
+    check(
+        "serve.jsonl.byteflip",
+        &Config::cases(256, 0x5EAF_0006),
+        &(usize_in(0, 4096), i64_in(1, 256)),
+        |(pos_salt, flip)| {
+            let mut body =
+                br#"{"scenario":"fig01_itrs","scale":1.5,"smoke":true,"telemetry":"jsonl","shards":2}"#
+                    .to_vec();
+            let pos = pos_salt % body.len();
+            body[pos] ^= *flip as u8;
+            if let Ok(spec) = JobSpec::from_json_body(&body) {
+                ensure!(!spec.scenario.is_empty(), "required field lost in parse");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Socket-level robustness: a live daemon answers malformed requests
+/// with 4xx, times out truncated ones with 408, and stays healthy —
+/// the connection always terminates (reads here would hang forever on
+/// a wedged server; the client's own timeout would fail the test).
+#[test]
+fn live_daemon_survives_malformed_and_truncated_connections() {
+    use std::io::{Read, Write};
+
+    let handle = spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_bound: 2,
+        root: std::env::temp_dir().join(format!("voltctl-serve-proto-{}", std::process::id())),
+        read_timeout: std::time::Duration::from_millis(200),
+        default_shards: 1,
+    })
+    .expect("daemon must start");
+    let addr = handle.addr;
+
+    // Malformed request line: 400, connection closes.
+    {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        s.read_to_string(&mut out).expect("connection must close");
+        assert!(out.starts_with("HTTP/1.1 400 "), "got: {out}");
+    }
+
+    // Truncated request: server's read timeout turns it into 408.
+    {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort")
+            .unwrap();
+        let mut out = String::new();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        s.read_to_string(&mut out).expect("connection must close");
+        assert!(out.starts_with("HTTP/1.1 408 "), "got: {out}");
+    }
+
+    // A pile of random garbage connections, concurrently.
+    let hung = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for seed in 0..8u64 {
+            let hung = &hung;
+            scope.spawn(move || {
+                let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                let mut garbage = Vec::new();
+                for _ in 0..64 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    garbage.push(state as u8);
+                }
+                let Ok(mut s) = std::net::TcpStream::connect(addr) else {
+                    hung.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let _ = s.write_all(&garbage);
+                let mut out = Vec::new();
+                let _ = s.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+                if s.read_to_end(&mut out).is_err() {
+                    hung.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(hung.load(Ordering::Relaxed), 0, "no connection may hang");
+
+    // The daemon is still alive and serving.
+    let health = request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    handle.join();
+}

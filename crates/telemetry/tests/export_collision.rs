@@ -1,0 +1,104 @@
+//! Regression pin for the never-overwrite writer's concurrency
+//! contract.
+//!
+//! `write_file_fresh`'s suffix probing used to be describable as
+//! check-then-create, which races when two jobs export the same
+//! artifact name concurrently (both probe, both pick the same free
+//! name, one clobbers the other). The writer claims names atomically
+//! with a `create_new(true)` retry loop; these tests pin that contract
+//! under a real multi-thread collision so it can never regress to a
+//! probe-then-write shape: every racing write must land at a *distinct*
+//! path, and every payload must survive exactly once.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use voltctl_telemetry::export::write_file_fresh;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "voltctl-export-collision-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn two_threads_racing_one_name_land_on_distinct_paths() {
+    let dir = temp_dir("pair");
+    // A barrier maximizes the chance both threads probe the same name
+    // at the same instant; create_new must serialize the claim.
+    let barrier = Arc::new(Barrier::new(2));
+    let paths: Vec<PathBuf> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    write_file_fresh(&dir, "report.counters.jsonl", &format!("writer-{i}"))
+                        .expect("racing writes must both succeed")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_ne!(paths[0], paths[1], "racing writers must never share a path");
+    let mut contents: Vec<String> = paths
+        .iter()
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect();
+    contents.sort();
+    assert_eq!(
+        contents,
+        vec!["writer-0", "writer-1"],
+        "both payloads must survive"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn many_threads_racing_one_name_lose_no_payload() {
+    let dir = temp_dir("storm");
+    const WRITERS: usize = 8;
+    let barrier = Arc::new(Barrier::new(WRITERS));
+    let paths: Vec<PathBuf> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    write_file_fresh(&dir, "shard.snap", &format!("payload-{i}")).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let distinct: BTreeSet<&PathBuf> = paths.iter().collect();
+    assert_eq!(
+        distinct.len(),
+        WRITERS,
+        "every writer must claim its own file"
+    );
+    let survived: BTreeSet<String> = paths
+        .iter()
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect();
+    assert_eq!(
+        survived.len(),
+        WRITERS,
+        "every payload must survive exactly once"
+    );
+    // The canonical name is among the claimed paths; suffixed names
+    // carry the `-N` before the extension.
+    assert!(paths.iter().any(|p| p.ends_with("shard.snap")));
+    assert!(paths.iter().any(|p| p
+        .file_name()
+        .unwrap()
+        .to_string_lossy()
+        .starts_with("shard-")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
