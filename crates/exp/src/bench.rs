@@ -91,8 +91,10 @@ pub const DEFAULT_PERF_DIR: &str = "results/perf";
 /// the `BENCH_serve.json` suite emitted by the `voltctl-serve` load
 /// generator (a serve point's `cycles` counts grid cells completed, and
 /// the summary carries latency percentiles plus the serve-vs-batch
-/// wall-clock ratio over an identical request mix).
-pub const BENCH_SCHEMA: u64 = 5;
+/// wall-clock ratio over an identical request mix). Version 6 added
+/// `latency_p999_ms` to the serve summary, completing the
+/// p50/p90/p99/p999 set the live `/metrics` plane also exposes.
+pub const BENCH_SCHEMA: u64 = 6;
 
 /// Perf-smoke gate: the batched lane path must beat the scalar
 /// controlled loop by at least this factor *within the same run*. A

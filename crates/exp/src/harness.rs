@@ -127,21 +127,26 @@ pub fn variable_eight() -> Vec<Workload> {
 /// # Errors
 ///
 /// Propagates solver errors ([`ControlError::Unstable`] in particular).
+type SolveKey = (ActuationScope, u32, u64);
+type SolveCache = voltctl_pdn::ShardedLru<SolveKey, Result<Thresholds, ControlError>>;
+
+/// The process-wide threshold-solution memo (4 shards × 32 entries).
+fn solve_cache() -> &'static SolveCache {
+    static CACHE: OnceLock<SolveCache> = OnceLock::new();
+    CACHE.get_or_init(|| SolveCache::new(4, 32))
+}
+
 pub fn solve_for(
     scope: ActuationScope,
     delay: u32,
     percent: f64,
 ) -> Result<Thresholds, ControlError> {
-    type SolveKey = (ActuationScope, u32, u64);
-    type SolveCache = voltctl_pdn::ShardedLru<SolveKey, Result<Thresholds, ControlError>>;
-    static CACHE: OnceLock<SolveCache> = OnceLock::new();
     let key = (scope, delay, percent.to_bits());
     // Solve while holding the shard lock: concurrent first requests for
     // the same configuration block behind one adversary search instead
     // of redundantly re-solving (same policy as the calibration cache);
     // requests for configurations on other shards proceed unblocked.
-    let cache = CACHE.get_or_init(|| SolveCache::new(4, 32));
-    cache.get_or_insert_with(&key, || {
+    solve_cache().get_or_insert_with(&key, || {
         let span = crate::profile::global().map(crate::profile::Span::start);
         let power = power_model();
         let pdn = pdn_at(percent);
@@ -169,8 +174,14 @@ pub fn solve_for(
 
 /// Upper bound on memoized threshold solutions (diagnostics / tests).
 pub fn solve_cache_capacity() -> usize {
-    // Mirrors the dimensions in `solve_for`: 4 shards x 32 entries.
-    4 * 32
+    solve_cache().capacity()
+}
+
+/// Live hit/miss/eviction/residency stats for the threshold-solution
+/// memo (the serve daemon surfaces these at `/metrics` alongside the
+/// kernel cache's).
+pub fn solve_cache_stats() -> voltctl_pdn::CacheStats {
+    solve_cache().stats()
 }
 
 /// Evaluates one workload under control vs. baseline.

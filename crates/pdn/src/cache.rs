@@ -34,10 +34,38 @@
 use crate::convolve::kernel_for;
 use crate::second_order::PdnModel;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// One shard: a mutex-guarded MRU-ordered entry list.
 type Shard<K, V> = Mutex<Vec<(K, V)>>;
+
+/// A point-in-time view of one cache's effectiveness, for `/metrics`
+/// and `/stats?verbose=1` on the serve daemon.
+///
+/// Counters are monotone over the process lifetime; `len` is a
+/// diagnostic sum over shards, not a synchronized snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Lookups that had to derive (or found nothing, for plain `get`).
+    pub misses: u64,
+    /// Entries dropped because a shard exceeded its bound.
+    pub evictions: u64,
+    /// Resident entries right now.
+    pub len: usize,
+    /// Maximum resident entries (`shards * per_shard`).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
 
 /// A bounded, sharded, mutex-protected LRU map for memoizing expensive
 /// derivations across threads.
@@ -59,6 +87,9 @@ type Shard<K, V> = Mutex<Vec<(K, V)>>;
 pub struct ShardedLru<K, V> {
     shards: Box<[Shard<K, V>]>,
     per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K, V> std::fmt::Debug for ShardedLru<K, V> {
@@ -68,6 +99,15 @@ impl<K, V> std::fmt::Debug for ShardedLru<K, V> {
             .field("per_shard", &self.per_shard)
             .finish()
     }
+}
+
+/// Locks a shard, tolerating poisoning: a worker that panicked inside
+/// `derive` (before the entry list was touched) must not wedge later
+/// lookups — or `/metrics` stats collection — forever. The entry list
+/// is only mutated after `derive` returns, so a poisoned shard's data
+/// is always structurally valid.
+fn lock_shard<K, V>(shard: &Shard<K, V>) -> MutexGuard<'_, Vec<(K, V)>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl<K: Eq + Hash, V: Clone> ShardedLru<K, V> {
@@ -84,7 +124,13 @@ impl<K: Eq + Hash, V: Clone> ShardedLru<K, V> {
             .map(|_| Mutex::new(Vec::with_capacity(per_shard)))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        ShardedLru { shards, per_shard }
+        ShardedLru {
+            shards,
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// Maximum number of entries the cache can hold.
@@ -93,12 +139,22 @@ impl<K: Eq + Hash, V: Clone> ShardedLru<K, V> {
     }
 
     /// Current number of resident entries (sums every shard; a
-    /// diagnostic, not a synchronized snapshot).
+    /// diagnostic, not a synchronized snapshot). Poison-tolerant: a
+    /// panicked worker never wedges stats collection.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("ShardedLru shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    }
+
+    /// Hit/miss/eviction counters plus current residency and capacity.
+    /// Poison-tolerant for the same reason as [`len`](ShardedLru::len).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity(),
+        }
     }
 
     /// True when no shard holds any entry.
@@ -115,11 +171,12 @@ impl<K: Eq + Hash, V: Clone> ShardedLru<K, V> {
     /// Looks up `key`, promoting a hit to most-recently-used. Returns a
     /// clone of the cached value.
     pub fn get(&self, key: &K) -> Option<V> {
-        let mut entries = self
-            .shard_for(key)
-            .lock()
-            .expect("ShardedLru shard poisoned");
-        let idx = entries.iter().position(|(k, _)| k == key)?;
+        let mut entries = lock_shard(self.shard_for(key));
+        let Some(idx) = entries.iter().position(|(k, _)| k == key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        self.hits.fetch_add(1, Ordering::Relaxed);
         let entry = entries.remove(idx);
         let value = entry.1.clone();
         entries.insert(0, entry);
@@ -134,26 +191,29 @@ impl<K: Eq + Hash, V: Clone> ShardedLru<K, V> {
     where
         K: Clone,
     {
-        let mut entries = self
-            .shard_for(key)
-            .lock()
-            .expect("ShardedLru shard poisoned");
+        let mut entries = lock_shard(self.shard_for(key));
         if let Some(idx) = entries.iter().position(|(k, _)| k == key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             let entry = entries.remove(idx);
             let value = entry.1.clone();
             entries.insert(0, entry);
             return value;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let value = derive();
         entries.insert(0, (key.clone(), value.clone()));
-        entries.truncate(self.per_shard);
+        if entries.len() > self.per_shard {
+            let evicted = entries.len() - self.per_shard;
+            entries.truncate(self.per_shard);
+            self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
         value
     }
 
     /// Drops every entry in every shard.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().expect("ShardedLru shard poisoned").clear();
+            lock_shard(shard).clear();
         }
     }
 }
@@ -221,6 +281,12 @@ pub fn cached_kernel_for(model: &PdnModel, rel_tol: f64) -> Arc<Vec<f64>> {
 /// Number of distinct kernels currently cached (diagnostics / tests).
 pub fn cached_kernel_count() -> usize {
     cache().len()
+}
+
+/// Live hit/miss/eviction/residency stats for the process-wide kernel
+/// cache (the serve daemon surfaces these at `/metrics`).
+pub fn kernel_cache_stats() -> CacheStats {
+    cache().stats()
 }
 
 /// Upper bound on resident kernels; [`cached_kernel_count`] never
@@ -308,6 +374,49 @@ mod tests {
         }
         lru.clear();
         assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_evictions() {
+        let lru: ShardedLru<u64, u64> = ShardedLru::new(1, 2);
+        assert_eq!(
+            lru.stats(),
+            CacheStats {
+                capacity: 2,
+                ..CacheStats::default()
+            }
+        );
+        assert!(lru.stats().hit_rate().is_none());
+        lru.get_or_insert_with(&1, || 10); // miss
+        lru.get_or_insert_with(&1, || 10); // hit
+        lru.get_or_insert_with(&2, || 20); // miss
+        lru.get_or_insert_with(&3, || 30); // miss, evicts 1
+        assert_eq!(lru.get(&1), None); // miss (evicted)
+        assert_eq!(lru.get(&3), Some(30)); // hit
+        let stats = lru.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.hit_rate(), Some(2.0 / 6.0));
+    }
+
+    #[test]
+    fn poisoned_shard_does_not_wedge_stats_or_lookups() {
+        let lru: std::sync::Arc<ShardedLru<u64, u64>> = std::sync::Arc::new(ShardedLru::new(1, 4));
+        lru.get_or_insert_with(&1, || 10);
+        // Panic inside `derive` while holding the only shard's lock.
+        let poisoner = std::sync::Arc::clone(&lru);
+        let result = std::thread::spawn(move || {
+            poisoner.get_or_insert_with(&2, || panic!("worker died mid-derive"));
+        })
+        .join();
+        assert!(result.is_err(), "the derive panic must propagate");
+        // The cache keeps serving: stats, len, lookups, inserts.
+        assert_eq!(lru.stats().len, 1);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get_or_insert_with(&2, || 20), 20);
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub mod state_space;
 pub mod supply;
 pub mod waveform;
 
-pub use cache::{cached_kernel_for, ShardedLru};
+pub use cache::{cached_kernel_for, kernel_cache_stats, CacheStats, ShardedLru};
 pub use emergency::{EmergencyReport, VoltageHistogram, VoltageMonitor};
 pub use response::{FrequencyResponse, ResponseMetrics, StepResponse};
 pub use second_order::{PdnError, PdnModel, PdnModelBuilder};

@@ -12,11 +12,12 @@
 //! of latency percentiles (smoke jobs are too short for the ratio to
 //! mean anything — HTTP round-trips dominate microsecond simulations).
 //!
-//! The artifact is `BENCH_serve.json` (schema 5, shared with the other
+//! The artifact is `BENCH_serve.json` (schema 6, shared with the other
 //! bench suites): a `serve` and a `batch` point whose `cycles` count
 //! grid cells completed — a work proxy that is identical on both sides
 //! by construction, making the aggregate cycles/sec ratio equal the
-//! wall-clock ratio — plus latency percentiles in the summary.
+//! wall-clock ratio — plus latency percentiles (p50/p90/p99/p999) in
+//! the summary.
 //! Baselines are regenerate-in-place under `results/perf/`, with
 //! provenance in `manifest_serve.json` (a separate file so the batch
 //! bench's `manifest.json` survives).
@@ -321,6 +322,7 @@ pub fn run_bench(opts: &BenchOpts) -> Result<BenchReport, String> {
             ("latency_p50_ms", percentile(&sorted, 0.50)),
             ("latency_p90_ms", percentile(&sorted, 0.90)),
             ("latency_p99_ms", percentile(&sorted, 0.99)),
+            ("latency_p999_ms", percentile(&sorted, 0.999)),
             ("serve_wall_ms", serve_ns / 1e6),
             ("batch_wall_ms", batch_ns / 1e6),
             ("serve_vs_batch_ratio", ratio),

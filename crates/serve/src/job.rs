@@ -24,11 +24,12 @@
 //! checkpoints it already wrote (a resubmitted identical job resumes
 //! from them).
 
+use crate::event::{EventLevel, EventLog, F};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use voltctl_check::json::escape;
 use voltctl_check::Json;
 use voltctl_exp::telemetry::Mode;
@@ -201,6 +202,14 @@ struct JobRecord {
     spec: JobSpec,
     state: JobState,
     cancel: Arc<AtomicBool>,
+    /// The request id assigned where the job entered the system (the
+    /// HTTP accept loop, or synthesized for direct table use). Threaded
+    /// into every event line the job emits.
+    request_id: String,
+    /// When the job entered the queue (for the queue-wait histogram).
+    queued_at: Instant,
+    /// When a worker claimed it (for the run-duration histogram).
+    running_since: Option<Instant>,
     /// JSONL progress events, one line each, in emission order.
     events: Vec<String>,
     /// The rendered report (byte-identical to the CLI), once `Done`.
@@ -251,6 +260,7 @@ pub struct JobSnapshot {
     pub id: u64,
     pub spec: JobSpec,
     pub state: JobState,
+    pub request_id: String,
     pub error: Option<String>,
     pub cells_done: usize,
     pub has_report: bool,
@@ -265,16 +275,32 @@ impl JobSnapshot {
             None => "null".to_string(),
         };
         format!(
-            "{{\"id\":{},\"state\":\"{}\",\"spec\":{},\"cells_done\":{},\
+            "{{\"id\":{},\"state\":\"{}\",\"request_id\":{},\"spec\":{},\"cells_done\":{},\
              \"has_report\":{},\"error\":{}}}",
             self.id,
             self.state.name(),
+            escape(&self.request_id),
             self.spec.to_json(),
             self.cells_done,
             self.has_report,
             error
         )
     }
+}
+
+/// What a worker receives from [`JobTable::claim`]: the job plus the
+/// request id to thread into shard events and the measured queue wait.
+#[derive(Debug)]
+pub struct Claimed {
+    pub id: u64,
+    pub spec: JobSpec,
+    pub cancel: Arc<AtomicBool>,
+    /// Request id assigned at HTTP accept (or synthesized for direct
+    /// table use).
+    pub request_id: String,
+    /// Submit-to-claim wait (already observed into the queue-wait
+    /// histogram by `claim`).
+    pub queue_wait: Duration,
 }
 
 /// Outcome the runner reports when a job leaves `Running`.
@@ -305,6 +331,9 @@ pub struct JobTable {
     inner: Mutex<TableInner>,
     changed: Condvar,
     bound: usize,
+    /// Structured event sink; every state transition mirrors there at
+    /// `Debug` with the job's request id.
+    log: Arc<EventLog>,
 }
 
 /// Why a submit was refused.
@@ -317,8 +346,14 @@ pub enum SubmitError {
 }
 
 impl JobTable {
-    /// A table admitting at most `queue_bound` queued jobs at once.
+    /// A table admitting at most `queue_bound` queued jobs at once,
+    /// with no event-log sink (tests, embedded use).
     pub fn new(queue_bound: usize) -> JobTable {
+        JobTable::with_log(queue_bound, Arc::new(EventLog::disabled()))
+    }
+
+    /// A table that mirrors every job state transition to `log`.
+    pub fn with_log(queue_bound: usize, log: Arc<EventLog>) -> JobTable {
         JobTable {
             inner: Mutex::new(TableInner {
                 jobs: BTreeMap::new(),
@@ -330,7 +365,14 @@ impl JobTable {
             }),
             changed: Condvar::new(),
             bound: queue_bound.max(1),
+            log,
         }
+    }
+
+    /// The event sink shared with this table (the runner threads shard
+    /// events through it).
+    pub fn log(&self) -> &Arc<EventLog> {
+        &self.log
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, TableInner> {
@@ -344,6 +386,17 @@ impl JobTable {
     /// [`SubmitError::QueueFull`] at the bound, [`SubmitError::ShuttingDown`]
     /// after [`shutdown`](JobTable::shutdown).
     pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        self.submit_with_request(spec, None)
+    }
+
+    /// [`submit`](JobTable::submit) with the HTTP request id that
+    /// carried the job in. `None` synthesizes a `local-<id>` id so
+    /// direct table users still get traceable event lines.
+    pub fn submit_with_request(
+        &self,
+        spec: JobSpec,
+        request_id: Option<&str>,
+    ) -> Result<u64, SubmitError> {
         let mut inner = self.lock();
         if inner.shutdown {
             return Err(SubmitError::ShuttingDown);
@@ -354,42 +407,83 @@ impl JobTable {
         let id = inner.next_id;
         inner.next_id += 1;
         inner.submitted += 1;
+        let request_id = match request_id {
+            Some(r) => r.to_string(),
+            None => format!("local-{id}"),
+        };
+        let scenario = spec.scenario.clone();
         let mut record = JobRecord {
             spec,
             state: JobState::Queued,
             cancel: Arc::new(AtomicBool::new(false)),
+            request_id: request_id.clone(),
+            queued_at: Instant::now(),
+            running_since: None,
             events: Vec::new(),
             report: None,
             error: None,
             artifact_dir: None,
             cells_done: 0,
         };
-        record
-            .events
-            .push(format!("{{\"job\":{id},\"event\":\"queued\"}}"));
+        record.events.push(format!(
+            "{{\"job\":{id},\"event\":\"queued\",\"req\":{}}}",
+            escape(&request_id)
+        ));
         inner.jobs.insert(id, record);
         inner.queue.push_back(id);
         let depth = inner.queue.len();
         inner.queue_depth_max = inner.queue_depth_max.max(depth);
         drop(inner);
+        self.log.emit(
+            EventLevel::Debug,
+            "job.queued",
+            &[
+                ("req", F::s(&request_id)),
+                ("job", F::U(id)),
+                ("scenario", F::s(scenario)),
+                ("queue_depth", F::U(depth as u64)),
+            ],
+        );
         self.changed.notify_all();
         Ok(id)
     }
 
-    /// Blocks until a job is available (returning its id, spec, and
-    /// cancel flag, with the job moved to `Running`) or the table shuts
-    /// down (returning `None`).
-    pub fn claim(&self) -> Option<(u64, JobSpec, Arc<AtomicBool>)> {
+    /// Blocks until a job is available (returning it moved to
+    /// `Running`) or the table shuts down (returning `None`). Observes
+    /// the job's queue wait into the metrics plane.
+    pub fn claim(&self) -> Option<Claimed> {
         let mut inner = self.lock();
         loop {
             if let Some(id) = inner.queue.pop_front() {
                 let record = inner.jobs.get_mut(&id).expect("queued job must exist");
                 record.state = JobState::Running;
-                record
-                    .events
-                    .push(format!("{{\"job\":{id},\"event\":\"running\"}}"));
-                let out = (id, record.spec.clone(), Arc::clone(&record.cancel));
+                let now = Instant::now();
+                let queue_wait = now.duration_since(record.queued_at);
+                record.running_since = Some(now);
+                record.events.push(format!(
+                    "{{\"job\":{id},\"event\":\"running\",\"req\":{}}}",
+                    escape(&record.request_id)
+                ));
+                let out = Claimed {
+                    id,
+                    spec: record.spec.clone(),
+                    cancel: Arc::clone(&record.cancel),
+                    request_id: record.request_id.clone(),
+                    queue_wait,
+                };
                 drop(inner);
+                crate::metrics::global()
+                    .queue_wait_ns
+                    .observe(queue_wait.as_nanos() as u64);
+                self.log.emit(
+                    EventLevel::Debug,
+                    "job.running",
+                    &[
+                        ("req", F::s(&out.request_id)),
+                        ("job", F::U(id)),
+                        ("queue_wait_ns", F::U(queue_wait.as_nanos() as u64)),
+                    ],
+                );
                 self.changed.notify_all();
                 return Some(out);
             }
@@ -423,23 +517,26 @@ impl JobTable {
         }
     }
 
-    /// Moves a running job to its terminal state.
+    /// Moves a running job to its terminal state, recording the
+    /// outcome counter and run-duration histogram.
     pub fn finish(&self, id: u64, outcome: JobOutcome) {
         let mut inner = self.lock();
+        let mut finished: Option<(JobState, Duration, String, Option<String>)> = None;
         if let Some(record) = inner.jobs.get_mut(&id) {
+            let req = escape(&record.request_id);
             match outcome {
                 JobOutcome::Done(report, cells) => {
                     record.state = JobState::Done;
                     record.report = Some(report);
                     record.cells_done = cells;
                     record.events.push(format!(
-                        "{{\"job\":{id},\"event\":\"done\",\"cells\":{cells}}}"
+                        "{{\"job\":{id},\"event\":\"done\",\"cells\":{cells},\"req\":{req}}}"
                     ));
                 }
                 JobOutcome::Failed(reason) => {
                     record.state = JobState::Failed;
                     record.events.push(format!(
-                        "{{\"job\":{id},\"event\":\"failed\",\"error\":{}}}",
+                        "{{\"job\":{id},\"event\":\"failed\",\"error\":{},\"req\":{req}}}",
                         escape(&reason)
                     ));
                     record.error = Some(reason);
@@ -447,13 +544,41 @@ impl JobTable {
                 JobOutcome::Cancelled(cells) => {
                     record.state = JobState::Cancelled;
                     record.cells_done = cells;
-                    record
-                        .events
-                        .push(format!("{{\"job\":{id},\"event\":\"cancelled\"}}"));
+                    record.events.push(format!(
+                        "{{\"job\":{id},\"event\":\"cancelled\",\"req\":{req}}}"
+                    ));
                 }
             }
+            let ran_for = record
+                .running_since
+                .map(|t| t.elapsed())
+                .unwrap_or(Duration::ZERO);
+            finished = Some((
+                record.state,
+                ran_for,
+                record.request_id.clone(),
+                record.error.clone(),
+            ));
         }
         drop(inner);
+        if let Some((state, ran_for, request_id, error)) = finished {
+            crate::metrics::global().record_job_finished(state.name(), ran_for);
+            let mut fields = vec![
+                ("req", F::s(&request_id)),
+                ("job", F::U(id)),
+                ("run_ns", F::U(ran_for.as_nanos() as u64)),
+            ];
+            if let Some(e) = &error {
+                fields.push(("error", F::s(e)));
+            }
+            let level = if error.is_some() {
+                EventLevel::Warn
+            } else {
+                EventLevel::Debug
+            };
+            self.log
+                .emit(level, &format!("job.{}", state.name()), &fields);
+        }
         self.changed.notify_all();
     }
 
@@ -465,15 +590,17 @@ impl JobTable {
         let mut inner = self.lock();
         let record = inner.jobs.get(&id)?;
         let before = record.state;
+        let request_id = record.request_id.clone();
         match before {
             JobState::Queued => {
                 inner.queue.retain(|&q| q != id);
                 let record = inner.jobs.get_mut(&id).expect("checked above");
                 record.state = JobState::Cancelled;
                 record.cancel.store(true, Ordering::Relaxed);
-                record
-                    .events
-                    .push(format!("{{\"job\":{id},\"event\":\"cancelled\"}}"));
+                record.events.push(format!(
+                    "{{\"job\":{id},\"event\":\"cancelled\",\"req\":{}}}",
+                    escape(&request_id)
+                ));
             }
             JobState::Running => {
                 record.cancel.store(true, Ordering::Relaxed);
@@ -481,6 +608,19 @@ impl JobTable {
             _ => {}
         }
         drop(inner);
+        if before == JobState::Queued {
+            // Never ran: count the outcome with a zero run duration.
+            crate::metrics::global().record_job_finished("cancelled", Duration::ZERO);
+        }
+        self.log.emit(
+            EventLevel::Debug,
+            "job.cancel_requested",
+            &[
+                ("req", F::s(&request_id)),
+                ("job", F::U(id)),
+                ("was", F::s(before.name())),
+            ],
+        );
         self.changed.notify_all();
         Some(before)
     }
@@ -493,6 +633,7 @@ impl JobTable {
             id,
             spec: record.spec.clone(),
             state: record.state,
+            request_id: record.request_id.clone(),
             error: record.error.clone(),
             cells_done: record.cells_done,
             has_report: record.report.is_some(),
@@ -596,9 +737,10 @@ mod tests {
     fn submit_claim_finish_roundtrip() {
         let table = JobTable::new(4);
         let id = table.submit(spec("fig01_itrs")).unwrap();
-        let (claimed, claimed_spec, _cancel) = table.claim().unwrap();
-        assert_eq!(claimed, id);
-        assert_eq!(claimed_spec.scenario, "fig01_itrs");
+        let claimed = table.claim().unwrap();
+        assert_eq!(claimed.id, id);
+        assert_eq!(claimed.spec.scenario, "fig01_itrs");
+        assert_eq!(claimed.request_id, format!("local-{id}"));
         assert_eq!(table.snapshot(id).unwrap().state, JobState::Running);
         table.finish(id, JobOutcome::Done(b"report".to_vec(), 3));
         let snap = table.snapshot(id).unwrap();
@@ -626,15 +768,18 @@ mod tests {
         let b = table.submit(spec("b")).unwrap();
         assert_eq!(table.cancel(a), Some(JobState::Queued));
         assert_eq!(table.snapshot(a).unwrap().state, JobState::Cancelled);
-        let (claimed, ..) = table.claim().unwrap();
-        assert_eq!(claimed, b, "cancelled job must be skipped");
+        assert_eq!(
+            table.claim().unwrap().id,
+            b,
+            "cancelled job must be skipped"
+        );
     }
 
     #[test]
     fn cancel_running_job_raises_flag_only() {
         let table = JobTable::new(4);
         let id = table.submit(spec("a")).unwrap();
-        let (_, _, cancel) = table.claim().unwrap();
+        let cancel = table.claim().unwrap().cancel;
         assert!(!cancel.load(Ordering::Relaxed));
         assert_eq!(table.cancel(id), Some(JobState::Running));
         assert!(cancel.load(Ordering::Relaxed));
@@ -668,6 +813,13 @@ mod tests {
         assert!(events[1].contains("running"));
         assert!(events[2].contains("shard"));
         assert!(events[3].contains("done"));
+        // Every table-emitted event carries the request id.
+        for event in [&events[0], &events[1], &events[3]] {
+            assert!(
+                event.contains(&format!("\"req\":\"local-{id}\"")),
+                "missing request id: {event}"
+            );
+        }
         // Streaming from an offset returns only the tail.
         let (tail, _) = table.wait_events(id, 3, Duration::from_millis(10)).unwrap();
         assert_eq!(tail.len(), 1);
@@ -700,8 +852,7 @@ mod tests {
         let _b = table.submit(spec("b")).unwrap();
         let c = table.submit(spec("c")).unwrap();
         table.cancel(c);
-        let (id, ..) = table.claim().unwrap();
-        assert_eq!(id, a);
+        assert_eq!(table.claim().unwrap().id, a);
         table.finish(a, JobOutcome::Failed("boom".into()));
         let stats = table.stats();
         assert_eq!(stats.submitted, 3);

@@ -22,13 +22,19 @@
 
 pub mod bench;
 pub mod client;
+pub mod event;
 pub mod http;
 pub mod job;
+pub mod metrics;
 pub mod runner;
 pub mod server;
+pub mod top;
 
 pub use bench::{run_bench, BenchOpts, BenchReport};
 pub use client::{request, HttpResponse};
+pub use event::{EventLevel, EventLog, F};
 pub use http::{parse_request, HttpError, Parse, Request, Response};
-pub use job::{JobSpec, JobState, JobTable, Stats, SubmitError};
+pub use job::{Claimed, JobSpec, JobState, JobTable, Stats, SubmitError};
+pub use metrics::{route_label, ServeMetrics, DECLARED_FAMILIES};
 pub use server::{spawn, ServeConfig, ServerHandle};
+pub use top::{run_top, TopOpts};

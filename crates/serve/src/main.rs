@@ -5,13 +5,14 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
-use voltctl_serve::{run_bench, spawn, BenchOpts, ServeConfig};
+use voltctl_serve::{run_bench, run_top, spawn, BenchOpts, ServeConfig, TopOpts};
 
 const USAGE: &str = "voltctl-serve: the simulation engine as a service
 
 USAGE:
     voltctl-serve serve [OPTIONS]      run the daemon until POST /shutdown
     voltctl-serve bench [OPTIONS]      closed-loop load generator -> BENCH_serve.json
+    voltctl-serve top [OPTIONS]        live dashboard over GET /metrics
 
 SERVE OPTIONS:
     --addr ADDR            bind address (default 127.0.0.1:7643; port 0 = auto)
@@ -28,6 +29,12 @@ BENCH OPTIONS:
     --requests N           total requests (default 24)
     --connections N        concurrent closed-loop clients (default 4)
     --seed S               request-mix seed (default 0x5EEDC0DE)
+
+TOP OPTIONS:
+    --addr ADDR            daemon to scrape (default 127.0.0.1:7643)
+    --interval-ms T        refresh interval (default 1000)
+    --frames N             stop after N frames (default: until the daemon exits)
+    --no-clear             don't clear the terminal between frames
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -88,15 +95,13 @@ fn cmd_serve(mut args: Vec<String>) -> Result<ExitCode, String> {
         return Err(format!("unknown argument {extra:?}"));
     }
 
+    // Startup/shutdown lines reach stderr through the structured event
+    // log (`daemon.listening` / `daemon.stopped`), not ad-hoc printlns.
     let handle = spawn(cfg).map_err(|e| format!("cannot start daemon: {e}"))?;
-    println!("voltctl-serve: listening on {}", handle.addr);
-    use std::io::Write as _;
-    let _ = std::io::stdout().flush();
     while !handle.is_stopping() {
         std::thread::sleep(Duration::from_millis(50));
     }
     handle.join();
-    println!("voltctl-serve: stopped");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -143,6 +148,28 @@ fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_top(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let mut opts = TopOpts::default();
+    if let Some(raw) = flag_value(&mut args, "--addr")? {
+        opts.addr = raw
+            .parse()
+            .map_err(|_| format!("--addr {raw:?} is not host:port"))?;
+    }
+    if let Some(raw) = flag_value(&mut args, "--interval-ms")? {
+        opts.interval = Duration::from_millis(parse_num(&raw, "--interval-ms")?);
+    }
+    if let Some(raw) = flag_value(&mut args, "--frames")? {
+        opts.frames = parse_num(&raw, "--frames")?;
+    }
+    if flag_present(&mut args, "--no-clear") {
+        opts.clear = false;
+    }
+    if let Some(extra) = args.first() {
+        return Err(format!("unknown argument {extra:?}"));
+    }
+    run_top(&opts).map(|()| ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -152,6 +179,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "serve" => cmd_serve(args),
         "bench" => cmd_bench(args),
+        "top" => cmd_top(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)

@@ -24,7 +24,8 @@
 //! panicking job lands in `Failed` with the panic message; the worker
 //! thread and the daemon live on.
 
-use crate::job::{JobOutcome, JobSpec, JobTable};
+use crate::event::{EventLevel, F};
+use crate::job::{Claimed, JobOutcome, JobSpec, JobTable};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -61,31 +62,32 @@ pub fn work_key(spec: &JobSpec, ctx: &voltctl_exp::Ctx, shards: usize) -> String
 }
 
 /// Runs the worker loop until the table shuts down. Spawn one thread
-/// per worker.
+/// per worker. The busy-worker gauge brackets each job so `/metrics`
+/// shows live occupancy.
 pub fn worker_loop(table: Arc<JobTable>, cfg: Arc<RunnerConfig>) {
-    while let Some((id, spec, cancel)) = table.claim() {
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            execute(&table, &cfg, id, &spec, &cancel)
-        }))
-        .unwrap_or_else(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "job panicked".to_string());
-            JobOutcome::Failed(format!("panic: {msg}"))
-        });
-        table.finish(id, outcome);
+    while let Some(claimed) = table.claim() {
+        let busy = crate::metrics::global();
+        busy.workers_busy.add(1);
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(&table, &cfg, &claimed)))
+            .unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "job panicked".to_string());
+                JobOutcome::Failed(format!("panic: {msg}"))
+            });
+        table.finish(claimed.id, outcome);
+        busy.workers_busy.add(-1);
     }
 }
 
-fn execute(
-    table: &JobTable,
-    cfg: &RunnerConfig,
-    id: u64,
-    spec: &JobSpec,
-    cancel: &AtomicBool,
-) -> JobOutcome {
+fn execute(table: &JobTable, cfg: &RunnerConfig, claimed: &Claimed) -> JobOutcome {
+    let Claimed {
+        id, spec, cancel, ..
+    } = claimed;
+    let id = *id;
+    let cancel: &AtomicBool = cancel;
     let Some(scenario) = find(&spec.scenario) else {
         // The server validates at submit; this covers direct table use.
         return JobOutcome::Failed(format!("unknown scenario {:?}", spec.scenario));
@@ -132,7 +134,7 @@ fn execute(
             None => {
                 let cells = run_cells(scenario, &ctx, 1, range);
                 if spec.checkpoints {
-                    persist_shard(&ckpt_dir, scenario, i, shard_count, &meta, &cells);
+                    persist_shard(table, &ckpt_dir, scenario, i, shard_count, &meta, &cells);
                 }
                 (cells, false)
             }
@@ -142,10 +144,24 @@ fn execute(
             id,
             format!(
                 "{{\"job\":{id},\"event\":\"shard\",\"shard\":{i},\"shards\":{shard_count},\
-                 \"cells_done\":{},\"cells_total\":{total},\"resumed\":{resumed}}}",
-                results.len()
+                 \"cells_done\":{},\"cells_total\":{total},\"resumed\":{resumed},\"req\":{}}}",
+                results.len(),
+                voltctl_check::json::escape(&claimed.request_id)
             ),
             results.len(),
+        );
+        table.log().emit(
+            EventLevel::Debug,
+            "job.shard",
+            &[
+                ("req", F::s(&claimed.request_id)),
+                ("job", F::U(id)),
+                ("shard", F::U(i as u64)),
+                ("shards", F::U(shard_count as u64)),
+                ("cells_done", F::U(results.len() as u64)),
+                ("cells_total", F::U(total as u64)),
+                ("resumed", F::B(resumed)),
+            ],
         );
     }
     if cancel.load(Ordering::Relaxed) {
@@ -153,11 +169,12 @@ fn execute(
     }
 
     let out = assemble_run(scenario, &ctx, results, 1);
-    write_artifacts(&artifact_dir, scenario, spec, &out);
+    write_artifacts(table, &artifact_dir, scenario, spec, &out);
     JobOutcome::Done(out.report.into_bytes(), out.cells)
 }
 
 fn persist_shard(
+    table: &JobTable,
     dir: &Path,
     scenario: &dyn Scenario,
     shard: usize,
@@ -170,25 +187,41 @@ fn persist_shard(
     if let Err(e) = write_bytes_fresh(dir, &name, &bytes) {
         // Checkpoints are an optimization; a failed write degrades
         // resume, never the job itself.
-        voltctl_telemetry::warn("serve.runner", &format!("checkpoint write failed: {e}"));
+        table.log().emit(
+            EventLevel::Warn,
+            "runner.checkpoint_write_failed",
+            &[
+                ("shard", F::U(shard as u64)),
+                ("error", F::s(e.to_string())),
+            ],
+        );
     }
 }
 
 fn write_artifacts(
+    table: &JobTable,
     dir: &Path,
     scenario: &dyn Scenario,
     spec: &JobSpec,
     out: &voltctl_exp::RunOutput,
 ) {
     if let Err(e) = write_bytes_fresh(dir, "report.txt", out.report.as_bytes()) {
-        voltctl_telemetry::warn("serve.runner", &format!("report write failed: {e}"));
+        table.log().emit(
+            EventLevel::Warn,
+            "runner.report_write_failed",
+            &[("error", F::s(e.to_string()))],
+        );
     }
     if spec.telemetry != Mode::Off {
         voltctl_exp::telemetry::export_run(scenario.id(), &out.telemetry, spec.telemetry, dir);
     }
     if spec.trace {
         if let Err(e) = voltctl_exp::trace::export(dir, scenario.id(), &out.trace) {
-            voltctl_telemetry::warn("serve.runner", &format!("trace export failed: {e}"));
+            table.log().emit(
+                EventLevel::Warn,
+                "runner.trace_export_failed",
+                &[("error", F::s(e.to_string()))],
+            );
         }
     }
 }
@@ -215,9 +248,9 @@ mod tests {
     }
 
     fn run_one(table: &Arc<JobTable>, cfg: &Arc<RunnerConfig>) {
-        let (id, spec, cancel) = table.claim().unwrap();
-        let outcome = execute(table, cfg, id, &spec, &cancel);
-        table.finish(id, outcome);
+        let claimed = table.claim().unwrap();
+        let outcome = execute(table, cfg, &claimed);
+        table.finish(claimed.id, outcome);
     }
 
     #[test]
@@ -287,10 +320,10 @@ mod tests {
             default_shards: 2,
         });
         let id = table.submit(smoke_spec("fig03_narrow_spike")).unwrap();
-        let (claimed, spec, cancel) = table.claim().unwrap();
-        assert_eq!(claimed, id);
-        cancel.store(true, Ordering::Relaxed);
-        let outcome = execute(&table, &cfg, id, &spec, &cancel);
+        let claimed = table.claim().unwrap();
+        assert_eq!(claimed.id, id);
+        claimed.cancel.store(true, Ordering::Relaxed);
+        let outcome = execute(&table, &cfg, &claimed);
         assert!(matches!(outcome, JobOutcome::Cancelled(0)));
         let _ = std::fs::remove_dir_all(&root);
     }

@@ -21,19 +21,38 @@
 //! Read timeouts bound slowloris-style clients: a connection that goes
 //! quiet mid-request gets a 408 and is dropped; it can never wedge the
 //! daemon (the protocol fuzz suite pins this).
+//!
+//! # Observability
+//!
+//! Every connection is assigned a request id (`r1`, `r2`, …) at accept.
+//! The id is threaded through the job table into every event a job
+//! emits, recorded per-request into the metrics plane (latency by
+//! normalized route, counts by route and status), and logged to the
+//! structured event log at `<root>/events.jsonl`. `GET /metrics`
+//! exposes the whole plane in Prometheus text format; `GET
+//! /stats?verbose=1` is a JSON superset of the original `/stats` body.
 
+use crate::event::{EventLevel, EventLog, F};
 use crate::http::{parse_request, Parse, Request, Response};
 use crate::job::{JobSpec, JobTable, SubmitError};
 use crate::runner::{worker_loop, RunnerConfig};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use voltctl_check::json::escape;
 use voltctl_exp::{find, listing, Ctx};
+
+/// Process-wide request id counter: ids stay unique even when tests run
+/// several daemons in one process.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_request_id() -> String {
+    format!("r{}", NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed))
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -83,6 +102,12 @@ impl ServerHandle {
         &self.table
     }
 
+    /// The daemon's structured event log (file sink at
+    /// `<root>/events.jsonl` when it could be opened).
+    pub fn log(&self) -> &Arc<EventLog> {
+        self.table.log()
+    }
+
     /// True once `POST /shutdown` (or [`stop`](ServerHandle::stop)) has
     /// been seen.
     pub fn is_stopping(&self) -> bool {
@@ -108,6 +133,9 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.table
+            .log()
+            .emit(EventLevel::Info, "daemon.stopped", &[]);
     }
 }
 
@@ -123,8 +151,22 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     std::fs::create_dir_all(&cfg.root)?;
 
-    let table = Arc::new(JobTable::new(cfg.queue_bound));
+    let log = Arc::new(EventLog::open(&cfg.root));
+    let table = Arc::new(JobTable::with_log(cfg.queue_bound, Arc::clone(&log)));
     let stop = Arc::new(AtomicBool::new(false));
+    crate::metrics::global()
+        .workers
+        .set(cfg.workers.max(1) as i64);
+    log.emit(
+        EventLevel::Info,
+        "daemon.listening",
+        &[
+            ("addr", F::s(addr.to_string())),
+            ("workers", F::U(cfg.workers.max(1) as u64)),
+            ("queue_bound", F::U(cfg.queue_bound as u64)),
+            ("root", F::s(cfg.root.display().to_string())),
+        ],
+    );
     let runner_cfg = Arc::new(RunnerConfig {
         root: cfg.root.clone(),
         default_shards: cfg.default_shards.max(1),
@@ -188,13 +230,16 @@ fn accept_loop(
 }
 
 /// Reads one request (incrementally, bounded, with timeout), routes it,
-/// writes one response, closes.
+/// writes one response, closes. Every outcome — including parse errors
+/// and timeouts — lands in the request metrics and the event log.
 fn handle_connection(
     mut stream: TcpStream,
     table: &Arc<JobTable>,
     stop: &Arc<AtomicBool>,
     read_timeout: Duration,
 ) {
+    let started = Instant::now();
+    let request_id = next_request_id();
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
@@ -205,7 +250,7 @@ fn handle_connection(
             Ok(Parse::Incomplete) => {}
             Err(e) => {
                 let _ = Response::error(e.status(), &e.detail()).write_to(&mut stream);
-                return;
+                return record_request(table, &request_id, "-", "other", e.status(), started);
             }
         }
         match stream.read(&mut chunk) {
@@ -213,6 +258,7 @@ fn handle_connection(
                 if !buf.is_empty() {
                     let _ =
                         Response::error(400, "connection closed mid-request").write_to(&mut stream);
+                    record_request(table, &request_id, "-", "other", 400, started);
                 }
                 return;
             }
@@ -221,12 +267,47 @@ fn handle_connection(
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 let _ = Response::error(408, "request not completed in time").write_to(&mut stream);
-                return;
+                return record_request(table, &request_id, "-", "other", 408, started);
             }
             Err(_) => return,
         }
     };
-    route(&request, &mut stream, table, stop);
+    let route_name = crate::metrics::route_label(&request.target);
+    let status = route(&request, &mut stream, table, stop, &request_id);
+    record_request(
+        table,
+        &request_id,
+        &request.method,
+        route_name,
+        status,
+        started,
+    );
+}
+
+/// One stop for the per-request boundary instrumentation: the
+/// (route, status) counter, the latency histogram, and the `Debug`
+/// event-log line carrying the request id.
+fn record_request(
+    table: &Arc<JobTable>,
+    request_id: &str,
+    method: &str,
+    route: &'static str,
+    status: u16,
+    started: Instant,
+) {
+    let elapsed = started.elapsed();
+    crate::metrics::global().record_request(route, status, elapsed);
+    table.log().emit(
+        EventLevel::Debug,
+        "http.request",
+        &[
+            ("req", F::s(request_id)),
+            ("method", F::s(method)),
+            ("route", F::s(route)),
+            ("status", F::U(status as u64)),
+            ("duration_ns", F::U(elapsed.as_nanos() as u64)),
+        ],
+    );
 }
 
 /// Splits `/jobs/<id>[/rest]` into the id and the remaining path.
@@ -239,15 +320,33 @@ fn job_path(target: &str) -> Option<(u64, &str)> {
     id.parse().ok().map(|id| (id, tail))
 }
 
-fn route(req: &Request, stream: &mut TcpStream, table: &Arc<JobTable>, stop: &Arc<AtomicBool>) {
-    let response = match (req.method.as_str(), req.target.as_str()) {
+/// Routes one parsed request, writes the response, and returns the
+/// status code that went over the wire.
+fn route(
+    req: &Request,
+    stream: &mut TcpStream,
+    table: &Arc<JobTable>,
+    stop: &Arc<AtomicBool>,
+    request_id: &str,
+) -> u16 {
+    let (path, query) = match req.target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (req.target.as_str(), ""),
+    };
+    let response = match (req.method.as_str(), path) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/scenarios") => scenarios_response(),
-        ("GET", "/stats") => Response::json(200, table.stats().to_json()),
-        ("POST", "/jobs") => submit(req, table),
+        ("GET", "/stats") => stats_response(table, query),
+        ("GET", "/metrics") => metrics_response(table),
+        ("POST", "/jobs") => submit(req, table, request_id),
         ("POST", "/shutdown") => {
             stop.store(true, Ordering::Relaxed);
             table.shutdown();
+            table.log().emit(
+                EventLevel::Info,
+                "daemon.shutdown_requested",
+                &[("req", F::s(request_id))],
+            );
             Response::json(200, "{\"shutdown\":true}".into())
         }
         (method, target) if target.starts_with("/jobs/") => {
@@ -295,11 +394,13 @@ fn route(req: &Request, stream: &mut TcpStream, table: &Arc<JobTable>, stop: &Ar
         }
         _ => Response::error(405, "method not allowed"),
     };
-    finish(stream, response);
+    finish(stream, response)
 }
 
-fn finish(stream: &mut TcpStream, response: Response) {
+fn finish(stream: &mut TcpStream, response: Response) -> u16 {
+    let status = response.status;
     let _ = response.write_to(stream);
+    status
 }
 
 fn scenarios_response() -> Response {
@@ -322,7 +423,53 @@ fn scenarios_response() -> Response {
     Response::json(200, body)
 }
 
-fn submit(req: &Request, table: &Arc<JobTable>) -> Response {
+/// `GET /stats`: the original compact body, or — with `verbose=1` in
+/// the query — a superset that starts with the same fields byte-for-
+/// byte and appends worker, cache, and event-log detail.
+fn stats_response(table: &Arc<JobTable>, query: &str) -> Response {
+    let base = table.stats().to_json();
+    let verbose = query.split('&').any(|kv| kv == "verbose=1");
+    if !verbose {
+        return Response::json(200, base);
+    }
+    let metrics = crate::metrics::global();
+    let kernel = voltctl_pdn::kernel_cache_stats();
+    let solve = voltctl_exp::solve_cache_stats();
+    let cache_json = |s: &voltctl_pdn::CacheStats| {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"len\":{},\"capacity\":{}}}",
+            s.hits, s.misses, s.evictions, s.len, s.capacity
+        )
+    };
+    let log_path = match table.log().path() {
+        Some(p) => escape(&p.display().to_string()),
+        None => "null".to_string(),
+    };
+    let mut body = base;
+    body.pop(); // replace the closing brace with the verbose tail
+    body.push_str(&format!(
+        ",\"workers\":{},\"workers_busy\":{},\"caches\":{{\"kernel\":{},\"solve\":{}}},\
+         \"event_log\":{}}}",
+        metrics.workers.get(),
+        metrics.workers_busy.get(),
+        cache_json(&kernel),
+        cache_json(&solve),
+        log_path
+    ));
+    Response::json(200, body)
+}
+
+/// `GET /metrics`: the full plane in Prometheus text exposition format.
+fn metrics_response(table: &Arc<JobTable>) -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        headers: Vec::new(),
+        body: crate::metrics::render_metrics(&table.stats()).into_bytes(),
+    }
+}
+
+fn submit(req: &Request, table: &Arc<JobTable>, request_id: &str) -> Response {
     let spec = match JobSpec::from_json_body(&req.body) {
         Ok(spec) => spec,
         Err(reason) => return Response::error(400, &reason),
@@ -336,7 +483,7 @@ fn submit(req: &Request, table: &Arc<JobTable>) -> Response {
             ),
         );
     }
-    match table.submit(spec) {
+    match table.submit_with_request(spec, Some(request_id)) {
         Ok(id) => Response::json(202, format!("{{\"id\":{id},\"state\":\"queued\"}}")),
         Err(SubmitError::QueueFull) => {
             let mut resp = Response::error(429, "job queue is full; retry later");
@@ -351,19 +498,19 @@ fn submit(req: &Request, table: &Arc<JobTable>) -> Response {
 /// events are flushed. The response has no `content-length`; the
 /// connection close delimits the stream (`connection: close` is already
 /// the daemon-wide contract).
-fn stream_events(stream: &mut TcpStream, table: &Arc<JobTable>, id: u64) {
+fn stream_events(stream: &mut TcpStream, table: &Arc<JobTable>, id: u64) -> u16 {
     if table.snapshot(id).is_none() {
         return finish(stream, Response::error(404, "no such job"));
     }
     let head = "HTTP/1.1 200 OK\r\ncontent-type: application/jsonl\r\nconnection: close\r\n\r\n";
     if stream.write_all(head.as_bytes()).is_err() {
-        return;
+        return 200;
     }
     let mut from = 0;
     loop {
         let Some((events, terminal)) = table.wait_events(id, from, Duration::from_millis(250))
         else {
-            return;
+            return 200;
         };
         for event in &events {
             if stream
@@ -371,13 +518,13 @@ fn stream_events(stream: &mut TcpStream, table: &Arc<JobTable>, id: u64) {
                 .and_then(|()| stream.write_all(b"\n"))
                 .is_err()
             {
-                return; // Client went away; the job keeps running.
+                return 200; // Client went away; the job keeps running.
             }
         }
         let _ = stream.flush();
         from += events.len();
         if terminal {
-            return;
+            return 200;
         }
     }
 }

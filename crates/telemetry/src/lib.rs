@@ -16,6 +16,11 @@
 //! * [`Snapshot`] + [`export`] — a plain-data view of a recorder and
 //!   structured writers for it: JSONL, CSV, and a human-readable
 //!   end-of-run summary.
+//! * [`registry`] — the *live* metrics plane: striped atomic counters,
+//!   gauges, and log-linear histograms behind a labeled registry with
+//!   Prometheus text exposition. Per-run simulation metrics belong in
+//!   [`MemoryRecorder`]; continuously-scraped service health (request
+//!   latencies, queue depth, cache hit rates) belongs here.
 //! * [`rng`] — a deterministic SplitMix64 generator. The build
 //!   environment has no registry access, so this replaces the `rand`
 //!   crate everywhere (sensor noise, workload shuffling, property-style
@@ -46,6 +51,7 @@ pub mod export;
 pub mod intern;
 pub mod memory;
 pub mod recorder;
+pub mod registry;
 pub mod rng;
 pub mod snapshot;
 pub mod stopwatch;

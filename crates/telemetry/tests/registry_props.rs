@@ -1,0 +1,203 @@
+//! Property suite for the live-metrics registry's log-linear histogram
+//! (`voltctl_telemetry::registry`), on the `voltctl-check` harness.
+//!
+//! The serve stack leans on three claims:
+//!
+//! * **Snapshot merge is a commutative monoid.** `/metrics` consumers
+//!   (the `top` dashboard, dashboards summing across routes) add bucket
+//!   vectors in arbitrary order; any merge tree over the same snapshots
+//!   must agree bitwise (all-integer arithmetic, no re-association
+//!   hazard).
+//! * **Quantiles are bucket-honest.** `quantile_bounds(q)` must bracket
+//!   the true rank-`ceil(q·n)` order statistic of the observed values —
+//!   the log-linear layout bounds the relative error, never the rank.
+//! * **Concurrent observation is deterministic in aggregate.** An
+//!   8-thread increment storm over a fixed partition of observations
+//!   yields the same snapshot bitwise on every run: relaxed atomic adds
+//!   of integers commute, so scrape results depend on *what* was
+//!   observed, never on scheduling.
+//!
+//! Every case reproduces from its printed seed.
+
+use voltctl_check::{check, ensure, usize_in, vec_of, Config};
+use voltctl_telemetry::registry::{bucket_hi, bucket_lo, bucket_of, HistSnapshot, Histogram};
+use voltctl_telemetry::Rng;
+
+/// Stretches small generated magnitudes across the full u64 range:
+/// value v in octave o lands around 2^o, hitting linear buckets, octave
+/// boundaries, and the giant-value tail alike.
+fn stretch(seed: u64) -> u64 {
+    let octave = (seed % 64) as u32;
+    let fill = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    if octave == 0 {
+        fill % 8
+    } else {
+        (1u64 << octave) | (fill & ((1u64 << octave) - 1))
+    }
+}
+
+fn snapshot_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistSnapshot, b: &HistSnapshot) -> HistSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+#[test]
+fn bucket_layout_is_monotone_and_total() {
+    let gen = (
+        usize_in(0, i64::MAX as usize),
+        usize_in(0, i64::MAX as usize),
+    );
+    check(
+        "registry.hist.bucket-monotone",
+        &Config::cases(256, 0x0B1C_0001),
+        &gen,
+        |&(a, b)| {
+            let (v, w) = (stretch(a as u64), stretch(b as u64));
+            let (lo, hi) = (v.min(w), v.max(w));
+            ensure!(
+                bucket_of(lo) <= bucket_of(hi),
+                "bucket_of not monotone: {lo} -> {}, {hi} -> {}",
+                bucket_of(lo),
+                bucket_of(hi)
+            );
+            let idx = bucket_of(v);
+            ensure!(
+                bucket_lo(idx) <= v && v <= bucket_hi(idx),
+                "{v} outside its own bucket {idx} [{}, {}]",
+                bucket_lo(idx),
+                bucket_hi(idx)
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn snapshot_merge_is_commutative_and_associative() {
+    let list = || vec_of(usize_in(0, i64::MAX as usize), 0, 48);
+    let gen = (list(), list(), list());
+    check(
+        "registry.hist.merge-monoid",
+        &Config::cases(64, 0x0B1C_0002),
+        &gen,
+        |(xs, ys, zs)| {
+            let values =
+                |raw: &[usize]| -> Vec<u64> { raw.iter().map(|&r| stretch(r as u64)).collect() };
+            let (a, b, c) = (
+                snapshot_of(&values(xs)),
+                snapshot_of(&values(ys)),
+                snapshot_of(&values(zs)),
+            );
+            ensure!(merged(&a, &b) == merged(&b, &a), "merge not commutative");
+            ensure!(
+                merged(&merged(&a, &b), &c) == merged(&a, &merged(&b, &c)),
+                "merge not associative"
+            );
+            ensure!(
+                merged(&a, &HistSnapshot::empty()) == a,
+                "empty is not a merge identity"
+            );
+            // Merge equals observing the concatenation directly.
+            let mut all = values(xs);
+            all.extend(values(ys));
+            let direct = snapshot_of(&all);
+            ensure!(
+                merged(&a, &b) == direct,
+                "merge differs from combined observation"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn quantiles_bracket_the_true_order_statistic() {
+    let gen = (
+        vec_of(usize_in(0, i64::MAX as usize), 1, 96),
+        usize_in(0, 1000), // q in per-mille
+    );
+    check(
+        "registry.hist.quantile-bounds",
+        &Config::cases(96, 0x0B1C_0003),
+        &gen,
+        |(raw, q_mille)| {
+            let mut values: Vec<u64> = raw.iter().map(|&r| stretch(r as u64)).collect();
+            let snap = snapshot_of(&values);
+            values.sort_unstable();
+            let q = *q_mille as f64 / 1000.0;
+            let n = values.len() as u64;
+            let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let truth = values[(rank - 1) as usize];
+            let (lo, hi) = snap
+                .quantile_bounds(q)
+                .ok_or("nonempty histogram returned no quantile")?;
+            ensure!(
+                lo <= truth && truth <= hi,
+                "q={q}: rank-{rank} value {truth} outside bucket [{lo}, {hi}]"
+            );
+            ensure!(
+                snap.quantile(q) == Some(hi),
+                "scalar quantile must be the bucket's upper bound"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn eight_thread_storms_snapshot_bitwise_deterministically() {
+    let gen = (usize_in(0, i64::MAX as usize), usize_in(1, 400));
+    check(
+        "registry.hist.storm-deterministic",
+        &Config::cases(24, 0x0B1C_0004),
+        &gen,
+        |&(seed, per_thread)| {
+            // A fixed partition: thread t observes its own seeded list.
+            let lists: Vec<Vec<u64>> = (0..8)
+                .map(|t| {
+                    let mut rng = Rng::new(seed as u64 ^ (t as u64) << 32);
+                    (0..per_thread).map(|_| stretch(rng.next_u64())).collect()
+                })
+                .collect();
+            let storm = |lists: &[Vec<u64>]| {
+                let h = Histogram::new();
+                let hist = &h;
+                std::thread::scope(|scope| {
+                    for list in lists {
+                        scope.spawn(move || {
+                            for &v in list {
+                                hist.observe(v);
+                            }
+                        });
+                    }
+                });
+                h.snapshot()
+            };
+            let first = storm(&lists);
+            let second = storm(&lists);
+            ensure!(first == second, "two storms over one partition differ");
+            // And both equal the sequential reference.
+            let flat: Vec<u64> = lists.concat();
+            ensure!(
+                first == snapshot_of(&flat),
+                "storm differs from sequential observation"
+            );
+            ensure!(
+                first.count() == flat.len() as u64,
+                "count {} != {} observations",
+                first.count(),
+                flat.len()
+            );
+            Ok(())
+        },
+    );
+}
